@@ -1,0 +1,39 @@
+//! # vantage-baselines
+//!
+//! The other distance-based index structures reviewed in §3 of the
+//! mvp-tree paper, implemented from their original descriptions so the
+//! experiment harness can compare the whole family under one cost model:
+//!
+//! * [`BkTree`] — Burkhard & Keller's hierarchical decomposition for
+//!   **discrete** metrics \[BK73\] (the paper's §3.2 "first method");
+//! * [`GhTree`] — Uhlmann's generalized hyperplane tree \[Uhl91\];
+//! * [`Gnat`] — Brin's Geometric Near-neighbor Access Tree \[Bri95\];
+//! * [`FqTree`] — the fixed-queries tree (Baeza-Yates et al. 1994): one
+//!   shared vantage point per level, the idea the mvp-tree's §4.1
+//!   Observation 1 builds on;
+//! * [`Aesa`] / [`Laesa`] — pre-computed distance tables in the spirit of
+//!   Shasha & Wang \[SW90\]: `O(n²)` (or `O(m·n)`) stored distances traded
+//!   for very few query-time distance computations;
+//! * [`TwoStage`] — QBIC-style filter-and-refine via distance-preserving
+//!   transformations (§3.1), with proven image projections.
+//!
+//! Every structure implements [`MetricIndex`](vantage_core::MetricIndex)
+//! and is validated against linear scan by the shared property-test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aesa;
+pub mod bktree;
+pub mod fqtree;
+pub mod ghtree;
+pub mod gnat;
+pub mod twostage;
+
+pub use aesa::{Aesa, Laesa};
+pub use bktree::BkTree;
+pub use fqtree::{FqTree, FqTreeParams};
+pub use ghtree::{GhTree, GhTreeParams};
+pub use gnat::{Gnat, GnatParams};
+pub use twostage::TwoStage;

@@ -1,0 +1,363 @@
+//! Two-stage filter-and-refine search via distance-preserving
+//! transformations (paper §3.1).
+//!
+//! The paper's QBIC example: *"the QBIC keeps an index on average color
+//! of images … The distance between average color vectors of images are
+//! proven to be less than or equal to the distance between their color
+//! histograms, that is, the transformation is distance preserving.
+//! Similarity queries … are answered by first using the index on the
+//! average color vectors as the major filtering step, and then refining
+//! the result by actual computations of histogram distances."*
+//!
+//! [`TwoStage`] reproduces that architecture over any metric space: items
+//! are projected into a cheap proxy space whose metric **lower-bounds**
+//! the expensive metric; the proxies are indexed with an mvp-tree (where
+//! QBIC used an R*-tree — a distance-based index needs no coordinates);
+//! range queries filter through the proxy index and refine survivors with
+//! the expensive metric. The lower-bound contract makes results exact.
+//!
+//! [`projections`] supplies proven projections for the image metrics:
+//! by the triangle inequality `|Σaᵢ − Σbᵢ| ≤ Σ|aᵢ − bᵢ|` (total
+//! intensity lower-bounds L1) and by Cauchy–Schwarz
+//! `|Σaᵢ − Σbᵢ| ≤ √n · ‖a − b‖₂` (scaled total intensity lower-bounds
+//! L2).
+
+use vantage_core::{Counted, KnnCollector, Metric, MetricIndex, Neighbor, Result};
+use vantage_mvptree::{MvpParams, MvpTree};
+
+/// A filter-and-refine index: a cheap lower-bounding proxy index over
+/// projections plus exact refinement with the expensive metric.
+///
+/// **Correctness contract**: for the projection `p` and proxy metric
+/// `lo`, `lo(p(a), p(b)) ≤ hi(a, b)` must hold for all items — the §3.1
+/// definition of a distance-preserving transformation. Violations make
+/// queries silently *miss* answers; [`TwoStage::spot_check`] verifies
+/// the contract on sampled pairs.
+#[derive(Debug, Clone)]
+pub struct TwoStage<T, P, PM, M> {
+    items: Vec<T>,
+    expensive: M,
+    proxy_index: MvpTree<P, PM>,
+}
+
+impl<T, P, PM, M> TwoStage<T, P, PM, M>
+where
+    PM: Metric<P>,
+    M: Metric<T>,
+{
+    /// Builds the two-stage index: projects every item with `project`,
+    /// indexes the proxies in an mvp-tree under `proxy_metric`, and keeps
+    /// `expensive` for refinement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `params` is invalid.
+    pub fn build(
+        items: Vec<T>,
+        expensive: M,
+        project: impl Fn(&T) -> P,
+        proxy_metric: PM,
+        params: MvpParams,
+    ) -> Result<Self> {
+        let proxies: Vec<P> = items.iter().map(&project).collect();
+        let proxy_index = MvpTree::build(proxies, proxy_metric, params)?;
+        Ok(TwoStage {
+            items,
+            expensive,
+            proxy_index,
+        })
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The expensive metric.
+    pub fn expensive_metric(&self) -> &M {
+        &self.expensive
+    }
+
+    /// Range query: proxy filter, then exact refinement. Performs one
+    /// expensive distance per proxy survivor (the paper's "major
+    /// filtering step" happens in the cheap space).
+    pub fn range(&self, query: &T, project_query: &P, radius: f64) -> Vec<Neighbor> {
+        self.proxy_index
+            .range(project_query, radius)
+            .into_iter()
+            .filter_map(|candidate| {
+                let d = self
+                    .expensive
+                    .distance(query, &self.items[candidate.id]);
+                (d <= radius).then_some(Neighbor::new(candidate.id, d))
+            })
+            .collect()
+    }
+
+    /// Exact k-nearest-neighbor query in the expensive metric.
+    ///
+    /// Two phases: refine the proxy-space `k` nearest to obtain an upper
+    /// bound on the true k-th distance, then run one exact
+    /// [`range`](TwoStage::range) at that radius — sound because the
+    /// proxy lower-bounds the expensive metric, so no true neighbor can
+    /// hide outside the proxy ball.
+    pub fn knn(&self, query: &T, project_query: &P, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.items.is_empty() {
+            return Vec::new();
+        }
+        // Phase 1: refine the k proxy-nearest to bound the true k-th
+        // distance from above (the k-th smallest of any k refined
+        // distances is an upper bound on the global k-th smallest). The
+        // collector must NOT be pre-filled with these candidates: phase 2
+        // re-discovers them, and duplicate ids would occupy multiple of
+        // the k slots.
+        let mut phase1: Vec<f64> = self
+            .proxy_index
+            .knn(project_query, k)
+            .into_iter()
+            .map(|candidate| {
+                self.expensive
+                    .distance(query, &self.items[candidate.id])
+            })
+            .collect();
+        phase1.sort_unstable_by(f64::total_cmp);
+        let Some(&radius) = phase1.last() else {
+            return Vec::new();
+        };
+        // Phase 2: one exact range query at that radius; its result is a
+        // superset of the true top-k (each id exactly once).
+        let mut collector = KnnCollector::new(k);
+        for hit in self.range(query, project_query, radius) {
+            collector.offer(hit.id, hit.distance);
+        }
+        collector.into_sorted()
+    }
+
+    /// Verifies the lower-bound contract on every pair among `sample`
+    /// evenly spaced items (`O(sample²)` expensive distances).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violating pair.
+    pub fn spot_check(
+        &self,
+        project: impl Fn(&T) -> P,
+        sample: usize,
+    ) -> std::result::Result<(), String> {
+        let n = self.items.len();
+        if n < 2 {
+            return Ok(());
+        }
+        let step = (n / sample.max(1)).max(1);
+        let picks: Vec<usize> = (0..n).step_by(step).collect();
+        for (ii, &i) in picks.iter().enumerate() {
+            for &j in &picks[..ii] {
+                let lo = self.proxy_index.metric().distance(
+                    &project(&self.items[i]),
+                    &project(&self.items[j]),
+                );
+                let hi = self.expensive.distance(&self.items[i], &self.items[j]);
+                if lo > hi + 1e-9 {
+                    return Err(format!(
+                        "projection is not distance-preserving: proxy {lo} > actual {hi} for items {i}, {j}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T, P, PM, M> TwoStage<T, P, PM, Counted<M>>
+where
+    PM: Metric<P>,
+    M: Metric<T>,
+{
+    /// For cost studies: the number of **expensive** metric evaluations
+    /// recorded by the wrapped counter.
+    pub fn expensive_count(&self) -> u64 {
+        self.expensive.count()
+    }
+}
+
+/// Proven distance-preserving projections for the built-in metrics.
+pub mod projections {
+    use vantage_core::metrics::image::GrayImage;
+    use vantage_core::{Result, VantageError};
+
+    /// Projects a gray image to its total intensity scaled so that the
+    /// 1-d L1 metric `|p(a) − p(b)|` lower-bounds
+    /// [`ImageL1`](vantage_core::metrics::image::ImageL1) with the given
+    /// normalization: `|Σaᵢ − Σbᵢ| / norm ≤ (Σ|aᵢ − bᵢ|) / norm`.
+    pub fn image_l1_intensity(norm: f64) -> Result<impl Fn(&GrayImage) -> Vec<f64>> {
+        if !norm.is_finite() || norm <= 0.0 {
+            return Err(VantageError::invalid_parameter(
+                "norm",
+                "normalization must be finite and positive",
+            ));
+        }
+        Ok(move |img: &GrayImage| {
+            let total: u64 = img.pixels().iter().map(|&p| u64::from(p)).sum();
+            vec![total as f64 / norm]
+        })
+    }
+
+    /// Projects a gray image to its mean intensity scaled so that the
+    /// 1-d metric lower-bounds
+    /// [`ImageL2`](vantage_core::metrics::image::ImageL2): by
+    /// Cauchy–Schwarz, `|Σ(aᵢ − bᵢ)| ≤ √n · ‖a − b‖₂`, so
+    /// `|Σaᵢ − Σbᵢ| / (√n · norm)` is a valid lower bound of
+    /// `‖a − b‖₂ / norm`.
+    pub fn image_l2_intensity(norm: f64) -> Result<impl Fn(&GrayImage) -> Vec<f64>> {
+        if !norm.is_finite() || norm <= 0.0 {
+            return Err(VantageError::invalid_parameter(
+                "norm",
+                "normalization must be finite and positive",
+            ));
+        }
+        Ok(move |img: &GrayImage| {
+            let total: u64 = img.pixels().iter().map(|&p| u64::from(p)).sum();
+            let n = img.dimensions() as f64;
+            vec![total as f64 / (n.sqrt() * norm)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::projections::{image_l1_intensity, image_l2_intensity};
+    use super::*;
+    use vantage_core::metrics::image::{GrayImage, ImageL1, ImageL2};
+    use vantage_core::prelude::*;
+
+    fn images() -> Vec<GrayImage> {
+        // Deterministic little "image database" with varied content.
+        (0..60u32)
+            .map(|i| {
+                let px: Vec<u8> = (0..64u32)
+                    .map(|p| ((i * 37 + p * 11 + (i * p) % 23) % 256) as u8)
+                    .collect();
+                GrayImage::new(8, 8, px).unwrap()
+            })
+            .collect()
+    }
+
+    type L1Stage = TwoStage<GrayImage, Vec<f64>, Manhattan, ImageL1>;
+
+    fn build_l1() -> (L1Stage, impl Fn(&GrayImage) -> Vec<f64>) {
+        let project = image_l1_intensity(ImageL1::PAPER_NORM).unwrap();
+        let ts = TwoStage::build(
+            images(),
+            ImageL1::paper(),
+            &project,
+            Manhattan,
+            MvpParams::paper(2, 5, 2).seed(1),
+        )
+        .unwrap();
+        (ts, project)
+    }
+
+    #[test]
+    fn lower_bound_contract_holds() {
+        let (ts, project) = build_l1();
+        ts.spot_check(project, 20).unwrap();
+    }
+
+    #[test]
+    fn range_matches_direct_search() {
+        let (ts, project) = build_l1();
+        let oracle = LinearScan::new(images(), ImageL1::paper());
+        let q = images()[13].clone();
+        let pq = project(&q);
+        for r in [0.0, 0.05, 0.2, 1.0] {
+            let mut got: Vec<usize> = ts.range(&q, &pq, r).into_iter().map(|n| n.id).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = oracle.range(&q, r).into_iter().map(|n| n.id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_direct_search() {
+        let (ts, project) = build_l1();
+        let oracle = LinearScan::new(images(), ImageL1::paper());
+        let q = images()[7].clone();
+        let pq = project(&q);
+        for k in [1, 5, 20, 60, 100] {
+            let got = ts.knn(&q, &pq, k);
+            let want = oracle.knn(&q, k);
+            assert_eq!(got.len(), want.len(), "k={k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.distance - w.distance).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn l2_projection_contract_holds() {
+        let project = image_l2_intensity(ImageL2::PAPER_NORM).unwrap();
+        let ts = TwoStage::build(
+            images(),
+            ImageL2::paper(),
+            &project,
+            Manhattan,
+            MvpParams::paper(2, 5, 2).seed(2),
+        )
+        .unwrap();
+        ts.spot_check(project, 25).unwrap();
+    }
+
+    #[test]
+    fn filter_reduces_expensive_computations() {
+        let project = image_l1_intensity(ImageL1::PAPER_NORM).unwrap();
+        let expensive = Counted::new(ImageL1::paper());
+        let probe = expensive.clone();
+        let ts = TwoStage::build(
+            images(),
+            expensive,
+            &project,
+            Manhattan,
+            MvpParams::paper(2, 5, 2).seed(1),
+        )
+        .unwrap();
+        probe.reset();
+        let q = images()[3].clone();
+        let hits = ts.range(&q, &project(&q), 0.05);
+        let used = probe.count();
+        assert!(
+            used < 60,
+            "filter should skip most of the 60 expensive comparisons, used {used}"
+        );
+        assert!(hits.iter().any(|n| n.id == 3));
+    }
+
+    #[test]
+    fn invalid_projection_norms_rejected() {
+        assert!(image_l1_intensity(0.0).is_err());
+        assert!(image_l2_intensity(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let project = image_l1_intensity(1.0).unwrap();
+        let ts = TwoStage::build(
+            Vec::<GrayImage>::new(),
+            ImageL1::paper(),
+            &project,
+            Manhattan,
+            MvpParams::paper(2, 5, 2),
+        )
+        .unwrap();
+        assert!(ts.is_empty());
+        let q = GrayImage::black(8, 8).unwrap();
+        let pq = project(&q);
+        assert!(ts.range(&q, &pq, 10.0).is_empty());
+        assert!(ts.knn(&q, &pq, 0).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests: every baseline structure is exactly equivalent to
+//! linear scan for range and kNN queries.
+
+use proptest::prelude::*;
+use vantage_baselines::{
+    Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa,
+    TwoStage,
+};
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_mvptree::MvpParams;
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, dim)
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(point_strategy(3), 0..100)
+}
+
+fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+    v.sort_unstable_by_key(|n| n.id);
+    v.into_iter().map(|n| n.id).collect()
+}
+
+fn assert_knn_distances(got: &[Neighbor], want: &[Neighbor]) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        prop_assert!((g.distance - w.distance).abs() < 1e-12);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gh_tree_matches_oracle(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..20.0,
+        leaf in 1usize..6,
+        seed in 0u64..4,
+        k in 0usize..12,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree = GhTree::build(
+            points,
+            Euclidean,
+            GhTreeParams { leaf_capacity: leaf, seed },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+        assert_knn_distances(&tree.knn(&query, k), &oracle.knn(&query, k))?;
+    }
+
+    #[test]
+    fn gnat_matches_oracle(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..20.0,
+        degree in 2usize..10,
+        leaf in 1usize..6,
+        seed in 0u64..4,
+        k in 0usize..12,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree = Gnat::build(
+            points,
+            Euclidean,
+            GnatParams { degree, leaf_capacity: leaf, seed },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+        assert_knn_distances(&tree.knn(&query, k), &oracle.knn(&query, k))?;
+    }
+
+    #[test]
+    fn aesa_matches_oracle(
+        points in proptest::collection::vec(point_strategy(2), 0..60),
+        query in point_strategy(2),
+        radius in 0.0f64..15.0,
+        k in 0usize..12,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let aesa = Aesa::build(points, Euclidean);
+        prop_assert_eq!(
+            sorted_ids(aesa.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+        assert_knn_distances(&aesa.knn(&query, k), &oracle.knn(&query, k))?;
+    }
+
+    #[test]
+    fn laesa_matches_oracle(
+        points in proptest::collection::vec(point_strategy(2), 0..80),
+        query in point_strategy(2),
+        radius in 0.0f64..15.0,
+        m in 1usize..8,
+        k in 0usize..12,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let laesa = Laesa::build(points, Euclidean, m).unwrap();
+        prop_assert_eq!(
+            sorted_ids(laesa.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+        assert_knn_distances(&laesa.knn(&query, k), &oracle.knn(&query, k))?;
+    }
+
+    #[test]
+    fn bk_tree_matches_oracle_on_strings(
+        words in proptest::collection::vec("[a-c]{0,7}".prop_map(String::from), 0..60),
+        query in "[a-c]{0,7}".prop_map(String::from),
+        radius in 0u32..6,
+        k in 0usize..12,
+    ) {
+        let oracle = LinearScan::new(words.clone(), Levenshtein);
+        let tree = BkTree::build(words, Levenshtein);
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, f64::from(radius))),
+            sorted_ids(oracle.range(&query, f64::from(radius)))
+        );
+        assert_knn_distances(&tree.knn(&query, k), &oracle.knn(&query, k))?;
+    }
+
+    #[test]
+    fn fq_tree_matches_oracle(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..20.0,
+        order in 2usize..8,
+        leaf in 1usize..6,
+        seed in 0u64..4,
+        k in 0usize..12,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree = FqTree::build(
+            points,
+            Euclidean,
+            FqTreeParams { order, leaf_capacity: leaf, max_depth: 32, seed },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+        assert_knn_distances(&tree.knn(&query, k), &oracle.knn(&query, k))?;
+    }
+
+    /// The two-stage filter (proxy = first coordinate under L∞-style
+    /// 1-d bound) is exact whenever the projection lower-bounds the
+    /// expensive metric; projecting onto one coordinate lower-bounds
+    /// every Lp with p ≥ 1.
+    #[test]
+    fn two_stage_matches_oracle(
+        points in proptest::collection::vec(point_strategy(3), 0..80),
+        query in point_strategy(3),
+        radius in 0.0f64..15.0,
+        k in 0usize..10,
+    ) {
+        let project = |v: &Vec<f64>| vec![v[0]];
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let ts = TwoStage::build(
+            points,
+            Euclidean,
+            project,
+            Manhattan,
+            MvpParams::paper(2, 4, 2).seed(1),
+        )
+        .unwrap();
+        let pq = project(&query);
+        prop_assert_eq!(
+            sorted_ids(ts.range(&query, &pq, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+        assert_knn_distances(&ts.knn(&query, &pq, k), &oracle.knn(&query, k))?;
+    }
+
+    /// AESA's query cost is never worse than linear scan and the table
+    /// never misses answers even under adversarial duplicates.
+    #[test]
+    fn aesa_with_duplicates(
+        base in point_strategy(2),
+        copies in 1usize..30,
+        radius in 0.0f64..5.0,
+    ) {
+        let points = vec![base.clone(); copies];
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let aesa = Aesa::build(points, metric);
+        probe.reset();
+        let hits = aesa.range(&base, radius);
+        prop_assert_eq!(hits.len(), copies);
+        prop_assert!(probe.count() <= copies as u64);
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure bench: the ablation studies for the design choices DESIGN.md
+//! calls out, plus construction cost and the cross-family comparison.
+
+use vantage_experiments::{ablations, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    for report in [
+        ablations::ablation_leaf_capacity(scale),
+        ablations::ablation_path_p(scale),
+        ablations::ablation_order_m(scale),
+        ablations::ablation_vantage_selection(scale),
+        ablations::construction_cost(scale),
+        ablations::comparators(scale),
+        ablations::knn_cost(scale),
+    ] {
+        println!("{}\n", report.render());
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion: index construction wall-clock time across the structure
+//! family (complements the distance-computation construction study in
+//! the `ablations` bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vantage_baselines::{GhTree, GhTreeParams, Gnat, GnatParams, Laesa};
+use vantage_bench::bench_vectors;
+use vantage_core::prelude::*;
+use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_vptree::{VpTree, VpTreeParams};
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let points = bench_vectors(n);
+        group.bench_with_input(BenchmarkId::new("vpt2", n), &points, |b, pts| {
+            b.iter(|| {
+                black_box(
+                    VpTree::build(pts.clone(), Euclidean, VpTreeParams::binary().seed(1))
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vpt3", n), &points, |b, pts| {
+            b.iter(|| {
+                black_box(
+                    VpTree::build(pts.clone(), Euclidean, VpTreeParams::with_order(3).seed(1))
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mvpt_3_80_5", n), &points, |b, pts| {
+            b.iter(|| {
+                black_box(
+                    MvpTree::build(pts.clone(), Euclidean, MvpParams::paper(3, 80, 5).seed(1))
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gh_tree", n), &points, |b, pts| {
+            b.iter(|| {
+                black_box(
+                    GhTree::build(pts.clone(), Euclidean, GhTreeParams::default()).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gnat8", n), &points, |b, pts| {
+            b.iter(|| {
+                black_box(Gnat::build(pts.clone(), Euclidean, GnatParams::default()).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("laesa32", n), &points, |b, pts| {
+            b.iter(|| black_box(Laesa::build(pts.clone(), Euclidean, 32).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

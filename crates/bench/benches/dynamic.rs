@@ -1,0 +1,50 @@
+//! Criterion: DynamicMvpTree update and query throughput under churn —
+//! the §6 future-work extension in steady-state operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vantage_bench::bench_vectors;
+use vantage_core::prelude::*;
+use vantage_mvptree::{DynamicMvpTree, MvpParams};
+
+fn insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic/insert");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let points = bench_vectors(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| {
+                let mut tree =
+                    DynamicMvpTree::new(Euclidean, MvpParams::paper(3, 40, 5)).unwrap();
+                for p in pts {
+                    tree.insert(p.clone());
+                }
+                black_box(tree.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn churn_queries(c: &mut Criterion) {
+    // Steady state: half the inserts deleted again, queries interleaved.
+    let points = bench_vectors(10_000);
+    let mut tree = DynamicMvpTree::new(Euclidean, MvpParams::paper(3, 40, 5)).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        let id = tree.insert(p.clone());
+        if i % 2 == 0 {
+            tree.remove(id);
+        }
+    }
+    let query = vec![0.5; 20];
+    let mut group = c.benchmark_group("dynamic/query_under_churn");
+    group.bench_function("range_r0.3", |b| {
+        b.iter(|| black_box(tree.range(&query, 0.3)))
+    });
+    group.bench_function("knn_10", |b| b.iter(|| black_box(tree.knn(&query, 10))));
+    group.finish();
+}
+
+criterion_group!(benches, insert_throughput, churn_queries);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure bench: regenerates paper Figures 4–7 (the four distance-
+//! distribution histograms). Set VANTAGE_SCALE=full for paper-exact
+//! cardinalities.
+
+use vantage_experiments::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    for report in [
+        figures::fig04(scale),
+        figures::fig05(scale),
+        figures::fig06(scale),
+        figures::fig07(scale),
+    ] {
+        println!("{}\n", report.render());
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure bench: regenerates paper Figure 8 (random vectors) — average distance
+//! computations per search. Set VANTAGE_SCALE=full for paper-exact
+//! cardinalities.
+
+use vantage_experiments::{figures, Scale};
+
+fn main() {
+    let report = figures::fig08(Scale::from_env());
+    println!("{}", report.render());
+}

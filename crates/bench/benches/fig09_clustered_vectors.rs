@@ -1,0 +1,10 @@
+//! Figure bench: regenerates paper Figure 9 (clustered vectors) — average distance
+//! computations per search. Set VANTAGE_SCALE=full for paper-exact
+//! cardinalities.
+
+use vantage_experiments::{figures, Scale};
+
+fn main() {
+    let report = figures::fig09(Scale::from_env());
+    println!("{}", report.render());
+}

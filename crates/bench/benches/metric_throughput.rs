@@ -1,0 +1,88 @@
+//! Criterion: raw metric throughput — the quantity the paper assumes
+//! dominates everything else, and the reason distance *counts* are the
+//! right cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vantage_core::prelude::*;
+use vantage_datasets::{synthetic_mri_images, uniform_vectors, MriConfig};
+
+fn vector_metrics(c: &mut Criterion) {
+    let v = uniform_vectors(2, 20, 1);
+    let (a, b) = (&v[0], &v[1]);
+    let mut group = c.benchmark_group("metric/vector20d");
+    group.bench_function("euclidean", |bench| {
+        bench.iter(|| black_box(Euclidean.distance(black_box(a), black_box(b))))
+    });
+    group.bench_function("manhattan", |bench| {
+        bench.iter(|| black_box(Manhattan.distance(black_box(a), black_box(b))))
+    });
+    group.bench_function("chebyshev", |bench| {
+        bench.iter(|| black_box(Chebyshev.distance(black_box(a), black_box(b))))
+    });
+    let lp = Minkowski::new(3.0).unwrap();
+    group.bench_function("minkowski_p3", |bench| {
+        bench.iter(|| black_box(lp.distance(black_box(a), black_box(b))))
+    });
+    group.finish();
+}
+
+fn string_metrics(c: &mut Criterion) {
+    let a = "similarity-search".to_string();
+    let b = "dissimilarity search".to_string();
+    let mut group = c.benchmark_group("metric/strings");
+    group.bench_function("levenshtein_17x20", |bench| {
+        bench.iter(|| {
+            black_box(Metric::<String>::distance(
+                &Levenshtein,
+                black_box(&a),
+                black_box(&b),
+            ))
+        })
+    });
+    group.bench_function("levenshtein_bounded_r2", |bench| {
+        bench.iter(|| black_box(Levenshtein::distance_within(black_box(&a), black_box(&b), 2)))
+    });
+    group.bench_function("hamming", |bench| {
+        bench.iter(|| {
+            black_box(Metric::<String>::distance(
+                &Hamming,
+                black_box(&a),
+                black_box(&b),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn image_metrics(c: &mut Criterion) {
+    // Two full-resolution 256x256 images — 65 536 dimensions, the
+    // paper's expensive case.
+    let images = synthetic_mri_images(&MriConfig {
+        subjects: 2,
+        images_per_subject: 1,
+        total: None,
+        width: 256,
+        height: 256,
+        noise: 10,
+        seed: 1,
+    })
+    .unwrap();
+    let (a, b) = (&images[0], &images[1]);
+    let mut group = c.benchmark_group("metric/image256");
+    group.bench_function("image_l1", |bench| {
+        bench.iter(|| black_box(ImageL1::paper().distance(black_box(a), black_box(b))))
+    });
+    group.bench_function("image_l2", |bench| {
+        bench.iter(|| black_box(ImageL2::paper().distance(black_box(a), black_box(b))))
+    });
+    group.bench_function("histogram_l1_end_to_end", |bench| {
+        use vantage_core::metrics::histogram::ImageHistogramL1;
+        bench.iter(|| black_box(ImageHistogramL1::new().distance(black_box(a), black_box(b))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, vector_metrics, string_metrics, image_metrics);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion: range and kNN query wall-clock latency for the two main
+//! trees and the linear-scan baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vantage_bench::{bench_queries, bench_vectors};
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_vptree::{VpTree, VpTreeParams};
+
+fn range_queries(c: &mut Criterion) {
+    let points = bench_vectors(20_000);
+    let queries = bench_queries();
+    let linear = LinearScan::new(points.clone(), Euclidean);
+    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(1))
+        .unwrap();
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(1))
+        .unwrap();
+
+    let mut group = c.benchmark_group("range_query_20k");
+    for &r in &[0.2f64, 0.5] {
+        group.bench_with_input(BenchmarkId::new("linear", r), &r, |b, &r| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(linear.range(q, r));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vpt2", r), &r, |b, &r| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(vp.range(q, r));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mvpt_3_80_5", r), &r, |b, &r| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(mvp.range(q, r));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn knn_queries(c: &mut Criterion) {
+    let points = bench_vectors(20_000);
+    let queries = bench_queries();
+    let linear = LinearScan::new(points.clone(), Euclidean);
+    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(1))
+        .unwrap();
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(1))
+        .unwrap();
+
+    let mut group = c.benchmark_group("knn_query_20k");
+    for &k in &[1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("linear", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(linear.knn(q, k));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vpt2", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(vp.knn(q, k));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mvpt_3_80_5", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(mvp.knn(q, k));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, range_queries, knn_queries);
+criterion_main!(benches);

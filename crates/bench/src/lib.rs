@@ -1,0 +1,39 @@
+//! Shared fixtures for the benchmark suites.
+//!
+//! Two kinds of benches live in `benches/`:
+//!
+//! * **Criterion suites** (`construction`, `queries`,
+//!   `metric_throughput`) measure wall-clock time — useful for tracking
+//!   regressions in the Rust implementation itself;
+//! * **figure benches** (`fig04_distance_histograms`,
+//!   `fig08_random_vectors`, …, `ablations`) regenerate the paper's
+//!   figures in the paper's own cost model (distance computations). They
+//!   are plain `harness = false` programs so `cargo bench --workspace`
+//!   prints every reproduced table; set `VANTAGE_SCALE=full` for the
+//!   paper's exact cardinalities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vantage_datasets::uniform_vectors;
+
+/// Standard benchmark dataset: `n` uniform 20-d vectors (fixed seed).
+pub fn bench_vectors(n: usize) -> Vec<Vec<f64>> {
+    uniform_vectors(n, 20, 0xBE0C)
+}
+
+/// Standard benchmark queries: 16 uniform 20-d vectors (distinct seed).
+pub fn bench_queries() -> Vec<Vec<f64>> {
+    uniform_vectors(16, 20, 0xCAFE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(bench_vectors(10), bench_vectors(10));
+        assert_eq!(bench_queries().len(), 16);
+    }
+}

@@ -1,0 +1,566 @@
+//! # vantage-cli
+//!
+//! A small command-line interface over the vantage workspace:
+//!
+//! ```text
+//! vantage generate uniform   --n 1000 --dim 20 --seed 1 [--out data.csv]
+//! vantage generate clustered --clusters 10 --size 100 --dim 20 --epsilon 0.15 --seed 1
+//! vantage generate words     --n 500 --seed 1
+//! vantage query  --data data.csv --metric l2 --structure mvp --range 0.3 --query 0.5,0.5,...
+//! vantage query  --data words.txt --metric edit --knn 3 --query hello
+//! vantage stats  --data data.csv --metric l2
+//! vantage experiment fig08 [--scale quick|full]
+//! vantage help
+//! ```
+//!
+//! Vector datasets are CSV (one comma-separated vector per line); string
+//! datasets are plain lines. The `query` command reports results *and*
+//! the number of metric distance computations — the paper's cost model —
+//! for the chosen structure.
+//!
+//! The whole CLI is a library (`run`) so commands are unit-testable; the
+//! binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_experiments::Scale;
+use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_vptree::{VpTree, VpTreeParams};
+
+/// CLI failure: a message for the user (exit code 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// CLI result alias (the core prelude shadows `std::result::Result`
+/// with its own single-parameter alias).
+type CliResult<T> = std::result::Result<T, CliError>;
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Minimal `--flag value` argument map.
+struct Args<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(raw: &'a [String]) -> CliResult<Self> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let flag = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected --flag, got `{}`", raw[i])))?;
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| err(format!("flag --{flag} needs a value")))?;
+            pairs.push((flag, value.as_str()));
+            i += 2;
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| *f == flag)
+            .map(|(_, v)| *v)
+    }
+
+    fn required(&self, flag: &str) -> CliResult<&'a str> {
+        self.get(flag)
+            .ok_or_else(|| err(format!("missing required flag --{flag}")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> CliResult<T> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("invalid value for --{flag}: `{v}`"))),
+        }
+    }
+
+    fn required_parsed<T: std::str::FromStr>(&self, flag: &str) -> CliResult<T> {
+        let v = self.required(flag)?;
+        v.parse()
+            .map_err(|_| err(format!("invalid value for --{flag}: `{v}`")))
+    }
+}
+
+/// The usage text printed by `vantage help`.
+pub const USAGE: &str = "\
+vantage — distance-based indexing for high-dimensional metric spaces
+
+USAGE:
+  vantage generate uniform   --n N --dim D [--seed S] [--out FILE]
+  vantage generate clustered --clusters C --size K --dim D [--epsilon E] [--seed S] [--out FILE]
+  vantage generate words     --n N [--seed S] [--out FILE]
+  vantage query  --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
+                 (--range R | --knn K) [--seed S]
+  vantage stats  --data FILE [--metric l1|l2|linf|edit] [--bin W]
+  vantage experiment NAME [--scale quick|full]
+       NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
+             construction, comparators, knn
+  vantage help
+
+Vector data files are CSV (one vector per line); `--metric edit` treats
+the file as one word per line. `query` reports the answers and the number
+of distance computations used.
+";
+
+/// Runs the CLI. `argv` excludes the program name. Output is written to
+/// `out` so tests can capture it.
+pub fn run(argv: &[String], out: &mut String) -> CliResult<()> {
+    match argv.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            out.push_str(USAGE);
+            Ok(())
+        }
+        Some("generate") => cmd_generate(&argv[1..], out),
+        Some("query") => cmd_query(&argv[1..], out),
+        Some("stats") => cmd_stats(&argv[1..], out),
+        Some("experiment") => cmd_experiment(&argv[1..], out),
+        Some(other) => Err(err(format!(
+            "unknown command `{other}` (try `vantage help`)"
+        ))),
+    }
+}
+
+fn write_or_print(path: Option<&str>, content: &str, out: &mut String) -> CliResult<()> {
+    match path {
+        Some(path) => fs::write(path, content)
+            .map_err(|e| err(format!("cannot write {path}: {e}"))),
+        None => {
+            out.push_str(content);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_generate(argv: &[String], out: &mut String) -> CliResult<()> {
+    let kind = argv
+        .first()
+        .ok_or_else(|| err("generate needs a kind: uniform | clustered | words"))?;
+    let args = Args::parse(&argv[1..])?;
+    let seed: u64 = args.parsed("seed", 0)?;
+    let content = match kind.as_str() {
+        "uniform" => {
+            let n: usize = args.required_parsed("n")?;
+            let dim: usize = args.required_parsed("dim")?;
+            vectors_to_csv(&vantage_datasets::uniform_vectors(n, dim, seed))
+        }
+        "clustered" => {
+            let config = vantage_datasets::ClusteredConfig {
+                clusters: args.required_parsed("clusters")?,
+                cluster_size: args.required_parsed("size")?,
+                dim: args.required_parsed("dim")?,
+                epsilon: args.parsed("epsilon", 0.15)?,
+                seed,
+            };
+            let data = vantage_datasets::clustered_vectors(&config)
+                .map_err(|e| err(e.to_string()))?;
+            vectors_to_csv(&data)
+        }
+        "words" => {
+            let n: usize = args.required_parsed("n")?;
+            let mut s = vantage_datasets::random_words(n, 4, 12, seed).join("\n");
+            s.push('\n');
+            s
+        }
+        other => return Err(err(format!("unknown dataset kind `{other}`"))),
+    };
+    write_or_print(args.get("out"), &content, out)
+}
+
+fn vectors_to_csv(vectors: &[Vec<f64>]) -> String {
+    let mut s = String::new();
+    for v in vectors {
+        let line: Vec<String> = v.iter().map(|x| format!("{x}")).collect();
+        s.push_str(&line.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+fn read_vectors(path: &str) -> CliResult<Vec<Vec<f64>>> {
+    let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let mut vectors = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: std::result::Result<Vec<f64>, _> = line.split(',').map(|c| c.trim().parse()).collect();
+        vectors.push(v.map_err(|_| {
+            err(format!("{path}:{}: not a CSV float vector", lineno + 1))
+        })?);
+    }
+    if let Some(first) = vectors.first() {
+        let dim = first.len();
+        if vectors.iter().any(|v| v.len() != dim) {
+            return Err(err(format!("{path}: inconsistent vector dimensions")));
+        }
+    }
+    Ok(vectors)
+}
+
+fn read_words(path: &str) -> CliResult<Vec<String>> {
+    let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+enum QueryKind {
+    Range(f64),
+    Knn(usize),
+}
+
+fn query_kind(args: &Args<'_>) -> CliResult<QueryKind> {
+    match (args.get("range"), args.get("knn")) {
+        (Some(r), None) => Ok(QueryKind::Range(r.parse().map_err(|_| {
+            err(format!("invalid value for --range: `{r}`"))
+        })?)),
+        (None, Some(k)) => Ok(QueryKind::Knn(k.parse().map_err(|_| {
+            err(format!("invalid value for --knn: `{k}`"))
+        })?)),
+        _ => Err(err("query needs exactly one of --range R or --knn K")),
+    }
+}
+
+fn run_structure_query<T: Clone + 'static, M: Metric<T> + Clone + 'static>(
+    items: Vec<T>,
+    metric: M,
+    structure: &str,
+    seed: u64,
+    query: &T,
+    kind: &QueryKind,
+) -> CliResult<(Vec<Neighbor>, u64, usize)> {
+    let counted = Counted::new(metric);
+    let probe = counted.clone();
+    let n = items.len();
+    let index: Box<dyn MetricIndex<T>> = match structure {
+        "mvp" => Box::new(
+            MvpTree::build(items, counted, MvpParams::paper(3, 80, 5).seed(seed))
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        "vp" => Box::new(
+            VpTree::build(items, counted, VpTreeParams::binary().seed(seed))
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        "linear" => Box::new(LinearScan::new(items, counted)),
+        other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
+    };
+    probe.reset();
+    let mut results = match kind {
+        QueryKind::Range(r) => {
+            let mut v = index.range(query, *r);
+            v.sort_unstable();
+            v
+        }
+        QueryKind::Knn(k) => index.knn(query, *k),
+    };
+    let cost = probe.take();
+    results.truncate(1000); // terminal sanity for huge result sets
+    Ok((results, cost, n))
+}
+
+fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let data = args.required("data")?;
+    let metric_name = args.get("metric").unwrap_or("l2");
+    let structure = args.get("structure").unwrap_or("mvp");
+    let seed: u64 = args.parsed("seed", 0)?;
+    let kind = query_kind(&args)?;
+    let query_text = args.required("query")?;
+
+    let (results, cost, n) = if metric_name == "edit" {
+        let words = read_words(data)?;
+        run_structure_query(
+            words,
+            Levenshtein,
+            structure,
+            seed,
+            &query_text.to_string(),
+            &kind,
+        )?
+    } else {
+        let vectors = read_vectors(data)?;
+        let query: Vec<f64> = query_text
+            .split(',')
+            .map(|c| c.trim().parse())
+            .collect::<std::result::Result<_, _>>()
+            .map_err(|_| err("query must be a comma-separated float vector"))?;
+        if let Some(first) = vectors.first() {
+            if first.len() != query.len() {
+                return Err(err(format!(
+                    "query has {} dimensions, data has {}",
+                    query.len(),
+                    first.len()
+                )));
+            }
+        }
+        match metric_name {
+            "l2" => run_structure_query(vectors, Euclidean, structure, seed, &query, &kind)?,
+            "l1" => run_structure_query(vectors, Manhattan, structure, seed, &query, &kind)?,
+            "linf" => run_structure_query(vectors, Chebyshev, structure, seed, &query, &kind)?,
+            other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
+        }
+    };
+
+    let _ = writeln!(out, "{} results:", results.len());
+    for r in &results {
+        let _ = writeln!(out, "  id {:>6}  distance {:.6}", r.id, r.distance);
+    }
+    let _ = writeln!(
+        out,
+        "cost: {cost} distance computations over {n} items ({:.1}% of linear scan)",
+        100.0 * cost as f64 / n.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let data = args.required("data")?;
+    let metric_name = args.get("metric").unwrap_or("l2");
+    let bin: f64 = args.parsed("bin", 0.05)?;
+
+    fn report<T, M: Metric<T> + Sync>(
+        items: &[T],
+        metric: &M,
+        bin: f64,
+        out: &mut String,
+    ) -> CliResult<()>
+    where
+        T: Sync,
+    {
+        let hist = DistanceHistogram::pairwise(items, metric, bin, 1)
+            .map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(out, "items: {}", items.len());
+        let _ = writeln!(out, "pairwise distances: {}", hist.total());
+        let _ = writeln!(
+            out,
+            "min {:.4}  mean {:.4}  max {:.4}  mode-bin {:.4}",
+            hist.min(),
+            hist.mean(),
+            hist.max(),
+            hist.mode_bin().unwrap_or(f64::NAN)
+        );
+        if let (Some(q01), Some(q05)) = (hist.quantile(0.01), hist.quantile(0.05)) {
+            let _ = writeln!(
+                out,
+                "suggested range-query radii: selective ~{q01:.4} (1% of pairs), broad ~{q05:.4} (5%)"
+            );
+        }
+        for (edge, count) in hist.downsample(20) {
+            let bar = "#".repeat(((count as f64).sqrt() as usize).min(60));
+            let _ = writeln!(out, "  {edge:>10.3} {count:>10} {bar}");
+        }
+        Ok(())
+    }
+
+    if metric_name == "edit" {
+        let words = read_words(data)?;
+        report(&words, &Levenshtein, bin.max(1.0), out)
+    } else {
+        let vectors = read_vectors(data)?;
+        match metric_name {
+            "l2" => report(&vectors, &Euclidean, bin, out),
+            "l1" => report(&vectors, &Manhattan, bin, out),
+            "linf" => report(&vectors, &Chebyshev, bin, out),
+            other => Err(err(format!("unknown metric `{other}`"))),
+        }
+    }
+}
+
+fn cmd_experiment(argv: &[String], out: &mut String) -> CliResult<()> {
+    let name = argv
+        .first()
+        .ok_or_else(|| err("experiment needs a name (fig04..fig11, ablation_k, ...)"))?;
+    let args = Args::parse(&argv[1..])?;
+    let scale = match args.get("scale").unwrap_or("quick") {
+        "full" => Scale::Full,
+        "quick" => Scale::Quick,
+        other => return Err(err(format!("unknown scale `{other}` (quick|full)"))),
+    };
+    use vantage_experiments::{ablations, figures};
+    let report = match name.as_str() {
+        "fig04" => figures::fig04(scale),
+        "fig05" => figures::fig05(scale),
+        "fig06" => figures::fig06(scale),
+        "fig07" => figures::fig07(scale),
+        "fig08" => figures::fig08(scale),
+        "fig09" => figures::fig09(scale),
+        "fig10" => figures::fig10(scale),
+        "fig11" => figures::fig11(scale),
+        "ablation_k" => ablations::ablation_leaf_capacity(scale),
+        "ablation_p" => ablations::ablation_path_p(scale),
+        "ablation_m" => ablations::ablation_order_m(scale),
+        "ablation_vp" => ablations::ablation_vantage_selection(scale),
+        "construction" => ablations::construction_cost(scale),
+        "comparators" => ablations::comparators(scale),
+        "knn" => ablations::knn_cost(scale),
+        other => return Err(err(format!("unknown experiment `{other}`"))),
+    };
+    out.push_str(&report.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(argv: &[&str]) -> String {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        run(&argv, &mut out).unwrap_or_else(|e| panic!("cli failed: {e}"));
+        out
+    }
+
+    fn run_err(argv: &[&str]) -> CliError {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        run(&argv, &mut out).expect_err("cli should fail")
+    }
+
+    fn temp_path(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vantage-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+        assert!(run_ok(&[]).contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run_err(&["frobnicate"]);
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_uniform_to_stdout() {
+        let out = run_ok(&[
+            "generate", "uniform", "--n", "5", "--dim", "3", "--seed", "1",
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].split(',').count(), 3);
+    }
+
+    #[test]
+    fn generate_words_deterministic() {
+        let a = run_ok(&["generate", "words", "--n", "4", "--seed", "9"]);
+        let b = run_ok(&["generate", "words", "--n", "4", "--seed", "9"]);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 4);
+    }
+
+    #[test]
+    fn query_roundtrip_through_file() {
+        let path = temp_path("vectors.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "200", "--dim", "4", "--seed", "3", "--out", &path,
+        ]);
+        let out = run_ok(&[
+            "query", "--data", &path, "--metric", "l2", "--structure", "mvp", "--knn", "3",
+            "--query", "0.5,0.5,0.5,0.5",
+        ]);
+        assert!(out.contains("3 results"), "{out}");
+        assert!(out.contains("distance computations"));
+        // Linear scan agrees on the same file.
+        let lin = run_ok(&[
+            "query", "--data", &path, "--structure", "linear", "--knn", "3", "--query",
+            "0.5,0.5,0.5,0.5",
+        ]);
+        let pick = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with("id"))
+                .map(|l| l.trim().to_string())
+                .collect()
+        };
+        assert_eq!(pick(&out), pick(&lin));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn edit_metric_query_on_words() {
+        let path = temp_path("words.txt");
+        std::fs::write(&path, "hello\nhallo\nworld\nhelp\n").unwrap();
+        // hello: 1 edit; hallo and help: 2 edits; world: 4.
+        let out = run_ok(&[
+            "query", "--data", &path, "--metric", "edit", "--range", "2", "--query", "hella",
+        ]);
+        assert!(out.contains("3 results"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_prints_histogram() {
+        let path = temp_path("stats.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "50", "--dim", "3", "--seed", "4", "--out", &path,
+        ]);
+        let out = run_ok(&["stats", "--data", &path]);
+        assert!(out.contains("pairwise distances: 1225"));
+        assert!(out.contains("mode-bin"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn query_validates_flags() {
+        assert!(run_err(&["query", "--data", "x.csv"]).0.contains("--range"));
+        assert!(run_err(&["query", "--data", "/nonexistent.csv", "--range", "1", "--query", "1"])
+            .0
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let path = temp_path("dim.csv");
+        std::fs::write(&path, "1,2,3\n4,5,6\n").unwrap();
+        let e = run_err(&[
+            "query", "--data", &path, "--range", "1", "--query", "1,2",
+        ]);
+        assert!(e.0.contains("dimensions"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_csv_is_reported_with_line() {
+        let path = temp_path("bad.csv");
+        std::fs::write(&path, "1,2\n1,oops\n").unwrap();
+        let e = run_err(&["stats", "--data", &path]);
+        assert!(e.0.contains(":2:"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn experiment_rejects_unknown_names() {
+        assert!(run_err(&["experiment", "fig99"]).0.contains("unknown experiment"));
+        assert!(run_err(&["experiment", "fig08", "--scale", "huge"])
+            .0
+            .contains("unknown scale"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Distance-computation counting.
+//!
+//! The paper's cost measure (§5): *"Since the distance computations are
+//! very costly for high-dimensional metric spaces, we use the number of
+//! distance computations as the cost measure."* [`Counted`] wraps any
+//! metric and counts every evaluation, letting the experiment harness
+//! reproduce the paper's y-axes exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metric::{DiscreteMetric, Metric};
+
+/// A metric wrapper that counts how many times `distance` is invoked.
+///
+/// The counter is shared through an [`Arc`], so cloning a `Counted` yields
+/// a handle onto the *same* counter: hand one clone to an index at
+/// construction time and keep another to read the tally. Counting uses
+/// relaxed atomics; the overhead is a few nanoseconds per call, negligible
+/// next to the high-dimensional distances being counted.
+///
+/// ```
+/// use vantage_core::prelude::*;
+///
+/// let metric = Counted::new(Euclidean);
+/// let probe = metric.clone();
+/// let scan = LinearScan::new(vec![vec![0.0], vec![1.0]], metric);
+/// scan.range(&vec![0.5], 10.0);
+/// assert_eq!(probe.count(), 2); // one distance per data object
+/// ```
+#[derive(Debug)]
+pub struct Counted<M> {
+    inner: M,
+    counter: Arc<AtomicU64>,
+}
+
+impl<M> Counted<M> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: M) -> Self {
+        Counted {
+            inner,
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of distance evaluations since construction or the last
+    /// [`reset`](Counted::reset).
+    pub fn count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero (affects all clones).
+    pub fn reset(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the counter value and resets it in one step.
+    pub fn take(&self) -> u64 {
+        self.counter.swap(0, Ordering::Relaxed)
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Clone> Clone for Counted<M> {
+    fn clone(&self) -> Self {
+        Counted {
+            inner: self.inner.clone(),
+            counter: Arc::clone(&self.counter),
+        }
+    }
+}
+
+impl<T: ?Sized, M: Metric<T>> Metric<T> for Counted<M> {
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance(a, b)
+    }
+}
+
+impl<T: ?Sized, M: DiscreteMetric<T>> DiscreteMetric<T> for Counted<M> {
+    fn distance_u(&self, a: &T, b: &T) -> u64 {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance_u(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::edit::Levenshtein;
+    use crate::metrics::minkowski::Euclidean;
+
+    #[test]
+    fn counts_each_evaluation() {
+        let m = Counted::new(Euclidean);
+        let a = vec![0.0];
+        let b = vec![1.0];
+        assert_eq!(m.count(), 0);
+        m.distance(&a, &b);
+        m.distance(&a, &b);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let m = Counted::new(Euclidean);
+        let probe = m.clone();
+        m.distance(&vec![0.0], &vec![1.0]);
+        assert_eq!(probe.count(), 1);
+        probe.reset();
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn take_reads_and_resets() {
+        let m = Counted::new(Euclidean);
+        m.distance(&vec![0.0], &vec![2.0]);
+        assert_eq!(m.take(), 1);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn discrete_counting_counts_too() {
+        let m = Counted::new(Levenshtein);
+        let d = m.distance_u(&"kitten".to_string(), &"sitting".to_string());
+        assert_eq!(d, 3);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn preserves_wrapped_distance() {
+        let m = Counted::new(Euclidean);
+        assert_eq!(m.distance(&vec![0.0, 0.0], &vec![3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias using [`VantageError`].
+pub type Result<T> = std::result::Result<T, VantageError>;
+
+/// Errors produced while constructing or querying index structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VantageError {
+    /// A structural parameter (order, leaf capacity, …) was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two objects fed to a fixed-dimension metric had mismatched shapes.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+}
+
+impl VantageError {
+    /// Shorthand for [`VantageError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        VantageError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for VantageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VantageError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            VantageError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VantageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_parameter_errors() {
+        let e = VantageError::invalid_parameter("m", "must be at least 2");
+        assert_eq!(e.to_string(), "invalid parameter `m`: must be at least 2");
+    }
+
+    #[test]
+    fn display_formats_dimension_errors() {
+        let e = VantageError::DimensionMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "dimension mismatch: 3 vs 5");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&VantageError::invalid_parameter("k", "zero"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Bounded best-`k` collection for nearest-neighbor search.
+
+use std::collections::BinaryHeap;
+
+use crate::query::Neighbor;
+
+/// Collects the `k` smallest-distance neighbors seen so far and exposes the
+/// current pruning radius (the k-th best distance).
+///
+/// This is the shared kernel of every kNN implementation in the workspace:
+/// branch-and-bound tree searches treat [`radius`](KnnCollector::radius) as
+/// a dynamically shrinking query range, exactly the classic reduction of a
+/// nearest-neighbor query to a sequence of range queries (\[Chi94\],
+/// discussed in paper §3.2).
+#[derive(Debug, Clone)]
+pub struct KnnCollector {
+    k: usize,
+    // Max-heap on distance: the root is the current worst of the best k.
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl KnnCollector {
+    /// Creates a collector for the best `k` neighbors.
+    pub fn new(k: usize) -> Self {
+        KnnCollector {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// The requested result size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbors currently held (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no neighbor has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current pruning radius: the k-th best distance seen, or `+∞` while
+    /// fewer than `k` neighbors have been collected.
+    ///
+    /// A candidate subtree whose lower-bound distance exceeds this radius
+    /// cannot contribute to the answer and may be pruned.
+    pub fn radius(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |n| n.distance)
+        }
+    }
+
+    /// Offers a candidate; it is kept only if it improves the best `k`.
+    /// Returns `true` when the candidate was retained.
+    pub fn offer(&mut self, id: usize, distance: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor::new(id, distance));
+            return true;
+        }
+        // Strict comparison: on exact ties the incumbent is kept, which
+        // makes results insensitive to visit order up to tie identity.
+        let worst = self.heap.peek().expect("heap holds k > 0 entries");
+        if distance < worst.distance {
+            self.heap.pop();
+            self.heap.push(Neighbor::new(id, distance));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the collector, returning neighbors sorted by ascending
+    /// distance (ties by id).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_best_k() {
+        let mut c = KnnCollector::new(2);
+        c.offer(0, 5.0);
+        c.offer(1, 1.0);
+        c.offer(2, 3.0);
+        c.offer(3, 0.5);
+        let out = c.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 3);
+        assert_eq!(out[1].id, 1);
+    }
+
+    #[test]
+    fn radius_is_infinite_until_full() {
+        let mut c = KnnCollector::new(3);
+        assert_eq!(c.radius(), f64::INFINITY);
+        c.offer(0, 1.0);
+        c.offer(1, 2.0);
+        assert_eq!(c.radius(), f64::INFINITY);
+        c.offer(2, 3.0);
+        assert_eq!(c.radius(), 3.0);
+        c.offer(3, 0.1);
+        assert_eq!(c.radius(), 2.0);
+    }
+
+    #[test]
+    fn k_zero_accepts_nothing() {
+        let mut c = KnnCollector::new(0);
+        assert!(!c.offer(0, 0.0));
+        assert!(c.into_sorted().is_empty());
+        let c = KnnCollector::new(0);
+        assert_eq!(c.radius(), f64::INFINITY);
+    }
+
+    #[test]
+    fn ties_keep_the_incumbent() {
+        let mut c = KnnCollector::new(1);
+        assert!(c.offer(7, 2.0));
+        assert!(!c.offer(9, 2.0));
+        assert_eq!(c.into_sorted()[0].id, 7);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut c = KnnCollector::new(10);
+        c.offer(0, 1.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.into_sorted().len(), 1);
+    }
+}

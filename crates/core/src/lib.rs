@@ -1,0 +1,93 @@
+//! # vantage-core
+//!
+//! Foundations for distance-based indexing of high-dimensional metric
+//! spaces, reproducing the substrate assumed by Bozkaya & Özsoyoğlu,
+//! *"Distance-Based Indexing for High-Dimensional Metric Spaces"*
+//! (SIGMOD 1997).
+//!
+//! A *metric space* is a set of objects together with a distance function
+//! `d` satisfying symmetry, non-negativity, identity of indiscernibles and
+//! the triangle inequality (paper §2). Distance-based index structures rely
+//! on nothing else — no coordinates, no geometry — which is what lets them
+//! serve image, sequence and text workloads alike.
+//!
+//! This crate provides:
+//!
+//! * the [`Metric`] and [`DiscreteMetric`] traits ([`metric`]);
+//! * a library of concrete metrics: Minkowski/Lp norms, weighted Lp,
+//!   Levenshtein edit distance, Hamming distance, gray-level image L1/L2
+//!   with the paper's normalizations, and histogram distances
+//!   ([`metrics`]);
+//! * the [`Counted`] wrapper that counts distance evaluations — the paper's
+//!   cost measure ([`counting`]);
+//! * query vocabulary: [`Neighbor`], the [`MetricIndex`] trait and kNN
+//!   collection helpers ([`query`], [`index`], [`knn`]);
+//! * the exhaustive [`LinearScan`] baseline every index is tested against
+//!   ([`linear`]);
+//! * pairwise distance statistics used to regenerate the paper's
+//!   distance-distribution histograms, Figures 4–7 ([`stats`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vantage_core::prelude::*;
+//!
+//! let points: Vec<Vec<f64>> = vec![
+//!     vec![0.0, 0.0],
+//!     vec![1.0, 0.0],
+//!     vec![0.0, 3.0],
+//! ];
+//! let scan = LinearScan::new(points, Euclidean);
+//! let hits = scan.range(&vec![0.1, 0.0], 1.0);
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counting;
+pub mod error;
+pub mod farthest;
+pub mod index;
+pub mod knn;
+pub mod linear;
+pub mod metric;
+pub mod metrics;
+pub mod query;
+pub mod select;
+pub mod stats;
+pub mod util;
+
+pub use counting::Counted;
+pub use error::{Result, VantageError};
+pub use farthest::{FarthestIndex, KfnCollector};
+pub use index::MetricIndex;
+pub use knn::KnnCollector;
+pub use linear::LinearScan;
+pub use metric::{DiscreteMetric, Metric};
+pub use query::Neighbor;
+pub use select::VantageSelector;
+pub use stats::DistanceHistogram;
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::counting::Counted;
+    pub use crate::error::{Result, VantageError};
+    pub use crate::farthest::{FarthestIndex, KfnCollector};
+    pub use crate::index::MetricIndex;
+    pub use crate::knn::KnnCollector;
+    pub use crate::linear::LinearScan;
+    pub use crate::metric::{DiscreteMetric, Metric};
+    pub use crate::metrics::angular::Angular;
+    pub use crate::metrics::edit::Levenshtein;
+    pub use crate::metrics::hamming::Hamming;
+    pub use crate::metrics::histogram::{gray_histogram, HistogramL1};
+    pub use crate::metrics::jaccard::{sorted_set, Jaccard};
+    pub use crate::metrics::image::{GrayImage, ImageL1, ImageL2};
+    pub use crate::metrics::minkowski::{Chebyshev, Euclidean, Manhattan, Minkowski};
+    pub use crate::metrics::weighted::WeightedLp;
+    pub use crate::query::Neighbor;
+    pub use crate::select::VantageSelector;
+    pub use crate::stats::DistanceHistogram;
+}

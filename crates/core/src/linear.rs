@@ -1,0 +1,128 @@
+//! Exhaustive linear scan — the correctness oracle and the `O(N)` cost
+//! ceiling every distance-based index is measured against (paper §4.3:
+//! *"even in the worst case, the number of distance computations made by
+//! the search algorithm is far less than N"*).
+
+use crate::index::MetricIndex;
+use crate::knn::KnnCollector;
+use crate::metric::Metric;
+use crate::query::Neighbor;
+
+/// A brute-force index that evaluates the metric against every object.
+///
+/// `LinearScan` performs exactly `N` distance computations per query,
+/// making it both the baseline the paper's savings are relative to and the
+/// oracle the tree structures are validated against.
+#[derive(Debug, Clone)]
+pub struct LinearScan<T, M> {
+    items: Vec<T>,
+    metric: M,
+}
+
+impl<T, M: Metric<T>> LinearScan<T, M> {
+    /// Builds a linear-scan "index" over `items`. No distance computations
+    /// are performed at construction time.
+    pub fn new(items: Vec<T>, metric: M) -> Self {
+        LinearScan { items, metric }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// All indexed items, in insertion order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the scan, returning the items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T, M: Metric<T>> MetricIndex<T> for LinearScan<T, M> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, id: usize) -> Option<&T> {
+        self.items.get(id)
+    }
+
+    fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter_map(|(id, item)| {
+                let d = self.metric.distance(query, item);
+                (d <= radius).then_some(Neighbor::new(id, d))
+            })
+            .collect()
+    }
+
+    fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        for (id, item) in self.items.iter().enumerate() {
+            collector.offer(id, self.metric.distance(query, item));
+        }
+        collector.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::minkowski::Euclidean;
+
+    fn scan() -> LinearScan<Vec<f64>, Euclidean> {
+        LinearScan::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]],
+            Euclidean,
+        )
+    }
+
+    #[test]
+    fn range_includes_boundary() {
+        let s = scan();
+        let mut hits = s.range(&vec![0.0], 2.0);
+        hits.sort_unstable_by_key(|n| n.id);
+        let ids: Vec<_> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_zero_radius_finds_exact_matches() {
+        let s = scan();
+        let hits = s.range(&vec![10.0], 0.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn knn_returns_sorted_distances() {
+        let s = scan();
+        let out = s.knn(&vec![1.2], 3);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].distance <= out[1].distance);
+        assert!(out[1].distance <= out[2].distance);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_n_returns_all() {
+        let s = scan();
+        assert_eq!(s.knn(&vec![0.0], 99).len(), 4);
+    }
+
+    #[test]
+    fn empty_scan_is_empty() {
+        let s: LinearScan<Vec<f64>, Euclidean> = LinearScan::new(vec![], Euclidean);
+        assert!(s.is_empty());
+        assert!(s.range(&vec![0.0], 1.0).is_empty());
+        assert!(s.knn(&vec![0.0], 3).is_empty());
+        assert!(s.get(0).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! The [`Metric`] and [`DiscreteMetric`] traits.
+//!
+//! A metric distance function `d(x, y)` must satisfy (paper §2):
+//!
+//! 1. symmetry: `d(x, y) = d(y, x)`;
+//! 2. non-negativity: `0 < d(x, y) < ∞` for `x ≠ y`;
+//! 3. identity: `d(x, x) = 0`;
+//! 4. the triangle inequality: `d(x, y) ≤ d(x, z) + d(z, y)`.
+//!
+//! Every index structure in the workspace relies on *only* these axioms —
+//! never on coordinates or geometry — so anything implementing [`Metric`]
+//! can be indexed, including non-spatial domains such as strings under edit
+//! distance.
+
+/// A metric distance function over values of type `T`.
+///
+/// Implementations must uphold the four metric axioms listed in the module
+/// documentation; the index structures prune subtrees with the triangle
+/// inequality, so a non-metric "distance" silently produces wrong (missed)
+/// query results. The property-test suite checks the axioms for every
+/// metric shipped in this workspace.
+///
+/// Metrics are passed by reference and may be stateful (see
+/// [`Counted`](crate::counting::Counted)), but `distance` must be pure with
+/// respect to its arguments: the same pair always yields the same value.
+pub trait Metric<T: ?Sized> {
+    /// Computes the distance between `a` and `b`.
+    ///
+    /// The returned value must be finite and non-negative for all inputs
+    /// the embedding application can produce.
+    fn distance(&self, a: &T, b: &T) -> f64;
+}
+
+/// A metric whose distances are always non-negative integers.
+///
+/// Burkhard–Keller trees (\[BK73\], reviewed in paper §3.2) bucket children
+/// by exact integer distance and therefore require a discrete metric.
+/// Implementors must keep [`Metric::distance`] consistent:
+/// `self.distance(a, b) == self.distance_u(a, b) as f64`.
+pub trait DiscreteMetric<T: ?Sized>: Metric<T> {
+    /// Computes the distance between `a` and `b` as an integer.
+    fn distance_u(&self, a: &T, b: &T) -> u64;
+}
+
+impl<T: ?Sized, M: Metric<T> + ?Sized> Metric<T> for &M {
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+impl<T: ?Sized, M: DiscreteMetric<T> + ?Sized> DiscreteMetric<T> for &M {
+    fn distance_u(&self, a: &T, b: &T) -> u64 {
+        (**self).distance_u(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::minkowski::Euclidean;
+
+    #[test]
+    fn metric_impl_for_reference_delegates() {
+        let m = Euclidean;
+        let r = &m;
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(r.distance(&a, &b), 5.0);
+        assert_eq!(Metric::distance(&&r, &a, &b), 5.0);
+    }
+}

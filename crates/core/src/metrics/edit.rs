@@ -1,0 +1,184 @@
+//! Levenshtein edit distance.
+//!
+//! The paper motivates distance-based indexing for *"domains where the data
+//! is non-spatial … such as in the case of text databases which generally
+//! use the edit distance (which is metric)"* (§3.1). The edit distance is
+//! the minimum number of single-character insertions, deletions and
+//! substitutions transforming one string into the other; with unit costs it
+//! is a metric on strings.
+//!
+//! Implementation notes: two-row dynamic programming, `O(|a|·|b|)` time and
+//! `O(min(|a|, |b|))` space, operating on `char`s so multi-byte UTF-8 is
+//! handled correctly. [`Levenshtein::distance_within`] adds the classic
+//! early-exit band check used when an upper bound is known (e.g. a range
+//! query radius), which does not change any reported *count* of distance
+//! computations — a bounded evaluation is still one evaluation.
+
+use crate::metric::{DiscreteMetric, Metric};
+
+/// Unit-cost Levenshtein edit distance over strings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Levenshtein;
+
+impl Levenshtein {
+    /// Computes the edit distance between `a` and `b`.
+    pub fn edit_distance(a: &str, b: &str) -> u64 {
+        let (short, long): (Vec<char>, Vec<char>) = {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            if ac.len() <= bc.len() {
+                (ac, bc)
+            } else {
+                (bc, ac)
+            }
+        };
+        if short.is_empty() {
+            return long.len() as u64;
+        }
+        let mut row: Vec<u64> = (0..=short.len() as u64).collect();
+        for (i, lc) in long.iter().enumerate() {
+            let mut prev_diag = row[0];
+            row[0] = i as u64 + 1;
+            for (j, sc) in short.iter().enumerate() {
+                let substitution = prev_diag + u64::from(lc != sc);
+                let insertion = row[j] + 1;
+                let deletion = row[j + 1] + 1;
+                prev_diag = row[j + 1];
+                row[j + 1] = substitution.min(insertion).min(deletion);
+            }
+        }
+        row[short.len()]
+    }
+
+    /// Computes the edit distance, returning `None` as soon as it can prove
+    /// the distance exceeds `bound` (Ukkonen-style band cutoff).
+    pub fn distance_within(a: &str, b: &str, bound: u64) -> Option<u64> {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let (short, long) = if ac.len() <= bc.len() { (ac, bc) } else { (bc, ac) };
+        if (long.len() - short.len()) as u64 > bound {
+            return None;
+        }
+        if short.is_empty() {
+            return Some(long.len() as u64);
+        }
+        let mut row: Vec<u64> = (0..=short.len() as u64).collect();
+        for (i, lc) in long.iter().enumerate() {
+            let mut prev_diag = row[0];
+            row[0] = i as u64 + 1;
+            let mut row_min = row[0];
+            for (j, sc) in short.iter().enumerate() {
+                let substitution = prev_diag + u64::from(lc != sc);
+                let insertion = row[j] + 1;
+                let deletion = row[j + 1] + 1;
+                prev_diag = row[j + 1];
+                row[j + 1] = substitution.min(insertion).min(deletion);
+                row_min = row_min.min(row[j + 1]);
+            }
+            if row_min > bound {
+                return None;
+            }
+        }
+        let d = row[short.len()];
+        (d <= bound).then_some(d)
+    }
+}
+
+impl Metric<str> for Levenshtein {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        Levenshtein::edit_distance(a, b) as f64
+    }
+}
+
+impl DiscreteMetric<str> for Levenshtein {
+    fn distance_u(&self, a: &str, b: &str) -> u64 {
+        Levenshtein::edit_distance(a, b)
+    }
+}
+
+impl Metric<String> for Levenshtein {
+    fn distance(&self, a: &String, b: &String) -> f64 {
+        Levenshtein::edit_distance(a, b) as f64
+    }
+}
+
+impl DiscreteMetric<String> for Levenshtein {
+    fn distance_u(&self, a: &String, b: &String) -> u64 {
+        Levenshtein::edit_distance(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(a: &str, b: &str) -> u64 {
+        Levenshtein::edit_distance(a, b)
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(d("kitten", "sitting"), 3);
+        assert_eq!(d("flaw", "lawn"), 2);
+        assert_eq!(d("intention", "execution"), 5);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(d("", ""), 0);
+        assert_eq!(d("", "abc"), 3);
+        assert_eq!(d("abc", ""), 3);
+    }
+
+    #[test]
+    fn identical_strings_are_zero() {
+        assert_eq!(d("same", "same"), 0);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(d("cat", "cut"), 1); // substitution
+        assert_eq!(d("cat", "cats"), 1); // insertion
+        assert_eq!(d("cat", "at"), 1); // deletion
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(d("abcdef", "azced"), d("azced", "abcdef"));
+    }
+
+    #[test]
+    fn multibyte_utf8_counts_chars_not_bytes() {
+        assert_eq!(d("héllo", "hello"), 1);
+        assert_eq!(d("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn distance_within_matches_exact_when_bounded() {
+        let cases = [("kitten", "sitting"), ("", "abc"), ("abc", "abc")];
+        for (a, b) in cases {
+            let exact = d(a, b);
+            assert_eq!(Levenshtein::distance_within(a, b, exact), Some(exact));
+            assert_eq!(Levenshtein::distance_within(a, b, exact + 5), Some(exact));
+            if exact > 0 {
+                assert_eq!(Levenshtein::distance_within(a, b, exact - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_within_length_shortcut() {
+        assert_eq!(Levenshtein::distance_within("a", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn metric_impls_agree() {
+        let a = "vantage".to_string();
+        let b = "advantage".to_string();
+        let cont: f64 = Metric::<String>::distance(&Levenshtein, &a, &b);
+        let disc: u64 = DiscreteMetric::<String>::distance_u(&Levenshtein, &a, &b);
+        assert_eq!(cont, disc as f64);
+        assert_eq!(disc, 2);
+    }
+}

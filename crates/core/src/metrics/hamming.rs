@@ -1,0 +1,137 @@
+//! Hamming distance with a length-difference extension.
+//!
+//! On equal-length sequences this is the classic Hamming distance (number
+//! of mismatching positions) — the metric of Burkhard & Keller's original
+//! key-matching application \[BK73\]. To stay total over sequences of
+//! *different* lengths (a metric must be defined on the whole domain), the
+//! surplus positions of the longer sequence each count as one mismatch:
+//!
+//! `d(a, b) = |{i < min : a_i ≠ b_i}| + (max − min)`
+//!
+//! which is exactly Hamming distance after padding the shorter sequence
+//! with a symbol outside the alphabet, hence still a metric.
+
+use crate::metric::{DiscreteMetric, Metric};
+
+/// Hamming distance over byte sequences and strings (by `char`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hamming;
+
+impl Hamming {
+    /// Hamming distance between two byte slices (with the length-difference
+    /// extension).
+    pub fn bytes(a: &[u8], b: &[u8]) -> u64 {
+        let mismatches = a.iter().zip(b).filter(|(x, y)| x != y).count();
+        let tail = a.len().abs_diff(b.len());
+        (mismatches + tail) as u64
+    }
+
+    /// Hamming distance between two strings, by `char`.
+    pub fn chars(a: &str, b: &str) -> u64 {
+        let mut ai = a.chars();
+        let mut bi = b.chars();
+        let mut d = 0u64;
+        loop {
+            match (ai.next(), bi.next()) {
+                (Some(x), Some(y)) => d += u64::from(x != y),
+                (Some(_), None) | (None, Some(_)) => d += 1,
+                (None, None) => return d,
+            }
+        }
+    }
+}
+
+impl Metric<[u8]> for Hamming {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        Hamming::bytes(a, b) as f64
+    }
+}
+
+impl DiscreteMetric<[u8]> for Hamming {
+    fn distance_u(&self, a: &[u8], b: &[u8]) -> u64 {
+        Hamming::bytes(a, b)
+    }
+}
+
+impl Metric<Vec<u8>> for Hamming {
+    fn distance(&self, a: &Vec<u8>, b: &Vec<u8>) -> f64 {
+        Hamming::bytes(a, b) as f64
+    }
+}
+
+impl DiscreteMetric<Vec<u8>> for Hamming {
+    fn distance_u(&self, a: &Vec<u8>, b: &Vec<u8>) -> u64 {
+        Hamming::bytes(a, b)
+    }
+}
+
+impl Metric<String> for Hamming {
+    fn distance(&self, a: &String, b: &String) -> f64 {
+        Hamming::chars(a, b) as f64
+    }
+}
+
+impl DiscreteMetric<String> for Hamming {
+    fn distance_u(&self, a: &String, b: &String) -> u64 {
+        Hamming::chars(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_length_counts_mismatches() {
+        assert_eq!(Hamming::bytes(b"karolin", b"kathrin"), 3);
+        assert_eq!(Hamming::bytes(b"1011101", b"1001001"), 2);
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        assert_eq!(Hamming::bytes(b"abc", b"abc"), 0);
+        assert_eq!(Hamming::chars("日本", "日本"), 0);
+    }
+
+    #[test]
+    fn length_difference_counts_fully() {
+        assert_eq!(Hamming::bytes(b"abc", b"abcd"), 1);
+        assert_eq!(Hamming::bytes(b"", b"xyz"), 3);
+    }
+
+    #[test]
+    fn mixed_mismatch_and_tail() {
+        // positions: a≠x, b≠b(match), tail "cd" = 2
+        assert_eq!(Hamming::bytes(b"ab", b"xbcd"), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(Hamming::bytes(b"foo", b"foobar"), Hamming::bytes(b"foobar", b"foo"));
+    }
+
+    #[test]
+    fn char_based_handles_multibyte() {
+        assert_eq!(Hamming::chars("héllo", "hello"), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = (b"abcde".as_slice(), b"abxde".as_slice(), b"zzzde".as_slice());
+        let ab = Hamming::bytes(a, b);
+        let bc = Hamming::bytes(b, c);
+        let ac = Hamming::bytes(a, c);
+        assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn metric_and_discrete_agree() {
+        let a = vec![1u8, 2, 3];
+        let b = vec![1u8, 9, 3, 7];
+        assert_eq!(
+            Metric::<Vec<u8>>::distance(&Hamming, &a, &b),
+            DiscreteMetric::<Vec<u8>>::distance_u(&Hamming, &a, &b) as f64
+        );
+    }
+}

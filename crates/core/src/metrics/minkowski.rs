@@ -1,0 +1,202 @@
+//! Minkowski (Lp) metrics on real vectors.
+//!
+//! The paper (§5.1) defines `Dp(X, Y) = (Σ |x_i − y_i|^p)^(1/p)` and uses
+//! L2 (Euclidean) for the 20-dimensional vector experiments and L1/L2 for
+//! the image experiments. [`Manhattan`], [`Euclidean`] and [`Chebyshev`]
+//! are dedicated (and faster) implementations of the common cases; the
+//! general [`Minkowski`] covers any `p ≥ 1`.
+//!
+//! All Lp metrics here operate on `[f64]` slices and `Vec<f64>` and
+//! **panic on dimension mismatch** — feeding differently-shaped vectors to
+//! one index is a programming error, not a runtime condition.
+
+use crate::metric::Metric;
+
+#[inline]
+fn check_dims(a: &[f64], b: &[f64]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "Lp metric requires equal dimensionality ({} vs {})",
+        a.len(),
+        b.len()
+    );
+}
+
+/// The L1 (city-block / taxicab) metric: `Σ |x_i − y_i|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Manhattan;
+
+/// The L2 (Euclidean) metric: `sqrt(Σ (x_i − y_i)²)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Euclidean;
+
+/// The L∞ (Chebyshev / maximum) metric: `max |x_i − y_i|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Chebyshev;
+
+/// The general Lp metric for a fixed exponent `p ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates the Lp metric. Requires `p ≥ 1` for the triangle inequality
+    /// (Minkowski's inequality) to hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VantageError::InvalidParameter`](crate::VantageError) when
+    /// `p < 1` or `p` is not finite.
+    pub fn new(p: f64) -> crate::Result<Self> {
+        if !p.is_finite() || p < 1.0 {
+            return Err(crate::VantageError::invalid_parameter(
+                "p",
+                format!("Lp requires finite p >= 1, got {p}"),
+            ));
+        }
+        Ok(Minkowski { p })
+    }
+
+    /// The exponent.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<[f64]> for Manhattan {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+}
+
+impl Metric<[f64]> for Euclidean {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Metric<[f64]> for Chebyshev {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Metric<[f64]> for Minkowski {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum::<f64>()
+            .powf(self.p.recip())
+    }
+}
+
+macro_rules! delegate_vec_impl {
+    ($($metric:ty),+ $(,)?) => {
+        $(
+            impl Metric<Vec<f64>> for $metric {
+                fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+                    Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
+                }
+            }
+        )+
+    };
+}
+
+delegate_vec_impl!(Manhattan, Euclidean, Chebyshev, Minkowski);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn manhattan_sums_absolute_differences() {
+        assert_eq!(Manhattan.distance(&A[..], &B[..]), 7.0);
+    }
+
+    #[test]
+    fn euclidean_is_the_l2_norm() {
+        assert_eq!(Euclidean.distance(&A[..], &B[..]), 5.0);
+    }
+
+    #[test]
+    fn chebyshev_takes_the_max() {
+        assert_eq!(Chebyshev.distance(&A[..], &B[..]), 4.0);
+    }
+
+    #[test]
+    fn minkowski_p2_matches_euclidean() {
+        let m = Minkowski::new(2.0).unwrap();
+        let d = m.distance(&A[..], &B[..]);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_p1_matches_manhattan() {
+        let m = Minkowski::new(1.0).unwrap();
+        assert!((m.distance(&A[..], &B[..]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_large_p_approaches_chebyshev() {
+        let m = Minkowski::new(64.0).unwrap();
+        let d = m.distance(&A[..], &B[..]);
+        assert!((d - 4.0).abs() < 0.1, "got {d}");
+    }
+
+    #[test]
+    fn minkowski_rejects_p_below_one() {
+        assert!(Minkowski::new(0.5).is_err());
+        assert!(Minkowski::new(f64::NAN).is_err());
+        assert!(Minkowski::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn identity_distance_is_zero() {
+        assert_eq!(Euclidean.distance(&A[..], &A[..]), 0.0);
+        assert_eq!(Manhattan.distance(&A[..], &A[..]), 0.0);
+        assert_eq!(Chebyshev.distance(&A[..], &A[..]), 0.0);
+    }
+
+    #[test]
+    fn vec_impls_delegate() {
+        let a = A.to_vec();
+        let b = B.to_vec();
+        assert_eq!(Euclidean.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn dimension_mismatch_panics() {
+        Euclidean.distance(&[1.0][..], &[1.0, 2.0][..]);
+    }
+
+    #[test]
+    fn empty_vectors_have_zero_distance() {
+        let e: Vec<f64> = vec![];
+        assert_eq!(Euclidean.distance(&e, &e.clone()), 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Concrete metric implementations.
+//!
+//! Every metric here is verified against the four metric axioms by the
+//! property-test suite in `tests/metric_axioms.rs`. The collection covers
+//! the application domains the paper motivates (§1): vector spaces under
+//! Minkowski norms (time series, feature vectors), strings under edit and
+//! Hamming distance (genetics, information retrieval), and gray-level
+//! images under pixel-wise L1/L2 and histogram distances (image
+//! databases, §5.1-B).
+
+pub mod angular;
+pub mod edit;
+pub mod hamming;
+pub mod histogram;
+pub mod jaccard;
+pub mod image;
+pub mod minkowski;
+pub mod weighted;

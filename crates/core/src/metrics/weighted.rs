@@ -1,0 +1,155 @@
+//! Weighted Lp metrics.
+//!
+//! Paper §5.1-B: *"An Lp metric can also be used in a weighted fashion …
+//! each pixel position would be assigned a weight … Such a distance
+//! function can be easily shown to be metric. It can be used to give more
+//! importance to particular regions (for example: center of the images)."*
+//!
+//! `d(x, y) = (Σ w_i · |x_i − y_i|^p)^(1/p)` with `w_i ≥ 0` is a
+//! pseudometric in general and a metric when every `w_i > 0`; it satisfies
+//! the triangle inequality for any non-negative weights, which is all the
+//! index structures require for *correctness* (a zero weight merely merges
+//! points the metric cannot distinguish).
+
+use crate::metric::Metric;
+use crate::{Result, VantageError};
+
+/// A weighted Lp metric over `Vec<f64>` / `[f64]` of a fixed
+/// dimensionality.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeightedLp {
+    weights: Vec<f64>,
+    p: f64,
+}
+
+impl WeightedLp {
+    /// Creates a weighted Lp metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `p < 1`, `p` is non-finite, `weights` is
+    /// empty, or any weight is negative or non-finite.
+    pub fn new(weights: Vec<f64>, p: f64) -> Result<Self> {
+        if !p.is_finite() || p < 1.0 {
+            return Err(VantageError::invalid_parameter(
+                "p",
+                format!("weighted Lp requires finite p >= 1, got {p}"),
+            ));
+        }
+        if weights.is_empty() {
+            return Err(VantageError::invalid_parameter(
+                "weights",
+                "weight vector must be non-empty",
+            ));
+        }
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(VantageError::invalid_parameter(
+                "weights",
+                format!("weights must be finite and non-negative, got {w}"),
+            ));
+        }
+        Ok(WeightedLp { weights, p })
+    }
+
+    /// Convenience constructor for weighted Euclidean (`p = 2`).
+    pub fn euclidean(weights: Vec<f64>) -> Result<Self> {
+        WeightedLp::new(weights, 2.0)
+    }
+
+    /// The per-dimension weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The exponent.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<[f64]> for WeightedLp {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(
+            a.len(),
+            self.weights.len(),
+            "weighted Lp dimensionality mismatch: vector {} vs weights {}",
+            a.len(),
+            self.weights.len()
+        );
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "weighted Lp requires equal dimensionality ({} vs {})",
+            a.len(),
+            b.len()
+        );
+        let sum: f64 = a
+            .iter()
+            .zip(b)
+            .zip(&self.weights)
+            .map(|((x, y), w)| w * (x - y).abs().powf(self.p))
+            .sum();
+        sum.powf(self.p.recip())
+    }
+}
+
+impl Metric<Vec<f64>> for WeightedLp {
+    fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::minkowski::Euclidean;
+
+    #[test]
+    fn unit_weights_match_plain_lp() {
+        let m = WeightedLp::new(vec![1.0, 1.0, 1.0], 2.0).unwrap();
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, 6.0, 3.0];
+        let expected = Euclidean.distance(&a, &b);
+        assert!((m.distance(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_dimensions() {
+        let m = WeightedLp::new(vec![4.0, 0.0], 2.0).unwrap();
+        let a = vec![0.0, 0.0];
+        let b = vec![1.0, 100.0];
+        // Second dimension is ignored; first is doubled in effect.
+        assert!((m.distance(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        assert!(WeightedLp::new(vec![1.0, -0.5], 2.0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_weights() {
+        assert!(WeightedLp::new(vec![], 2.0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(WeightedLp::new(vec![1.0], 0.9).is_err());
+        assert!(WeightedLp::new(vec![1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let m = WeightedLp::euclidean(vec![0.3, 0.7]).unwrap();
+        let a = vec![5.0, -2.0];
+        assert_eq!(m.distance(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dimension_panics() {
+        let m = WeightedLp::euclidean(vec![1.0, 1.0]).unwrap();
+        m.distance(&vec![1.0], &vec![2.0]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Vantage-point selection strategies.
+//!
+//! The paper picks vantage points *"arbitrarily"* (its experiments average
+//! over four random seeds) and notes that *"any optimization technique
+//! (such as a heuristic to chose the best vantage point) for vp-trees can
+//! also be applied to the mvp-trees"* (§4.2). [`VantageSelector`] captures
+//! the strategies studied in the literature so both trees — and the
+//! ablation benches — can share them.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+use crate::metric::Metric;
+use crate::{Result, VantageError};
+
+/// Strategy for choosing a vantage point among a set of candidate ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum VantageSelector {
+    /// Uniformly random choice (the paper's protocol). Distance cost: 0.
+    Random,
+    /// The first candidate in insertion order. Deterministic and free;
+    /// useful for reproducible tests, poor for adversarial input orders.
+    FirstItem,
+    /// Yiannilos' sampling heuristic \[Yia93\]: evaluate `candidates` random
+    /// candidates against a random sample of `sample` points each and keep
+    /// the candidate whose distances have the largest spread (second
+    /// moment about the median) — a point near a "corner" of the space.
+    /// Distance cost: `candidates × sample` per selection.
+    SampledSpread {
+        /// Number of candidate vantage points evaluated.
+        candidates: usize,
+        /// Number of sampled points each candidate is scored against.
+        sample: usize,
+    },
+}
+
+impl VantageSelector {
+    /// Validates strategy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a [`VantageSelector::SampledSpread`] count is
+    /// zero.
+    pub fn validate(&self) -> Result<()> {
+        if let VantageSelector::SampledSpread { candidates, sample } = self {
+            if *candidates == 0 || *sample == 0 {
+                return Err(VantageError::invalid_parameter(
+                    "selector",
+                    "SampledSpread candidates and sample must be at least 1",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks the index *within `ids`* of the vantage point.
+    ///
+    /// `items` is the backing arena the ids refer into. Distance
+    /// computations made here happen at construction time (they are
+    /// counted by a wrapping [`Counted`](crate::Counted) like all
+    /// others, mirroring the paper's construction-cost accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty.
+    pub fn select<T, M: Metric<T>>(
+        &self,
+        items: &[T],
+        ids: &[u32],
+        metric: &M,
+        rng: &mut StdRng,
+    ) -> usize {
+        assert!(!ids.is_empty(), "cannot select a vantage point from nothing");
+        match *self {
+            VantageSelector::FirstItem => 0,
+            VantageSelector::Random => rng.random_range(0..ids.len()),
+            VantageSelector::SampledSpread { candidates, sample } => {
+                let mut best_idx = 0usize;
+                let mut best_spread = f64::NEG_INFINITY;
+                let n_candidates = candidates.min(ids.len());
+                for _ in 0..n_candidates {
+                    let cand_idx = rng.random_range(0..ids.len());
+                    let cand = &items[ids[cand_idx] as usize];
+                    let mut dists: Vec<f64> = (0..sample)
+                        .map(|_| {
+                            let probe = ids
+                                .choose(rng)
+                                .expect("ids non-empty");
+                            metric.distance(cand, &items[*probe as usize])
+                        })
+                        .collect();
+                    dists.sort_unstable_by(f64::total_cmp);
+                    let median = dists[dists.len() / 2];
+                    let spread = dists
+                        .iter()
+                        .map(|d| (d - median) * (d - median))
+                        .sum::<f64>()
+                        / dists.len() as f64;
+                    if spread > best_spread {
+                        best_spread = spread;
+                        best_idx = cand_idx;
+                    }
+                }
+                best_idx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use crate::prelude::*;
+
+    fn arena() -> Vec<Vec<f64>> {
+        (0..20).map(|i| vec![f64::from(i)]).collect()
+    }
+
+    #[test]
+    fn first_item_is_zero() {
+        let items = arena();
+        let ids: Vec<u32> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            VantageSelector::FirstItem.select(&items, &ids, &Euclidean, &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn random_is_in_range_and_seed_deterministic() {
+        let items = arena();
+        let ids: Vec<u32> = (0..20).collect();
+        let pick = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            VantageSelector::Random.select(&items, &ids, &Euclidean, &mut rng)
+        };
+        assert!(pick(7) < 20);
+        assert_eq!(pick(7), pick(7));
+    }
+
+    #[test]
+    fn sampled_spread_prefers_corner_points() {
+        // On a uniform 1-d segment, endpoints see the widest distance
+        // distribution ([Yia93]'s rationale): the heuristic should pick
+        // points from the outer thirds far more often than the middle.
+        let items: Vec<Vec<f64>> = (0..30).map(|i| vec![f64::from(i)]).collect();
+        let ids: Vec<u32> = (0..items.len() as u32).collect();
+        let sel = VantageSelector::SampledSpread {
+            candidates: 10,
+            sample: 15,
+        };
+        let mut outer = 0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let idx = sel.select(&items, &ids, &Euclidean, &mut rng);
+            let value = items[ids[idx] as usize][0];
+            if !(10.0..20.0).contains(&value) {
+                outer += 1;
+            }
+        }
+        assert!(outer >= 15, "picked outer-third points only {outer}/20 times");
+    }
+
+    #[test]
+    fn sampled_spread_counts_distances() {
+        let items = arena();
+        let ids: Vec<u32> = (0..20).collect();
+        let metric = Counted::new(Euclidean);
+        let mut rng = StdRng::seed_from_u64(3);
+        VantageSelector::SampledSpread {
+            candidates: 4,
+            sample: 5,
+        }
+        .select(&items, &ids, &metric, &mut rng);
+        assert_eq!(metric.count(), 20);
+    }
+
+    #[test]
+    fn validate_rejects_zero_counts() {
+        assert!(VantageSelector::SampledSpread {
+            candidates: 0,
+            sample: 5
+        }
+        .validate()
+        .is_err());
+        assert!(VantageSelector::SampledSpread {
+            candidates: 5,
+            sample: 0
+        }
+        .validate()
+        .is_err());
+        assert!(VantageSelector::Random.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn empty_ids_panics() {
+        let items = arena();
+        let mut rng = StdRng::seed_from_u64(0);
+        VantageSelector::Random.select(&items, &[], &Euclidean, &mut rng);
+    }
+
+    #[test]
+    fn singleton_ids_selects_it() {
+        let items = arena();
+        let mut rng = StdRng::seed_from_u64(0);
+        for sel in [
+            VantageSelector::Random,
+            VantageSelector::FirstItem,
+            VantageSelector::SampledSpread {
+                candidates: 3,
+                sample: 3,
+            },
+        ] {
+            assert_eq!(sel.select(&items, &[5], &Euclidean, &mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Small shared utilities: total-order float wrapper and the
+//! quantile-splitting kernel used by every ball-decomposition tree.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order (via [`f64::total_cmp`]), usable as a
+/// priority-queue or sort key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Splits `(id, distance)` pairs into `m` groups of (near-)equal
+/// cardinality by ascending distance, returning the groups together with
+/// the `m - 1` cutoff values separating them.
+///
+/// This is the paper's partitioning step shared by vp-trees and mvp-trees:
+/// *"the points are ordered with respect to their distances from the
+/// vantage point, and partitioned into m groups of equal cardinality. The
+/// distance values used to partition the data points are recorded in each
+/// node"* (§3.3). Cutoff `j` equals the maximum distance inside group `j`,
+/// so group `j` occupies the closed interval `[cutoff(j-1), cutoff(j)]` —
+/// the invariant the range-search pruning rule relies on.
+///
+/// When `entries.len() < m`, trailing groups are empty and their cutoffs
+/// repeat the last observed distance.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn split_into_quantiles(
+    mut entries: Vec<(u32, f64)>,
+    m: usize,
+) -> (Vec<Vec<(u32, f64)>>, Vec<f64>) {
+    assert!(m > 0, "cannot split into zero groups");
+    entries.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+    let n = entries.len();
+    let mut groups: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+    let mut cutoffs: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
+    let mut start = 0usize;
+    let mut last_distance = entries.first().map_or(0.0, |e| e.1);
+    for g in 0..m {
+        // Balanced boundaries: group g covers [g*n/m, (g+1)*n/m).
+        let end = ((g + 1) * n) / m;
+        let chunk: Vec<(u32, f64)> = entries[start..end].to_vec();
+        if let Some(last) = chunk.last() {
+            last_distance = last.1;
+        }
+        groups.push(chunk);
+        if g + 1 < m {
+            cutoffs.push(last_distance);
+        }
+        start = end;
+    }
+    (groups, cutoffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(group: &[(u32, f64)]) -> Vec<u32> {
+        group.iter().map(|e| e.0).collect()
+    }
+
+    #[test]
+    fn ord_f64_orders_including_nan() {
+        let mut v = [OrdF64(2.0), OrdF64(f64::NAN), OrdF64(-1.0)];
+        v.sort();
+        assert_eq!(v[0].0, -1.0);
+        assert_eq!(v[1].0, 2.0);
+        assert!(v[2].0.is_nan());
+    }
+
+    #[test]
+    fn splits_into_equal_groups() {
+        let entries = vec![(0, 3.0), (1, 1.0), (2, 2.0), (3, 4.0)];
+        let (groups, cutoffs) = split_into_quantiles(entries, 2);
+        assert_eq!(ids(&groups[0]), vec![1, 2]);
+        assert_eq!(ids(&groups[1]), vec![0, 3]);
+        assert_eq!(cutoffs, vec![2.0]);
+    }
+
+    #[test]
+    fn group_intervals_respect_cutoffs() {
+        let entries: Vec<(u32, f64)> = (0..17).map(|i| (i, f64::from(i) * 0.5)).collect();
+        let m = 4;
+        let (groups, cutoffs) = split_into_quantiles(entries, m);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 17);
+        for (g, group) in groups.iter().enumerate() {
+            for &(_, d) in group {
+                if g > 0 {
+                    assert!(d >= cutoffs[g - 1]);
+                }
+                if g < m - 1 {
+                    assert!(d <= cutoffs[g]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_sizes_differ_by_at_most_one() {
+        let entries: Vec<(u32, f64)> = (0..23).map(|i| (i, f64::from(i))).collect();
+        let (groups, _) = split_into_quantiles(entries, 5);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn fewer_entries_than_groups_leaves_empty_tails() {
+        let entries = vec![(7, 1.5), (8, 0.5)];
+        let (groups, cutoffs) = split_into_quantiles(entries, 4);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 2);
+        assert_eq!(cutoffs.len(), 3);
+        // Every non-empty group still respects the cutoff intervals.
+        for (g, group) in groups.iter().enumerate() {
+            for &(_, d) in group {
+                if g > 0 {
+                    assert!(d >= cutoffs[g - 1]);
+                }
+                if g < 3 {
+                    assert!(d <= cutoffs[g]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_groups() {
+        let (groups, cutoffs) = split_into_quantiles(vec![], 3);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(Vec::is_empty));
+        assert_eq!(cutoffs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn duplicate_distances_stay_consistent() {
+        let entries = vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)];
+        let (groups, cutoffs) = split_into_quantiles(entries, 2);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 2);
+        assert_eq!(cutoffs, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero groups")]
+    fn zero_groups_panics() {
+        split_into_quantiles(vec![(0, 1.0)], 0);
+    }
+}

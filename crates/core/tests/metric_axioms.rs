@@ -1,0 +1,260 @@
+//! Property tests: every metric shipped by vantage-core satisfies the four
+//! metric axioms of paper §2 (up to floating-point tolerance where the
+//! computation is inexact).
+
+use proptest::prelude::*;
+use vantage_core::metrics::histogram::{HistogramL1, ImageHistogramL1};
+use vantage_core::metrics::jaccard::sorted_set;
+use vantage_core::prelude::*;
+
+/// Relative tolerance for triangle-inequality checks on float metrics:
+/// `d(x, y) <= d(x, z) + d(z, y) + eps`. Sized for the least accurate
+/// metric in the suite — `Angular`'s `acos` amplifies a 1-ulp cosine
+/// error near ±1 to ~1e-8 radians.
+const EPS: f64 = 1e-7;
+
+fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, dim)
+}
+
+fn image_strategy(w: u32, h: u32) -> impl Strategy<Value = GrayImage> {
+    proptest::collection::vec(any::<u8>(), (w * h) as usize)
+        .prop_map(move |px| GrayImage::new(w, h, px).expect("sized correctly"))
+}
+
+fn hist_strategy() -> impl Strategy<Value = [u32; 256]> {
+    proptest::collection::vec(0u32..1000, 256).prop_map(|v| {
+        let mut h = [0u32; 256];
+        h.copy_from_slice(&v);
+        h
+    })
+}
+
+macro_rules! metric_axiom_tests {
+    ($name:ident, $metric:expr, $strategy:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn symmetry(a in $strategy, b in $strategy) {
+                    let m = $metric;
+                    let ab = m.distance(&a, &b);
+                    let ba = m.distance(&b, &a);
+                    prop_assert!((ab - ba).abs() <= EPS * (1.0 + ab.abs()));
+                }
+
+                #[test]
+                fn identity(a in $strategy) {
+                    let m = $metric;
+                    prop_assert_eq!(m.distance(&a, &a), 0.0);
+                }
+
+                #[test]
+                fn non_negative_and_finite(a in $strategy, b in $strategy) {
+                    let m = $metric;
+                    let d = m.distance(&a, &b);
+                    prop_assert!(d >= 0.0);
+                    prop_assert!(d.is_finite());
+                }
+
+                #[test]
+                fn triangle_inequality(
+                    a in $strategy,
+                    b in $strategy,
+                    c in $strategy,
+                ) {
+                    let m = $metric;
+                    let ab = m.distance(&a, &b);
+                    let ac = m.distance(&a, &c);
+                    let cb = m.distance(&c, &b);
+                    prop_assert!(
+                        ab <= ac + cb + EPS * (1.0 + ab.abs()),
+                        "d(a,b)={} > d(a,c)+d(c,b)={}",
+                        ab,
+                        ac + cb
+                    );
+                }
+            }
+        }
+    };
+}
+
+metric_axiom_tests!(euclidean, Euclidean, vec_strategy(8));
+metric_axiom_tests!(manhattan, Manhattan, vec_strategy(8));
+metric_axiom_tests!(chebyshev, Chebyshev, vec_strategy(8));
+metric_axiom_tests!(
+    minkowski_p3,
+    Minkowski::new(3.0).unwrap(),
+    vec_strategy(6)
+);
+metric_axiom_tests!(
+    weighted_l2,
+    WeightedLp::euclidean(vec![0.5, 2.0, 0.0, 1.0, 3.5]).unwrap(),
+    vec_strategy(5)
+);
+metric_axiom_tests!(
+    edit_distance,
+    Levenshtein,
+    "[a-d]{0,12}".prop_map(String::from)
+);
+metric_axiom_tests!(
+    hamming_strings,
+    Hamming,
+    "[01]{0,16}".prop_map(String::from)
+);
+metric_axiom_tests!(image_l1, ImageL1::paper(), image_strategy(8, 8));
+metric_axiom_tests!(image_l2, ImageL2::paper(), image_strategy(8, 8));
+metric_axiom_tests!(histogram_l1, HistogramL1::new(), hist_strategy());
+metric_axiom_tests!(angular, Angular, vec_strategy(5));
+metric_axiom_tests!(
+    jaccard,
+    Jaccard,
+    proptest::collection::vec(0u64..20, 0..15).prop_map(sorted_set)
+);
+metric_axiom_tests!(
+    image_histogram_l1,
+    ImageHistogramL1::new(),
+    image_strategy(6, 6)
+);
+
+mod discrete_consistency {
+    use super::*;
+    use vantage_core::DiscreteMetric;
+
+    proptest! {
+        /// DiscreteMetric::distance_u must equal Metric::distance.
+        #[test]
+        fn edit_discrete_matches_continuous(
+            a in "[a-e]{0,10}".prop_map(String::from),
+            b in "[a-e]{0,10}".prop_map(String::from),
+        ) {
+            let c: f64 = Metric::<String>::distance(&Levenshtein, &a, &b);
+            let d: u64 = DiscreteMetric::<String>::distance_u(&Levenshtein, &a, &b);
+            prop_assert_eq!(c, d as f64);
+        }
+
+        #[test]
+        fn hamming_discrete_matches_continuous(
+            a in proptest::collection::vec(any::<u8>(), 0..12),
+            b in proptest::collection::vec(any::<u8>(), 0..12),
+        ) {
+            let c: f64 = Metric::<Vec<u8>>::distance(&Hamming, &a, &b);
+            let d: u64 = DiscreteMetric::<Vec<u8>>::distance_u(&Hamming, &a, &b);
+            prop_assert_eq!(c, d as f64);
+        }
+
+        /// Bounded edit distance agrees with the exact value whenever the
+        /// bound admits it, and refuses whenever it does not.
+        #[test]
+        fn bounded_edit_distance_is_consistent(
+            a in "[a-e]{0,10}".prop_map(String::from),
+            b in "[a-e]{0,10}".prop_map(String::from),
+            bound in 0u64..12,
+        ) {
+            let exact = Levenshtein::edit_distance(&a, &b);
+            match Levenshtein::distance_within(&a, &b, bound) {
+                Some(d) => {
+                    prop_assert_eq!(d, exact);
+                    prop_assert!(d <= bound);
+                }
+                None => prop_assert!(exact > bound),
+            }
+        }
+    }
+}
+
+mod counting {
+    use super::*;
+
+    proptest! {
+        /// The counting wrapper is transparent: same distances, exact call
+        /// tally.
+        #[test]
+        fn counted_is_transparent(
+            pts in proptest::collection::vec(vec_strategy(4), 1..20),
+            q in vec_strategy(4),
+        ) {
+            let counted = Counted::new(Euclidean);
+            let probe = counted.clone();
+            for p in &pts {
+                let d1 = counted.distance(&q, p);
+                let d2 = Euclidean.distance(&q, p);
+                prop_assert_eq!(d1, d2);
+            }
+            prop_assert_eq!(probe.count(), pts.len() as u64);
+        }
+    }
+}
+
+mod quantile_split {
+    use super::*;
+    use vantage_core::util::split_into_quantiles;
+
+    proptest! {
+        /// The splitter partitions (no loss, no duplication), balances
+        /// group sizes within 1, and keeps every group inside its cutoff
+        /// interval.
+        #[test]
+        fn split_preserves_and_bounds(
+            distances in proptest::collection::vec(0.0f64..100.0, 0..60),
+            m in 1usize..6,
+        ) {
+            let entries: Vec<(u32, f64)> = distances
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as u32, d))
+                .collect();
+            let n = entries.len();
+            let (groups, cutoffs) = split_into_quantiles(entries, m);
+            prop_assert_eq!(groups.len(), m);
+            prop_assert_eq!(cutoffs.len(), m - 1);
+            let mut seen: Vec<u32> =
+                groups.iter().flatten().map(|e| e.0).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen.len(), n);
+            prop_assert!(seen.iter().enumerate().all(|(i, &id)| id == i as u32));
+            let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1);
+            for (g, group) in groups.iter().enumerate() {
+                for &(_, d) in group {
+                    if g > 0 {
+                        prop_assert!(d >= cutoffs[g - 1]);
+                    }
+                    if g < m - 1 {
+                        prop_assert!(d <= cutoffs[g]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod histogram_stats {
+    use super::*;
+    use vantage_core::DistanceHistogram;
+
+    proptest! {
+        /// Parallel pairwise histograms agree with the sequential path and
+        /// count exactly C(n, 2) pairs.
+        #[test]
+        fn parallel_equals_sequential(
+            pts in proptest::collection::vec(vec_strategy(3), 0..30),
+            threads in 2usize..5,
+        ) {
+            let seq =
+                DistanceHistogram::pairwise(&pts, &Euclidean, 0.5, 1).unwrap();
+            let par =
+                DistanceHistogram::pairwise(&pts, &Euclidean, 0.5, threads)
+                    .unwrap();
+            prop_assert_eq!(seq.counts(), par.counts());
+            prop_assert_eq!(seq.total(), par.total());
+            prop_assert_eq!(seq.min(), par.min());
+            prop_assert_eq!(seq.max(), par.max());
+            let n = pts.len() as u64;
+            prop_assert_eq!(seq.total(), n * n.saturating_sub(1) / 2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # vantage-datasets
+//!
+//! Seeded, deterministic workload generators reproducing the datasets of
+//! the mvp-tree paper's §5.1 evaluation:
+//!
+//! * [`uniform`] — 20-dimensional vectors drawn uniformly from the unit
+//!   hypercube (§5.1-A, first set; paper Figure 4's distance
+//!   distribution);
+//! * [`clustered`] — the paper's cluster construction: a uniform seed
+//!   vector, then points derived from *previously generated* cluster
+//!   members by per-dimension `±ε` perturbation (§5.1-A, second set;
+//!   Figure 5);
+//! * [`mri`] — **synthetic** 256×256 8-bit gray-level head-scan-like
+//!   images substituting for the paper's 1 151 real MRI scans (§5.1-B;
+//!   Figures 6–7). See [`mri`] for why the substitution preserves the
+//!   relevant behaviour;
+//! * [`strings`] — random-word workloads for edit-distance indexing (the
+//!   text-retrieval domain of §1/§3.1);
+//! * [`queries`] — query-object samplers following the paper's protocol.
+//!
+//! Every generator takes an explicit seed; the same seed always yields the
+//! same dataset, so EXPERIMENTS.md results are exactly re-runnable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clustered;
+pub mod mri;
+pub mod queries;
+pub mod strings;
+pub mod uniform;
+
+pub use clustered::{clustered_vectors, ClusteredConfig};
+pub use mri::{synthetic_mri_images, MriConfig};
+pub use strings::{perturbed_words, random_words};
+pub use uniform::uniform_vectors;

@@ -1,0 +1,73 @@
+//! Query-object samplers following the paper's experimental protocol.
+//!
+//! §5.2: vector queries are *"randomly selected query objects from the
+//! 20-dimensional hypercube"* (fresh uniform draws, not dataset members);
+//! image queries are *"an MRI image selected randomly from the data set"*
+//! (dataset members).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples `n` fresh uniform query vectors from `[0, 1]^dim` (the paper's
+/// vector-query protocol).
+pub fn uniform_queries(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    crate::uniform::uniform_vectors(n, dim, seed)
+}
+
+/// Samples `n` query objects *from the dataset itself* (the paper's image-
+/// query protocol), cloning the selected members. Sampling is with
+/// replacement, matching independent query draws across runs.
+///
+/// # Panics
+///
+/// Panics when `items` is empty and `n > 0`.
+pub fn dataset_queries<T: Clone>(items: &[T], n: usize, seed: u64) -> Vec<T> {
+    assert!(
+        n == 0 || !items.is_empty(),
+        "cannot sample queries from an empty dataset"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| items[rng.random_range(0..items.len())].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_queries_shape() {
+        let q = uniform_queries(10, 20, 1);
+        assert_eq!(q.len(), 10);
+        assert!(q.iter().all(|v| v.len() == 20));
+    }
+
+    #[test]
+    fn dataset_queries_come_from_the_dataset() {
+        let items = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let q = dataset_queries(&items, 20, 2);
+        assert_eq!(q.len(), 20);
+        assert!(q.iter().all(|s| items.contains(s)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let items: Vec<i32> = (0..50).collect();
+        assert_eq!(dataset_queries(&items, 10, 3), dataset_queries(&items, 10, 3));
+        assert_ne!(dataset_queries(&items, 10, 3), dataset_queries(&items, 10, 4));
+    }
+
+    #[test]
+    fn zero_queries_from_empty_dataset_is_fine() {
+        let items: Vec<i32> = vec![];
+        assert!(dataset_queries(&items, 0, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn sampling_from_empty_dataset_panics() {
+        let items: Vec<i32> = vec![];
+        dataset_queries(&items, 1, 1);
+    }
+}

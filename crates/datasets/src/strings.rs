@@ -1,0 +1,138 @@
+//! String workloads for edit-distance indexing (the text-retrieval domain
+//! of paper §1 and §3.1: *"text databases which generally use the edit
+//! distance (which is metric)"*).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const DEFAULT_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+fn random_word(rng: &mut StdRng, min_len: usize, max_len: usize) -> String {
+    let len = rng.random_range(min_len..=max_len);
+    (0..len)
+        .map(|_| DEFAULT_ALPHABET[rng.random_range(0..DEFAULT_ALPHABET.len())] as char)
+        .collect()
+}
+
+/// Generates `n` random lowercase words with lengths in
+/// `[min_len, max_len]`.
+///
+/// # Panics
+///
+/// Panics when `min_len > max_len`.
+pub fn random_words(n: usize, min_len: usize, max_len: usize, seed: u64) -> Vec<String> {
+    assert!(min_len <= max_len, "min_len must not exceed max_len");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_word(&mut rng, min_len, max_len)).collect()
+}
+
+/// Generates a clustered string workload: `bases` random words, each
+/// followed by `variants` strings derived from *previously generated*
+/// members of the same family by `edits` random single-character edits
+/// (substitute / insert / delete) — the edit-space analogue of the paper's
+/// clustered vectors.
+///
+/// Family `f` occupies indices `f·(variants+1) .. (f+1)·(variants+1)`.
+pub fn perturbed_words(
+    bases: usize,
+    variants: usize,
+    edits: usize,
+    seed: u64,
+) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<String> = Vec::with_capacity(bases * (variants + 1));
+    for _ in 0..bases {
+        let family_start = out.len();
+        out.push(random_word(&mut rng, 6, 12));
+        for generated in 0..variants {
+            let parent_idx = family_start + rng.random_range(0..=generated);
+            let mut chars: Vec<char> = out[parent_idx].chars().collect();
+            for _ in 0..edits {
+                match rng.random_range(0..3u8) {
+                    0 if !chars.is_empty() => {
+                        // substitute
+                        let i = rng.random_range(0..chars.len());
+                        chars[i] =
+                            DEFAULT_ALPHABET[rng.random_range(0..DEFAULT_ALPHABET.len())] as char;
+                    }
+                    1 => {
+                        // insert
+                        let i = rng.random_range(0..=chars.len());
+                        chars.insert(
+                            i,
+                            DEFAULT_ALPHABET[rng.random_range(0..DEFAULT_ALPHABET.len())] as char,
+                        );
+                    }
+                    _ if !chars.is_empty() => {
+                        // delete
+                        let i = rng.random_range(0..chars.len());
+                        chars.remove(i);
+                    }
+                    _ => {}
+                }
+            }
+            out.push(chars.into_iter().collect());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    #[test]
+    fn random_words_shape() {
+        let w = random_words(50, 3, 9, 1);
+        assert_eq!(w.len(), 50);
+        assert!(w.iter().all(|s| (3..=9).contains(&s.len())));
+        assert!(w
+            .iter()
+            .all(|s| s.chars().all(|c| c.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        assert_eq!(random_words(20, 4, 8, 5), random_words(20, 4, 8, 5));
+        assert_ne!(random_words(20, 4, 8, 5), random_words(20, 4, 8, 6));
+        assert_eq!(perturbed_words(3, 5, 2, 9), perturbed_words(3, 5, 2, 9));
+    }
+
+    #[test]
+    fn perturbed_words_count() {
+        let w = perturbed_words(4, 10, 1, 2);
+        assert_eq!(w.len(), 44);
+    }
+
+    #[test]
+    fn families_are_closer_in_edit_distance_than_strangers() {
+        let w = perturbed_words(6, 9, 1, 3);
+        let per = 10;
+        let within: f64 = (1..per)
+            .map(|i| Levenshtein.distance(&w[0], &w[i]))
+            .sum::<f64>()
+            / (per - 1) as f64;
+        let cross: f64 = (1..6)
+            .map(|f| Levenshtein.distance(&w[0], &w[f * per]))
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            within < cross,
+            "within-family {within} should be below cross-family {cross}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_len")]
+    fn inverted_length_range_panics() {
+        random_words(3, 9, 3, 1);
+    }
+
+    #[test]
+    fn zero_counts() {
+        assert!(random_words(0, 1, 5, 1).is_empty());
+        assert!(perturbed_words(0, 10, 1, 1).is_empty());
+        assert_eq!(perturbed_words(2, 0, 1, 1).len(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! Runs the `ablation_order_m` study. Scale via VANTAGE_SCALE=full|quick.
+
+fn main() {
+    let scale = vantage_experiments::Scale::from_env();
+    let report = vantage_experiments::ablations::ablation_order_m(scale);
+    println!("{}", report.render());
+    eprintln!("--- CSV ---");
+    eprint!("{}", report.csv);
+}

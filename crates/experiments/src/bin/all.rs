@@ -1,0 +1,29 @@
+//! Runs every figure reproduction and ablation in sequence.
+//! Scale via VANTAGE_SCALE=full|quick.
+
+use vantage_experiments::{ablations, figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("vantage experiment suite — scale: {scale}\n");
+    let reports = [
+        figures::fig04(scale),
+        figures::fig05(scale),
+        figures::fig06(scale),
+        figures::fig07(scale),
+        figures::fig08(scale),
+        figures::fig09(scale),
+        figures::fig10(scale),
+        figures::fig11(scale),
+        ablations::ablation_leaf_capacity(scale),
+        ablations::ablation_path_p(scale),
+        ablations::ablation_order_m(scale),
+        ablations::ablation_vantage_selection(scale),
+        ablations::construction_cost(scale),
+        ablations::comparators(scale),
+        ablations::knn_cost(scale),
+    ];
+    for report in &reports {
+        println!("{}\n", report.render());
+    }
+}

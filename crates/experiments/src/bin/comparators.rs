@@ -1,0 +1,9 @@
+//! Runs the `comparators` study. Scale via VANTAGE_SCALE=full|quick.
+
+fn main() {
+    let scale = vantage_experiments::Scale::from_env();
+    let report = vantage_experiments::ablations::comparators(scale);
+    println!("{}", report.render());
+    eprintln!("--- CSV ---");
+    eprint!("{}", report.csv);
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Figure 10. Scale via VANTAGE_SCALE=full|quick.
+
+fn main() {
+    let scale = vantage_experiments::Scale::from_env();
+    let report = vantage_experiments::figures::fig10(scale);
+    println!("{}", report.render());
+    eprintln!("--- CSV ---");
+    eprint!("{}", report.csv);
+}

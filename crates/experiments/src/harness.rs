@@ -1,0 +1,290 @@
+//! The shared query-cost experiment runner.
+//!
+//! Reproduces the paper's §5 protocol: build each structure under a
+//! counting metric for several vantage-point seeds, run the same query
+//! batch at each query range, and report the **average number of distance
+//! computations per search** (the y-axis of Figures 8–11).
+
+use vantage_core::{Counted, Metric, MetricIndex};
+
+/// A named index-structure configuration the harness can instantiate.
+///
+/// The factory receives the dataset, the counting metric to build with,
+/// and the run's vantage-point seed; it returns the built index as a
+/// trait object.
+pub struct StructureSpec<T, M> {
+    /// Display name (e.g. `vpt(2)`, `mvpt(3,80)` — paper notation).
+    pub name: String,
+    /// Factory closure.
+    #[allow(clippy::type_complexity)]
+    pub build: Box<dyn Fn(Vec<T>, Counted<M>, u64) -> Box<dyn MetricIndex<T>>>,
+}
+
+impl<T, M> StructureSpec<T, M> {
+    /// Creates a named structure specification.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(Vec<T>, Counted<M>, u64) -> Box<dyn MetricIndex<T>> + 'static,
+    ) -> Self {
+        StructureSpec {
+            name: name.into(),
+            build: Box::new(build),
+        }
+    }
+}
+
+/// Protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Vantage-point seeds; results average over these runs (paper: 4).
+    pub seeds: Vec<u64>,
+    /// Query ranges (the x-axis of Figures 8–11).
+    pub ranges: Vec<f64>,
+}
+
+/// One point of a measured series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryCostPoint {
+    /// Query range `r`.
+    pub range: f64,
+    /// Average distance computations per search (over seeds × queries).
+    pub avg_distances: f64,
+    /// Average result-set size per search.
+    pub avg_results: f64,
+}
+
+/// A measured series for one structure across all ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCostSeries {
+    /// Structure name.
+    pub name: String,
+    /// Average construction-time distance computations (over seeds).
+    pub build_distances: f64,
+    /// One point per query range.
+    pub points: Vec<QueryCostPoint>,
+}
+
+impl QueryCostSeries {
+    /// The measured average search cost at the given range, if present.
+    pub fn cost_at(&self, range: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.range - range).abs() < 1e-12)
+            .map(|p| p.avg_distances)
+    }
+}
+
+/// Runs the query-cost experiment: every structure × every seed × every
+/// range × every query, counting distance computations with [`Counted`].
+///
+/// Construction-time and search-time computations are tallied separately,
+/// matching the paper (its figures report search cost only; construction
+/// cost is discussed in §3.3/§4.2).
+pub fn run_query_cost<T, M>(
+    items: &[T],
+    queries: &[T],
+    metric: M,
+    structures: &[StructureSpec<T, M>],
+    config: &ExperimentConfig,
+) -> Vec<QueryCostSeries>
+where
+    T: Clone,
+    M: Metric<T> + Clone,
+{
+    assert!(!config.seeds.is_empty(), "need at least one seed");
+    let mut out = Vec::with_capacity(structures.len());
+    for spec in structures {
+        let mut build_total = 0u64;
+        // accumulated per range: (distance computations, result sizes)
+        let mut per_range = vec![(0u64, 0u64); config.ranges.len()];
+        for &seed in &config.seeds {
+            let counted = Counted::new(metric.clone());
+            let probe = counted.clone();
+            let index = (spec.build)(items.to_vec(), counted, seed);
+            build_total += probe.take();
+            for (slot, &range) in per_range.iter_mut().zip(&config.ranges) {
+                for query in queries {
+                    let results = index.range(query, range);
+                    slot.0 += probe.take();
+                    slot.1 += results.len() as u64;
+                }
+            }
+        }
+        let runs = (config.seeds.len() * queries.len().max(1)) as f64;
+        out.push(QueryCostSeries {
+            name: spec.name.clone(),
+            build_distances: build_total as f64 / config.seeds.len() as f64,
+            points: config
+                .ranges
+                .iter()
+                .zip(&per_range)
+                .map(|(&range, &(dist, res))| QueryCostPoint {
+                    range,
+                    avg_distances: dist as f64 / runs,
+                    avg_results: res as f64 / runs,
+                })
+                .collect(),
+        });
+    }
+    out
+}
+
+/// The paper's standard structure line-up for the vector experiments
+/// (Figures 8–9): `vpt(2)`, `vpt(3)`, `mvpt(3, 9)`, `mvpt(3, 80)`, all
+/// with `p = 5`.
+pub fn paper_vector_structures<T, M>() -> Vec<StructureSpec<T, M>>
+where
+    T: Clone + 'static,
+    M: Metric<T> + Clone + 'static,
+{
+    use vantage_mvptree::{MvpParams, MvpTree};
+    use vantage_vptree::{VpTree, VpTreeParams};
+    vec![
+        StructureSpec::new("vpt(2)", |items, metric, seed| {
+            Box::new(
+                VpTree::build(items, metric, VpTreeParams::with_order(2).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("vpt(3)", |items, metric, seed| {
+            Box::new(
+                VpTree::build(items, metric, VpTreeParams::with_order(3).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("mvpt(3,9)", |items, metric, seed| {
+            Box::new(
+                MvpTree::build(items, metric, MvpParams::paper(3, 9, 5).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("mvpt(3,80)", |items, metric, seed| {
+            Box::new(
+                MvpTree::build(items, metric, MvpParams::paper(3, 80, 5).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+    ]
+}
+
+/// The paper's structure line-up for the image experiments (Figures
+/// 10–11): `vpt(2)`, `vpt(3)`, `mvpt(2, 16)`, `mvpt(2, 5)`,
+/// `mvpt(3, 13)`, all with `p = 4`.
+pub fn paper_image_structures<T, M>() -> Vec<StructureSpec<T, M>>
+where
+    T: Clone + 'static,
+    M: Metric<T> + Clone + 'static,
+{
+    use vantage_mvptree::{MvpParams, MvpTree};
+    use vantage_vptree::{VpTree, VpTreeParams};
+    vec![
+        StructureSpec::new("vpt(2)", |items, metric, seed| {
+            Box::new(
+                VpTree::build(items, metric, VpTreeParams::with_order(2).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("vpt(3)", |items, metric, seed| {
+            Box::new(
+                VpTree::build(items, metric, VpTreeParams::with_order(3).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("mvpt(2,16)", |items, metric, seed| {
+            Box::new(
+                MvpTree::build(items, metric, MvpParams::paper(2, 16, 4).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("mvpt(2,5)", |items, metric, seed| {
+            Box::new(
+                MvpTree::build(items, metric, MvpParams::paper(2, 5, 4).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+        StructureSpec::new("mvpt(3,13)", |items, metric, seed| {
+            Box::new(
+                MvpTree::build(items, metric, MvpParams::paper(3, 13, 4).seed(seed))
+                    .expect("valid params"),
+            ) as Box<dyn MetricIndex<T>>
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    fn tiny_experiment() -> Vec<QueryCostSeries> {
+        let items: Vec<Vec<f64>> = (0..300).map(|i| vec![f64::from(i) * 0.01]).collect();
+        let queries: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i) * 0.3]).collect();
+        run_query_cost(
+            &items,
+            &queries,
+            Euclidean,
+            &paper_vector_structures(),
+            &ExperimentConfig {
+                seeds: vec![1, 2],
+                ranges: vec![0.05, 0.2],
+            },
+        )
+    }
+
+    #[test]
+    fn produces_one_series_per_structure() {
+        let series = tiny_experiment();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].name, "vpt(2)");
+        assert!(series.iter().all(|s| s.points.len() == 2));
+    }
+
+    #[test]
+    fn costs_are_positive_and_bounded_by_n() {
+        for s in tiny_experiment() {
+            assert!(s.build_distances > 0.0);
+            for p in &s.points {
+                assert!(p.avg_distances > 0.0);
+                assert!(p.avg_distances <= 300.0, "{}: {}", s.name, p.avg_distances);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_ranges_cost_at_least_as_much() {
+        for s in tiny_experiment() {
+            assert!(
+                s.points[1].avg_distances >= s.points[0].avg_distances * 0.9,
+                "{}: costs should grow with range",
+                s.name
+            );
+            assert!(s.points[1].avg_results >= s.points[0].avg_results);
+        }
+    }
+
+    #[test]
+    fn result_counts_match_linear_scan_truth() {
+        let items: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+        let queries = vec![vec![50.0]];
+        let series = run_query_cost(
+            &items,
+            &queries,
+            Euclidean,
+            &paper_vector_structures(),
+            &ExperimentConfig {
+                seeds: vec![7],
+                ranges: vec![2.5],
+            },
+        );
+        for s in &series {
+            assert_eq!(s.points[0].avg_results, 5.0, "{}", s.name); // 48..=52
+        }
+    }
+
+    #[test]
+    fn cost_at_finds_points() {
+        let series = tiny_experiment();
+        assert!(series[0].cost_at(0.05).is_some());
+        assert!(series[0].cost_at(9.9).is_none());
+    }
+}

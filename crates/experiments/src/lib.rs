@@ -1,0 +1,37 @@
+//! # vantage-experiments
+//!
+//! The reproduction harness for Bozkaya & Özsoyoğlu (SIGMOD 1997): one
+//! function per data-bearing figure of the paper (Figures 4–11), the
+//! shared query-cost experiment runner, ablation studies for the design
+//! choices DESIGN.md calls out, and table/CSV reporting.
+//!
+//! Every figure can be regenerated two ways:
+//!
+//! * `cargo run --release -p vantage-experiments --bin figNN`
+//! * `cargo bench --workspace` (the `vantage-bench` crate wraps the same
+//!   functions as `harness = false` bench targets).
+//!
+//! The paper's cost model is the **number of metric distance
+//! computations**; the harness measures it with
+//! [`Counted`](vantage_core::Counted) and follows the paper's protocol:
+//! averages over multiple random vantage-point seeds (paper: 4) and query
+//! batches (paper: 100 vector / 30 image queries).
+//!
+//! Scale is controlled by [`Scale`]: `Full` uses the paper's exact
+//! cardinalities; `Quick` (the default for benches and CI) shrinks the
+//! datasets while preserving every qualitative shape. Set the
+//! `VANTAGE_SCALE` environment variable to `full` or `quick` to override.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+pub use harness::{ExperimentConfig, QueryCostSeries, StructureSpec};
+pub use report::FigureReport;
+pub use scale::Scale;

@@ -1,0 +1,181 @@
+//! Table and CSV rendering for experiment results.
+
+use crate::harness::QueryCostSeries;
+
+/// A rendered experiment report: a title, a human-readable aligned table,
+/// machine-readable CSV, and free-form notes (protocol, substitutions,
+/// expectations from the paper).
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// e.g. `"Figure 8 — random vectors"`.
+    pub title: String,
+    /// Aligned text table.
+    pub table: String,
+    /// CSV with a header row.
+    pub csv: String,
+    /// Protocol notes.
+    pub notes: String,
+}
+
+impl FigureReport {
+    /// Renders the full report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.notes.is_empty() {
+            for line in self.notes.lines() {
+                out.push_str(&format!("   {line}\n"));
+            }
+        }
+        out.push('\n');
+        out.push_str(&self.table);
+        out
+    }
+}
+
+/// Renders an aligned text table. The first row is the header.
+pub fn format_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let columns = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{:>width$}", cell, width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if r == 0 {
+            let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            out.push_str(&sep.join("  "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting — cells are numeric or simple names).
+pub fn format_csv(rows: &[Vec<String>]) -> String {
+    rows.iter()
+        .map(|row| row.join(","))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Builds the standard query-cost table: one row per query range, one
+/// column per structure (the layout of the paper's Figures 8–11), plus a
+/// final row with construction costs.
+pub fn query_cost_rows(series: &[QueryCostSeries]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut header = vec!["query range".to_string()];
+    header.extend(series.iter().map(|s| s.name.clone()));
+    rows.push(header);
+    if let Some(first) = series.first() {
+        for (i, point) in first.points.iter().enumerate() {
+            let mut row = vec![format!("{:.4}", point.range)];
+            for s in series {
+                row.push(format!("{:.1}", s.points[i].avg_distances));
+            }
+            rows.push(row);
+        }
+    }
+    let mut build_row = vec!["(build)".to_string()];
+    build_row.extend(series.iter().map(|s| format!("{:.0}", s.build_distances)));
+    rows.push(build_row);
+    rows
+}
+
+/// Builds a histogram table of `(bin lower edge, count)` rows.
+pub fn histogram_rows(rows: &[(f64, u64)], edge_label: &str) -> Vec<Vec<String>> {
+    let mut out = vec![vec![edge_label.to_string(), "pairs".to_string()]];
+    for &(edge, count) in rows {
+        out.push(vec![format!("{edge:.2}"), count.to_string()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::QueryCostPoint;
+
+    fn sample_series() -> Vec<QueryCostSeries> {
+        vec![
+            QueryCostSeries {
+                name: "vpt(2)".into(),
+                build_distances: 1000.0,
+                points: vec![QueryCostPoint {
+                    range: 0.15,
+                    avg_distances: 42.5,
+                    avg_results: 1.0,
+                }],
+            },
+            QueryCostSeries {
+                name: "mvpt(3,80)".into(),
+                build_distances: 900.0,
+                points: vec![QueryCostPoint {
+                    range: 0.15,
+                    avg_distances: 10.25,
+                    avg_results: 1.0,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = query_cost_rows(&sample_series());
+        let table = format_table(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4); // header, separator, one range, build
+        assert!(lines[0].contains("vpt(2)"));
+        assert!(lines[2].contains("42.5"));
+        assert!(lines[2].contains("10.2"));
+        assert!(lines[3].contains("1000"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = query_cost_rows(&sample_series());
+        let csv = format_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "query range,vpt(2),mvpt(3,80)");
+        assert!(lines[1].starts_with("0.1500,"));
+    }
+
+    #[test]
+    fn histogram_rows_format() {
+        let rows = histogram_rows(&[(0.0, 10), (0.5, 20)], "distance");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], vec!["0.00".to_string(), "10".to_string()]);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(format_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn report_render_includes_notes_and_table() {
+        let r = FigureReport {
+            title: "Figure X".into(),
+            table: "a  b\n".into(),
+            csv: String::new(),
+            notes: "line one\nline two".into(),
+        };
+        let s = r.render();
+        assert!(s.contains("== Figure X =="));
+        assert!(s.contains("   line two"));
+        assert!(s.ends_with("a  b\n"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the experiment harness at miniature scale: the
+//! full figure pipelines produce well-formed, truthful reports.
+
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_datasets::{synthetic_mri_images, uniform_vectors, MriConfig};
+use vantage_experiments::harness::{
+    paper_image_structures, paper_vector_structures, run_query_cost, ExperimentConfig,
+};
+use vantage_experiments::report::{format_csv, format_table, query_cost_rows};
+
+#[test]
+fn image_structures_line_up_builds_and_measures() {
+    let images = synthetic_mri_images(&MriConfig {
+        subjects: 4,
+        images_per_subject: 40,
+        total: None,
+        width: 16,
+        height: 16,
+        noise: 6,
+        seed: 2,
+    })
+    .unwrap();
+    let queries: Vec<_> = images.iter().take(4).cloned().collect();
+    let config = ExperimentConfig {
+        seeds: vec![7],
+        ranges: vec![0.05, 0.5],
+    };
+    let series = run_query_cost(
+        &images,
+        &queries,
+        ImageL1::paper(),
+        &paper_image_structures(),
+        &config,
+    );
+    assert_eq!(series.len(), 5);
+    let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["vpt(2)", "vpt(3)", "mvpt(2,16)", "mvpt(2,5)", "mvpt(3,13)"]
+    );
+    for s in &series {
+        assert!(s.build_distances > 0.0, "{}", s.name);
+        for p in &s.points {
+            assert!(p.avg_distances > 0.0 && p.avg_distances <= images.len() as f64);
+        }
+    }
+    // Result counts are structure-independent ground truth.
+    let truth = &series[0];
+    for s in &series[1..] {
+        for (a, b) in truth.points.iter().zip(&s.points) {
+            assert_eq!(a.avg_results, b.avg_results, "{}", s.name);
+        }
+    }
+}
+
+#[test]
+fn vector_line_up_counts_exactly_like_manual_measurement() {
+    // The harness's tallies must equal a hand-rolled measurement of the
+    // same structure/seed/queries.
+    let items = uniform_vectors(400, 6, 1);
+    let queries = uniform_vectors(7, 6, 2);
+    let config = ExperimentConfig {
+        seeds: vec![101],
+        ranges: vec![0.4],
+    };
+    let series = run_query_cost(
+        &items,
+        &queries,
+        Euclidean,
+        &paper_vector_structures(),
+        &config,
+    );
+    let harness_cost = series[0].cost_at(0.4).unwrap();
+
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let tree = vantage_vptree::VpTree::build(
+        items,
+        metric,
+        vantage_vptree::VpTreeParams::with_order(2).seed(101),
+    )
+    .unwrap();
+    probe.reset();
+    for q in &queries {
+        tree.range(q, 0.4);
+    }
+    let manual = probe.count() as f64 / queries.len() as f64;
+    assert!((harness_cost - manual).abs() < 1e-9, "{harness_cost} vs {manual}");
+}
+
+#[test]
+fn report_tables_and_csv_are_consistent() {
+    let items = uniform_vectors(200, 4, 5);
+    let queries = uniform_vectors(3, 4, 6);
+    let config = ExperimentConfig {
+        seeds: vec![1, 2],
+        ranges: vec![0.2, 0.5],
+    };
+    let series = run_query_cost(
+        &items,
+        &queries,
+        Euclidean,
+        &paper_vector_structures(),
+        &config,
+    );
+    let rows = query_cost_rows(&series);
+    // header + 2 ranges + build row
+    assert_eq!(rows.len(), 4);
+    let table = format_table(&rows);
+    let csv = format_csv(&rows);
+    assert_eq!(table.lines().count(), 5); // + separator
+    assert_eq!(csv.lines().count(), 4);
+    for s in &series {
+        assert!(table.contains(&s.name));
+        assert!(csv.contains(&s.name));
+    }
+}

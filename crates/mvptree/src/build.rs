@@ -1,0 +1,450 @@
+//! mvp-tree construction — the paper's §4.2 algorithm, generalized from
+//! the presented `m = 2` to any `m ≥ 2`.
+//!
+//! Outline for a point set `S` (paper steps in parentheses):
+//!
+//! * `|S| ≤ k + 2`: build a **leaf** — pick the first vantage point
+//!   arbitrarily (2.1), record every remaining point's distance to it in
+//!   `D1` (2.3), pick the *farthest* point as the second vantage point
+//!   (2.4) and record distances to it in `D2` (2.6).
+//! * otherwise build an **internal node** — pick the first vantage point
+//!   (3.1), compute distances (3.3) feeding each point's `PATH` while it
+//!   has fewer than `p` entries, quantile-split into `m` groups recording
+//!   cutoffs (3.4, the paper's `M1`), pick the second vantage point from
+//!   the farthest group (3.5), compute its distances to all remaining
+//!   points (3.7, feeding `PATH` again), split *each group separately*
+//!   into `m` subgroups recording per-group cutoffs (3.8–3.9, the paper's
+//!   `M2[·]`), and recurse on the `m²` subgroups.
+//!
+//! Construction cost: two distance computations per (node, descendant)
+//! pair — `O(n log_{m²} n × 2) = O(n log_m n)` as the paper states, and
+//! it is exactly these distances whose first `p` entries the leaves keep.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use vantage_core::util::split_into_quantiles;
+use vantage_core::{Metric, Result};
+
+use crate::node::{LeafEntry, Node, NodeId};
+use crate::params::{MvpParams, SecondVantage};
+use crate::tree::MvpTree;
+
+impl<T, M: Metric<T>> MvpTree<T, M> {
+    /// Builds an mvp-tree over `items`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `params` is invalid.
+    pub fn build(items: Vec<T>, metric: M, params: MvpParams) -> Result<Self> {
+        params.validate()?;
+        let n = items.len();
+        let mut tree = MvpTree {
+            items,
+            metric,
+            nodes: Vec::new(),
+            root: None,
+            params,
+        };
+        let mut rng = StdRng::seed_from_u64(tree.params.seed);
+        // Per-item PATH accumulators: each point collects distances to the
+        // vantage points above it as construction descends; leaves harvest
+        // them. An id is in exactly one branch, so a flat table works.
+        let mut paths: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let ids: Vec<u32> = (0..n as u32).collect();
+        tree.root = tree.build_node(ids, &mut paths, &mut rng);
+        Ok(tree)
+    }
+
+    fn distance_between(&self, a: u32, b: u32) -> f64 {
+        self.metric
+            .distance(&self.items[a as usize], &self.items[b as usize])
+    }
+
+    fn build_node(
+        &mut self,
+        ids: Vec<u32>,
+        paths: &mut [Vec<f64>],
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        if ids.is_empty() {
+            return None;
+        }
+        if ids.len() <= self.params.k + 2 {
+            let leaf = self.build_leaf(ids, paths, rng);
+            return Some(self.push(leaf));
+        }
+
+        let p = self.params.p;
+        let m = self.params.m;
+
+        // (3.1) First vantage point.
+        let vp1_pos = self
+            .params
+            .selector
+            .select(&self.items, &ids, &self.metric, rng);
+        let vp1 = ids[vp1_pos];
+
+        // (3.3) Distances to vp1, feeding PATH.
+        let d1_list: Vec<(u32, f64)> = ids
+            .iter()
+            .copied()
+            .filter(|&id| id != vp1)
+            .map(|id| {
+                let d = self.distance_between(vp1, id);
+                if paths[id as usize].len() < p {
+                    paths[id as usize].push(d);
+                }
+                (id, d)
+            })
+            .collect();
+
+        // (3.4) Split into m groups around vp1.
+        let (mut groups, cutoffs1) = split_into_quantiles(d1_list, m);
+
+        // (3.5) Second vantage point.
+        let vp2 = match self.params.second {
+            SecondVantage::Farthest => {
+                // An arbitrary object from the farthest partition (the
+                // paper's SS2); the last group is never empty.
+                let group = groups
+                    .iter_mut()
+                    .rev()
+                    .find(|g| !g.is_empty())
+                    .expect("at least one non-empty group");
+                let pos = rng.random_range(0..group.len());
+                group.swap_remove(pos).0
+            }
+            SecondVantage::Random => {
+                let total: usize = groups.iter().map(Vec::len).sum();
+                let mut target = rng.random_range(0..total);
+                let mut picked = None;
+                for group in &mut groups {
+                    if target < group.len() {
+                        picked = Some(group.swap_remove(target).0);
+                        break;
+                    }
+                    target -= group.len();
+                }
+                picked.expect("target within total")
+            }
+        };
+
+        // (3.7) Distances to vp2 for every remaining point, feeding PATH;
+        // (3.8–3.9) split each group separately around vp2.
+        let mut cutoffs2: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut subgroups: Vec<Vec<u32>> = Vec::with_capacity(m * m);
+        for group in groups {
+            let d2_list: Vec<(u32, f64)> = group
+                .into_iter()
+                .map(|(id, _)| {
+                    let d = self.distance_between(vp2, id);
+                    if paths[id as usize].len() < p {
+                        paths[id as usize].push(d);
+                    }
+                    (id, d)
+                })
+                .collect();
+            let (subs, cuts) = split_into_quantiles(d2_list, m);
+            cutoffs2.push(cuts);
+            subgroups.extend(
+                subs.into_iter()
+                    .map(|sub| sub.into_iter().map(|(id, _)| id).collect::<Vec<u32>>()),
+            );
+        }
+
+        // Reserve the node slot before recursing (parents precede
+        // children in the arena).
+        let node_id = self.push(Node::Internal {
+            vp1,
+            vp2,
+            cutoffs1,
+            cutoffs2,
+            children: Vec::new(),
+        });
+        let children: Vec<Option<NodeId>> = subgroups
+            .into_iter()
+            .map(|sub| self.build_node(sub, paths, rng))
+            .collect();
+        match &mut self.nodes[node_id as usize] {
+            Node::Internal { children: slot, .. } => *slot = children,
+            Node::Leaf { .. } => unreachable!("reserved slot is internal"),
+        }
+        Some(node_id)
+    }
+
+    /// Builds a leaf from `1 ≤ ids.len() ≤ k + 2` points (paper step 2).
+    fn build_leaf(&mut self, ids: Vec<u32>, paths: &mut [Vec<f64>], rng: &mut StdRng) -> Node {
+        // (2.1) First vantage point, arbitrary.
+        let vp1_pos = self
+            .params
+            .selector
+            .select(&self.items, &ids, &self.metric, rng);
+        let vp1 = ids[vp1_pos];
+        let mut rest: Vec<u32> = ids.into_iter().filter(|&id| id != vp1).collect();
+        if rest.is_empty() {
+            return Node::Leaf {
+                vp1,
+                vp2: None,
+                entries: Vec::new(),
+            };
+        }
+
+        // (2.3) D1 distances.
+        let d1: Vec<f64> = rest
+            .iter()
+            .map(|&id| self.distance_between(vp1, id))
+            .collect();
+
+        // (2.4) Second vantage point: the farthest point from vp1 (or a
+        // random one under the ablation setting).
+        let vp2_pos = match self.params.second {
+            SecondVantage::Farthest => d1
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("rest is non-empty"),
+            SecondVantage::Random => rng.random_range(0..rest.len()),
+        };
+        let vp2 = rest.swap_remove(vp2_pos);
+        let mut d1: Vec<f64> = d1;
+        d1.swap_remove(vp2_pos);
+
+        // (2.6) D2 distances and entry assembly.
+        let entries: Vec<LeafEntry> = rest
+            .into_iter()
+            .zip(d1)
+            .map(|(id, d1)| LeafEntry {
+                id,
+                d1,
+                d2: self.distance_between(vp2, id),
+                path: std::mem::take(&mut paths[id as usize]),
+            })
+            .collect();
+
+        Node::Leaf {
+            vp1,
+            vp2: Some(vp2),
+            entries,
+        }
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+    use vantage_core::MetricIndex;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_tree() {
+        let t = MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::binary(4, 2))
+            .unwrap();
+        assert!(t.is_empty());
+        assert!(t.root.is_none());
+    }
+
+    #[test]
+    fn tiny_datasets_build_single_leaves() {
+        for n in 1..=6 {
+            let t =
+                MvpTree::build(points(n), Euclidean, MvpParams::binary(4, 2)).unwrap();
+            assert_eq!(t.len(), n);
+            assert_eq!(t.nodes.len(), 1, "n={n} should be one leaf (k+2=6)");
+        }
+    }
+
+    #[test]
+    fn single_point_leaf_has_no_second_vantage() {
+        let t = MvpTree::build(points(1), Euclidean, MvpParams::binary(4, 2)).unwrap();
+        match &t.nodes[0] {
+            Node::Leaf { vp2, entries, .. } => {
+                assert!(vp2.is_none());
+                assert!(entries.is_empty());
+            }
+            Node::Internal { .. } => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn two_point_leaf_is_two_vantages() {
+        let t = MvpTree::build(points(2), Euclidean, MvpParams::binary(4, 2)).unwrap();
+        match &t.nodes[0] {
+            Node::Leaf { vp2, entries, .. } => {
+                assert!(vp2.is_some());
+                assert!(entries.is_empty());
+            }
+            Node::Internal { .. } => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn leaf_second_vantage_is_farthest_from_first() {
+        // Force FirstItem selection so vp1 = id 0 (value 0.0); the
+        // farthest is id 4 (value 4.0).
+        let t = MvpTree::build(
+            points(5),
+            Euclidean,
+            MvpParams::binary(4, 2).selector(VantageSelector::FirstItem),
+        )
+        .unwrap();
+        match &t.nodes[0] {
+            Node::Leaf { vp1, vp2, .. } => {
+                assert_eq!(*vp1, 0);
+                assert_eq!(*vp2, Some(4));
+            }
+            Node::Internal { .. } => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn every_item_appears_exactly_once() {
+        let t = MvpTree::build(
+            points(533),
+            Euclidean,
+            MvpParams::paper(3, 7, 4).seed(13),
+        )
+        .unwrap();
+        let mut seen = vec![0u32; t.len()];
+        for node in &t.nodes {
+            match node {
+                Node::Internal { vp1, vp2, .. } => {
+                    seen[*vp1 as usize] += 1;
+                    seen[*vp2 as usize] += 1;
+                }
+                Node::Leaf { vp1, vp2, entries } => {
+                    seen[*vp1 as usize] += 1;
+                    if let Some(v) = vp2 {
+                        seen[*v as usize] += 1;
+                    }
+                    for e in entries {
+                        seen[e.id as usize] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn internal_node_shapes_match_m() {
+        let m = 3;
+        let t = MvpTree::build(
+            points(400),
+            Euclidean,
+            MvpParams::paper(m, 5, 4).seed(1),
+        )
+        .unwrap();
+        let mut internals = 0;
+        for node in &t.nodes {
+            if let Node::Internal {
+                cutoffs1,
+                cutoffs2,
+                children,
+                ..
+            } = node
+            {
+                internals += 1;
+                assert_eq!(cutoffs1.len(), m - 1);
+                assert_eq!(cutoffs2.len(), m);
+                assert!(cutoffs2.iter().all(|c| c.len() == m - 1));
+                assert_eq!(children.len(), m * m);
+            }
+        }
+        assert!(internals > 0);
+    }
+
+    #[test]
+    fn path_arrays_are_capped_at_p() {
+        let p = 3;
+        let t = MvpTree::build(
+            points(1000),
+            Euclidean,
+            MvpParams::paper(2, 4, p).seed(5),
+        )
+        .unwrap();
+        let mut max_len = 0;
+        for node in &t.nodes {
+            if let Node::Leaf { entries, .. } = node {
+                for e in entries {
+                    max_len = max_len.max(e.path.len());
+                    assert!(e.path.len() <= p);
+                }
+            }
+        }
+        assert_eq!(max_len, p, "deep tree should fill PATH to p");
+    }
+
+    #[test]
+    fn p_zero_keeps_no_paths() {
+        let t = MvpTree::build(
+            points(500),
+            Euclidean,
+            MvpParams::paper(2, 4, 0).seed(5),
+        )
+        .unwrap();
+        for node in &t.nodes {
+            if let Node::Leaf { entries, .. } = node {
+                assert!(entries.iter().all(|e| e.path.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn construction_cost_scales_as_n_log_n() {
+        let n = 1024;
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        MvpTree::build(points(n), metric, MvpParams::paper(2, 1, 0).seed(1)).unwrap();
+        let count = probe.count() as f64;
+        // Two vantage points per node over log_{m²}(n) levels ≈ n·log2(n)
+        // for m = 2; allow generous slack for uneven splits.
+        let n_log_n = (n as f64) * (n as f64).log2();
+        assert!(count < 2.0 * n_log_n, "count {count}");
+        assert!(count > 0.4 * n_log_n, "count {count}");
+    }
+
+    #[test]
+    fn same_seed_same_tree() {
+        let a = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8))
+            .unwrap();
+        let b = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8))
+            .unwrap();
+        assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn duplicate_points_build_and_search() {
+        let items = vec![vec![2.5]; 100];
+        let t = MvpTree::build(items, Euclidean, MvpParams::paper(2, 8, 3)).unwrap();
+        assert_eq!(t.range(&vec![2.5], 0.0).len(), 100);
+    }
+
+    #[test]
+    fn invalid_params_error() {
+        assert!(MvpTree::build(points(10), Euclidean, MvpParams::paper(1, 5, 2)).is_err());
+        assert!(MvpTree::build(points(10), Euclidean, MvpParams::paper(2, 0, 2)).is_err());
+    }
+
+    #[test]
+    fn random_second_vantage_builds_correctly() {
+        let t = MvpTree::build(
+            points(200),
+            Euclidean,
+            MvpParams::paper(2, 5, 3).second(SecondVantage::Random).seed(3),
+        )
+        .unwrap();
+        t.check_invariants().unwrap();
+    }
+}

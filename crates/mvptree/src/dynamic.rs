@@ -1,0 +1,347 @@
+//! Dynamic updates on top of the static mvp-tree.
+//!
+//! The paper (§6) leaves updates open: *"Mvp-trees, like other distance
+//! based index structures, is a static index structure … Handling update
+//! operations (insertion and deletion) without major restructuring, and
+//! without violating the balanced structure of the tree is an open
+//! problem."*
+//!
+//! [`DynamicMvpTree`] closes the gap with the classic static-to-dynamic
+//! transformation (amortized rebuilding) rather than in-place
+//! restructuring, preserving the paper's balance guarantee:
+//!
+//! * **inserts** accumulate in an overflow buffer that queries scan
+//!   exhaustively; when the buffer exceeds a fraction of the indexed size
+//!   the whole structure is rebuilt (amortized `O(log² n)` extra distance
+//!   computations per insert);
+//! * **deletes** tombstone their target; when live points drop below half
+//!   the structure is rebuilt without the tombstones.
+//!
+//! Items keep **stable ids** across rebuilds (the id returned by
+//! [`insert`](DynamicMvpTree::insert) is permanent), unlike the static
+//! tree where ids are positions in the construction vector.
+
+use std::collections::HashSet;
+
+use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result};
+
+use crate::params::MvpParams;
+use crate::tree::MvpTree;
+
+/// Minimum overflow-buffer size before a rebuild is considered.
+const MIN_REBUILD_BUFFER: usize = 32;
+
+/// An mvp-tree supporting inserts and deletes via amortized rebuilding.
+///
+/// Requires `T: Clone` (rebuilds re-index snapshots of live items) and
+/// `M: Clone` (each rebuilt tree owns the metric; clone a
+/// [`Counted`](vantage_core::Counted) to keep a shared tally).
+#[derive(Debug, Clone)]
+pub struct DynamicMvpTree<T, M> {
+    params: MvpParams,
+    metric: M,
+    /// Authority storage: stable id → item. Never shrinks.
+    store: Vec<T>,
+    /// Stable ids that have been removed.
+    tombstones: HashSet<usize>,
+    /// The static tree over a snapshot; `tree_ids[i]` maps the tree's
+    /// internal id `i` back to a stable id.
+    tree: Option<MvpTree<T, M>>,
+    tree_ids: Vec<usize>,
+    /// How many of the tree's points are tombstoned (kNN over-fetch
+    /// needs this).
+    tree_dead: usize,
+    /// Stable ids not yet in the tree (scanned exhaustively).
+    overflow: Vec<usize>,
+    /// Bumped every rebuild so vantage-point randomization varies.
+    epoch: u64,
+}
+
+impl<T: Clone, M: Metric<T> + Clone> DynamicMvpTree<T, M> {
+    /// Creates an empty dynamic tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `params` is invalid.
+    pub fn new(metric: M, params: MvpParams) -> Result<Self> {
+        params.validate()?;
+        Ok(DynamicMvpTree {
+            params,
+            metric,
+            store: Vec::new(),
+            tombstones: HashSet::new(),
+            tree: None,
+            tree_ids: Vec::new(),
+            tree_dead: 0,
+            overflow: Vec::new(),
+            epoch: 0,
+        })
+    }
+
+    /// Bulk-loads an initial dataset (stable ids `0..items.len()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `params` is invalid.
+    pub fn with_items(items: Vec<T>, metric: M, params: MvpParams) -> Result<Self> {
+        let mut this = DynamicMvpTree::new(metric, params)?;
+        this.store = items;
+        this.rebuild();
+        Ok(this)
+    }
+
+    /// Number of live (non-deleted) items.
+    pub fn len(&self) -> usize {
+        self.store.len() - self.tombstones.len()
+    }
+
+    /// Whether no live items remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of items currently in the overflow buffer (diagnostic).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Inserts an item, returning its stable id.
+    pub fn insert(&mut self, item: T) -> usize {
+        let id = self.store.len();
+        self.store.push(item);
+        self.overflow.push(id);
+        let threshold = MIN_REBUILD_BUFFER.max(self.tree_ids.len() / 4);
+        if self.overflow.len() > threshold {
+            self.rebuild();
+        }
+        id
+    }
+
+    /// Removes the item with the given stable id. Returns `false` when the
+    /// id is unknown or already removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.store.len() || !self.tombstones.insert(id) {
+            return false;
+        }
+        if let Ok(pos) = self.overflow.binary_search(&id) {
+            // Overflow ids are appended in increasing order, so binary
+            // search finds buffered items directly. The tombstone stays:
+            // the authority store never shrinks, so rebuilds must keep
+            // skipping this id.
+            self.overflow.remove(pos);
+            return true;
+        }
+        self.tree_dead += 1;
+        if self.tree_dead * 2 > self.tree_ids.len() {
+            self.rebuild();
+        }
+        true
+    }
+
+    /// Returns the live item with this stable id.
+    pub fn get(&self, id: usize) -> Option<&T> {
+        if self.tombstones.contains(&id) {
+            return None;
+        }
+        self.store.get(id)
+    }
+
+    /// Rebuilds the static tree over all live items, emptying the
+    /// overflow buffer and dropping tombstones from the snapshot.
+    pub fn rebuild(&mut self) {
+        let live: Vec<usize> = (0..self.store.len())
+            .filter(|id| !self.tombstones.contains(id))
+            .collect();
+        let items: Vec<T> = live.iter().map(|&id| self.store[id].clone()).collect();
+        self.epoch += 1;
+        let params = self.params.clone().seed(self.params.seed.wrapping_add(self.epoch));
+        let tree = MvpTree::build(items, self.metric.clone(), params)
+            .expect("params validated at construction");
+        self.tree = Some(tree);
+        self.tree_ids = live;
+        self.tree_dead = 0;
+        self.overflow.clear();
+    }
+
+    /// All items within `radius` of `query` (stable ids).
+    pub fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(tree) = &self.tree {
+            for n in tree.range(query, radius) {
+                let stable = self.tree_ids[n.id];
+                if !self.tombstones.contains(&stable) {
+                    out.push(Neighbor::new(stable, n.distance));
+                }
+            }
+        }
+        for &id in &self.overflow {
+            let d = self.metric.distance(query, &self.store[id]);
+            if d <= radius {
+                out.push(Neighbor::new(id, d));
+            }
+        }
+        out
+    }
+
+    /// The `k` nearest live items (stable ids), sorted by distance.
+    pub fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        if let Some(tree) = &self.tree {
+            // Over-fetch to survive tombstoned results: at most
+            // `tree_dead` of the tree's answers can be dead.
+            for n in tree.knn(query, k.saturating_add(self.tree_dead)) {
+                let stable = self.tree_ids[n.id];
+                if !self.tombstones.contains(&stable) {
+                    collector.offer(stable, n.distance);
+                }
+            }
+        }
+        for &id in &self.overflow {
+            collector.offer(id, self.metric.distance(query, &self.store[id]));
+        }
+        collector.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    fn params() -> MvpParams {
+        MvpParams::paper(2, 4, 2).seed(1)
+    }
+
+    fn pt(x: f64) -> Vec<f64> {
+        vec![x]
+    }
+
+    #[test]
+    fn insert_then_query() {
+        let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
+        for i in 0..100 {
+            t.insert(pt(f64::from(i)));
+        }
+        assert_eq!(t.len(), 100);
+        let hits = t.range(&pt(50.0), 1.5);
+        let mut ids: Vec<usize> = hits.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![49, 50, 51]);
+    }
+
+    #[test]
+    fn ids_are_stable_across_rebuilds() {
+        let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
+        let id7 = (0..8).map(|i| t.insert(pt(f64::from(i)))).last().unwrap();
+        assert_eq!(id7, 7);
+        for i in 8..300 {
+            t.insert(pt(f64::from(i))); // forces several rebuilds
+        }
+        let hits = t.range(&pt(7.0), 0.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+        assert_eq!(t.get(7), Some(&pt(7.0)));
+    }
+
+    #[test]
+    fn remove_hides_items_from_queries() {
+        let mut t =
+            DynamicMvpTree::with_items((0..50).map(|i| pt(f64::from(i))).collect(), Euclidean, params())
+                .unwrap();
+        assert!(t.remove(25));
+        assert!(!t.remove(25), "double delete must fail");
+        assert!(!t.remove(999), "unknown id must fail");
+        assert_eq!(t.len(), 49);
+        assert!(t.range(&pt(25.0), 0.0).is_empty());
+        assert!(t.get(25).is_none());
+        let nn = t.knn(&pt(25.0), 2);
+        let mut ids: Vec<usize> = nn.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![24, 26]);
+    }
+
+    #[test]
+    fn remove_from_overflow_buffer() {
+        let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
+        let a = t.insert(pt(1.0));
+        let b = t.insert(pt(2.0));
+        assert!(t.remove(a));
+        assert_eq!(t.len(), 1);
+        assert!(t.range(&pt(1.0), 0.1).is_empty());
+        assert_eq!(t.range(&pt(2.0), 0.1)[0].id, b);
+    }
+
+    #[test]
+    fn heavy_deletion_triggers_rebuild_and_stays_correct() {
+        let mut t = DynamicMvpTree::with_items(
+            (0..200).map(|i| pt(f64::from(i))).collect(),
+            Euclidean,
+            params(),
+        )
+        .unwrap();
+        for id in 0..150 {
+            assert!(t.remove(id));
+        }
+        assert_eq!(t.len(), 50);
+        let hits = t.range(&pt(175.0), 5.0);
+        assert_eq!(hits.len(), 11); // 170..=180
+        assert!(hits.iter().all(|n| n.id >= 150));
+    }
+
+    #[test]
+    fn matches_linear_scan_under_churn() {
+        let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
+        let mut live: Vec<(usize, Vec<f64>)> = Vec::new();
+        for i in 0usize..250 {
+            let v = pt(((i * 37) % 101) as f64);
+            let id = t.insert(v.clone());
+            live.push((id, v));
+            if i % 3 == 0 {
+                let victim = live.remove((i / 3) % live.len());
+                assert!(t.remove(victim.0));
+            }
+        }
+        let q = pt(40.0);
+        let mut got: Vec<usize> = t.range(&q, 7.0).into_iter().map(|n| n.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = live
+            .iter()
+            .filter(|(_, v)| Euclidean.distance(&q, v) <= 7.0)
+            .map(|(id, _)| *id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        // kNN distances agree with brute force over live items.
+        let knn = t.knn(&q, 10);
+        let mut brute: Vec<f64> = live
+            .iter()
+            .map(|(_, v)| Euclidean.distance(&q, v))
+            .collect();
+        brute.sort_unstable_by(f64::total_cmp);
+        for (n, want) in knn.iter().zip(&brute) {
+            assert!((n.distance - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = DynamicMvpTree::<Vec<f64>, _>::new(Euclidean, params()).unwrap();
+        assert!(t.is_empty());
+        assert!(t.range(&pt(0.0), 10.0).is_empty());
+        assert!(t.knn(&pt(0.0), 5).is_empty());
+    }
+
+    #[test]
+    fn counted_metric_clones_share_tally() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let mut t = DynamicMvpTree::new(metric, params()).unwrap();
+        for i in 0..64 {
+            t.insert(pt(f64::from(i)));
+        }
+        probe.reset();
+        t.range(&pt(10.0), 1.0);
+        assert!(probe.count() > 0);
+    }
+}

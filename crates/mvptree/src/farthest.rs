@@ -1,0 +1,272 @@
+//! Far-neighbor queries on mvp-trees (paper §2's query variations),
+//! using the same two-vantage-point shells and leaf `D1`/`D2`/`PATH`
+//! arrays as range search — but with **upper** bounds: the triangle
+//! inequality gives `d(q, x) ≤ d(q, v) + d(v, x)` for every stored
+//! vantage point `v`, and the tightest of those caps what a candidate
+//! can contribute.
+
+use vantage_core::farthest::{FarthestIndex, KfnCollector};
+use vantage_core::{Metric, Neighbor};
+
+use crate::node::{Node, NodeId};
+use crate::tree::MvpTree;
+
+#[inline]
+fn shell_hi(cutoffs: &[f64], i: usize) -> f64 {
+    if i == cutoffs.len() {
+        f64::INFINITY
+    } else {
+        cutoffs[i]
+    }
+}
+
+impl<T, M: Metric<T>> MvpTree<T, M> {
+    fn beyond_node(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: f64,
+        path: &mut Vec<f64>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        match self.node(node) {
+            Node::Leaf { vp1, vp2, entries } => {
+                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
+                if dq1 >= radius {
+                    out.push(Neighbor::new(*vp1 as usize, dq1));
+                }
+                let Some(vp2) = vp2 else { return };
+                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
+                if dq2 >= radius {
+                    out.push(Neighbor::new(*vp2 as usize, dq2));
+                }
+                for e in entries {
+                    // Tightest upper bound over all stored distances.
+                    let mut upper = (dq1 + e.d1).min(dq2 + e.d2);
+                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                        upper = upper.min(qp + ep);
+                    }
+                    if upper < radius {
+                        continue;
+                    }
+                    let d = self.metric().distance(query, &self.items[e.id as usize]);
+                    if d >= radius {
+                        out.push(Neighbor::new(e.id as usize, d));
+                    }
+                }
+            }
+            Node::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                let m = self.params.m;
+                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
+                if dq1 >= radius {
+                    out.push(Neighbor::new(*vp1 as usize, dq1));
+                }
+                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
+                if dq2 >= radius {
+                    out.push(Neighbor::new(*vp2 as usize, dq2));
+                }
+                let saved = path.len();
+                if path.len() < self.params.p {
+                    path.push(dq1);
+                }
+                if path.len() < self.params.p {
+                    path.push(dq2);
+                }
+                for i in 0..m {
+                    let hi1 = shell_hi(cutoffs1, i);
+                    for j in 0..m {
+                        let Some(child) = children[i * m + j] else {
+                            continue;
+                        };
+                        let hi2 = shell_hi(&cutoffs2[i], j);
+                        if (dq1 + hi1).min(dq2 + hi2) >= radius {
+                            self.beyond_node(child, query, radius, path, out);
+                        }
+                    }
+                }
+                path.truncate(saved);
+            }
+        }
+    }
+
+    fn kfn_node(
+        &self,
+        node: NodeId,
+        query: &T,
+        collector: &mut KfnCollector,
+        path: &mut Vec<f64>,
+    ) {
+        match self.node(node) {
+            Node::Leaf { vp1, vp2, entries } => {
+                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
+                collector.offer(*vp1 as usize, dq1);
+                let Some(vp2) = vp2 else { return };
+                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
+                collector.offer(*vp2 as usize, dq2);
+                for e in entries {
+                    let mut upper = (dq1 + e.d1).min(dq2 + e.d2);
+                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                        upper = upper.min(qp + ep);
+                    }
+                    if upper > collector.radius() {
+                        let d =
+                            self.metric().distance(query, &self.items[e.id as usize]);
+                        collector.offer(e.id as usize, d);
+                    }
+                }
+            }
+            Node::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                let m = self.params.m;
+                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
+                collector.offer(*vp1 as usize, dq1);
+                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
+                collector.offer(*vp2 as usize, dq2);
+                let saved = path.len();
+                if path.len() < self.params.p {
+                    path.push(dq1);
+                }
+                if path.len() < self.params.p {
+                    path.push(dq2);
+                }
+                let mut order: Vec<(f64, NodeId)> = Vec::with_capacity(m * m);
+                for i in 0..m {
+                    let hi1 = shell_hi(cutoffs1, i);
+                    for j in 0..m {
+                        let Some(child) = children[i * m + j] else {
+                            continue;
+                        };
+                        let hi2 = shell_hi(&cutoffs2[i], j);
+                        order.push(((dq1 + hi1).min(dq2 + hi2), child));
+                    }
+                }
+                order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+                for (upper, child) in order {
+                    if upper <= collector.radius() {
+                        break;
+                    }
+                    self.kfn_node(child, query, collector, path);
+                }
+                path.truncate(saved);
+            }
+        }
+    }
+}
+
+impl<T, M: Metric<T>> FarthestIndex<T> for MvpTree<T, M> {
+    fn range_beyond(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let mut path = Vec::with_capacity(self.params.p);
+        if let Some(root) = self.root {
+            self.beyond_node(root, query, radius, &mut path, &mut out);
+        }
+        out
+    }
+
+    fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        let mut collector = KfnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                let mut path = Vec::with_capacity(self.params.p);
+                self.kfn_node(root, query, &mut collector, &mut path);
+            }
+        }
+        collector.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MvpParams;
+    use vantage_core::prelude::*;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for x in 0..12 {
+            for y in 0..12 {
+                v.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        v
+    }
+
+    fn ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+        v.sort_unstable_by_key(|n| n.id);
+        v.into_iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn range_beyond_matches_linear_scan() {
+        let o = LinearScan::new(grid(), Euclidean);
+        for (m, k, p) in [(2, 5, 2), (3, 9, 5), (3, 80, 5)] {
+            let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(m, k, p).seed(3))
+                .unwrap();
+            for (q, r) in [
+                (vec![6.0, 6.0], 5.0),
+                (vec![0.0, 0.0], 12.0),
+                (vec![6.0, 6.0], 0.0),
+                (vec![6.0, 6.0], 1e9),
+            ] {
+                assert_eq!(
+                    ids(t.range_beyond(&q, r)),
+                    ids(o.range_beyond(&q, r)),
+                    "m={m} k={k} p={p} q={q:?} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_farthest_matches_brute_force() {
+        let o = LinearScan::new(grid(), Euclidean);
+        let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(3, 13, 4).seed(1))
+            .unwrap();
+        for k in [1, 5, 60, 144, 200] {
+            let a = t.k_farthest(&vec![2.0, 3.0], k);
+            let b = o.k_farthest(&vec![2.0, 3.0], k);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.distance - y.distance).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn farthest_queries_prune_computations() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let t = MvpTree::build(grid(), metric, MvpParams::paper(3, 13, 4).seed(1))
+            .unwrap();
+        probe.reset();
+        // The far corner from (0,0) is (11,11).
+        let out = t.k_farthest(&vec![0.0, 0.0], 1);
+        assert_eq!(out[0].distance, (242.0f64).sqrt());
+        assert!(probe.count() < 144, "no pruning: {}", probe.count());
+        probe.reset();
+        t.range_beyond(&vec![0.0, 0.0], 14.0);
+        assert!(probe.count() < 144);
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(2, 5, 2)).unwrap();
+        assert!(t.k_farthest(&vec![0.0, 0.0], 0).is_empty());
+        let empty =
+            MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::paper(2, 5, 2))
+                .unwrap();
+        assert!(empty.k_farthest(&vec![0.0], 3).is_empty());
+        assert!(empty.range_beyond(&vec![0.0], 1.0).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Node arena layout (paper §4.2, Figure 3, generalized to any `m ≥ 2`).
+
+/// Index of a node inside the tree's arena.
+pub(crate) type NodeId = u32;
+
+/// One data point stored in a leaf, with its pre-computed distances.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct LeafEntry {
+    /// Item id (into the tree's item table).
+    pub id: u32,
+    /// `D1[i]` of Figure 3: exact distance to the leaf's first vantage
+    /// point.
+    pub d1: f64,
+    /// `D2[i]` of Figure 3: exact distance to the leaf's second vantage
+    /// point (0 when the leaf has no second vantage point).
+    pub d2: f64,
+    /// `x.PATH[..]`: distances to the first `p` vantage points on the
+    /// root-to-leaf path (vantage points of *ancestor internal nodes*,
+    /// in root-to-leaf order, first-then-second within each node). The
+    /// length is `min(p, 2 × internal depth)`.
+    pub path: Vec<f64>,
+}
+
+/// An mvp-tree node.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) enum Node {
+    /// Interior node: two vantage points, `m − 1` first-level cutoffs and
+    /// `m × (m − 1)` second-level cutoffs, `m²` child slots.
+    ///
+    /// The first vantage point splits the points into `m` groups by
+    /// distance (group `i` lies in `[cutoffs1[i−1], cutoffs1[i]]`); the
+    /// second vantage point splits **each group separately** (subgroup
+    /// `(i, j)` of group `i` lies in `[cutoffs2[i][j−1], cutoffs2[i][j]]`
+    /// by distance to the second vantage point — the paper's `M2[1]`,
+    /// `M2[2]`).
+    Internal {
+        /// First vantage point (the paper's `Sv1`).
+        vp1: u32,
+        /// Second vantage point (`Sv2`), drawn from the farthest
+        /// partition.
+        vp2: u32,
+        /// First-level cutoffs (`M1` generalized): `m − 1` values.
+        cutoffs1: Vec<f64>,
+        /// Second-level cutoffs (`M2[·]` generalized): one `m − 1` vector
+        /// per first-level group.
+        cutoffs2: Vec<Vec<f64>>,
+        /// Children in row-major order: slot `i·m + j` is subgroup `j` of
+        /// group `i`. `None` for empty partitions.
+        children: Vec<Option<NodeId>>,
+    },
+    /// Leaf node: up to two vantage points of its own plus `k` data points
+    /// with exact distances to both (Figure 3's `D1`/`D2` arrays) and
+    /// their `PATH` arrays.
+    Leaf {
+        /// The leaf's first vantage point; `None` only for an empty tree
+        /// region (never stored — empty sets produce no node).
+        vp1: u32,
+        /// The leaf's second vantage point — the farthest point from
+        /// `vp1` (paper step 2.4); `None` when the leaf holds one point.
+        vp2: Option<u32>,
+        /// `PATH` array of `vp1` (it is a data point too and must pass
+        /// through leaf-level path filtering when checked as an answer
+        /// candidate — kept for introspection; search checks `vp1`
+        /// directly by distance).
+        entries: Vec<LeafEntry>,
+    },
+}

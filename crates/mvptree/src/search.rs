@@ -1,0 +1,371 @@
+//! Similarity search in mvp-trees — the paper's §4.3 algorithm (range
+//! queries) plus a k-nearest-neighbor extension.
+
+use vantage_core::{KnnCollector, Metric, Neighbor};
+
+use crate::node::{Node, NodeId};
+use crate::tree::MvpTree;
+
+/// The shell `[lo, hi]` of partition `i` given its cutoff vector.
+#[inline]
+fn shell(cutoffs: &[f64], i: usize) -> (f64, f64) {
+    let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
+    let hi = if i == cutoffs.len() {
+        f64::INFINITY
+    } else {
+        cutoffs[i]
+    };
+    (lo, hi)
+}
+
+/// Lower bound on the distance from a query at distance `d` (to the
+/// vantage point) to any point inside the shell `[lo, hi]`.
+#[inline]
+fn shell_bound(d: f64, lo: f64, hi: f64) -> f64 {
+    (d - hi).max(lo - d).max(0.0)
+}
+
+impl<T, M: Metric<T>> MvpTree<T, M> {
+    /// Range search (paper §4.3).
+    ///
+    /// Depth-first descent maintaining `PATH[]`, the distances between the
+    /// query and the first `p` vantage points on the current path. At each
+    /// node exactly two distances are computed (`d(Q, Sv1)`, `d(Q, Sv2)`);
+    /// branch `(i, j)` is entered only when the query ball can intersect
+    /// both its vp1-shell and its vp2-shell. At a leaf, a data point's
+    /// exact distance is computed **only** if it survives the `D1`, `D2`
+    /// and all `p` `PATH` triangle-inequality filters — the paper's
+    /// delayed major filtering step.
+    pub(crate) fn range_search(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
+        if let Some(root) = self.root {
+            self.range_node(root, query, radius, &mut path, &mut out);
+        }
+        out
+    }
+
+    fn range_node(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: f64,
+        path: &mut Vec<f64>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        match self.node(node) {
+            Node::Leaf { vp1, vp2, entries } => {
+                // Step 1: the vantage points are data points, checked
+                // directly.
+                let dq1 = self
+                    .metric
+                    .distance(query, &self.items[*vp1 as usize]);
+                if dq1 <= radius {
+                    out.push(Neighbor::new(*vp1 as usize, dq1));
+                }
+                let Some(vp2) = vp2 else { return };
+                let dq2 = self
+                    .metric
+                    .distance(query, &self.items[*vp2 as usize]);
+                if dq2 <= radius {
+                    out.push(Neighbor::new(*vp2 as usize, dq2));
+                }
+                // Step 2: filter entries by D1, D2, then PATH; compute the
+                // real distance only for survivors.
+                'entry: for e in entries {
+                    if (dq1 - e.d1).abs() > radius || (dq2 - e.d2).abs() > radius {
+                        continue;
+                    }
+                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                        if (qp - ep).abs() > radius {
+                            continue 'entry;
+                        }
+                    }
+                    let d = self
+                        .metric
+                        .distance(query, &self.items[e.id as usize]);
+                    if d <= radius {
+                        out.push(Neighbor::new(e.id as usize, d));
+                    }
+                }
+            }
+            Node::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                let m = self.params.m;
+                let dq1 = self
+                    .metric
+                    .distance(query, &self.items[*vp1 as usize]);
+                if dq1 <= radius {
+                    out.push(Neighbor::new(*vp1 as usize, dq1));
+                }
+                let dq2 = self
+                    .metric
+                    .distance(query, &self.items[*vp2 as usize]);
+                if dq2 <= radius {
+                    out.push(Neighbor::new(*vp2 as usize, dq2));
+                }
+                // Step 3.1: extend the query's PATH.
+                let saved = path.len();
+                if path.len() < self.params.p {
+                    path.push(dq1);
+                }
+                if path.len() < self.params.p {
+                    path.push(dq2);
+                }
+                // Steps 3.2/3.3 generalized: interval overlap against both
+                // vantage points' shells.
+                for i in 0..m {
+                    let (lo1, hi1) = shell(cutoffs1, i);
+                    if dq1 - radius > hi1 || dq1 + radius < lo1 {
+                        continue;
+                    }
+                    for j in 0..m {
+                        let Some(child) = children[i * m + j] else {
+                            continue;
+                        };
+                        let (lo2, hi2) = shell(&cutoffs2[i], j);
+                        if dq2 - radius > hi2 || dq2 + radius < lo2 {
+                            continue;
+                        }
+                        self.range_node(child, query, radius, path, out);
+                    }
+                }
+                path.truncate(saved);
+            }
+        }
+    }
+
+    /// k-nearest-neighbor search: depth-first branch-and-bound with the
+    /// dynamically shrinking radius of a [`KnnCollector`], visiting
+    /// children in order of their lower-bound distance. The leaf-level
+    /// `D1`/`D2`/`PATH` arrays provide per-point lower bounds
+    /// `max_i |PATH_q[i] − PATH_x[i]|`, skipping exact computations the
+    /// same way the paper's range filter does.
+    pub(crate) fn knn_search(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
+        if let Some(root) = self.root {
+            self.knn_node(root, query, &mut collector, &mut path);
+        }
+        collector.into_sorted()
+    }
+
+    fn knn_node(
+        &self,
+        node: NodeId,
+        query: &T,
+        collector: &mut KnnCollector,
+        path: &mut Vec<f64>,
+    ) {
+        match self.node(node) {
+            Node::Leaf { vp1, vp2, entries } => {
+                let dq1 = self
+                    .metric
+                    .distance(query, &self.items[*vp1 as usize]);
+                collector.offer(*vp1 as usize, dq1);
+                let Some(vp2) = vp2 else { return };
+                let dq2 = self
+                    .metric
+                    .distance(query, &self.items[*vp2 as usize]);
+                collector.offer(*vp2 as usize, dq2);
+                for e in entries {
+                    let mut bound = (dq1 - e.d1).abs().max((dq2 - e.d2).abs());
+                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                        bound = bound.max((qp - ep).abs());
+                    }
+                    if bound <= collector.radius() {
+                        let d = self
+                            .metric
+                            .distance(query, &self.items[e.id as usize]);
+                        collector.offer(e.id as usize, d);
+                    }
+                }
+            }
+            Node::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                let m = self.params.m;
+                let dq1 = self
+                    .metric
+                    .distance(query, &self.items[*vp1 as usize]);
+                collector.offer(*vp1 as usize, dq1);
+                let dq2 = self
+                    .metric
+                    .distance(query, &self.items[*vp2 as usize]);
+                collector.offer(*vp2 as usize, dq2);
+                let saved = path.len();
+                if path.len() < self.params.p {
+                    path.push(dq1);
+                }
+                if path.len() < self.params.p {
+                    path.push(dq2);
+                }
+                // Order children by lower bound, then recurse while the
+                // bound beats the (shrinking) k-th best distance.
+                let mut order: Vec<(f64, NodeId)> = Vec::with_capacity(m * m);
+                for i in 0..m {
+                    let (lo1, hi1) = shell(cutoffs1, i);
+                    let b1 = shell_bound(dq1, lo1, hi1);
+                    for j in 0..m {
+                        let Some(child) = children[i * m + j] else {
+                            continue;
+                        };
+                        let (lo2, hi2) = shell(&cutoffs2[i], j);
+                        let bound = b1.max(shell_bound(dq2, lo2, hi2));
+                        order.push((bound, child));
+                    }
+                }
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                for (bound, child) in order {
+                    if bound > collector.radius() {
+                        break;
+                    }
+                    self.knn_node(child, query, collector, path);
+                }
+                path.truncate(saved);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::MvpParams;
+    use crate::tree::MvpTree;
+    use vantage_core::prelude::*;
+    use vantage_core::MetricIndex;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for x in 0..12 {
+            for y in 0..12 {
+                v.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        v
+    }
+
+    fn tree(m: usize, k: usize, p: usize) -> MvpTree<Vec<f64>, Euclidean> {
+        MvpTree::build(grid(), Euclidean, MvpParams::paper(m, k, p).seed(4)).unwrap()
+    }
+
+    fn oracle() -> LinearScan<Vec<f64>, Euclidean> {
+        LinearScan::new(grid(), Euclidean)
+    }
+
+    #[test]
+    fn range_matches_linear_scan_across_configs() {
+        let o = oracle();
+        for (m, k, p) in [(2, 1, 0), (2, 5, 2), (3, 9, 5), (3, 80, 5), (4, 13, 4)] {
+            let t = tree(m, k, p);
+            for (q, r) in [
+                (vec![5.0, 5.0], 2.0),
+                (vec![0.0, 0.0], 4.0),
+                (vec![6.4, 3.2], 0.5),
+                (vec![-3.0, 15.0], 6.0),
+            ] {
+                let mut a = t.range(&q, r);
+                let mut b = o.range(&q, r);
+                a.sort_unstable_by_key(|n| n.id);
+                b.sort_unstable_by_key(|n| n.id);
+                assert_eq!(a, b, "m={m} k={k} p={p} q={q:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let o = oracle();
+        for (m, k, p) in [(2, 5, 2), (3, 9, 5), (3, 40, 5)] {
+            let t = tree(m, k, p);
+            for knn_k in [1, 2, 7, 50, 144, 200] {
+                let a = t.knn(&vec![4.7, 8.1], knn_k);
+                let b = o.knn(&vec![4.7, 8.1], knn_k);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(
+                        (x.distance - y.distance).abs() < 1e-12,
+                        "m={m} k={k} knn_k={knn_k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_zero_is_empty() {
+        assert!(tree(3, 9, 5).knn(&vec![0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn range_zero_radius_finds_exact() {
+        let t = tree(3, 9, 5);
+        let hits = t.range(&vec![7.0, 7.0], 0.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn huge_radius_returns_everything() {
+        assert_eq!(tree(2, 5, 3).range(&vec![5.0, 5.0], 1e9).len(), 144);
+    }
+
+    #[test]
+    fn search_beats_linear_scan_on_distance_count() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let t =
+            MvpTree::build(grid(), metric, MvpParams::paper(2, 10, 4).seed(4)).unwrap();
+        probe.reset();
+        t.range(&vec![5.0, 5.0], 1.0);
+        let used = probe.count();
+        assert!(used < 144, "mvp-tree used {used} >= linear scan's 144");
+    }
+
+    #[test]
+    fn knn_prunes_with_path_filters() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let t =
+            MvpTree::build(grid(), metric, MvpParams::paper(3, 9, 5).seed(4)).unwrap();
+        probe.reset();
+        let out = t.knn(&vec![5.0, 5.0], 4);
+        assert_eq!(out.len(), 4);
+        assert!(probe.count() < 144);
+    }
+
+    #[test]
+    fn path_filter_reduces_distance_count() {
+        // Same tree shape (same seed), different p: more path distances
+        // must never *increase* the leaf-level exact computations.
+        let count_for = |p: usize| {
+            let metric = Counted::new(Euclidean);
+            let probe = metric.clone();
+            let t = MvpTree::build(grid(), metric, MvpParams::paper(2, 20, p).seed(9))
+                .unwrap();
+            probe.reset();
+            for x in 0..6 {
+                t.range(&vec![f64::from(x) * 2.0, 5.5], 1.5);
+            }
+            probe.count()
+        };
+        let without = count_for(0);
+        let with = count_for(6);
+        assert!(
+            with <= without,
+            "p=6 used {with} > p=0's {without} distance computations"
+        );
+    }
+}

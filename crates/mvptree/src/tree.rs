@@ -1,0 +1,60 @@
+//! The [`MvpTree`] type and its public surface.
+
+use vantage_core::{MetricIndex, Neighbor};
+
+use crate::node::{Node, NodeId};
+use crate::params::MvpParams;
+
+/// A multi-vantage-point tree over items of type `T` under metric `M`.
+///
+/// Built once from a dataset ([`MvpTree::build`], paper §4.2); answers
+/// range and k-nearest-neighbor queries through [`MetricIndex`] (paper
+/// §4.3). See the crate docs for the algorithm.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MvpTree<T, M> {
+    pub(crate) items: Vec<T>,
+    pub(crate) metric: M,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<NodeId>,
+    pub(crate) params: MvpParams,
+}
+
+impl<T, M> MvpTree<T, M> {
+    /// The construction parameters.
+    pub fn params(&self) -> &MvpParams {
+        &self.params
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// All indexed items, in insertion order (ids index into this slice).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+}
+
+impl<T, M: vantage_core::Metric<T>> MetricIndex<T> for MvpTree<T, M> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, id: usize) -> Option<&T> {
+        self.items.get(id)
+    }
+
+    fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        self.range_search(query, radius)
+    }
+
+    fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        self.knn_search(query, k)
+    }
+}

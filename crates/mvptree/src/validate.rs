@@ -1,0 +1,247 @@
+//! Structural invariant checking (test/diagnostic facility).
+
+use vantage_core::Metric;
+
+use crate::node::{Node, NodeId};
+use crate::tree::MvpTree;
+
+impl<T, M: Metric<T>> MvpTree<T, M> {
+    /// Verifies the tree's structural invariants, returning a description
+    /// of the first violation found:
+    ///
+    /// 1. every item id appears exactly once (vantage point or leaf
+    ///    entry);
+    /// 2. every point in subgroup `(i, j)`'s subtree lies inside shell `i`
+    ///    of the node's first vantage point **and** shell `(i, j)` of its
+    ///    second vantage point;
+    /// 3. leaf `D1`/`D2` arrays hold the exact distances to the leaf's
+    ///    vantage points;
+    /// 4. every leaf entry's `PATH[i]` equals the exact distance to the
+    ///    i-th ancestor vantage point (root-to-leaf, first-then-second),
+    ///    with length `min(p, 2 × internal depth)`;
+    /// 5. leaves respect capacity `k`; cutoff vectors are sorted and have
+    ///    the right shapes.
+    ///
+    /// Re-computes `O(n · height)` distances — strictly for tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.items.len()];
+        if let Some(root) = self.root {
+            let mut ancestors = Vec::new();
+            self.check_node(root, &mut ancestors, &mut seen)?;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("item {missing} not reachable from the root"));
+        }
+        Ok(())
+    }
+
+    fn mark(&self, id: u32, seen: &mut [bool]) -> Result<(), String> {
+        let slot = seen
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("item id {id} out of bounds"))?;
+        if *slot {
+            return Err(format!("item {id} appears more than once"));
+        }
+        *slot = true;
+        Ok(())
+    }
+
+    fn dist(&self, a: u32, b: u32) -> f64 {
+        self.metric
+            .distance(&self.items[a as usize], &self.items[b as usize])
+    }
+
+    fn check_node(
+        &self,
+        node: NodeId,
+        ancestors: &mut Vec<u32>,
+        seen: &mut [bool],
+    ) -> Result<(), String> {
+        match self.node(node) {
+            Node::Leaf { vp1, vp2, entries } => {
+                self.mark(*vp1, seen)?;
+                if let Some(v2) = vp2 {
+                    self.mark(*v2, seen)?;
+                } else if !entries.is_empty() {
+                    return Err("leaf has entries but no second vantage point".into());
+                }
+                if entries.len() > self.params.k {
+                    return Err(format!(
+                        "leaf holds {} entries, capacity k = {}",
+                        entries.len(),
+                        self.params.k
+                    ));
+                }
+                for e in entries {
+                    self.mark(e.id, seen)?;
+                    let d1 = self.dist(*vp1, e.id);
+                    if d1 != e.d1 {
+                        return Err(format!(
+                            "entry {}: stored D1 {} != recomputed {}",
+                            e.id, e.d1, d1
+                        ));
+                    }
+                    let v2 = vp2.expect("entries imply vp2");
+                    let d2 = self.dist(v2, e.id);
+                    if d2 != e.d2 {
+                        return Err(format!(
+                            "entry {}: stored D2 {} != recomputed {}",
+                            e.id, e.d2, d2
+                        ));
+                    }
+                    let expected_len = self.params.p.min(ancestors.len());
+                    if e.path.len() != expected_len {
+                        return Err(format!(
+                            "entry {}: PATH length {} != min(p, ancestors) = {}",
+                            e.id,
+                            e.path.len(),
+                            expected_len
+                        ));
+                    }
+                    for (i, (&stored, &vp)) in
+                        e.path.iter().zip(ancestors.iter()).enumerate()
+                    {
+                        let d = self.dist(vp, e.id);
+                        if d != stored {
+                            return Err(format!(
+                                "entry {}: PATH[{i}] = {stored} != recomputed {d}",
+                                e.id
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Node::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                let m = self.params.m;
+                self.mark(*vp1, seen)?;
+                self.mark(*vp2, seen)?;
+                if cutoffs1.len() != m - 1
+                    || cutoffs2.len() != m
+                    || cutoffs2.iter().any(|c| c.len() != m - 1)
+                    || children.len() != m * m
+                {
+                    return Err("internal node has wrong cutoff/children shapes".into());
+                }
+                if cutoffs1.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(format!("cutoffs1 not sorted: {cutoffs1:?}"));
+                }
+                for c in cutoffs2 {
+                    if c.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(format!("cutoffs2 not sorted: {c:?}"));
+                    }
+                }
+                for i in 0..m {
+                    let lo1 = if i == 0 { 0.0 } else { cutoffs1[i - 1] };
+                    let hi1 = if i == m - 1 {
+                        f64::INFINITY
+                    } else {
+                        cutoffs1[i]
+                    };
+                    for j in 0..m {
+                        let Some(child) = children[i * m + j] else {
+                            continue;
+                        };
+                        let lo2 = if j == 0 { 0.0 } else { cutoffs2[i][j - 1] };
+                        let hi2 = if j == m - 1 {
+                            f64::INFINITY
+                        } else {
+                            cutoffs2[i][j]
+                        };
+                        let mut subtree = Vec::new();
+                        self.collect_subtree(child, &mut subtree);
+                        for id in subtree {
+                            let d1 = self.dist(*vp1, id);
+                            if d1 < lo1 || d1 > hi1 {
+                                return Err(format!(
+                                    "item {id}: d(vp1) = {d1} outside shell [{lo1}, {hi1}] of group {i}"
+                                ));
+                            }
+                            let d2 = self.dist(*vp2, id);
+                            if d2 < lo2 || d2 > hi2 {
+                                return Err(format!(
+                                    "item {id}: d(vp2) = {d2} outside shell [{lo2}, {hi2}] of subgroup ({i}, {j})"
+                                ));
+                            }
+                        }
+                        ancestors.push(*vp1);
+                        ancestors.push(*vp2);
+                        self.check_node(child, ancestors, seen)?;
+                        ancestors.pop();
+                        ancestors.pop();
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn collect_subtree(&self, node: NodeId, out: &mut Vec<u32>) {
+        match self.node(node) {
+            Node::Leaf { vp1, vp2, entries } => {
+                out.push(*vp1);
+                if let Some(v2) = vp2 {
+                    out.push(*v2);
+                }
+                out.extend(entries.iter().map(|e| e.id));
+            }
+            Node::Internal {
+                vp1,
+                vp2,
+                children,
+                ..
+            } => {
+                out.push(*vp1);
+                out.push(*vp2);
+                for child in children.iter().flatten() {
+                    self.collect_subtree(*child, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::{MvpParams, SecondVantage};
+    use crate::tree::MvpTree;
+    use vantage_core::prelude::*;
+
+    #[test]
+    fn built_trees_satisfy_invariants() {
+        let points: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![f64::from(i % 19), f64::from(i % 29), f64::from(i % 7)])
+            .collect();
+        for m in [2, 3] {
+            for k in [1, 9, 40] {
+                for p in [0, 2, 8] {
+                    for second in [SecondVantage::Farthest, SecondVantage::Random] {
+                        let t = MvpTree::build(
+                            points.clone(),
+                            Euclidean,
+                            MvpParams::paper(m, k, p).second(second).seed(3),
+                        )
+                        .unwrap();
+                        t.check_invariants()
+                            .unwrap_or_else(|e| panic!("m={m} k={k} p={p}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_trees_are_valid() {
+        for n in 0..8 {
+            let points: Vec<Vec<f64>> = (0..n).map(|i| vec![f64::from(i)]).collect();
+            let t = MvpTree::build(points, Euclidean, MvpParams::binary(3, 2)).unwrap();
+            t.check_invariants().unwrap();
+        }
+    }
+}

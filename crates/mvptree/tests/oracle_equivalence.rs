@@ -1,0 +1,245 @@
+//! Property tests for the mvp-tree: oracle equivalence against linear
+//! scan (the paper's correctness requirement), structural invariants, and
+//! the efficiency relations the paper claims.
+
+use proptest::prelude::*;
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_mvptree::{DynamicMvpTree, MvpParams, MvpTree, SecondVantage};
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, dim)
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(point_strategy(3), 0..150)
+}
+
+fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+    v.sort_unstable_by_key(|n| n.id);
+    v.into_iter().map(|n| n.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_matches_linear_scan(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..20.0,
+        m in 2usize..5,
+        k in 1usize..20,
+        p in 0usize..8,
+        seed in 0u64..4,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree =
+            MvpTree::build(points, Euclidean, MvpParams::paper(m, k, p).seed(seed))
+                .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+    }
+
+    #[test]
+    fn knn_matches_brute_force(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        knn_k in 0usize..20,
+        m in 2usize..4,
+        k in 1usize..20,
+        p in 0usize..6,
+        seed in 0u64..4,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree =
+            MvpTree::build(points, Euclidean, MvpParams::paper(m, k, p).seed(seed))
+                .unwrap();
+        let got = tree.knn(&query, knn_k);
+        let want = oracle.knn(&query, knn_k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.distance - w.distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_for_random_datasets(
+        points in dataset_strategy(),
+        m in 2usize..5,
+        k in 1usize..20,
+        p in 0usize..8,
+        seed in 0u64..4,
+        farthest in any::<bool>(),
+    ) {
+        let second = if farthest {
+            SecondVantage::Farthest
+        } else {
+            SecondVantage::Random
+        };
+        let tree = MvpTree::build(
+            points,
+            Euclidean,
+            MvpParams::paper(m, k, p).second(second).seed(seed),
+        )
+        .unwrap();
+        tree.check_invariants().unwrap();
+    }
+
+    /// Far-neighbor queries (paper §2's variations) match the oracle
+    /// exactly too.
+    #[test]
+    fn farthest_queries_match_oracle(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..25.0,
+        fk in 0usize..12,
+        m in 2usize..4,
+        k in 1usize..20,
+        p in 0usize..6,
+        seed in 0u64..3,
+    ) {
+        use vantage_core::farthest::FarthestIndex;
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree =
+            MvpTree::build(points, Euclidean, MvpParams::paper(m, k, p).seed(seed))
+                .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range_beyond(&query, radius)),
+            sorted_ids(oracle.range_beyond(&query, radius))
+        );
+        let got = tree.k_farthest(&query, fk);
+        let want = oracle.k_farthest(&query, fk);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.distance - w.distance).abs() < 1e-12);
+        }
+    }
+
+    /// Range search never computes more distances than a linear scan:
+    /// vantage points are evaluated once per visit and every leaf entry at
+    /// most once.
+    #[test]
+    fn never_worse_than_linear_scan(
+        points in proptest::collection::vec(point_strategy(2), 1..100),
+        query in point_strategy(2),
+        radius in 0.0f64..10.0,
+    ) {
+        let n = points.len() as u64;
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let tree =
+            MvpTree::build(points, metric, MvpParams::paper(2, 8, 4).seed(2)).unwrap();
+        probe.reset();
+        tree.range(&query, radius);
+        prop_assert!(probe.count() <= n);
+    }
+
+    /// Edit-distance (string) workloads behave identically.
+    #[test]
+    fn string_metric_range_matches_oracle(
+        words in proptest::collection::vec("[a-c]{0,8}".prop_map(String::from), 0..60),
+        query in "[a-c]{0,8}".prop_map(String::from),
+        radius in 0u32..6,
+    ) {
+        let oracle = LinearScan::new(words.clone(), Levenshtein);
+        let tree =
+            MvpTree::build(words, Levenshtein, MvpParams::paper(2, 5, 3).seed(1))
+                .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, f64::from(radius))),
+            sorted_ids(oracle.range(&query, f64::from(radius)))
+        );
+    }
+
+    /// The dynamic wrapper stays equivalent to a fresh linear scan under
+    /// interleaved inserts and deletes.
+    #[test]
+    fn dynamic_tree_matches_oracle_under_churn(
+        initial in proptest::collection::vec(point_strategy(2), 0..40),
+        inserts in proptest::collection::vec(point_strategy(2), 0..40),
+        delete_mask in proptest::collection::vec(any::<bool>(), 80),
+        query in point_strategy(2),
+        radius in 0.0f64..15.0,
+    ) {
+        let mut dynamic = DynamicMvpTree::with_items(
+            initial.clone(),
+            Euclidean,
+            MvpParams::paper(2, 4, 2).seed(1),
+        )
+        .unwrap();
+        let mut live: Vec<(usize, Vec<f64>)> =
+            initial.into_iter().enumerate().collect();
+        for v in inserts {
+            let id = dynamic.insert(v.clone());
+            live.push((id, v));
+        }
+        let mut idx = 0;
+        live.retain(|(id, _)| {
+            let kill = delete_mask.get(idx).copied().unwrap_or(false);
+            idx += 1;
+            if kill {
+                assert!(dynamic.remove(*id));
+                false
+            } else {
+                true
+            }
+        });
+        let mut got: Vec<usize> =
+            dynamic.range(&query, radius).into_iter().map(|n| n.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = live
+            .iter()
+            .filter(|(_, v)| Euclidean.distance(&query, v) <= radius)
+            .map(|(id, _)| *id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Non-proptest regression: the mvp-tree outperforms the vp-tree on the
+/// paper's own terms (fewer distance computations for range queries on
+/// uniform vectors) on a small but non-trivial instance.
+#[test]
+fn mvp_beats_vp_on_distance_computations() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use vantage_vptree::{VpTree, VpTreeParams};
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let points: Vec<Vec<f64>> = (0..2000)
+        .map(|_| (0..10).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    let queries: Vec<Vec<f64>> = (0..30)
+        .map(|_| (0..10).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    let radius = 0.4;
+
+    let vp_metric = Counted::new(Euclidean);
+    let vp_probe = vp_metric.clone();
+    let vp = VpTree::build(points.clone(), vp_metric, VpTreeParams::binary().seed(7))
+        .unwrap();
+    vp_probe.reset();
+    for q in &queries {
+        vp.range(q, radius);
+    }
+    let vp_count = vp_probe.count();
+
+    let mvp_metric = Counted::new(Euclidean);
+    let mvp_probe = mvp_metric.clone();
+    let mvp = MvpTree::build(points, mvp_metric, MvpParams::paper(3, 80, 5).seed(7))
+        .unwrap();
+    mvp_probe.reset();
+    for q in &queries {
+        mvp.range(q, radius);
+    }
+    let mvp_count = mvp_probe.count();
+
+    assert!(
+        (mvp_count as f64) < 0.8 * vp_count as f64,
+        "mvpt(3,80,5) used {mvp_count} vs vpt(2)'s {vp_count} — expected ≥20% savings"
+    );
+}

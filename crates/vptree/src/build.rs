@@ -1,0 +1,211 @@
+//! vp-tree construction (paper §3.3).
+//!
+//! At every interior node: choose a vantage point among the points indexed
+//! below, compute its distance to every remaining point, order by distance
+//! and split into `m` groups of equal cardinality, recording the boundary
+//! distances as cutoffs. Construction performs `O(n log_m n)` distance
+//! computations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vantage_core::util::split_into_quantiles;
+use vantage_core::{Metric, Result};
+
+use crate::node::{Node, NodeId};
+use crate::params::VpTreeParams;
+use crate::tree::VpTree;
+
+impl<T, M: Metric<T>> VpTree<T, M> {
+    /// Builds a vp-tree over `items`.
+    ///
+    /// Distance computations at construction: one per (vantage point,
+    /// descendant point) pair, plus whatever the selector costs — measure
+    /// with a [`Counted`](vantage_core::Counted) metric to reproduce the
+    /// paper's construction-cost discussion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `params` is invalid.
+    pub fn build(items: Vec<T>, metric: M, params: VpTreeParams) -> Result<Self> {
+        params.validate()?;
+        let mut tree = VpTree {
+            items,
+            metric,
+            nodes: Vec::new(),
+            root: None,
+            params,
+        };
+        let ids: Vec<u32> = (0..tree.items.len() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(tree.params.seed);
+        tree.root = tree.build_node(ids, &mut rng);
+        Ok(tree)
+    }
+
+    fn build_node(&mut self, ids: Vec<u32>, rng: &mut StdRng) -> Option<NodeId> {
+        if ids.is_empty() {
+            return None;
+        }
+        if ids.len() <= self.params.leaf_capacity {
+            return Some(self.push(Node::Leaf { items: ids }));
+        }
+
+        // Select the vantage point and remove it from the working set.
+        let vantage_pos =
+            self.params
+                .selector
+                .select(&self.items, &ids, &self.metric, rng);
+        let vantage = ids[vantage_pos];
+        let vantage_item_distances: Vec<(u32, f64)> = ids
+            .iter()
+            .copied()
+            .filter(|&id| id != vantage)
+            .map(|id| {
+                (
+                    id,
+                    self.metric
+                        .distance(&self.items[vantage as usize], &self.items[id as usize]),
+                )
+            })
+            .collect();
+
+        let (groups, cutoffs) =
+            split_into_quantiles(vantage_item_distances, self.params.order);
+
+        // Reserve this node's slot before recursing so parents precede
+        // children in the arena (handy for iteration/debugging).
+        let node_id = self.push(Node::Internal {
+            vantage,
+            cutoffs,
+            children: Vec::new(),
+        });
+        let children: Vec<Option<NodeId>> = groups
+            .into_iter()
+            .map(|group| {
+                let child_ids: Vec<u32> = group.into_iter().map(|(id, _)| id).collect();
+                self.build_node(child_ids, rng)
+            })
+            .collect();
+        match &mut self.nodes[node_id as usize] {
+            Node::Internal {
+                children: slot, ..
+            } => *slot = children,
+            Node::Leaf { .. } => unreachable!("reserved slot is internal"),
+        }
+        Some(node_id)
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_tree() {
+        let tree = VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary())
+            .unwrap();
+        assert!(tree.is_empty());
+        assert!(tree.root.is_none());
+    }
+
+    #[test]
+    fn singleton_is_one_leaf() {
+        let tree =
+            VpTree::build(points(1), Euclidean, VpTreeParams::binary()).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.nodes.len(), 1);
+    }
+
+    #[test]
+    fn invalid_params_error() {
+        assert!(VpTree::build(points(4), Euclidean, VpTreeParams::with_order(1)).is_err());
+    }
+
+    #[test]
+    fn construction_cost_is_n_log_n_scale() {
+        // Binary tree, leaf capacity 1: each level computes ~n distances,
+        // so total is ~n·log2(n). Allow generous slack.
+        let n = 512;
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let params = VpTreeParams::binary().selector(crate::VantageSelector::FirstItem);
+        VpTree::build(points(n), metric, params).unwrap();
+        let count = probe.count() as f64;
+        let n_log_n = (n as f64) * (n as f64).log2();
+        assert!(count < 2.0 * n_log_n, "count {count} vs n log n {n_log_n}");
+        assert!(count > 0.5 * n_log_n, "count {count} vs n log n {n_log_n}");
+    }
+
+    #[test]
+    fn same_seed_same_tree() {
+        let params = VpTreeParams::with_order(3).seed(99);
+        let a = VpTree::build(points(100), Euclidean, params.clone()).unwrap();
+        let b = VpTree::build(points(100), Euclidean, params).unwrap();
+        assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn different_seed_usually_differs() {
+        let a = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(1))
+            .unwrap();
+        let b = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(2))
+            .unwrap();
+        assert_ne!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn leaf_capacity_bounds_leaf_sizes() {
+        let tree = VpTree::build(
+            points(200),
+            Euclidean,
+            VpTreeParams::with_order(3).leaf_capacity(7),
+        )
+        .unwrap();
+        for node in &tree.nodes {
+            if let crate::node::Node::Leaf { items } = node {
+                assert!(items.len() <= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn all_items_appear_exactly_once() {
+        let tree = VpTree::build(
+            points(157),
+            Euclidean,
+            VpTreeParams::with_order(4).leaf_capacity(3).seed(5),
+        )
+        .unwrap();
+        let mut seen = vec![0u32; tree.len()];
+        for node in &tree.nodes {
+            match node {
+                crate::node::Node::Internal { vantage, .. } => seen[*vantage as usize] += 1,
+                crate::node::Node::Leaf { items } => {
+                    for &id in items {
+                        seen[id as usize] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn duplicate_points_build_fine() {
+        let items = vec![vec![1.0]; 50];
+        let tree = VpTree::build(items, Euclidean, VpTreeParams::binary()).unwrap();
+        assert_eq!(tree.len(), 50);
+        assert_eq!(tree.range(&vec![1.0], 0.0).len(), 50);
+    }
+}

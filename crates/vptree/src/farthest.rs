@@ -1,0 +1,182 @@
+//! Far-neighbor queries on vp-trees (paper §2's query variations).
+//!
+//! Pruning is the mirror image of range search: the triangle inequality
+//! gives `d(q, x) ≤ d(q, v) + d(v, x) ≤ d + hi` for every point `x` in a
+//! shell `[lo, hi]`, so a subtree is skipped when even that upper bound
+//! cannot reach the threshold.
+
+use vantage_core::farthest::{FarthestIndex, KfnCollector};
+use vantage_core::{Metric, Neighbor};
+
+use crate::node::{Node, NodeId};
+use crate::tree::VpTree;
+
+impl<T, M: Metric<T>> VpTree<T, M> {
+    fn beyond_node(&self, node: NodeId, query: &T, radius: f64, out: &mut Vec<Neighbor>) {
+        match self.node(node) {
+            Node::Leaf { items } => {
+                for &id in items {
+                    let d = self.metric().distance(query, &self.items[id as usize]);
+                    if d >= radius {
+                        out.push(Neighbor::new(id as usize, d));
+                    }
+                }
+            }
+            Node::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                let d = self
+                    .metric()
+                    .distance(query, &self.items[*vantage as usize]);
+                if d >= radius {
+                    out.push(Neighbor::new(*vantage as usize, d));
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let Some(child) = child else { continue };
+                    let hi = if i == cutoffs.len() {
+                        f64::INFINITY
+                    } else {
+                        cutoffs[i]
+                    };
+                    if d + hi >= radius {
+                        self.beyond_node(*child, query, radius, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn kfn_node(&self, node: NodeId, query: &T, collector: &mut KfnCollector) {
+        match self.node(node) {
+            Node::Leaf { items } => {
+                for &id in items {
+                    let d = self.metric().distance(query, &self.items[id as usize]);
+                    collector.offer(id as usize, d);
+                }
+            }
+            Node::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                let d = self
+                    .metric()
+                    .distance(query, &self.items[*vantage as usize]);
+                collector.offer(*vantage as usize, d);
+                // Farthest-promising children first so the threshold
+                // rises early.
+                let mut order: Vec<(f64, NodeId)> = children
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, child)| {
+                        child.map(|c| {
+                            let hi = if i == cutoffs.len() {
+                                f64::INFINITY
+                            } else {
+                                cutoffs[i]
+                            };
+                            (d + hi, c)
+                        })
+                    })
+                    .collect();
+                order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+                for (upper, child) in order {
+                    if upper <= collector.radius() {
+                        break;
+                    }
+                    self.kfn_node(child, query, collector);
+                }
+            }
+        }
+    }
+}
+
+impl<T, M: Metric<T>> FarthestIndex<T> for VpTree<T, M> {
+    fn range_beyond(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.beyond_node(root, query, radius, &mut out);
+        }
+        out
+    }
+
+    fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        let mut collector = KfnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                self.kfn_node(root, query, &mut collector);
+            }
+        }
+        collector.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VpTreeParams;
+    use vantage_core::prelude::*;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                v.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        v
+    }
+
+    fn ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+        v.sort_unstable_by_key(|n| n.id);
+        v.into_iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn range_beyond_matches_linear_scan() {
+        let t = VpTree::build(grid(), Euclidean, VpTreeParams::with_order(3).seed(2))
+            .unwrap();
+        let o = LinearScan::new(grid(), Euclidean);
+        for (q, r) in [
+            (vec![5.0, 5.0], 4.0),
+            (vec![0.0, 0.0], 10.0),
+            (vec![5.0, 5.0], 0.0),
+            (vec![5.0, 5.0], 100.0),
+        ] {
+            assert_eq!(
+                ids(t.range_beyond(&q, r)),
+                ids(o.range_beyond(&q, r)),
+                "q={q:?} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_farthest_matches_brute_force() {
+        let t = VpTree::build(grid(), Euclidean, VpTreeParams::binary().seed(1)).unwrap();
+        let o = LinearScan::new(grid(), Euclidean);
+        for k in [1, 4, 50, 100, 150] {
+            let a = t.k_farthest(&vec![1.0, 1.0], k);
+            let b = o.k_farthest(&vec![1.0, 1.0], k);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.distance - y.distance).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_farthest_prunes() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let t = VpTree::build(grid(), metric, VpTreeParams::with_order(3).seed(5))
+            .unwrap();
+        probe.reset();
+        let out = t.k_farthest(&vec![0.0, 0.0], 1);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].distance - (81.0f64 + 81.0).sqrt()).abs() < 1e-12);
+        assert!(probe.count() < 100, "no pruning: {}", probe.count());
+    }
+}

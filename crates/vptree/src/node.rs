@@ -1,0 +1,32 @@
+//! Node arena layout.
+
+/// Index of a node inside the tree's arena.
+pub(crate) type NodeId = u32;
+
+/// A vp-tree node. Nodes live in a flat arena (`Vec<Node>`) and reference
+/// children by index, keeping the tree compact and allocation-friendly.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) enum Node {
+    /// Interior node: one vantage point, `m − 1` cutoff distances and up
+    /// to `m` children (paper §3.3 node layout, generalized to m-way).
+    ///
+    /// Child `i` indexes exactly the points `x` with
+    /// `cutoffs[i−1] ≤ d(x, vantage) ≤ cutoffs[i]` (treating the missing
+    /// edges as 0 and +∞). Empty partitions have no child.
+    Internal {
+        /// Arena id (into the item table) of this node's vantage point.
+        vantage: u32,
+        /// The `m − 1` partition boundaries, non-decreasing.
+        cutoffs: Vec<f64>,
+        /// Children, one slot per partition; `None` when the partition is
+        /// empty.
+        children: Vec<Option<NodeId>>,
+    },
+    /// Leaf bucket holding references to data points (paper: *"In leaf
+    /// nodes … references to the data points are kept"*).
+    Leaf {
+        /// Item ids stored in this bucket.
+        items: Vec<u32>,
+    },
+}

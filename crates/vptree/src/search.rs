@@ -1,0 +1,244 @@
+//! Range and kNN search (paper §3.3 and its Appendix).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vantage_core::util::OrdF64;
+use vantage_core::{KnnCollector, Metric, Neighbor};
+
+use crate::node::{Node, NodeId};
+use crate::tree::VpTree;
+
+impl<T, M: Metric<T>> VpTree<T, M> {
+    /// Range search: all items within `radius` of `query`.
+    ///
+    /// At each visited node one distance `d(q, vantage)` is computed; the
+    /// paper's pruning rule (generalized from binary medians to m-way
+    /// cutoffs) decides which children to descend into:
+    /// child `i` (a spherical shell `[lo_i, hi_i]` around the vantage
+    /// point) is visited iff `d − r ≤ hi_i` and `d + r ≥ lo_i`. The
+    /// Appendix proves both directions from the triangle inequality.
+    pub(crate) fn range_search(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.range_node(root, query, radius, &mut out);
+        }
+        out
+    }
+
+    fn range_node(&self, node: NodeId, query: &T, radius: f64, out: &mut Vec<Neighbor>) {
+        match self.node(node) {
+            Node::Leaf { items } => {
+                for &id in items {
+                    let d = self.metric.distance(query, &self.items[id as usize]);
+                    if d <= radius {
+                        out.push(Neighbor::new(id as usize, d));
+                    }
+                }
+            }
+            Node::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                let d = self
+                    .metric
+                    .distance(query, &self.items[*vantage as usize]);
+                if d <= radius {
+                    out.push(Neighbor::new(*vantage as usize, d));
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let Some(child) = child else { continue };
+                    let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
+                    let hi = if i == cutoffs.len() {
+                        f64::INFINITY
+                    } else {
+                        cutoffs[i]
+                    };
+                    if d - radius <= hi && d + radius >= lo {
+                        self.range_node(*child, query, radius, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-first k-nearest-neighbor search.
+    ///
+    /// Subtrees are visited in order of their lower-bound distance to the
+    /// query (for a shell `[lo, hi]` around a vantage point at distance
+    /// `d`, the bound is `max(0, d − hi, lo − d)`), pruning any subtree
+    /// whose bound exceeds the current k-th best distance — the dynamic-
+    /// radius reduction of nearest-neighbor search to range search
+    /// (\[Chi94\], paper §3.2).
+    pub(crate) fn knn_search(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+        if let Some(root) = self.root {
+            heap.push(Reverse((OrdF64(0.0), root)));
+        }
+        while let Some(Reverse((OrdF64(bound), node))) = heap.pop() {
+            if bound > collector.radius() {
+                // Every remaining entry has an even larger bound.
+                break;
+            }
+            match self.node(node) {
+                Node::Leaf { items } => {
+                    for &id in items {
+                        let d = self.metric.distance(query, &self.items[id as usize]);
+                        collector.offer(id as usize, d);
+                    }
+                }
+                Node::Internal {
+                    vantage,
+                    cutoffs,
+                    children,
+                } => {
+                    let d = self
+                        .metric
+                        .distance(query, &self.items[*vantage as usize]);
+                    collector.offer(*vantage as usize, d);
+                    for (i, child) in children.iter().enumerate() {
+                        let Some(child) = child else { continue };
+                        let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
+                        let hi = if i == cutoffs.len() {
+                            f64::INFINITY
+                        } else {
+                            cutoffs[i]
+                        };
+                        let child_bound = (d - hi).max(lo - d).max(0.0);
+                        if child_bound <= collector.radius() {
+                            heap.push(Reverse((OrdF64(child_bound), *child)));
+                        }
+                    }
+                }
+            }
+        }
+        collector.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VpTreeParams;
+    use vantage_core::prelude::*;
+    use vantage_core::MetricIndex;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                v.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        v
+    }
+
+    fn tree(order: usize, leaf: usize) -> VpTree<Vec<f64>, Euclidean> {
+        VpTree::build(
+            grid(),
+            Euclidean,
+            VpTreeParams::with_order(order).leaf_capacity(leaf).seed(11),
+        )
+        .unwrap()
+    }
+
+    fn oracle() -> LinearScan<Vec<f64>, Euclidean> {
+        LinearScan::new(grid(), Euclidean)
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let t = tree(2, 1);
+        let o = oracle();
+        for (q, r) in [
+            (vec![5.0, 5.0], 1.0),
+            (vec![0.0, 0.0], 3.5),
+            (vec![4.5, 4.5], 0.2),
+            (vec![20.0, 20.0], 15.0),
+        ] {
+            let mut a = t.range(&q, r);
+            let mut b = o.range(&q, r);
+            a.sort_unstable_by_key(|n| n.id);
+            b.sort_unstable_by_key(|n| n.id);
+            assert_eq!(a, b, "q={q:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn range_on_mway_trees_matches_too() {
+        let o = oracle();
+        for order in [2, 3, 4, 5] {
+            for leaf in [1, 4, 13] {
+                let t = tree(order, leaf);
+                let mut a = t.range(&vec![3.3, 7.1], 2.5);
+                let mut b = o.range(&vec![3.3, 7.1], 2.5);
+                a.sort_unstable_by_key(|n| n.id);
+                b.sort_unstable_by_key(|n| n.id);
+                assert_eq!(a, b, "order={order} leaf={leaf}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let t = tree(3, 2);
+        let o = oracle();
+        for k in [1, 3, 10, 99, 100, 150] {
+            let a = t.knn(&vec![4.2, 4.9], k);
+            let b = o.knn(&vec![4.2, 4.9], k);
+            assert_eq!(a.len(), b.len(), "k={k}");
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.distance - y.distance).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_zero_is_empty() {
+        assert!(tree(2, 1).knn(&vec![0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn range_radius_zero_finds_exact_point() {
+        let t = tree(2, 1);
+        let hits = t.range(&vec![7.0, 3.0], 0.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn range_covers_everything_with_huge_radius() {
+        let t = tree(3, 4);
+        assert_eq!(t.range(&vec![5.0, 5.0], 1e9).len(), 100);
+    }
+
+    #[test]
+    fn search_visits_fewer_points_than_linear_scan() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let t = VpTree::build(
+            grid(),
+            metric,
+            VpTreeParams::with_order(2).seed(3),
+        )
+        .unwrap();
+        probe.reset();
+        t.range(&vec![5.0, 5.0], 1.0);
+        let used = probe.count();
+        assert!(used < 100, "vp-tree used {used} >= linear scan's 100");
+        assert!(used > 0);
+    }
+
+    #[test]
+    fn knn_prunes_too() {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let t = VpTree::build(grid(), metric, VpTreeParams::with_order(2).seed(3)).unwrap();
+        probe.reset();
+        let out = t.knn(&vec![5.0, 5.0], 3);
+        assert_eq!(out.len(), 3);
+        assert!(probe.count() < 100);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structural invariant checking (used by tests and debug assertions).
+
+use vantage_core::Metric;
+
+use crate::node::{Node, NodeId};
+use crate::tree::VpTree;
+
+impl<T, M: Metric<T>> VpTree<T, M> {
+    /// Verifies the tree's structural invariants, returning a description
+    /// of the first violation found:
+    ///
+    /// 1. every item id appears exactly once (as a vantage point or in a
+    ///    leaf);
+    /// 2. every point in child `i`'s subtree lies inside the spherical
+    ///    shell `[lo_i, hi_i]` around the node's vantage point;
+    /// 3. cutoff sequences are non-decreasing;
+    /// 4. leaf buckets respect the configured capacity.
+    ///
+    /// This re-computes `O(n · height)` distances, so it is strictly a
+    /// test/diagnostic facility.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.items.len()];
+        if let Some(root) = self.root {
+            self.check_node(root, &mut seen)?;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("item {missing} not reachable from the root"));
+        }
+        Ok(())
+    }
+
+    fn mark(&self, id: u32, seen: &mut [bool]) -> Result<(), String> {
+        let slot = seen
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("item id {id} out of bounds"))?;
+        if *slot {
+            return Err(format!("item {id} appears more than once"));
+        }
+        *slot = true;
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId, seen: &mut [bool]) -> Result<(), String> {
+        match self.node(node) {
+            Node::Leaf { items } => {
+                if items.len() > self.params.leaf_capacity {
+                    return Err(format!(
+                        "leaf holds {} items, capacity is {}",
+                        items.len(),
+                        self.params.leaf_capacity
+                    ));
+                }
+                for &id in items {
+                    self.mark(id, seen)?;
+                }
+                Ok(())
+            }
+            Node::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                self.mark(*vantage, seen)?;
+                if children.len() != self.params.order {
+                    return Err(format!(
+                        "internal node has {} child slots, order is {}",
+                        children.len(),
+                        self.params.order
+                    ));
+                }
+                if cutoffs.len() + 1 != self.params.order {
+                    return Err(format!(
+                        "internal node has {} cutoffs, expected {}",
+                        cutoffs.len(),
+                        self.params.order - 1
+                    ));
+                }
+                if cutoffs.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(format!("cutoffs not sorted: {cutoffs:?}"));
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let Some(child) = child else { continue };
+                    let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
+                    let hi = if i == cutoffs.len() {
+                        f64::INFINITY
+                    } else {
+                        cutoffs[i]
+                    };
+                    let mut subtree = Vec::new();
+                    self.collect_subtree(*child, &mut subtree);
+                    for id in subtree {
+                        let d = self.metric.distance(
+                            &self.items[*vantage as usize],
+                            &self.items[id as usize],
+                        );
+                        // Tolerance-free: cutoffs are exact stored
+                        // distances and the metric is deterministic.
+                        if d < lo || d > hi {
+                            return Err(format!(
+                                "item {id} at distance {d} outside shell [{lo}, {hi}] of child {i}"
+                            ));
+                        }
+                    }
+                    self.check_node(*child, seen)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn collect_subtree(&self, node: NodeId, out: &mut Vec<u32>) {
+        match self.node(node) {
+            Node::Leaf { items } => out.extend_from_slice(items),
+            Node::Internal {
+                vantage, children, ..
+            } => {
+                out.push(*vantage);
+                for child in children.iter().flatten() {
+                    self.collect_subtree(*child, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::VpTreeParams;
+    use vantage_core::select::VantageSelector;
+    use crate::tree::VpTree;
+    use vantage_core::prelude::*;
+
+    #[test]
+    fn built_trees_satisfy_invariants() {
+        let points: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![f64::from(i % 17), f64::from(i % 23)])
+            .collect();
+        for order in [2, 3, 4] {
+            for leaf in [1, 5] {
+                for selector in [
+                    VantageSelector::Random,
+                    VantageSelector::FirstItem,
+                    VantageSelector::SampledSpread {
+                        candidates: 3,
+                        sample: 5,
+                    },
+                ] {
+                    let t = VpTree::build(
+                        points.clone(),
+                        Euclidean,
+                        VpTreeParams::with_order(order)
+                            .leaf_capacity(leaf)
+                            .selector(selector)
+                            .seed(7),
+                    )
+                    .unwrap();
+                    t.check_invariants().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let t = VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary())
+            .unwrap();
+        t.check_invariants().unwrap();
+    }
+}

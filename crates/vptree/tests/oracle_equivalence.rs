@@ -1,0 +1,155 @@
+//! Property tests: vp-trees return exactly the linear-scan answer for
+//! arbitrary datasets, queries and radii, across orders, leaf capacities
+//! and selectors — the load-bearing correctness property (paper Appendix).
+
+use proptest::prelude::*;
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_vptree::{VantageSelector, VpTree, VpTreeParams};
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, dim)
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(point_strategy(3), 0..120)
+}
+
+fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+    v.sort_unstable_by_key(|n| n.id);
+    v.into_iter().map(|n| n.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_matches_linear_scan(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..20.0,
+        order in 2usize..5,
+        leaf in 1usize..8,
+        seed in 0u64..4,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree = VpTree::build(
+            points,
+            Euclidean,
+            VpTreeParams::with_order(order).leaf_capacity(leaf).seed(seed),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, radius)),
+            sorted_ids(oracle.range(&query, radius))
+        );
+    }
+
+    #[test]
+    fn knn_matches_brute_force(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        k in 0usize..15,
+        order in 2usize..5,
+        seed in 0u64..4,
+    ) {
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree = VpTree::build(
+            points,
+            Euclidean,
+            VpTreeParams::with_order(order).seed(seed),
+        )
+        .unwrap();
+        let got = tree.knn(&query, k);
+        let want = oracle.knn(&query, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            // Ties may resolve to different ids; distances must agree.
+            prop_assert!((g.distance - w.distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_for_random_datasets(
+        points in dataset_strategy(),
+        order in 2usize..5,
+        leaf in 1usize..8,
+        seed in 0u64..4,
+    ) {
+        let tree = VpTree::build(
+            points,
+            Euclidean,
+            VpTreeParams::with_order(order)
+                .leaf_capacity(leaf)
+                .selector(VantageSelector::SampledSpread { candidates: 3, sample: 4 })
+                .seed(seed),
+        )
+        .unwrap();
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn string_metric_range_matches_oracle(
+        words in proptest::collection::vec("[a-c]{0,8}".prop_map(String::from), 0..60),
+        query in "[a-c]{0,8}".prop_map(String::from),
+        radius in 0u32..6,
+    ) {
+        let oracle = LinearScan::new(words.clone(), Levenshtein);
+        let tree =
+            VpTree::build(words, Levenshtein, VpTreeParams::binary().seed(1)).unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range(&query, f64::from(radius))),
+            sorted_ids(oracle.range(&query, f64::from(radius)))
+        );
+    }
+
+    /// Far-neighbor queries (paper §2's variations) also match the
+    /// oracle exactly.
+    #[test]
+    fn farthest_queries_match_oracle(
+        points in dataset_strategy(),
+        query in point_strategy(3),
+        radius in 0.0f64..25.0,
+        k in 0usize..12,
+        order in 2usize..4,
+        seed in 0u64..3,
+    ) {
+        use vantage_core::farthest::FarthestIndex;
+        let oracle = LinearScan::new(points.clone(), Euclidean);
+        let tree = VpTree::build(
+            points,
+            Euclidean,
+            VpTreeParams::with_order(order).seed(seed),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range_beyond(&query, radius)),
+            sorted_ids(oracle.range_beyond(&query, radius))
+        );
+        let got = tree.k_farthest(&query, k);
+        let want = oracle.k_farthest(&query, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.distance - w.distance).abs() < 1e-12);
+        }
+    }
+
+    /// Search never computes more distances than a linear scan would
+    /// (paper §4.3's worst-case claim holds for vp-trees because every
+    /// data point is evaluated at most once per query).
+    #[test]
+    fn never_worse_than_linear_scan(
+        points in proptest::collection::vec(point_strategy(2), 1..80),
+        query in point_strategy(2),
+        radius in 0.0f64..10.0,
+    ) {
+        let n = points.len() as u64;
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let tree =
+            VpTree::build(points, metric, VpTreeParams::binary().seed(2)).unwrap();
+        probe.reset();
+        tree.range(&query, radius);
+        prop_assert!(probe.count() <= n);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dynamic updates — the paper's §6 future work, closed by
+//! [`DynamicMvpTree`]'s amortized-rebuilding wrapper.
+//!
+//! Simulates a live feature store: vectors stream in, stale ones are
+//! evicted, and similarity queries keep returning exactly the live set
+//! throughout (verified against a brute-force shadow copy).
+//!
+//! Run with: `cargo run --release --example dynamic_updates`
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vantage::prelude::*;
+
+fn random_point(rng: &mut StdRng) -> Vec<f64> {
+    (0..16).map(|_| rng.random_range(0.0..1.0)).collect()
+}
+
+fn main() -> vantage::Result<()> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let mut index = DynamicMvpTree::new(metric, MvpParams::paper(3, 40, 5))?;
+
+    // Shadow copy for verification.
+    let mut live: Vec<(usize, Vec<f64>)> = Vec::new();
+
+    println!("streaming 5 000 inserts with eviction of the oldest 40%...");
+    for step in 0..5000 {
+        let point = random_point(&mut rng);
+        let id = index.insert(point.clone());
+        live.push((id, point));
+        // Evict an old entry 40% of the time once warm.
+        if step > 100 && rng.random_range(0..10) < 4 {
+            let victim = live.remove(rng.random_range(0..live.len() / 2));
+            assert!(index.remove(victim.0));
+        }
+    }
+    println!(
+        "done: {} live items, {} in overflow buffer, {} total distance computations",
+        index.len(),
+        index.overflow_len(),
+        probe.count()
+    );
+    assert_eq!(index.len(), live.len());
+
+    // Queries stay exact through all the churn.
+    let query = vec![0.5; 16];
+    let radius = 0.8;
+    probe.reset();
+    let mut got: Vec<usize> = index.range(&query, radius).into_iter().map(|n| n.id).collect();
+    let query_cost = probe.take();
+    got.sort_unstable();
+    let mut want: Vec<usize> = live
+        .iter()
+        .filter(|(_, v)| Euclidean.distance(&query, v) <= radius)
+        .map(|(id, _)| *id)
+        .collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "index must match brute force exactly");
+    println!(
+        "\nrange query: {} matches, {query_cost} distance computations \
+         ({:.1}% of scanning all {} live items) — exact vs brute force",
+        got.len(),
+        100.0 * query_cost as f64 / live.len() as f64,
+        live.len()
+    );
+
+    // Nearest neighbors keep working too.
+    let nn = index.knn(&query, 3);
+    println!("3 nearest live items: {:?}", nn.iter().map(|n| n.id).collect::<Vec<_>>());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Outlier triage with far-neighbor queries — the inverse similarity
+//! queries of paper §2 (*"objects that are farther than a given range …
+//! as well as the farthest, or the k farthest objects"*).
+//!
+//! A sensor fleet emits 12-dimensional health fingerprints. Most units
+//! cluster around the healthy profile; a few drift. `k_farthest` surfaces
+//! the most anomalous units, and `range_beyond` lists everything outside
+//! the acceptance ball — without scanning the whole fleet.
+//!
+//! Run with: `cargo run --release --example outlier_scan`
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vantage::core::FarthestIndex;
+use vantage::prelude::*;
+
+fn main() -> vantage::Result<()> {
+    let mut rng = StdRng::seed_from_u64(17);
+    // 4 000 healthy units near the nominal profile (0.5, …, 0.5)…
+    let mut fleet: Vec<Vec<f64>> = (0..4000)
+        .map(|_| (0..12).map(|_| 0.5 + rng.random_range(-0.08..0.08)).collect())
+        .collect();
+    // …and 12 drifting units injected at known ids.
+    let mut drifted: Vec<usize> = Vec::new();
+    for i in 0..12 {
+        let id = i * 317; // scattered through the fleet
+        let magnitude = 0.5 + 0.1 * i as f64;
+        fleet[id] = (0..12)
+            .map(|_| 0.5 + rng.random_range(-0.08..0.08) + magnitude / 3.46)
+            .collect();
+        drifted.push(id);
+    }
+
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let tree = MvpTree::build(fleet, metric, MvpParams::paper(3, 40, 5))?;
+    probe.reset();
+
+    let nominal = vec![0.5; 12];
+
+    // The 12 most anomalous units.
+    let worst = tree.k_farthest(&nominal, 12);
+    let kfn_cost = probe.take();
+    println!("12 farthest units from nominal ({kfn_cost} distance computations):");
+    let mut found = 0;
+    for n in &worst {
+        let injected = drifted.contains(&n.id);
+        found += usize::from(injected);
+        println!(
+            "  unit {:>4}  deviation {:.3}  {}",
+            n.id,
+            n.distance,
+            if injected { "(injected drift)" } else { "" }
+        );
+    }
+    println!("recovered {found}/12 injected drifters\n");
+
+    // Everything outside the acceptance ball.
+    let threshold = 0.45;
+    let outliers = tree.range_beyond(&nominal, threshold);
+    let beyond_cost = probe.take();
+    println!(
+        "{} units beyond deviation {threshold} ({beyond_cost} distance computations, \
+         {:.1}% of a full scan)",
+        outliers.len(),
+        100.0 * beyond_cost as f64 / tree.len() as f64
+    );
+    assert!(
+        outliers.iter().all(|n| drifted.contains(&n.id)),
+        "only injected drifters should exceed the threshold"
+    );
+    Ok(())
+}

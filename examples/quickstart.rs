@@ -1,0 +1,68 @@
+//! Quickstart: index a high-dimensional vector dataset with an mvp-tree,
+//! run range and k-nearest-neighbor queries, and see the paper's cost
+//! model (distance computations) in action.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vantage::prelude::*;
+use vantage_datasets::uniform_vectors;
+
+fn main() -> vantage::Result<()> {
+    // 10 000 random 20-dimensional points — the paper's "highly
+    // synthetic" hard case where everything is nearly equidistant.
+    let points = uniform_vectors(10_000, 20, 42);
+    let query = vec![0.5; 20];
+
+    // Wrap the metric in a counter so we can watch the cost model.
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+
+    // The paper's best configuration: m = 3 partitions per vantage point
+    // (fanout 9), leaf capacity k = 80, p = 5 path distances per leaf
+    // point.
+    let tree = MvpTree::build(points, metric, MvpParams::paper(3, 80, 5))?;
+    let build_cost = probe.take();
+    println!(
+        "built mvpt(3, 80, p=5) over {} points using {build_cost} distance computations",
+        tree.len()
+    );
+    let stats = tree.stats();
+    println!(
+        "tree shape: height {}, {} internal nodes, {} leaves, {:.1}% of points in leaves",
+        stats.height,
+        stats.internal_nodes,
+        stats.leaf_nodes,
+        100.0 * stats.leaf_fraction()
+    );
+
+    // Range query: everything within distance 0.85 of the center. (In
+    // 20-d uniform data almost all pairs sit near distance 1.75 — the
+    // paper's hard case — so useful query radii are small.)
+    let near = tree.range(&query, 0.85);
+    let range_cost = probe.take();
+    println!(
+        "\nrange(center, r=0.85): {} results using {range_cost} distance computations \
+         ({:.1}% of a linear scan)",
+        near.len(),
+        100.0 * range_cost as f64 / tree.len() as f64
+    );
+
+    // kNN query: the 10 nearest neighbors.
+    let nn = tree.knn(&query, 10);
+    let knn_cost = probe.take();
+    println!(
+        "knn(center, 10): nearest at {:.4}, 10th at {:.4}, using {knn_cost} distance \
+         computations",
+        nn[0].distance,
+        nn[9].distance
+    );
+
+    // Every answer can be joined back to the original dataset by id.
+    let best = &nn[0];
+    let item = tree.get(best.id).expect("result ids are valid");
+    println!(
+        "nearest neighbor is item #{} (first coords: {:.3}, {:.3}, ...)",
+        best.id, item[0], item[1]
+    );
+    Ok(())
+}

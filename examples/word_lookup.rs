@@ -1,0 +1,63 @@
+//! Approximate string matching — the non-spatial domain the paper calls
+//! out (§3.1: *"text databases which generally use the edit distance
+//! (which is metric)"*), and the original application of Burkhard &
+//! Keller's 1973 structure.
+//!
+//! Indexes a dictionary under Levenshtein edit distance three ways —
+//! BK-tree (the classic for discrete metrics), mvp-tree (the paper's
+//! contribution), and linear scan (the baseline) — and compares how many
+//! edit-distance computations a spell-correction query needs in each.
+//!
+//! Run with: `cargo run --release --example word_lookup`
+
+use vantage::prelude::*;
+use vantage_datasets::perturbed_words;
+
+fn lookup<I: MetricIndex<String>>(index: &I, probe: &Counted<Levenshtein>, query: &str, r: f64) -> (usize, u64) {
+    probe.reset();
+    let hits = index.range(&query.to_string(), r);
+    (hits.len(), probe.take())
+}
+
+fn main() -> vantage::Result<()> {
+    // A 5 500-word dictionary: 500 base words, each with 10 variants one
+    // edit apart (misspellings, inflections).
+    let mut words = perturbed_words(500, 10, 1, 11);
+    words.push("vantage".to_string()); // make sure our demo word exists
+    println!("dictionary: {} words", words.len());
+
+    let metric = Counted::new(Levenshtein);
+    let probe = metric.clone();
+
+    let bk = BkTree::build(words.clone(), metric.clone());
+    let mvp = MvpTree::build(words.clone(), metric.clone(), MvpParams::paper(2, 40, 4))?;
+    let linear = LinearScan::new(words.clone(), metric);
+
+    // Spell-correction queries: find every word within 2 edits.
+    let queries = ["vantoge", "xqzzjw", &words[42].clone(), "aaaaaaaaaa"];
+    println!(
+        "\n{:<14} {:>8} {:>10} {:>10} {:>10}",
+        "query", "matches", "linear", "bk-tree", "mvp-tree"
+    );
+    for q in queries {
+        let (n_lin, c_lin) = lookup(&linear, &probe, q, 2.0);
+        let (n_bk, c_bk) = lookup(&bk, &probe, q, 2.0);
+        let (n_mvp, c_mvp) = lookup(&mvp, &probe, q, 2.0);
+        assert_eq!(n_lin, n_bk, "indexes must agree");
+        assert_eq!(n_lin, n_mvp, "indexes must agree");
+        println!("{q:<14} {n_lin:>8} {c_lin:>10} {c_bk:>10} {c_mvp:>10}");
+    }
+
+    // Nearest-word suggestion ("did you mean ...?").
+    probe.reset();
+    let suggestion = bk.knn(&"vantoge".to_string(), 3);
+    println!("\ndid you mean (BK-tree, {} computations):", probe.take());
+    for n in &suggestion {
+        println!(
+            "  {:?} at edit distance {}",
+            bk.get(n.id).expect("valid id"),
+            n.distance
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: every index structure in the workspace
+//! answers identically over shared workloads, under multiple metrics.
+
+use vantage::prelude::*;
+use vantage_datasets::{perturbed_words, uniform_vectors};
+
+fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+    v.sort_unstable_by_key(|n| n.id);
+    v.into_iter().map(|n| n.id).collect()
+}
+
+type NamedIndexes = Vec<(&'static str, Box<dyn MetricIndex<Vec<f64>>>)>;
+
+/// Builds every vector-capable structure over the same dataset.
+fn vector_indexes(points: &[Vec<f64>]) -> NamedIndexes {
+    vec![
+        (
+            "linear",
+            Box::new(LinearScan::new(points.to_vec(), Euclidean)),
+        ),
+        (
+            "vpt(2)",
+            Box::new(
+                VpTree::build(points.to_vec(), Euclidean, VpTreeParams::binary().seed(3))
+                    .unwrap(),
+            ),
+        ),
+        (
+            "vpt(3) bucketed",
+            Box::new(
+                VpTree::build(
+                    points.to_vec(),
+                    Euclidean,
+                    VpTreeParams::with_order(3).leaf_capacity(8).seed(4),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "mvpt(3,80,5)",
+            Box::new(
+                MvpTree::build(points.to_vec(), Euclidean, MvpParams::paper(3, 80, 5).seed(5))
+                    .unwrap(),
+            ),
+        ),
+        (
+            "mvpt(2,5,2)",
+            Box::new(
+                MvpTree::build(points.to_vec(), Euclidean, MvpParams::paper(2, 5, 2).seed(6))
+                    .unwrap(),
+            ),
+        ),
+        (
+            "gh-tree",
+            Box::new(
+                GhTree::build(points.to_vec(), Euclidean, GhTreeParams::default()).unwrap(),
+            ),
+        ),
+        (
+            "gnat",
+            Box::new(Gnat::build(points.to_vec(), Euclidean, GnatParams::default()).unwrap()),
+        ),
+        (
+            "fq-tree",
+            Box::new(
+                FqTree::build(points.to_vec(), Euclidean, FqTreeParams::default()).unwrap(),
+            ),
+        ),
+        (
+            "laesa(16)",
+            Box::new(Laesa::build(points.to_vec(), Euclidean, 16).unwrap()),
+        ),
+        ("aesa", Box::new(Aesa::build(points.to_vec(), Euclidean))),
+    ]
+}
+
+#[test]
+fn all_structures_agree_on_range_queries() {
+    let points = uniform_vectors(800, 8, 1);
+    let queries = uniform_vectors(10, 8, 2);
+    let indexes = vector_indexes(&points);
+    let oracle = &indexes[0].1;
+    for q in &queries {
+        for r in [0.0, 0.3, 0.6, 1.2] {
+            let want = sorted_ids(oracle.range(q, r));
+            for (name, index) in &indexes[1..] {
+                assert_eq!(
+                    sorted_ids(index.range(q, r)),
+                    want,
+                    "{name} disagrees at r={r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_structures_agree_on_knn_distances() {
+    let points = uniform_vectors(500, 6, 3);
+    let queries = uniform_vectors(5, 6, 4);
+    let indexes = vector_indexes(&points);
+    let oracle = &indexes[0].1;
+    for q in &queries {
+        for k in [1, 7, 32] {
+            let want = oracle.knn(q, k);
+            for (name, index) in &indexes[1..] {
+                let got = index.knn(q, k);
+                assert_eq!(got.len(), want.len(), "{name} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g.distance - w.distance).abs() < 1e-12,
+                        "{name} k={k}: {} vs {}",
+                        g.distance,
+                        w.distance
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn string_indexes_agree_under_edit_distance() {
+    let words = perturbed_words(60, 9, 1, 5);
+    let oracle = LinearScan::new(words.clone(), Levenshtein);
+    let bk = BkTree::build(words.clone(), Levenshtein);
+    let vp = VpTree::build(words.clone(), Levenshtein, VpTreeParams::binary().seed(1))
+        .unwrap();
+    let mvp =
+        MvpTree::build(words.clone(), Levenshtein, MvpParams::paper(2, 20, 3).seed(2))
+            .unwrap();
+    for q in ["hello", &words[17].clone(), "", "zzzzzzzzzzzz"] {
+        for r in [0.0, 1.0, 2.0, 4.0] {
+            let want = sorted_ids(oracle.range(&q.to_string(), r));
+            assert_eq!(sorted_ids(bk.range(&q.to_string(), r)), want, "bk q={q} r={r}");
+            assert_eq!(sorted_ids(vp.range(&q.to_string(), r)), want, "vp q={q} r={r}");
+            assert_eq!(sorted_ids(mvp.range(&q.to_string(), r)), want, "mvp q={q} r={r}");
+        }
+    }
+}
+
+#[test]
+fn no_structure_exceeds_linear_scan_cost() {
+    let points = uniform_vectors(600, 10, 8);
+    let n = points.len() as u64;
+    let query = uniform_vectors(1, 10, 9).pop().unwrap();
+
+    macro_rules! check {
+        ($name:literal, $build:expr) => {{
+            let metric = Counted::new(Euclidean);
+            let probe = metric.clone();
+            let index = $build(points.clone(), metric);
+            probe.reset();
+            index.range(&query, 0.8);
+            assert!(
+                probe.count() <= n,
+                "{} used {} > {n} distance computations",
+                $name,
+                probe.count()
+            );
+        }};
+    }
+    check!("vpt(2)", |p, m| VpTree::build(p, m, VpTreeParams::binary().seed(1)).unwrap());
+    check!("mvpt", |p, m| MvpTree::build(p, m, MvpParams::paper(3, 40, 5).seed(1))
+        .unwrap());
+    check!("gh", |p, m| GhTree::build(p, m, GhTreeParams::default()).unwrap());
+    check!("gnat", |p, m| Gnat::build(p, m, GnatParams::default()).unwrap());
+    check!("aesa", Aesa::build);
+    check!("laesa", |p, m| Laesa::build(p, m, 16).unwrap());
+}
+
+#[test]
+fn facade_prelude_covers_the_workflow() {
+    // The README quickstart path, via the facade's prelude only.
+    let points = uniform_vectors(300, 5, 10);
+    let tree = MvpTree::build(points, Euclidean, MvpParams::default()).unwrap();
+    let hits = tree.range(&vec![0.5; 5], 0.4);
+    let nn = tree.knn(&vec![0.5; 5], 3);
+    assert_eq!(nn.len(), 3);
+    for n in hits {
+        assert!(tree.get(n.id).is_some());
+    }
+}

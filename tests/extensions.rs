@@ -1,0 +1,152 @@
+//! Integration tests for the beyond-the-paper extensions, exercised
+//! through the facade crate the way an application would.
+
+use vantage::baselines::twostage::projections::image_l1_intensity;
+use vantage::core::FarthestIndex;
+use vantage::prelude::*;
+use vantage_datasets::{synthetic_mri_images, uniform_vectors, MriConfig};
+
+fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+    v.sort_unstable_by_key(|n| n.id);
+    v.into_iter().map(|n| n.id).collect()
+}
+
+#[test]
+fn farthest_queries_agree_across_structures() {
+    let points = uniform_vectors(700, 6, 21);
+    let query = vec![0.9; 6];
+    let oracle = LinearScan::new(points.clone(), Euclidean);
+    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::with_order(3).seed(1))
+        .unwrap();
+    let mvp =
+        MvpTree::build(points, Euclidean, MvpParams::paper(3, 20, 4).seed(2)).unwrap();
+    for r in [0.5, 1.0, 1.5] {
+        let want = sorted_ids(oracle.range_beyond(&query, r));
+        assert_eq!(sorted_ids(vp.range_beyond(&query, r)), want, "vp r={r}");
+        assert_eq!(sorted_ids(mvp.range_beyond(&query, r)), want, "mvp r={r}");
+    }
+    for k in [1, 10, 50] {
+        let want = oracle.k_farthest(&query, k);
+        for (name, got) in [
+            ("vp", vp.k_farthest(&query, k)),
+            ("mvp", mvp.k_farthest(&query, k)),
+        ] {
+            assert_eq!(got.len(), want.len(), "{name} k={k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.distance - w.distance).abs() < 1e-12, "{name} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn farthest_queries_prune_on_structured_data() {
+    // Clustered data gives far-neighbor queries something to prune.
+    let mut points = uniform_vectors(1000, 8, 3);
+    for p in points.iter_mut().take(500) {
+        for x in p.iter_mut() {
+            *x *= 0.05; // tight cluster near the origin
+        }
+    }
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let tree = MvpTree::build(points, metric, MvpParams::paper(3, 40, 5).seed(1)).unwrap();
+    probe.reset();
+    let far = tree.range_beyond(&vec![0.0; 8], 0.4);
+    assert!(far.len() >= 450, "most uniform points lie beyond 0.4");
+    assert!(
+        probe.count() < 1000,
+        "upper-bound pruning should skip part of the cluster: {}",
+        probe.count()
+    );
+}
+
+#[test]
+fn two_stage_image_pipeline_is_exact_end_to_end() {
+    let images = synthetic_mri_images(&MriConfig {
+        subjects: 5,
+        images_per_subject: 16,
+        total: None,
+        width: 32,
+        height: 32,
+        noise: 8,
+        seed: 4,
+    })
+    .unwrap();
+    let project = image_l1_intensity(ImageL1::PAPER_NORM).unwrap();
+    let two_stage = TwoStage::build(
+        images.clone(),
+        ImageL1::paper(),
+        &project,
+        Manhattan,
+        MvpParams::paper(2, 6, 2).seed(1),
+    )
+    .unwrap();
+    two_stage.spot_check(&project, 20).unwrap();
+    let oracle = LinearScan::new(images.clone(), ImageL1::paper());
+    for qid in [0, 33, 79] {
+        let q = images[qid].clone();
+        let pq = project(&q);
+        for r in [0.2, 1.0, 3.0] {
+            assert_eq!(
+                sorted_ids(two_stage.range(&q, &pq, r)),
+                sorted_ids(oracle.range(&q, r)),
+                "qid={qid} r={r}"
+            );
+        }
+        let got = two_stage.knn(&q, &pq, 4);
+        let want = oracle.knn(&q, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.distance - w.distance).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn fq_tree_shares_pivot_distances_across_a_level() {
+    // The FQ-tree property the mvp-tree generalizes: a broad query
+    // computes at most one distance per level beyond the leaf scans.
+    let points = uniform_vectors(600, 4, 9);
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let tree = FqTree::build(
+        points,
+        metric,
+        FqTreeParams {
+            order: 3,
+            leaf_capacity: 1,
+            max_depth: 24,
+            seed: 2,
+        },
+    )
+    .unwrap();
+    probe.reset();
+    let hits = tree.range(&vec![0.5; 4], 1e9);
+    assert_eq!(hits.len(), 600);
+    assert!(
+        probe.count() <= 600 + tree.pivots().len() as u64,
+        "cost {} exceeds n + one distance per level",
+        probe.count()
+    );
+}
+
+#[test]
+fn dynamic_tree_supports_the_full_update_lifecycle() {
+    let mut tree =
+        DynamicMvpTree::with_items(uniform_vectors(300, 5, 11), Euclidean, MvpParams::paper(2, 8, 3))
+            .unwrap();
+    let added: Vec<usize> = uniform_vectors(100, 5, 12)
+        .into_iter()
+        .map(|p| tree.insert(p))
+        .collect();
+    for id in added.iter().take(50) {
+        assert!(tree.remove(*id));
+    }
+    assert_eq!(tree.len(), 350);
+    // Farthest/nearest/range all stay available and consistent.
+    let q = vec![0.5; 5];
+    let nn = tree.knn(&q, 5);
+    assert_eq!(nn.len(), 5);
+    let in_range = tree.range(&q, nn[4].distance);
+    assert!(in_range.len() >= 5);
+}

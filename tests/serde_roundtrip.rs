@@ -1,0 +1,116 @@
+//! Serialization roundtrips (feature `serde`): built indexes serialize,
+//! deserialize, and answer queries identically afterwards.
+//!
+//! Run with: `cargo test --features serde --test serde_roundtrip`
+
+#![cfg(feature = "serde")]
+
+use vantage::prelude::*;
+use vantage_datasets::uniform_vectors;
+
+fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
+    v.sort_unstable_by_key(|n| n.id);
+    v.into_iter().map(|n| n.id).collect()
+}
+
+fn roundtrip<S: serde::Serialize + serde::de::DeserializeOwned>(value: &S) -> S {
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn mvp_tree_roundtrips() {
+    let points = uniform_vectors(500, 6, 1);
+    let tree =
+        MvpTree::build(points, Euclidean, MvpParams::paper(3, 13, 4).seed(2)).unwrap();
+    let restored: MvpTree<Vec<f64>, Euclidean> = roundtrip(&tree);
+    let q = vec![0.4; 6];
+    assert_eq!(
+        sorted_ids(tree.range(&q, 0.5)),
+        sorted_ids(restored.range(&q, 0.5))
+    );
+    assert_eq!(tree.knn(&q, 7), restored.knn(&q, 7));
+    restored.check_invariants().unwrap();
+}
+
+#[test]
+fn vp_tree_roundtrips() {
+    let points = uniform_vectors(400, 5, 3);
+    let tree = VpTree::build(
+        points,
+        Euclidean,
+        VpTreeParams::with_order(3).leaf_capacity(4).seed(1),
+    )
+    .unwrap();
+    let restored: VpTree<Vec<f64>, Euclidean> = roundtrip(&tree);
+    let q = vec![0.6; 5];
+    assert_eq!(
+        sorted_ids(tree.range(&q, 0.4)),
+        sorted_ids(restored.range(&q, 0.4))
+    );
+    restored.check_invariants().unwrap();
+}
+
+#[test]
+fn baseline_structures_roundtrip() {
+    let points = uniform_vectors(200, 4, 5);
+    let q = vec![0.5; 4];
+
+    let gh = GhTree::build(points.clone(), Euclidean, GhTreeParams::default()).unwrap();
+    let gh2: GhTree<Vec<f64>, Euclidean> = roundtrip(&gh);
+    assert_eq!(sorted_ids(gh.range(&q, 0.4)), sorted_ids(gh2.range(&q, 0.4)));
+
+    let gnat = Gnat::build(points.clone(), Euclidean, GnatParams::default()).unwrap();
+    let gnat2: Gnat<Vec<f64>, Euclidean> = roundtrip(&gnat);
+    assert_eq!(
+        sorted_ids(gnat.range(&q, 0.4)),
+        sorted_ids(gnat2.range(&q, 0.4))
+    );
+
+    let aesa = Aesa::build(points.clone(), Euclidean);
+    let aesa2: Aesa<Vec<f64>, Euclidean> = roundtrip(&aesa);
+    assert_eq!(
+        sorted_ids(aesa.range(&q, 0.4)),
+        sorted_ids(aesa2.range(&q, 0.4))
+    );
+
+    let laesa = Laesa::build(points, Euclidean, 8).unwrap();
+    let laesa2: Laesa<Vec<f64>, Euclidean> = roundtrip(&laesa);
+    assert_eq!(
+        sorted_ids(laesa.range(&q, 0.4)),
+        sorted_ids(laesa2.range(&q, 0.4))
+    );
+}
+
+#[test]
+fn bk_tree_roundtrips_with_strings() {
+    let words: Vec<String> = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let bk = BkTree::build(words, Levenshtein);
+    let bk2: BkTree<String, Levenshtein> = roundtrip(&bk);
+    let q = "betta".to_string();
+    assert_eq!(sorted_ids(bk.range(&q, 2.0)), sorted_ids(bk2.range(&q, 2.0)));
+}
+
+#[test]
+fn gray_images_and_metrics_roundtrip() {
+    use vantage_core::metrics::image::GrayImage;
+    let img = GrayImage::new(4, 2, vec![1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    let img2: GrayImage = roundtrip(&img);
+    assert_eq!(img, img2);
+    let m = ImageL1::paper();
+    let m2: ImageL1 = roundtrip(&m);
+    assert_eq!(m.distance(&img, &img2), 0.0);
+    assert_eq!(m2.norm(), ImageL1::PAPER_NORM);
+}
+
+#[test]
+fn histograms_roundtrip() {
+    let mut h = DistanceHistogram::new(0.5).unwrap();
+    h.record(0.7);
+    h.record(2.2);
+    let h2: DistanceHistogram = roundtrip(&h);
+    assert_eq!(h, h2);
+}
