@@ -95,9 +95,7 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
 
     fn range_node(&self, node: NodeId, query: &T, radius: u64, out: &mut Vec<Neighbor>) {
         let n = &self.nodes[node as usize];
-        let d = self
-            .metric
-            .distance_u(query, &self.items[n.item as usize]);
+        let d = self.metric.distance_u(query, &self.items[n.item as usize]);
         if d <= radius {
             out.push(Neighbor::new(n.item as usize, d as f64));
         }
@@ -114,9 +112,7 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
 
     fn knn_node(&self, node: NodeId, query: &T, collector: &mut KnnCollector) {
         let n = &self.nodes[node as usize];
-        let d = self
-            .metric
-            .distance_u(query, &self.items[n.item as usize]);
+        let d = self.metric.distance_u(query, &self.items[n.item as usize]);
         collector.offer(n.item as usize, d as f64);
         // Visit children in order of |key − d| (best lower bound first).
         let mut order: Vec<(u64, NodeId)> = n
@@ -149,7 +145,11 @@ impl<T, M: DiscreteMetric<T>> MetricIndex<T> for BkTree<T, M> {
     fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
         let mut out = Vec::new();
         if let Some(root) = self.root {
-            let r = if radius < 0.0 { return out } else { radius.floor() as u64 };
+            let r = if radius < 0.0 {
+                return out;
+            } else {
+                radius.floor() as u64
+            };
             self.range_node(root, query, r, &mut out);
         }
         out
@@ -172,10 +172,12 @@ mod tests {
     use vantage_core::prelude::*;
 
     fn words() -> Vec<String> {
-        ["book", "books", "cake", "boo", "boon", "cook", "cape", "cart", "back", "bake"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "book", "books", "cake", "boo", "boon", "cook", "cape", "cart", "back", "bake",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     fn tree() -> BkTree<String, Levenshtein> {
@@ -197,7 +199,10 @@ mod tests {
         let o = oracle();
         for r in 0..5 {
             let q = "bool".to_string();
-            assert_eq!(ids(t.range(&q, f64::from(r))), ids(o.range(&q, f64::from(r))));
+            assert_eq!(
+                ids(t.range(&q, f64::from(r))),
+                ids(o.range(&q, f64::from(r)))
+            );
         }
     }
 
@@ -247,7 +252,11 @@ mod tests {
         let t = BkTree::build(many, metric);
         probe.reset();
         t.range(&"00000000".to_string(), 1.0);
-        assert!(probe.count() < 200, "no pruning happened: {}", probe.count());
+        assert!(
+            probe.count() < 200,
+            "no pruning happened: {}",
+            probe.count()
+        );
     }
 
     #[test]

@@ -180,9 +180,7 @@ impl<T, M: Metric<T>> FqTree<T, M> {
         });
         let children: Vec<Option<NodeId>> = groups
             .into_iter()
-            .map(|g| {
-                self.build_node(g.into_iter().map(|(id, _)| id).collect(), level + 1)
-            })
+            .map(|g| self.build_node(g.into_iter().map(|(id, _)| id).collect(), level + 1))
             .collect();
         match &mut self.nodes[node_id as usize] {
             Node::Internal { children: slot, .. } => *slot = children,
@@ -416,8 +414,7 @@ mod tests {
 
     #[test]
     fn duplicates_terminate_via_degenerate_split_guard() {
-        let t = FqTree::build(vec![vec![3.0]; 100], Euclidean, FqTreeParams::default())
-            .unwrap();
+        let t = FqTree::build(vec![vec![3.0]; 100], Euclidean, FqTreeParams::default()).unwrap();
         assert_eq!(t.range(&vec![3.0], 0.0).len(), 100);
     }
 

@@ -305,8 +305,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_terminate() {
-        let t = GhTree::build(vec![vec![0.5]; 60], Euclidean, GhTreeParams::default())
-            .unwrap();
+        let t = GhTree::build(vec![vec![0.5]; 60], Euclidean, GhTreeParams::default()).unwrap();
         assert_eq!(t.range(&vec![0.5], 0.0).len(), 60);
     }
 

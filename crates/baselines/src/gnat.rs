@@ -158,8 +158,7 @@ impl<T, M: Metric<T>> Gnat<T, M> {
         let mut datasets: Vec<Vec<u32>> = vec![Vec::new(); k];
         // Inverted sentinel for empty datasets; finite so the structure
         // stays JSON-serializable (JSON has no infinities).
-        let mut ranges: Vec<Vec<(f64, f64)>> =
-            vec![vec![(f64::MAX, f64::MIN); k]; k];
+        let mut ranges: Vec<Vec<(f64, f64)>> = vec![vec![(f64::MAX, f64::MIN); k]; k];
         for (pos, &id) in ids.iter().enumerate() {
             if is_split[pos] {
                 continue;
@@ -241,9 +240,7 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                     if !alive[i] {
                         continue;
                     }
-                    let d = self
-                        .metric
-                        .distance(query, &self.items[splits[i] as usize]);
+                    let d = self.metric.distance(query, &self.items[splits[i] as usize]);
                     split_distance[i] = d;
                     if d <= radius {
                         out.push(Neighbor::new(splits[i] as usize, d));
@@ -419,8 +416,7 @@ mod tests {
             let t = Gnat::build(pts, Euclidean, GnatParams::default()).unwrap();
             assert_eq!(t.range(&vec![0.0], 100.0).len(), n as usize);
         }
-        let dup = Gnat::build(vec![vec![1.0]; 40], Euclidean, GnatParams::default())
-            .unwrap();
+        let dup = Gnat::build(vec![vec![1.0]; 40], Euclidean, GnatParams::default()).unwrap();
         assert_eq!(dup.range(&vec![1.0], 0.0).len(), 40);
     }
 

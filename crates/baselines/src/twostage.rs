@@ -58,7 +58,11 @@ where
         project: impl Fn(&T) -> P,
         proxy_metric: PM,
         params: MvpParams,
-    ) -> Result<Self> {
+    ) -> Result<Self>
+    where
+        P: Sync,
+        PM: Sync,
+    {
         let proxies: Vec<P> = items.iter().map(&project).collect();
         let proxy_index = MvpTree::build(proxies, proxy_metric, params)?;
         Ok(TwoStage {
@@ -91,9 +95,7 @@ where
             .range(project_query, radius)
             .into_iter()
             .filter_map(|candidate| {
-                let d = self
-                    .expensive
-                    .distance(query, &self.items[candidate.id]);
+                let d = self.expensive.distance(query, &self.items[candidate.id]);
                 (d <= radius).then_some(Neighbor::new(candidate.id, d))
             })
             .collect()
@@ -120,10 +122,7 @@ where
             .proxy_index
             .knn(project_query, k)
             .into_iter()
-            .map(|candidate| {
-                self.expensive
-                    .distance(query, &self.items[candidate.id])
-            })
+            .map(|candidate| self.expensive.distance(query, &self.items[candidate.id]))
             .collect();
         phase1.sort_unstable_by(f64::total_cmp);
         let Some(&radius) = phase1.last() else {
@@ -157,10 +156,10 @@ where
         let picks: Vec<usize> = (0..n).step_by(step).collect();
         for (ii, &i) in picks.iter().enumerate() {
             for &j in &picks[..ii] {
-                let lo = self.proxy_index.metric().distance(
-                    &project(&self.items[i]),
-                    &project(&self.items[j]),
-                );
+                let lo = self
+                    .proxy_index
+                    .metric()
+                    .distance(&project(&self.items[i]), &project(&self.items[j]));
                 let hi = self.expensive.distance(&self.items[i], &self.items[j]);
                 if lo > hi + 1e-9 {
                     return Err(format!(

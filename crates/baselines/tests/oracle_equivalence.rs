@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use vantage_baselines::{
-    Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa,
-    TwoStage,
+    Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa, TwoStage,
 };
 use vantage_core::prelude::*;
 use vantage_core::MetricIndex;
@@ -23,7 +22,10 @@ fn sorted_ids(mut v: Vec<Neighbor>) -> Vec<usize> {
     v.into_iter().map(|n| n.id).collect()
 }
 
-fn assert_knn_distances(got: &[Neighbor], want: &[Neighbor]) -> std::result::Result<(), TestCaseError> {
+fn assert_knn_distances(
+    got: &[Neighbor],
+    want: &[Neighbor],
+) -> std::result::Result<(), TestCaseError> {
     prop_assert_eq!(got.len(), want.len());
     for (g, w) in got.iter().zip(want) {
         prop_assert!((g.distance - w.distance).abs() < 1e-12);

@@ -19,8 +19,7 @@ fn construction(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("vpt2", n), &points, |b, pts| {
             b.iter(|| {
                 black_box(
-                    VpTree::build(pts.clone(), Euclidean, VpTreeParams::binary().seed(1))
-                        .unwrap(),
+                    VpTree::build(pts.clone(), Euclidean, VpTreeParams::binary().seed(1)).unwrap(),
                 )
             })
         });
@@ -42,9 +41,7 @@ fn construction(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("gh_tree", n), &points, |b, pts| {
             b.iter(|| {
-                black_box(
-                    GhTree::build(pts.clone(), Euclidean, GhTreeParams::default()).unwrap(),
-                )
+                black_box(GhTree::build(pts.clone(), Euclidean, GhTreeParams::default()).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("gnat8", n), &points, |b, pts| {

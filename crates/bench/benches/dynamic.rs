@@ -15,8 +15,7 @@ fn insert_throughput(c: &mut Criterion) {
         let points = bench_vectors(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
             b.iter(|| {
-                let mut tree =
-                    DynamicMvpTree::new(Euclidean, MvpParams::paper(3, 40, 5)).unwrap();
+                let mut tree = DynamicMvpTree::new(Euclidean, MvpParams::paper(3, 40, 5)).unwrap();
                 for p in pts {
                     tree.insert(p.clone());
                 }

@@ -42,7 +42,13 @@ fn string_metrics(c: &mut Criterion) {
         })
     });
     group.bench_function("levenshtein_bounded_r2", |bench| {
-        bench.iter(|| black_box(Levenshtein::distance_within(black_box(&a), black_box(&b), 2)))
+        bench.iter(|| {
+            black_box(Levenshtein::distance_within(
+                black_box(&a),
+                black_box(&b),
+                2,
+            ))
+        })
     });
     group.bench_function("hamming", |bench| {
         bench.iter(|| {

@@ -1,0 +1,109 @@
+//! Criterion: parallel construction and batch-query scaling.
+//!
+//! Two questions, each answered by comparing 1 worker against all cores
+//! on the same ≥10k-point workload:
+//!
+//! * does parallel bulk construction (`Threads` in the tree params) cut
+//!   build wall-clock? The built trees are bit-identical by design, so
+//!   any delta is pure scheduling win;
+//! * does `BatchIndex::batch_knn` / `batch_range` scale query throughput
+//!   when a query *set* is answered against one immutable index?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vantage_bench::bench_vectors;
+use vantage_core::prelude::*;
+use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_vptree::{VpTree, VpTreeParams};
+
+use vantage_datasets::uniform_vectors;
+
+fn worker_counts() -> Vec<usize> {
+    // Always emit the comparison row: on a single-core machine 2 workers
+    // measures the scheduling overhead bound instead of speedup, which is
+    // still the number you want next to the 1-worker baseline.
+    vec![1, Threads::Auto.resolve().max(2)]
+}
+
+fn parallel_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_construction");
+    group.sample_size(10);
+    let n = 20_000;
+    let points = bench_vectors(n);
+    for workers in worker_counts() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("vpt2/{n}"), format!("{workers}thr")),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    black_box(
+                        VpTree::build(
+                            pts.clone(),
+                            Euclidean,
+                            VpTreeParams::binary()
+                                .seed(1)
+                                .threads(Threads::Fixed(workers)),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("mvpt_3_80_5/{n}"), format!("{workers}thr")),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    black_box(
+                        MvpTree::build(
+                            pts.clone(),
+                            Euclidean,
+                            MvpParams::paper(3, 80, 5)
+                                .seed(1)
+                                .threads(Threads::Fixed(workers)),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn batch_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_queries");
+    group.sample_size(10);
+    let n = 10_000;
+    let tree = MvpTree::build(
+        bench_vectors(n),
+        Euclidean,
+        MvpParams::paper(3, 80, 5).seed(1),
+    )
+    .unwrap();
+    let queries = uniform_vectors(256, 20, 0xBA7C);
+    for workers in worker_counts() {
+        let threads = Threads::Fixed(workers);
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("knn10/{n}x{}", queries.len()),
+                format!("{workers}thr"),
+            ),
+            &queries,
+            |b, qs| b.iter(|| black_box(tree.batch_knn(qs, 10, threads))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("range0.3/{n}x{}", queries.len()),
+                format!("{workers}thr"),
+            ),
+            &queries,
+            |b, qs| b.iter(|| black_box(tree.batch_range(qs, 0.3, threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_construction, batch_queries);
+criterion_main!(benches);

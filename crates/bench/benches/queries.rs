@@ -14,10 +14,8 @@ fn range_queries(c: &mut Criterion) {
     let points = bench_vectors(20_000);
     let queries = bench_queries();
     let linear = LinearScan::new(points.clone(), Euclidean);
-    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(1))
-        .unwrap();
-    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(1))
-        .unwrap();
+    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(1)).unwrap();
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(1)).unwrap();
 
     let mut group = c.benchmark_group("range_query_20k");
     for &r in &[0.2f64, 0.5] {
@@ -50,10 +48,8 @@ fn knn_queries(c: &mut Criterion) {
     let points = bench_vectors(20_000);
     let queries = bench_queries();
     let linear = LinearScan::new(points.clone(), Euclidean);
-    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(1))
-        .unwrap();
-    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(1))
-        .unwrap();
+    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(1)).unwrap();
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(1)).unwrap();
 
     let mut group = c.benchmark_group("knn_query_20k");
     for &k in &[1usize, 10] {

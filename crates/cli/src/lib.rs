@@ -76,10 +76,7 @@ impl<'a> Args<'a> {
     }
 
     fn get(&self, flag: &str) -> Option<&'a str> {
-        self.pairs
-            .iter()
-            .find(|(f, _)| *f == flag)
-            .map(|(_, v)| *v)
+        self.pairs.iter().find(|(f, _)| *f == flag).map(|(_, v)| *v)
     }
 
     fn required(&self, flag: &str) -> CliResult<&'a str> {
@@ -112,8 +109,8 @@ USAGE:
   vantage generate clustered --clusters C --size K --dim D [--epsilon E] [--seed S] [--out FILE]
   vantage generate words     --n N [--seed S] [--out FILE]
   vantage query  --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
-                 (--range R | --knn K) [--seed S]
-  vantage stats  --data FILE [--metric l1|l2|linf|edit] [--bin W]
+                 (--range R | --knn K) [--seed S] [--threads auto|N]
+  vantage stats  --data FILE [--metric l1|l2|linf|edit] [--bin W] [--threads auto|N]
   vantage experiment NAME [--scale quick|full]
        NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
              construction, comparators, knn
@@ -122,6 +119,11 @@ USAGE:
 Vector data files are CSV (one vector per line); `--metric edit` treats
 the file as one word per line. `query` reports the answers and the number
 of distance computations used.
+
+`--threads` controls construction/statistics parallelism (default: auto,
+i.e. all cores, or the VANTAGE_THREADS environment variable). The worker
+count never changes any result — builds are bit-identical across thread
+counts.
 ";
 
 /// Runs the CLI. `argv` excludes the program name. Output is written to
@@ -144,8 +146,9 @@ pub fn run(argv: &[String], out: &mut String) -> CliResult<()> {
 
 fn write_or_print(path: Option<&str>, content: &str, out: &mut String) -> CliResult<()> {
     match path {
-        Some(path) => fs::write(path, content)
-            .map_err(|e| err(format!("cannot write {path}: {e}"))),
+        Some(path) => {
+            fs::write(path, content).map_err(|e| err(format!("cannot write {path}: {e}")))
+        }
         None => {
             out.push_str(content);
             Ok(())
@@ -173,8 +176,8 @@ fn cmd_generate(argv: &[String], out: &mut String) -> CliResult<()> {
                 epsilon: args.parsed("epsilon", 0.15)?,
                 seed,
             };
-            let data = vantage_datasets::clustered_vectors(&config)
-                .map_err(|e| err(e.to_string()))?;
+            let data =
+                vantage_datasets::clustered_vectors(&config).map_err(|e| err(e.to_string()))?;
             vectors_to_csv(&data)
         }
         "words" => {
@@ -205,10 +208,9 @@ fn read_vectors(path: &str) -> CliResult<Vec<Vec<f64>>> {
         if line.trim().is_empty() {
             continue;
         }
-        let v: std::result::Result<Vec<f64>, _> = line.split(',').map(|c| c.trim().parse()).collect();
-        vectors.push(v.map_err(|_| {
-            err(format!("{path}:{}: not a CSV float vector", lineno + 1))
-        })?);
+        let v: std::result::Result<Vec<f64>, _> =
+            line.split(',').map(|c| c.trim().parse()).collect();
+        vectors.push(v.map_err(|_| err(format!("{path}:{}: not a CSV float vector", lineno + 1)))?);
     }
     if let Some(first) = vectors.first() {
         let dim = first.len();
@@ -235,21 +237,38 @@ enum QueryKind {
 
 fn query_kind(args: &Args<'_>) -> CliResult<QueryKind> {
     match (args.get("range"), args.get("knn")) {
-        (Some(r), None) => Ok(QueryKind::Range(r.parse().map_err(|_| {
-            err(format!("invalid value for --range: `{r}`"))
-        })?)),
-        (None, Some(k)) => Ok(QueryKind::Knn(k.parse().map_err(|_| {
-            err(format!("invalid value for --knn: `{k}`"))
-        })?)),
+        (Some(r), None) => {
+            Ok(QueryKind::Range(r.parse().map_err(|_| {
+                err(format!("invalid value for --range: `{r}`"))
+            })?))
+        }
+        (None, Some(k)) => {
+            Ok(QueryKind::Knn(k.parse().map_err(|_| {
+                err(format!("invalid value for --knn: `{k}`"))
+            })?))
+        }
         _ => Err(err("query needs exactly one of --range R or --knn K")),
     }
 }
 
-fn run_structure_query<T: Clone + 'static, M: Metric<T> + Clone + 'static>(
+/// Parses the `--threads` flag: `auto` (the default) resolves to all
+/// available cores, an integer pins the worker count.
+fn parse_threads(args: &Args<'_>) -> CliResult<Threads> {
+    match args.get("threads") {
+        None | Some("auto") => Ok(Threads::Auto),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Threads::Fixed)
+            .map_err(|_| err(format!("invalid value for --threads: `{v}` (auto|N)"))),
+    }
+}
+
+fn run_structure_query<T: Clone + Sync + 'static, M: Metric<T> + Clone + Sync + 'static>(
     items: Vec<T>,
     metric: M,
     structure: &str,
     seed: u64,
+    threads: Threads,
     query: &T,
     kind: &QueryKind,
 ) -> CliResult<(Vec<Neighbor>, u64, usize)> {
@@ -258,12 +277,20 @@ fn run_structure_query<T: Clone + 'static, M: Metric<T> + Clone + 'static>(
     let n = items.len();
     let index: Box<dyn MetricIndex<T>> = match structure {
         "mvp" => Box::new(
-            MvpTree::build(items, counted, MvpParams::paper(3, 80, 5).seed(seed))
-                .map_err(|e| err(e.to_string()))?,
+            MvpTree::build(
+                items,
+                counted,
+                MvpParams::paper(3, 80, 5).seed(seed).threads(threads),
+            )
+            .map_err(|e| err(e.to_string()))?,
         ),
         "vp" => Box::new(
-            VpTree::build(items, counted, VpTreeParams::binary().seed(seed))
-                .map_err(|e| err(e.to_string()))?,
+            VpTree::build(
+                items,
+                counted,
+                VpTreeParams::binary().seed(seed).threads(threads),
+            )
+            .map_err(|e| err(e.to_string()))?,
         ),
         "linear" => Box::new(LinearScan::new(items, counted)),
         other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
@@ -288,6 +315,7 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
     let metric_name = args.get("metric").unwrap_or("l2");
     let structure = args.get("structure").unwrap_or("mvp");
     let seed: u64 = args.parsed("seed", 0)?;
+    let threads = parse_threads(&args)?;
     let kind = query_kind(&args)?;
     let query_text = args.required("query")?;
 
@@ -298,6 +326,7 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
             Levenshtein,
             structure,
             seed,
+            threads,
             &query_text.to_string(),
             &kind,
         )?
@@ -318,9 +347,15 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
             }
         }
         match metric_name {
-            "l2" => run_structure_query(vectors, Euclidean, structure, seed, &query, &kind)?,
-            "l1" => run_structure_query(vectors, Manhattan, structure, seed, &query, &kind)?,
-            "linf" => run_structure_query(vectors, Chebyshev, structure, seed, &query, &kind)?,
+            "l2" => {
+                run_structure_query(vectors, Euclidean, structure, seed, threads, &query, &kind)?
+            }
+            "l1" => {
+                run_structure_query(vectors, Manhattan, structure, seed, threads, &query, &kind)?
+            }
+            "linf" => {
+                run_structure_query(vectors, Chebyshev, structure, seed, threads, &query, &kind)?
+            }
             other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
         }
     };
@@ -342,17 +377,19 @@ fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
     let data = args.required("data")?;
     let metric_name = args.get("metric").unwrap_or("l2");
     let bin: f64 = args.parsed("bin", 0.05)?;
+    let threads = parse_threads(&args)?;
 
     fn report<T, M: Metric<T> + Sync>(
         items: &[T],
         metric: &M,
         bin: f64,
+        threads: Threads,
         out: &mut String,
     ) -> CliResult<()>
     where
         T: Sync,
     {
-        let hist = DistanceHistogram::pairwise(items, metric, bin, 1)
+        let hist = DistanceHistogram::pairwise(items, metric, bin, threads.resolve())
             .map_err(|e| err(e.to_string()))?;
         let _ = writeln!(out, "items: {}", items.len());
         let _ = writeln!(out, "pairwise distances: {}", hist.total());
@@ -379,13 +416,13 @@ fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
 
     if metric_name == "edit" {
         let words = read_words(data)?;
-        report(&words, &Levenshtein, bin.max(1.0), out)
+        report(&words, &Levenshtein, bin.max(1.0), threads, out)
     } else {
         let vectors = read_vectors(data)?;
         match metric_name {
-            "l2" => report(&vectors, &Euclidean, bin, out),
-            "l1" => report(&vectors, &Manhattan, bin, out),
-            "linf" => report(&vectors, &Chebyshev, bin, out),
+            "l2" => report(&vectors, &Euclidean, bin, threads, out),
+            "l1" => report(&vectors, &Manhattan, bin, threads, out),
+            "linf" => report(&vectors, &Chebyshev, bin, threads, out),
             other => Err(err(format!("unknown metric `{other}`"))),
         }
     }
@@ -484,14 +521,30 @@ mod tests {
             "generate", "uniform", "--n", "200", "--dim", "4", "--seed", "3", "--out", &path,
         ]);
         let out = run_ok(&[
-            "query", "--data", &path, "--metric", "l2", "--structure", "mvp", "--knn", "3",
-            "--query", "0.5,0.5,0.5,0.5",
+            "query",
+            "--data",
+            &path,
+            "--metric",
+            "l2",
+            "--structure",
+            "mvp",
+            "--knn",
+            "3",
+            "--query",
+            "0.5,0.5,0.5,0.5",
         ]);
         assert!(out.contains("3 results"), "{out}");
         assert!(out.contains("distance computations"));
         // Linear scan agrees on the same file.
         let lin = run_ok(&[
-            "query", "--data", &path, "--structure", "linear", "--knn", "3", "--query",
+            "query",
+            "--data",
+            &path,
+            "--structure",
+            "linear",
+            "--knn",
+            "3",
+            "--query",
             "0.5,0.5,0.5,0.5",
         ]);
         let pick = |s: &str| -> Vec<String> {
@@ -529,20 +582,83 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_never_changes_results() {
+        let path = temp_path("threads.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "300", "--dim", "6", "--seed", "8", "--out", &path,
+        ]);
+        let base = run_ok(&[
+            "query",
+            "--data",
+            &path,
+            "--structure",
+            "mvp",
+            "--knn",
+            "5",
+            "--query",
+            "0.5,0.5,0.5,0.5,0.5,0.5",
+            "--threads",
+            "1",
+        ]);
+        for threads in ["2", "4", "auto"] {
+            let other = run_ok(&[
+                "query",
+                "--data",
+                &path,
+                "--structure",
+                "mvp",
+                "--knn",
+                "5",
+                "--query",
+                "0.5,0.5,0.5,0.5,0.5,0.5",
+                "--threads",
+                threads,
+            ]);
+            assert_eq!(base, other, "--threads {threads} changed the output");
+        }
+        let stats1 = run_ok(&["stats", "--data", &path, "--threads", "1"]);
+        let stats4 = run_ok(&["stats", "--data", &path, "--threads", "4"]);
+        assert_eq!(stats1, stats4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn threads_flag_validates() {
+        let e = run_err(&[
+            "query",
+            "--data",
+            "x.csv",
+            "--range",
+            "1",
+            "--query",
+            "1",
+            "--threads",
+            "lots",
+        ]);
+        assert!(e.0.contains("--threads"), "{e}");
+    }
+
+    #[test]
     fn query_validates_flags() {
         assert!(run_err(&["query", "--data", "x.csv"]).0.contains("--range"));
-        assert!(run_err(&["query", "--data", "/nonexistent.csv", "--range", "1", "--query", "1"])
-            .0
-            .contains("cannot read"));
+        assert!(run_err(&[
+            "query",
+            "--data",
+            "/nonexistent.csv",
+            "--range",
+            "1",
+            "--query",
+            "1"
+        ])
+        .0
+        .contains("cannot read"));
     }
 
     #[test]
     fn dimension_mismatch_is_reported() {
         let path = temp_path("dim.csv");
         std::fs::write(&path, "1,2,3\n4,5,6\n").unwrap();
-        let e = run_err(&[
-            "query", "--data", &path, "--range", "1", "--query", "1,2",
-        ]);
+        let e = run_err(&["query", "--data", &path, "--range", "1", "--query", "1,2"]);
         assert!(e.0.contains("dimensions"), "{e}");
         let _ = std::fs::remove_file(&path);
     }
@@ -558,7 +674,9 @@ mod tests {
 
     #[test]
     fn experiment_rejects_unknown_names() {
-        assert!(run_err(&["experiment", "fig99"]).0.contains("unknown experiment"));
+        assert!(run_err(&["experiment", "fig99"])
+            .0
+            .contains("unknown experiment"));
         assert!(run_err(&["experiment", "fig08", "--scale", "huge"])
             .0
             .contains("unknown scale"));

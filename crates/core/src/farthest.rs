@@ -78,9 +78,7 @@ impl KfnCollector {
         if self.heap.len() < self.k {
             f64::NEG_INFINITY
         } else {
-            self.heap
-                .peek()
-                .map_or(f64::NEG_INFINITY, |n| n.0.distance)
+            self.heap.peek().map_or(f64::NEG_INFINITY, |n| n.0.distance)
         }
     }
 
@@ -91,13 +89,15 @@ impl KfnCollector {
             return false;
         }
         if self.heap.len() < self.k {
-            self.heap.push(std::cmp::Reverse(Neighbor::new(id, distance)));
+            self.heap
+                .push(std::cmp::Reverse(Neighbor::new(id, distance)));
             return true;
         }
         let weakest = self.heap.peek().expect("heap holds k > 0 entries");
         if distance > weakest.0.distance {
             self.heap.pop();
-            self.heap.push(std::cmp::Reverse(Neighbor::new(id, distance)));
+            self.heap
+                .push(std::cmp::Reverse(Neighbor::new(id, distance)));
             true
         } else {
             false
@@ -134,10 +134,7 @@ mod tests {
     use crate::metrics::minkowski::Euclidean;
 
     fn scan() -> LinearScan<Vec<f64>, Euclidean> {
-        LinearScan::new(
-            (0..10).map(|i| vec![f64::from(i)]).collect(),
-            Euclidean,
-        )
+        LinearScan::new((0..10).map(|i| vec![f64::from(i)]).collect(), Euclidean)
     }
 
     #[test]

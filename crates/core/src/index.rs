@@ -1,7 +1,9 @@
 //! The [`MetricIndex`] trait implemented by every search structure in the
 //! workspace (linear scan, vp-tree, mvp-tree, gh-tree, GNAT, BK-tree,
-//! LAESA table).
+//! LAESA table), plus the [`BatchIndex`] extension that answers query
+//! *batches* across threads.
 
+use crate::parallel::{par_map_slice, Threads};
 use crate::query::Neighbor;
 
 /// A similarity-search index over a fixed set of objects from a metric
@@ -46,6 +48,36 @@ pub trait MetricIndex<T> {
     fn knn(&self, query: &T, k: usize) -> Vec<Neighbor>;
 }
 
+/// Batch-query extension for any index that can be shared across threads.
+///
+/// Experiments (paper §5) and real workloads evaluate *sets* of queries
+/// against one built index. Because every index here is immutable after
+/// construction, a query batch is embarrassingly parallel: this trait
+/// fans the batch out over scoped worker threads and returns per-query
+/// answers **in input order**. Each answer is exactly what the
+/// corresponding single-query method would have returned — parallelism
+/// never changes results, only wall-clock.
+///
+/// The blanket implementation covers every `MetricIndex<T> + Sync`, so
+/// `LinearScan`, the trees and the baselines all get `batch_range` /
+/// `batch_knn` for free; implementations with a smarter shared-work plan
+/// (e.g. amortizing vantage distances across queries) can override.
+pub trait BatchIndex<T: Sync>: MetricIndex<T> + Sync {
+    /// Answers [`range`](MetricIndex::range) for every query in `queries`,
+    /// returning answer sets in query order.
+    fn batch_range(&self, queries: &[T], radius: f64, threads: Threads) -> Vec<Vec<Neighbor>> {
+        par_map_slice(threads.resolve(), queries, |q| self.range(q, radius))
+    }
+
+    /// Answers [`knn`](MetricIndex::knn) for every query in `queries`,
+    /// returning answer sets in query order.
+    fn batch_knn(&self, queries: &[T], k: usize, threads: Threads) -> Vec<Vec<Neighbor>> {
+        par_map_slice(threads.resolve(), queries, |q| self.knn(q, k))
+    }
+}
+
+impl<T: Sync, I: MetricIndex<T> + Sync + ?Sized> BatchIndex<T> for I {}
+
 impl<T, I: MetricIndex<T> + ?Sized> MetricIndex<T> for &I {
     fn len(&self) -> usize {
         (**self).len()
@@ -89,5 +121,20 @@ mod tests {
     fn boxed_trait_objects_work() {
         let b: Box<dyn MetricIndex<Vec<f64>>> = Box::new(scan());
         assert_eq!(b.range(&vec![1.0], 1.0).len(), 2);
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries_in_order() {
+        let s = scan();
+        let queries = vec![vec![0.1], vec![1.9], vec![5.0]];
+        for threads in [Threads::SEQUENTIAL, Threads::Fixed(3)] {
+            let ranges = s.batch_range(&queries, 0.5, threads);
+            let knns = s.batch_knn(&queries, 1, threads);
+            assert_eq!(ranges.len(), queries.len());
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(ranges[i], s.range(q, 0.5));
+                assert_eq!(knns[i], s.knn(q, 1));
+            }
+        }
     }
 }

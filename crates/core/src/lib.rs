@@ -25,7 +25,10 @@
 //! * the exhaustive [`LinearScan`] baseline every index is tested against
 //!   ([`linear`]);
 //! * pairwise distance statistics used to regenerate the paper's
-//!   distance-distribution histograms, Figures 4–7 ([`stats`]).
+//!   distance-distribution histograms, Figures 4–7 ([`stats`]);
+//! * scoped fork-join parallelism — the [`Threads`] knob, order-preserving
+//!   parallel maps, and the [`BatchIndex`] batch-query extension available
+//!   on every `MetricIndex + Sync` ([`parallel`], [`index`]).
 //!
 //! ## Quick start
 //!
@@ -54,6 +57,7 @@ pub mod knn;
 pub mod linear;
 pub mod metric;
 pub mod metrics;
+pub mod parallel;
 pub mod query;
 pub mod select;
 pub mod stats;
@@ -62,10 +66,11 @@ pub mod util;
 pub use counting::Counted;
 pub use error::{Result, VantageError};
 pub use farthest::{FarthestIndex, KfnCollector};
-pub use index::MetricIndex;
+pub use index::{BatchIndex, MetricIndex};
 pub use knn::KnnCollector;
 pub use linear::LinearScan;
 pub use metric::{DiscreteMetric, Metric};
+pub use parallel::Threads;
 pub use query::Neighbor;
 pub use select::VantageSelector;
 pub use stats::DistanceHistogram;
@@ -75,7 +80,7 @@ pub mod prelude {
     pub use crate::counting::Counted;
     pub use crate::error::{Result, VantageError};
     pub use crate::farthest::{FarthestIndex, KfnCollector};
-    pub use crate::index::MetricIndex;
+    pub use crate::index::{BatchIndex, MetricIndex};
     pub use crate::knn::KnnCollector;
     pub use crate::linear::LinearScan;
     pub use crate::metric::{DiscreteMetric, Metric};
@@ -83,10 +88,11 @@ pub mod prelude {
     pub use crate::metrics::edit::Levenshtein;
     pub use crate::metrics::hamming::Hamming;
     pub use crate::metrics::histogram::{gray_histogram, HistogramL1};
-    pub use crate::metrics::jaccard::{sorted_set, Jaccard};
     pub use crate::metrics::image::{GrayImage, ImageL1, ImageL2};
+    pub use crate::metrics::jaccard::{sorted_set, Jaccard};
     pub use crate::metrics::minkowski::{Chebyshev, Euclidean, Manhattan, Minkowski};
     pub use crate::metrics::weighted::WeightedLp;
+    pub use crate::parallel::Threads;
     pub use crate::query::Neighbor;
     pub use crate::select::VantageSelector;
     pub use crate::stats::DistanceHistogram;

@@ -77,10 +77,7 @@ mod tests {
     use crate::metrics::minkowski::Euclidean;
 
     fn scan() -> LinearScan<Vec<f64>, Euclidean> {
-        LinearScan::new(
-            vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]],
-            Euclidean,
-        )
+        LinearScan::new(vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]], Euclidean)
     }
 
     #[test]

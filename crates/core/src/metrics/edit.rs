@@ -56,7 +56,11 @@ impl Levenshtein {
     pub fn distance_within(a: &str, b: &str, bound: u64) -> Option<u64> {
         let ac: Vec<char> = a.chars().collect();
         let bc: Vec<char> = b.chars().collect();
-        let (short, long) = if ac.len() <= bc.len() { (ac, bc) } else { (bc, ac) };
+        let (short, long) = if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        };
         if (long.len() - short.len()) as u64 > bound {
             return None;
         }

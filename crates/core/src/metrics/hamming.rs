@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(Hamming::bytes(b"foo", b"foobar"), Hamming::bytes(b"foobar", b"foo"));
+        assert_eq!(
+            Hamming::bytes(b"foo", b"foobar"),
+            Hamming::bytes(b"foobar", b"foo")
+        );
     }
 
     #[test]
@@ -118,7 +121,11 @@ mod tests {
 
     #[test]
     fn triangle_inequality_spot_check() {
-        let (a, b, c) = (b"abcde".as_slice(), b"abxde".as_slice(), b"zzzde".as_slice());
+        let (a, b, c) = (
+            b"abcde".as_slice(),
+            b"abxde".as_slice(),
+            b"zzzde".as_slice(),
+        );
         let ab = Hamming::bytes(a, b);
         let bc = Hamming::bytes(b, c);
         let ac = Hamming::bytes(a, c);

@@ -101,8 +101,7 @@ impl Default for ImageHistogramL1 {
 
 impl Metric<GrayImage> for ImageHistogramL1 {
     fn distance(&self, a: &GrayImage, b: &GrayImage) -> f64 {
-        self.inner
-            .distance(&gray_histogram(a), &gray_histogram(b))
+        self.inner.distance(&gray_histogram(a), &gray_histogram(b))
     }
 }
 

@@ -12,7 +12,7 @@ pub mod angular;
 pub mod edit;
 pub mod hamming;
 pub mod histogram;
-pub mod jaccard;
 pub mod image;
+pub mod jaccard;
 pub mod minkowski;
 pub mod weighted;

@@ -72,7 +72,10 @@ impl VantageSelector {
         metric: &M,
         rng: &mut StdRng,
     ) -> usize {
-        assert!(!ids.is_empty(), "cannot select a vantage point from nothing");
+        assert!(
+            !ids.is_empty(),
+            "cannot select a vantage point from nothing"
+        );
         match *self {
             VantageSelector::FirstItem => 0,
             VantageSelector::Random => rng.random_range(0..ids.len()),
@@ -85,9 +88,7 @@ impl VantageSelector {
                     let cand = &items[ids[cand_idx] as usize];
                     let mut dists: Vec<f64> = (0..sample)
                         .map(|_| {
-                            let probe = ids
-                                .choose(rng)
-                                .expect("ids non-empty");
+                            let probe = ids.choose(rng).expect("ids non-empty");
                             metric.distance(cand, &items[*probe as usize])
                         })
                         .collect();
@@ -112,8 +113,8 @@ impl VantageSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use crate::prelude::*;
+    use rand::SeedableRng;
 
     fn arena() -> Vec<Vec<f64>> {
         (0..20).map(|i| vec![f64::from(i)]).collect()
@@ -162,7 +163,10 @@ mod tests {
                 outer += 1;
             }
         }
-        assert!(outer >= 15, "picked outer-third points only {outer}/20 times");
+        assert!(
+            outer >= 15,
+            "picked outer-third points only {outer}/20 times"
+        );
     }
 
     #[test]

@@ -94,12 +94,7 @@ impl DistanceHistogram {
     /// # Errors
     ///
     /// Returns an error for an invalid `bin_width` or `threads == 0`.
-    pub fn pairwise<T, M>(
-        items: &[T],
-        metric: &M,
-        bin_width: f64,
-        threads: usize,
-    ) -> Result<Self>
+    pub fn pairwise<T, M>(items: &[T], metric: &M, bin_width: f64, threads: usize) -> Result<Self>
     where
         T: Sync,
         M: Metric<T> + Sync,
@@ -126,8 +121,8 @@ impl DistanceHistogram {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let handle = scope.spawn(move || {
-                    let mut local = DistanceHistogram::new(bin_width)
-                        .expect("bin width validated above");
+                    let mut local =
+                        DistanceHistogram::new(bin_width).expect("bin width validated above");
                     let mut i = t;
                     while i < items.len() {
                         for j in (i + 1)..items.len() {
@@ -240,12 +235,7 @@ impl DistanceHistogram {
         self.counts
             .chunks(per)
             .enumerate()
-            .map(|(i, chunk)| {
-                (
-                    (i * per) as f64 * self.bin_width,
-                    chunk.iter().sum::<u64>(),
-                )
-            })
+            .map(|(i, chunk)| ((i * per) as f64 * self.bin_width, chunk.iter().sum::<u64>()))
             .collect()
     }
 }

@@ -22,9 +22,11 @@ impl PartialOrd for OrdF64 {
     }
 }
 
-/// Splits `(id, distance)` pairs into `m` groups of (near-)equal
+/// Splits `(payload, distance)` pairs into `m` groups of (near-)equal
 /// cardinality by ascending distance, returning the groups together with
-/// the `m - 1` cutoff values separating them.
+/// the `m - 1` cutoff values separating them. The payload is typically a
+/// point id; the mvp-tree threads richer per-point state (id plus PATH
+/// accumulator) through the same kernel.
 ///
 /// This is the paper's partitioning step shared by vp-trees and mvp-trees:
 /// *"the points are ordered with respect to their distances from the
@@ -40,21 +42,23 @@ impl PartialOrd for OrdF64 {
 /// # Panics
 ///
 /// Panics if `m == 0`.
-pub fn split_into_quantiles(
-    mut entries: Vec<(u32, f64)>,
+pub fn split_into_quantiles<P>(
+    mut entries: Vec<(P, f64)>,
     m: usize,
-) -> (Vec<Vec<(u32, f64)>>, Vec<f64>) {
+) -> (Vec<Vec<(P, f64)>>, Vec<f64>) {
     assert!(m > 0, "cannot split into zero groups");
     entries.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
     let n = entries.len();
-    let mut groups: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+    let first_distance = entries.first().map_or(0.0, |e| e.1);
+    let mut groups: Vec<Vec<(P, f64)>> = Vec::with_capacity(m);
     let mut cutoffs: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
+    let mut remaining = entries.into_iter();
     let mut start = 0usize;
-    let mut last_distance = entries.first().map_or(0.0, |e| e.1);
+    let mut last_distance = first_distance;
     for g in 0..m {
         // Balanced boundaries: group g covers [g*n/m, (g+1)*n/m).
         let end = ((g + 1) * n) / m;
-        let chunk: Vec<(u32, f64)> = entries[start..end].to_vec();
+        let chunk: Vec<(P, f64)> = remaining.by_ref().take(end - start).collect();
         if let Some(last) = chunk.last() {
             last_distance = last.1;
         }
@@ -142,7 +146,7 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_groups() {
-        let (groups, cutoffs) = split_into_quantiles(vec![], 3);
+        let (groups, cutoffs) = split_into_quantiles(Vec::<(u32, f64)>::new(), 3);
         assert_eq!(groups.len(), 3);
         assert!(groups.iter().all(Vec::is_empty));
         assert_eq!(cutoffs, vec![0.0, 0.0]);

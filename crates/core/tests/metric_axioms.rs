@@ -83,11 +83,7 @@ macro_rules! metric_axiom_tests {
 metric_axiom_tests!(euclidean, Euclidean, vec_strategy(8));
 metric_axiom_tests!(manhattan, Manhattan, vec_strategy(8));
 metric_axiom_tests!(chebyshev, Chebyshev, vec_strategy(8));
-metric_axiom_tests!(
-    minkowski_p3,
-    Minkowski::new(3.0).unwrap(),
-    vec_strategy(6)
-);
+metric_axiom_tests!(minkowski_p3, Minkowski::new(3.0).unwrap(), vec_strategy(6));
 metric_axiom_tests!(
     weighted_l2,
     WeightedLp::euclidean(vec![0.5, 2.0, 0.0, 1.0, 3.5]).unwrap(),

@@ -190,10 +190,7 @@ mod tests {
         c.cluster_size = 1000;
         c.clusters = 1;
         let v = clustered_vectors(&c).unwrap();
-        let escaped = v
-            .iter()
-            .flatten()
-            .any(|&x| !(0.0..=1.0).contains(&x));
+        let escaped = v.iter().flatten().any(|&x| !(0.0..=1.0).contains(&x));
         assert!(escaped, "the random walk should leave [0,1] sometimes");
     }
 

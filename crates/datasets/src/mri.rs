@@ -194,11 +194,9 @@ impl Subject {
                             + self.grad_x * nx
                             + self.grad_y * ny
                             + self.tex_amp
-                                * (self.tex_fx * nx * std::f64::consts::PI
-                                    + self.tex_phase_x)
+                                * (self.tex_fx * nx * std::f64::consts::PI + self.tex_phase_x)
                                     .sin()
-                                * (self.tex_fy * ny * std::f64::consts::PI
-                                    + self.tex_phase_y)
+                                * (self.tex_fy * ny * std::f64::consts::PI + self.tex_phase_y)
                                     .sin();
                         // Two mirrored dark ventricles whose depth fades
                         // smoothly toward the band edges (no abrupt

@@ -54,8 +54,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let items: Vec<i32> = (0..50).collect();
-        assert_eq!(dataset_queries(&items, 10, 3), dataset_queries(&items, 10, 3));
-        assert_ne!(dataset_queries(&items, 10, 3), dataset_queries(&items, 10, 4));
+        assert_eq!(
+            dataset_queries(&items, 10, 3),
+            dataset_queries(&items, 10, 3)
+        );
+        assert_ne!(
+            dataset_queries(&items, 10, 3),
+            dataset_queries(&items, 10, 4)
+        );
     }
 
     #[test]

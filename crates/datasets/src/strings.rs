@@ -23,7 +23,9 @@ fn random_word(rng: &mut StdRng, min_len: usize, max_len: usize) -> String {
 pub fn random_words(n: usize, min_len: usize, max_len: usize, seed: u64) -> Vec<String> {
     assert!(min_len <= max_len, "min_len must not exceed max_len");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| random_word(&mut rng, min_len, max_len)).collect()
+    (0..n)
+        .map(|_| random_word(&mut rng, min_len, max_len))
+        .collect()
 }
 
 /// Generates a clustered string workload: `bases` random words, each
@@ -33,12 +35,7 @@ pub fn random_words(n: usize, min_len: usize, max_len: usize, seed: u64) -> Vec<
 /// clustered vectors.
 ///
 /// Family `f` occupies indices `f·(variants+1) .. (f+1)·(variants+1)`.
-pub fn perturbed_words(
-    bases: usize,
-    variants: usize,
-    edits: usize,
-    seed: u64,
-) -> Vec<String> {
+pub fn perturbed_words(bases: usize, variants: usize, edits: usize, seed: u64) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Vec<String> = Vec::with_capacity(bases * (variants + 1));
     for _ in 0..bases {
@@ -87,9 +84,7 @@ mod tests {
         let w = random_words(50, 3, 9, 1);
         assert_eq!(w.len(), 50);
         assert!(w.iter().all(|s| (3..=9).contains(&s.len())));
-        assert!(w
-            .iter()
-            .all(|s| s.chars().all(|c| c.is_ascii_lowercase())));
+        assert!(w.iter().all(|s| s.chars().all(|c| c.is_ascii_lowercase())));
     }
 
     #[test]

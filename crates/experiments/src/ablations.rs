@@ -27,12 +27,7 @@ fn vector_workload(scale: Scale) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, ExperimentCon
     (items, query_objects, config)
 }
 
-fn run_report(
-    scale: Scale,
-    title: &str,
-    notes: &str,
-    structures: Vec<VecSpec>,
-) -> FigureReport {
+fn run_report(scale: Scale, title: &str, notes: &str, structures: Vec<VecSpec>) -> FigureReport {
     let (items, query_objects, config) = vector_workload(scale);
     let series = run_query_cost(&items, &query_objects, Euclidean, &structures, &config);
     let rows = query_cost_rows(&series);
@@ -51,9 +46,8 @@ fn run_report(
 
 fn mvpt_spec(name: String, params: MvpParams) -> VecSpec {
     StructureSpec::new(name, move |items, metric, seed| {
-        Box::new(
-            MvpTree::build(items, metric, params.clone().seed(seed)).expect("valid params"),
-        ) as Box<dyn MetricIndex<Vec<f64>>>
+        Box::new(MvpTree::build(items, metric, params.clone().seed(seed)).expect("valid params"))
+            as Box<dyn MetricIndex<Vec<f64>>>
     })
 }
 
@@ -159,25 +153,39 @@ pub fn construction_cost(scale: Scale) -> FigureReport {
         ]);
     };
     measure("vpt(2)", &|items, m| {
-        VpTree::build(items, m, VpTreeParams::with_order(2).seed(1)).map(|_| ()).unwrap();
+        VpTree::build(items, m, VpTreeParams::with_order(2).seed(1))
+            .map(|_| ())
+            .unwrap();
     });
     measure("vpt(3)", &|items, m| {
-        VpTree::build(items, m, VpTreeParams::with_order(3).seed(1)).map(|_| ()).unwrap();
+        VpTree::build(items, m, VpTreeParams::with_order(3).seed(1))
+            .map(|_| ())
+            .unwrap();
     });
     measure("mvpt(3,9)", &|items, m| {
-        MvpTree::build(items, m, MvpParams::paper(3, 9, 5).seed(1)).map(|_| ()).unwrap();
+        MvpTree::build(items, m, MvpParams::paper(3, 9, 5).seed(1))
+            .map(|_| ())
+            .unwrap();
     });
     measure("mvpt(3,80)", &|items, m| {
-        MvpTree::build(items, m, MvpParams::paper(3, 80, 5).seed(1)).map(|_| ()).unwrap();
+        MvpTree::build(items, m, MvpParams::paper(3, 80, 5).seed(1))
+            .map(|_| ())
+            .unwrap();
     });
     measure("gh-tree", &|items, m| {
-        GhTree::build(items, m, GhTreeParams::default()).map(|_| ()).unwrap();
+        GhTree::build(items, m, GhTreeParams::default())
+            .map(|_| ())
+            .unwrap();
     });
     measure("gnat(8)", &|items, m| {
-        Gnat::build(items, m, GnatParams::default()).map(|_| ()).unwrap();
+        Gnat::build(items, m, GnatParams::default())
+            .map(|_| ())
+            .unwrap();
     });
     measure("fq-tree(4)", &|items, m| {
-        FqTree::build(items, m, FqTreeParams::default()).map(|_| ()).unwrap();
+        FqTree::build(items, m, FqTreeParams::default())
+            .map(|_| ())
+            .unwrap();
     });
     measure("laesa(32)", &|items, m| {
         Laesa::build(items, m, 32).map(|_| ()).unwrap();

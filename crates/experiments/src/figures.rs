@@ -24,9 +24,7 @@ use crate::harness::{
     paper_image_structures, paper_vector_structures, run_query_cost, ExperimentConfig,
     QueryCostSeries,
 };
-use crate::report::{
-    format_csv, format_table, histogram_rows, query_cost_rows, FigureReport,
-};
+use crate::report::{format_csv, format_table, histogram_rows, query_cost_rows, FigureReport};
 use crate::scale::Scale;
 
 /// Seed for dataset generation (fixed so EXPERIMENTS.md is re-runnable).
@@ -38,11 +36,7 @@ pub const QUERY_SEED: u64 = 7;
 /// keeps every bin).
 const TABLE_BUCKETS: usize = 32;
 
-fn histogram_report(
-    title: String,
-    hist: &DistanceHistogram,
-    notes: String,
-) -> FigureReport {
+fn histogram_report(title: String, hist: &DistanceHistogram, notes: String) -> FigureReport {
     let summary = format!(
         "pairs={} min={:.3} mean={:.3} max={:.3} mode-bin={:.3}",
         hist.total(),
@@ -165,11 +159,7 @@ pub fn fig07(scale: Scale) -> FigureReport {
     )
 }
 
-fn query_cost_report(
-    title: String,
-    series: &[QueryCostSeries],
-    notes: String,
-) -> FigureReport {
+fn query_cost_report(title: String, series: &[QueryCostSeries], notes: String) -> FigureReport {
     let rows = query_cost_rows(series);
     FigureReport {
         title,
@@ -200,7 +190,11 @@ pub fn savings_summary(series: &[QueryCostSeries], baseline: &str) -> String {
             let last = s.points.len() - 1;
             lines.push(format!(
                 "{} vs {baseline}: {:.0}% fewer distance computations at r={}, {:.0}% at r={}",
-                s.name, pct(0), s.points[0].range, pct(last), s.points[last].range
+                s.name,
+                pct(0),
+                s.points[0].range,
+                pct(last),
+                s.points[last].range
             ));
         }
     }

@@ -134,8 +134,8 @@ where
 /// with `p = 5`.
 pub fn paper_vector_structures<T, M>() -> Vec<StructureSpec<T, M>>
 where
-    T: Clone + 'static,
-    M: Metric<T> + Clone + 'static,
+    T: Clone + Sync + 'static,
+    M: Metric<T> + Clone + Sync + 'static,
 {
     use vantage_mvptree::{MvpParams, MvpTree};
     use vantage_vptree::{VpTree, VpTreeParams};
@@ -172,8 +172,8 @@ where
 /// `mvpt(3, 13)`, all with `p = 4`.
 pub fn paper_image_structures<T, M>() -> Vec<StructureSpec<T, M>>
 where
-    T: Clone + 'static,
-    M: Metric<T> + Clone + 'static,
+    T: Clone + Sync + 'static,
+    M: Metric<T> + Clone + Sync + 'static,
 {
     use vantage_mvptree::{MvpParams, MvpTree};
     use vantage_vptree::{VpTree, VpTreeParams};

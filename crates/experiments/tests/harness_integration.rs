@@ -86,7 +86,10 @@ fn vector_line_up_counts_exactly_like_manual_measurement() {
         tree.range(q, 0.4);
     }
     let manual = probe.count() as f64 / queries.len() as f64;
-    assert!((harness_cost - manual).abs() < 1e-9, "{harness_cost} vs {manual}");
+    assert!(
+        (harness_cost - manual).abs() < 1e-9,
+        "{harness_cost} vs {manual}"
+    );
 }
 
 #[test]

@@ -19,10 +19,24 @@
 //! Construction cost: two distance computations per (node, descendant)
 //! pair — `O(n log_{m²} n × 2) = O(n log_m n)` as the paper states, and
 //! it is exactly these distances whose first `p` entries the leaves keep.
+//!
+//! ## Parallel construction
+//!
+//! Like the vp-tree, construction parallelizes the per-node distance
+//! sweeps and the recursion into the `m²` independent subgroups, under
+//! [`MvpParams::threads`], while staying **bit-identical across worker
+//! counts** (see `DESIGN.md`, "Threading model"): every node draws one
+//! seed per child in child order and each subtree builds from its own
+//! `StdRng`; workers fill local arenas that the parent splices back in
+//! child order. To make subtrees fully independent, each point's `PATH`
+//! accumulator travels *with* the point ([`PathedId`]) instead of living
+//! in a shared table — an id sits in exactly one branch, so ownership
+//! moves down the recursion for free.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
 use vantage_core::util::split_into_quantiles;
 use vantage_core::{Metric, Result};
 
@@ -30,76 +44,120 @@ use crate::node::{LeafEntry, Node, NodeId};
 use crate::params::{MvpParams, SecondVantage};
 use crate::tree::MvpTree;
 
+/// Minimum working-set size before a node's distance sweep fans out to
+/// worker threads; below this the spawn overhead dominates.
+const PARALLEL_SWEEP_MIN: usize = 1024;
+
+/// A point id bundled with its PATH accumulator (paper §4.2): the
+/// distances to the vantage points above it, capped at `p` entries,
+/// harvested when the point settles in a leaf.
+struct PathedId {
+    id: u32,
+    path: Vec<f64>,
+}
+
 impl<T, M: Metric<T>> MvpTree<T, M> {
     /// Builds an mvp-tree over `items`.
+    ///
+    /// The worker count ([`MvpParams::threads`]) never changes the tree,
+    /// only the wall-clock spent building it.
     ///
     /// # Errors
     ///
     /// Returns an error when `params` is invalid.
-    pub fn build(items: Vec<T>, metric: M, params: MvpParams) -> Result<Self> {
+    pub fn build(items: Vec<T>, metric: M, params: MvpParams) -> Result<Self>
+    where
+        T: Sync,
+        M: Sync,
+    {
         params.validate()?;
-        let n = items.len();
-        let mut tree = MvpTree {
+        let workers = params.threads.resolve();
+        let ids: Vec<PathedId> = (0..items.len() as u32)
+            .map(|id| PathedId {
+                id,
+                path: Vec::new(),
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut nodes = Vec::new();
+        let builder = Builder {
+            items: &items,
+            metric: &metric,
+            params: &params,
+        };
+        let root = builder.build_subtree(ids, &mut rng, workers, &mut nodes);
+        Ok(MvpTree {
             items,
             metric,
-            nodes: Vec::new(),
-            root: None,
+            nodes,
+            root,
             params,
-        };
-        let mut rng = StdRng::seed_from_u64(tree.params.seed);
-        // Per-item PATH accumulators: each point collects distances to the
-        // vantage points above it as construction descends; leaves harvest
-        // them. An id is in exactly one branch, so a flat table works.
-        let mut paths: Vec<Vec<f64>> = vec![Vec::new(); n];
-        let ids: Vec<u32> = (0..n as u32).collect();
-        tree.root = tree.build_node(ids, &mut paths, &mut rng);
-        Ok(tree)
+        })
     }
+}
 
+/// Borrowed construction context, shareable across scoped workers.
+struct Builder<'a, T, M> {
+    items: &'a [T],
+    metric: &'a M,
+    params: &'a MvpParams,
+}
+
+impl<T: Sync, M: Metric<T> + Sync> Builder<'_, T, M> {
     fn distance_between(&self, a: u32, b: u32) -> f64 {
         self.metric
             .distance(&self.items[a as usize], &self.items[b as usize])
     }
 
-    fn build_node(
-        &mut self,
-        ids: Vec<u32>,
-        paths: &mut [Vec<f64>],
+    /// Computes each member's distance to `vantage` (in parallel when the
+    /// group is large enough) and appends it to PATHs shorter than `p`.
+    fn sweep(&self, vantage: u32, members: &mut [PathedId], workers: usize) -> Vec<f64> {
+        let distance_to = |e: &PathedId| self.distance_between(vantage, e.id);
+        let distances = if workers > 1 && members.len() >= PARALLEL_SWEEP_MIN {
+            par_map_slice(workers, members, distance_to)
+        } else {
+            members.iter().map(distance_to).collect::<Vec<f64>>()
+        };
+        for (e, &d) in members.iter_mut().zip(&distances) {
+            if e.path.len() < self.params.p {
+                e.path.push(d);
+            }
+        }
+        distances
+    }
+
+    /// Builds the subtree over `ids` into `arena` (DFS preorder), using up
+    /// to `workers` threads, and returns the subtree root's arena id.
+    fn build_subtree(
+        &self,
+        ids: Vec<PathedId>,
         rng: &mut StdRng,
+        workers: usize,
+        arena: &mut Vec<Node>,
     ) -> Option<NodeId> {
         if ids.is_empty() {
             return None;
         }
         if ids.len() <= self.params.k + 2 {
-            let leaf = self.build_leaf(ids, paths, rng);
-            return Some(self.push(leaf));
+            let leaf = self.build_leaf(ids, rng);
+            arena.push(leaf);
+            return Some((arena.len() - 1) as NodeId);
         }
 
-        let p = self.params.p;
         let m = self.params.m;
 
         // (3.1) First vantage point.
+        let id_view: Vec<u32> = ids.iter().map(|e| e.id).collect();
         let vp1_pos = self
             .params
             .selector
-            .select(&self.items, &ids, &self.metric, rng);
-        let vp1 = ids[vp1_pos];
+            .select(self.items, &id_view, self.metric, rng);
+        let vp1 = id_view[vp1_pos];
+        let mut rest: Vec<PathedId> = ids.into_iter().filter(|e| e.id != vp1).collect();
 
-        // (3.3) Distances to vp1, feeding PATH.
-        let d1_list: Vec<(u32, f64)> = ids
-            .iter()
-            .copied()
-            .filter(|&id| id != vp1)
-            .map(|id| {
-                let d = self.distance_between(vp1, id);
-                if paths[id as usize].len() < p {
-                    paths[id as usize].push(d);
-                }
-                (id, d)
-            })
-            .collect();
-
-        // (3.4) Split into m groups around vp1.
+        // (3.3) Distances to vp1, feeding PATH; (3.4) split into m groups.
+        let d1 = self.sweep(vp1, &mut rest, workers);
+        let d1_list: Vec<(PathedId, f64)> = rest.into_iter().zip(d1).collect();
         let (mut groups, cutoffs1) = split_into_quantiles(d1_list, m);
 
         // (3.5) Second vantage point.
@@ -113,7 +171,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                     .find(|g| !g.is_empty())
                     .expect("at least one non-empty group");
                 let pos = rng.random_range(0..group.len());
-                group.swap_remove(pos).0
+                group.swap_remove(pos).0.id
             }
             SecondVantage::Random => {
                 let total: usize = groups.iter().map(Vec::len).sum();
@@ -121,7 +179,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 let mut picked = None;
                 for group in &mut groups {
                     if target < group.len() {
-                        picked = Some(group.swap_remove(target).0);
+                        picked = Some(group.swap_remove(target).0.id);
                         break;
                     }
                     target -= group.len();
@@ -133,40 +191,70 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         // (3.7) Distances to vp2 for every remaining point, feeding PATH;
         // (3.8–3.9) split each group separately around vp2.
         let mut cutoffs2: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut subgroups: Vec<Vec<u32>> = Vec::with_capacity(m * m);
+        let mut subgroups: Vec<Vec<PathedId>> = Vec::with_capacity(m * m);
         for group in groups {
-            let d2_list: Vec<(u32, f64)> = group
-                .into_iter()
-                .map(|(id, _)| {
-                    let d = self.distance_between(vp2, id);
-                    if paths[id as usize].len() < p {
-                        paths[id as usize].push(d);
-                    }
-                    (id, d)
-                })
-                .collect();
+            let mut members: Vec<PathedId> = group.into_iter().map(|(e, _)| e).collect();
+            let d2 = self.sweep(vp2, &mut members, workers);
+            let d2_list: Vec<(PathedId, f64)> = members.into_iter().zip(d2).collect();
             let (subs, cuts) = split_into_quantiles(d2_list, m);
             cutoffs2.push(cuts);
             subgroups.extend(
                 subs.into_iter()
-                    .map(|sub| sub.into_iter().map(|(id, _)| id).collect::<Vec<u32>>()),
+                    .map(|sub| sub.into_iter().map(|(e, _)| e).collect::<Vec<PathedId>>()),
             );
         }
 
+        // One seed per child, drawn in child order: each subtree's random
+        // stream becomes a function of its path from the root alone, so
+        // any scheduling of the recursions below grows the same tree.
+        let child_seeds: Vec<u64> = subgroups.iter().map(|_| rng.random::<u64>()).collect();
+
         // Reserve the node slot before recursing (parents precede
         // children in the arena).
-        let node_id = self.push(Node::Internal {
+        let node_id = arena.len() as NodeId;
+        arena.push(Node::Internal {
             vp1,
             vp2,
             cutoffs1,
             cutoffs2,
             children: Vec::new(),
         });
-        let children: Vec<Option<NodeId>> = subgroups
-            .into_iter()
-            .map(|sub| self.build_node(sub, paths, rng))
-            .collect();
-        match &mut self.nodes[node_id as usize] {
+
+        let heavy_children = subgroups
+            .iter()
+            .filter(|sub| sub.len() > self.params.k + 2)
+            .count();
+        let children: Vec<Option<NodeId>> = if workers > 1 && heavy_children >= 2 {
+            let shares =
+                share_workers(workers, &subgroups.iter().map(Vec::len).collect::<Vec<_>>());
+            let jobs: Vec<_> = subgroups
+                .into_iter()
+                .zip(child_seeds)
+                .zip(shares)
+                .map(|((sub, seed), share)| {
+                    move || {
+                        let mut local = Vec::new();
+                        let mut child_rng = StdRng::seed_from_u64(seed);
+                        let local_root = self.build_subtree(sub, &mut child_rng, share, &mut local);
+                        (local_root, local)
+                    }
+                })
+                .collect();
+            fork_join(jobs)
+                .into_iter()
+                .map(|(local_root, local)| splice(arena, local, local_root))
+                .collect()
+        } else {
+            subgroups
+                .into_iter()
+                .zip(child_seeds)
+                .map(|(sub, seed)| {
+                    let mut child_rng = StdRng::seed_from_u64(seed);
+                    self.build_subtree(sub, &mut child_rng, workers, arena)
+                })
+                .collect()
+        };
+        match &mut arena[node_id as usize] {
             Node::Internal { children: slot, .. } => *slot = children,
             Node::Leaf { .. } => unreachable!("reserved slot is internal"),
         }
@@ -174,14 +262,15 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
     }
 
     /// Builds a leaf from `1 ≤ ids.len() ≤ k + 2` points (paper step 2).
-    fn build_leaf(&mut self, ids: Vec<u32>, paths: &mut [Vec<f64>], rng: &mut StdRng) -> Node {
+    fn build_leaf(&self, ids: Vec<PathedId>, rng: &mut StdRng) -> Node {
         // (2.1) First vantage point, arbitrary.
+        let id_view: Vec<u32> = ids.iter().map(|e| e.id).collect();
         let vp1_pos = self
             .params
             .selector
-            .select(&self.items, &ids, &self.metric, rng);
-        let vp1 = ids[vp1_pos];
-        let mut rest: Vec<u32> = ids.into_iter().filter(|&id| id != vp1).collect();
+            .select(self.items, &id_view, self.metric, rng);
+        let vp1 = id_view[vp1_pos];
+        let mut rest: Vec<PathedId> = ids.into_iter().filter(|e| e.id != vp1).collect();
         if rest.is_empty() {
             return Node::Leaf {
                 vp1,
@@ -193,7 +282,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         // (2.3) D1 distances.
         let d1: Vec<f64> = rest
             .iter()
-            .map(|&id| self.distance_between(vp1, id))
+            .map(|e| self.distance_between(vp1, e.id))
             .collect();
 
         // (2.4) Second vantage point: the farthest point from vp1 (or a
@@ -207,7 +296,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 .expect("rest is non-empty"),
             SecondVantage::Random => rng.random_range(0..rest.len()),
         };
-        let vp2 = rest.swap_remove(vp2_pos);
+        let vp2 = rest.swap_remove(vp2_pos).id;
         let mut d1: Vec<f64> = d1;
         d1.swap_remove(vp2_pos);
 
@@ -215,11 +304,11 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         let entries: Vec<LeafEntry> = rest
             .into_iter()
             .zip(d1)
-            .map(|(id, d1)| LeafEntry {
-                id,
+            .map(|(e, d1)| LeafEntry {
+                id: e.id,
                 d1,
-                d2: self.distance_between(vp2, id),
-                path: std::mem::take(&mut paths[id as usize]),
+                d2: self.distance_between(vp2, e.id),
+                path: e.path,
             })
             .collect();
 
@@ -229,12 +318,25 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
             entries,
         }
     }
+}
 
-    fn push(&mut self, node: Node) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(node);
-        id
+/// Appends a worker's local arena onto `arena`, rebasing every node id by
+/// the insertion offset, and returns the rebased subtree root.
+fn splice(
+    arena: &mut Vec<Node>,
+    mut local: Vec<Node>,
+    local_root: Option<NodeId>,
+) -> Option<NodeId> {
+    let offset = arena.len() as NodeId;
+    for node in &mut local {
+        if let Node::Internal { children, .. } = node {
+            for child in children.iter_mut().flatten() {
+                *child += offset;
+            }
+        }
     }
+    arena.append(&mut local);
+    local_root.map(|root| root + offset)
 }
 
 #[cfg(test)]
@@ -249,8 +351,7 @@ mod tests {
 
     #[test]
     fn empty_dataset_builds_empty_tree() {
-        let t = MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::binary(4, 2))
-            .unwrap();
+        let t = MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::binary(4, 2)).unwrap();
         assert!(t.is_empty());
         assert!(t.root.is_none());
     }
@@ -258,8 +359,7 @@ mod tests {
     #[test]
     fn tiny_datasets_build_single_leaves() {
         for n in 1..=6 {
-            let t =
-                MvpTree::build(points(n), Euclidean, MvpParams::binary(4, 2)).unwrap();
+            let t = MvpTree::build(points(n), Euclidean, MvpParams::binary(4, 2)).unwrap();
             assert_eq!(t.len(), n);
             assert_eq!(t.nodes.len(), 1, "n={n} should be one leaf (k+2=6)");
         }
@@ -310,12 +410,7 @@ mod tests {
 
     #[test]
     fn every_item_appears_exactly_once() {
-        let t = MvpTree::build(
-            points(533),
-            Euclidean,
-            MvpParams::paper(3, 7, 4).seed(13),
-        )
-        .unwrap();
+        let t = MvpTree::build(points(533), Euclidean, MvpParams::paper(3, 7, 4).seed(13)).unwrap();
         let mut seen = vec![0u32; t.len()];
         for node in &t.nodes {
             match node {
@@ -340,12 +435,7 @@ mod tests {
     #[test]
     fn internal_node_shapes_match_m() {
         let m = 3;
-        let t = MvpTree::build(
-            points(400),
-            Euclidean,
-            MvpParams::paper(m, 5, 4).seed(1),
-        )
-        .unwrap();
+        let t = MvpTree::build(points(400), Euclidean, MvpParams::paper(m, 5, 4).seed(1)).unwrap();
         let mut internals = 0;
         for node in &t.nodes {
             if let Node::Internal {
@@ -368,12 +458,7 @@ mod tests {
     #[test]
     fn path_arrays_are_capped_at_p() {
         let p = 3;
-        let t = MvpTree::build(
-            points(1000),
-            Euclidean,
-            MvpParams::paper(2, 4, p).seed(5),
-        )
-        .unwrap();
+        let t = MvpTree::build(points(1000), Euclidean, MvpParams::paper(2, 4, p).seed(5)).unwrap();
         let mut max_len = 0;
         for node in &t.nodes {
             if let Node::Leaf { entries, .. } = node {
@@ -388,12 +473,7 @@ mod tests {
 
     #[test]
     fn p_zero_keeps_no_paths() {
-        let t = MvpTree::build(
-            points(500),
-            Euclidean,
-            MvpParams::paper(2, 4, 0).seed(5),
-        )
-        .unwrap();
+        let t = MvpTree::build(points(500), Euclidean, MvpParams::paper(2, 4, 0).seed(5)).unwrap();
         for node in &t.nodes {
             if let Node::Leaf { entries, .. } = node {
                 assert!(entries.iter().all(|e| e.path.is_empty()));
@@ -417,11 +497,57 @@ mod tests {
 
     #[test]
     fn same_seed_same_tree() {
-        let a = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8))
-            .unwrap();
-        let b = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8))
-            .unwrap();
+        let a = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8)).unwrap();
+        let b = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8)).unwrap();
         assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_tree() {
+        // The tentpole guarantee: node-for-node identical arenas from one
+        // worker to many, across shapes and both vantage strategies.
+        for (m, k, p) in [(2, 4, 3), (3, 9, 5)] {
+            for second in [SecondVantage::Farthest, SecondVantage::Random] {
+                let base = MvpParams::paper(m, k, p)
+                    .second(second)
+                    .seed(77)
+                    .threads(Threads::SEQUENTIAL);
+                let sequential = MvpTree::build(points(800), Euclidean, base.clone()).unwrap();
+                for workers in [2, 4, 8] {
+                    let parallel = MvpTree::build(
+                        points(800),
+                        Euclidean,
+                        base.clone().threads(Threads::Fixed(workers)),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        sequential.nodes, parallel.nodes,
+                        "m={m} k={k} p={p} {second:?} {workers} workers"
+                    );
+                    assert_eq!(sequential.root, parallel.root);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_precede_children_in_the_arena() {
+        // The spliced parallel arena must keep the sequential invariant.
+        let t = MvpTree::build(
+            points(900),
+            Euclidean,
+            MvpParams::paper(2, 4, 2).threads(Threads::Fixed(4)),
+        )
+        .unwrap();
+        assert_eq!(t.root, Some(0));
+        for (id, node) in t.nodes.iter().enumerate() {
+            if let Node::Internal { children, .. } = node {
+                for &child in children.iter().flatten() {
+                    assert!(child as usize > id, "child {child} precedes parent {id}");
+                }
+            }
+        }
+        t.check_invariants().unwrap();
     }
 
     #[test]
@@ -442,7 +568,9 @@ mod tests {
         let t = MvpTree::build(
             points(200),
             Euclidean,
-            MvpParams::paper(2, 5, 3).second(SecondVantage::Random).seed(3),
+            MvpParams::paper(2, 5, 3)
+                .second(SecondVantage::Random)
+                .seed(3),
         )
         .unwrap();
         t.check_invariants().unwrap();

@@ -57,7 +57,7 @@ pub struct DynamicMvpTree<T, M> {
     epoch: u64,
 }
 
-impl<T: Clone, M: Metric<T> + Clone> DynamicMvpTree<T, M> {
+impl<T: Clone + Sync, M: Metric<T> + Clone + Sync> DynamicMvpTree<T, M> {
     /// Creates an empty dynamic tree.
     ///
     /// # Errors
@@ -154,7 +154,10 @@ impl<T: Clone, M: Metric<T> + Clone> DynamicMvpTree<T, M> {
             .collect();
         let items: Vec<T> = live.iter().map(|&id| self.store[id].clone()).collect();
         self.epoch += 1;
-        let params = self.params.clone().seed(self.params.seed.wrapping_add(self.epoch));
+        let params = self
+            .params
+            .clone()
+            .seed(self.params.seed.wrapping_add(self.epoch));
         let tree = MvpTree::build(items, self.metric.clone(), params)
             .expect("params validated at construction");
         self.tree = Some(tree);
@@ -245,9 +248,12 @@ mod tests {
 
     #[test]
     fn remove_hides_items_from_queries() {
-        let mut t =
-            DynamicMvpTree::with_items((0..50).map(|i| pt(f64::from(i))).collect(), Euclidean, params())
-                .unwrap();
+        let mut t = DynamicMvpTree::with_items(
+            (0..50).map(|i| pt(f64::from(i))).collect(),
+            Euclidean,
+            params(),
+        )
+        .unwrap();
         assert!(t.remove(25));
         assert!(!t.remove(25), "double delete must fail");
         assert!(!t.remove(999), "unknown id must fail");

@@ -95,13 +95,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         }
     }
 
-    fn kfn_node(
-        &self,
-        node: NodeId,
-        query: &T,
-        collector: &mut KfnCollector,
-        path: &mut Vec<f64>,
-    ) {
+    fn kfn_node(&self, node: NodeId, query: &T, collector: &mut KfnCollector, path: &mut Vec<f64>) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
                 let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
@@ -115,8 +109,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                         upper = upper.min(qp + ep);
                     }
                     if upper > collector.radius() {
-                        let d =
-                            self.metric().distance(query, &self.items[e.id as usize]);
+                        let d = self.metric().distance(query, &self.items[e.id as usize]);
                         collector.offer(e.id as usize, d);
                     }
                 }
@@ -211,8 +204,7 @@ mod tests {
     fn range_beyond_matches_linear_scan() {
         let o = LinearScan::new(grid(), Euclidean);
         for (m, k, p) in [(2, 5, 2), (3, 9, 5), (3, 80, 5)] {
-            let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(m, k, p).seed(3))
-                .unwrap();
+            let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(m, k, p).seed(3)).unwrap();
             for (q, r) in [
                 (vec![6.0, 6.0], 5.0),
                 (vec![0.0, 0.0], 12.0),
@@ -231,8 +223,7 @@ mod tests {
     #[test]
     fn k_farthest_matches_brute_force() {
         let o = LinearScan::new(grid(), Euclidean);
-        let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(3, 13, 4).seed(1))
-            .unwrap();
+        let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(3, 13, 4).seed(1)).unwrap();
         for k in [1, 5, 60, 144, 200] {
             let a = t.k_farthest(&vec![2.0, 3.0], k);
             let b = o.k_farthest(&vec![2.0, 3.0], k);
@@ -247,8 +238,7 @@ mod tests {
     fn farthest_queries_prune_computations() {
         let metric = Counted::new(Euclidean);
         let probe = metric.clone();
-        let t = MvpTree::build(grid(), metric, MvpParams::paper(3, 13, 4).seed(1))
-            .unwrap();
+        let t = MvpTree::build(grid(), metric, MvpParams::paper(3, 13, 4).seed(1)).unwrap();
         probe.reset();
         // The far corner from (0,0) is (11,11).
         let out = t.k_farthest(&vec![0.0, 0.0], 1);
@@ -264,8 +254,7 @@ mod tests {
         let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(2, 5, 2)).unwrap();
         assert!(t.k_farthest(&vec![0.0, 0.0], 0).is_empty());
         let empty =
-            MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::paper(2, 5, 2))
-                .unwrap();
+            MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::paper(2, 5, 2)).unwrap();
         assert!(empty.k_farthest(&vec![0.0], 3).is_empty());
         assert!(empty.range_beyond(&vec![0.0], 1.0).is_empty());
     }

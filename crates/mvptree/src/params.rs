@@ -1,5 +1,6 @@
 //! Construction parameters for [`MvpTree`](crate::MvpTree).
 
+use vantage_core::parallel::Threads;
 use vantage_core::select::VantageSelector;
 use vantage_core::{Result, VantageError};
 
@@ -43,6 +44,10 @@ pub struct MvpParams {
     pub second: SecondVantage,
     /// Seed for all randomized choices; fixed seed ⇒ identical tree.
     pub seed: u64,
+    /// Worker threads for construction. The built tree is bit-identical
+    /// for every setting (see `DESIGN.md`, "Threading model"); this knob
+    /// only trades wall-clock for cores.
+    pub threads: Threads,
 }
 
 impl MvpParams {
@@ -56,6 +61,7 @@ impl MvpParams {
             selector: VantageSelector::Random,
             second: SecondVantage::Farthest,
             seed: 0,
+            threads: Threads::Auto,
         }
     }
 
@@ -80,6 +86,12 @@ impl MvpParams {
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the construction worker count (never changes the built tree).
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -153,9 +165,11 @@ mod tests {
         let p = MvpParams::paper(2, 4, 2)
             .seed(9)
             .second(SecondVantage::Random)
-            .selector(VantageSelector::FirstItem);
+            .selector(VantageSelector::FirstItem)
+            .threads(Threads::Fixed(3));
         assert_eq!(p.seed, 9);
         assert_eq!(p.second, SecondVantage::Random);
         assert_eq!(p.selector, VantageSelector::FirstItem);
+        assert_eq!(p.threads, Threads::Fixed(3));
     }
 }

@@ -57,16 +57,12 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
             Node::Leaf { vp1, vp2, entries } => {
                 // Step 1: the vantage points are data points, checked
                 // directly.
-                let dq1 = self
-                    .metric
-                    .distance(query, &self.items[*vp1 as usize]);
+                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 if dq1 <= radius {
                     out.push(Neighbor::new(*vp1 as usize, dq1));
                 }
                 let Some(vp2) = vp2 else { return };
-                let dq2 = self
-                    .metric
-                    .distance(query, &self.items[*vp2 as usize]);
+                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 if dq2 <= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
                 }
@@ -81,9 +77,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                             continue 'entry;
                         }
                     }
-                    let d = self
-                        .metric
-                        .distance(query, &self.items[e.id as usize]);
+                    let d = self.metric.distance(query, &self.items[e.id as usize]);
                     if d <= radius {
                         out.push(Neighbor::new(e.id as usize, d));
                     }
@@ -97,15 +91,11 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 children,
             } => {
                 let m = self.params.m;
-                let dq1 = self
-                    .metric
-                    .distance(query, &self.items[*vp1 as usize]);
+                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 if dq1 <= radius {
                     out.push(Neighbor::new(*vp1 as usize, dq1));
                 }
-                let dq2 = self
-                    .metric
-                    .distance(query, &self.items[*vp2 as usize]);
+                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 if dq2 <= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
                 }
@@ -158,23 +148,13 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         collector.into_sorted()
     }
 
-    fn knn_node(
-        &self,
-        node: NodeId,
-        query: &T,
-        collector: &mut KnnCollector,
-        path: &mut Vec<f64>,
-    ) {
+    fn knn_node(&self, node: NodeId, query: &T, collector: &mut KnnCollector, path: &mut Vec<f64>) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
-                let dq1 = self
-                    .metric
-                    .distance(query, &self.items[*vp1 as usize]);
+                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 collector.offer(*vp1 as usize, dq1);
                 let Some(vp2) = vp2 else { return };
-                let dq2 = self
-                    .metric
-                    .distance(query, &self.items[*vp2 as usize]);
+                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
                 for e in entries {
                     let mut bound = (dq1 - e.d1).abs().max((dq2 - e.d2).abs());
@@ -182,9 +162,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                         bound = bound.max((qp - ep).abs());
                     }
                     if bound <= collector.radius() {
-                        let d = self
-                            .metric
-                            .distance(query, &self.items[e.id as usize]);
+                        let d = self.metric.distance(query, &self.items[e.id as usize]);
                         collector.offer(e.id as usize, d);
                     }
                 }
@@ -197,13 +175,9 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 children,
             } => {
                 let m = self.params.m;
-                let dq1 = self
-                    .metric
-                    .distance(query, &self.items[*vp1 as usize]);
+                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 collector.offer(*vp1 as usize, dq1);
-                let dq2 = self
-                    .metric
-                    .distance(query, &self.items[*vp2 as usize]);
+                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
                 let saved = path.len();
                 if path.len() < self.params.p {
@@ -326,8 +300,7 @@ mod tests {
     fn search_beats_linear_scan_on_distance_count() {
         let metric = Counted::new(Euclidean);
         let probe = metric.clone();
-        let t =
-            MvpTree::build(grid(), metric, MvpParams::paper(2, 10, 4).seed(4)).unwrap();
+        let t = MvpTree::build(grid(), metric, MvpParams::paper(2, 10, 4).seed(4)).unwrap();
         probe.reset();
         t.range(&vec![5.0, 5.0], 1.0);
         let used = probe.count();
@@ -338,8 +311,7 @@ mod tests {
     fn knn_prunes_with_path_filters() {
         let metric = Counted::new(Euclidean);
         let probe = metric.clone();
-        let t =
-            MvpTree::build(grid(), metric, MvpParams::paper(3, 9, 5).seed(4)).unwrap();
+        let t = MvpTree::build(grid(), metric, MvpParams::paper(3, 9, 5).seed(4)).unwrap();
         probe.reset();
         let out = t.knn(&vec![5.0, 5.0], 4);
         assert_eq!(out.len(), 4);
@@ -353,8 +325,7 @@ mod tests {
         let count_for = |p: usize| {
             let metric = Counted::new(Euclidean);
             let probe = metric.clone();
-            let t = MvpTree::build(grid(), metric, MvpParams::paper(2, 20, p).seed(9))
-                .unwrap();
+            let t = MvpTree::build(grid(), metric, MvpParams::paper(2, 20, p).seed(9)).unwrap();
             probe.reset();
             for x in 0..6 {
                 t.range(&vec![f64::from(x) * 2.0, 5.5], 1.5);

@@ -158,13 +158,9 @@ mod tests {
             .unwrap()
             .stats();
         use vantage_vptree::{VpTree, VpTreeParams};
-        let vp = VpTree::build(
-            points(3000),
-            Euclidean,
-            VpTreeParams::binary().seed(1),
-        )
-        .unwrap()
-        .stats();
+        let vp = VpTree::build(points(3000), Euclidean, VpTreeParams::binary().seed(1))
+            .unwrap()
+            .stats();
         assert!(
             mvp.height * 2 <= vp.height + 2,
             "mvp height {} vs vp height {}",
@@ -189,8 +185,7 @@ mod tests {
         // tree. The paper's closed forms must match the walked stats.
         for (n, levels) in [(18usize, 2u32), (74, 3)] {
             let points: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
-            let t = MvpTree::build(points, Euclidean, MvpParams::binary(2, 0).seed(3))
-                .unwrap();
+            let t = MvpTree::build(points, Euclidean, MvpParams::binary(2, 0).seed(3)).unwrap();
             let s = t.stats();
             assert_eq!(s.height + 1, levels as usize, "n={n}");
             assert_eq!(

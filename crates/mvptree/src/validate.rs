@@ -98,9 +98,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                             expected_len
                         ));
                     }
-                    for (i, (&stored, &vp)) in
-                        e.path.iter().zip(ancestors.iter()).enumerate()
-                    {
+                    for (i, (&stored, &vp)) in e.path.iter().zip(ancestors.iter()).enumerate() {
                         let d = self.dist(vp, e.id);
                         if d != stored {
                             return Err(format!(
@@ -192,10 +190,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 out.extend(entries.iter().map(|e| e.id));
             }
             Node::Internal {
-                vp1,
-                vp2,
-                children,
-                ..
+                vp1, vp2, children, ..
             } => {
                 out.push(*vp1);
                 out.push(*vp2);

@@ -220,8 +220,7 @@ fn mvp_beats_vp_on_distance_computations() {
 
     let vp_metric = Counted::new(Euclidean);
     let vp_probe = vp_metric.clone();
-    let vp = VpTree::build(points.clone(), vp_metric, VpTreeParams::binary().seed(7))
-        .unwrap();
+    let vp = VpTree::build(points.clone(), vp_metric, VpTreeParams::binary().seed(7)).unwrap();
     vp_probe.reset();
     for q in &queries {
         vp.range(q, radius);
@@ -230,8 +229,7 @@ fn mvp_beats_vp_on_distance_computations() {
 
     let mvp_metric = Counted::new(Euclidean);
     let mvp_probe = mvp_metric.clone();
-    let mvp = MvpTree::build(points, mvp_metric, MvpParams::paper(3, 80, 5).seed(7))
-        .unwrap();
+    let mvp = MvpTree::build(points, mvp_metric, MvpParams::paper(3, 80, 5).seed(7)).unwrap();
     mvp_probe.reset();
     for q in &queries {
         mvp.range(q, radius);

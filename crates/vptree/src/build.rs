@@ -5,10 +5,31 @@
 //! and split into `m` groups of equal cardinality, recording the boundary
 //! distances as cutoffs. Construction performs `O(n log_m n)` distance
 //! computations.
+//!
+//! ## Parallel construction
+//!
+//! Construction parallelizes on two independent axes, controlled by
+//! [`VpTreeParams::threads`]:
+//!
+//! * the distance sweep at a node (every `d(vantage, x)` is independent);
+//! * sibling subtrees (disjoint id sets, disjoint arena regions).
+//!
+//! The build is **bit-identical across worker counts**. Two mechanisms
+//! guarantee it (see `DESIGN.md`, "Threading model"):
+//!
+//! 1. *Seed splitting.* Instead of threading one RNG through the whole
+//!    recursion, every node draws one fresh seed per child — in child
+//!    order — and each subtree is built from its own `StdRng`. The random
+//!    stream a subtree sees is then a pure function of (params seed, path
+//!    from root), independent of traversal timing.
+//! 2. *Arena splicing.* Workers build subtrees into local arenas; the
+//!    parent splices them back in child order, offsetting node ids. The
+//!    result is exactly the DFS-preorder layout of a sequential build.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
+use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
 use vantage_core::util::split_into_quantiles;
 use vantage_core::{Metric, Result};
 
@@ -16,90 +37,175 @@ use crate::node::{Node, NodeId};
 use crate::params::VpTreeParams;
 use crate::tree::VpTree;
 
+/// Minimum working-set size before a node's distance sweep fans out to
+/// worker threads; below this the spawn overhead dominates.
+const PARALLEL_SWEEP_MIN: usize = 1024;
+
 impl<T, M: Metric<T>> VpTree<T, M> {
     /// Builds a vp-tree over `items`.
     ///
     /// Distance computations at construction: one per (vantage point,
     /// descendant point) pair, plus whatever the selector costs — measure
     /// with a [`Counted`](vantage_core::Counted) metric to reproduce the
-    /// paper's construction-cost discussion.
+    /// paper's construction-cost discussion. The worker count
+    /// ([`VpTreeParams::threads`]) never changes the tree, only the
+    /// wall-clock spent building it.
     ///
     /// # Errors
     ///
     /// Returns an error when `params` is invalid.
-    pub fn build(items: Vec<T>, metric: M, params: VpTreeParams) -> Result<Self> {
+    pub fn build(items: Vec<T>, metric: M, params: VpTreeParams) -> Result<Self>
+    where
+        T: Sync,
+        M: Sync,
+    {
         params.validate()?;
-        let mut tree = VpTree {
+        let workers = params.threads.resolve();
+        let ids: Vec<u32> = (0..items.len() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut nodes = Vec::new();
+        let builder = Builder {
+            items: &items,
+            metric: &metric,
+            params: &params,
+        };
+        let root = builder.build_subtree(ids, &mut rng, workers, &mut nodes);
+        Ok(VpTree {
             items,
             metric,
-            nodes: Vec::new(),
-            root: None,
+            nodes,
+            root,
             params,
-        };
-        let ids: Vec<u32> = (0..tree.items.len() as u32).collect();
-        let mut rng = StdRng::seed_from_u64(tree.params.seed);
-        tree.root = tree.build_node(ids, &mut rng);
-        Ok(tree)
+        })
     }
+}
 
-    fn build_node(&mut self, ids: Vec<u32>, rng: &mut StdRng) -> Option<NodeId> {
+/// Borrowed construction context, shareable across scoped workers.
+struct Builder<'a, T, M> {
+    items: &'a [T],
+    metric: &'a M,
+    params: &'a VpTreeParams,
+}
+
+impl<T: Sync, M: Metric<T> + Sync> Builder<'_, T, M> {
+    /// Builds the subtree over `ids` into `arena` (DFS preorder), using up
+    /// to `workers` threads, and returns the subtree root's arena id.
+    fn build_subtree(
+        &self,
+        ids: Vec<u32>,
+        rng: &mut StdRng,
+        workers: usize,
+        arena: &mut Vec<Node>,
+    ) -> Option<NodeId> {
         if ids.is_empty() {
             return None;
         }
         if ids.len() <= self.params.leaf_capacity {
-            return Some(self.push(Node::Leaf { items: ids }));
+            arena.push(Node::Leaf { items: ids });
+            return Some((arena.len() - 1) as NodeId);
         }
 
         // Select the vantage point and remove it from the working set.
-        let vantage_pos =
-            self.params
-                .selector
-                .select(&self.items, &ids, &self.metric, rng);
+        let vantage_pos = self
+            .params
+            .selector
+            .select(self.items, &ids, self.metric, rng);
         let vantage = ids[vantage_pos];
-        let vantage_item_distances: Vec<(u32, f64)> = ids
-            .iter()
-            .copied()
-            .filter(|&id| id != vantage)
-            .map(|id| {
-                (
-                    id,
-                    self.metric
-                        .distance(&self.items[vantage as usize], &self.items[id as usize]),
-                )
-            })
-            .collect();
+        let rest: Vec<u32> = ids.into_iter().filter(|&id| id != vantage).collect();
+        let sweep = |&id: &u32| {
+            (
+                id,
+                self.metric
+                    .distance(&self.items[vantage as usize], &self.items[id as usize]),
+            )
+        };
+        let vantage_item_distances: Vec<(u32, f64)> =
+            if workers > 1 && rest.len() >= PARALLEL_SWEEP_MIN {
+                par_map_slice(workers, &rest, sweep)
+            } else {
+                rest.iter().map(sweep).collect()
+            };
 
-        let (groups, cutoffs) =
-            split_into_quantiles(vantage_item_distances, self.params.order);
+        let (groups, cutoffs) = split_into_quantiles(vantage_item_distances, self.params.order);
+        let child_sets: Vec<Vec<u32>> = groups
+            .into_iter()
+            .map(|group| group.into_iter().map(|(id, _)| id).collect())
+            .collect();
+        // One seed per child, drawn in child order: each subtree's random
+        // stream becomes a function of its path from the root alone, so
+        // any scheduling of the recursions below grows the same tree.
+        let child_seeds: Vec<u64> = child_sets.iter().map(|_| rng.random::<u64>()).collect();
 
         // Reserve this node's slot before recursing so parents precede
         // children in the arena (handy for iteration/debugging).
-        let node_id = self.push(Node::Internal {
+        let node_id = arena.len() as NodeId;
+        arena.push(Node::Internal {
             vantage,
             cutoffs,
             children: Vec::new(),
         });
-        let children: Vec<Option<NodeId>> = groups
-            .into_iter()
-            .map(|group| {
-                let child_ids: Vec<u32> = group.into_iter().map(|(id, _)| id).collect();
-                self.build_node(child_ids, rng)
-            })
-            .collect();
-        match &mut self.nodes[node_id as usize] {
-            Node::Internal {
-                children: slot, ..
-            } => *slot = children,
+
+        let heavy_children = child_sets
+            .iter()
+            .filter(|set| set.len() > self.params.leaf_capacity)
+            .count();
+        let children: Vec<Option<NodeId>> = if workers > 1 && heavy_children >= 2 {
+            let shares = share_workers(
+                workers,
+                &child_sets.iter().map(Vec::len).collect::<Vec<_>>(),
+            );
+            let jobs: Vec<_> = child_sets
+                .into_iter()
+                .zip(child_seeds)
+                .zip(shares)
+                .map(|((set, seed), share)| {
+                    move || {
+                        let mut local = Vec::new();
+                        let mut child_rng = StdRng::seed_from_u64(seed);
+                        let local_root = self.build_subtree(set, &mut child_rng, share, &mut local);
+                        (local_root, local)
+                    }
+                })
+                .collect();
+            fork_join(jobs)
+                .into_iter()
+                .map(|(local_root, local)| splice(arena, local, local_root))
+                .collect()
+        } else {
+            child_sets
+                .into_iter()
+                .zip(child_seeds)
+                .map(|(set, seed)| {
+                    let mut child_rng = StdRng::seed_from_u64(seed);
+                    self.build_subtree(set, &mut child_rng, workers, arena)
+                })
+                .collect()
+        };
+        match &mut arena[node_id as usize] {
+            Node::Internal { children: slot, .. } => *slot = children,
             Node::Leaf { .. } => unreachable!("reserved slot is internal"),
         }
         Some(node_id)
     }
+}
 
-    fn push(&mut self, node: Node) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(node);
-        id
+/// Appends a worker's local arena onto `arena`, rebasing every node id by
+/// the insertion offset, and returns the rebased subtree root.
+fn splice(
+    arena: &mut Vec<Node>,
+    mut local: Vec<Node>,
+    local_root: Option<NodeId>,
+) -> Option<NodeId> {
+    let offset = arena.len() as NodeId;
+    for node in &mut local {
+        if let Node::Internal { children, .. } = node {
+            for child in children.iter_mut().flatten() {
+                *child += offset;
+            }
+        }
     }
+    arena.append(&mut local);
+    local_root.map(|root| root + offset)
 }
 
 #[cfg(test)]
@@ -113,16 +219,15 @@ mod tests {
 
     #[test]
     fn empty_dataset_builds_empty_tree() {
-        let tree = VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary())
-            .unwrap();
+        let tree =
+            VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary()).unwrap();
         assert!(tree.is_empty());
         assert!(tree.root.is_none());
     }
 
     #[test]
     fn singleton_is_one_leaf() {
-        let tree =
-            VpTree::build(points(1), Euclidean, VpTreeParams::binary()).unwrap();
+        let tree = VpTree::build(points(1), Euclidean, VpTreeParams::binary()).unwrap();
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.nodes.len(), 1);
     }
@@ -157,11 +262,35 @@ mod tests {
 
     #[test]
     fn different_seed_usually_differs() {
-        let a = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(1))
-            .unwrap();
-        let b = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(2))
-            .unwrap();
+        let a = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(1)).unwrap();
+        let b = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(2)).unwrap();
         assert_ne!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_tree() {
+        // The tentpole guarantee: node-for-node identical arenas from one
+        // worker to many, across fanouts and leaf sizes.
+        for (order, leaf) in [(2, 1), (3, 4), (5, 2)] {
+            let base = VpTreeParams::with_order(order)
+                .leaf_capacity(leaf)
+                .seed(41)
+                .threads(Threads::SEQUENTIAL);
+            let sequential = VpTree::build(points(500), Euclidean, base.clone()).unwrap();
+            for workers in [2, 3, 8] {
+                let parallel = VpTree::build(
+                    points(500),
+                    Euclidean,
+                    base.clone().threads(Threads::Fixed(workers)),
+                )
+                .unwrap();
+                assert_eq!(
+                    sequential.nodes, parallel.nodes,
+                    "order {order}, leaf {leaf}, {workers} workers"
+                );
+                assert_eq!(sequential.root, parallel.root);
+            }
+        }
     }
 
     #[test]
@@ -199,6 +328,27 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn parents_precede_children_in_the_arena() {
+        // The spliced parallel arena must keep the sequential invariant.
+        let tree = VpTree::build(
+            points(300),
+            Euclidean,
+            VpTreeParams::with_order(3)
+                .leaf_capacity(2)
+                .threads(Threads::Fixed(4)),
+        )
+        .unwrap();
+        assert_eq!(tree.root, Some(0));
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if let crate::node::Node::Internal { children, .. } = node {
+                for &child in children.iter().flatten() {
+                    assert!(child as usize > id, "child {child} precedes parent {id}");
+                }
+            }
+        }
     }
 
     #[test]

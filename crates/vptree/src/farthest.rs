@@ -136,8 +136,7 @@ mod tests {
 
     #[test]
     fn range_beyond_matches_linear_scan() {
-        let t = VpTree::build(grid(), Euclidean, VpTreeParams::with_order(3).seed(2))
-            .unwrap();
+        let t = VpTree::build(grid(), Euclidean, VpTreeParams::with_order(3).seed(2)).unwrap();
         let o = LinearScan::new(grid(), Euclidean);
         for (q, r) in [
             (vec![5.0, 5.0], 4.0),
@@ -171,8 +170,7 @@ mod tests {
     fn k_farthest_prunes() {
         let metric = Counted::new(Euclidean);
         let probe = metric.clone();
-        let t = VpTree::build(grid(), metric, VpTreeParams::with_order(3).seed(5))
-            .unwrap();
+        let t = VpTree::build(grid(), metric, VpTreeParams::with_order(3).seed(5)).unwrap();
         probe.reset();
         let out = t.k_farthest(&vec![0.0, 0.0], 1);
         assert_eq!(out.len(), 1);

@@ -47,6 +47,6 @@ mod validate;
 pub mod params;
 
 pub use params::VpTreeParams;
-pub use vantage_core::select::VantageSelector;
 pub use stats::VpTreeStats;
 pub use tree::VpTree;
+pub use vantage_core::select::VantageSelector;

@@ -2,6 +2,7 @@
 
 use vantage_core::{Result, VantageError};
 
+use vantage_core::parallel::Threads;
 use vantage_core::select::VantageSelector;
 
 /// Parameters controlling vp-tree construction.
@@ -22,6 +23,10 @@ pub struct VpTreeParams {
     pub selector: VantageSelector,
     /// Seed for the selector's randomness; fixed seed ⇒ identical tree.
     pub seed: u64,
+    /// Worker threads for construction. The built tree is bit-identical
+    /// for every setting (see `DESIGN.md`, "Threading model"); this knob
+    /// only trades wall-clock for cores.
+    pub threads: Threads,
 }
 
 impl VpTreeParams {
@@ -37,6 +42,7 @@ impl VpTreeParams {
             leaf_capacity: 1,
             selector: VantageSelector::Random,
             seed: 0,
+            threads: Threads::Auto,
         }
     }
 
@@ -55,6 +61,12 @@ impl VpTreeParams {
     /// Sets the RNG seed used by randomized selectors.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the construction worker count (never changes the built tree).
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -103,10 +115,12 @@ mod tests {
         let p = VpTreeParams::with_order(3)
             .leaf_capacity(10)
             .seed(42)
-            .selector(VantageSelector::FirstItem);
+            .selector(VantageSelector::FirstItem)
+            .threads(Threads::Fixed(2));
         assert_eq!(p.order, 3);
         assert_eq!(p.leaf_capacity, 10);
         assert_eq!(p.seed, 42);
+        assert_eq!(p.threads, Threads::Fixed(2));
         assert!(p.validate().is_ok());
     }
 

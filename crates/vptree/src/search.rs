@@ -41,9 +41,7 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 cutoffs,
                 children,
             } => {
-                let d = self
-                    .metric
-                    .distance(query, &self.items[*vantage as usize]);
+                let d = self.metric.distance(query, &self.items[*vantage as usize]);
                 if d <= radius {
                     out.push(Neighbor::new(*vantage as usize, d));
                 }
@@ -94,9 +92,7 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                     cutoffs,
                     children,
                 } => {
-                    let d = self
-                        .metric
-                        .distance(query, &self.items[*vantage as usize]);
+                    let d = self.metric.distance(query, &self.items[*vantage as usize]);
                     collector.offer(*vantage as usize, d);
                     for (i, child) in children.iter().enumerate() {
                         let Some(child) = child else { continue };
@@ -218,12 +214,7 @@ mod tests {
     fn search_visits_fewer_points_than_linear_scan() {
         let metric = Counted::new(Euclidean);
         let probe = metric.clone();
-        let t = VpTree::build(
-            grid(),
-            metric,
-            VpTreeParams::with_order(2).seed(3),
-        )
-        .unwrap();
+        let t = VpTree::build(grid(), metric, VpTreeParams::with_order(2).seed(3)).unwrap();
         probe.reset();
         t.range(&vec![5.0, 5.0], 1.0);
         let used = probe.count();

@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn binary_leaf1_height_is_logarithmic() {
-        let t = VpTree::build(points(256), Euclidean, VpTreeParams::binary().seed(1))
-            .unwrap();
+        let t = VpTree::build(points(256), Euclidean, VpTreeParams::binary().seed(1)).unwrap();
         let s = t.stats();
         // Perfectly balanced would be 8; allow slack for the
         // vantage-point removals.
@@ -109,13 +108,9 @@ mod tests {
         let bin = VpTree::build(points(500), Euclidean, VpTreeParams::binary().seed(1))
             .unwrap()
             .stats();
-        let wide = VpTree::build(
-            points(500),
-            Euclidean,
-            VpTreeParams::with_order(5).seed(1),
-        )
-        .unwrap()
-        .stats();
+        let wide = VpTree::build(points(500), Euclidean, VpTreeParams::with_order(5).seed(1))
+            .unwrap()
+            .stats();
         assert!(wide.height < bin.height);
     }
 }

@@ -89,10 +89,9 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                     let mut subtree = Vec::new();
                     self.collect_subtree(*child, &mut subtree);
                     for id in subtree {
-                        let d = self.metric.distance(
-                            &self.items[*vantage as usize],
-                            &self.items[id as usize],
-                        );
+                        let d = self
+                            .metric
+                            .distance(&self.items[*vantage as usize], &self.items[id as usize]);
                         // Tolerance-free: cutoffs are exact stored
                         // distances and the metric is deterministic.
                         if d < lo || d > hi {
@@ -126,9 +125,9 @@ impl<T, M: Metric<T>> VpTree<T, M> {
 #[cfg(test)]
 mod tests {
     use crate::params::VpTreeParams;
-    use vantage_core::select::VantageSelector;
     use crate::tree::VpTree;
     use vantage_core::prelude::*;
+    use vantage_core::select::VantageSelector;
 
     #[test]
     fn built_trees_satisfy_invariants() {
@@ -162,8 +161,7 @@ mod tests {
 
     #[test]
     fn empty_tree_is_valid() {
-        let t = VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary())
-            .unwrap();
+        let t = VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary()).unwrap();
         t.check_invariants().unwrap();
     }
 }

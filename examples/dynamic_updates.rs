@@ -47,7 +47,11 @@ fn main() -> vantage::Result<()> {
     let query = vec![0.5; 16];
     let radius = 0.8;
     probe.reset();
-    let mut got: Vec<usize> = index.range(&query, radius).into_iter().map(|n| n.id).collect();
+    let mut got: Vec<usize> = index
+        .range(&query, radius)
+        .into_iter()
+        .map(|n| n.id)
+        .collect();
     let query_cost = probe.take();
     got.sort_unstable();
     let mut want: Vec<usize> = live
@@ -67,6 +71,9 @@ fn main() -> vantage::Result<()> {
 
     // Nearest neighbors keep working too.
     let nn = index.knn(&query, 3);
-    println!("3 nearest live items: {:?}", nn.iter().map(|n| n.id).collect::<Vec<_>>());
+    println!(
+        "3 nearest live items: {:?}",
+        nn.iter().map(|n| n.id).collect::<Vec<_>>()
+    );
     Ok(())
 }

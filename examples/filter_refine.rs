@@ -24,7 +24,10 @@ fn main() -> vantage::Result<()> {
         noise: 10,
         seed: 5,
     })?;
-    println!("{} images of 64x64 (4096-dimensional comparisons)\n", images.len());
+    println!(
+        "{} images of 64x64 (4096-dimensional comparisons)\n",
+        images.len()
+    );
     let query = images[175].clone();
     let radius = 2.5;
 
@@ -60,9 +63,18 @@ fn main() -> vantage::Result<()> {
 
     assert_eq!(baseline.len(), via_tree.len());
     assert_eq!(baseline.len(), via_two_stage.len());
-    println!("range query (L1/10000 <= {radius}): {} matches, three ways:\n", baseline.len());
-    println!("  {:<28} {:>8} full-image comparisons", "linear scan", scan_cost);
-    println!("  {:<28} {:>8} full-image comparisons", "mvp-tree on images", tree_cost);
+    println!(
+        "range query (L1/10000 <= {radius}): {} matches, three ways:\n",
+        baseline.len()
+    );
+    println!(
+        "  {:<28} {:>8} full-image comparisons",
+        "linear scan", scan_cost
+    );
+    println!(
+        "  {:<28} {:>8} full-image comparisons",
+        "mvp-tree on images", tree_cost
+    );
     println!(
         "  {:<28} {:>8} full-image comparisons (plus cheap 1-d filtering)",
         "two-stage filter+refine", expensive_cost

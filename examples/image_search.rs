@@ -64,10 +64,7 @@ fn main() -> vantage::Result<()> {
 
     // All hits should come from the same subject — the bimodal distance
     // distribution (paper Figures 6-7) separates subjects cleanly.
-    let same_subject = hits
-        .iter()
-        .filter(|n| n.id / 24 == query_id / 24)
-        .count();
+    let same_subject = hits.iter().filter(|n| n.id / 24 == query_id / 24).count();
     println!(
         "{same_subject}/{} hits are slices of the query's subject",
         hits.len()

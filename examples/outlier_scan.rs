@@ -18,7 +18,11 @@ fn main() -> vantage::Result<()> {
     let mut rng = StdRng::seed_from_u64(17);
     // 4 000 healthy units near the nominal profile (0.5, …, 0.5)…
     let mut fleet: Vec<Vec<f64>> = (0..4000)
-        .map(|_| (0..12).map(|_| 0.5 + rng.random_range(-0.08..0.08)).collect())
+        .map(|_| {
+            (0..12)
+                .map(|_| 0.5 + rng.random_range(-0.08..0.08))
+                .collect()
+        })
         .collect();
     // …and 12 drifting units injected at known ids.
     let mut drifted: Vec<usize> = Vec::new();

@@ -53,8 +53,7 @@ fn main() -> vantage::Result<()> {
     println!(
         "knn(center, 10): nearest at {:.4}, 10th at {:.4}, using {knn_cost} distance \
          computations",
-        nn[0].distance,
-        nn[9].distance
+        nn[0].distance, nn[9].distance
     );
 
     // Every answer can be joined back to the original dataset by id.

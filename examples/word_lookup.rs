@@ -13,7 +13,12 @@
 use vantage::prelude::*;
 use vantage_datasets::perturbed_words;
 
-fn lookup<I: MetricIndex<String>>(index: &I, probe: &Counted<Levenshtein>, query: &str, r: f64) -> (usize, u64) {
+fn lookup<I: MetricIndex<String>>(
+    index: &I,
+    probe: &Counted<Levenshtein>,
+    query: &str,
+    r: f64,
+) -> (usize, u64) {
     probe.reset();
     let hits = index.range(&query.to_string(), r);
     (hits.len(), probe.take())

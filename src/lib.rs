@@ -70,12 +70,11 @@ pub use vantage_mvptree as mvptree;
 pub use vantage_vptree as vptree;
 
 pub use vantage_baselines::{
-    Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa,
-    TwoStage,
+    Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa, TwoStage,
 };
 pub use vantage_core::{
-    Counted, DiscreteMetric, DistanceHistogram, KnnCollector, LinearScan, Metric,
-    MetricIndex, Neighbor, Result, VantageError, VantageSelector,
+    BatchIndex, Counted, DiscreteMetric, DistanceHistogram, KnnCollector, LinearScan, Metric,
+    MetricIndex, Neighbor, Result, Threads, VantageError, VantageSelector,
 };
 pub use vantage_mvptree::{DynamicMvpTree, MvpParams, MvpTree, MvpTreeStats, SecondVantage};
 pub use vantage_vptree::{VpTree, VpTreeParams, VpTreeStats};
@@ -83,12 +82,9 @@ pub use vantage_vptree::{VpTree, VpTreeParams, VpTreeStats};
 /// One-stop imports for applications.
 pub mod prelude {
     pub use vantage_baselines::{
-        Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa,
-        TwoStage,
+        Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa, TwoStage,
     };
     pub use vantage_core::prelude::*;
-    pub use vantage_mvptree::{
-        DynamicMvpTree, MvpParams, MvpTree, MvpTreeStats, SecondVantage,
-    };
+    pub use vantage_mvptree::{DynamicMvpTree, MvpParams, MvpTree, MvpTreeStats, SecondVantage};
     pub use vantage_vptree::{VpTree, VpTreeParams, VpTreeStats};
 }

@@ -1,0 +1,102 @@
+//! Integration tests for the batch-query extension and the parallel
+//! construction guarantee, exercised through the public facade: answers
+//! from `batch_range`/`batch_knn` must equal the single-query answers,
+//! and neither the batch worker count nor the construction worker count
+//! may change any observable result.
+
+use vantage::prelude::*;
+use vantage_datasets::uniform_vectors;
+
+fn workload() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    (uniform_vectors(2000, 12, 21), uniform_vectors(40, 12, 22))
+}
+
+fn assert_batches_match_single<I: MetricIndex<Vec<f64>> + Sync>(index: &I, queries: &[Vec<f64>]) {
+    for threads in [Threads::SEQUENTIAL, Threads::Fixed(4), Threads::Auto] {
+        let ranges = index.batch_range(queries, 0.4, threads);
+        let knns = index.batch_knn(queries, 7, threads);
+        assert_eq!(ranges.len(), queries.len());
+        assert_eq!(knns.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let mut batch_range = ranges[i].clone();
+            let mut single_range = index.range(q, 0.4);
+            batch_range.sort_unstable();
+            single_range.sort_unstable();
+            assert_eq!(batch_range, single_range, "query {i}, {threads:?}");
+            assert_eq!(knns[i], index.knn(q, 7), "query {i}, {threads:?}");
+        }
+    }
+}
+
+#[test]
+fn batch_queries_equal_single_queries_on_every_structure() {
+    let (points, queries) = workload();
+    let linear = LinearScan::new(points.clone(), Euclidean);
+    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(5)).unwrap();
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 20, 5).seed(5)).unwrap();
+    assert_batches_match_single(&linear, &queries);
+    assert_batches_match_single(&vp, &queries);
+    assert_batches_match_single(&mvp, &queries);
+}
+
+#[test]
+fn batch_answers_agree_with_the_linear_oracle() {
+    let (points, queries) = workload();
+    let oracle = LinearScan::new(points.clone(), Euclidean);
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::default().seed(3)).unwrap();
+    let expected = oracle.batch_knn(&queries, 5, Threads::SEQUENTIAL);
+    let got = mvp.batch_knn(&queries, 5, Threads::Auto);
+    for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+        let e_dists: Vec<f64> = e.iter().map(|n| n.distance).collect();
+        let g_dists: Vec<f64> = g.iter().map(|n| n.distance).collect();
+        assert_eq!(e_dists, g_dists, "query {i}: knn distances diverge");
+    }
+}
+
+#[test]
+fn batch_of_empty_queries_is_empty() {
+    let (points, _) = workload();
+    let vp = VpTree::build(points, Euclidean, VpTreeParams::binary()).unwrap();
+    assert!(vp.batch_range(&[], 1.0, Threads::Auto).is_empty());
+    assert!(vp.batch_knn(&[], 3, Threads::Fixed(8)).is_empty());
+}
+
+#[test]
+fn construction_worker_count_is_observably_irrelevant() {
+    // The in-crate unit tests pin node-for-node arena equality; this
+    // pins the same guarantee end-to-end through the public API: every
+    // query answer, and the distance-computation cost of answering it,
+    // is identical whatever `threads` built the index.
+    let (points, queries) = workload();
+    for workers in [1usize, 2, 8] {
+        let threads = Threads::Fixed(workers);
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let mvp = MvpTree::build(
+            points.clone(),
+            metric,
+            MvpParams::paper(2, 10, 4).seed(11).threads(threads),
+        )
+        .unwrap();
+        probe.reset();
+        let answers = mvp.batch_knn(&queries, 5, Threads::SEQUENTIAL);
+        let cost = probe.take();
+
+        let base_metric = Counted::new(Euclidean);
+        let base_probe = base_metric.clone();
+        let base = MvpTree::build(
+            points.clone(),
+            base_metric,
+            MvpParams::paper(2, 10, 4)
+                .seed(11)
+                .threads(Threads::SEQUENTIAL),
+        )
+        .unwrap();
+        base_probe.reset();
+        let base_answers = base.batch_knn(&queries, 5, Threads::SEQUENTIAL);
+        let base_cost = base_probe.take();
+
+        assert_eq!(answers, base_answers, "{workers} workers changed answers");
+        assert_eq!(cost, base_cost, "{workers} workers changed search cost");
+    }
+}

@@ -21,8 +21,7 @@ fn vector_indexes(points: &[Vec<f64>]) -> NamedIndexes {
         (
             "vpt(2)",
             Box::new(
-                VpTree::build(points.to_vec(), Euclidean, VpTreeParams::binary().seed(3))
-                    .unwrap(),
+                VpTree::build(points.to_vec(), Euclidean, VpTreeParams::binary().seed(3)).unwrap(),
             ),
         ),
         (
@@ -39,22 +38,28 @@ fn vector_indexes(points: &[Vec<f64>]) -> NamedIndexes {
         (
             "mvpt(3,80,5)",
             Box::new(
-                MvpTree::build(points.to_vec(), Euclidean, MvpParams::paper(3, 80, 5).seed(5))
-                    .unwrap(),
+                MvpTree::build(
+                    points.to_vec(),
+                    Euclidean,
+                    MvpParams::paper(3, 80, 5).seed(5),
+                )
+                .unwrap(),
             ),
         ),
         (
             "mvpt(2,5,2)",
             Box::new(
-                MvpTree::build(points.to_vec(), Euclidean, MvpParams::paper(2, 5, 2).seed(6))
-                    .unwrap(),
+                MvpTree::build(
+                    points.to_vec(),
+                    Euclidean,
+                    MvpParams::paper(2, 5, 2).seed(6),
+                )
+                .unwrap(),
             ),
         ),
         (
             "gh-tree",
-            Box::new(
-                GhTree::build(points.to_vec(), Euclidean, GhTreeParams::default()).unwrap(),
-            ),
+            Box::new(GhTree::build(points.to_vec(), Euclidean, GhTreeParams::default()).unwrap()),
         ),
         (
             "gnat",
@@ -62,9 +67,7 @@ fn vector_indexes(points: &[Vec<f64>]) -> NamedIndexes {
         ),
         (
             "fq-tree",
-            Box::new(
-                FqTree::build(points.to_vec(), Euclidean, FqTreeParams::default()).unwrap(),
-            ),
+            Box::new(FqTree::build(points.to_vec(), Euclidean, FqTreeParams::default()).unwrap()),
         ),
         (
             "laesa(16)",
@@ -124,17 +127,31 @@ fn string_indexes_agree_under_edit_distance() {
     let words = perturbed_words(60, 9, 1, 5);
     let oracle = LinearScan::new(words.clone(), Levenshtein);
     let bk = BkTree::build(words.clone(), Levenshtein);
-    let vp = VpTree::build(words.clone(), Levenshtein, VpTreeParams::binary().seed(1))
-        .unwrap();
-    let mvp =
-        MvpTree::build(words.clone(), Levenshtein, MvpParams::paper(2, 20, 3).seed(2))
-            .unwrap();
+    let vp = VpTree::build(words.clone(), Levenshtein, VpTreeParams::binary().seed(1)).unwrap();
+    let mvp = MvpTree::build(
+        words.clone(),
+        Levenshtein,
+        MvpParams::paper(2, 20, 3).seed(2),
+    )
+    .unwrap();
     for q in ["hello", &words[17].clone(), "", "zzzzzzzzzzzz"] {
         for r in [0.0, 1.0, 2.0, 4.0] {
             let want = sorted_ids(oracle.range(&q.to_string(), r));
-            assert_eq!(sorted_ids(bk.range(&q.to_string(), r)), want, "bk q={q} r={r}");
-            assert_eq!(sorted_ids(vp.range(&q.to_string(), r)), want, "vp q={q} r={r}");
-            assert_eq!(sorted_ids(mvp.range(&q.to_string(), r)), want, "mvp q={q} r={r}");
+            assert_eq!(
+                sorted_ids(bk.range(&q.to_string(), r)),
+                want,
+                "bk q={q} r={r}"
+            );
+            assert_eq!(
+                sorted_ids(vp.range(&q.to_string(), r)),
+                want,
+                "vp q={q} r={r}"
+            );
+            assert_eq!(
+                sorted_ids(mvp.range(&q.to_string(), r)),
+                want,
+                "mvp q={q} r={r}"
+            );
         }
     }
 }
@@ -160,11 +177,22 @@ fn no_structure_exceeds_linear_scan_cost() {
             );
         }};
     }
-    check!("vpt(2)", |p, m| VpTree::build(p, m, VpTreeParams::binary().seed(1)).unwrap());
-    check!("mvpt", |p, m| MvpTree::build(p, m, MvpParams::paper(3, 40, 5).seed(1))
+    check!("vpt(2)", |p, m| VpTree::build(
+        p,
+        m,
+        VpTreeParams::binary().seed(1)
+    )
+    .unwrap());
+    check!("mvpt", |p, m| MvpTree::build(
+        p,
+        m,
+        MvpParams::paper(3, 40, 5).seed(1)
+    )
+    .unwrap());
+    check!("gh", |p, m| GhTree::build(p, m, GhTreeParams::default())
         .unwrap());
-    check!("gh", |p, m| GhTree::build(p, m, GhTreeParams::default()).unwrap());
-    check!("gnat", |p, m| Gnat::build(p, m, GnatParams::default()).unwrap());
+    check!("gnat", |p, m| Gnat::build(p, m, GnatParams::default())
+        .unwrap());
     check!("aesa", Aesa::build);
     check!("laesa", |p, m| Laesa::build(p, m, 16).unwrap());
 }

@@ -16,10 +16,13 @@ fn farthest_queries_agree_across_structures() {
     let points = uniform_vectors(700, 6, 21);
     let query = vec![0.9; 6];
     let oracle = LinearScan::new(points.clone(), Euclidean);
-    let vp = VpTree::build(points.clone(), Euclidean, VpTreeParams::with_order(3).seed(1))
-        .unwrap();
-    let mvp =
-        MvpTree::build(points, Euclidean, MvpParams::paper(3, 20, 4).seed(2)).unwrap();
+    let vp = VpTree::build(
+        points.clone(),
+        Euclidean,
+        VpTreeParams::with_order(3).seed(1),
+    )
+    .unwrap();
+    let mvp = MvpTree::build(points, Euclidean, MvpParams::paper(3, 20, 4).seed(2)).unwrap();
     for r in [0.5, 1.0, 1.5] {
         let want = sorted_ids(oracle.range_beyond(&query, r));
         assert_eq!(sorted_ids(vp.range_beyond(&query, r)), want, "vp r={r}");
@@ -132,9 +135,12 @@ fn fq_tree_shares_pivot_distances_across_a_level() {
 
 #[test]
 fn dynamic_tree_supports_the_full_update_lifecycle() {
-    let mut tree =
-        DynamicMvpTree::with_items(uniform_vectors(300, 5, 11), Euclidean, MvpParams::paper(2, 8, 3))
-            .unwrap();
+    let mut tree = DynamicMvpTree::with_items(
+        uniform_vectors(300, 5, 11),
+        Euclidean,
+        MvpParams::paper(2, 8, 3),
+    )
+    .unwrap();
     let added: Vec<usize> = uniform_vectors(100, 5, 12)
         .into_iter()
         .map(|p| tree.insert(p))

@@ -21,8 +21,7 @@ fn roundtrip<S: serde::Serialize + serde::de::DeserializeOwned>(value: &S) -> S 
 #[test]
 fn mvp_tree_roundtrips() {
     let points = uniform_vectors(500, 6, 1);
-    let tree =
-        MvpTree::build(points, Euclidean, MvpParams::paper(3, 13, 4).seed(2)).unwrap();
+    let tree = MvpTree::build(points, Euclidean, MvpParams::paper(3, 13, 4).seed(2)).unwrap();
     let restored: MvpTree<Vec<f64>, Euclidean> = roundtrip(&tree);
     let q = vec![0.4; 6];
     assert_eq!(
@@ -58,7 +57,10 @@ fn baseline_structures_roundtrip() {
 
     let gh = GhTree::build(points.clone(), Euclidean, GhTreeParams::default()).unwrap();
     let gh2: GhTree<Vec<f64>, Euclidean> = roundtrip(&gh);
-    assert_eq!(sorted_ids(gh.range(&q, 0.4)), sorted_ids(gh2.range(&q, 0.4)));
+    assert_eq!(
+        sorted_ids(gh.range(&q, 0.4)),
+        sorted_ids(gh2.range(&q, 0.4))
+    );
 
     let gnat = Gnat::build(points.clone(), Euclidean, GnatParams::default()).unwrap();
     let gnat2: Gnat<Vec<f64>, Euclidean> = roundtrip(&gnat);
@@ -91,7 +93,10 @@ fn bk_tree_roundtrips_with_strings() {
     let bk = BkTree::build(words, Levenshtein);
     let bk2: BkTree<String, Levenshtein> = roundtrip(&bk);
     let q = "betta".to_string();
-    assert_eq!(sorted_ids(bk.range(&q, 2.0)), sorted_ids(bk2.range(&q, 2.0)));
+    assert_eq!(
+        sorted_ids(bk.range(&q, 2.0)),
+        sorted_ids(bk2.range(&q, 2.0))
+    );
 }
 
 #[test]

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container resolves no remote registries, so the workspace
+//! vendors the *subset* of the proptest 1.x API its property tests use
+//! (see `DESIGN.md`, "Offline dependency policy"): the [`proptest!`]
+//! macro, [`prop_assert!`]/[`prop_assert_eq!`], numeric range strategies,
+//! [`collection::vec`], [`any`] for `u8`/`bool`, a character-class regex
+//! string strategy, and `prop_map`.
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` generated cases
+//! from a deterministic per-test seed (derived from the test's module
+//! path), so failures reproduce exactly. There is **no shrinking** — a
+//! failing case panics with the offending assertion immediately.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand;
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of a type.
+    ///
+    /// The vendored stand-in collapses upstream's `Strategy`/`ValueTree`
+    /// pair into one method: strategies generate values directly and do
+    /// not shrink.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `&str` regex patterns of the form `[class]{min,max}`
+    /// (character classes with literal characters and `a-z` ranges, and an
+    /// optional repetition count; a bare `[class]` generates one char).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (chars, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!(
+                    "vendored proptest supports only `[class]{{min,max}}` string \
+                     patterns, got `{self}`"
+                )
+            });
+            let len = rng.random_range(min..=max);
+            (0..len)
+                .map(|_| chars[rng.random_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    /// Parses `[abc0-9]{min,max}` into (expanded class, min, max).
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            if it.peek() == Some(&'-') {
+                let mut look = it.clone();
+                look.next(); // the '-'
+                if let Some(&end) = look.peek() {
+                    it = look;
+                    it.next();
+                    for code in (c as u32)..=(end as u32) {
+                        chars.push(char::from_u32(code)?);
+                    }
+                    continue;
+                }
+            }
+            chars.push(c);
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        if rest.is_empty() {
+            return Some((chars, 1, 1));
+        }
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = counts.split_once(',')?;
+        Some((chars, min.trim().parse().ok()?, max.trim().parse().ok()?))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng;
+
+        #[test]
+        fn class_patterns_parse() {
+            let (chars, min, max) = parse_class_pattern("[a-c]{0,7}").unwrap();
+            assert_eq!(chars, vec!['a', 'b', 'c']);
+            assert_eq!((min, max), (0, 7));
+            let (chars, min, max) = parse_class_pattern("[01]{0,16}").unwrap();
+            assert_eq!(chars, vec!['0', '1']);
+            assert_eq!((min, max), (0, 16));
+            assert!(parse_class_pattern("hello").is_none());
+        }
+
+        #[test]
+        fn string_strategy_respects_class_and_length() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..200 {
+                let s = "[a-c]{0,7}".generate(&mut rng);
+                assert!(s.len() <= 7);
+                assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for types with a canonical strategy.
+
+    use std::marker::PhantomData;
+
+    use rand::rngs::StdRng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy generating "any" value of `T` (the types the workspace
+    /// needs: the full range of `u8` and `bool`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        T: rand::Standard,
+    {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::RngExt;
+            rng.random()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    use crate::strategy::Strategy;
+
+    /// A size specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(!range.is_empty(), "empty vec size range");
+            SizeRange {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-run configuration.
+
+    /// Error raised by a failing test case.
+    ///
+    /// The vendored [`prop_assert!`](crate::prop_assert) panics rather
+    /// than returning this, but helper functions written against the
+    /// upstream API still name the type in their signatures, and test
+    /// bodies run inside a closure returning `Result<(), TestCaseError>`
+    /// so `?` works.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case asked to be discarded.
+        Reject(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+                TestCaseError::Reject(msg) => write!(f, "test case rejected: {msg}"),
+            }
+        }
+    }
+
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Asserts a condition inside a property test.
+///
+/// (Upstream returns a `TestCaseError` so the runner can shrink; the
+/// vendored stand-in panics immediately, which fails the test with the
+/// generating seed fixed per test, so the case reproduces on re-run.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a regular test running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$attr:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // FNV-1a over the fully qualified test name: a fixed,
+                // distinct generation seed per test.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for byte in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                    seed ^= u64::from(byte);
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                let mut rng = <$crate::__rt::rand::rngs::StdRng as
+                    $crate::__rt::rand::SeedableRng>::seed_from_u64(seed);
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    // Run inside a Result closure so `?`-style helpers
+                    // written against upstream proptest still compile.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("{e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ::core::default::Default::default();
+            $($rest)*
+        );
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface property tests use.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_generate_in_bounds(
+            x in 0usize..10,
+            y in -5.0f64..5.0,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-5.0..5.0).contains(&y));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(
+            v in crate::collection::vec(any::<u8>(), 0..12),
+            exact in crate::collection::vec(0u32..100, 7usize),
+        ) {
+            prop_assert!(v.len() < 12);
+            prop_assert_eq!(exact.len(), 7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(s in "[a-e]{0,10}") {
+            prop_assert!(s.len() <= 10);
+        }
+    }
+}

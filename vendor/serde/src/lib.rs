@@ -1,0 +1,28 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exists so the workspace's *optional* `serde` dependencies resolve
+//! without a registry (see `DESIGN.md`, "Offline dependency policy"). The
+//! traits are name-compatible markers and the derives are no-ops: default
+//! builds (which never enable the `serde` features) are unaffected, while
+//! actually serializing against the stand-in is a compile error rather
+//! than silent misbehaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization support traits.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The derives expand to nothing: types annotated with
+//! `#[derive(Serialize, Deserialize)]` compile, but no trait impls are
+//! generated, so code *requiring* the impls (the feature-gated
+//! serde-roundtrip test suite) does not build against the stand-in. See
+//! `DESIGN.md`, "Offline dependency policy".
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Exists so dev-dependencies resolve without a registry (see
+//! `DESIGN.md`, "Offline dependency policy"). The functions are never
+//! reachable from default builds: the only consumer is the
+//! `--features serde` roundtrip suite, which cannot compile against the
+//! no-op serde derives in the first place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Stand-in error type.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stand-in result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Stand-in for `serde_json::to_string`; always errors.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error(
+        "vendored serde_json stand-in cannot serialize (offline build)",
+    ))
+}
+
+/// Stand-in for `serde_json::from_str`; always errors.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error(
+        "vendored serde_json stand-in cannot deserialize (offline build)",
+    ))
+}
