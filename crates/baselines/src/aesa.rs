@@ -189,6 +189,15 @@ impl<T, M: Metric<T>> Laesa<T, M> {
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
+            // Max-min separation of 0 means every remaining point is at
+            // distance 0 from a chosen pivot, so its distance row would
+            // duplicate that pivot's row exactly (triangle inequality) —
+            // and re-selecting an existing pivot id would make `knn`
+            // offer it twice. Stop early; the chosen pivots already
+            // bound everything these could.
+            if min_dist[next] == 0.0 {
+                break;
+            }
         }
         Ok(Laesa {
             items,
@@ -401,6 +410,21 @@ mod tests {
                 assert!(d >= 4.5, "pivots {i},{j} too close: {d}");
             }
         }
+    }
+
+    #[test]
+    fn laesa_pivot_selection_stops_on_degenerate_data() {
+        // All-identical points: greedy max-min separation bottoms out at
+        // 0 after the first pivot; the selection must not repeat an id
+        // (repeated pivots made knn return duplicate answers).
+        let l = Laesa::build(vec![vec![1.0]; 20], Euclidean, 8).unwrap();
+        assert_eq!(l.pivots().len(), 1);
+        let hits = l.knn(&vec![1.0], 25);
+        assert_eq!(hits.len(), 20);
+        let mut ids: Vec<usize> = hits.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "knn returned duplicate ids");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! distance. Search at a node with root key `t` recurses only into child
 //! buckets `c` with `|d(q, t) − c| ≤ r` — the triangle inequality again.
 
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::{DiscreteMetric, KnnCollector, MetricIndex, Neighbor};
 
 type NodeId = u32;
@@ -93,8 +94,55 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
         &self.items
     }
 
-    fn range_node(&self, node: NodeId, query: &T, radius: u64, out: &mut Vec<Neighbor>) {
+    /// [`range`](MetricIndex::range) with instrumentation: reports every
+    /// node distance (role [`DistanceRole::Vantage`], since each BK-tree
+    /// node routes by its own exact distance), every child bucket skipped
+    /// by the discrete triangle filter (as a
+    /// [`PruneReason::DistanceTable`] prune with the bound `|d − key|`),
+    /// and per-level fanout into `sink`. Answers and distance
+    /// computations are identical to the untraced method.
+    pub fn range_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            let r = if radius < 0.0 {
+                return out;
+            } else {
+                radius.floor() as u64
+            };
+            self.range_node(root, query, r, 0, sink, &mut out);
+        }
+        out
+    }
+
+    /// [`knn`](MetricIndex::knn) with instrumentation; see
+    /// [`range_traced`](BkTree::range_traced).
+    pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                self.knn_node(root, query, 0, &mut collector, sink);
+            }
+        }
+        collector.into_sorted()
+    }
+
+    fn range_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: u64,
+        level: u32,
+        sink: &mut S,
+        out: &mut Vec<Neighbor>,
+    ) {
         let n = &self.nodes[node as usize];
+        sink.enter_node(level, n.children.is_empty());
+        sink.distance(DistanceRole::Vantage);
         let d = self.metric.distance_u(query, &self.items[n.item as usize]);
         if d <= radius {
             out.push(Neighbor::new(n.item as usize, d as f64));
@@ -102,16 +150,43 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
         let lo = d.saturating_sub(radius);
         let hi = d.saturating_add(radius);
         let start = n.children.partition_point(|&(key, _)| key < lo);
-        for &(key, child) in &n.children[start..] {
+        if S::ENABLED {
+            for &(key, _) in &n.children[..start] {
+                sink.prune(
+                    level + 1,
+                    PruneReason::DistanceTable,
+                    d.abs_diff(key) as f64,
+                );
+            }
+        }
+        for (pos, &(key, child)) in n.children[start..].iter().enumerate() {
             if key > hi {
+                if S::ENABLED {
+                    for &(far_key, _) in &n.children[start + pos..] {
+                        sink.prune(
+                            level + 1,
+                            PruneReason::DistanceTable,
+                            d.abs_diff(far_key) as f64,
+                        );
+                    }
+                }
                 break;
             }
-            self.range_node(child, query, radius, out);
+            self.range_node(child, query, radius, level + 1, sink, out);
         }
     }
 
-    fn knn_node(&self, node: NodeId, query: &T, collector: &mut KnnCollector) {
+    fn knn_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        level: u32,
+        collector: &mut KnnCollector,
+        sink: &mut S,
+    ) {
         let n = &self.nodes[node as usize];
+        sink.enter_node(level, n.children.is_empty());
+        sink.distance(DistanceRole::Vantage);
         let d = self.metric.distance_u(query, &self.items[n.item as usize]);
         collector.offer(n.item as usize, d as f64);
         // Visit children in order of |key − d| (best lower bound first).
@@ -121,11 +196,20 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
             .map(|&(key, child)| (key.abs_diff(d), child))
             .collect();
         order.sort_unstable();
-        for (bound, child) in order {
+        let mut abandoned = None;
+        for (pos, &(bound, child)) in order.iter().enumerate() {
             if (bound as f64) > collector.radius() {
+                abandoned = Some(pos);
                 break;
             }
-            self.knn_node(child, query, collector);
+            self.knn_node(child, query, level + 1, collector, sink);
+        }
+        if S::ENABLED {
+            if let Some(pos) = abandoned {
+                for &(bound, _) in &order[pos..] {
+                    sink.prune(level + 1, PruneReason::DistanceTable, bound as f64);
+                }
+            }
         }
     }
 }
@@ -143,26 +227,11 @@ impl<T, M: DiscreteMetric<T>> MetricIndex<T> for BkTree<T, M> {
     /// metric only through their floor, which is what the triangle filter
     /// uses; results still honor the exact `d ≤ radius` predicate.
     fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if let Some(root) = self.root {
-            let r = if radius < 0.0 {
-                return out;
-            } else {
-                radius.floor() as u64
-            };
-            self.range_node(root, query, r, &mut out);
-        }
-        out
+        self.range_traced(query, radius, &mut NoTrace)
     }
 
     fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
-        let mut collector = KnnCollector::new(k);
-        if k > 0 {
-            if let Some(root) = self.root {
-                self.knn_node(root, query, &mut collector);
-            }
-        }
-        collector.into_sorted()
+        self.knn_traced(query, k, &mut NoTrace)
     }
 }
 

@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError};
 
 type NodeId = u32;
@@ -157,10 +158,50 @@ impl<T, M: Metric<T>> GhTree<T, M> {
         id
     }
 
-    fn range_node(&self, node: NodeId, query: &T, radius: f64, out: &mut Vec<Neighbor>) {
+    /// [`range`](MetricIndex::range) with instrumentation: reports pivot
+    /// and candidate distances, hyperplane prunes (with the bound
+    /// `(d_far − d_near)/2` that justified them) and per-level fanout
+    /// into `sink`. Answers and distance computations are identical to
+    /// the untraced method.
+    pub fn range_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.range_node(root, query, radius, 0, sink, &mut out);
+        }
+        out
+    }
+
+    /// [`knn`](MetricIndex::knn) with instrumentation; see
+    /// [`range_traced`](GhTree::range_traced).
+    pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                self.knn_node(root, query, 0, &mut collector, sink);
+            }
+        }
+        collector.into_sorted()
+    }
+
+    fn range_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: f64,
+        level: u32,
+        sink: &mut S,
+        out: &mut Vec<Neighbor>,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric.distance(query, &self.items[id as usize]);
                     if d <= radius {
                         out.push(Neighbor::new(id as usize, d));
@@ -173,32 +214,48 @@ impl<T, M: Metric<T>> GhTree<T, M> {
                 left,
                 right,
             } => {
+                sink.enter_node(level, false);
+                sink.distance(DistanceRole::Vantage);
                 let d1 = self.metric.distance(query, &self.items[*p1 as usize]);
                 if d1 <= radius {
                     out.push(Neighbor::new(*p1 as usize, d1));
                 }
+                sink.distance(DistanceRole::Vantage);
                 let d2 = self.metric.distance(query, &self.items[*p2 as usize]);
                 if d2 <= radius {
                     out.push(Neighbor::new(*p2 as usize, d2));
                 }
                 if let Some(left) = left {
                     if (d1 - d2) / 2.0 <= radius {
-                        self.range_node(*left, query, radius, out);
+                        self.range_node(*left, query, radius, level + 1, sink, out);
+                    } else if S::ENABLED {
+                        sink.prune(level + 1, PruneReason::Hyperplane, (d1 - d2) / 2.0);
                     }
                 }
                 if let Some(right) = right {
                     if (d2 - d1) / 2.0 <= radius {
-                        self.range_node(*right, query, radius, out);
+                        self.range_node(*right, query, radius, level + 1, sink, out);
+                    } else if S::ENABLED {
+                        sink.prune(level + 1, PruneReason::Hyperplane, (d2 - d1) / 2.0);
                     }
                 }
             }
         }
     }
 
-    fn knn_node(&self, node: NodeId, query: &T, collector: &mut KnnCollector) {
+    fn knn_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        level: u32,
+        collector: &mut KnnCollector,
+        sink: &mut S,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric.distance(query, &self.items[id as usize]);
                     collector.offer(id as usize, d);
                 }
@@ -209,8 +266,11 @@ impl<T, M: Metric<T>> GhTree<T, M> {
                 left,
                 right,
             } => {
+                sink.enter_node(level, false);
+                sink.distance(DistanceRole::Vantage);
                 let d1 = self.metric.distance(query, &self.items[*p1 as usize]);
                 collector.offer(*p1 as usize, d1);
+                sink.distance(DistanceRole::Vantage);
                 let d2 = self.metric.distance(query, &self.items[*p2 as usize]);
                 collector.offer(*p2 as usize, d2);
                 // Nearer side first so the radius shrinks early.
@@ -220,7 +280,9 @@ impl<T, M: Metric<T>> GhTree<T, M> {
                 order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
                 for (bound, child) in order {
                     if bound <= collector.radius() {
-                        self.knn_node(child, query, collector);
+                        self.knn_node(child, query, level + 1, collector, sink);
+                    } else if S::ENABLED {
+                        sink.prune(level + 1, PruneReason::Hyperplane, bound);
                     }
                 }
             }
@@ -238,21 +300,11 @@ impl<T, M: Metric<T>> MetricIndex<T> for GhTree<T, M> {
     }
 
     fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if let Some(root) = self.root {
-            self.range_node(root, query, radius, &mut out);
-        }
-        out
+        self.range_traced(query, radius, &mut NoTrace)
     }
 
     fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
-        let mut collector = KnnCollector::new(k);
-        if k > 0 {
-            if let Some(root) = self.root {
-                self.knn_node(root, query, &mut collector);
-            }
-        }
-        collector.into_sorted()
+        self.knn_traced(query, k, &mut NoTrace)
     }
 }
 

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
 
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError};
 
 type NodeId = u32;
@@ -213,10 +214,50 @@ impl<T, M: Metric<T>> Gnat<T, M> {
         id
     }
 
-    fn range_node(&self, node: NodeId, query: &T, radius: f64, out: &mut Vec<Neighbor>) {
+    /// [`range`](MetricIndex::range) with instrumentation: reports
+    /// split-point and candidate distances, every subtree eliminated by
+    /// the range tables (with the bound that ruled it out) and per-level
+    /// fanout into `sink`. Answers and distance computations are
+    /// identical to the untraced method.
+    pub fn range_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.range_node(root, query, radius, 0, sink, &mut out);
+        }
+        out
+    }
+
+    /// [`knn`](MetricIndex::knn) with instrumentation; see
+    /// [`range_traced`](Gnat::range_traced).
+    pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                self.knn_node(root, query, 0, &mut collector, sink);
+            }
+        }
+        collector.into_sorted()
+    }
+
+    fn range_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: f64,
+        level: u32,
+        sink: &mut S,
+        out: &mut Vec<Neighbor>,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric.distance(query, &self.items[id as usize]);
                     if d <= radius {
                         out.push(Neighbor::new(id as usize, d));
@@ -228,6 +269,7 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                 ranges,
                 children,
             } => {
+                sink.enter_node(level, false);
                 let k = splits.len();
                 // Brin's iterative elimination: process live split points
                 // one at a time; each computed distance may rule out
@@ -240,6 +282,7 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                     if !alive[i] {
                         continue;
                     }
+                    sink.distance(DistanceRole::Vantage);
                     let d = self.metric.distance(query, &self.items[splits[i] as usize]);
                     split_distance[i] = d;
                     if d <= radius {
@@ -252,6 +295,13 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                         let (lo, hi) = ranges[i][j];
                         if d - radius > hi || d + radius < lo {
                             *alive_j = false;
+                            if S::ENABLED && children[j].is_some() {
+                                sink.prune(
+                                    level + 1,
+                                    PruneReason::DistanceTable,
+                                    (d - hi).max(lo - d),
+                                );
+                            }
                         }
                     }
                 }
@@ -266,18 +316,30 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                     debug_assert!(!d.is_nan(), "alive split has a distance");
                     let (lo, hi) = ranges[j][j];
                     if d - radius > hi || d + radius < lo {
+                        if S::ENABLED {
+                            sink.prune(level + 1, PruneReason::DistanceTable, (d - hi).max(lo - d));
+                        }
                         continue;
                     }
-                    self.range_node(*child, query, radius, out);
+                    self.range_node(*child, query, radius, level + 1, sink, out);
                 }
             }
         }
     }
 
-    fn knn_node(&self, node: NodeId, query: &T, collector: &mut KnnCollector) {
+    fn knn_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        level: u32,
+        collector: &mut KnnCollector,
+        sink: &mut S,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric.distance(query, &self.items[id as usize]);
                     collector.offer(id as usize, d);
                 }
@@ -287,9 +349,11 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                 ranges,
                 children,
             } => {
+                sink.enter_node(level, false);
                 let k = splits.len();
                 let mut split_distance = Vec::with_capacity(k);
                 for &s in splits {
+                    sink.distance(DistanceRole::Vantage);
                     let d = self.metric.distance(query, &self.items[s as usize]);
                     collector.offer(s as usize, d);
                     split_distance.push(d);
@@ -312,11 +376,20 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                     order.push((bound, *child));
                 }
                 order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-                for (bound, child) in order {
+                let mut abandoned = None;
+                for (pos, &(bound, child)) in order.iter().enumerate() {
                     if bound > collector.radius() {
+                        abandoned = Some(pos);
                         break;
                     }
-                    self.knn_node(child, query, collector);
+                    self.knn_node(child, query, level + 1, collector, sink);
+                }
+                if S::ENABLED {
+                    if let Some(pos) = abandoned {
+                        for &(bound, _) in &order[pos..] {
+                            sink.prune(level + 1, PruneReason::DistanceTable, bound);
+                        }
+                    }
                 }
             }
         }
@@ -333,21 +406,11 @@ impl<T, M: Metric<T>> MetricIndex<T> for Gnat<T, M> {
     }
 
     fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if let Some(root) = self.root {
-            self.range_node(root, query, radius, &mut out);
-        }
-        out
+        self.range_traced(query, radius, &mut NoTrace)
     }
 
     fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
-        let mut collector = KnnCollector::new(k);
-        if k > 0 {
-            if let Some(root) = self.root {
-                self.knn_node(root, query, &mut collector);
-            }
-        }
-        collector.into_sorted()
+        self.knn_traced(query, k, &mut NoTrace)
     }
 }
 

@@ -110,15 +110,20 @@ USAGE:
   vantage generate words     --n N [--seed S] [--out FILE]
   vantage query  --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
                  (--range R | --knn K) [--seed S] [--threads auto|N]
+  vantage explain --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
+                 (--range R | --knn K) [--seed S] [--threads auto|N]
   vantage stats  --data FILE [--metric l1|l2|linf|edit] [--bin W] [--threads auto|N]
   vantage experiment NAME [--scale quick|full]
        NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
-             construction, comparators, knn
+             construction, comparators, knn, pruning
   vantage help
 
 Vector data files are CSV (one vector per line); `--metric edit` treats
 the file as one word per line. `query` reports the answers and the number
-of distance computations used.
+of distance computations used. `explain` runs the same search with the
+observability layer attached and prints a per-query pruning breakdown:
+which triangle-inequality filter cut each subtree or leaf candidate, the
+bounds that justified the cuts, and the per-level fanout.
 
 `--threads` controls construction/statistics parallelism (default: auto,
 i.e. all cores, or the VANTAGE_THREADS environment variable). The worker
@@ -136,6 +141,7 @@ pub fn run(argv: &[String], out: &mut String) -> CliResult<()> {
         }
         Some("generate") => cmd_generate(&argv[1..], out),
         Some("query") => cmd_query(&argv[1..], out),
+        Some("explain") => cmd_explain(&argv[1..], out),
         Some("stats") => cmd_stats(&argv[1..], out),
         Some("experiment") => cmd_experiment(&argv[1..], out),
         Some(other) => Err(err(format!(
@@ -372,6 +378,183 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
     Ok(())
 }
 
+/// Builds the requested structure and runs the query once with a
+/// [`QueryProfile`] attached, returning answers, the `Counted` tally for
+/// the query phase, the dataset size and the profile.
+fn run_structure_explain<T: Clone + Sync + 'static, M: Metric<T> + Clone + Sync + 'static>(
+    items: Vec<T>,
+    metric: M,
+    structure: &str,
+    seed: u64,
+    threads: Threads,
+    query: &T,
+    kind: &QueryKind,
+) -> CliResult<(Vec<Neighbor>, u64, usize, QueryProfile)> {
+    let counted = Counted::new(metric);
+    let probe = counted.clone();
+    let n = items.len();
+    let mut profile = QueryProfile::new();
+    // Traced searches are inherent methods on the concrete types, so
+    // each structure gets its own arm instead of a trait object.
+    let mut results = match structure {
+        "mvp" => {
+            let tree = MvpTree::build(
+                items,
+                counted,
+                MvpParams::paper(3, 80, 5).seed(seed).threads(threads),
+            )
+            .map_err(|e| err(e.to_string()))?;
+            probe.reset();
+            match kind {
+                QueryKind::Range(r) => tree.range_traced(query, *r, &mut profile),
+                QueryKind::Knn(k) => tree.knn_traced(query, *k, &mut profile),
+            }
+        }
+        "vp" => {
+            let tree = VpTree::build(
+                items,
+                counted,
+                VpTreeParams::binary().seed(seed).threads(threads),
+            )
+            .map_err(|e| err(e.to_string()))?;
+            probe.reset();
+            match kind {
+                QueryKind::Range(r) => tree.range_traced(query, *r, &mut profile),
+                QueryKind::Knn(k) => tree.knn_traced(query, *k, &mut profile),
+            }
+        }
+        "linear" => {
+            let scan = LinearScan::new(items, counted);
+            probe.reset();
+            match kind {
+                QueryKind::Range(r) => scan.range_traced(query, *r, &mut profile),
+                QueryKind::Knn(k) => scan.knn_traced(query, *k, &mut profile),
+            }
+        }
+        other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
+    };
+    let cost = probe.take();
+    if matches!(kind, QueryKind::Range(_)) {
+        results.sort_unstable();
+    }
+    results.truncate(1000);
+    Ok((results, cost, n, profile))
+}
+
+/// Renders the pruning breakdown table for one profiled query.
+fn format_profile(profile: &QueryProfile, cost: u64, n: usize, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "nodes visited:         {} ({} leaves)",
+        profile.nodes_visited(),
+        profile.leaves_visited()
+    );
+    let _ = writeln!(
+        out,
+        "distance computations: {cost} = {} vantage-point + {} leaf-candidate ({:.1}% of linear scan)",
+        profile.distances(DistanceRole::Vantage),
+        profile.distances(DistanceRole::Candidate),
+        100.0 * cost as f64 / n.max(1) as f64
+    );
+    let sections = [
+        ("subtrees pruned", profile.subtrees_pruned(), true),
+        ("candidates rejected", profile.candidates_rejected(), false),
+    ];
+    for (title, total, is_prune) in sections {
+        let _ = writeln!(out, "{title}: {total}");
+        for reason in PruneReason::ALL {
+            let s = if is_prune {
+                *profile.prune_stats(reason)
+            } else {
+                *profile.reject_stats(reason)
+            };
+            if s.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<15} {:>8}   bound min {:.4}  mean {:.4}  max {:.4}",
+                reason.label(),
+                s.count(),
+                s.min(),
+                s.mean(),
+                s.max()
+            );
+        }
+    }
+    if !profile.levels().is_empty() {
+        let _ = writeln!(out, "per-level fanout:");
+        let _ = writeln!(out, "  level   visited    pruned");
+        for (level, stats) in profile.levels().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {level:>5}  {:>8}  {:>8}",
+                stats.visited, stats.pruned
+            );
+        }
+    }
+}
+
+fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let data = args.required("data")?;
+    let metric_name = args.get("metric").unwrap_or("l2");
+    let structure = args.get("structure").unwrap_or("mvp");
+    let seed: u64 = args.parsed("seed", 0)?;
+    let threads = parse_threads(&args)?;
+    let kind = query_kind(&args)?;
+    let query_text = args.required("query")?;
+
+    let (results, cost, n, profile) = if metric_name == "edit" {
+        let words = read_words(data)?;
+        run_structure_explain(
+            words,
+            Levenshtein,
+            structure,
+            seed,
+            threads,
+            &query_text.to_string(),
+            &kind,
+        )?
+    } else {
+        let vectors = read_vectors(data)?;
+        let query: Vec<f64> = query_text
+            .split(',')
+            .map(|c| c.trim().parse())
+            .collect::<std::result::Result<_, _>>()
+            .map_err(|_| err("query must be a comma-separated float vector"))?;
+        if let Some(first) = vectors.first() {
+            if first.len() != query.len() {
+                return Err(err(format!(
+                    "query has {} dimensions, data has {}",
+                    query.len(),
+                    first.len()
+                )));
+            }
+        }
+        match metric_name {
+            "l2" => {
+                run_structure_explain(vectors, Euclidean, structure, seed, threads, &query, &kind)?
+            }
+            "l1" => {
+                run_structure_explain(vectors, Manhattan, structure, seed, threads, &query, &kind)?
+            }
+            "linf" => {
+                run_structure_explain(vectors, Chebyshev, structure, seed, threads, &query, &kind)?
+            }
+            other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
+        }
+    };
+
+    let _ = writeln!(out, "{} results:", results.len());
+    for r in &results {
+        let _ = writeln!(out, "  id {:>6}  distance {:.6}", r.id, r.distance);
+    }
+    let _ = writeln!(out, "--- query profile ({structure}) ---");
+    format_profile(&profile, cost, n, out);
+    Ok(())
+}
+
 fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
     let data = args.required("data")?;
@@ -455,6 +638,7 @@ fn cmd_experiment(argv: &[String], out: &mut String) -> CliResult<()> {
         "construction" => ablations::construction_cost(scale),
         "comparators" => ablations::comparators(scale),
         "knn" => ablations::knn_cost(scale),
+        "pruning" => vantage_experiments::pruning::pruning_breakdown(scale),
         other => return Err(err(format!("unknown experiment `{other}`"))),
     };
     out.push_str(&report.render());
@@ -566,6 +750,89 @@ mod tests {
             "query", "--data", &path, "--metric", "edit", "--range", "2", "--query", "hella",
         ]);
         assert!(out.contains("3 results"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explain_reports_pruning_breakdown() {
+        let path = temp_path("explain.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "500", "--dim", "6", "--seed", "5", "--out", &path,
+        ]);
+        let out = run_ok(&[
+            "explain",
+            "--data",
+            &path,
+            "--structure",
+            "mvp",
+            "--range",
+            "0.2",
+            "--query",
+            "0.5,0.5,0.5,0.5,0.5,0.5",
+        ]);
+        assert!(out.contains("query profile (mvp)"), "{out}");
+        assert!(out.contains("nodes visited:"), "{out}");
+        assert!(out.contains("vantage-point"), "{out}");
+        assert!(out.contains("subtrees pruned:"), "{out}");
+        assert!(out.contains("per-level fanout:"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explain_answers_match_query_answers() {
+        let path = temp_path("explain-eq.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "300", "--dim", "4", "--seed", "6", "--out", &path,
+        ]);
+        let pick = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with("id"))
+                .map(|l| l.trim().to_string())
+                .collect()
+        };
+        for structure in ["mvp", "vp", "linear"] {
+            let common = [
+                "--data",
+                &path,
+                "--structure",
+                structure,
+                "--knn",
+                "4",
+                "--query",
+                "0.5,0.5,0.5,0.5",
+            ];
+            let mut query_argv = vec!["query"];
+            query_argv.extend_from_slice(&common);
+            let mut explain_argv = vec!["explain"];
+            explain_argv.extend_from_slice(&common);
+            assert_eq!(
+                pick(&run_ok(&query_argv)),
+                pick(&run_ok(&explain_argv)),
+                "explain changed {structure} answers"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explain_works_on_edit_metric() {
+        let path = temp_path("explain-words.txt");
+        std::fs::write(&path, "hello\nhallo\nworld\nhelp\nyelp\nshell\n").unwrap();
+        let out = run_ok(&[
+            "explain",
+            "--data",
+            &path,
+            "--metric",
+            "edit",
+            "--structure",
+            "vp",
+            "--knn",
+            "2",
+            "--query",
+            "hella",
+        ]);
+        assert!(out.contains("2 results"), "{out}");
+        assert!(out.contains("distance computations:"), "{out}");
         let _ = std::fs::remove_file(&path);
     }
 

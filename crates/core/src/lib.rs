@@ -28,7 +28,11 @@
 //!   distance-distribution histograms, Figures 4–7 ([`stats`]);
 //! * scoped fork-join parallelism — the [`Threads`] knob, order-preserving
 //!   parallel maps, and the [`BatchIndex`] batch-query extension available
-//!   on every `MetricIndex + Sync` ([`parallel`], [`index`]).
+//!   on every `MetricIndex + Sync` ([`parallel`], [`index`]);
+//! * query observability: the [`TraceSink`] instrumentation interface
+//!   (zero-cost via [`NoTrace`]), per-query [`QueryProfile`]s attributing
+//!   distance computations and prunes to filter stages, and the
+//!   [`SearchProfiler`] workload aggregator ([`trace`]).
 //!
 //! ## Quick start
 //!
@@ -61,6 +65,7 @@ pub mod parallel;
 pub mod query;
 pub mod select;
 pub mod stats;
+pub mod trace;
 pub mod util;
 
 pub use counting::Counted;
@@ -74,6 +79,10 @@ pub use parallel::Threads;
 pub use query::Neighbor;
 pub use select::VantageSelector;
 pub use stats::DistanceHistogram;
+pub use trace::{
+    BoundStats, DistanceRole, LevelStats, NoTrace, PruneReason, QueryProfile, SearchProfiler,
+    TraceSink,
+};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
@@ -96,4 +105,8 @@ pub mod prelude {
     pub use crate::query::Neighbor;
     pub use crate::select::VantageSelector;
     pub use crate::stats::DistanceHistogram;
+    pub use crate::trace::{
+        BoundStats, DistanceRole, LevelStats, NoTrace, PruneReason, QueryProfile, SearchProfiler,
+        TraceSink,
+    };
 }

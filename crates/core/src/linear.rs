@@ -7,6 +7,7 @@ use crate::index::MetricIndex;
 use crate::knn::KnnCollector;
 use crate::metric::Metric;
 use crate::query::Neighbor;
+use crate::trace::{DistanceRole, TraceSink};
 
 /// A brute-force index that evaluates the metric against every object.
 ///
@@ -39,6 +40,43 @@ impl<T, M: Metric<T>> LinearScan<T, M> {
     /// Consumes the scan, returning the items.
     pub fn into_items(self) -> Vec<T> {
         self.items
+    }
+
+    /// [`range`](MetricIndex::range) with instrumentation: every scanned
+    /// object reports one [`DistanceRole::Candidate`] computation into
+    /// `sink`. Answers are identical to the untraced method.
+    pub fn range_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        if !self.items.is_empty() {
+            sink.enter_node(0, true);
+        }
+        self.items
+            .iter()
+            .enumerate()
+            .filter_map(|(id, item)| {
+                sink.distance(DistanceRole::Candidate);
+                let d = self.metric.distance(query, item);
+                (d <= radius).then_some(Neighbor::new(id, d))
+            })
+            .collect()
+    }
+
+    /// [`knn`](MetricIndex::knn) with instrumentation; see
+    /// [`range_traced`](LinearScan::range_traced).
+    pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        if !self.items.is_empty() {
+            sink.enter_node(0, true);
+        }
+        let mut collector = KnnCollector::new(k);
+        for (id, item) in self.items.iter().enumerate() {
+            sink.distance(DistanceRole::Candidate);
+            collector.offer(id, self.metric.distance(query, item));
+        }
+        collector.into_sorted()
     }
 }
 

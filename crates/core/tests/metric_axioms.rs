@@ -13,6 +13,10 @@ use vantage_core::prelude::*;
 /// error near ±1 to ~1e-8 radians.
 const EPS: f64 = 1e-7;
 
+/// Cases per property. The triangle-inequality property draws three
+/// fresh values per case, so each metric sees `CASES` seeded triples.
+const CASES: u32 = 2_000;
+
 fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-100.0f64..100.0, dim)
 }
@@ -36,6 +40,8 @@ macro_rules! metric_axiom_tests {
             use super::*;
 
             proptest! {
+                #![proptest_config(ProptestConfig::with_cases(CASES))]
+
                 #[test]
                 fn symmetry(a in $strategy, b in $strategy) {
                     let m = $metric;
@@ -90,14 +96,37 @@ metric_axiom_tests!(
     vec_strategy(5)
 );
 metric_axiom_tests!(
+    minkowski_p1_5,
+    Minkowski::new(1.5).unwrap(),
+    vec_strategy(6)
+);
+metric_axiom_tests!(
     edit_distance,
     Levenshtein,
     "[a-d]{0,12}".prop_map(String::from)
+);
+// Random multi-byte UTF-8: ASCII, Greek (2-byte), CJK (3-byte) and emoji
+// (4-byte) code points mixed in one alphabet, so `char` handling (not
+// byte offsets) carries the edit-distance axioms.
+metric_axiom_tests!(
+    edit_distance_utf8,
+    Levenshtein,
+    "[a-cα-ε一-十😀-😈]{0,10}".prop_map(String::from)
 );
 metric_axiom_tests!(
     hamming_strings,
     Hamming,
     "[01]{0,16}".prop_map(String::from)
+);
+metric_axiom_tests!(
+    hamming_utf8,
+    Hamming,
+    "[xyζ-λ😺-😾]{0,12}".prop_map(String::from)
+);
+metric_axiom_tests!(
+    hamming_bytes,
+    Hamming,
+    proptest::collection::vec(any::<u8>(), 0..14)
 );
 metric_axiom_tests!(image_l1, ImageL1::paper(), image_strategy(8, 8));
 metric_axiom_tests!(image_l2, ImageL2::paper(), image_strategy(8, 8));
@@ -119,6 +148,8 @@ mod discrete_consistency {
     use vantage_core::DiscreteMetric;
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(CASES))]
+
         /// DiscreteMetric::distance_u must equal Metric::distance.
         #[test]
         fn edit_discrete_matches_continuous(
@@ -156,6 +187,19 @@ mod discrete_consistency {
                 }
                 None => prop_assert!(exact > bound),
             }
+        }
+
+        /// The discrete/continuous agreement holds on multi-byte UTF-8
+        /// strings too (edit distance counts chars, never bytes).
+        #[test]
+        fn edit_discrete_matches_continuous_utf8(
+            a in "[aβ丁-万😄-😆]{0,9}".prop_map(String::from),
+            b in "[aβ丁-万😄-😆]{0,9}".prop_map(String::from),
+        ) {
+            let c: f64 = Metric::<String>::distance(&Levenshtein, &a, &b);
+            let d: u64 = DiscreteMetric::<String>::distance_u(&Levenshtein, &a, &b);
+            prop_assert_eq!(c, d as f64);
+            prop_assert!(d <= a.chars().count().max(b.chars().count()) as u64);
         }
     }
 }

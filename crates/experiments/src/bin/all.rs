@@ -1,7 +1,7 @@
 //! Runs every figure reproduction and ablation in sequence.
 //! Scale via VANTAGE_SCALE=full|quick.
 
-use vantage_experiments::{ablations, figures, Scale};
+use vantage_experiments::{ablations, figures, pruning, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -22,6 +22,7 @@ fn main() {
         ablations::construction_cost(scale),
         ablations::comparators(scale),
         ablations::knn_cost(scale),
+        pruning::pruning_breakdown(scale),
     ];
     for report in &reports {
         println!("{}\n", report.render());

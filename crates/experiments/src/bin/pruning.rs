@@ -1,0 +1,10 @@
+//! Pruning breakdown: distance computations per search decomposed by
+//! filter stage. Scale via VANTAGE_SCALE=full|quick.
+
+fn main() {
+    let scale = vantage_experiments::Scale::from_env();
+    let report = vantage_experiments::pruning::pruning_breakdown(scale);
+    println!("{}", report.render());
+    eprintln!("--- CSV ---");
+    eprint!("{}", report.csv);
+}

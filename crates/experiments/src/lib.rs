@@ -29,9 +29,11 @@
 pub mod ablations;
 pub mod figures;
 pub mod harness;
+pub mod pruning;
 pub mod report;
 pub mod scale;
 
 pub use harness::{ExperimentConfig, QueryCostSeries, StructureSpec};
+pub use pruning::{PruningPoint, PruningSeries};
 pub use report::FigureReport;
 pub use scale::Scale;

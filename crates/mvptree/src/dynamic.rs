@@ -186,6 +186,93 @@ impl<T: Clone + Sync, M: Metric<T> + Clone + Sync> DynamicMvpTree<T, M> {
         out
     }
 
+    /// Verifies the wrapper's bookkeeping invariants (and the inner
+    /// tree's structural invariants), returning a description of the
+    /// first violation found:
+    ///
+    /// 1. the inner static tree passes [`MvpTree::check_invariants`];
+    /// 2. `tree_ids` maps every internal tree id to a distinct in-bounds
+    ///    stable id;
+    /// 3. the overflow buffer is strictly increasing (inserts append
+    ///    fresh ids; [`remove`](Self::remove) relies on binary search),
+    ///    in bounds, and holds no tombstoned id;
+    /// 4. `tree_dead` equals the exact number of tombstoned snapshot
+    ///    ids;
+    /// 5. every live stable id is reachable through exactly one of the
+    ///    tree snapshot or the overflow buffer, and `len()` agrees.
+    ///
+    /// Re-computes `O(n · height)` distances — strictly for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, as human-readable text.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        match (&self.tree, self.tree_ids.is_empty()) {
+            (Some(tree), _) => {
+                tree.check_invariants()?;
+                if tree.len() != self.tree_ids.len() {
+                    return Err(format!(
+                        "tree holds {} items but tree_ids maps {}",
+                        tree.len(),
+                        self.tree_ids.len()
+                    ));
+                }
+            }
+            (None, false) => return Err("tree_ids non-empty with no tree".into()),
+            (None, true) => {}
+        }
+        let mut placed = vec![0u32; self.store.len()];
+        for &id in &self.tree_ids {
+            let slot = placed
+                .get_mut(id)
+                .ok_or_else(|| format!("tree_ids holds out-of-bounds id {id}"))?;
+            *slot += 1;
+        }
+        if let Some(w) = self.overflow.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!("overflow not strictly increasing at {w:?}"));
+        }
+        for &id in &self.overflow {
+            let slot = placed
+                .get_mut(id)
+                .ok_or_else(|| format!("overflow holds out-of-bounds id {id}"))?;
+            *slot += 1;
+            if self.tombstones.contains(&id) {
+                return Err(format!("overflow holds tombstoned id {id}"));
+            }
+        }
+        let dead = self
+            .tree_ids
+            .iter()
+            .filter(|id| self.tombstones.contains(id))
+            .count();
+        if dead != self.tree_dead {
+            return Err(format!(
+                "tree_dead = {} but {dead} snapshot ids are tombstoned",
+                self.tree_dead
+            ));
+        }
+        for id in &self.tombstones {
+            if *id >= self.store.len() {
+                return Err(format!("tombstone for unknown id {id}"));
+            }
+        }
+        for (id, &count) in placed.iter().enumerate() {
+            let live = !self.tombstones.contains(&id);
+            // Tombstoned ids may linger in the snapshot (counted by
+            // `tree_dead`) but live ids must appear exactly once.
+            if live && count != 1 {
+                return Err(format!("live id {id} reachable {count} times, not once"));
+            }
+            if !live && count > 1 {
+                return Err(format!("dead id {id} reachable {count} times"));
+            }
+        }
+        if self.len() != self.store.len() - self.tombstones.len() {
+            return Err("len() disagrees with store/tombstone sizes".into());
+        }
+        Ok(())
+    }
+
     /// The `k` nearest live items (stable ids), sorted by distance.
     pub fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
         let mut collector = KnnCollector::new(k);
@@ -219,11 +306,19 @@ mod tests {
         vec![x]
     }
 
+    /// Every mutation in these tests is followed by a full invariant
+    /// check; drift shows up at the mutating call, not at the query.
+    #[track_caller]
+    fn check<T: Clone + Sync, M: Metric<T> + Clone + Sync>(t: &DynamicMvpTree<T, M>) {
+        t.check_invariants().unwrap();
+    }
+
     #[test]
     fn insert_then_query() {
         let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
         for i in 0..100 {
             t.insert(pt(f64::from(i)));
+            check(&t);
         }
         assert_eq!(t.len(), 100);
         let hits = t.range(&pt(50.0), 1.5);
@@ -237,8 +332,10 @@ mod tests {
         let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
         let id7 = (0..8).map(|i| t.insert(pt(f64::from(i)))).last().unwrap();
         assert_eq!(id7, 7);
+        check(&t);
         for i in 8..300 {
             t.insert(pt(f64::from(i))); // forces several rebuilds
+            check(&t);
         }
         let hits = t.range(&pt(7.0), 0.0);
         assert_eq!(hits.len(), 1);
@@ -254,9 +351,12 @@ mod tests {
             params(),
         )
         .unwrap();
+        check(&t);
         assert!(t.remove(25));
+        check(&t);
         assert!(!t.remove(25), "double delete must fail");
         assert!(!t.remove(999), "unknown id must fail");
+        check(&t);
         assert_eq!(t.len(), 49);
         assert!(t.range(&pt(25.0), 0.0).is_empty());
         assert!(t.get(25).is_none());
@@ -271,7 +371,9 @@ mod tests {
         let mut t = DynamicMvpTree::new(Euclidean, params()).unwrap();
         let a = t.insert(pt(1.0));
         let b = t.insert(pt(2.0));
+        check(&t);
         assert!(t.remove(a));
+        check(&t);
         assert_eq!(t.len(), 1);
         assert!(t.range(&pt(1.0), 0.1).is_empty());
         assert_eq!(t.range(&pt(2.0), 0.1)[0].id, b);
@@ -285,8 +387,10 @@ mod tests {
             params(),
         )
         .unwrap();
+        check(&t);
         for id in 0..150 {
             assert!(t.remove(id));
+            check(&t);
         }
         assert_eq!(t.len(), 50);
         let hits = t.range(&pt(175.0), 5.0);
@@ -301,10 +405,12 @@ mod tests {
         for i in 0usize..250 {
             let v = pt(((i * 37) % 101) as f64);
             let id = t.insert(v.clone());
+            check(&t);
             live.push((id, v));
             if i % 3 == 0 {
                 let victim = live.remove((i / 3) % live.len());
                 assert!(t.remove(victim.0));
+                check(&t);
             }
         }
         let q = pt(40.0);
@@ -333,6 +439,7 @@ mod tests {
     #[test]
     fn empty_tree_queries() {
         let t = DynamicMvpTree::<Vec<f64>, _>::new(Euclidean, params()).unwrap();
+        check(&t);
         assert!(t.is_empty());
         assert!(t.range(&pt(0.0), 10.0).is_empty());
         assert!(t.knn(&pt(0.0), 5).is_empty());
@@ -346,6 +453,7 @@ mod tests {
         for i in 0..64 {
             t.insert(pt(f64::from(i)));
         }
+        check(&t);
         probe.reset();
         t.range(&pt(10.0), 1.0);
         assert!(probe.count() > 0);

@@ -1,6 +1,7 @@
 //! Similarity search in mvp-trees — the paper's §4.3 algorithm (range
 //! queries) plus a k-nearest-neighbor extension.
 
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::{KnnCollector, Metric, Neighbor};
 
 use crate::node::{Node, NodeId};
@@ -37,31 +38,52 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
     /// and all `p` `PATH` triangle-inequality filters — the paper's
     /// delayed major filtering step.
     pub(crate) fn range_search(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        self.range_traced(query, radius, &mut NoTrace)
+    }
+
+    /// [`range`](vantage_core::MetricIndex::range) with instrumentation:
+    /// reports every vantage/candidate distance, every shell prune and
+    /// leaf-filter rejection (with the triangle-inequality bound that
+    /// justified it), and the per-level fanout into `sink`. Answers and
+    /// distance computations are identical to the untraced method — with
+    /// [`NoTrace`] the sink calls compile away.
+    pub fn range_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
         let mut out = Vec::new();
         let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
         if let Some(root) = self.root {
-            self.range_node(root, query, radius, &mut path, &mut out);
+            self.range_node(root, query, radius, 0, &mut path, sink, &mut out);
         }
         out
     }
 
-    fn range_node(
+    #[allow(clippy::too_many_arguments)]
+    fn range_node<S: TraceSink>(
         &self,
         node: NodeId,
         query: &T,
         radius: f64,
+        level: u32,
         path: &mut Vec<f64>,
+        sink: &mut S,
         out: &mut Vec<Neighbor>,
     ) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
+                sink.enter_node(level, true);
                 // Step 1: the vantage points are data points, checked
                 // directly.
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 if dq1 <= radius {
                     out.push(Neighbor::new(*vp1 as usize, dq1));
                 }
                 let Some(vp2) = vp2 else { return };
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 if dq2 <= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
@@ -69,14 +91,24 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 // Step 2: filter entries by D1, D2, then PATH; compute the
                 // real distance only for survivors.
                 'entry: for e in entries {
-                    if (dq1 - e.d1).abs() > radius || (dq2 - e.d2).abs() > radius {
+                    let b1 = (dq1 - e.d1).abs();
+                    if b1 > radius {
+                        sink.reject(PruneReason::PrecomputedD1, b1);
+                        continue;
+                    }
+                    let b2 = (dq2 - e.d2).abs();
+                    if b2 > radius {
+                        sink.reject(PruneReason::PrecomputedD2, b2);
                         continue;
                     }
                     for (&qp, &ep) in path.iter().zip(&e.path) {
-                        if (qp - ep).abs() > radius {
+                        let bp = (qp - ep).abs();
+                        if bp > radius {
+                            sink.reject(PruneReason::PathFilter, bp);
                             continue 'entry;
                         }
                     }
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric.distance(query, &self.items[e.id as usize]);
                     if d <= radius {
                         out.push(Neighbor::new(e.id as usize, d));
@@ -90,11 +122,14 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 cutoffs2,
                 children,
             } => {
+                sink.enter_node(level, false);
                 let m = self.params.m;
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 if dq1 <= radius {
                     out.push(Neighbor::new(*vp1 as usize, dq1));
                 }
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 if dq2 <= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
@@ -112,6 +147,19 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 for i in 0..m {
                     let (lo1, hi1) = shell(cutoffs1, i);
                     if dq1 - radius > hi1 || dq1 + radius < lo1 {
+                        if S::ENABLED {
+                            // One prune event per subtree the failed
+                            // vp1-shell test rules out.
+                            for j in 0..m {
+                                if children[i * m + j].is_some() {
+                                    sink.prune(
+                                        level + 1,
+                                        PruneReason::FirstShell,
+                                        shell_bound(dq1, lo1, hi1),
+                                    );
+                                }
+                            }
+                        }
                         continue;
                     }
                     for j in 0..m {
@@ -120,9 +168,16 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                         };
                         let (lo2, hi2) = shell(&cutoffs2[i], j);
                         if dq2 - radius > hi2 || dq2 + radius < lo2 {
+                            if S::ENABLED {
+                                sink.prune(
+                                    level + 1,
+                                    PruneReason::SecondShell,
+                                    shell_bound(dq2, lo2, hi2),
+                                );
+                            }
                             continue;
                         }
-                        self.range_node(child, query, radius, path, out);
+                        self.range_node(child, query, radius, level + 1, path, sink, out);
                     }
                 }
                 path.truncate(saved);
@@ -137,33 +192,72 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
     /// `max_i |PATH_q[i] − PATH_x[i]|`, skipping exact computations the
     /// same way the paper's range filter does.
     pub(crate) fn knn_search(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        self.knn_traced(query, k, &mut NoTrace)
+    }
+
+    /// [`knn`](vantage_core::MetricIndex::knn) with instrumentation; see
+    /// [`range_traced`](MvpTree::range_traced). Leaf rejections are
+    /// attributed to the filter stage with the *tightest* lower bound
+    /// (the one that would exclude the candidate at the largest radius);
+    /// children abandoned by the bound-ordered early exit are reported as
+    /// shell prunes attributed the same way.
+    pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KnnCollector::new(k);
         if k == 0 {
             return Vec::new();
         }
         let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
         if let Some(root) = self.root {
-            self.knn_node(root, query, &mut collector, &mut path);
+            self.knn_node(root, query, 0, &mut collector, &mut path, sink);
         }
         collector.into_sorted()
     }
 
-    fn knn_node(&self, node: NodeId, query: &T, collector: &mut KnnCollector, path: &mut Vec<f64>) {
+    /// The stage that produced a rejected leaf candidate's lower bound
+    /// (`bound` is the max of `b1`, `b2` and the path differences):
+    /// trace-only attribution, always guarded by `S::ENABLED`.
+    fn attribute_leaf_bound(b1: f64, b2: f64, bound: f64) -> PruneReason {
+        if b1 >= bound {
+            PruneReason::PrecomputedD1
+        } else if b2 >= bound {
+            PruneReason::PrecomputedD2
+        } else {
+            PruneReason::PathFilter
+        }
+    }
+
+    fn knn_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        level: u32,
+        collector: &mut KnnCollector,
+        path: &mut Vec<f64>,
+        sink: &mut S,
+    ) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
+                sink.enter_node(level, true);
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 collector.offer(*vp1 as usize, dq1);
                 let Some(vp2) = vp2 else { return };
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
                 for e in entries {
-                    let mut bound = (dq1 - e.d1).abs().max((dq2 - e.d2).abs());
+                    let b1 = (dq1 - e.d1).abs();
+                    let b2 = (dq2 - e.d2).abs();
+                    let mut bound = b1.max(b2);
                     for (&qp, &ep) in path.iter().zip(&e.path) {
                         bound = bound.max((qp - ep).abs());
                     }
                     if bound <= collector.radius() {
+                        sink.distance(DistanceRole::Candidate);
                         let d = self.metric.distance(query, &self.items[e.id as usize]);
                         collector.offer(e.id as usize, d);
+                    } else if S::ENABLED {
+                        sink.reject(Self::attribute_leaf_bound(b1, b2, bound), bound);
                     }
                 }
             }
@@ -174,9 +268,12 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 cutoffs2,
                 children,
             } => {
+                sink.enter_node(level, false);
                 let m = self.params.m;
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
                 collector.offer(*vp1 as usize, dq1);
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
                 let saved = path.len();
@@ -187,8 +284,12 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                     path.push(dq2);
                 }
                 // Order children by lower bound, then recurse while the
-                // bound beats the (shrinking) k-th best distance.
-                let mut order: Vec<(f64, NodeId)> = Vec::with_capacity(m * m);
+                // bound beats the (shrinking) k-th best distance. Each
+                // entry carries which vantage point produced the larger
+                // bound so abandoned children can be attributed; the sort
+                // compares only the bound, so the extra field does not
+                // perturb the visit order.
+                let mut order: Vec<(f64, NodeId, PruneReason)> = Vec::with_capacity(m * m);
                 for i in 0..m {
                     let (lo1, hi1) = shell(cutoffs1, i);
                     let b1 = shell_bound(dq1, lo1, hi1);
@@ -197,16 +298,30 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                             continue;
                         };
                         let (lo2, hi2) = shell(&cutoffs2[i], j);
-                        let bound = b1.max(shell_bound(dq2, lo2, hi2));
-                        order.push((bound, child));
+                        let b2 = shell_bound(dq2, lo2, hi2);
+                        let reason = if b1 >= b2 {
+                            PruneReason::FirstShell
+                        } else {
+                            PruneReason::SecondShell
+                        };
+                        order.push((b1.max(b2), child, reason));
                     }
                 }
                 order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-                for (bound, child) in order {
+                let mut abandoned = None;
+                for (pos, &(bound, child, _)) in order.iter().enumerate() {
                     if bound > collector.radius() {
+                        abandoned = Some(pos);
                         break;
                     }
-                    self.knn_node(child, query, collector, path);
+                    self.knn_node(child, query, level + 1, collector, path, sink);
+                }
+                if S::ENABLED {
+                    if let Some(pos) = abandoned {
+                        for &(bound, _, reason) in &order[pos..] {
+                            sink.prune(level + 1, reason, bound);
+                        }
+                    }
                 }
                 path.truncate(saved);
             }

@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::util::OrdF64;
 use vantage_core::{KnnCollector, Metric, Neighbor};
 
@@ -19,17 +20,41 @@ impl<T, M: Metric<T>> VpTree<T, M> {
     /// point) is visited iff `d − r ≤ hi_i` and `d + r ≥ lo_i`. The
     /// Appendix proves both directions from the triangle inequality.
     pub(crate) fn range_search(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        self.range_traced(query, radius, &mut NoTrace)
+    }
+
+    /// [`range`](vantage_core::MetricIndex::range) with instrumentation:
+    /// reports every vantage/candidate distance, every shell prune (with
+    /// its triangle-inequality bound) and the per-level fanout into
+    /// `sink`. Answers and distance computations are identical to the
+    /// untraced method — with [`NoTrace`] the sink calls compile away.
+    pub fn range_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
         let mut out = Vec::new();
         if let Some(root) = self.root {
-            self.range_node(root, query, radius, &mut out);
+            self.range_node(root, query, radius, 0, sink, &mut out);
         }
         out
     }
 
-    fn range_node(&self, node: NodeId, query: &T, radius: f64, out: &mut Vec<Neighbor>) {
+    fn range_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: f64,
+        level: u32,
+        sink: &mut S,
+        out: &mut Vec<Neighbor>,
+    ) {
         match self.node(node) {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric.distance(query, &self.items[id as usize]);
                     if d <= radius {
                         out.push(Neighbor::new(id as usize, d));
@@ -41,6 +66,8 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 cutoffs,
                 children,
             } => {
+                sink.enter_node(level, false);
+                sink.distance(DistanceRole::Vantage);
                 let d = self.metric.distance(query, &self.items[*vantage as usize]);
                 if d <= radius {
                     out.push(Neighbor::new(*vantage as usize, d));
@@ -54,7 +81,9 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                         cutoffs[i]
                     };
                     if d - radius <= hi && d + radius >= lo {
-                        self.range_node(*child, query, radius, out);
+                        self.range_node(*child, query, radius, level + 1, sink, out);
+                    } else if S::ENABLED {
+                        sink.prune(level + 1, PruneReason::FirstShell, (d - hi).max(lo - d));
                     }
                 }
             }
@@ -70,19 +99,38 @@ impl<T, M: Metric<T>> VpTree<T, M> {
     /// radius reduction of nearest-neighbor search to range search
     /// (\[Chi94\], paper §3.2).
     pub(crate) fn knn_search(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        self.knn_traced(query, k, &mut NoTrace)
+    }
+
+    /// [`knn`](vantage_core::MetricIndex::knn) with instrumentation; see
+    /// [`range_traced`](VpTree::range_traced). Subtrees abandoned by the
+    /// best-first early exit are reported as [`PruneReason::FirstShell`]
+    /// prunes with the shell bound that kept them queued.
+    pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KnnCollector::new(k);
-        let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
+        // The heap carries each subtree's depth alongside its bound; the
+        // ordering is unchanged (NodeIds are unique, so the depth field
+        // never participates in a comparison).
+        let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId, u32)>> = BinaryHeap::new();
         if let Some(root) = self.root {
-            heap.push(Reverse((OrdF64(0.0), root)));
+            heap.push(Reverse((OrdF64(0.0), root, 0)));
         }
-        while let Some(Reverse((OrdF64(bound), node))) = heap.pop() {
+        while let Some(Reverse((OrdF64(bound), node, level))) = heap.pop() {
             if bound > collector.radius() {
                 // Every remaining entry has an even larger bound.
+                if S::ENABLED {
+                    sink.prune(level, PruneReason::FirstShell, bound);
+                    for Reverse((OrdF64(b), _, l)) in heap.drain() {
+                        sink.prune(l, PruneReason::FirstShell, b);
+                    }
+                }
                 break;
             }
             match self.node(node) {
                 Node::Leaf { items } => {
+                    sink.enter_node(level, true);
                     for &id in items {
+                        sink.distance(DistanceRole::Candidate);
                         let d = self.metric.distance(query, &self.items[id as usize]);
                         collector.offer(id as usize, d);
                     }
@@ -92,6 +140,8 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                     cutoffs,
                     children,
                 } => {
+                    sink.enter_node(level, false);
+                    sink.distance(DistanceRole::Vantage);
                     let d = self.metric.distance(query, &self.items[*vantage as usize]);
                     collector.offer(*vantage as usize, d);
                     for (i, child) in children.iter().enumerate() {
@@ -104,7 +154,9 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                         };
                         let child_bound = (d - hi).max(lo - d).max(0.0);
                         if child_bound <= collector.radius() {
-                            heap.push(Reverse((OrdF64(child_bound), *child)));
+                            heap.push(Reverse((OrdF64(child_bound), *child, level + 1)));
+                        } else if S::ENABLED {
+                            sink.prune(level + 1, PruneReason::FirstShell, child_bound);
                         }
                     }
                 }

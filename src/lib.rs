@@ -73,8 +73,9 @@ pub use vantage_baselines::{
     Aesa, BkTree, FqTree, FqTreeParams, GhTree, GhTreeParams, Gnat, GnatParams, Laesa, TwoStage,
 };
 pub use vantage_core::{
-    BatchIndex, Counted, DiscreteMetric, DistanceHistogram, KnnCollector, LinearScan, Metric,
-    MetricIndex, Neighbor, Result, Threads, VantageError, VantageSelector,
+    BatchIndex, BoundStats, Counted, DiscreteMetric, DistanceHistogram, DistanceRole, KnnCollector,
+    LevelStats, LinearScan, Metric, MetricIndex, Neighbor, NoTrace, PruneReason, QueryProfile,
+    Result, SearchProfiler, Threads, TraceSink, VantageError, VantageSelector,
 };
 pub use vantage_mvptree::{DynamicMvpTree, MvpParams, MvpTree, MvpTreeStats, SecondVantage};
 pub use vantage_vptree::{VpTree, VpTreeParams, VpTreeStats};

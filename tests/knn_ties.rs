@@ -1,0 +1,202 @@
+//! kNN tie handling: when the k-th and (k+1)-th nearest neighbors are
+//! exactly equidistant, any distance-equivalent answer set is valid — but
+//! every index must return *some* valid set: exactly `k` answers, the
+//! right distance multiset, honest per-answer distances, and every point
+//! strictly closer than the tie included.
+
+use vantage::prelude::*;
+
+type NamedIndexes = Vec<(&'static str, Box<dyn MetricIndex<Vec<f64>>>)>;
+
+/// A dataset engineered for exact distance ties under L2: Pythagorean
+/// points at distance exactly 5 from the origin in 12 directions, plus
+/// strictly closer points (distances 1 and 2) and strictly farther ones.
+/// All coordinates are small integers, so the distances are exact in
+/// floating point — the ties are bit-exact, not approximate.
+fn tie_dataset() -> Vec<Vec<f64>> {
+    let mut pts: Vec<Vec<f64>> = vec![
+        vec![1.0, 0.0],  // d = 1
+        vec![0.0, -2.0], // d = 2
+    ];
+    // 12 points at d = 5: (±3, ±4), (±4, ±3), (±5, 0), (0, ±5).
+    for (x, y) in [
+        (3.0, 4.0),
+        (3.0, -4.0),
+        (-3.0, 4.0),
+        (-3.0, -4.0),
+        (4.0, 3.0),
+        (4.0, -3.0),
+        (-4.0, 3.0),
+        (-4.0, -3.0),
+        (5.0, 0.0),
+        (-5.0, 0.0),
+        (0.0, 5.0),
+        (0.0, -5.0),
+    ] {
+        pts.push(vec![x, y]);
+    }
+    // Strictly farther points.
+    for (x, y) in [(6.0, 8.0), (-6.0, 8.0), (12.0, 0.0), (0.0, -13.0)] {
+        pts.push(vec![x, y]);
+    }
+    pts
+}
+
+fn indexes(points: &[Vec<f64>]) -> NamedIndexes {
+    vec![
+        (
+            "linear",
+            Box::new(LinearScan::new(points.to_vec(), Euclidean)),
+        ),
+        (
+            "vpt(2)",
+            Box::new(
+                VpTree::build(points.to_vec(), Euclidean, VpTreeParams::binary().seed(3)).unwrap(),
+            ),
+        ),
+        (
+            "vpt(3)",
+            Box::new(
+                VpTree::build(
+                    points.to_vec(),
+                    Euclidean,
+                    VpTreeParams::with_order(3).leaf_capacity(3).seed(4),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "mvpt(2,5,2)",
+            Box::new(
+                MvpTree::build(
+                    points.to_vec(),
+                    Euclidean,
+                    MvpParams::paper(2, 5, 2).seed(5),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "mvpt(3,4,3)",
+            Box::new(
+                MvpTree::build(
+                    points.to_vec(),
+                    Euclidean,
+                    MvpParams::paper(3, 4, 3).seed(6),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "gh-tree",
+            Box::new(GhTree::build(points.to_vec(), Euclidean, GhTreeParams::default()).unwrap()),
+        ),
+        (
+            "gnat",
+            Box::new(Gnat::build(points.to_vec(), Euclidean, GnatParams::default()).unwrap()),
+        ),
+        (
+            "fq-tree",
+            Box::new(FqTree::build(points.to_vec(), Euclidean, FqTreeParams::default()).unwrap()),
+        ),
+        (
+            "laesa(3)",
+            Box::new(Laesa::build(points.to_vec(), Euclidean, 3).unwrap()),
+        ),
+        ("aesa", Box::new(Aesa::build(points.to_vec(), Euclidean))),
+    ]
+}
+
+fn exact_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[test]
+fn every_index_returns_a_valid_answer_set_at_the_tie_boundary() {
+    let points = tie_dataset();
+    let query = vec![0.0, 0.0];
+    let oracle = LinearScan::new(points.clone(), Euclidean);
+
+    // k values that cut *through* the 12-way tie at distance 5: with 2
+    // closer points, the k-th and (k+1)-th neighbors are equidistant for
+    // every k in 3..=13.
+    for k in [3, 5, 8, 13] {
+        let want = oracle.knn(&query, k);
+        let want_distances: Vec<f64> = want.iter().map(|n| n.distance).collect();
+        // Sanity: this workload really does tie at the boundary.
+        assert_eq!(want_distances[k - 1], 5.0);
+        assert_eq!(want_distances[2], 5.0);
+
+        for (name, index) in &indexes(&points) {
+            let got = index.knn(&query, k);
+            assert_eq!(got.len(), k, "{name} returned wrong count at k={k}");
+            // Distance multiset must match the oracle exactly (sorted
+            // output, bit-exact integer-coordinate distances).
+            let got_distances: Vec<f64> = got.iter().map(|n| n.distance).collect();
+            assert_eq!(
+                got_distances, want_distances,
+                "{name} distance multiset differs at k={k}"
+            );
+            // Each reported (id, distance) pair must be honest…
+            let mut seen = std::collections::HashSet::new();
+            for n in &got {
+                assert!(seen.insert(n.id), "{name} returned id {} twice", n.id);
+                let true_d = exact_distance(&query, &points[n.id]);
+                assert_eq!(n.distance, true_d, "{name} lied about id {}", n.id);
+            }
+            // …and everything strictly closer than the tie must be there.
+            for (id, p) in points.iter().enumerate() {
+                if exact_distance(&query, p) < 5.0 {
+                    assert!(
+                        seen.contains(&id),
+                        "{name} dropped strictly-closer id {id} at k={k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tie_sets_are_valid_for_every_index_under_edit_distance() {
+    // Levenshtein ties are pervasive: every single-substitution variant
+    // of "cat" is at distance 1. k cuts through that tie.
+    let words: Vec<String> = [
+        "cat", "bat", "hat", "rat", "mat", "car", "cot", "cut", "dog", "dig", "doge", "catalog",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let query = "cat".to_string();
+    let oracle = LinearScan::new(words.clone(), Levenshtein);
+    let bk = BkTree::build(words.clone(), Levenshtein);
+    let vp = VpTree::build(words.clone(), Levenshtein, VpTreeParams::binary().seed(1)).unwrap();
+    let mvp = MvpTree::build(
+        words.clone(),
+        Levenshtein,
+        MvpParams::paper(2, 4, 2).seed(2),
+    )
+    .unwrap();
+
+    for k in [2, 4, 6] {
+        let want: Vec<f64> = oracle.knn(&query, k).iter().map(|n| n.distance).collect();
+        // The boundary must actually tie (7 words at distance ≤ 1).
+        assert_eq!(want[k - 1], 1.0);
+        for (name, got) in [
+            ("bk", bk.knn(&query, k)),
+            ("vp", vp.knn(&query, k)),
+            ("mvp", mvp.knn(&query, k)),
+        ] {
+            let got_d: Vec<f64> = got.iter().map(|n| n.distance).collect();
+            assert_eq!(got_d, want, "{name} distance multiset differs at k={k}");
+            for n in &got {
+                let true_d = Levenshtein.distance(&query, &words[n.id]);
+                assert_eq!(n.distance, true_d, "{name} lied about id {}", n.id);
+            }
+        }
+    }
+}

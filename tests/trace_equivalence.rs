@@ -1,0 +1,251 @@
+//! Tracing must be observation-only: with any sink attached, a search
+//! returns bit-identical answers and performs bit-identical distance
+//! computations ([`Counted`] totals) compared to the untraced path, and
+//! the [`QueryProfile`] role counts partition the [`Counted`] total
+//! exactly.
+
+use vantage::prelude::*;
+use vantage_datasets::uniform_vectors;
+
+const RADII: [f64; 4] = [0.0, 0.3, 0.7, 2.0];
+const KS: [usize; 4] = [1, 5, 40, 500];
+
+fn queries() -> Vec<Vec<f64>> {
+    uniform_vectors(6, 8, 2)
+}
+
+/// Runs every (query, radius/k) workload twice — untraced through the
+/// `MetricIndex` methods, traced into a fresh [`QueryProfile`] — and
+/// checks answers, `Counted` totals and the role-sum identity.
+fn assert_equivalent<I, R, K>(name: &str, probe: &Counted<Euclidean>, index: &I, run: (R, K))
+where
+    I: MetricIndex<Vec<f64>>,
+    R: Fn(&I, &Vec<f64>, f64, &mut QueryProfile) -> Vec<Neighbor>,
+    K: Fn(&I, &Vec<f64>, usize, &mut QueryProfile) -> Vec<Neighbor>,
+{
+    let (range_traced, knn_traced) = run;
+    for q in &queries() {
+        for r in RADII {
+            probe.reset();
+            let untraced = index.range(q, r);
+            let untraced_cost = probe.take();
+
+            let mut profile = QueryProfile::new();
+            let traced = range_traced(index, q, r, &mut profile);
+            let traced_cost = probe.take();
+
+            assert_eq!(untraced, traced, "{name} range answers differ at r={r}");
+            assert_eq!(
+                untraced_cost, traced_cost,
+                "{name} range cost differs at r={r}"
+            );
+            assert_eq!(
+                profile.total_distances(),
+                traced_cost,
+                "{name} profile total != Counted total at r={r}"
+            );
+            assert_eq!(
+                profile.distances(DistanceRole::Vantage)
+                    + profile.distances(DistanceRole::Candidate),
+                traced_cost,
+                "{name} role counts don't partition the Counted total at r={r}"
+            );
+        }
+        for k in KS {
+            probe.reset();
+            let untraced = index.knn(q, k);
+            let untraced_cost = probe.take();
+
+            let mut profile = QueryProfile::new();
+            let traced = knn_traced(index, q, k, &mut profile);
+            let traced_cost = probe.take();
+
+            assert_eq!(untraced, traced, "{name} knn answers differ at k={k}");
+            assert_eq!(
+                untraced_cost, traced_cost,
+                "{name} knn cost differs at k={k}"
+            );
+            assert_eq!(
+                profile.total_distances(),
+                traced_cost,
+                "{name} knn profile total != Counted total at k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vp_tree_traced_is_bit_identical() {
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let tree = VpTree::build(
+        uniform_vectors(400, 8, 1),
+        metric,
+        VpTreeParams::with_order(3).leaf_capacity(6).seed(7),
+    )
+    .unwrap();
+    assert_equivalent(
+        "vp",
+        &probe,
+        &tree,
+        (
+            |t: &VpTree<_, _>, q: &Vec<f64>, r, sink: &mut QueryProfile| t.range_traced(q, r, sink),
+            |t: &VpTree<_, _>, q: &Vec<f64>, k, sink: &mut QueryProfile| t.knn_traced(q, k, sink),
+        ),
+    );
+}
+
+#[test]
+fn mvp_tree_traced_is_bit_identical() {
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let tree = MvpTree::build(
+        uniform_vectors(400, 8, 1),
+        metric,
+        MvpParams::paper(3, 20, 5).seed(7),
+    )
+    .unwrap();
+    assert_equivalent(
+        "mvp",
+        &probe,
+        &tree,
+        (
+            |t: &MvpTree<_, _>, q: &Vec<f64>, r, sink: &mut QueryProfile| {
+                t.range_traced(q, r, sink)
+            },
+            |t: &MvpTree<_, _>, q: &Vec<f64>, k, sink: &mut QueryProfile| t.knn_traced(q, k, sink),
+        ),
+    );
+}
+
+#[test]
+fn linear_scan_traced_is_bit_identical() {
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let scan = LinearScan::new(uniform_vectors(400, 8, 1), metric);
+    assert_equivalent(
+        "linear",
+        &probe,
+        &scan,
+        (
+            |s: &LinearScan<_, _>, q: &Vec<f64>, r, sink: &mut QueryProfile| {
+                s.range_traced(q, r, sink)
+            },
+            |s: &LinearScan<_, _>, q: &Vec<f64>, k, sink: &mut QueryProfile| {
+                s.knn_traced(q, k, sink)
+            },
+        ),
+    );
+}
+
+#[test]
+fn baseline_trees_traced_are_bit_identical() {
+    let points = uniform_vectors(400, 8, 1);
+    {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let gh = GhTree::build(points.clone(), metric, GhTreeParams::default()).unwrap();
+        assert_equivalent(
+            "gh",
+            &probe,
+            &gh,
+            (
+                |t: &GhTree<_, _>, q: &Vec<f64>, r, sink: &mut QueryProfile| {
+                    t.range_traced(q, r, sink)
+                },
+                |t: &GhTree<_, _>, q: &Vec<f64>, k, sink: &mut QueryProfile| {
+                    t.knn_traced(q, k, sink)
+                },
+            ),
+        );
+    }
+    {
+        let metric = Counted::new(Euclidean);
+        let probe = metric.clone();
+        let gnat = Gnat::build(points, metric, GnatParams::default()).unwrap();
+        assert_equivalent(
+            "gnat",
+            &probe,
+            &gnat,
+            (
+                |t: &Gnat<_, _>, q: &Vec<f64>, r, sink: &mut QueryProfile| {
+                    t.range_traced(q, r, sink)
+                },
+                |t: &Gnat<_, _>, q: &Vec<f64>, k, sink: &mut QueryProfile| t.knn_traced(q, k, sink),
+            ),
+        );
+    }
+}
+
+#[test]
+fn bk_tree_traced_is_bit_identical() {
+    let words = vantage_datasets::perturbed_words(80, 9, 3, 4);
+    let metric = Counted::new(Levenshtein);
+    let probe = metric.clone();
+    let bk = BkTree::build(words, metric);
+    for q in ["hello", "", "zzzzzzzzzz"] {
+        let q = q.to_string();
+        for r in [0.0, 1.0, 3.0, 20.0] {
+            probe.reset();
+            let untraced = bk.range(&q, r);
+            let untraced_cost = probe.take();
+            let mut profile = QueryProfile::new();
+            let traced = bk.range_traced(&q, r, &mut profile);
+            assert_eq!(untraced, traced, "bk range answers differ at r={r}");
+            assert_eq!(profile.total_distances(), probe.take());
+            assert_eq!(profile.total_distances(), untraced_cost);
+        }
+        for k in [1, 7, 200] {
+            probe.reset();
+            let untraced = bk.knn(&q, k);
+            let untraced_cost = probe.take();
+            let mut profile = QueryProfile::new();
+            let traced = bk.knn_traced(&q, k, &mut profile);
+            assert_eq!(untraced, traced, "bk knn answers differ at k={k}");
+            assert_eq!(profile.total_distances(), probe.take());
+            assert_eq!(profile.total_distances(), untraced_cost);
+        }
+    }
+}
+
+#[test]
+fn profiles_see_pruning_on_selective_queries() {
+    // A selective query on a real tree must show both savings mechanisms.
+    let points = uniform_vectors(600, 8, 11);
+    let tree = MvpTree::build(
+        points.clone(),
+        Euclidean,
+        MvpParams::paper(3, 40, 5).seed(1),
+    )
+    .unwrap();
+    let mut profile = QueryProfile::new();
+    tree.range_traced(&points[17], 0.05, &mut profile);
+    assert!(profile.nodes_visited() > 0);
+    assert!(profile.subtrees_pruned() > 0, "no subtree was pruned");
+    assert!(
+        profile.candidates_rejected() > 0,
+        "no leaf candidate was filtered"
+    );
+    assert!(profile.total_distances() < points.len() as u64);
+    // Per-level fanout: level 0 is the root, visited exactly once, and
+    // the per-level visit counts partition the node total.
+    assert_eq!(profile.levels()[0].visited, 1);
+    let by_level: u64 = profile.levels().iter().map(|l| l.visited).sum();
+    assert_eq!(by_level, profile.nodes_visited());
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn trace_feature_captures_individual_events() {
+    let points = uniform_vectors(300, 8, 5);
+    let tree = VpTree::build(points.clone(), Euclidean, VpTreeParams::binary().seed(2)).unwrap();
+    let mut profile = QueryProfile::new();
+    tree.range_traced(&points[3], 0.1, &mut profile);
+    let events = profile.events();
+    assert!(!events.is_empty());
+    let subtree_events = events.iter().filter(|e| e.subtree).count() as u64;
+    assert_eq!(subtree_events, profile.subtrees_pruned());
+    for e in events {
+        assert!(!e.bound.is_nan());
+    }
+}
