@@ -12,7 +12,7 @@
 //! buckets `c` with `|d(q, t) − c| ≤ r` — the triangle inequality again.
 
 use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
-use vantage_core::{DiscreteMetric, KnnCollector, MetricIndex, Neighbor};
+use vantage_core::{BoundedMetric, DiscreteMetric, KnnCollector, MetricIndex, Neighbor};
 
 type NodeId = u32;
 
@@ -93,7 +93,9 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
     pub fn items(&self) -> &[T] {
         &self.items
     }
+}
 
+impl<T, M: DiscreteMetric<T> + BoundedMetric<T>> BkTree<T, M> {
     /// [`range`](MetricIndex::range) with instrumentation: reports every
     /// node distance (role [`DistanceRole::Vantage`], since each BK-tree
     /// node routes by its own exact distance), every child bucket skipped
@@ -143,6 +145,23 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
         let n = &self.nodes[node as usize];
         sink.enter_node(level, n.children.is_empty());
         sink.distance(DistanceRole::Vantage);
+        if n.children.is_empty() {
+            // A childless node's distance routes no traversal — it is a
+            // pure candidate check, so the bounded kernel applies.
+            match self.metric.distance_within_frac(
+                query,
+                &self.items[n.item as usize],
+                radius as f64,
+            ) {
+                (Some(d), _) => out.push(Neighbor::new(n.item as usize, d)),
+                (None, work) => {
+                    if S::ENABLED {
+                        sink.abandon(DistanceRole::Vantage, work);
+                    }
+                }
+            }
+            return;
+        }
         let d = self.metric.distance_u(query, &self.items[n.item as usize]);
         if d <= radius {
             out.push(Neighbor::new(n.item as usize, d as f64));
@@ -187,6 +206,26 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
         let n = &self.nodes[node as usize];
         sink.enter_node(level, n.children.is_empty());
         sink.distance(DistanceRole::Vantage);
+        if n.children.is_empty() {
+            // `offer` only admits strictly closer candidates, so a
+            // candidate abandoned at the current radius could never have
+            // been accepted; skipping it is bit-identical.
+            match self.metric.distance_within_frac(
+                query,
+                &self.items[n.item as usize],
+                collector.radius(),
+            ) {
+                (Some(d), _) => {
+                    collector.offer(n.item as usize, d);
+                }
+                (None, work) => {
+                    if S::ENABLED {
+                        sink.abandon(DistanceRole::Vantage, work);
+                    }
+                }
+            }
+            return;
+        }
         let d = self.metric.distance_u(query, &self.items[n.item as usize]);
         collector.offer(n.item as usize, d as f64);
         // Visit children in order of |key − d| (best lower bound first).
@@ -214,7 +253,7 @@ impl<T, M: DiscreteMetric<T>> BkTree<T, M> {
     }
 }
 
-impl<T, M: DiscreteMetric<T>> MetricIndex<T> for BkTree<T, M> {
+impl<T, M: DiscreteMetric<T> + BoundedMetric<T>> MetricIndex<T> for BkTree<T, M> {
     fn len(&self) -> usize {
         self.items.len()
     }

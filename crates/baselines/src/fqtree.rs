@@ -22,7 +22,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use vantage_core::util::split_into_quantiles;
-use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError};
+use vantage_core::{
+    BoundedMetric, KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError,
+};
 
 type NodeId = u32;
 
@@ -209,7 +211,9 @@ impl<T, M: Metric<T>> FqTree<T, M> {
         *slot = Some(d);
         d
     }
+}
 
+impl<T, M: BoundedMetric<T>> FqTree<T, M> {
     fn range_node(
         &self,
         node: NodeId,
@@ -221,8 +225,10 @@ impl<T, M: Metric<T>> FqTree<T, M> {
         match &self.nodes[node as usize] {
             Node::Leaf { items } => {
                 for &id in items {
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    if d <= radius {
+                    if let Some(d) =
+                        self.metric
+                            .distance_within(query, &self.items[id as usize], radius)
+                    {
                         out.push(Neighbor::new(id as usize, d));
                     }
                 }
@@ -259,8 +265,16 @@ impl<T, M: Metric<T>> FqTree<T, M> {
         match &self.nodes[node as usize] {
             Node::Leaf { items } => {
                 for &id in items {
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    collector.offer(id as usize, d);
+                    // `offer` only admits strictly closer candidates, so a
+                    // candidate abandoned at the current radius could never
+                    // have been accepted; skipping it is bit-identical.
+                    if let Some(d) = self.metric.distance_within(
+                        query,
+                        &self.items[id as usize],
+                        collector.radius(),
+                    ) {
+                        collector.offer(id as usize, d);
+                    }
                 }
             }
             Node::Internal {
@@ -296,7 +310,7 @@ impl<T, M: Metric<T>> FqTree<T, M> {
     }
 }
 
-impl<T, M: Metric<T>> MetricIndex<T> for FqTree<T, M> {
+impl<T, M: BoundedMetric<T>> MetricIndex<T> for FqTree<T, M> {
     fn len(&self) -> usize {
         self.items.len()
     }

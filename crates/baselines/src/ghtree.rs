@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
-use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError};
+use vantage_core::{
+    BoundedMetric, KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError,
+};
 
 type NodeId = u32;
 
@@ -157,7 +159,9 @@ impl<T, M: Metric<T>> GhTree<T, M> {
         self.nodes.push(node);
         id
     }
+}
 
+impl<T, M: BoundedMetric<T>> GhTree<T, M> {
     /// [`range`](MetricIndex::range) with instrumentation: reports pivot
     /// and candidate distances, hyperplane prunes (with the bound
     /// `(d_far − d_near)/2` that justified them) and per-level fanout
@@ -202,9 +206,16 @@ impl<T, M: Metric<T>> GhTree<T, M> {
                 sink.enter_node(level, true);
                 for &id in items {
                     sink.distance(DistanceRole::Candidate);
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    if d <= radius {
-                        out.push(Neighbor::new(id as usize, d));
+                    match self
+                        .metric
+                        .distance_within_frac(query, &self.items[id as usize], radius)
+                    {
+                        (Some(d), _) => out.push(Neighbor::new(id as usize, d)),
+                        (None, work) => {
+                            if S::ENABLED {
+                                sink.abandon(DistanceRole::Candidate, work);
+                            }
+                        }
                     }
                 }
             }
@@ -256,8 +267,23 @@ impl<T, M: Metric<T>> GhTree<T, M> {
                 sink.enter_node(level, true);
                 for &id in items {
                     sink.distance(DistanceRole::Candidate);
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    collector.offer(id as usize, d);
+                    // Bounded by the current k-th best distance: an
+                    // abandoned candidate is one the collector's strict
+                    // `<` would have discarded.
+                    match self.metric.distance_within_frac(
+                        query,
+                        &self.items[id as usize],
+                        collector.radius(),
+                    ) {
+                        (Some(d), _) => {
+                            collector.offer(id as usize, d);
+                        }
+                        (None, work) => {
+                            if S::ENABLED {
+                                sink.abandon(DistanceRole::Candidate, work);
+                            }
+                        }
+                    }
                 }
             }
             Node::Internal {
@@ -290,7 +316,7 @@ impl<T, M: Metric<T>> GhTree<T, M> {
     }
 }
 
-impl<T, M: Metric<T>> MetricIndex<T> for GhTree<T, M> {
+impl<T, M: BoundedMetric<T>> MetricIndex<T> for GhTree<T, M> {
     fn len(&self) -> usize {
         self.items.len()
     }

@@ -17,7 +17,9 @@ use rand::seq::index::sample;
 use rand::SeedableRng;
 
 use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
-use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError};
+use vantage_core::{
+    BoundedMetric, KnnCollector, Metric, MetricIndex, Neighbor, Result, VantageError,
+};
 
 type NodeId = u32;
 
@@ -213,7 +215,9 @@ impl<T, M: Metric<T>> Gnat<T, M> {
         self.nodes.push(node);
         id
     }
+}
 
+impl<T, M: BoundedMetric<T>> Gnat<T, M> {
     /// [`range`](MetricIndex::range) with instrumentation: reports
     /// split-point and candidate distances, every subtree eliminated by
     /// the range tables (with the bound that ruled it out) and per-level
@@ -258,9 +262,16 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                 sink.enter_node(level, true);
                 for &id in items {
                     sink.distance(DistanceRole::Candidate);
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    if d <= radius {
-                        out.push(Neighbor::new(id as usize, d));
+                    match self
+                        .metric
+                        .distance_within_frac(query, &self.items[id as usize], radius)
+                    {
+                        (Some(d), _) => out.push(Neighbor::new(id as usize, d)),
+                        (None, work) => {
+                            if S::ENABLED {
+                                sink.abandon(DistanceRole::Candidate, work);
+                            }
+                        }
                     }
                 }
             }
@@ -340,8 +351,23 @@ impl<T, M: Metric<T>> Gnat<T, M> {
                 sink.enter_node(level, true);
                 for &id in items {
                     sink.distance(DistanceRole::Candidate);
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    collector.offer(id as usize, d);
+                    // `offer` only admits strictly closer candidates, so a
+                    // candidate abandoned at the current radius could never
+                    // have been accepted; skipping it is bit-identical.
+                    match self.metric.distance_within_frac(
+                        query,
+                        &self.items[id as usize],
+                        collector.radius(),
+                    ) {
+                        (Some(d), _) => {
+                            collector.offer(id as usize, d);
+                        }
+                        (None, work) => {
+                            if S::ENABLED {
+                                sink.abandon(DistanceRole::Candidate, work);
+                            }
+                        }
+                    }
                 }
             }
             Node::Internal {
@@ -396,7 +422,7 @@ impl<T, M: Metric<T>> Gnat<T, M> {
     }
 }
 
-impl<T, M: Metric<T>> MetricIndex<T> for Gnat<T, M> {
+impl<T, M: BoundedMetric<T>> MetricIndex<T> for Gnat<T, M> {
     fn len(&self) -> usize {
         self.items.len()
     }

@@ -22,7 +22,7 @@
 //! `|Σaᵢ − Σbᵢ| ≤ √n · ‖a − b‖₂` (scaled total intensity lower-bounds
 //! L2).
 
-use vantage_core::{Counted, KnnCollector, Metric, MetricIndex, Neighbor, Result};
+use vantage_core::{BoundedMetric, Counted, KnnCollector, Metric, MetricIndex, Neighbor, Result};
 use vantage_mvptree::{MvpParams, MvpTree};
 
 /// A filter-and-refine index: a cheap lower-bounding proxy index over
@@ -42,7 +42,7 @@ pub struct TwoStage<T, P, PM, M> {
 
 impl<T, P, PM, M> TwoStage<T, P, PM, M>
 where
-    PM: Metric<P>,
+    PM: BoundedMetric<P>,
     M: Metric<T>,
 {
     /// Builds the two-stage index: projects every item with `project`,
@@ -174,7 +174,7 @@ where
 
 impl<T, P, PM, M> TwoStage<T, P, PM, Counted<M>>
 where
-    PM: Metric<P>,
+    PM: BoundedMetric<P>,
     M: Metric<T>,
 {
     /// For cost studies: the number of **expensive** metric evaluations

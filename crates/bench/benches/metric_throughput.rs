@@ -43,10 +43,11 @@ fn string_metrics(c: &mut Criterion) {
     });
     group.bench_function("levenshtein_bounded_r2", |bench| {
         bench.iter(|| {
-            black_box(Levenshtein::distance_within(
+            black_box(BoundedMetric::<String>::distance_within(
+                &Levenshtein,
                 black_box(&a),
                 black_box(&b),
-                2,
+                2.0,
             ))
         })
     });

@@ -269,7 +269,7 @@ fn parse_threads(args: &Args<'_>) -> CliResult<Threads> {
     }
 }
 
-fn run_structure_query<T: Clone + Sync + 'static, M: Metric<T> + Clone + Sync + 'static>(
+fn run_structure_query<T: Clone + Sync + 'static, M: BoundedMetric<T> + Clone + Sync + 'static>(
     items: Vec<T>,
     metric: M,
     structure: &str,
@@ -381,7 +381,10 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
 /// Builds the requested structure and runs the query once with a
 /// [`QueryProfile`] attached, returning answers, the `Counted` tally for
 /// the query phase, the dataset size and the profile.
-fn run_structure_explain<T: Clone + Sync + 'static, M: Metric<T> + Clone + Sync + 'static>(
+fn run_structure_explain<
+    T: Clone + Sync + 'static,
+    M: BoundedMetric<T> + Clone + Sync + 'static,
+>(
     items: Vec<T>,
     metric: M,
     structure: &str,
@@ -456,6 +459,16 @@ fn format_profile(profile: &QueryProfile, cost: u64, n: usize, out: &mut String)
         profile.distances(DistanceRole::Candidate),
         100.0 * cost as f64 / n.max(1) as f64
     );
+    if profile.total_abandoned() > 0 {
+        let _ = writeln!(
+            out,
+            "abandoned early:       {} = {} vantage-point + {} leaf-candidate (est. work {:.1} full evaluations)",
+            profile.total_abandoned(),
+            profile.abandoned(DistanceRole::Vantage),
+            profile.abandoned(DistanceRole::Candidate),
+            profile.estimated_work()
+        );
+    }
     let sections = [
         ("subtrees pruned", profile.subtrees_pruned(), true),
         ("candidates rejected", profile.candidates_rejected(), false),

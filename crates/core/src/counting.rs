@@ -9,7 +9,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::metric::{DiscreteMetric, Metric};
+use crate::metric::{BoundedMetric, DiscreteMetric, Metric};
+
+/// Fixed-point scale for accumulating work fractions in an atomic
+/// integer (there are no atomic f64 adds): one full distance evaluation
+/// is `WORK_SCALE` units.
+const WORK_SCALE: f64 = 1_000_000.0;
 
 /// A metric wrapper that counts how many times `distance` is invoked.
 ///
@@ -32,6 +37,8 @@ use crate::metric::{DiscreteMetric, Metric};
 pub struct Counted<M> {
     inner: M,
     counter: Arc<AtomicU64>,
+    abandoned: Arc<AtomicU64>,
+    abandoned_work: Arc<AtomicU64>,
 }
 
 impl<M> Counted<M> {
@@ -40,28 +47,64 @@ impl<M> Counted<M> {
         Counted {
             inner,
             counter: Arc::new(AtomicU64::new(0)),
+            abandoned: Arc::new(AtomicU64::new(0)),
+            abandoned_work: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Number of distance evaluations since construction or the last
     /// [`reset`](Counted::reset).
+    ///
+    /// Matching the paper's cost model, an early-abandoned bounded
+    /// evaluation still counts as **one** evaluation; the separate
+    /// [`abandoned`](Counted::abandoned) tally says how many of the
+    /// counted evaluations were cut short.
     pub fn count(&self) -> u64 {
         self.counter.load(Ordering::Relaxed)
     }
 
-    /// Resets the counter to zero (affects all clones).
-    pub fn reset(&self) {
-        self.counter.store(0, Ordering::Relaxed);
+    /// Number of counted evaluations that were abandoned early by
+    /// [`BoundedMetric::distance_within`] — the bound was provably
+    /// exceeded before the computation finished.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
     }
 
-    /// Returns the counter value and resets it in one step.
+    /// Estimated arithmetic actually performed by the *abandoned*
+    /// evaluations, in units of one full distance computation (e.g. `0.25`
+    /// means the abandoned calls together did a quarter of one full
+    /// evaluation's work). Completed evaluations contribute nothing here;
+    /// the total work estimate is `count() - abandoned() + abandoned_work()`.
+    pub fn abandoned_work(&self) -> f64 {
+        self.abandoned_work.load(Ordering::Relaxed) as f64 / WORK_SCALE
+    }
+
+    /// Resets all counters to zero (affects all clones).
+    pub fn reset(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+        self.abandoned.store(0, Ordering::Relaxed);
+        self.abandoned_work.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the evaluation count and resets all counters in one step.
     pub fn take(&self) -> u64 {
+        self.abandoned.store(0, Ordering::Relaxed);
+        self.abandoned_work.store(0, Ordering::Relaxed);
         self.counter.swap(0, Ordering::Relaxed)
     }
 
     /// The wrapped metric.
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    #[inline]
+    fn record_abandon(&self, work: f64) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+        self.abandoned_work.fetch_add(
+            (work.clamp(0.0, 1.0) * WORK_SCALE) as u64,
+            Ordering::Relaxed,
+        );
     }
 }
 
@@ -70,6 +113,8 @@ impl<M: Clone> Clone for Counted<M> {
         Counted {
             inner: self.inner.clone(),
             counter: Arc::clone(&self.counter),
+            abandoned: Arc::clone(&self.abandoned),
+            abandoned_work: Arc::clone(&self.abandoned_work),
         }
     }
 }
@@ -85,6 +130,23 @@ impl<T: ?Sized, M: DiscreteMetric<T>> DiscreteMetric<T> for Counted<M> {
     fn distance_u(&self, a: &T, b: &T) -> u64 {
         self.counter.fetch_add(1, Ordering::Relaxed);
         self.inner.distance_u(a, b)
+    }
+}
+
+impl<T: ?Sized, M: BoundedMetric<T>> BoundedMetric<T> for Counted<M> {
+    fn distance_within(&self, a: &T, b: &T, bound: f64) -> Option<f64> {
+        self.distance_within_frac(a, b, bound).0
+    }
+
+    fn distance_within_frac(&self, a: &T, b: &T, bound: f64) -> (Option<f64>, f64) {
+        // The paper's cost model charges one computation whether or not
+        // the evaluation runs to completion.
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        let (d, frac) = self.inner.distance_within_frac(a, b, bound);
+        if d.is_none() {
+            self.record_abandon(frac);
+        }
+        (d, frac)
     }
 }
 
@@ -135,5 +197,49 @@ mod tests {
     fn preserves_wrapped_distance() {
         let m = Counted::new(Euclidean);
         assert_eq!(m.distance(&vec![0.0, 0.0], &vec![3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn bounded_evaluation_counts_once() {
+        let m = Counted::new(Euclidean);
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(m.distance_within(&a, &b, 10.0), Some(5.0));
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.abandoned(), 0);
+        assert_eq!(m.abandoned_work(), 0.0);
+    }
+
+    #[test]
+    fn abandoned_evaluation_is_counted_and_tallied() {
+        let m = Counted::new(Euclidean);
+        // Far pair in high dimension: the kernel abandons within the
+        // first few chunks, so the fractional work is small but the
+        // evaluation still costs one distance computation.
+        let a = vec![0.0; 1024];
+        let b = vec![10.0; 1024];
+        assert_eq!(m.distance_within(&a, &b, 1.0), None);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.abandoned(), 1);
+        let work = m.abandoned_work();
+        assert!(work > 0.0 && work < 0.5, "work fraction {work}");
+    }
+
+    #[test]
+    fn clones_share_abandon_tallies_and_reset_clears_them() {
+        let m = Counted::new(Euclidean);
+        let probe = m.clone();
+        let a = vec![0.0; 64];
+        let b = vec![10.0; 64];
+        m.distance_within(&a, &b, 1.0);
+        assert_eq!(probe.abandoned(), 1);
+        assert!(probe.abandoned_work() > 0.0);
+        probe.reset();
+        assert_eq!(m.abandoned(), 0);
+        assert_eq!(m.abandoned_work(), 0.0);
+        m.distance_within(&a, &b, 1.0);
+        assert_eq!(m.take(), 1);
+        assert_eq!(m.abandoned(), 0);
+        assert_eq!(m.abandoned_work(), 0.0);
     }
 }

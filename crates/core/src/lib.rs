@@ -13,7 +13,9 @@
 //!
 //! This crate provides:
 //!
-//! * the [`Metric`] and [`DiscreteMetric`] traits ([`metric`]);
+//! * the [`Metric`], [`DiscreteMetric`] and [`BoundedMetric`] traits
+//!   ([`metric`]) — the latter the early-abandoning bounded-distance
+//!   kernel layer every search hot path verifies candidates through;
 //! * a library of concrete metrics: Minkowski/Lp norms, weighted Lp,
 //!   Levenshtein edit distance, Hamming distance, gray-level image L1/L2
 //!   with the paper's normalizations, and histogram distances
@@ -74,7 +76,7 @@ pub use farthest::{FarthestIndex, KfnCollector};
 pub use index::{BatchIndex, MetricIndex};
 pub use knn::KnnCollector;
 pub use linear::LinearScan;
-pub use metric::{DiscreteMetric, Metric};
+pub use metric::{BoundedMetric, DiscreteMetric, Metric};
 pub use parallel::Threads;
 pub use query::Neighbor;
 pub use select::VantageSelector;
@@ -92,7 +94,7 @@ pub mod prelude {
     pub use crate::index::{BatchIndex, MetricIndex};
     pub use crate::knn::KnnCollector;
     pub use crate::linear::LinearScan;
-    pub use crate::metric::{DiscreteMetric, Metric};
+    pub use crate::metric::{BoundedMetric, DiscreteMetric, Metric};
     pub use crate::metrics::angular::Angular;
     pub use crate::metrics::edit::Levenshtein;
     pub use crate::metrics::hamming::Hamming;

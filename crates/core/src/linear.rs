@@ -5,9 +5,9 @@
 
 use crate::index::MetricIndex;
 use crate::knn::KnnCollector;
-use crate::metric::Metric;
+use crate::metric::BoundedMetric;
 use crate::query::Neighbor;
-use crate::trace::{DistanceRole, TraceSink};
+use crate::trace::{DistanceRole, NoTrace, TraceSink};
 
 /// A brute-force index that evaluates the metric against every object.
 ///
@@ -20,7 +20,7 @@ pub struct LinearScan<T, M> {
     metric: M,
 }
 
-impl<T, M: Metric<T>> LinearScan<T, M> {
+impl<T, M> LinearScan<T, M> {
     /// Builds a linear-scan "index" over `items`. No distance computations
     /// are performed at construction time.
     pub fn new(items: Vec<T>, metric: M) -> Self {
@@ -41,10 +41,18 @@ impl<T, M: Metric<T>> LinearScan<T, M> {
     pub fn into_items(self) -> Vec<T> {
         self.items
     }
+}
 
+impl<T, M: BoundedMetric<T>> LinearScan<T, M> {
     /// [`range`](MetricIndex::range) with instrumentation: every scanned
     /// object reports one [`DistanceRole::Candidate`] computation into
     /// `sink`. Answers are identical to the untraced method.
+    ///
+    /// Each object is verified through the bounded kernel
+    /// ([`BoundedMetric::distance_within_frac`]) with the query radius as
+    /// the bound, so far-away objects are abandoned early; results are
+    /// bit-identical to the full computation because the kernel only
+    /// refuses distances that provably exceed the radius.
     pub fn range_traced<S: TraceSink>(
         &self,
         query: &T,
@@ -59,14 +67,25 @@ impl<T, M: Metric<T>> LinearScan<T, M> {
             .enumerate()
             .filter_map(|(id, item)| {
                 sink.distance(DistanceRole::Candidate);
-                let d = self.metric.distance(query, item);
-                (d <= radius).then_some(Neighbor::new(id, d))
+                match self.metric.distance_within_frac(query, item, radius) {
+                    (Some(d), _) => Some(Neighbor::new(id, d)),
+                    (None, work) => {
+                        if S::ENABLED {
+                            sink.abandon(DistanceRole::Candidate, work);
+                        }
+                        None
+                    }
+                }
             })
             .collect()
     }
 
     /// [`knn`](MetricIndex::knn) with instrumentation; see
-    /// [`range_traced`](LinearScan::range_traced).
+    /// [`range_traced`](LinearScan::range_traced). The bounded kernel's
+    /// threshold is the collector's current pruning radius (the k-th best
+    /// distance, `+∞` until `k` neighbors are held), so skipping abandoned
+    /// candidates never changes the answer: the collector's strict `<`
+    /// comparison would have discarded them anyway.
     pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         if !self.items.is_empty() {
             sink.enter_node(0, true);
@@ -74,13 +93,25 @@ impl<T, M: Metric<T>> LinearScan<T, M> {
         let mut collector = KnnCollector::new(k);
         for (id, item) in self.items.iter().enumerate() {
             sink.distance(DistanceRole::Candidate);
-            collector.offer(id, self.metric.distance(query, item));
+            match self
+                .metric
+                .distance_within_frac(query, item, collector.radius())
+            {
+                (Some(d), _) => {
+                    collector.offer(id, d);
+                }
+                (None, work) => {
+                    if S::ENABLED {
+                        sink.abandon(DistanceRole::Candidate, work);
+                    }
+                }
+            }
         }
         collector.into_sorted()
     }
 }
 
-impl<T, M: Metric<T>> MetricIndex<T> for LinearScan<T, M> {
+impl<T, M: BoundedMetric<T>> MetricIndex<T> for LinearScan<T, M> {
     fn len(&self) -> usize {
         self.items.len()
     }
@@ -90,22 +121,11 @@ impl<T, M: Metric<T>> MetricIndex<T> for LinearScan<T, M> {
     }
 
     fn range(&self, query: &T, radius: f64) -> Vec<Neighbor> {
-        self.items
-            .iter()
-            .enumerate()
-            .filter_map(|(id, item)| {
-                let d = self.metric.distance(query, item);
-                (d <= radius).then_some(Neighbor::new(id, d))
-            })
-            .collect()
+        self.range_traced(query, radius, &mut NoTrace)
     }
 
     fn knn(&self, query: &T, k: usize) -> Vec<Neighbor> {
-        let mut collector = KnnCollector::new(k);
-        for (id, item) in self.items.iter().enumerate() {
-            collector.offer(id, self.metric.distance(query, item));
-        }
-        collector.into_sorted()
+        self.knn_traced(query, k, &mut NoTrace)
     }
 }
 

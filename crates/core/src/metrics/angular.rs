@@ -13,7 +13,7 @@
 //! lies in `[0, π]`, so `d(x, y) ≤ π ≤ d(x, 0) + d(0, y)` and
 //! `d(x, 0) = π/2 ≤ d(x, y) + d(y, 0)` always hold.
 
-use crate::metric::Metric;
+use crate::metric::{BoundedMetric, Metric};
 
 /// Angular (arc-cosine) distance between real vectors, in radians.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +59,12 @@ impl Metric<Vec<f64>> for Angular {
         Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
     }
 }
+
+// The angle is a function of the *complete* dot product and norms — a
+// partial prefix gives no lower bound on the final angle — so there is no
+// abandoning kernel; the trait's full-compute fallback applies.
+impl BoundedMetric<[f64]> for Angular {}
+impl BoundedMetric<Vec<f64>> for Angular {}
 
 #[cfg(test)]
 mod tests {

@@ -12,8 +12,9 @@
 //! distance-preserving-ish proxy for pixel distance — the QBIC-style
 //! two-stage filtering discussed in paper §3.1.
 
-use crate::metric::Metric;
+use crate::metric::{BoundedMetric, Metric};
 use crate::metrics::image::GrayImage;
+use crate::metrics::kernels;
 
 /// A 256-bin intensity histogram.
 pub type GrayHistogram = [u32; 256];
@@ -64,13 +65,31 @@ impl Default for HistogramL1 {
 }
 
 impl Metric<GrayHistogram> for HistogramL1 {
+    #[inline]
     fn distance(&self, a: &GrayHistogram, b: &GrayHistogram) -> f64 {
-        let sum: u64 = a
-            .iter()
-            .zip(b.iter())
-            .map(|(&x, &y)| u64::from(x.abs_diff(y)))
-            .sum();
-        sum as f64 / self.norm
+        let norm = self.norm;
+        kernels::u32_l1_kernel::<false>(a, b, |sum| sum as f64 / norm, f64::INFINITY)
+            .0
+            .unwrap()
+    }
+}
+
+impl BoundedMetric<GrayHistogram> for HistogramL1 {
+    #[inline]
+    fn distance_within(&self, a: &GrayHistogram, b: &GrayHistogram, bound: f64) -> Option<f64> {
+        let norm = self.norm;
+        kernels::u32_l1_kernel::<true>(a, b, |sum| sum as f64 / norm, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(
+        &self,
+        a: &GrayHistogram,
+        b: &GrayHistogram,
+        bound: f64,
+    ) -> (Option<f64>, f64) {
+        let norm = self.norm;
+        kernels::u32_l1_kernel::<true>(a, b, |sum| sum as f64 / norm, bound)
     }
 }
 
@@ -104,6 +123,11 @@ impl Metric<GrayImage> for ImageHistogramL1 {
         self.inner.distance(&gray_histogram(a), &gray_histogram(b))
     }
 }
+
+// Histogram extraction dominates this metric's cost, so abandoning the
+// final 256-bin comparison saves nothing: the default full-compute
+// fallback is the right implementation.
+impl BoundedMetric<GrayImage> for ImageHistogramL1 {}
 
 #[cfg(test)]
 mod tests {
@@ -150,6 +174,23 @@ mod tests {
         // Histograms differ by one pixel moving bins: |1-0| + |2-1| = 2.
         assert_eq!(ImageHistogramL1::new().distance(&a, &b), 2.0);
         assert_eq!(ImageHistogramL1::new().distance(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn bounded_histogram_l1_agrees_with_full() {
+        let mut a = [0u32; 256];
+        let mut b = [0u32; 256];
+        for i in 0..256 {
+            a[i] = (i * 3) as u32;
+            b[i] = (i * 5 % 97) as u32;
+        }
+        let m = HistogramL1::new();
+        let d = m.distance(&a, &b);
+        assert_eq!(m.distance_within(&a, &b, d), Some(d));
+        assert_eq!(m.distance_within(&a, &b, d - 1.0), None);
+        let (none, frac) = m.distance_within_frac(&a, &b, d * 0.1);
+        assert_eq!(none, None);
+        assert!(frac <= 1.0);
     }
 
     #[test]

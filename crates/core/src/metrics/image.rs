@@ -9,7 +9,8 @@
 //! Distances run over `u8` pixels with integer accumulation (exact up to
 //! the normalization division, and fast: the inner loops auto-vectorize).
 
-use crate::metric::Metric;
+use crate::metric::{BoundedMetric, Metric};
+use crate::metrics::kernels;
 
 /// An 8-bit single-channel (gray-level) raster image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,16 +160,42 @@ impl Default for ImageL1 {
     }
 }
 
-impl Metric<GrayImage> for ImageL1 {
-    fn distance(&self, a: &GrayImage, b: &GrayImage) -> f64 {
+impl ImageL1 {
+    #[inline(always)]
+    fn kernel<const BOUNDED: bool>(
+        &self,
+        a: &GrayImage,
+        b: &GrayImage,
+        bound: f64,
+    ) -> (Option<f64>, f64) {
         check_same_shape(a, b);
-        let sum: u64 = a
-            .pixels
-            .iter()
-            .zip(&b.pixels)
-            .map(|(&x, &y)| u64::from(x.abs_diff(y)))
-            .sum();
-        sum as f64 / self.norm
+        let norm = self.norm;
+        kernels::byte_sum_kernel::<BOUNDED>(
+            &a.pixels,
+            &b.pixels,
+            |x, y| u32::from(x.abs_diff(y)),
+            |sum| sum as f64 / norm,
+            bound,
+        )
+    }
+}
+
+impl Metric<GrayImage> for ImageL1 {
+    #[inline]
+    fn distance(&self, a: &GrayImage, b: &GrayImage) -> f64 {
+        self.kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<GrayImage> for ImageL1 {
+    #[inline]
+    fn distance_within(&self, a: &GrayImage, b: &GrayImage, bound: f64) -> Option<f64> {
+        self.kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &GrayImage, b: &GrayImage, bound: f64) -> (Option<f64>, f64) {
+        self.kernel::<true>(a, b, bound)
     }
 }
 
@@ -218,19 +245,45 @@ impl Default for ImageL2 {
     }
 }
 
-impl Metric<GrayImage> for ImageL2 {
-    fn distance(&self, a: &GrayImage, b: &GrayImage) -> f64 {
+impl ImageL2 {
+    #[inline(always)]
+    fn kernel<const BOUNDED: bool>(
+        &self,
+        a: &GrayImage,
+        b: &GrayImage,
+        bound: f64,
+    ) -> (Option<f64>, f64) {
         check_same_shape(a, b);
-        let sum: u64 = a
-            .pixels
-            .iter()
-            .zip(&b.pixels)
-            .map(|(&x, &y)| {
-                let d = u64::from(x.abs_diff(y));
+        let norm = self.norm;
+        kernels::byte_sum_kernel::<BOUNDED>(
+            &a.pixels,
+            &b.pixels,
+            |x, y| {
+                let d = u32::from(x.abs_diff(y));
                 d * d
-            })
-            .sum();
-        (sum as f64).sqrt() / self.norm
+            },
+            |sum| (sum as f64).sqrt() / norm,
+            bound,
+        )
+    }
+}
+
+impl Metric<GrayImage> for ImageL2 {
+    #[inline]
+    fn distance(&self, a: &GrayImage, b: &GrayImage) -> f64 {
+        self.kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<GrayImage> for ImageL2 {
+    #[inline]
+    fn distance_within(&self, a: &GrayImage, b: &GrayImage, bound: f64) -> Option<f64> {
+        self.kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &GrayImage, b: &GrayImage, bound: f64) -> (Option<f64>, f64) {
+        self.kernel::<true>(a, b, bound)
     }
 }
 
@@ -314,5 +367,24 @@ mod tests {
         let a = GrayImage::black(2, 2).unwrap();
         let b = GrayImage::black(2, 3).unwrap();
         ImageL1::paper().distance(&a, &b);
+    }
+
+    #[test]
+    fn bounded_image_metrics_abandon_far_pairs() {
+        let a = GrayImage::new(256, 256, vec![0; 65536]).unwrap();
+        let b = GrayImage::new(256, 256, vec![200; 65536]).unwrap();
+        let l1 = ImageL1::paper();
+        let l2 = ImageL2::paper();
+        let d1 = l1.distance(&a, &b);
+        let d2 = l2.distance(&a, &b);
+        assert_eq!(l1.distance_within(&a, &b, d1), Some(d1));
+        assert_eq!(l2.distance_within(&a, &b, d2), Some(d2));
+        let (none, frac) = l1.distance_within_frac(&a, &b, d1 * 0.01);
+        assert_eq!(none, None);
+        assert!(
+            frac < 0.05,
+            "expected early abandon, did {frac} of the work"
+        );
+        assert_eq!(l2.distance_within(&a, &b, d2 * 0.5), None);
     }
 }

@@ -9,7 +9,7 @@
 //! Sets are represented as **strictly increasing** `Vec<u64>` element
 //! lists, compared by linear merge — `O(|A| + |B|)` with no hashing.
 
-use crate::metric::Metric;
+use crate::metric::{BoundedMetric, Metric};
 
 /// A set as a strictly increasing list of element ids.
 pub type SortedSet = Vec<u64>;
@@ -62,6 +62,11 @@ impl Metric<SortedSet> for Jaccard {
         }
     }
 }
+
+// `1 − |∩|/|∪|` only shrinks as the merge discovers matches, so a prefix
+// of the merge bounds the distance from *above*, not below — no early
+// abandoning is possible and the full-compute fallback applies.
+impl BoundedMetric<SortedSet> for Jaccard {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,343 @@
+//! Shared chunked accumulation kernels for the vector/image metrics.
+//!
+//! Every `L_p`-style metric in this workspace is a monotone reduction
+//! over per-dimension terms. This module provides that reduction once,
+//! in a shape that serves two masters:
+//!
+//! * **Throughput.** The float kernels accumulate into eight independent
+//!   lanes (`chunks of 8`), which breaks the sequential dependency chain
+//!   of a naive `.sum::<f64>()` and lets the optimizer autovectorize the
+//!   inner loop; the byte kernels accumulate 64 pixels into a fresh
+//!   `u32` before folding into the `u64` total.
+//! * **Early abandoning.** Each kernel is generic over a
+//!   `const BOUNDED: bool`. With `BOUNDED = true` it checks once per
+//!   chunk whether the partial reduction — pushed through the metric's
+//!   monotone `finish` transform — already exceeds the caller's bound,
+//!   and if so abandons, reporting the fraction of work performed.
+//!
+//! Correctness of the abandon check rests on monotonicity end to end:
+//! every per-dimension term is non-negative, IEEE-754 addition and `max`
+//! are monotone under rounding, and every `finish` transform used here
+//! (identity, `sqrt`, `x^(1/p)`, `/norm`) is monotone — so the partial
+//! value never exceeds the final one, and `finish(partial) > bound`
+//! proves `distance > bound`. The check deliberately applies `finish` to
+//! the partial sum rather than comparing against a pre-transformed
+//! threshold (e.g. `bound²`): that keeps the comparison exactly the one
+//! the caller's `d <= bound` test would make, so a computation is never
+//! abandoned when the true distance equals the bound.
+//!
+//! **Bit-identity.** The `BOUNDED` parameter only adds read-only checks;
+//! lane assignment, accumulation order and the final reduction are
+//! byte-for-byte the same code for both instantiations. A bounded call
+//! that completes therefore returns a value bit-identical to the plain
+//! distance — the contract of
+//! [`BoundedMetric`](crate::metric::BoundedMetric).
+
+/// Number of independent f64 accumulator lanes.
+const LANES: usize = 8;
+
+/// Pixels per integer chunk. Checking the bound every 8 bytes would cost
+/// more than the cheap `u8` arithmetic it saves; 64 amortizes the check
+/// while keeping the worst-case overshoot small. 64 squared byte diffs
+/// (≤ 255²) also fit a `u32` partial with room to spare.
+const BYTE_CHUNK: usize = 64;
+
+/// Fixed tree reduction of the eight lanes. The shape is part of the
+/// bit-identity contract: both the full and the bounded kernel fold the
+/// lanes exactly this way.
+#[inline(always)]
+fn reduce_sum(acc: &[f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Tree reduction of the eight lanes by `max` (for `L_∞`).
+#[inline(always)]
+fn reduce_max(acc: &[f64; LANES]) -> f64 {
+    (acc[0].max(acc[1]).max(acc[2].max(acc[3]))).max(acc[4].max(acc[5]).max(acc[6].max(acc[7])))
+}
+
+/// 8-lane sum kernel over per-dimension terms.
+///
+/// `term(i, a[i], b[i])` must be non-negative; `finish` must be monotone
+/// non-decreasing on `[0, ∞)`. Returns the finished distance (or `None`
+/// on abandon) and the fraction of dimensions processed.
+#[inline(always)]
+pub(crate) fn sum_kernel<const BOUNDED: bool>(
+    a: &[f64],
+    b: &[f64],
+    term: impl Fn(usize, f64, f64) -> f64,
+    finish: impl Fn(f64) -> f64,
+    bound: f64,
+) -> (Option<f64>, f64) {
+    let n = a.len();
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0usize;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            acc[l] += term(i + l, a[i + l], b[i + l]);
+        }
+        i += LANES;
+        if BOUNDED && finish(reduce_sum(&acc)) > bound {
+            return (None, i as f64 / n as f64);
+        }
+    }
+    for l in 0..n - i {
+        acc[l] += term(i + l, a[i + l], b[i + l]);
+    }
+    let d = finish(reduce_sum(&acc));
+    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
+    // nothing (the contract mirrors the caller's `d <= bound` test).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if BOUNDED && !(d <= bound) {
+        (None, 1.0)
+    } else {
+        (Some(d), 1.0)
+    }
+}
+
+/// 8-lane max kernel over `|a[i] − b[i]|` (Chebyshev / `L_∞`).
+#[inline(always)]
+pub(crate) fn max_kernel<const BOUNDED: bool>(
+    a: &[f64],
+    b: &[f64],
+    bound: f64,
+) -> (Option<f64>, f64) {
+    let n = a.len();
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0usize;
+    while i + LANES <= n {
+        for l in 0..LANES {
+            acc[l] = acc[l].max((a[i + l] - b[i + l]).abs());
+        }
+        i += LANES;
+        if BOUNDED && reduce_max(&acc) > bound {
+            return (None, i as f64 / n as f64);
+        }
+    }
+    for l in 0..n - i {
+        acc[l] = acc[l].max((a[i + l] - b[i + l]).abs());
+    }
+    let d = reduce_max(&acc);
+    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
+    // nothing (the contract mirrors the caller's `d <= bound` test).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if BOUNDED && !(d <= bound) {
+        (None, 1.0)
+    } else {
+        (Some(d), 1.0)
+    }
+}
+
+/// Chunked byte-difference kernel for the image metrics.
+///
+/// `term` maps a pixel pair to a non-negative `u32` contribution (absolute
+/// or squared difference); `finish` converts the exact integer total to
+/// the metric's f64 value and must be monotone. Integer accumulation is
+/// exact, so chunking cannot change the completed result.
+#[inline(always)]
+pub(crate) fn byte_sum_kernel<const BOUNDED: bool>(
+    a: &[u8],
+    b: &[u8],
+    term: impl Fn(u8, u8) -> u32,
+    finish: impl Fn(u64) -> f64,
+    bound: f64,
+) -> (Option<f64>, f64) {
+    let n = a.len();
+    let mut total = 0u64;
+    let mut i = 0usize;
+    while i + BYTE_CHUNK <= n {
+        let mut part = 0u32;
+        for j in i..i + BYTE_CHUNK {
+            part += term(a[j], b[j]);
+        }
+        total += u64::from(part);
+        i += BYTE_CHUNK;
+        if BOUNDED && finish(total) > bound {
+            return (None, i as f64 / n as f64);
+        }
+    }
+    for j in i..n {
+        total += u64::from(term(a[j], b[j]));
+    }
+    let d = finish(total);
+    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
+    // nothing (the contract mirrors the caller's `d <= bound` test).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if BOUNDED && !(d <= bound) {
+        (None, 1.0)
+    } else {
+        (Some(d), 1.0)
+    }
+}
+
+/// Chunked `Σ |a[i] − b[i]|` kernel over `u32` histograms.
+#[inline(always)]
+pub(crate) fn u32_l1_kernel<const BOUNDED: bool>(
+    a: &[u32],
+    b: &[u32],
+    finish: impl Fn(u64) -> f64,
+    bound: f64,
+) -> (Option<f64>, f64) {
+    const CHUNK: usize = 64;
+    let n = a.len();
+    let mut total = 0u64;
+    let mut i = 0usize;
+    while i + CHUNK <= n {
+        for j in i..i + CHUNK {
+            total += u64::from(a[j].abs_diff(b[j]));
+        }
+        i += CHUNK;
+        if BOUNDED && finish(total) > bound {
+            return (None, i as f64 / n as f64);
+        }
+    }
+    for j in i..n {
+        total += u64::from(a[j].abs_diff(b[j]));
+    }
+    let d = finish(total);
+    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
+    // nothing (the contract mirrors the caller's `d <= bound` test).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if BOUNDED && !(d <= bound) {
+        (None, 1.0)
+    } else {
+        (Some(d), 1.0)
+    }
+}
+
+/// Chunked mismatch-count kernel for Hamming distance over byte strings.
+///
+/// `base` is the length difference (every surplus position mismatches by
+/// definition), known before any comparison.
+#[inline(always)]
+pub(crate) fn hamming_bytes_kernel<const BOUNDED: bool>(
+    a: &[u8],
+    b: &[u8],
+    bound: f64,
+) -> (Option<f64>, f64) {
+    let n = a.len().min(b.len());
+    let mut count = a.len().abs_diff(b.len()) as u64;
+    if BOUNDED && count as f64 > bound {
+        return (None, 0.0);
+    }
+    let mut i = 0usize;
+    while i + BYTE_CHUNK <= n {
+        let mut part = 0u32;
+        for j in i..i + BYTE_CHUNK {
+            part += u32::from(a[j] != b[j]);
+        }
+        count += u64::from(part);
+        i += BYTE_CHUNK;
+        if BOUNDED && count as f64 > bound {
+            return (None, i as f64 / n as f64);
+        }
+    }
+    for j in i..n {
+        count += u64::from(a[j] != b[j]);
+    }
+    let d = count as f64;
+    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
+    // nothing (the contract mirrors the caller's `d <= bound` test).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if BOUNDED && !(d <= bound) {
+        (None, 1.0)
+    } else {
+        (Some(d), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn full_and_bounded_agree_bitwise_on_completion() {
+        for n in [0, 1, 7, 8, 9, 16, 63, 64, 65, 1000] {
+            let a = seq(n, |i| (i as f64 * 0.37).sin());
+            let b = seq(n, |i| (i as f64 * 0.11).cos());
+            let full = sum_kernel::<false>(&a, &b, |_, x, y| (x - y).abs(), |s| s, f64::INFINITY)
+                .0
+                .unwrap();
+            let (bounded, frac) = sum_kernel::<true>(&a, &b, |_, x, y| (x - y).abs(), |s| s, full);
+            assert_eq!(bounded.unwrap().to_bits(), full.to_bits(), "n={n}");
+            assert_eq!(frac, 1.0);
+        }
+    }
+
+    #[test]
+    fn abandon_reports_partial_fraction() {
+        let a = seq(1024, |_| 0.0);
+        let b = seq(1024, |_| 1.0);
+        // Distance is 1024; a bound of 4 is exceeded after the first chunk.
+        let (d, frac) = sum_kernel::<true>(&a, &b, |_, x, y| (x - y).abs(), |s| s, 4.0);
+        assert_eq!(d, None);
+        assert!(frac > 0.0 && frac < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn bound_equal_to_distance_is_not_abandoned() {
+        // Trailing zero-contribution chunks must not trigger a spurious
+        // abandon when the partial already equals the bound.
+        let mut a = seq(256, |_| 0.0);
+        let b = seq(256, |_| 0.0);
+        a[0] = 3.0;
+        let (d, _) = sum_kernel::<true>(&a, &b, |_, x, y| (x - y).abs(), |s| s, 3.0);
+        assert_eq!(d, Some(3.0));
+        let (d, _) = max_kernel::<true>(&a, &b, 3.0);
+        assert_eq!(d, Some(3.0));
+    }
+
+    #[test]
+    fn max_kernel_matches_naive() {
+        for n in [3, 8, 20, 100] {
+            let a = seq(n, |i| (i as f64 * 1.7).sin() * 5.0);
+            let b = seq(n, |i| (i as f64 * 0.3).cos() * 5.0);
+            let naive = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+            let full = max_kernel::<false>(&a, &b, f64::INFINITY).0.unwrap();
+            assert_eq!(full.to_bits(), naive.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn byte_kernel_is_exact_and_abandons() {
+        let a = vec![0u8; 1000];
+        let b = vec![10u8; 1000];
+        let full = byte_sum_kernel::<false>(
+            &a,
+            &b,
+            |x, y| u32::from(x.abs_diff(y)),
+            |s| s as f64,
+            f64::INFINITY,
+        )
+        .0
+        .unwrap();
+        assert_eq!(full, 10_000.0);
+        let (d, frac) =
+            byte_sum_kernel::<true>(&a, &b, |x, y| u32::from(x.abs_diff(y)), |s| s as f64, 500.0);
+        assert_eq!(d, None);
+        // Abandons at the first 64-pixel chunk boundary: 64/1000.
+        assert!(frac < 0.1, "{frac}");
+    }
+
+    #[test]
+    fn hamming_kernel_counts_length_difference_upfront() {
+        let a = vec![1u8; 10];
+        let b = vec![1u8; 200];
+        // 190 mismatches from length alone; abandons before comparing.
+        let (d, frac) = hamming_bytes_kernel::<true>(&a, &b, 100.0);
+        assert_eq!(d, None);
+        assert_eq!(frac, 0.0);
+        let full = hamming_bytes_kernel::<false>(&a, &b, f64::INFINITY)
+            .0
+            .unwrap();
+        assert_eq!(full, 190.0);
+    }
+}

@@ -10,7 +10,8 @@
 //! **panic on dimension mismatch** — feeding differently-shaped vectors to
 //! one index is a programming error, not a runtime condition.
 
-use crate::metric::Metric;
+use crate::metric::{BoundedMetric, Metric};
+use crate::metrics::kernels;
 
 #[inline]
 fn check_dims(a: &[f64], b: &[f64]) {
@@ -69,45 +70,127 @@ impl Minkowski {
     }
 }
 
-impl Metric<[f64]> for Manhattan {
-    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+// Each metric routes both `distance` and `distance_within` through one
+// chunked kernel (see `metrics::kernels`): the `BOUNDED` flag only adds
+// per-chunk abandon checks, so a bounded call that completes returns a
+// value bit-identical to the plain distance.
+
+impl Manhattan {
+    #[inline(always)]
+    fn kernel<const BOUNDED: bool>(a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
         check_dims(a, b);
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        kernels::sum_kernel::<BOUNDED>(a, b, |_, x, y| (x - y).abs(), |s| s, bound)
+    }
+}
+
+impl Metric<[f64]> for Manhattan {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        Manhattan::kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<[f64]> for Manhattan {
+    #[inline]
+    fn distance_within(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        Manhattan::kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        Manhattan::kernel::<true>(a, b, bound)
+    }
+}
+
+impl Euclidean {
+    #[inline(always)]
+    fn kernel<const BOUNDED: bool>(a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        check_dims(a, b);
+        kernels::sum_kernel::<BOUNDED>(
+            a,
+            b,
+            |_, x, y| {
+                let d = x - y;
+                d * d
+            },
+            f64::sqrt,
+            bound,
+        )
     }
 }
 
 impl Metric<[f64]> for Euclidean {
+    #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
-        check_dims(a, b);
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| {
-                let d = x - y;
-                d * d
-            })
-            .sum::<f64>()
-            .sqrt()
+        Euclidean::kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<[f64]> for Euclidean {
+    #[inline]
+    fn distance_within(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        Euclidean::kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        Euclidean::kernel::<true>(a, b, bound)
     }
 }
 
 impl Metric<[f64]> for Chebyshev {
+    #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         check_dims(a, b);
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max)
+        kernels::max_kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<[f64]> for Chebyshev {
+    #[inline]
+    fn distance_within(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        check_dims(a, b);
+        kernels::max_kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        check_dims(a, b);
+        kernels::max_kernel::<true>(a, b, bound)
+    }
+}
+
+impl Minkowski {
+    #[inline(always)]
+    fn kernel<const BOUNDED: bool>(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        check_dims(a, b);
+        let p = self.p;
+        kernels::sum_kernel::<BOUNDED>(
+            a,
+            b,
+            |_, x, y| (x - y).abs().powf(p),
+            |s| s.powf(p.recip()),
+            bound,
+        )
     }
 }
 
 impl Metric<[f64]> for Minkowski {
+    #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
-        check_dims(a, b);
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y).abs().powf(self.p))
-            .sum::<f64>()
-            .powf(self.p.recip())
+        self.kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<[f64]> for Minkowski {
+    #[inline]
+    fn distance_within(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        self.kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        self.kernel::<true>(a, b, bound)
     }
 }
 
@@ -115,8 +198,31 @@ macro_rules! delegate_vec_impl {
     ($($metric:ty),+ $(,)?) => {
         $(
             impl Metric<Vec<f64>> for $metric {
+                #[inline]
                 fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
                     Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
+                }
+            }
+
+            impl BoundedMetric<Vec<f64>> for $metric {
+                #[inline]
+                fn distance_within(&self, a: &Vec<f64>, b: &Vec<f64>, bound: f64) -> Option<f64> {
+                    BoundedMetric::<[f64]>::distance_within(self, a.as_slice(), b.as_slice(), bound)
+                }
+
+                #[inline]
+                fn distance_within_frac(
+                    &self,
+                    a: &Vec<f64>,
+                    b: &Vec<f64>,
+                    bound: f64,
+                ) -> (Option<f64>, f64) {
+                    BoundedMetric::<[f64]>::distance_within_frac(
+                        self,
+                        a.as_slice(),
+                        b.as_slice(),
+                        bound,
+                    )
                 }
             }
         )+
@@ -198,5 +304,39 @@ mod tests {
     fn empty_vectors_have_zero_distance() {
         let e: Vec<f64> = vec![];
         assert_eq!(Euclidean.distance(&e, &e.clone()), 0.0);
+    }
+
+    #[test]
+    fn distance_within_abandons_far_pairs_early() {
+        let a = vec![0.0; 4096];
+        let b = vec![1.0; 4096];
+        assert_eq!(Euclidean.distance_within(&a, &b, 1.0), None);
+        assert_eq!(Manhattan.distance_within(&a, &b, 10.0), None);
+        assert_eq!(Chebyshev.distance_within(&a, &b, 0.5), None);
+        let (d, frac) = Euclidean.distance_within_frac(&a, &b, 1.0);
+        assert_eq!(d, None);
+        assert!(
+            frac < 0.01,
+            "abandon should happen in the first chunk: {frac}"
+        );
+    }
+
+    #[test]
+    fn distance_within_at_exact_bound_returns_identical_value() {
+        let a = A.to_vec();
+        let b = B.to_vec();
+        let mink = Minkowski::new(3.0).unwrap();
+        let full = [
+            Euclidean.distance(&a, &b),
+            Manhattan.distance(&a, &b),
+            Chebyshev.distance(&a, &b),
+            mink.distance(&a, &b),
+        ];
+        assert_eq!(Euclidean.distance_within(&a, &b, full[0]), Some(full[0]));
+        assert_eq!(Manhattan.distance_within(&a, &b, full[1]), Some(full[1]));
+        assert_eq!(Chebyshev.distance_within(&a, &b, full[2]), Some(full[2]));
+        assert_eq!(mink.distance_within(&a, &b, full[3]), Some(full[3]));
+        // Just below the exact distance every kernel must abandon.
+        assert_eq!(Euclidean.distance_within(&a, &b, full[0] * 0.999), None);
     }
 }

@@ -14,5 +14,6 @@ pub mod hamming;
 pub mod histogram;
 pub mod image;
 pub mod jaccard;
+pub(crate) mod kernels;
 pub mod minkowski;
 pub mod weighted;

@@ -11,7 +11,8 @@
 //! index structures require for *correctness* (a zero weight merely merges
 //! points the metric cannot distinguish).
 
-use crate::metric::Metric;
+use crate::metric::{BoundedMetric, Metric};
+use crate::metrics::kernels;
 use crate::{Result, VantageError};
 
 /// A weighted Lp metric over `Vec<f64>` / `[f64]` of a fixed
@@ -68,8 +69,11 @@ impl WeightedLp {
     }
 }
 
-impl Metric<[f64]> for WeightedLp {
-    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+impl WeightedLp {
+    // Weights are validated non-negative at construction, so the running
+    // sum is monotone and the shared kernel's abandon check is sound.
+    #[inline(always)]
+    fn kernel<const BOUNDED: bool>(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
         assert_eq!(
             a.len(),
             self.weights.len(),
@@ -84,19 +88,53 @@ impl Metric<[f64]> for WeightedLp {
             a.len(),
             b.len()
         );
-        let sum: f64 = a
-            .iter()
-            .zip(b)
-            .zip(&self.weights)
-            .map(|((x, y), w)| w * (x - y).abs().powf(self.p))
-            .sum();
-        sum.powf(self.p.recip())
+        let p = self.p;
+        let weights = &self.weights;
+        kernels::sum_kernel::<BOUNDED>(
+            a,
+            b,
+            |i, x, y| weights[i] * (x - y).abs().powf(p),
+            |s| s.powf(p.recip()),
+            bound,
+        )
+    }
+}
+
+impl Metric<[f64]> for WeightedLp {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+    }
+}
+
+impl BoundedMetric<[f64]> for WeightedLp {
+    #[inline]
+    fn distance_within(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        self.kernel::<true>(a, b, bound).0
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
+        self.kernel::<true>(a, b, bound)
     }
 }
 
 impl Metric<Vec<f64>> for WeightedLp {
+    #[inline]
     fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
         Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
+    }
+}
+
+impl BoundedMetric<Vec<f64>> for WeightedLp {
+    #[inline]
+    fn distance_within(&self, a: &Vec<f64>, b: &Vec<f64>, bound: f64) -> Option<f64> {
+        BoundedMetric::<[f64]>::distance_within(self, a.as_slice(), b.as_slice(), bound)
+    }
+
+    #[inline]
+    fn distance_within_frac(&self, a: &Vec<f64>, b: &Vec<f64>, bound: f64) -> (Option<f64>, f64) {
+        BoundedMetric::<[f64]>::distance_within_frac(self, a.as_slice(), b.as_slice(), bound)
     }
 }
 
@@ -151,5 +189,16 @@ mod tests {
     fn wrong_dimension_panics() {
         let m = WeightedLp::euclidean(vec![1.0, 1.0]).unwrap();
         m.distance(&vec![1.0], &vec![2.0]);
+    }
+
+    #[test]
+    fn bounded_weighted_agrees_with_full() {
+        use crate::metric::BoundedMetric;
+        let m = WeightedLp::new(vec![0.5; 64], 2.0).unwrap();
+        let a: Vec<f64> = (0..64).map(|i| f64::from(i as u32)).collect();
+        let b: Vec<f64> = (0..64).map(|i| f64::from(i as u32) * 1.5).collect();
+        let d = m.distance(&a, &b);
+        assert_eq!(m.distance_within(&a, &b, d), Some(d));
+        assert_eq!(m.distance_within(&a, &b, d * 0.99), None);
     }
 }

@@ -151,6 +151,21 @@ pub trait TraceSink {
     fn reject(&mut self, reason: PruneReason, bound: f64) {
         let _ = (reason, bound);
     }
+
+    /// A distance evaluation already reported via
+    /// [`distance`](TraceSink::distance) was abandoned early by the
+    /// bounded kernel ([`BoundedMetric`](crate::BoundedMetric)): the
+    /// running lower bound provably exceeded the query's effective
+    /// radius before the computation finished. `work` is the fraction of
+    /// a full evaluation's arithmetic actually performed (in `[0, 1]`).
+    ///
+    /// This refines the cost attribution without changing the distance
+    /// totals: an abandoned evaluation still counts as one computation in
+    /// the paper's cost model.
+    #[inline]
+    fn abandon(&mut self, role: DistanceRole, work: f64) {
+        let _ = (role, work);
+    }
 }
 
 /// The zero-cost default sink: every method is an empty inline body and
@@ -263,6 +278,10 @@ pub struct QueryProfile {
     nodes_visited: u64,
     leaves_visited: u64,
     distances: [u64; DistanceRole::COUNT],
+    #[cfg_attr(feature = "serde", serde(default))]
+    abandoned: [u64; DistanceRole::COUNT],
+    #[cfg_attr(feature = "serde", serde(default))]
+    abandoned_work: [f64; DistanceRole::COUNT],
     prunes: [BoundStats; PruneReason::COUNT],
     rejects: [BoundStats; PruneReason::COUNT],
     levels: Vec<LevelStats>,
@@ -305,6 +324,35 @@ impl QueryProfile {
         self.distances.iter().sum()
     }
 
+    /// Distance computations in the given role that the bounded kernel
+    /// abandoned early. Always `<= distances(role)`: an abandoned
+    /// evaluation is still counted as one computation.
+    pub fn abandoned(&self, role: DistanceRole) -> u64 {
+        self.abandoned[role as usize]
+    }
+
+    /// Total abandoned evaluations across all roles.
+    pub fn total_abandoned(&self) -> u64 {
+        self.abandoned.iter().sum()
+    }
+
+    /// Estimated arithmetic performed by the *abandoned* evaluations in
+    /// the given role, in units of one full distance computation. The
+    /// wall-clock work estimate for a role is
+    /// `distances(role) - abandoned(role) + abandoned_work(role)` full
+    /// evaluations.
+    pub fn abandoned_work(&self, role: DistanceRole) -> f64 {
+        self.abandoned_work[role as usize]
+    }
+
+    /// Estimated distance-evaluation work actually performed across all
+    /// roles, in units of full evaluations: completed evaluations count
+    /// 1.0 each, abandoned evaluations their partial fraction.
+    pub fn estimated_work(&self) -> f64 {
+        (self.total_distances() - self.total_abandoned()) as f64
+            + self.abandoned_work.iter().sum::<f64>()
+    }
+
     /// Bound summary for subtrees pruned by the given filter stage.
     pub fn prune_stats(&self, reason: PruneReason) -> &BoundStats {
         &self.prunes[reason as usize]
@@ -336,6 +384,12 @@ impl QueryProfile {
         self.nodes_visited += other.nodes_visited;
         self.leaves_visited += other.leaves_visited;
         for (dst, src) in self.distances.iter_mut().zip(&other.distances) {
+            *dst += src;
+        }
+        for (dst, src) in self.abandoned.iter_mut().zip(&other.abandoned) {
+            *dst += src;
+        }
+        for (dst, src) in self.abandoned_work.iter_mut().zip(&other.abandoned_work) {
             *dst += src;
         }
         for (dst, src) in self.prunes.iter_mut().zip(&other.prunes) {
@@ -374,6 +428,11 @@ impl TraceSink for QueryProfile {
 
     fn distance(&mut self, role: DistanceRole) {
         self.distances[role as usize] += 1;
+    }
+
+    fn abandon(&mut self, role: DistanceRole, work: f64) {
+        self.abandoned[role as usize] += 1;
+        self.abandoned_work[role as usize] += work.clamp(0.0, 1.0);
     }
 
     fn prune(&mut self, level: u32, reason: PruneReason, bound: f64) {
@@ -471,6 +530,7 @@ mod tests {
         let mut sink = NoTrace;
         sink.enter_node(0, false);
         sink.distance(DistanceRole::Vantage);
+        sink.abandon(DistanceRole::Candidate, 0.1);
         sink.prune(1, PruneReason::FirstShell, 2.0);
         sink.reject(PruneReason::PathFilter, 0.5);
     }
@@ -484,6 +544,7 @@ mod tests {
         p.distance(DistanceRole::Vantage);
         p.distance(DistanceRole::Candidate);
         p.distance(DistanceRole::Candidate);
+        p.abandon(DistanceRole::Candidate, 0.25);
         p.prune(1, PruneReason::FirstShell, 3.0);
         p.prune(1, PruneReason::FirstShell, 5.0);
         p.reject(PruneReason::PrecomputedD1, 1.5);
@@ -493,6 +554,12 @@ mod tests {
         assert_eq!(p.distances(DistanceRole::Vantage), 1);
         assert_eq!(p.distances(DistanceRole::Candidate), 2);
         assert_eq!(p.total_distances(), 3);
+        assert_eq!(p.abandoned(DistanceRole::Candidate), 1);
+        assert_eq!(p.abandoned(DistanceRole::Vantage), 0);
+        assert_eq!(p.total_abandoned(), 1);
+        assert_eq!(p.abandoned_work(DistanceRole::Candidate), 0.25);
+        // 2 completed + 0.25 of the abandoned one.
+        assert_eq!(p.estimated_work(), 2.25);
         assert_eq!(p.subtrees_pruned(), 2);
         assert_eq!(p.candidates_rejected(), 1);
         let shell = p.prune_stats(PruneReason::FirstShell);
@@ -525,10 +592,13 @@ mod tests {
         b.enter_node(0, false);
         b.enter_node(1, true);
         b.distance(DistanceRole::Candidate);
+        b.abandon(DistanceRole::Candidate, 0.5);
         b.prune(1, PruneReason::SecondShell, 7.0);
         a.merge(&b);
         assert_eq!(a.nodes_visited(), 3);
         assert_eq!(a.total_distances(), 2);
+        assert_eq!(a.abandoned(DistanceRole::Candidate), 1);
+        assert_eq!(a.abandoned_work(DistanceRole::Candidate), 0.5);
         assert_eq!(a.levels().len(), 2);
         assert_eq!(a.levels()[1].pruned, 1);
         assert_eq!(a.prune_stats(PruneReason::SecondShell).max(), 7.0);

@@ -5,7 +5,7 @@
 //! batch at each query range, and report the **average number of distance
 //! computations per search** (the y-axis of Figures 8–11).
 
-use vantage_core::{Counted, Metric, MetricIndex};
+use vantage_core::{BoundedMetric, Counted, Metric, MetricIndex};
 
 /// A named index-structure configuration the harness can instantiate.
 ///
@@ -135,7 +135,7 @@ where
 pub fn paper_vector_structures<T, M>() -> Vec<StructureSpec<T, M>>
 where
     T: Clone + Sync + 'static,
-    M: Metric<T> + Clone + Sync + 'static,
+    M: BoundedMetric<T> + Clone + Sync + 'static,
 {
     use vantage_mvptree::{MvpParams, MvpTree};
     use vantage_vptree::{VpTree, VpTreeParams};
@@ -173,7 +173,7 @@ where
 pub fn paper_image_structures<T, M>() -> Vec<StructureSpec<T, M>>
 where
     T: Clone + Sync + 'static,
-    M: Metric<T> + Clone + Sync + 'static,
+    M: BoundedMetric<T> + Clone + Sync + 'static,
 {
     use vantage_mvptree::{MvpParams, MvpTree};
     use vantage_vptree::{VpTree, VpTreeParams};

@@ -40,7 +40,7 @@ use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
 use vantage_core::util::split_into_quantiles;
 use vantage_core::{Metric, Result};
 
-use crate::node::{LeafEntry, Node, NodeId};
+use crate::node::{LeafEntries, Node, NodeId};
 use crate::params::{MvpParams, SecondVantage};
 use crate::tree::MvpTree;
 
@@ -275,7 +275,7 @@ impl<T: Sync, M: Metric<T> + Sync> Builder<'_, T, M> {
             return Node::Leaf {
                 vp1,
                 vp2: None,
-                entries: Vec::new(),
+                entries: LeafEntries::new(0),
             };
         }
 
@@ -300,17 +300,14 @@ impl<T: Sync, M: Metric<T> + Sync> Builder<'_, T, M> {
         let mut d1: Vec<f64> = d1;
         d1.swap_remove(vp2_pos);
 
-        // (2.6) D2 distances and entry assembly.
-        let entries: Vec<LeafEntry> = rest
-            .into_iter()
-            .zip(d1)
-            .map(|(e, d1)| LeafEntry {
-                id: e.id,
-                d1,
-                d2: self.distance_between(vp2, e.id),
-                path: e.path,
-            })
-            .collect();
+        // (2.6) D2 distances and entry assembly into the flat
+        // struct-of-arrays layout. Every point in this leaf shares the
+        // same ancestors, so the PATH lengths are uniform.
+        let path_len = rest.first().map_or(0, |e| e.path.len());
+        let mut entries = LeafEntries::new(path_len);
+        for (e, d1) in rest.into_iter().zip(d1) {
+            entries.push(e.id, d1, self.distance_between(vp2, e.id), &e.path);
+        }
 
         Node::Leaf {
             vp1,
@@ -423,8 +420,8 @@ mod tests {
                     if let Some(v) = vp2 {
                         seen[*v as usize] += 1;
                     }
-                    for e in entries {
-                        seen[e.id as usize] += 1;
+                    for &id in entries.ids() {
+                        seen[id as usize] += 1;
                     }
                 }
             }
@@ -462,9 +459,9 @@ mod tests {
         let mut max_len = 0;
         for node in &t.nodes {
             if let Node::Leaf { entries, .. } = node {
-                for e in entries {
-                    max_len = max_len.max(e.path.len());
-                    assert!(e.path.len() <= p);
+                if !entries.is_empty() {
+                    max_len = max_len.max(entries.path_len());
+                    assert!(entries.path_len() <= p);
                 }
             }
         }
@@ -476,7 +473,10 @@ mod tests {
         let t = MvpTree::build(points(500), Euclidean, MvpParams::paper(2, 4, 0).seed(5)).unwrap();
         for node in &t.nodes {
             if let Node::Leaf { entries, .. } = node {
-                assert!(entries.iter().all(|e| e.path.is_empty()));
+                assert_eq!(entries.path_len(), 0);
+                for i in 0..entries.len() {
+                    assert!(entries.path(i).is_empty());
+                }
             }
         }
     }

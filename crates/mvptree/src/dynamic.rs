@@ -23,7 +23,7 @@
 
 use std::collections::HashSet;
 
-use vantage_core::{KnnCollector, Metric, MetricIndex, Neighbor, Result};
+use vantage_core::{BoundedMetric, KnnCollector, MetricIndex, Neighbor, Result};
 
 use crate::params::MvpParams;
 use crate::tree::MvpTree;
@@ -57,7 +57,7 @@ pub struct DynamicMvpTree<T, M> {
     epoch: u64,
 }
 
-impl<T: Clone + Sync, M: Metric<T> + Clone + Sync> DynamicMvpTree<T, M> {
+impl<T: Clone + Sync, M: BoundedMetric<T> + Clone + Sync> DynamicMvpTree<T, M> {
     /// Creates an empty dynamic tree.
     ///
     /// # Errors
@@ -178,8 +178,7 @@ impl<T: Clone + Sync, M: Metric<T> + Clone + Sync> DynamicMvpTree<T, M> {
             }
         }
         for &id in &self.overflow {
-            let d = self.metric.distance(query, &self.store[id]);
-            if d <= radius {
+            if let Some(d) = self.metric.distance_within(query, &self.store[id], radius) {
                 out.push(Neighbor::new(id, d));
             }
         }
@@ -287,7 +286,15 @@ impl<T: Clone + Sync, M: Metric<T> + Clone + Sync> DynamicMvpTree<T, M> {
             }
         }
         for &id in &self.overflow {
-            collector.offer(id, self.metric.distance(query, &self.store[id]));
+            // A candidate the bounded kernel abandons at the current k-th
+            // best distance is one the collector's strict `<` would have
+            // discarded anyway.
+            if let Some(d) = self
+                .metric
+                .distance_within(query, &self.store[id], collector.radius())
+            {
+                collector.offer(id, d);
+            }
         }
         collector.into_sorted()
     }
@@ -309,7 +316,7 @@ mod tests {
     /// Every mutation in these tests is followed by a full invariant
     /// check; drift shows up at the mutating call, not at the query.
     #[track_caller]
-    fn check<T: Clone + Sync, M: Metric<T> + Clone + Sync>(t: &DynamicMvpTree<T, M>) {
+    fn check<T: Clone + Sync, M: BoundedMetric<T> + Clone + Sync>(t: &DynamicMvpTree<T, M>) {
         t.check_invariants().unwrap();
     }
 

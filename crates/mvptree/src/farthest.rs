@@ -40,18 +40,19 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 if dq2 >= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
                 }
-                for e in entries {
+                for i in 0..entries.len() {
                     // Tightest upper bound over all stored distances.
-                    let mut upper = (dq1 + e.d1).min(dq2 + e.d2);
-                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                    let mut upper = (dq1 + entries.d1(i)).min(dq2 + entries.d2(i));
+                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         upper = upper.min(qp + ep);
                     }
                     if upper < radius {
                         continue;
                     }
-                    let d = self.metric().distance(query, &self.items[e.id as usize]);
+                    let id = entries.id(i) as usize;
+                    let d = self.metric().distance(query, &self.items[id]);
                     if d >= radius {
-                        out.push(Neighbor::new(e.id as usize, d));
+                        out.push(Neighbor::new(id, d));
                     }
                 }
             }
@@ -103,14 +104,15 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 let Some(vp2) = vp2 else { return };
                 let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
-                for e in entries {
-                    let mut upper = (dq1 + e.d1).min(dq2 + e.d2);
-                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                for i in 0..entries.len() {
+                    let mut upper = (dq1 + entries.d1(i)).min(dq2 + entries.d2(i));
+                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         upper = upper.min(qp + ep);
                     }
                     if upper > collector.radius() {
-                        let d = self.metric().distance(query, &self.items[e.id as usize]);
-                        collector.offer(e.id as usize, d);
+                        let id = entries.id(i) as usize;
+                        let d = self.metric().distance(query, &self.items[id]);
+                        collector.offer(id, d);
                     }
                 }
             }

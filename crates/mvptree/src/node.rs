@@ -3,23 +3,97 @@
 /// Index of a node inside the tree's arena.
 pub(crate) type NodeId = u32;
 
-/// One data point stored in a leaf, with its pre-computed distances.
+/// The data points of one leaf in struct-of-arrays layout: Figure 3's
+/// `D1[·]`/`D2[·]` arrays plus one contiguous row-major `PATH` buffer.
+///
+/// Every entry of a leaf has the **same** PATH length — all of a leaf's
+/// points descend through the same ancestor vantage points, and the
+/// accumulator is capped at `p` uniformly (`min(p, 2 × internal depth)`,
+/// an invariant `check_invariants` re-verifies) — so entry `i`'s PATH is
+/// the slice `path[i·path_len .. (i+1)·path_len]`. Compared to a
+/// per-entry `Vec<f64>`, the flat buffer removes one heap allocation and
+/// one pointer chase per entry and keeps the leaf-filter scan contiguous.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub(crate) struct LeafEntry {
-    /// Item id (into the tree's item table).
-    pub id: u32,
-    /// `D1[i]` of Figure 3: exact distance to the leaf's first vantage
-    /// point.
-    pub d1: f64,
-    /// `D2[i]` of Figure 3: exact distance to the leaf's second vantage
-    /// point (0 when the leaf has no second vantage point).
-    pub d2: f64,
-    /// `x.PATH[..]`: distances to the first `p` vantage points on the
-    /// root-to-leaf path (vantage points of *ancestor internal nodes*,
-    /// in root-to-leaf order, first-then-second within each node). The
-    /// length is `min(p, 2 × internal depth)`.
-    pub path: Vec<f64>,
+pub(crate) struct LeafEntries {
+    /// Item ids (into the tree's item table), one per entry.
+    ids: Vec<u32>,
+    /// `D1[i]`: exact distance to the leaf's first vantage point.
+    d1: Vec<f64>,
+    /// `D2[i]`: exact distance to the leaf's second vantage point.
+    d2: Vec<f64>,
+    /// PATH length shared by every entry in this leaf.
+    path_len: usize,
+    /// Row-major PATH buffer: `path.len() == ids.len() * path_len`.
+    path: Vec<f64>,
+}
+
+impl LeafEntries {
+    /// An empty entry table whose entries will carry `path_len` PATH
+    /// distances each.
+    pub fn new(path_len: usize) -> Self {
+        LeafEntries {
+            ids: Vec::new(),
+            d1: Vec::new(),
+            d2: Vec::new(),
+            path_len,
+            path: Vec::new(),
+        }
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `path` has the uniform per-leaf length.
+    pub fn push(&mut self, id: u32, d1: f64, d2: f64, path: &[f64]) {
+        debug_assert_eq!(path.len(), self.path_len, "leaf PATH lengths are uniform");
+        self.ids.push(id);
+        self.d1.push(d1);
+        self.d2.push(d2);
+        self.path.extend_from_slice(path);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the leaf stores no entries beyond its vantage points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The shared PATH length of this leaf's entries.
+    pub fn path_len(&self) -> usize {
+        self.path_len
+    }
+
+    /// All entry ids, in insertion order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Entry `i`'s id.
+    pub fn id(&self, i: usize) -> u32 {
+        self.ids[i]
+    }
+
+    /// Entry `i`'s pre-computed distance to the first vantage point.
+    pub fn d1(&self, i: usize) -> f64 {
+        self.d1[i]
+    }
+
+    /// Entry `i`'s pre-computed distance to the second vantage point.
+    pub fn d2(&self, i: usize) -> f64 {
+        self.d2[i]
+    }
+
+    /// Entry `i`'s PATH slice (distances to the first `p` ancestor
+    /// vantage points, root-to-leaf, first-then-second within each node).
+    pub fn path(&self, i: usize) -> &[f64] {
+        &self.path[i * self.path_len..(i + 1) * self.path_len]
+    }
 }
 
 /// An mvp-tree node.
@@ -52,7 +126,7 @@ pub(crate) enum Node {
     },
     /// Leaf node: up to two vantage points of its own plus `k` data points
     /// with exact distances to both (Figure 3's `D1`/`D2` arrays) and
-    /// their `PATH` arrays.
+    /// their `PATH` arrays in flat struct-of-arrays layout.
     Leaf {
         /// The leaf's first vantage point; `None` only for an empty tree
         /// region (never stored — empty sets produce no node).
@@ -60,10 +134,46 @@ pub(crate) enum Node {
         /// The leaf's second vantage point — the farthest point from
         /// `vp1` (paper step 2.4); `None` when the leaf holds one point.
         vp2: Option<u32>,
-        /// `PATH` array of `vp1` (it is a data point too and must pass
-        /// through leaf-level path filtering when checked as an answer
-        /// candidate — kept for introspection; search checks `vp1`
-        /// directly by distance).
-        entries: Vec<LeafEntry>,
+        /// The leaf's data points with their pre-computed `D1`/`D2`/`PATH`
+        /// distances.
+        entries: LeafEntries,
     },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_entries_round_trip() {
+        let mut e = LeafEntries::new(2);
+        e.push(7, 1.0, 2.0, &[0.5, 0.25]);
+        e.push(9, 3.0, 4.0, &[0.125, 0.0625]);
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.path_len(), 2);
+        assert_eq!(e.ids(), &[7, 9]);
+        assert_eq!(e.id(0), 7);
+        assert_eq!(e.d1(1), 3.0);
+        assert_eq!(e.d2(0), 2.0);
+        assert_eq!(e.path(0), &[0.5, 0.25]);
+        assert_eq!(e.path(1), &[0.125, 0.0625]);
+    }
+
+    #[test]
+    fn empty_leaf_entries() {
+        let e = LeafEntries::new(0);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert_eq!(e.path_len(), 0);
+    }
+
+    #[test]
+    fn zero_path_len_entries_have_empty_paths() {
+        let mut e = LeafEntries::new(0);
+        e.push(1, 0.5, 0.75, &[]);
+        e.push(2, 1.5, 1.75, &[]);
+        assert_eq!(e.path(0), &[] as &[f64]);
+        assert_eq!(e.path(1), &[] as &[f64]);
+    }
 }

@@ -2,7 +2,7 @@
 //! queries) plus a k-nearest-neighbor extension.
 
 use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
-use vantage_core::{KnnCollector, Metric, Neighbor};
+use vantage_core::{BoundedMetric, KnnCollector, Neighbor};
 
 use crate::node::{Node, NodeId};
 use crate::tree::MvpTree;
@@ -26,7 +26,7 @@ fn shell_bound(d: f64, lo: f64, hi: f64) -> f64 {
     (d - hi).max(lo - d).max(0.0)
 }
 
-impl<T, M: Metric<T>> MvpTree<T, M> {
+impl<T, M: BoundedMetric<T>> MvpTree<T, M> {
     /// Range search (paper §4.3).
     ///
     /// Depth-first descent maintaining `PATH[]`, the distances between the
@@ -89,29 +89,38 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
                 }
                 // Step 2: filter entries by D1, D2, then PATH; compute the
-                // real distance only for survivors.
-                'entry: for e in entries {
-                    let b1 = (dq1 - e.d1).abs();
+                // real distance only for survivors, through the bounded
+                // kernel with the query radius as the bound.
+                'entry: for i in 0..entries.len() {
+                    let b1 = (dq1 - entries.d1(i)).abs();
                     if b1 > radius {
                         sink.reject(PruneReason::PrecomputedD1, b1);
                         continue;
                     }
-                    let b2 = (dq2 - e.d2).abs();
+                    let b2 = (dq2 - entries.d2(i)).abs();
                     if b2 > radius {
                         sink.reject(PruneReason::PrecomputedD2, b2);
                         continue;
                     }
-                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         let bp = (qp - ep).abs();
                         if bp > radius {
                             sink.reject(PruneReason::PathFilter, bp);
                             continue 'entry;
                         }
                     }
+                    let id = entries.id(i) as usize;
                     sink.distance(DistanceRole::Candidate);
-                    let d = self.metric.distance(query, &self.items[e.id as usize]);
-                    if d <= radius {
-                        out.push(Neighbor::new(e.id as usize, d));
+                    match self
+                        .metric
+                        .distance_within_frac(query, &self.items[id], radius)
+                    {
+                        (Some(d), _) => out.push(Neighbor::new(id, d)),
+                        (None, work) => {
+                            if S::ENABLED {
+                                sink.abandon(DistanceRole::Candidate, work);
+                            }
+                        }
                     }
                 }
             }
@@ -245,17 +254,33 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
-                for e in entries {
-                    let b1 = (dq1 - e.d1).abs();
-                    let b2 = (dq2 - e.d2).abs();
+                for i in 0..entries.len() {
+                    let b1 = (dq1 - entries.d1(i)).abs();
+                    let b2 = (dq2 - entries.d2(i)).abs();
                     let mut bound = b1.max(b2);
-                    for (&qp, &ep) in path.iter().zip(&e.path) {
+                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         bound = bound.max((qp - ep).abs());
                     }
                     if bound <= collector.radius() {
+                        let id = entries.id(i) as usize;
                         sink.distance(DistanceRole::Candidate);
-                        let d = self.metric.distance(query, &self.items[e.id as usize]);
-                        collector.offer(e.id as usize, d);
+                        // Bounded by the current k-th best distance: an
+                        // abandoned candidate is one the collector's
+                        // strict `<` would have discarded.
+                        match self.metric.distance_within_frac(
+                            query,
+                            &self.items[id],
+                            collector.radius(),
+                        ) {
+                            (Some(d), _) => {
+                                collector.offer(id, d);
+                            }
+                            (None, work) => {
+                                if S::ENABLED {
+                                    sink.abandon(DistanceRole::Candidate, work);
+                                }
+                            }
+                        }
                     } else if S::ENABLED {
                         sink.reject(Self::attribute_leaf_bound(b1, b2, bound), bound);
                     }

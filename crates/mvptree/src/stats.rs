@@ -89,9 +89,10 @@ impl<T, M> MvpTree<T, M> {
                 s.leaf_entries += entries.len();
                 s.vantage_points += 1 + usize::from(vp2.is_some());
                 s.max_leaf_entries = s.max_leaf_entries.max(entries.len());
-                s.max_path_len = s
-                    .max_path_len
-                    .max(entries.iter().map(|e| e.path.len()).max().unwrap_or(0));
+                if !entries.is_empty() {
+                    // PATH lengths are uniform within a leaf.
+                    s.max_path_len = s.max_path_len.max(entries.path_len());
+                }
                 0
             }
             Node::Internal { children, .. } => {

@@ -41,7 +41,7 @@ impl<T, M> MvpTree<T, M> {
     }
 }
 
-impl<T, M: vantage_core::Metric<T>> MetricIndex<T> for MvpTree<T, M> {
+impl<T, M: vantage_core::BoundedMetric<T>> MetricIndex<T> for MvpTree<T, M> {
     fn len(&self) -> usize {
         self.items.len()
     }

@@ -72,38 +72,39 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                         self.params.k
                     ));
                 }
-                for e in entries {
-                    self.mark(e.id, seen)?;
-                    let d1 = self.dist(*vp1, e.id);
-                    if d1 != e.d1 {
+                for idx in 0..entries.len() {
+                    let id = entries.id(idx);
+                    self.mark(id, seen)?;
+                    let d1 = self.dist(*vp1, id);
+                    if d1 != entries.d1(idx) {
                         return Err(format!(
-                            "entry {}: stored D1 {} != recomputed {}",
-                            e.id, e.d1, d1
+                            "entry {id}: stored D1 {} != recomputed {d1}",
+                            entries.d1(idx)
                         ));
                     }
                     let v2 = vp2.expect("entries imply vp2");
-                    let d2 = self.dist(v2, e.id);
-                    if d2 != e.d2 {
+                    let d2 = self.dist(v2, id);
+                    if d2 != entries.d2(idx) {
                         return Err(format!(
-                            "entry {}: stored D2 {} != recomputed {}",
-                            e.id, e.d2, d2
+                            "entry {id}: stored D2 {} != recomputed {d2}",
+                            entries.d2(idx)
                         ));
                     }
                     let expected_len = self.params.p.min(ancestors.len());
-                    if e.path.len() != expected_len {
+                    if entries.path(idx).len() != expected_len {
                         return Err(format!(
-                            "entry {}: PATH length {} != min(p, ancestors) = {}",
-                            e.id,
-                            e.path.len(),
+                            "entry {id}: PATH length {} != min(p, ancestors) = {}",
+                            entries.path(idx).len(),
                             expected_len
                         ));
                     }
-                    for (i, (&stored, &vp)) in e.path.iter().zip(ancestors.iter()).enumerate() {
-                        let d = self.dist(vp, e.id);
+                    for (i, (&stored, &vp)) in
+                        entries.path(idx).iter().zip(ancestors.iter()).enumerate()
+                    {
+                        let d = self.dist(vp, id);
                         if d != stored {
                             return Err(format!(
-                                "entry {}: PATH[{i}] = {stored} != recomputed {d}",
-                                e.id
+                                "entry {id}: PATH[{i}] = {stored} != recomputed {d}"
                             ));
                         }
                     }
@@ -187,7 +188,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 if let Some(v2) = vp2 {
                     out.push(*v2);
                 }
-                out.extend(entries.iter().map(|e| e.id));
+                out.extend_from_slice(entries.ids());
             }
             Node::Internal {
                 vp1, vp2, children, ..

@@ -5,12 +5,12 @@ use std::collections::BinaryHeap;
 
 use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::util::OrdF64;
-use vantage_core::{KnnCollector, Metric, Neighbor};
+use vantage_core::{BoundedMetric, KnnCollector, Neighbor};
 
 use crate::node::{Node, NodeId};
 use crate::tree::VpTree;
 
-impl<T, M: Metric<T>> VpTree<T, M> {
+impl<T, M: BoundedMetric<T>> VpTree<T, M> {
     /// Range search: all items within `radius` of `query`.
     ///
     /// At each visited node one distance `d(q, vantage)` is computed; the
@@ -55,9 +55,16 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 sink.enter_node(level, true);
                 for &id in items {
                     sink.distance(DistanceRole::Candidate);
-                    let d = self.metric.distance(query, &self.items[id as usize]);
-                    if d <= radius {
-                        out.push(Neighbor::new(id as usize, d));
+                    match self
+                        .metric
+                        .distance_within_frac(query, &self.items[id as usize], radius)
+                    {
+                        (Some(d), _) => out.push(Neighbor::new(id as usize, d)),
+                        (None, work) => {
+                            if S::ENABLED {
+                                sink.abandon(DistanceRole::Candidate, work);
+                            }
+                        }
                     }
                 }
             }
@@ -131,8 +138,23 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                     sink.enter_node(level, true);
                     for &id in items {
                         sink.distance(DistanceRole::Candidate);
-                        let d = self.metric.distance(query, &self.items[id as usize]);
-                        collector.offer(id as usize, d);
+                        // Bounded by the current k-th best distance: a
+                        // candidate the kernel abandons is one the
+                        // collector's strict `<` would have discarded.
+                        match self.metric.distance_within_frac(
+                            query,
+                            &self.items[id as usize],
+                            collector.radius(),
+                        ) {
+                            (Some(d), _) => {
+                                collector.offer(id as usize, d);
+                            }
+                            (None, work) => {
+                                if S::ENABLED {
+                                    sink.abandon(DistanceRole::Candidate, work);
+                                }
+                            }
+                        }
                     }
                 }
                 Node::Internal {

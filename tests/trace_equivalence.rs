@@ -249,3 +249,91 @@ fn trace_feature_captures_individual_events() {
         assert!(!e.bound.is_nan());
     }
 }
+
+/// A metric that opts into [`BoundedMetric`] with the default
+/// full-computation methods: it never abandons, so searching with it is
+/// the pre-kernel "always evaluate fully" behavior.
+#[derive(Clone)]
+struct FullCompute;
+
+impl Metric<Vec<f64>> for FullCompute {
+    fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        Euclidean.distance(a, b)
+    }
+}
+
+impl BoundedMetric<Vec<f64>> for FullCompute {}
+
+/// The tentpole's bit-identity claim, end to end: every structure must
+/// return byte-for-byte the same answers (ids *and* f64 distances) and
+/// charge the same number of distance computations whether its leaf
+/// filters run the early-abandoning kernels (`Euclidean`) or always
+/// evaluate fully (`FullCompute`).
+#[test]
+fn early_abandoning_search_is_bit_identical_to_full_evaluation() {
+    let points = uniform_vectors(400, 8, 1);
+
+    let fast_probe = Counted::new(Euclidean);
+    let full_probe = Counted::new(FullCompute);
+    let check = |name: &str, fast: &dyn MetricIndex<Vec<f64>>, full: &dyn MetricIndex<Vec<f64>>| {
+        for q in &queries() {
+            for r in RADII {
+                fast_probe.reset();
+                full_probe.reset();
+                let a = fast.range(q, r);
+                let b = full.range(q, r);
+                assert_eq!(a, b, "{name} range answers differ at r={r}");
+                assert_eq!(
+                    fast_probe.take(),
+                    full_probe.take(),
+                    "{name} range cost differs at r={r}"
+                );
+            }
+            for k in KS {
+                fast_probe.reset();
+                full_probe.reset();
+                let a = fast.knn(q, k);
+                let b = full.knn(q, k);
+                assert_eq!(a, b, "{name} knn answers differ at k={k}");
+                assert_eq!(
+                    fast_probe.take(),
+                    full_probe.take(),
+                    "{name} knn cost differs at k={k}"
+                );
+            }
+        }
+    };
+
+    let params = VpTreeParams::with_order(3).leaf_capacity(6).seed(7);
+    check(
+        "vp",
+        &VpTree::build(points.clone(), fast_probe.clone(), params.clone()).unwrap(),
+        &VpTree::build(points.clone(), full_probe.clone(), params).unwrap(),
+    );
+    let params = MvpParams::paper(3, 20, 5).seed(7);
+    check(
+        "mvp",
+        &MvpTree::build(points.clone(), fast_probe.clone(), params.clone()).unwrap(),
+        &MvpTree::build(points.clone(), full_probe.clone(), params).unwrap(),
+    );
+    check(
+        "linear",
+        &LinearScan::new(points.clone(), fast_probe.clone()),
+        &LinearScan::new(points.clone(), full_probe.clone()),
+    );
+    check(
+        "gh",
+        &GhTree::build(points.clone(), fast_probe.clone(), GhTreeParams::default()).unwrap(),
+        &GhTree::build(points.clone(), full_probe.clone(), GhTreeParams::default()).unwrap(),
+    );
+    check(
+        "gnat",
+        &Gnat::build(points.clone(), fast_probe.clone(), GnatParams::default()).unwrap(),
+        &Gnat::build(points.clone(), full_probe.clone(), GnatParams::default()).unwrap(),
+    );
+    check(
+        "fq",
+        &FqTree::build(points.clone(), fast_probe.clone(), FqTreeParams::default()).unwrap(),
+        &FqTree::build(points, full_probe.clone(), FqTreeParams::default()).unwrap(),
+    );
+}
