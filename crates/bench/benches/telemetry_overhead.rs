@@ -1,0 +1,86 @@
+//! Criterion: overhead of the always-on serving telemetry layer.
+//!
+//! Pairs the bare index against the same index behind
+//! [`Instrumented`] with a live `Counted` probe, on the standard
+//! quick-scale workload (20 k points, 16 queries). The acceptance bar for
+//! the telemetry PR is ≤2% median overhead on mvp range and knn; the
+//! measured medians are committed in BENCH_serving.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vantage_bench::{bench_queries, bench_vectors};
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_telemetry::{Instrumented, MetricsRegistry};
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let points = bench_vectors(20_000);
+    let queries = bench_queries();
+    let r = 0.3f64;
+    let k = 10usize;
+
+    let bare = MvpTree::build(
+        points.clone(),
+        Counted::new(Euclidean),
+        MvpParams::paper(3, 80, 5).seed(1),
+    )
+    .unwrap();
+
+    let registry = MetricsRegistry::new();
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let instrumented = Instrumented::with_probe(
+        MvpTree::build(points, metric, MvpParams::paper(3, 80, 5).seed(1)).unwrap(),
+        registry.index("mvp"),
+        probe,
+    );
+
+    let mut group = c.benchmark_group("telemetry_overhead_range_20k");
+    group.bench_function("mvpt_3_80_5/bare", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(bare.range(q, r));
+            }
+        })
+    });
+    group.bench_function("mvpt_3_80_5/instrumented", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(instrumented.range(q, r));
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("telemetry_overhead_knn_20k");
+    group.bench_function("mvpt_3_80_5/bare", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(bare.knn(q, k));
+            }
+        })
+    });
+    group.bench_function("mvpt_3_80_5/instrumented", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(instrumented.knn(q, k));
+            }
+        })
+    });
+    group.finish();
+
+    // Sanity: both trees answer identically (telemetry never changes
+    // results), and the instrumented runs actually recorded.
+    let q = &queries[0];
+    assert_eq!(bare.range(q, r), instrumented.range(q, r));
+    assert_eq!(bare.knn(q, k), instrumented.knn(q, k));
+    let snapshot = registry.snapshot();
+    let mvp = snapshot.index("mvp").expect("mvp metrics recorded");
+    assert!(mvp.op(vantage_telemetry::OpKind::Range).is_some());
+    assert!(mvp.op(vantage_telemetry::OpKind::Knn).is_some());
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

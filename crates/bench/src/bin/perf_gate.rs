@@ -1,0 +1,244 @@
+//! CI performance-regression gate.
+//!
+//! Runs a fixed quick-scale serving workload (mvp- and vp-tree build,
+//! range, knn, and batch queries) under the telemetry layer, extracts a
+//! flat metric map from the registry snapshot, and compares it against
+//! the committed baseline (`BENCH_serving.json`) with the tolerance rules
+//! from `vantage_telemetry::gate`:
+//!
+//! * distance-computation metrics are deterministic (seeded builds, fixed
+//!   queries) and use the strict tolerance (default 15%);
+//! * wall-clock metrics (`*_ns`) are first rescaled by the ratio of the
+//!   baseline's calibration constant to this machine's — a fixed
+//!   CPU-bound loop timed at startup — and then checked against the
+//!   looser `--wall-tolerance` (default 100%) to absorb shared-runner
+//!   noise.
+//!
+//! Usage:
+//!   perf_gate [--baseline PATH] [--tolerance F] [--wall-tolerance F]
+//!             [--metrics-out PATH] [--write]
+//!
+//! `--write` refreshes the baseline file instead of gating. Exits 1 on
+//! any regression or missing metric.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use vantage_bench::{bench_queries, bench_vectors};
+use vantage_core::prelude::*;
+use vantage_core::MetricIndex;
+use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_telemetry::gate::{compare, metrics_from_json, metrics_to_json};
+use vantage_telemetry::{export, Instrumented, MetricsRegistry};
+use vantage_vptree::{VpTree, VpTreeParams};
+
+const N: usize = 10_000;
+const RANGE_R: f64 = 0.3;
+const KNN_K: usize = 10;
+const REPS: usize = 4;
+
+struct Options {
+    baseline: String,
+    tolerance: f64,
+    wall_tolerance: f64,
+    metrics_out: Option<String>,
+    write: bool,
+}
+
+// The core prelude shadows `Result` with its single-parameter alias.
+fn parse_args() -> std::result::Result<Options, String> {
+    let mut options = Options {
+        baseline: "BENCH_serving.json".to_string(),
+        tolerance: 0.15,
+        wall_tolerance: 1.00,
+        metrics_out: None,
+        write: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--write" {
+            options.write = true;
+            i += 1;
+            continue;
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--baseline" => options.baseline = value.clone(),
+            "--tolerance" => {
+                options.tolerance = value.parse().map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--wall-tolerance" => {
+                options.wall_tolerance = value
+                    .parse()
+                    .map_err(|e| format!("--wall-tolerance: {e}"))?
+            }
+            "--metrics-out" => options.metrics_out = Some(value.clone()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(options)
+}
+
+/// Times a fixed CPU-bound loop (median of 5 runs, ns). The ratio of two
+/// machines' constants estimates their single-thread speed ratio, letting
+/// the gate compare wall-clock medians recorded on different hardware.
+fn calibration_ns() -> f64 {
+    let a: Vec<f64> = (0..64).map(|i| (i as f64) * 0.013).collect();
+    let b: Vec<f64> = (0..64).map(|i| (i as f64) * 0.029 + 0.5).collect();
+    let mut runs = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut acc = 0.0f64;
+        for _ in 0..100_000 {
+            acc += Euclidean.distance(std::hint::black_box(&a), std::hint::black_box(&b));
+        }
+        std::hint::black_box(acc);
+        runs.push(start.elapsed().as_nanos() as f64);
+    }
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
+/// Runs the serving workload against one structure, recording under
+/// `label`.
+fn run_workload<I, B>(registry: &MetricsRegistry, label: &str, build: B)
+where
+    I: MetricIndex<Vec<f64>> + Sync,
+    B: FnOnce(Vec<Vec<f64>>, Counted<Euclidean>) -> I,
+{
+    let points = bench_vectors(N);
+    let queries = bench_queries();
+    let metric = Counted::new(Euclidean);
+    let probe = metric.clone();
+    let index =
+        Instrumented::build_with(registry.index(label), probe, move || build(points, metric));
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(index.range(q, RANGE_R));
+            std::hint::black_box(index.knn(q, KNN_K));
+        }
+    }
+    std::hint::black_box(index.batch_range(&queries, RANGE_R, Threads::Auto));
+    std::hint::black_box(index.batch_knn(&queries, KNN_K, Threads::Auto));
+}
+
+/// Flattens the snapshot into the gated metric map.
+fn collect_metrics(registry: &MetricsRegistry) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    for index in &registry.snapshot().indexes {
+        for op in &index.ops {
+            let base = format!("{}/{}", index.label, op.kind.name());
+            metrics.insert(format!("{base}/ops"), op.ops as f64);
+            metrics.insert(format!("{base}/distances_sum"), op.distances.sum as f64);
+            if let Some(p50) = op.distances.percentile(0.5) {
+                metrics.insert(format!("{base}/distances_p50"), p50 as f64);
+            }
+            // Wall-clock medians are only gated where there are enough
+            // samples for a stable p50 (range/knn record hundreds);
+            // single-shot ops (build, batch_*) are one scheduler-noisy
+            // measurement each and gate on their distance metrics only.
+            if op.ops >= 16 {
+                if let Some(p50) = op.latency_ns.percentile(0.5) {
+                    metrics.insert(format!("{base}/latency_p50_ns"), p50 as f64);
+                }
+            }
+        }
+    }
+    metrics
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let registry = MetricsRegistry::new();
+    run_workload(&registry, "mvp", |points, metric| {
+        MvpTree::build(points, metric, MvpParams::paper(3, 80, 5).seed(1)).expect("mvp build")
+    });
+    run_workload(&registry, "vp", |points, metric| {
+        VpTree::build(points, metric, VpTreeParams::binary().seed(1)).expect("vp build")
+    });
+
+    let mut fresh = collect_metrics(&registry);
+    fresh.insert("calibration_ns".to_string(), calibration_ns());
+
+    if let Some(path) = &options.metrics_out {
+        let json = export::to_json(&registry.snapshot());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("metrics snapshot written to {path}");
+    }
+
+    if options.write {
+        if let Err(e) = std::fs::write(&options.baseline, metrics_to_json(&fresh)) {
+            eprintln!("error: cannot write {}: {e}", options.baseline);
+            std::process::exit(2);
+        }
+        println!(
+            "baseline written to {} ({} metrics)",
+            options.baseline,
+            fresh.len()
+        );
+        return;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&options.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read baseline {}: {e} (run with --write to create it)",
+                options.baseline
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = match metrics_from_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {}: {e}", options.baseline);
+            std::process::exit(2);
+        }
+    };
+
+    // Rescale this machine's wall-clock readings to the baseline
+    // machine's speed before comparing; distance counts are left as-is.
+    if let (Some(&base_cal), Some(&fresh_cal)) =
+        (baseline.get("calibration_ns"), fresh.get("calibration_ns"))
+    {
+        if fresh_cal > 0.0 && base_cal > 0.0 {
+            let scale = base_cal / fresh_cal;
+            println!(
+                "calibration: baseline {base_cal:.0} ns, here {fresh_cal:.0} ns \
+                 (scaling wall metrics by {scale:.3})"
+            );
+            for (name, value) in fresh.iter_mut() {
+                if name.ends_with("_ns") {
+                    *value *= scale;
+                }
+            }
+        }
+    }
+
+    let report = compare(&baseline, &fresh, options.tolerance, options.wall_tolerance);
+    print!("{}", report.render());
+    if report.failed() {
+        eprintln!(
+            "perf gate FAILED: {} metric(s) regressed beyond tolerance",
+            report.failures().len()
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate passed ({} metrics)", report.checks.len());
+}

@@ -26,11 +26,15 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
 
 use vantage_core::prelude::*;
 use vantage_core::MetricIndex;
 use vantage_experiments::Scale;
 use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_telemetry::export::{self, thousands};
+use vantage_telemetry::{IndexMetrics, Instrumented, MetricsRegistry, OpKind};
 use vantage_vptree::{VpTree, VpTreeParams};
 
 /// CLI failure: a message for the user (exit code 1).
@@ -109,10 +113,11 @@ USAGE:
   vantage generate clustered --clusters C --size K --dim D [--epsilon E] [--seed S] [--out FILE]
   vantage generate words     --n N [--seed S] [--out FILE]
   vantage query  --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
-                 (--range R | --knn K) [--seed S] [--threads auto|N]
+                 (--range R | --knn K) [--seed S] [--threads auto|N] [--metrics FILE]
   vantage explain --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
-                 (--range R | --knn K) [--seed S] [--threads auto|N]
+                 (--range R | --knn K) [--seed S] [--threads auto|N] [--metrics FILE]
   vantage stats  --data FILE [--metric l1|l2|linf|edit] [--bin W] [--threads auto|N]
+  vantage stats  --metrics FILE [--format table|json|prom]
   vantage experiment NAME [--scale quick|full]
        NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
              construction, comparators, knn, pruning
@@ -124,6 +129,13 @@ of distance computations used. `explain` runs the same search with the
 observability layer attached and prints a per-query pruning breakdown:
 which triangle-inequality filter cut each subtree or leaf candidate, the
 bounds that justified the cuts, and the per-level fanout.
+
+`--metrics FILE` on `query`/`explain` runs the command under the serving
+telemetry layer and writes a metrics snapshot (latency and
+distance-computation histograms per operation) as JSON to FILE;
+`vantage stats --metrics FILE` renders a snapshot back as a per-index,
+per-operation table with p50/p95/p99 percentiles, or re-exports it as
+JSON or Prometheus text with `--format`.
 
 `--threads` controls construction/statistics parallelism (default: auto,
 i.e. all cores, or the VANTAGE_THREADS environment variable). The worker
@@ -269,7 +281,11 @@ fn parse_threads(args: &Args<'_>) -> CliResult<Threads> {
     }
 }
 
-fn run_structure_query<T: Clone + Sync + 'static, M: BoundedMetric<T> + Clone + Sync + 'static>(
+#[allow(clippy::too_many_arguments)]
+fn run_structure_query<
+    T: Clone + Sync + 'static,
+    M: BoundedMetric<T> + Clone + Send + Sync + 'static,
+>(
     items: Vec<T>,
     metric: M,
     structure: &str,
@@ -277,10 +293,12 @@ fn run_structure_query<T: Clone + Sync + 'static, M: BoundedMetric<T> + Clone + 
     threads: Threads,
     query: &T,
     kind: &QueryKind,
+    metrics: Option<Arc<IndexMetrics>>,
 ) -> CliResult<(Vec<Neighbor>, u64, usize)> {
     let counted = Counted::new(metric);
     let probe = counted.clone();
     let n = items.len();
+    let build_start = Instant::now();
     let index: Box<dyn MetricIndex<T>> = match structure {
         "mvp" => Box::new(
             MvpTree::build(
@@ -301,18 +319,49 @@ fn run_structure_query<T: Clone + Sync + 'static, M: BoundedMetric<T> + Clone + 
         "linear" => Box::new(LinearScan::new(items, counted)),
         other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
     };
+    if let Some(metrics) = &metrics {
+        metrics.record(OpKind::Build, build_start.elapsed(), probe.totals().into());
+    }
     probe.reset();
-    let mut results = match kind {
-        QueryKind::Range(r) => {
-            let mut v = index.range(query, *r);
-            v.sort_unstable();
-            v
+    let mut results = match &metrics {
+        // The instrumented path answers through the same boxed index;
+        // only timing and cost attribution are added.
+        Some(metrics) => {
+            let instrumented =
+                Instrumented::with_probe(&*index, Arc::clone(metrics), probe.clone());
+            match kind {
+                QueryKind::Range(r) => {
+                    let mut v = instrumented.range(query, *r);
+                    v.sort_unstable();
+                    v
+                }
+                QueryKind::Knn(k) => instrumented.knn(query, *k),
+            }
         }
-        QueryKind::Knn(k) => index.knn(query, *k),
+        None => match kind {
+            QueryKind::Range(r) => {
+                let mut v = index.range(query, *r);
+                v.sort_unstable();
+                v
+            }
+            QueryKind::Knn(k) => index.knn(query, *k),
+        },
     };
     let cost = probe.take();
     results.truncate(1000); // terminal sanity for huge result sets
     Ok((results, cost, n))
+}
+
+/// Writes a registry snapshot as JSON to `path` and notes it in `out`.
+fn write_metrics_snapshot(
+    registry: &MetricsRegistry,
+    path: &str,
+    out: &mut String,
+) -> CliResult<()> {
+    let json = export::to_json(&registry.snapshot());
+    fs::write(path, json).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(out, "metrics snapshot written to {path}");
+    Ok(())
 }
 
 fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
@@ -324,6 +373,8 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
     let threads = parse_threads(&args)?;
     let kind = query_kind(&args)?;
     let query_text = args.required("query")?;
+    let registry = MetricsRegistry::new();
+    let metrics = args.get("metrics").map(|_| registry.index(structure));
 
     let (results, cost, n) = if metric_name == "edit" {
         let words = read_words(data)?;
@@ -335,6 +386,7 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
             threads,
             &query_text.to_string(),
             &kind,
+            metrics,
         )?
     } else {
         let vectors = read_vectors(data)?;
@@ -353,15 +405,15 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
             }
         }
         match metric_name {
-            "l2" => {
-                run_structure_query(vectors, Euclidean, structure, seed, threads, &query, &kind)?
-            }
-            "l1" => {
-                run_structure_query(vectors, Manhattan, structure, seed, threads, &query, &kind)?
-            }
-            "linf" => {
-                run_structure_query(vectors, Chebyshev, structure, seed, threads, &query, &kind)?
-            }
+            "l2" => run_structure_query(
+                vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
+            )?,
+            "l1" => run_structure_query(
+                vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
+            )?,
+            "linf" => run_structure_query(
+                vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
+            )?,
             other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
         }
     };
@@ -375,12 +427,16 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
         "cost: {cost} distance computations over {n} items ({:.1}% of linear scan)",
         100.0 * cost as f64 / n.max(1) as f64
     );
+    if let Some(path) = args.get("metrics") {
+        write_metrics_snapshot(&registry, path, out)?;
+    }
     Ok(())
 }
 
 /// Builds the requested structure and runs the query once with a
 /// [`QueryProfile`] attached, returning answers, the `Counted` tally for
 /// the query phase, the dataset size and the profile.
+#[allow(clippy::too_many_arguments)]
 fn run_structure_explain<
     T: Clone + Sync + 'static,
     M: BoundedMetric<T> + Clone + Sync + 'static,
@@ -392,13 +448,23 @@ fn run_structure_explain<
     threads: Threads,
     query: &T,
     kind: &QueryKind,
+    metrics: Option<Arc<IndexMetrics>>,
 ) -> CliResult<(Vec<Neighbor>, u64, usize, QueryProfile)> {
     let counted = Counted::new(metric);
     let probe = counted.clone();
     let n = items.len();
     let mut profile = QueryProfile::new();
-    // Traced searches are inherent methods on the concrete types, so
-    // each structure gets its own arm instead of a trait object.
+    // Traced searches are inherent methods on the concrete types, so each
+    // structure gets its own arm instead of a trait object (and telemetry
+    // is recorded directly rather than through `Instrumented`).
+    let build_start = Instant::now();
+    let record_build = |elapsed| {
+        if let Some(metrics) = &metrics {
+            metrics.record(OpKind::Build, elapsed, probe.totals().into());
+        }
+        probe.reset();
+    };
+    let query_start;
     let mut results = match structure {
         "mvp" => {
             let tree = MvpTree::build(
@@ -407,7 +473,8 @@ fn run_structure_explain<
                 MvpParams::paper(3, 80, 5).seed(seed).threads(threads),
             )
             .map_err(|e| err(e.to_string()))?;
-            probe.reset();
+            record_build(build_start.elapsed());
+            query_start = Instant::now();
             match kind {
                 QueryKind::Range(r) => tree.range_traced(query, *r, &mut profile),
                 QueryKind::Knn(k) => tree.knn_traced(query, *k, &mut profile),
@@ -420,7 +487,8 @@ fn run_structure_explain<
                 VpTreeParams::binary().seed(seed).threads(threads),
             )
             .map_err(|e| err(e.to_string()))?;
-            probe.reset();
+            record_build(build_start.elapsed());
+            query_start = Instant::now();
             match kind {
                 QueryKind::Range(r) => tree.range_traced(query, *r, &mut profile),
                 QueryKind::Knn(k) => tree.knn_traced(query, *k, &mut profile),
@@ -428,7 +496,8 @@ fn run_structure_explain<
         }
         "linear" => {
             let scan = LinearScan::new(items, counted);
-            probe.reset();
+            record_build(build_start.elapsed());
+            query_start = Instant::now();
             match kind {
                 QueryKind::Range(r) => scan.range_traced(query, *r, &mut profile),
                 QueryKind::Knn(k) => scan.knn_traced(query, *k, &mut profile),
@@ -436,12 +505,29 @@ fn run_structure_explain<
         }
         other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
     };
+    if let Some(metrics) = &metrics {
+        let op = match kind {
+            QueryKind::Range(_) => OpKind::Range,
+            QueryKind::Knn(_) => OpKind::Knn,
+        };
+        metrics.record(op, query_start.elapsed(), probe.totals().into());
+    }
     let cost = probe.take();
     if matches!(kind, QueryKind::Range(_)) {
         results.sort_unstable();
     }
     results.truncate(1000);
     Ok((results, cost, n, profile))
+}
+
+/// Renders one count as `1,234 role (56.7%)` — the percentage is the
+/// role's share of the `Counted` total for the query.
+fn role_share(count: u64, total: u64, role: &str) -> String {
+    format!(
+        "{} {role} ({:.1}%)",
+        thousands(count),
+        100.0 * count as f64 / total.max(1) as f64
+    )
 }
 
 /// Renders the pruning breakdown table for one profiled query.
@@ -454,19 +540,33 @@ fn format_profile(profile: &QueryProfile, cost: u64, n: usize, out: &mut String)
     );
     let _ = writeln!(
         out,
-        "distance computations: {cost} = {} vantage-point + {} leaf-candidate ({:.1}% of linear scan)",
-        profile.distances(DistanceRole::Vantage),
-        profile.distances(DistanceRole::Candidate),
+        "distance computations: {} = {} + {}; {:.1}% of linear scan",
+        thousands(cost),
+        role_share(
+            profile.distances(DistanceRole::Vantage),
+            cost,
+            "vantage-point"
+        ),
+        role_share(
+            profile.distances(DistanceRole::Candidate),
+            cost,
+            "leaf-candidate"
+        ),
         100.0 * cost as f64 / n.max(1) as f64
     );
     if profile.total_abandoned() > 0 {
+        let work = profile.estimated_work();
+        let work = if work < 0.5 {
+            "<1".to_string()
+        } else {
+            format!("~{}", thousands(work.round() as u64))
+        };
         let _ = writeln!(
             out,
-            "abandoned early:       {} = {} vantage-point + {} leaf-candidate (est. work {:.1} full evaluations)",
-            profile.total_abandoned(),
-            profile.abandoned(DistanceRole::Vantage),
-            profile.abandoned(DistanceRole::Candidate),
-            profile.estimated_work()
+            "abandoned early:       {} = {} vantage-point + {} leaf-candidate (est. work {work} full evaluations)",
+            thousands(profile.total_abandoned()),
+            thousands(profile.abandoned(DistanceRole::Vantage)),
+            thousands(profile.abandoned(DistanceRole::Candidate)),
         );
     }
     let sections = [
@@ -517,6 +617,8 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
     let threads = parse_threads(&args)?;
     let kind = query_kind(&args)?;
     let query_text = args.required("query")?;
+    let registry = MetricsRegistry::new();
+    let metrics = args.get("metrics").map(|_| registry.index(structure));
 
     let (results, cost, n, profile) = if metric_name == "edit" {
         let words = read_words(data)?;
@@ -528,6 +630,7 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
             threads,
             &query_text.to_string(),
             &kind,
+            metrics,
         )?
     } else {
         let vectors = read_vectors(data)?;
@@ -546,15 +649,15 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
             }
         }
         match metric_name {
-            "l2" => {
-                run_structure_explain(vectors, Euclidean, structure, seed, threads, &query, &kind)?
-            }
-            "l1" => {
-                run_structure_explain(vectors, Manhattan, structure, seed, threads, &query, &kind)?
-            }
-            "linf" => {
-                run_structure_explain(vectors, Chebyshev, structure, seed, threads, &query, &kind)?
-            }
+            "l2" => run_structure_explain(
+                vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
+            )?,
+            "l1" => run_structure_explain(
+                vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
+            )?,
+            "linf" => run_structure_explain(
+                vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
+            )?,
             other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
         }
     };
@@ -565,11 +668,29 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
     }
     let _ = writeln!(out, "--- query profile ({structure}) ---");
     format_profile(&profile, cost, n, out);
+    if let Some(path) = args.get("metrics") {
+        write_metrics_snapshot(&registry, path, out)?;
+    }
     Ok(())
 }
 
 fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
+    if let Some(path) = args.get("metrics") {
+        // Telemetry mode: render a snapshot written by `query --metrics`
+        // (or any process exporting the registry) instead of computing
+        // pairwise dataset statistics.
+        let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let snapshot = export::from_json(&text)
+            .map_err(|e| err(format!("{path}: not a metrics snapshot: {e}")))?;
+        match args.get("format").unwrap_or("table") {
+            "table" => out.push_str(&snapshot.render_table()),
+            "json" => out.push_str(&export::to_json(&snapshot)),
+            "prom" => out.push_str(&export::to_prometheus(&snapshot)),
+            other => return Err(err(format!("unknown format `{other}` (table|json|prom)"))),
+        }
+        return Ok(());
+    }
     let data = args.required("data")?;
     let metric_name = args.get("metric").unwrap_or("l2");
     let bin: f64 = args.parsed("bin", 0.05)?;
@@ -949,6 +1070,139 @@ mod tests {
         std::fs::write(&path, "1,2\n1,oops\n").unwrap();
         let e = run_err(&["stats", "--data", &path]);
         assert!(e.0.contains(":2:"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn query_metrics_snapshot_round_trips_through_stats() {
+        let data = temp_path("metrics-data.csv");
+        let metrics = temp_path("metrics.json");
+        run_ok(&[
+            "generate", "uniform", "--n", "400", "--dim", "6", "--seed", "7", "--out", &data,
+        ]);
+        let out = run_ok(&[
+            "query",
+            "--data",
+            &data,
+            "--structure",
+            "mvp",
+            "--knn",
+            "5",
+            "--query",
+            "0.5,0.5,0.5,0.5,0.5,0.5",
+            "--metrics",
+            &metrics,
+        ]);
+        assert!(out.contains("metrics snapshot written"), "{out}");
+
+        // The instrumented run answers identically to the bare run.
+        let bare = run_ok(&[
+            "query",
+            "--data",
+            &data,
+            "--structure",
+            "mvp",
+            "--knn",
+            "5",
+            "--query",
+            "0.5,0.5,0.5,0.5,0.5,0.5",
+        ]);
+        let pick = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with("id") || l.starts_with("cost:"))
+                .map(|l| l.trim().to_string())
+                .collect()
+        };
+        assert_eq!(pick(&out), pick(&bare), "telemetry changed the answers");
+
+        // The snapshot renders as the stats table with build + knn rows.
+        let table = run_ok(&["stats", "--metrics", &metrics]);
+        assert!(table.contains("latency p50/p95/p99"), "{table}");
+        assert!(table.contains("mvp"), "{table}");
+        assert!(table.contains("build"), "{table}");
+        assert!(table.contains("knn"), "{table}");
+
+        // And re-exports as Prometheus text and byte-stable JSON.
+        let prom = run_ok(&["stats", "--metrics", &metrics, "--format", "prom"]);
+        assert!(
+            prom.contains("vantage_ops_total{index=\"mvp\",op=\"knn\"} 1"),
+            "{prom}"
+        );
+        let json = run_ok(&["stats", "--metrics", &metrics, "--format", "json"]);
+        assert_eq!(json, std::fs::read_to_string(&metrics).unwrap());
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn explain_metrics_snapshot_records_the_query_op() {
+        let data = temp_path("explain-metrics.csv");
+        let metrics = temp_path("explain-metrics.json");
+        run_ok(&[
+            "generate", "uniform", "--n", "300", "--dim", "4", "--seed", "2", "--out", &data,
+        ]);
+        let out = run_ok(&[
+            "explain",
+            "--data",
+            &data,
+            "--structure",
+            "vp",
+            "--range",
+            "0.3",
+            "--query",
+            "0.5,0.5,0.5,0.5",
+            "--metrics",
+            &metrics,
+        ]);
+        assert!(out.contains("metrics snapshot written"), "{out}");
+        let table = run_ok(&["stats", "--metrics", &metrics]);
+        assert!(table.contains("vp"), "{table}");
+        assert!(table.contains("range"), "{table}");
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn stats_metrics_rejects_bad_input() {
+        let path = temp_path("bad-metrics.json");
+        std::fs::write(&path, "{\"not\": \"a snapshot\"}").unwrap();
+        let e = run_err(&["stats", "--metrics", &path]);
+        assert!(e.0.contains("not a metrics snapshot"), "{e}");
+        let e = run_err(&["stats", "--metrics", &path, "--format", "xml"]);
+        // Format validation happens after parsing; bad file still wins.
+        assert!(e.0.contains("not a metrics snapshot") || e.0.contains("unknown format"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explain_formats_counts_with_separators_and_shares() {
+        let path = temp_path("explain-fmt.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "1500", "--dim", "8", "--seed", "11", "--out", &path,
+        ]);
+        let out = run_ok(&[
+            "explain",
+            "--data",
+            &path,
+            "--structure",
+            "linear",
+            "--range",
+            "0.2",
+            "--query",
+            "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5",
+        ]);
+        // Linear scan over 1 500 items costs exactly 1,500 candidate
+        // evaluations: separators and the per-role share both appear.
+        assert!(out.contains("1,500"), "{out}");
+        assert!(out.contains("leaf-candidate (100.0%)"), "{out}");
+        // Estimated work is rounded, never printed as a raw float.
+        if let Some(line) = out.lines().find(|l| l.contains("est. work")) {
+            assert!(
+                line.contains("est. work ~") || line.contains("est. work <1"),
+                "{line}"
+            );
+        }
         let _ = std::fs::remove_file(&path);
     }
 

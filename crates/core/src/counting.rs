@@ -16,6 +16,35 @@ use crate::metric::{BoundedMetric, DiscreteMetric, Metric};
 /// is `WORK_SCALE` units.
 const WORK_SCALE: f64 = 1_000_000.0;
 
+/// A consistent reading of every [`Counted`] tally at one moment.
+///
+/// Readings are monotonic (absent a [`reset`](Counted::reset)), so two
+/// readings bracket an operation and their difference is that operation's
+/// cost — this is how the telemetry layer attributes distances to
+/// individual queries without resetting a shared counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DistanceTotals {
+    /// Total distance evaluations ([`Counted::count`]).
+    pub computations: u64,
+    /// Evaluations abandoned early ([`Counted::abandoned`]).
+    pub abandoned: u64,
+    /// Estimated work done by abandoned evaluations, in full-evaluation
+    /// units ([`Counted::abandoned_work`]).
+    pub abandoned_work: f64,
+}
+
+impl DistanceTotals {
+    /// The change from `earlier` to `self`, saturating at zero if a
+    /// concurrent reset moved the counters backwards.
+    pub fn since(&self, earlier: &DistanceTotals) -> DistanceTotals {
+        DistanceTotals {
+            computations: self.computations.saturating_sub(earlier.computations),
+            abandoned: self.abandoned.saturating_sub(earlier.abandoned),
+            abandoned_work: (self.abandoned_work - earlier.abandoned_work).max(0.0),
+        }
+    }
+}
+
 /// A metric wrapper that counts how many times `distance` is invoked.
 ///
 /// The counter is shared through an [`Arc`], so cloning a `Counted` yields
@@ -77,6 +106,19 @@ impl<M> Counted<M> {
     /// the total work estimate is `count() - abandoned() + abandoned_work()`.
     pub fn abandoned_work(&self) -> f64 {
         self.abandoned_work.load(Ordering::Relaxed) as f64 / WORK_SCALE
+    }
+
+    /// Reads every tally in one step.
+    ///
+    /// The three loads are individually relaxed, so under concurrent
+    /// traffic the reading is a consistent *cut* rather than an instant;
+    /// once writers quiesce it is exact.
+    pub fn totals(&self) -> DistanceTotals {
+        DistanceTotals {
+            computations: self.count(),
+            abandoned: self.abandoned(),
+            abandoned_work: self.abandoned_work(),
+        }
     }
 
     /// Resets all counters to zero (affects all clones).
@@ -223,6 +265,25 @@ mod tests {
         assert_eq!(m.abandoned(), 1);
         let work = m.abandoned_work();
         assert!(work > 0.0 && work < 0.5, "work fraction {work}");
+    }
+
+    #[test]
+    fn totals_reads_all_tallies_and_since_gives_deltas() {
+        let m = Counted::new(Euclidean);
+        let a = vec![0.0; 64];
+        let b = vec![10.0; 64];
+        m.distance(&a, &b);
+        let before = m.totals();
+        assert_eq!(before.computations, 1);
+        assert_eq!(before.abandoned, 0);
+        m.distance_within(&a, &b, 1.0);
+        let delta = m.totals().since(&before);
+        assert_eq!(delta.computations, 1);
+        assert_eq!(delta.abandoned, 1);
+        assert!(delta.abandoned_work > 0.0);
+        // A reset between readings saturates to zero instead of wrapping.
+        m.reset();
+        assert_eq!(m.totals().since(&before), DistanceTotals::default());
     }
 
     #[test]

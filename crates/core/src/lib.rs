@@ -70,7 +70,7 @@ pub mod stats;
 pub mod trace;
 pub mod util;
 
-pub use counting::Counted;
+pub use counting::{Counted, DistanceTotals};
 pub use error::{Result, VantageError};
 pub use farthest::{FarthestIndex, KfnCollector};
 pub use index::{BatchIndex, MetricIndex};
@@ -88,7 +88,7 @@ pub use trace::{
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::counting::Counted;
+    pub use crate::counting::{Counted, DistanceTotals};
     pub use crate::error::{Result, VantageError};
     pub use crate::farthest::{FarthestIndex, KfnCollector};
     pub use crate::index::{BatchIndex, MetricIndex};

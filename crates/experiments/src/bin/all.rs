@@ -1,30 +1,55 @@
 //! Runs every figure reproduction and ablation in sequence.
 //! Scale via VANTAGE_SCALE=full|quick.
+//!
+//! Besides the human-readable report on stdout (conventionally redirected
+//! to `full_results.txt`, see EXPERIMENTS.md), writes a machine-readable
+//! `results.json` — per-figure wall-clock, CSV rows, and a flat metrics
+//! map — to the path in VANTAGE_RESULTS_JSON (default `results.json`).
 
+use std::time::Instant;
+
+use vantage_experiments::report::results_json;
 use vantage_experiments::{ablations, figures, pruning, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     println!("vantage experiment suite — scale: {scale}\n");
-    let reports = [
-        figures::fig04(scale),
-        figures::fig05(scale),
-        figures::fig06(scale),
-        figures::fig07(scale),
-        figures::fig08(scale),
-        figures::fig09(scale),
-        figures::fig10(scale),
-        figures::fig11(scale),
-        ablations::ablation_leaf_capacity(scale),
-        ablations::ablation_path_p(scale),
-        ablations::ablation_order_m(scale),
-        ablations::ablation_vantage_selection(scale),
-        ablations::construction_cost(scale),
-        ablations::comparators(scale),
-        ablations::knn_cost(scale),
-        pruning::pruning_breakdown(scale),
+    let suite: [fn(Scale) -> vantage_experiments::FigureReport; 16] = [
+        figures::fig04,
+        figures::fig05,
+        figures::fig06,
+        figures::fig07,
+        figures::fig08,
+        figures::fig09,
+        figures::fig10,
+        figures::fig11,
+        ablations::ablation_leaf_capacity,
+        ablations::ablation_path_p,
+        ablations::ablation_order_m,
+        ablations::ablation_vantage_selection,
+        ablations::construction_cost,
+        ablations::comparators,
+        ablations::knn_cost,
+        pruning::pruning_breakdown,
     ];
-    for report in &reports {
+    let mut timed = Vec::with_capacity(suite.len());
+    for run in suite {
+        let start = Instant::now();
+        let report = run(scale);
+        let wall_clock_s = start.elapsed().as_secs_f64();
         println!("{}\n", report.render());
+        timed.push((wall_clock_s, report));
+    }
+
+    let entries: Vec<(f64, &vantage_experiments::FigureReport)> =
+        timed.iter().map(|(s, r)| (*s, r)).collect();
+    let json = results_json(&scale.to_string(), &entries);
+    let path = std::env::var("VANTAGE_RESULTS_JSON").unwrap_or_else(|_| "results.json".to_string());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("machine-readable results written to {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -95,6 +95,92 @@ pub fn query_cost_rows(series: &[QueryCostSeries]) -> Vec<Vec<String>> {
     rows
 }
 
+/// Extracts a flat `metric name → value` map from a report's CSV: every
+/// numeric cell becomes `"<column header>@<row label>"` (e.g.
+/// `"mvpt(3,80)@0.1500"`). Non-numeric cells are skipped, so the same
+/// conversion works for every report layout. This is the format the CI
+/// perf gate and dashboards consume.
+pub fn csv_metrics(csv: &str) -> Vec<(String, f64)> {
+    // Structure names like `mvpt(3,80)` embed commas, and the CSV writer
+    // does not quote; commas inside parentheses are not separators.
+    fn split_cells(line: &str) -> Vec<String> {
+        let mut cells = Vec::new();
+        let mut cell = String::new();
+        let mut depth = 0usize;
+        for c in line.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    cell.push(c);
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    cell.push(c);
+                }
+                ',' if depth == 0 => cells.push(std::mem::take(&mut cell)),
+                _ => cell.push(c),
+            }
+        }
+        cells.push(cell);
+        cells
+    }
+
+    let mut lines = csv.lines();
+    let header: Vec<String> = match lines.next() {
+        Some(h) => split_cells(h),
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    for line in lines {
+        let cells = split_cells(line);
+        let label = match cells.first() {
+            Some(l) => l,
+            None => continue,
+        };
+        for (i, cell) in cells.iter().enumerate().skip(1) {
+            if let (Some(column), Ok(value)) = (header.get(i), cell.parse::<f64>()) {
+                out.push((format!("{column}@{label}"), value));
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the full experiment-suite outcome as `results.json`: one
+/// entry per figure with its title, wall-clock seconds, raw CSV rows, and
+/// the flattened [`csv_metrics`] map.
+pub fn results_json(scale: &str, entries: &[(f64, &FigureReport)]) -> String {
+    use std::collections::BTreeMap;
+    use vantage_telemetry::Json;
+
+    let figures: Vec<Json> = entries
+        .iter()
+        .map(|&(wall_clock_s, report)| {
+            let rows: Vec<Json> = report
+                .csv
+                .lines()
+                .map(|line| Json::Arr(line.split(',').map(|c| Json::Str(c.into())).collect()))
+                .collect();
+            let metrics: BTreeMap<String, Json> = csv_metrics(&report.csv)
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v)))
+                .collect();
+            let mut obj = BTreeMap::new();
+            obj.insert("title".into(), Json::Str(report.title.clone()));
+            obj.insert("wall_clock_s".into(), Json::Num(wall_clock_s));
+            obj.insert("rows".into(), Json::Arr(rows));
+            obj.insert("metrics".into(), Json::Obj(metrics));
+            obj.insert("notes".into(), Json::Str(report.notes.clone()));
+            Json::Obj(obj)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("version".into(), Json::Num(1.0));
+    root.insert("scale".into(), Json::Str(scale.into()));
+    root.insert("figures".into(), Json::Arr(figures));
+    Json::Obj(root).render_pretty()
+}
+
 /// Builds a histogram table of `(bin lower edge, count)` rows.
 pub fn histogram_rows(rows: &[(f64, u64)], edge_label: &str) -> Vec<Vec<String>> {
     let mut out = vec![vec![edge_label.to_string(), "pairs".to_string()]];
@@ -163,6 +249,50 @@ mod tests {
     #[test]
     fn empty_table_is_empty() {
         assert!(format_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn csv_metrics_flattens_numeric_cells() {
+        let csv = format_csv(&query_cost_rows(&sample_series()));
+        let metrics = csv_metrics(&csv);
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("missing {name} in {metrics:?}"))
+                .1
+        };
+        assert_eq!(get("vpt(2)@0.1500"), 42.5);
+        // The CSV renders query costs at {:.1} precision.
+        assert_eq!(get("mvpt(3,80)@0.1500"), 10.2);
+        assert_eq!(get("vpt(2)@(build)"), 1000.0);
+        assert!(csv_metrics("").is_empty());
+        // Non-numeric cells are skipped, not errors.
+        assert!(csv_metrics("a,b\nx,not-a-number\n").is_empty());
+    }
+
+    #[test]
+    fn results_json_is_parseable_and_complete() {
+        let report = FigureReport {
+            title: "Figure 8".into(),
+            table: String::new(),
+            csv: format_csv(&query_cost_rows(&sample_series())),
+            notes: "protocol".into(),
+        };
+        let text = results_json("quick", &[(1.5, &report)]);
+        let root = vantage_telemetry::Json::parse(&text).expect("results.json must parse");
+        assert_eq!(root.get("scale").and_then(|v| v.as_str()), Some("quick"));
+        let figures = root.get("figures").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(figures.len(), 1);
+        let fig = &figures[0];
+        assert_eq!(fig.get("title").and_then(|v| v.as_str()), Some("Figure 8"));
+        assert_eq!(fig.get("wall_clock_s").and_then(|v| v.as_f64()), Some(1.5));
+        let metrics = fig.get("metrics").and_then(|v| v.as_object()).unwrap();
+        assert_eq!(
+            metrics.get("mvpt(3,80)@0.1500").and_then(|v| v.as_f64()),
+            Some(10.2)
+        );
+        assert_eq!(fig.get("rows").and_then(|v| v.as_array()).unwrap().len(), 3);
     }
 
     #[test]

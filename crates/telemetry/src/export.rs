@@ -1,0 +1,375 @@
+//! Snapshot exporters: JSON (lossless, round-trips) and Prometheus text.
+//!
+//! Both exporters are pure functions of a [`RegistrySnapshot`] — they
+//! never touch live atomics, so an export is internally consistent even
+//! while traffic continues.
+//!
+//! * **JSON** ([`to_json`] / [`from_json`]) is the lossless interchange
+//!   format: sparse histogram buckets and all summary fields survive a
+//!   round-trip bit-for-bit, so snapshots can be dumped by a serving
+//!   process, merged offline, and re-rendered (`vantage stats --metrics`).
+//! * **Prometheus** ([`to_prometheus`]) renders the conventional
+//!   scrape-format summary: per `{index, op}` counters plus
+//!   quantile-labeled latency/distance gauges. Quantiles (not raw
+//!   buckets) keep the exposition small; the JSON export carries the full
+//!   distributions.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::Json;
+use crate::registry::OpKind;
+use crate::snapshot::{IndexSnapshot, OpSnapshot, RegistrySnapshot};
+
+/// Format version stamped into JSON exports.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Formats an integer with thousands separators (`1234567` → `1,234,567`).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        // `is_multiple_of` would need Rust 1.87; the workspace MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of)]
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("count".into(), Json::Num(h.count as f64));
+    obj.insert("sum".into(), Json::Num(h.sum as f64));
+    obj.insert("min".into(), Json::Num(h.min as f64));
+    obj.insert("max".into(), Json::Num(h.max as f64));
+    obj.insert(
+        "buckets".into(),
+        Json::Arr(
+            h.buckets
+                .iter()
+                .map(|&(i, c)| Json::Arr(vec![Json::Num(f64::from(i)), Json::Num(c as f64)]))
+                .collect(),
+        ),
+    );
+    Json::Obj(obj)
+}
+
+fn histogram_from_json(v: &Json) -> Result<HistogramSnapshot, String> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("histogram missing `{name}`"))
+    };
+    let mut buckets = Vec::new();
+    for pair in v
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or("histogram missing `buckets`")?
+    {
+        let pair = pair
+            .as_array()
+            .ok_or("bucket entry must be [index, count]")?;
+        let (index, count) = match pair {
+            [i, c] => (
+                i.as_u64().ok_or("bucket index must be an integer")?,
+                c.as_u64().ok_or("bucket count must be an integer")?,
+            ),
+            _ => return Err("bucket entry must be [index, count]".into()),
+        };
+        buckets.push((
+            u32::try_from(index).map_err(|_| "bucket index overflow")?,
+            count,
+        ));
+    }
+    Ok(HistogramSnapshot {
+        count: field("count")?,
+        sum: field("sum")?,
+        min: field("min")?,
+        max: field("max")?,
+        buckets,
+    })
+}
+
+/// Serializes a snapshot to pretty-printed JSON.
+pub fn to_json(snapshot: &RegistrySnapshot) -> String {
+    let indexes: Vec<Json> = snapshot
+        .indexes
+        .iter()
+        .map(|index| {
+            let ops: Vec<Json> = index
+                .ops
+                .iter()
+                .map(|op| {
+                    let mut obj = BTreeMap::new();
+                    obj.insert("op".into(), Json::Str(op.kind.name().into()));
+                    obj.insert("count".into(), Json::Num(op.ops as f64));
+                    obj.insert("latency_ns".into(), histogram_to_json(&op.latency_ns));
+                    obj.insert("distances".into(), histogram_to_json(&op.distances));
+                    obj.insert("abandoned".into(), Json::Num(op.abandoned as f64));
+                    obj.insert("abandoned_work".into(), Json::Num(op.abandoned_work));
+                    Json::Obj(obj)
+                })
+                .collect();
+            let mut obj = BTreeMap::new();
+            obj.insert("label".into(), Json::Str(index.label.clone()));
+            obj.insert("ops".into(), Json::Arr(ops));
+            Json::Obj(obj)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("version".into(), Json::Num(FORMAT_VERSION as f64));
+    root.insert("indexes".into(), Json::Arr(indexes));
+    Json::Obj(root).render_pretty()
+}
+
+/// Parses a snapshot back from [`to_json`] output.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (unknown
+/// version, missing field, malformed histogram).
+pub fn from_json(text: &str) -> Result<RegistrySnapshot, String> {
+    let root = Json::parse(text)?;
+    let version = root
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("missing `version`")?;
+    if version != FORMAT_VERSION {
+        return Err(format!("unsupported snapshot version {version}"));
+    }
+    let mut indexes = Vec::new();
+    for index in root
+        .get("indexes")
+        .and_then(Json::as_array)
+        .ok_or("missing `indexes`")?
+    {
+        let label = index
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("index missing `label`")?
+            .to_string();
+        let mut ops = Vec::new();
+        for op in index
+            .get("ops")
+            .and_then(Json::as_array)
+            .ok_or("index missing `ops`")?
+        {
+            let kind_name = op
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or("op missing `op`")?;
+            let kind =
+                OpKind::parse(kind_name).ok_or_else(|| format!("unknown op kind `{kind_name}`"))?;
+            ops.push(OpSnapshot {
+                kind,
+                ops: op
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or("op missing `count`")?,
+                latency_ns: histogram_from_json(
+                    op.get("latency_ns").ok_or("op missing `latency_ns`")?,
+                )?,
+                distances: histogram_from_json(
+                    op.get("distances").ok_or("op missing `distances`")?,
+                )?,
+                abandoned: op
+                    .get("abandoned")
+                    .and_then(Json::as_u64)
+                    .ok_or("op missing `abandoned`")?,
+                abandoned_work: op
+                    .get("abandoned_work")
+                    .and_then(Json::as_f64)
+                    .ok_or("op missing `abandoned_work`")?,
+            });
+        }
+        indexes.push(IndexSnapshot { label, ops });
+    }
+    Ok(RegistrySnapshot { indexes })
+}
+
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let type_line = |out: &mut String, name: &str, kind: &str, help: &str| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+    };
+
+    type_line(
+        &mut out,
+        "vantage_ops_total",
+        "counter",
+        "Completed index operations.",
+    );
+    for index in &snapshot.indexes {
+        for op in &index.ops {
+            let _ = writeln!(
+                out,
+                "vantage_ops_total{{index=\"{}\",op=\"{}\"}} {}",
+                escape_label(&index.label),
+                op.kind.name(),
+                op.ops
+            );
+        }
+    }
+
+    for (metric, unit_help, pick) in [
+        (
+            "vantage_op_latency_ns",
+            "Wall-clock latency per operation, nanoseconds.",
+            (|op: &OpSnapshot| &op.latency_ns) as fn(&OpSnapshot) -> &HistogramSnapshot,
+        ),
+        (
+            "vantage_op_distances",
+            "Metric distance computations per operation.",
+            |op: &OpSnapshot| &op.distances,
+        ),
+    ] {
+        type_line(&mut out, metric, "summary", unit_help);
+        for index in &snapshot.indexes {
+            for op in &index.ops {
+                let h = pick(op);
+                let labels = format!(
+                    "index=\"{}\",op=\"{}\"",
+                    escape_label(&index.label),
+                    op.kind.name()
+                );
+                for (q, q_label) in QUANTILES {
+                    if let Some(v) = h.percentile(q) {
+                        let _ = writeln!(out, "{metric}{{{labels},quantile=\"{q_label}\"}} {v}");
+                    }
+                }
+                let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", h.sum);
+                let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count);
+            }
+        }
+    }
+
+    type_line(
+        &mut out,
+        "vantage_abandoned_total",
+        "counter",
+        "Distance evaluations abandoned early by the bounded kernels.",
+    );
+    for index in &snapshot.indexes {
+        for op in &index.ops {
+            let _ = writeln!(
+                out,
+                "vantage_abandoned_total{{index=\"{}\",op=\"{}\"}} {}",
+                escape_label(&index.label),
+                op.kind.name(),
+                op.abandoned
+            );
+        }
+    }
+    out
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CostDelta, MetricsRegistry};
+    use std::time::Duration;
+
+    fn sample() -> RegistrySnapshot {
+        let registry = MetricsRegistry::new();
+        let mvp = registry.index("mvp");
+        for i in 0..50u64 {
+            mvp.record(
+                OpKind::Range,
+                Duration::from_micros(80 + 3 * i),
+                CostDelta {
+                    computations: 120 + i,
+                    abandoned: i % 2,
+                    abandoned_work: 0.25,
+                },
+            );
+        }
+        mvp.record(
+            OpKind::Build,
+            Duration::from_millis(12),
+            CostDelta {
+                computations: 40_000,
+                ..CostDelta::default()
+            },
+        );
+        registry.index("vp").record(
+            OpKind::Knn,
+            Duration::from_micros(500),
+            CostDelta::default(),
+        );
+        registry.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snapshot = sample();
+        let text = to_json(&snapshot);
+        let parsed = from_json(&text).unwrap();
+        assert_eq!(parsed, snapshot);
+        // And a second generation is byte-stable.
+        assert_eq!(to_json(&parsed), text);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json("{\"version\": 99, \"indexes\": []}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let empty = RegistrySnapshot::default();
+        assert_eq!(from_json(&to_json(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn prometheus_has_counters_and_quantiles() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE vantage_ops_total counter"), "{text}");
+        assert!(
+            text.contains("vantage_ops_total{index=\"mvp\",op=\"range\"} 50"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vantage_op_latency_ns{index=\"mvp\",op=\"range\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vantage_op_distances_count{index=\"vp\",op=\"knn\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("vantage_abandoned_total"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_escapes_labels() {
+        let registry = MetricsRegistry::new();
+        registry.index("odd\"label\\x").record(
+            OpKind::Range,
+            Duration::from_nanos(1),
+            CostDelta::default(),
+        );
+        let text = to_prometheus(&registry.snapshot());
+        assert!(text.contains("index=\"odd\\\"label\\\\x\""), "{text}");
+    }
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+    }
+}

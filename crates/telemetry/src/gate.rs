@@ -1,0 +1,249 @@
+//! Performance-regression gate.
+//!
+//! CI runs a quick-scale benchmark, extracts a flat `metric name → value`
+//! map, and compares it against a committed baseline with
+//! [`compare`]. A fresh value more than `tolerance` *above* its baseline
+//! is a regression (all gated metrics are costs: median latency, median
+//! distance count — lower is better). Missing metrics fail too, so a
+//! silently dropped benchmark cannot pass the gate.
+//!
+//! Distance-computation metrics are deterministic, so they get a strict
+//! tolerance; wall-clock metrics are noisy on shared runners, so callers
+//! pass a looser `wall_tolerance` for metric names ending in `_ns`.
+
+use std::collections::BTreeMap;
+
+/// The outcome of one metric's baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCheck {
+    /// Metric name (e.g. `"mvp/range/distances_p50"`).
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value, `None` when the fresh run did not report
+    /// the metric at all.
+    pub fresh: Option<f64>,
+    /// Fractional change from baseline (`0.15` = 15% worse); `0.0` when
+    /// the baseline is zero and the fresh value is too.
+    pub change: f64,
+    /// Tolerance this metric was checked against.
+    pub tolerance: f64,
+    /// Whether the metric regressed (or went missing).
+    pub failed: bool,
+}
+
+/// A full gate comparison: every baseline metric, checked.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Per-metric outcomes, in baseline (sorted-name) order.
+    pub checks: Vec<MetricCheck>,
+}
+
+impl GateReport {
+    /// Whether any metric regressed or went missing.
+    pub fn failed(&self) -> bool {
+        self.checks.iter().any(|c| c.failed)
+    }
+
+    /// The failing checks only.
+    pub fn failures(&self) -> Vec<&MetricCheck> {
+        self.checks.iter().filter(|c| c.failed).collect()
+    }
+
+    /// Renders a human-readable table: one line per metric with baseline,
+    /// fresh value, percent change, and a PASS/FAIL verdict.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>14} {:>14} {:>9}  verdict",
+            "metric", "baseline", "fresh", "change"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(96));
+        for c in &self.checks {
+            let fresh = match c.fresh {
+                Some(v) => format!("{v:.1}"),
+                None => "missing".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14.1} {:>14} {:>+8.1}%  {}",
+                c.name,
+                c.baseline,
+                fresh,
+                c.change * 100.0,
+                if c.failed {
+                    format!("FAIL (>{:.0}%)", c.tolerance * 100.0)
+                } else {
+                    "ok".to_string()
+                }
+            );
+        }
+        out
+    }
+}
+
+/// Compares fresh metrics against a committed baseline.
+///
+/// Every metric present in `baseline` must be present in `fresh` and at
+/// most `tolerance` (fractionally) above its baseline value. Metric names
+/// ending in `_ns` are wall-clock readings and are checked against
+/// `wall_tolerance` instead. Metrics only present in `fresh` are ignored
+/// (new benchmarks don't fail the gate until their baseline is committed).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tolerance: f64,
+    wall_tolerance: f64,
+) -> GateReport {
+    let checks = baseline
+        .iter()
+        .map(|(name, &base)| {
+            let tol = if name.ends_with("_ns") {
+                wall_tolerance
+            } else {
+                tolerance
+            };
+            match fresh.get(name) {
+                Some(&value) => {
+                    let change = if base > 0.0 {
+                        (value - base) / base
+                    } else if value > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    };
+                    MetricCheck {
+                        name: name.clone(),
+                        baseline: base,
+                        fresh: Some(value),
+                        change,
+                        tolerance: tol,
+                        failed: change > tol,
+                    }
+                }
+                None => MetricCheck {
+                    name: name.clone(),
+                    baseline: base,
+                    fresh: None,
+                    change: f64::INFINITY,
+                    tolerance: tol,
+                    failed: true,
+                },
+            }
+        })
+        .collect();
+    GateReport { checks }
+}
+
+/// Serializes a metric map as the committed `BENCH_*.json` baseline
+/// format (a flat sorted object, diff-friendly).
+pub fn metrics_to_json(metrics: &BTreeMap<String, f64>) -> String {
+    use crate::json::Json;
+    Json::Obj(
+        metrics
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+            .collect(),
+    )
+    .render_pretty()
+}
+
+/// Parses a `BENCH_*.json` baseline back into a metric map.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn metrics_from_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    use crate::json::Json;
+    let root = Json::parse(text)?;
+    let obj = root.as_object().ok_or("baseline must be a JSON object")?;
+    let mut out = BTreeMap::new();
+    for (k, v) in obj {
+        let v = v
+            .as_f64()
+            .ok_or_else(|| format!("baseline metric `{k}` must be a number"))?;
+        out.insert(k.clone(), v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = map(&[("mvp/range/distances_p50", 1000.0)]);
+        let fresh = map(&[("mvp/range/distances_p50", 1100.0)]);
+        let report = compare(&baseline, &fresh, 0.15, 0.5);
+        assert!(!report.failed(), "{}", report.render());
+        assert!((report.checks[0].change - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doctored_baseline_fires_the_gate() {
+        // Acceptance criterion: a baseline doctored to be impossibly fast
+        // must make the gate fail.
+        let doctored = map(&[("mvp/range/distances_p50", 1.0)]);
+        let fresh = map(&[("mvp/range/distances_p50", 1000.0)]);
+        let report = compare(&doctored, &fresh, 0.15, 0.5);
+        assert!(report.failed());
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.render().contains("FAIL"), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let baseline = map(&[("mvp/knn/distances_p50", 500.0)]);
+        let report = compare(&baseline, &BTreeMap::new(), 0.15, 0.5);
+        assert!(report.failed());
+        assert_eq!(report.checks[0].fresh, None);
+        assert!(report.render().contains("missing"));
+    }
+
+    #[test]
+    fn extra_fresh_metric_is_ignored() {
+        let baseline = map(&[("a", 10.0)]);
+        let fresh = map(&[("a", 10.0), ("brand_new", 9999.0)]);
+        assert!(!compare(&baseline, &fresh, 0.15, 0.5).failed());
+    }
+
+    #[test]
+    fn wall_clock_metrics_use_loose_tolerance() {
+        let baseline = map(&[("mvp/range/latency_p50_ns", 1000.0)]);
+        let fresh = map(&[("mvp/range/latency_p50_ns", 1400.0)]);
+        // 40% over: fails the strict tolerance but passes the wall one.
+        assert!(compare(&baseline, &fresh, 0.15, 0.15).failed());
+        assert!(!compare(&baseline, &fresh, 0.15, 0.6).failed());
+    }
+
+    #[test]
+    fn improvement_and_zero_baselines_pass() {
+        let baseline = map(&[("fast", 1000.0), ("zero", 0.0)]);
+        let fresh = map(&[("fast", 500.0), ("zero", 0.0)]);
+        let report = compare(&baseline, &fresh, 0.15, 0.5);
+        assert!(!report.failed(), "{}", report.render());
+        // ...but a zero baseline with nonzero fresh value is an infinite
+        // regression.
+        let fresh = map(&[("fast", 500.0), ("zero", 3.0)]);
+        assert!(compare(&baseline, &fresh, 0.15, 0.5).failed());
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let metrics = map(&[
+            ("mvp/range/distances_p50", 1234.0),
+            ("mvp/range/latency_p50_ns", 56789.5),
+        ]);
+        let text = metrics_to_json(&metrics);
+        assert_eq!(metrics_from_json(&text).unwrap(), metrics);
+        assert!(metrics_from_json("[1,2]").is_err());
+        assert!(metrics_from_json("{\"x\": \"not a number\"}").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Always-on serving telemetry for vantage indexes.
+//!
+//! The paper's experiments (§5) measure *distance computations per query*
+//! offline; a serving system needs the same currency **continuously**, at
+//! negligible overhead, alongside wall-clock latency. This crate provides
+//! that observability layer:
+//!
+//! * [`MetricsRegistry`] — a process-scoped registry of per-index,
+//!   per-operation metrics. Registration takes a lock once per index;
+//!   recording is lock-free (sharded atomic counters + atomic log-linear
+//!   histograms), so serving threads never contend with each other or
+//!   with a scraper.
+//! * [`AtomicHistogram`] — an HDR-style log-linear histogram over `u64`
+//!   (1920 buckets, ≤3.2% relative error) used for both latency in
+//!   nanoseconds and distance-computation counts per operation.
+//! * [`Instrumented`] — a [`MetricIndex`](vantage_core::MetricIndex)
+//!   wrapper that times every `build`/`range`/`knn`/batch operation and
+//!   attributes distance-cost deltas via a [`CostProbe`] (a clone of the
+//!   index's [`Counted`](vantage_core::Counted) metric). Answers are
+//!   bit-identical to the bare index.
+//! * [`RegistrySnapshot`] — a frozen, mergeable view with a
+//!   human-readable table ([`RegistrySnapshot::render_table`]), plus
+//!   lossless JSON ([`export::to_json`]/[`export::from_json`]) and
+//!   Prometheus text ([`export::to_prometheus`]) exporters.
+//! * [`gate`] — the CI perf-regression comparison: fresh quick-scale
+//!   medians against committed `BENCH_*.json` baselines.
+//!
+//! See `vantage stats --metrics`, `vantage query --metrics`, and the
+//! `perf-gate` binary in the bench crate for the CLI surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod export;
+pub mod gate;
+pub mod histogram;
+pub mod instrument;
+pub mod json;
+pub mod registry;
+pub mod snapshot;
+
+pub use counter::ShardedCounter;
+pub use histogram::{AtomicHistogram, HistogramSnapshot};
+pub use instrument::{CostProbe, Instrumented, NoProbe};
+pub use json::Json;
+pub use registry::{CostDelta, IndexMetrics, MetricsRegistry, OpKind};
+pub use snapshot::{format_ns, IndexSnapshot, OpSnapshot, RegistrySnapshot};

@@ -1,0 +1,316 @@
+//! The lock-free metrics registry.
+//!
+//! One [`MetricsRegistry`] serves a whole process (or one test): it hands
+//! out [`IndexMetrics`] handles keyed by an index *label* (e.g. `"mvp"`,
+//! `"vp/shard-3"`). Label registration is the only code path that takes a
+//! lock, and it happens once per index at startup; the record path —
+//! [`IndexMetrics::record`] — touches only sharded atomic counters and
+//! atomic histogram buckets, so any number of serving threads can report
+//! concurrently without blocking each other or a snapshot reader.
+//!
+//! Per label, the registry keeps one [`OpMetrics`] slot per operation
+//! kind ([`OpKind`]): operation count, a log-linear wall-clock latency
+//! histogram (nanoseconds), a log-linear distance-computation histogram
+//! (the paper's cost currency), and the early-abandoning tallies from the
+//! kernel layer (abandoned evaluation count + estimated fractional work).
+
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+use crate::counter::ShardedCounter;
+use crate::histogram::AtomicHistogram;
+use crate::snapshot::{IndexSnapshot, OpSnapshot, RegistrySnapshot};
+
+/// The kind of index operation a telemetry sample describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Bulk construction of the index.
+    Build = 0,
+    /// A single range query.
+    Range = 1,
+    /// A single k-nearest-neighbor query.
+    Knn = 2,
+    /// A batch of range queries answered as one operation.
+    BatchRange = 3,
+    /// A batch of kNN queries answered as one operation.
+    BatchKnn = 4,
+}
+
+impl OpKind {
+    /// Number of distinct kinds.
+    pub const COUNT: usize = 5;
+    /// Every kind, in counter order.
+    pub const ALL: [OpKind; Self::COUNT] = [
+        OpKind::Build,
+        OpKind::Range,
+        OpKind::Knn,
+        OpKind::BatchRange,
+        OpKind::BatchKnn,
+    ];
+
+    /// Stable machine-readable name (used in JSON and Prometheus labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Build => "build",
+            OpKind::Range => "range",
+            OpKind::Knn => "knn",
+            OpKind::BatchRange => "batch_range",
+            OpKind::BatchKnn => "batch_knn",
+        }
+    }
+
+    /// Parses [`name`](OpKind::name) back into a kind.
+    pub fn parse(name: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// The distance-computation cost of one operation, as a *delta* between
+/// two monotonic [`Counted`](vantage_core::Counted) readings.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostDelta {
+    /// Metric evaluations performed (the paper's cost measure).
+    pub computations: u64,
+    /// How many of those the bounded kernel abandoned early.
+    pub abandoned: u64,
+    /// Estimated arithmetic done by the abandoned evaluations, in units
+    /// of one full evaluation.
+    pub abandoned_work: f64,
+}
+
+/// Fixed-point scale for accumulating fractional work in an atomic
+/// counter (mirrors `Counted`'s internal representation).
+const WORK_SCALE: f64 = 1_000_000.0;
+
+/// Live telemetry for one operation kind of one index.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    ops: ShardedCounter,
+    latency_ns: AtomicHistogram,
+    distances: AtomicHistogram,
+    abandoned: ShardedCounter,
+    abandoned_work_scaled: ShardedCounter,
+}
+
+impl OpMetrics {
+    /// Number of operations recorded so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.get()
+    }
+
+    fn record(&self, latency: Duration, cost: CostDelta) {
+        self.ops.incr();
+        self.latency_ns
+            .record(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+        self.distances.record(cost.computations);
+        if cost.abandoned > 0 {
+            self.abandoned.add(cost.abandoned);
+            self.abandoned_work_scaled
+                .add((cost.abandoned_work.max(0.0) * WORK_SCALE) as u64);
+        }
+    }
+
+    fn snapshot(&self, kind: OpKind) -> OpSnapshot {
+        OpSnapshot {
+            kind,
+            ops: self.ops.get(),
+            latency_ns: self.latency_ns.snapshot(),
+            distances: self.distances.snapshot(),
+            abandoned: self.abandoned.get(),
+            abandoned_work: self.abandoned_work_scaled.get() as f64 / WORK_SCALE,
+        }
+    }
+}
+
+/// All telemetry for one labeled index: one [`OpMetrics`] per [`OpKind`].
+///
+/// Handles are shared via [`Arc`]; the hot path never consults the
+/// registry map again after the handle is created.
+#[derive(Debug)]
+pub struct IndexMetrics {
+    label: String,
+    ops: [OpMetrics; OpKind::COUNT],
+}
+
+impl IndexMetrics {
+    fn new(label: String) -> Self {
+        IndexMetrics {
+            label,
+            ops: Default::default(),
+        }
+    }
+
+    /// The index label this handle reports under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The live metrics slot for one operation kind.
+    pub fn op(&self, kind: OpKind) -> &OpMetrics {
+        &self.ops[kind as usize]
+    }
+
+    /// Records one completed operation: its wall-clock latency and its
+    /// distance-computation cost delta. Lock-free.
+    pub fn record(&self, kind: OpKind, latency: Duration, cost: CostDelta) {
+        self.ops[kind as usize].record(latency, cost);
+    }
+
+    /// Freezes this index's counters into a snapshot.
+    pub fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot {
+            label: self.label.clone(),
+            ops: OpKind::ALL
+                .into_iter()
+                .map(|kind| self.ops[kind as usize].snapshot(kind))
+                .filter(|op| op.ops > 0)
+                .collect(),
+        }
+    }
+}
+
+/// A process- or test-scoped collection of [`IndexMetrics`].
+///
+/// `Default`-constructible for isolated use in tests; long-lived binaries
+/// usually share [`MetricsRegistry::global`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    // Registration is rare (once per index) and may take the write lock;
+    // recording goes through previously returned Arc handles and never
+    // touches this map.
+    indexes: RwLock<Vec<Arc<IndexMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide shared registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Returns the metrics handle for `label`, creating it on first use.
+    /// Two calls with the same label return the same handle.
+    pub fn index(&self, label: &str) -> Arc<IndexMetrics> {
+        if let Some(existing) = self
+            .indexes
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .find(|m| m.label == label)
+        {
+            return Arc::clone(existing);
+        }
+        let mut write = self.indexes.write().expect("registry lock poisoned");
+        // Re-check under the write lock: another thread may have won.
+        if let Some(existing) = write.iter().find(|m| m.label == label) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(IndexMetrics::new(label.to_string()));
+        write.push(Arc::clone(&created));
+        created
+    }
+
+    /// Labels registered so far, in registration order.
+    pub fn labels(&self) -> Vec<String> {
+        self.indexes
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|m| m.label.clone())
+            .collect()
+    }
+
+    /// Freezes every registered index into a [`RegistrySnapshot`].
+    ///
+    /// Safe to call while traffic is in flight: each atomic is read once,
+    /// so an in-flight operation lands wholly in this snapshot or wholly
+    /// in the next.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let handles: Vec<Arc<IndexMetrics>> = self
+            .indexes
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        RegistrySnapshot {
+            indexes: handles.iter().map(|m| m.snapshot()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_names_round_trip() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(OpKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn same_label_returns_same_handle() {
+        let registry = MetricsRegistry::new();
+        let a = registry.index("mvp");
+        let b = registry.index("mvp");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.labels(), vec!["mvp".to_string()]);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let registry = MetricsRegistry::new();
+        let metrics = registry.index("vp");
+        metrics.record(
+            OpKind::Range,
+            Duration::from_micros(150),
+            CostDelta {
+                computations: 37,
+                abandoned: 5,
+                abandoned_work: 0.75,
+            },
+        );
+        metrics.record(
+            OpKind::Range,
+            Duration::from_micros(50),
+            CostDelta::default(),
+        );
+        metrics.record(
+            OpKind::Build,
+            Duration::from_millis(2),
+            CostDelta::default(),
+        );
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.indexes.len(), 1);
+        let vp = &snap.indexes[0];
+        assert_eq!(vp.label, "vp");
+        // Only the two kinds with traffic appear.
+        assert_eq!(vp.ops.len(), 2);
+        let range = vp.op(OpKind::Range).unwrap();
+        assert_eq!(range.ops, 2);
+        assert_eq!(range.distances.sum, 37);
+        assert_eq!(range.abandoned, 5);
+        assert!((range.abandoned_work - 0.75).abs() < 1e-6);
+        assert_eq!(range.latency_ns.count, 2);
+        assert!(range.latency_ns.min >= 49_000 && range.latency_ns.max >= 150_000);
+        assert!(vp.op(OpKind::Knn).is_none());
+    }
+
+    #[test]
+    fn empty_index_is_omitted_from_snapshot_only_if_untouched() {
+        let registry = MetricsRegistry::new();
+        let _quiet = registry.index("quiet");
+        let snap = registry.snapshot();
+        assert_eq!(snap.indexes.len(), 1);
+        assert!(snap.indexes[0].ops.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the log-linear histogram: bucket boundary
+//! exactness, percentile monotonicity, and record/merge equivalence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vantage_telemetry::histogram::{bucket_index, bucket_lower, bucket_upper, AtomicHistogram};
+
+fn record_all(values: &[u64]) -> vantage_telemetry::HistogramSnapshot {
+    let h = AtomicHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_value_lands_in_its_bucket_bounds(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+        prop_assert!(v <= bucket_upper(i), "{v} > upper({i})");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact(v in any::<u64>()) {
+        // A bucket's lower bound maps to that bucket, and the value just
+        // below it maps to the previous bucket — boundaries are never
+        // blurred by the log-linear rounding.
+        let i = bucket_index(v);
+        let lo = bucket_lower(i);
+        prop_assert_eq!(bucket_index(lo), i);
+        if lo > 0 {
+            prop_assert_eq!(bucket_index(lo - 1), i - 1);
+        }
+        prop_assert_eq!(bucket_index(bucket_upper(i)), i);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded(v in 1u64..=u64::MAX) {
+        let upper = bucket_upper(bucket_index(v));
+        // Upper bound overestimates the value by at most one linear
+        // sub-bucket width: < 2^-SUB_BITS relative (3.2% at SUB_BITS=5).
+        let rel = (upper - v) as f64 / v as f64;
+        prop_assert!(rel < 1.0 / 31.0, "value {v} upper {upper} rel {rel}");
+    }
+
+    #[test]
+    fn summary_fields_match_the_recorded_values(values in vec(any::<u64>(), 1..200)) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, snap.count);
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_bounded(values in vec(0u64..1_000_000_000, 1..200)) {
+        let snap = record_all(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut last = 0u64;
+        for q in qs {
+            let p = snap.percentile(q).unwrap();
+            prop_assert!(p >= last, "percentile({q}) = {p} < previous {last}");
+            prop_assert!(p >= snap.min && p <= snap.max);
+            last = p;
+        }
+        prop_assert_eq!(snap.percentile(1.0).unwrap(), snap.max);
+    }
+
+    #[test]
+    fn percentile_tracks_true_rank_within_bucket_error(
+        values in vec(1u64..1_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = snap.percentile(q).unwrap();
+        // The estimate may only err by the quantization of truth's bucket.
+        prop_assert!(est >= truth.min(bucket_lower(bucket_index(truth))));
+        prop_assert!(est <= bucket_upper(bucket_index(truth)).max(truth));
+    }
+
+    #[test]
+    fn merge_equals_joint_recording(
+        a in vec(any::<u64>(), 0..150),
+        b in vec(any::<u64>(), 0..150),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut joint: Vec<u64> = a.clone();
+        joint.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&joint));
+    }
+}

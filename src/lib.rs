@@ -16,7 +16,11 @@
 //! * [`baselines`] — BK-tree, GH-tree, GNAT,
 //!   AESA/LAESA;
 //! * [`datasets`] — seeded workload generators
-//!   reproducing the paper's datasets.
+//!   reproducing the paper's datasets;
+//! * [`telemetry`] — always-on serving telemetry: the
+//!   [`Instrumented`] index wrapper, a lock-free
+//!   [`MetricsRegistry`] of latency/distance histograms, and JSON +
+//!   Prometheus exporters (see DESIGN.md §Telemetry).
 //!
 //! ## Quick start
 //!
@@ -67,6 +71,7 @@ pub use vantage_baselines as baselines;
 pub use vantage_core as core;
 pub use vantage_datasets as datasets;
 pub use vantage_mvptree as mvptree;
+pub use vantage_telemetry as telemetry;
 pub use vantage_vptree as vptree;
 
 pub use vantage_baselines::{
@@ -78,6 +83,7 @@ pub use vantage_core::{
     Result, SearchProfiler, Threads, TraceSink, VantageError, VantageSelector,
 };
 pub use vantage_mvptree::{DynamicMvpTree, MvpParams, MvpTree, MvpTreeStats, SecondVantage};
+pub use vantage_telemetry::{Instrumented, MetricsRegistry, OpKind, RegistrySnapshot};
 pub use vantage_vptree::{VpTree, VpTreeParams, VpTreeStats};
 
 /// One-stop imports for applications.
@@ -87,5 +93,6 @@ pub mod prelude {
     };
     pub use vantage_core::prelude::*;
     pub use vantage_mvptree::{DynamicMvpTree, MvpParams, MvpTree, MvpTreeStats, SecondVantage};
+    pub use vantage_telemetry::{Instrumented, MetricsRegistry, OpKind, RegistrySnapshot};
     pub use vantage_vptree::{VpTree, VpTreeParams, VpTreeStats};
 }
