@@ -33,8 +33,9 @@ use vantage_core::prelude::*;
 use vantage_core::MetricIndex;
 use vantage_experiments::Scale;
 use vantage_mvptree::{MvpParams, MvpTree};
+use vantage_persist::{self as persist, IndexKind, ItemCodec, MetricTag, SnapshotInfo};
 use vantage_telemetry::export::{self, thousands};
-use vantage_telemetry::{IndexMetrics, Instrumented, MetricsRegistry, OpKind};
+use vantage_telemetry::{CostDelta, IndexMetrics, Instrumented, MetricsRegistry, OpKind};
 use vantage_vptree::{VpTree, VpTreeParams};
 
 /// CLI failure: a message for the user (exit code 1).
@@ -112,12 +113,17 @@ USAGE:
   vantage generate uniform   --n N --dim D [--seed S] [--out FILE]
   vantage generate clustered --clusters C --size K --dim D [--epsilon E] [--seed S] [--out FILE]
   vantage generate words     --n N [--seed S] [--out FILE]
-  vantage query  --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
-                 (--range R | --knn K) [--seed S] [--threads auto|N] [--metrics FILE]
-  vantage explain --data FILE --query Q [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
-                 (--range R | --knn K) [--seed S] [--threads auto|N] [--metrics FILE]
+  vantage build  --data FILE --save FILE [--metric l1|l2|linf|edit] [--structure mvp|vp|linear]
+                 [--seed S] [--threads auto|N] [--metrics FILE]
+  vantage query  (--data FILE | --index FILE) --query Q [--metric l1|l2|linf|edit]
+                 [--structure mvp|vp|linear] (--range R | --knn K)
+                 [--seed S] [--threads auto|N] [--metrics FILE]
+  vantage explain (--data FILE | --index FILE) --query Q [--metric l1|l2|linf|edit]
+                 [--structure mvp|vp|linear] (--range R | --knn K)
+                 [--seed S] [--threads auto|N] [--metrics FILE]
   vantage stats  --data FILE [--metric l1|l2|linf|edit] [--bin W] [--threads auto|N]
   vantage stats  --metrics FILE [--format table|json|prom]
+  vantage stats  --index FILE
   vantage experiment NAME [--scale quick|full]
        NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
              construction, comparators, knn, pruning
@@ -129,6 +135,14 @@ of distance computations used. `explain` runs the same search with the
 observability layer attached and prints a per-query pruning breakdown:
 which triangle-inequality filter cut each subtree or leaf candidate, the
 bounds that justified the cuts, and the per-level fanout.
+
+`build` constructs an index once and writes a versioned, checksummed
+snapshot with `--save`; `query --index` / `explain --index` reload that
+snapshot instead of rebuilding — the structure, metric and parameters
+are read from the file, and answers (results *and* distance counts) are
+bit-identical to querying the freshly built index. `stats --index`
+prints the snapshot header (format version, kind, metric, item count,
+dataset digest, size) after verifying every checksum.
 
 `--metrics FILE` on `query`/`explain` runs the command under the serving
 telemetry layer and writes a metrics snapshot (latency and
@@ -152,6 +166,7 @@ pub fn run(argv: &[String], out: &mut String) -> CliResult<()> {
             Ok(())
         }
         Some("generate") => cmd_generate(&argv[1..], out),
+        Some("build") => cmd_build(&argv[1..], out),
         Some("query") => cmd_query(&argv[1..], out),
         Some("explain") => cmd_explain(&argv[1..], out),
         Some("stats") => cmd_stats(&argv[1..], out),
@@ -281,6 +296,28 @@ fn parse_threads(args: &Args<'_>) -> CliResult<Threads> {
     }
 }
 
+/// The mvp-tree parameters every CLI command builds with — `build`,
+/// `query --data` and `explain --data` must agree so a saved snapshot
+/// answers identically to a fresh build.
+fn mvp_build_params(seed: u64, threads: Threads) -> MvpParams {
+    MvpParams::paper(3, 80, 5).seed(seed).threads(threads)
+}
+
+/// The vp-tree parameters every CLI command builds with.
+fn vp_build_params(seed: u64, threads: Threads) -> VpTreeParams {
+    VpTreeParams::binary().seed(seed).threads(threads)
+}
+
+/// The registry label used for an index loaded from a snapshot — the
+/// same short names the `--structure` flag uses.
+fn structure_label(kind: IndexKind) -> &'static str {
+    match kind {
+        IndexKind::VpTree => "vp",
+        IndexKind::MvpTree => "mvp",
+        IndexKind::Linear => "linear",
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_structure_query<
     T: Clone + Sync + 'static,
@@ -301,20 +338,12 @@ fn run_structure_query<
     let build_start = Instant::now();
     let index: Box<dyn MetricIndex<T>> = match structure {
         "mvp" => Box::new(
-            MvpTree::build(
-                items,
-                counted,
-                MvpParams::paper(3, 80, 5).seed(seed).threads(threads),
-            )
-            .map_err(|e| err(e.to_string()))?,
+            MvpTree::build(items, counted, mvp_build_params(seed, threads))
+                .map_err(|e| err(e.to_string()))?,
         ),
         "vp" => Box::new(
-            VpTree::build(
-                items,
-                counted,
-                VpTreeParams::binary().seed(seed).threads(threads),
-            )
-            .map_err(|e| err(e.to_string()))?,
+            VpTree::build(items, counted, vp_build_params(seed, threads))
+                .map_err(|e| err(e.to_string()))?,
         ),
         "linear" => Box::new(LinearScan::new(items, counted)),
         other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
@@ -360,61 +389,307 @@ fn write_metrics_snapshot(
 ) -> CliResult<()> {
     let json = export::to_json(&registry.snapshot());
     fs::write(path, json).map_err(|e| err(format!("cannot write {path}: {e}")))?;
-    let _ = writeln!(out, "metrics snapshot written to {path}");
+    writeln!(out, "metrics snapshot written to {path}")
+        .map_err(|e| err(format!("cannot append to report: {e}")))?;
+    Ok(())
+}
+
+/// Records a completed snapshot load: wall-clock latency plus the file
+/// size in bytes (the byte count rides in the `computations` slot — see
+/// the [`OpKind::SnapshotLoad`] contract).
+fn record_snapshot_load(
+    metrics: &Option<Arc<IndexMetrics>>,
+    info: &SnapshotInfo,
+    load_start: Instant,
+) {
+    if let Some(metrics) = metrics {
+        metrics.record(
+            OpKind::SnapshotLoad,
+            load_start.elapsed(),
+            CostDelta {
+                computations: info.bytes,
+                ..CostDelta::default()
+            },
+        );
+    }
+}
+
+/// Decodes a snapshot into a boxed queryable index plus a probe sharing
+/// the index's `Counted` tally (counters start at zero, matching the
+/// post-build `reset()` of the fresh-build path).
+fn decode_counted_index<T, M>(
+    bytes: &[u8],
+    kind: IndexKind,
+) -> CliResult<(Box<dyn MetricIndex<T>>, Counted<M>)>
+where
+    T: ItemCodec + Clone + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    match kind {
+        IndexKind::VpTree => {
+            let tree: VpTree<T, Counted<M>> =
+                persist::decode_vp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            Ok((Box::new(tree), probe))
+        }
+        IndexKind::MvpTree => {
+            let tree: MvpTree<T, Counted<M>> =
+                persist::decode_mvp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            Ok((Box::new(tree), probe))
+        }
+        IndexKind::Linear => {
+            let scan: LinearScan<T, Counted<M>> =
+                persist::decode_linear_scan(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = scan.metric().clone();
+            Ok((Box::new(scan), probe))
+        }
+    }
+}
+
+/// Answers a query against an index reloaded from a snapshot file. The
+/// query phase is identical to [`run_structure_query`]'s, so the output
+/// (results and distance counts) diffs clean against a fresh build.
+fn run_loaded_query<T, M>(
+    bytes: &[u8],
+    info: &SnapshotInfo,
+    load_start: Instant,
+    query: &T,
+    kind: &QueryKind,
+    metrics: Option<Arc<IndexMetrics>>,
+) -> CliResult<(Vec<Neighbor>, u64, usize)>
+where
+    T: ItemCodec + Clone + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let (index, probe) = decode_counted_index::<T, M>(bytes, info.kind)?;
+    record_snapshot_load(&metrics, info, load_start);
+    probe.reset();
+    let mut results = match &metrics {
+        Some(metrics) => {
+            let instrumented =
+                Instrumented::with_probe(&*index, Arc::clone(metrics), probe.clone());
+            match kind {
+                QueryKind::Range(r) => {
+                    let mut v = instrumented.range(query, *r);
+                    v.sort_unstable();
+                    v
+                }
+                QueryKind::Knn(k) => instrumented.knn(query, *k),
+            }
+        }
+        None => match kind {
+            QueryKind::Range(r) => {
+                let mut v = index.range(query, *r);
+                v.sort_unstable();
+                v
+            }
+            QueryKind::Knn(k) => index.knn(query, *k),
+        },
+    };
+    let cost = probe.take();
+    results.truncate(1000);
+    Ok((results, cost, info.items as usize))
+}
+
+/// Parses `--query` as a comma-separated float vector.
+fn parse_vector_query(query_text: &str) -> CliResult<Vec<f64>> {
+    query_text
+        .split(',')
+        .map(|c| c.trim().parse())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|_| err("query must be a comma-separated float vector"))
+}
+
+/// Reads, verifies and dispatches a snapshot file for `query --index`:
+/// the index kind, item type and metric all come from the file, not
+/// from flags.
+fn run_snapshot_query(
+    path: &str,
+    query_text: &str,
+    kind: &QueryKind,
+    want_metrics: bool,
+    registry: &MetricsRegistry,
+) -> CliResult<(Vec<Neighbor>, u64, usize)> {
+    let load_start = Instant::now();
+    let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    let metrics = want_metrics.then(|| registry.index(structure_label(info.kind)));
+    match (info.item.as_str(), info.metric.as_str()) {
+        ("utf8-string", "edit") => {
+            let query = query_text.to_string();
+            run_loaded_query::<String, Levenshtein>(
+                &bytes, &info, load_start, &query, kind, metrics,
+            )
+        }
+        ("f64-vector", metric) => {
+            let query = parse_vector_query(query_text)?;
+            match metric {
+                "l2" => run_loaded_query::<Vec<f64>, Euclidean>(
+                    &bytes, &info, load_start, &query, kind, metrics,
+                ),
+                "l1" => run_loaded_query::<Vec<f64>, Manhattan>(
+                    &bytes, &info, load_start, &query, kind, metrics,
+                ),
+                "linf" => run_loaded_query::<Vec<f64>, Chebyshev>(
+                    &bytes, &info, load_start, &query, kind, metrics,
+                ),
+                other => Err(err(format!(
+                    "{path}: snapshot metric `{other}` is not supported by this CLI"
+                ))),
+            }
+        }
+        (item, metric) => Err(err(format!(
+            "{path}: snapshot combination {item}/{metric} is not supported by this CLI"
+        ))),
+    }
+}
+
+/// Builds the requested structure under a `Counted` metric and writes a
+/// snapshot, returning `(construction cost, snapshot bytes, item count)`.
+fn build_and_save<T, M>(
+    items: Vec<T>,
+    metric: M,
+    structure: &str,
+    seed: u64,
+    threads: Threads,
+    save: &str,
+    metrics: Option<Arc<IndexMetrics>>,
+) -> CliResult<(u64, u64, usize)>
+where
+    T: ItemCodec + Clone + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let counted = Counted::new(metric);
+    let probe = counted.clone();
+    let n = items.len();
+    let build_start = Instant::now();
+    let bytes = match structure {
+        "mvp" => {
+            let tree = MvpTree::build(items, counted, mvp_build_params(seed, threads))
+                .map_err(|e| err(e.to_string()))?;
+            persist::save_mvp_tree(&tree, save)
+        }
+        "vp" => {
+            let tree = VpTree::build(items, counted, vp_build_params(seed, threads))
+                .map_err(|e| err(e.to_string()))?;
+            persist::save_vp_tree(&tree, save)
+        }
+        "linear" => persist::save_linear_scan(&LinearScan::new(items, counted), save),
+        other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
+    }
+    .map_err(|e| err(e.to_string()))?;
+    if let Some(metrics) = &metrics {
+        metrics.record(OpKind::Build, build_start.elapsed(), probe.totals().into());
+    }
+    Ok((probe.take(), bytes, n))
+}
+
+fn cmd_build(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let data = args.required("data")?;
+    let save = args.required("save")?;
+    let metric_name = args.get("metric").unwrap_or("l2");
+    let structure = args.get("structure").unwrap_or("mvp");
+    let seed: u64 = args.parsed("seed", 0)?;
+    let threads = parse_threads(&args)?;
+    let registry = MetricsRegistry::new();
+    let metrics = args.get("metrics").map(|_| registry.index(structure));
+
+    let (cost, bytes, n) = if metric_name == "edit" {
+        build_and_save(
+            read_words(data)?,
+            Levenshtein,
+            structure,
+            seed,
+            threads,
+            save,
+            metrics,
+        )?
+    } else {
+        let vectors = read_vectors(data)?;
+        match metric_name {
+            "l2" => build_and_save(vectors, Euclidean, structure, seed, threads, save, metrics)?,
+            "l1" => build_and_save(vectors, Manhattan, structure, seed, threads, save, metrics)?,
+            "linf" => build_and_save(vectors, Chebyshev, structure, seed, threads, save, metrics)?,
+            other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
+        }
+    };
+    let _ = writeln!(
+        out,
+        "built {structure} index over {n} items ({cost} distance computations)"
+    );
+    let _ = writeln!(out, "snapshot written to {save} ({bytes} bytes)");
+    if let Some(path) = args.get("metrics") {
+        write_metrics_snapshot(&registry, path, out)?;
+    }
     Ok(())
 }
 
 fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
-    let data = args.required("data")?;
-    let metric_name = args.get("metric").unwrap_or("l2");
-    let structure = args.get("structure").unwrap_or("mvp");
-    let seed: u64 = args.parsed("seed", 0)?;
-    let threads = parse_threads(&args)?;
     let kind = query_kind(&args)?;
     let query_text = args.required("query")?;
     let registry = MetricsRegistry::new();
-    let metrics = args.get("metrics").map(|_| registry.index(structure));
 
-    let (results, cost, n) = if metric_name == "edit" {
-        let words = read_words(data)?;
-        run_structure_query(
-            words,
-            Levenshtein,
-            structure,
-            seed,
-            threads,
-            &query_text.to_string(),
+    let (results, cost, n) = match (args.get("data"), args.get("index")) {
+        (None, Some(snapshot)) => run_snapshot_query(
+            snapshot,
+            query_text,
             &kind,
-            metrics,
-        )?
-    } else {
-        let vectors = read_vectors(data)?;
-        let query: Vec<f64> = query_text
-            .split(',')
-            .map(|c| c.trim().parse())
-            .collect::<std::result::Result<_, _>>()
-            .map_err(|_| err("query must be a comma-separated float vector"))?;
-        if let Some(first) = vectors.first() {
-            if first.len() != query.len() {
-                return Err(err(format!(
-                    "query has {} dimensions, data has {}",
-                    query.len(),
-                    first.len()
-                )));
+            args.get("metrics").is_some(),
+            &registry,
+        )?,
+        (Some(data), None) => {
+            let metric_name = args.get("metric").unwrap_or("l2");
+            let structure = args.get("structure").unwrap_or("mvp");
+            let seed: u64 = args.parsed("seed", 0)?;
+            let threads = parse_threads(&args)?;
+            let metrics = args.get("metrics").map(|_| registry.index(structure));
+            if metric_name == "edit" {
+                let words = read_words(data)?;
+                run_structure_query(
+                    words,
+                    Levenshtein,
+                    structure,
+                    seed,
+                    threads,
+                    &query_text.to_string(),
+                    &kind,
+                    metrics,
+                )?
+            } else {
+                let vectors = read_vectors(data)?;
+                let query = parse_vector_query(query_text)?;
+                if let Some(first) = vectors.first() {
+                    if first.len() != query.len() {
+                        return Err(err(format!(
+                            "query has {} dimensions, data has {}",
+                            query.len(),
+                            first.len()
+                        )));
+                    }
+                }
+                match metric_name {
+                    "l2" => run_structure_query(
+                        vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
+                    )?,
+                    "l1" => run_structure_query(
+                        vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
+                    )?,
+                    "linf" => run_structure_query(
+                        vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
+                    )?,
+                    other => {
+                        return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)")))
+                    }
+                }
             }
         }
-        match metric_name {
-            "l2" => run_structure_query(
-                vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
-            )?,
-            "l1" => run_structure_query(
-                vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
-            )?,
-            "linf" => run_structure_query(
-                vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
-            )?,
-            other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
+        _ => {
+            return Err(err(
+                "query needs exactly one of --data FILE or --index FILE",
+            ))
         }
     };
 
@@ -467,12 +742,8 @@ fn run_structure_explain<
     let query_start;
     let mut results = match structure {
         "mvp" => {
-            let tree = MvpTree::build(
-                items,
-                counted,
-                MvpParams::paper(3, 80, 5).seed(seed).threads(threads),
-            )
-            .map_err(|e| err(e.to_string()))?;
+            let tree = MvpTree::build(items, counted, mvp_build_params(seed, threads))
+                .map_err(|e| err(e.to_string()))?;
             record_build(build_start.elapsed());
             query_start = Instant::now();
             match kind {
@@ -481,12 +752,8 @@ fn run_structure_explain<
             }
         }
         "vp" => {
-            let tree = VpTree::build(
-                items,
-                counted,
-                VpTreeParams::binary().seed(seed).threads(threads),
-            )
-            .map_err(|e| err(e.to_string()))?;
+            let tree = VpTree::build(items, counted, vp_build_params(seed, threads))
+                .map_err(|e| err(e.to_string()))?;
             record_build(build_start.elapsed());
             query_start = Instant::now();
             match kind {
@@ -518,6 +785,129 @@ fn run_structure_explain<
     }
     results.truncate(1000);
     Ok((results, cost, n, profile))
+}
+
+/// [`run_structure_explain`]'s twin for an index reloaded from a
+/// snapshot: same traced query phase, but the build is replaced by a
+/// verified load (recorded as [`OpKind::SnapshotLoad`]).
+fn run_loaded_explain<T, M>(
+    bytes: &[u8],
+    info: &SnapshotInfo,
+    load_start: Instant,
+    query: &T,
+    kind: &QueryKind,
+    metrics: Option<Arc<IndexMetrics>>,
+) -> CliResult<(Vec<Neighbor>, u64, usize, QueryProfile)>
+where
+    T: ItemCodec + Clone + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let mut profile = QueryProfile::new();
+    let query_start;
+    let (mut results, probe) = match info.kind {
+        IndexKind::VpTree => {
+            let tree: VpTree<T, Counted<M>> =
+                persist::decode_vp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            record_snapshot_load(&metrics, info, load_start);
+            probe.reset();
+            query_start = Instant::now();
+            let results = match kind {
+                QueryKind::Range(r) => tree.range_traced(query, *r, &mut profile),
+                QueryKind::Knn(k) => tree.knn_traced(query, *k, &mut profile),
+            };
+            (results, probe)
+        }
+        IndexKind::MvpTree => {
+            let tree: MvpTree<T, Counted<M>> =
+                persist::decode_mvp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            record_snapshot_load(&metrics, info, load_start);
+            probe.reset();
+            query_start = Instant::now();
+            let results = match kind {
+                QueryKind::Range(r) => tree.range_traced(query, *r, &mut profile),
+                QueryKind::Knn(k) => tree.knn_traced(query, *k, &mut profile),
+            };
+            (results, probe)
+        }
+        IndexKind::Linear => {
+            let scan: LinearScan<T, Counted<M>> =
+                persist::decode_linear_scan(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = scan.metric().clone();
+            record_snapshot_load(&metrics, info, load_start);
+            probe.reset();
+            query_start = Instant::now();
+            let results = match kind {
+                QueryKind::Range(r) => scan.range_traced(query, *r, &mut profile),
+                QueryKind::Knn(k) => scan.knn_traced(query, *k, &mut profile),
+            };
+            (results, probe)
+        }
+    };
+    if let Some(metrics) = &metrics {
+        let op = match kind {
+            QueryKind::Range(_) => OpKind::Range,
+            QueryKind::Knn(_) => OpKind::Knn,
+        };
+        metrics.record(op, query_start.elapsed(), probe.totals().into());
+    }
+    let cost = probe.take();
+    if matches!(kind, QueryKind::Range(_)) {
+        results.sort_unstable();
+    }
+    results.truncate(1000);
+    Ok((results, cost, info.items as usize, profile))
+}
+
+/// Reads, verifies and dispatches a snapshot file for `explain --index`.
+/// Also returns the structure label (for the profile header), which
+/// comes from the file rather than a flag.
+fn run_snapshot_explain(
+    path: &str,
+    query_text: &str,
+    kind: &QueryKind,
+    want_metrics: bool,
+    registry: &MetricsRegistry,
+) -> CliResult<(Vec<Neighbor>, u64, usize, QueryProfile, &'static str)> {
+    let load_start = Instant::now();
+    let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    let label = structure_label(info.kind);
+    let metrics = want_metrics.then(|| registry.index(label));
+    let (results, cost, n, profile) = match (info.item.as_str(), info.metric.as_str()) {
+        ("utf8-string", "edit") => {
+            let query = query_text.to_string();
+            run_loaded_explain::<String, Levenshtein>(
+                &bytes, &info, load_start, &query, kind, metrics,
+            )?
+        }
+        ("f64-vector", metric) => {
+            let query = parse_vector_query(query_text)?;
+            match metric {
+                "l2" => run_loaded_explain::<Vec<f64>, Euclidean>(
+                    &bytes, &info, load_start, &query, kind, metrics,
+                )?,
+                "l1" => run_loaded_explain::<Vec<f64>, Manhattan>(
+                    &bytes, &info, load_start, &query, kind, metrics,
+                )?,
+                "linf" => run_loaded_explain::<Vec<f64>, Chebyshev>(
+                    &bytes, &info, load_start, &query, kind, metrics,
+                )?,
+                other => {
+                    return Err(err(format!(
+                        "{path}: snapshot metric `{other}` is not supported by this CLI"
+                    )))
+                }
+            }
+        }
+        (item, metric) => {
+            return Err(err(format!(
+                "{path}: snapshot combination {item}/{metric} is not supported by this CLI"
+            )))
+        }
+    };
+    Ok((results, cost, n, profile, label))
 }
 
 /// Renders one count as `1,234 role (56.7%)` — the percentage is the
@@ -610,55 +1000,69 @@ fn format_profile(profile: &QueryProfile, cost: u64, n: usize, out: &mut String)
 
 fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
-    let data = args.required("data")?;
-    let metric_name = args.get("metric").unwrap_or("l2");
-    let structure = args.get("structure").unwrap_or("mvp");
-    let seed: u64 = args.parsed("seed", 0)?;
-    let threads = parse_threads(&args)?;
     let kind = query_kind(&args)?;
     let query_text = args.required("query")?;
     let registry = MetricsRegistry::new();
-    let metrics = args.get("metrics").map(|_| registry.index(structure));
 
-    let (results, cost, n, profile) = if metric_name == "edit" {
-        let words = read_words(data)?;
-        run_structure_explain(
-            words,
-            Levenshtein,
-            structure,
-            seed,
-            threads,
-            &query_text.to_string(),
+    let (results, cost, n, profile, structure) = match (args.get("data"), args.get("index")) {
+        (None, Some(snapshot)) => run_snapshot_explain(
+            snapshot,
+            query_text,
             &kind,
-            metrics,
-        )?
-    } else {
-        let vectors = read_vectors(data)?;
-        let query: Vec<f64> = query_text
-            .split(',')
-            .map(|c| c.trim().parse())
-            .collect::<std::result::Result<_, _>>()
-            .map_err(|_| err("query must be a comma-separated float vector"))?;
-        if let Some(first) = vectors.first() {
-            if first.len() != query.len() {
-                return Err(err(format!(
-                    "query has {} dimensions, data has {}",
-                    query.len(),
-                    first.len()
-                )));
-            }
+            args.get("metrics").is_some(),
+            &registry,
+        )?,
+        (Some(data), None) => {
+            let metric_name = args.get("metric").unwrap_or("l2");
+            let structure = args.get("structure").unwrap_or("mvp");
+            let seed: u64 = args.parsed("seed", 0)?;
+            let threads = parse_threads(&args)?;
+            let metrics = args.get("metrics").map(|_| registry.index(structure));
+            let (results, cost, n, profile) = if metric_name == "edit" {
+                let words = read_words(data)?;
+                run_structure_explain(
+                    words,
+                    Levenshtein,
+                    structure,
+                    seed,
+                    threads,
+                    &query_text.to_string(),
+                    &kind,
+                    metrics,
+                )?
+            } else {
+                let vectors = read_vectors(data)?;
+                let query = parse_vector_query(query_text)?;
+                if let Some(first) = vectors.first() {
+                    if first.len() != query.len() {
+                        return Err(err(format!(
+                            "query has {} dimensions, data has {}",
+                            query.len(),
+                            first.len()
+                        )));
+                    }
+                }
+                match metric_name {
+                    "l2" => run_structure_explain(
+                        vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
+                    )?,
+                    "l1" => run_structure_explain(
+                        vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
+                    )?,
+                    "linf" => run_structure_explain(
+                        vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
+                    )?,
+                    other => {
+                        return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)")))
+                    }
+                }
+            };
+            (results, cost, n, profile, structure)
         }
-        match metric_name {
-            "l2" => run_structure_explain(
-                vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
-            )?,
-            "l1" => run_structure_explain(
-                vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
-            )?,
-            "linf" => run_structure_explain(
-                vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
-            )?,
-            other => return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
+        _ => {
+            return Err(err(
+                "explain needs exactly one of --data FILE or --index FILE",
+            ))
         }
     };
 
@@ -676,6 +1080,18 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
 
 fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
+    if let Some(path) = args.get("index") {
+        // Snapshot mode: verify every checksum and print the header.
+        let info = persist::inspect(path).map_err(|e| err(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "snapshot: {path}");
+        let _ = writeln!(out, "  format version: {}", info.version);
+        let _ = writeln!(out, "  index:          {}", info.kind.name());
+        let _ = writeln!(out, "  items:          {} × {}", info.items, info.item);
+        let _ = writeln!(out, "  metric:         {}", info.metric);
+        let _ = writeln!(out, "  dataset digest: {:#018x}", info.digest);
+        let _ = writeln!(out, "  size:           {} bytes", thousands(info.bytes));
+        return Ok(());
+    }
     if let Some(path) = args.get("metrics") {
         // Telemetry mode: render a snapshot written by `query --metrics`
         // (or any process exporting the registry) instead of computing
@@ -1204,6 +1620,235 @@ mod tests {
             );
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn build_save_reload_query_is_bit_identical() {
+        let data = temp_path("persist-data.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "400", "--dim", "5", "--seed", "13", "--out", &data,
+        ]);
+        for structure in ["mvp", "vp", "linear"] {
+            let snap = temp_path(&format!("persist-{structure}.vsnap"));
+            let built = run_ok(&[
+                "build",
+                "--data",
+                &data,
+                "--save",
+                &snap,
+                "--structure",
+                structure,
+                "--seed",
+                "4",
+            ]);
+            assert!(built.contains("snapshot written to"), "{built}");
+            for query in [vec!["--knn", "5"], vec!["--range", "0.35"]] {
+                let mut fresh_argv = vec![
+                    "query",
+                    "--data",
+                    &data,
+                    "--structure",
+                    structure,
+                    "--seed",
+                    "4",
+                    "--query",
+                    "0.5,0.5,0.5,0.5,0.5",
+                ];
+                fresh_argv.extend_from_slice(&query);
+                let mut loaded_argv =
+                    vec!["query", "--index", &snap, "--query", "0.5,0.5,0.5,0.5,0.5"];
+                loaded_argv.extend_from_slice(&query);
+                // The whole report — answers and the distance-computation
+                // cost line — must be byte-identical to a fresh build.
+                assert_eq!(
+                    run_ok(&fresh_argv),
+                    run_ok(&loaded_argv),
+                    "snapshot changed {structure} {query:?} answers"
+                );
+            }
+            let _ = std::fs::remove_file(&snap);
+        }
+        let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn build_save_reload_works_for_edit_metric() {
+        let data = temp_path("persist-words.txt");
+        let snap = temp_path("persist-words.vsnap");
+        std::fs::write(&data, "hello\nhallo\nworld\nhelp\nyelp\nshell\n").unwrap();
+        run_ok(&[
+            "build",
+            "--data",
+            &data,
+            "--save",
+            &snap,
+            "--metric",
+            "edit",
+            "--structure",
+            "vp",
+        ]);
+        let fresh = run_ok(&[
+            "query",
+            "--data",
+            &data,
+            "--metric",
+            "edit",
+            "--structure",
+            "vp",
+            "--knn",
+            "2",
+            "--query",
+            "hella",
+        ]);
+        let loaded = run_ok(&["query", "--index", &snap, "--knn", "2", "--query", "hella"]);
+        assert_eq!(fresh, loaded);
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn explain_from_snapshot_matches_explain_from_data() {
+        let data = temp_path("persist-explain.csv");
+        let snap = temp_path("persist-explain.vsnap");
+        run_ok(&[
+            "generate", "uniform", "--n", "300", "--dim", "4", "--seed", "9", "--out", &data,
+        ]);
+        run_ok(&[
+            "build",
+            "--data",
+            &data,
+            "--save",
+            &snap,
+            "--structure",
+            "mvp",
+        ]);
+        let fresh = run_ok(&[
+            "explain",
+            "--data",
+            &data,
+            "--structure",
+            "mvp",
+            "--range",
+            "0.3",
+            "--query",
+            "0.5,0.5,0.5,0.5",
+        ]);
+        let loaded = run_ok(&[
+            "explain",
+            "--index",
+            &snap,
+            "--range",
+            "0.3",
+            "--query",
+            "0.5,0.5,0.5,0.5",
+        ]);
+        // Identical tree, identical traversal: the pruning breakdown and
+        // the cost lines diff clean.
+        assert_eq!(fresh, loaded);
+        assert!(loaded.contains("query profile (mvp)"), "{loaded}");
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn stats_index_prints_verified_header() {
+        let data = temp_path("persist-stats.csv");
+        let snap = temp_path("persist-stats.vsnap");
+        run_ok(&[
+            "generate", "uniform", "--n", "120", "--dim", "3", "--seed", "2", "--out", &data,
+        ]);
+        run_ok(&["build", "--data", &data, "--save", &snap, "--metric", "l1"]);
+        let out = run_ok(&["stats", "--index", &snap]);
+        assert!(out.contains("format version: 1"), "{out}");
+        assert!(out.contains("index:          mvp-tree"), "{out}");
+        assert!(out.contains("items:          120 × f64-vector"), "{out}");
+        assert!(out.contains("metric:         l1"), "{out}");
+        assert!(out.contains("dataset digest: 0x"), "{out}");
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_a_typed_error_not_a_panic() {
+        let data = temp_path("persist-corrupt.csv");
+        let snap = temp_path("persist-corrupt.vsnap");
+        run_ok(&[
+            "generate", "uniform", "--n", "60", "--dim", "3", "--seed", "5", "--out", &data,
+        ]);
+        run_ok(&["build", "--data", &data, "--save", &snap]);
+        let good = std::fs::read(&snap).unwrap();
+
+        // Not a snapshot at all.
+        std::fs::write(&snap, b"junk").unwrap();
+        let e = run_err(&["query", "--index", &snap, "--knn", "1", "--query", "0,0,0"]);
+        assert!(e.0.contains("corrupt"), "{e}");
+
+        // Truncated mid-file.
+        std::fs::write(&snap, &good[..good.len() / 2]).unwrap();
+        let e = run_err(&["query", "--index", &snap, "--knn", "1", "--query", "0,0,0"]);
+        assert!(e.0.contains("corrupt"), "{e}");
+        let e = run_err(&["stats", "--index", &snap]);
+        assert!(e.0.contains("corrupt"), "{e}");
+
+        // A single flipped bit in the middle.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&snap, &flipped).unwrap();
+        let e = run_err(&[
+            "explain", "--index", &snap, "--knn", "1", "--query", "0,0,0",
+        ]);
+        assert!(e.0.contains("corrupt"), "{e}");
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn query_index_metrics_records_the_snapshot_load() {
+        let data = temp_path("persist-metrics.csv");
+        let snap = temp_path("persist-metrics.vsnap");
+        let metrics = temp_path("persist-metrics.json");
+        run_ok(&[
+            "generate", "uniform", "--n", "200", "--dim", "4", "--seed", "6", "--out", &data,
+        ]);
+        run_ok(&["build", "--data", &data, "--save", &snap]);
+        run_ok(&[
+            "query",
+            "--index",
+            &snap,
+            "--knn",
+            "3",
+            "--query",
+            "0.5,0.5,0.5,0.5",
+            "--metrics",
+            &metrics,
+        ]);
+        let table = run_ok(&["stats", "--metrics", &metrics]);
+        assert!(table.contains("snapshot_load"), "{table}");
+        assert!(table.contains("knn"), "{table}");
+        // The load is recorded instead of a build: the tree came off disk.
+        assert!(!table.contains("build"), "{table}");
+        let prom = run_ok(&["stats", "--metrics", &metrics, "--format", "prom"]);
+        assert!(
+            prom.contains("vantage_ops_total{index=\"mvp\",op=\"snapshot_load\"} 1"),
+            "{prom}"
+        );
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&snap);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn query_rejects_ambiguous_or_missing_source() {
+        let e = run_err(&["query", "--knn", "1", "--query", "0"]);
+        assert!(e.0.contains("exactly one of --data"), "{e}");
+        let e = run_err(&[
+            "query", "--data", "a.csv", "--index", "b.vsnap", "--knn", "1", "--query", "0",
+        ]);
+        assert!(e.0.contains("exactly one of --data"), "{e}");
+        let e = run_err(&["build", "--data", "a.csv"]);
+        assert!(e.0.contains("--save"), "{e}");
     }
 
     #[test]

@@ -23,6 +23,37 @@ pub enum VantageError {
         /// Dimensionality of the right operand.
         right: usize,
     },
+    /// An I/O operation on a snapshot file failed.
+    Io {
+        /// Path of the file being read or written.
+        path: String,
+        /// The underlying error, rendered (I/O errors are not `Clone`).
+        reason: String,
+    },
+    /// A snapshot failed structural validation: bad magic, a checksum
+    /// mismatch, a truncated or oversized section, or decoded structure
+    /// that violates an index invariant.
+    CorruptSnapshot {
+        /// What was found to be inconsistent, and where.
+        detail: String,
+    },
+    /// A snapshot was written by an incompatible format version.
+    UnsupportedSnapshot {
+        /// The version recorded in the snapshot header.
+        found: u32,
+        /// The newest version this build understands.
+        supported: u32,
+    },
+    /// A structurally valid snapshot does not describe the requested
+    /// index: wrong metric, item type, or index kind.
+    SnapshotMismatch {
+        /// Which header field disagreed (`"metric"`, `"items"`, `"kind"`).
+        field: &'static str,
+        /// The identifier recorded in the snapshot.
+        found: String,
+        /// The identifier the loader expected.
+        expected: String,
+    },
 }
 
 impl VantageError {
@@ -31,6 +62,34 @@ impl VantageError {
         VantageError::InvalidParameter {
             name,
             reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for [`VantageError::Io`].
+    pub fn io(path: impl Into<String>, reason: impl std::fmt::Display) -> Self {
+        VantageError::Io {
+            path: path.into(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Shorthand for [`VantageError::CorruptSnapshot`].
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        VantageError::CorruptSnapshot {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`VantageError::SnapshotMismatch`].
+    pub fn mismatch(
+        field: &'static str,
+        found: impl Into<String>,
+        expected: impl Into<String>,
+    ) -> Self {
+        VantageError::SnapshotMismatch {
+            field,
+            found: found.into(),
+            expected: expected.into(),
         }
     }
 }
@@ -43,6 +102,28 @@ impl fmt::Display for VantageError {
             }
             VantageError::DimensionMismatch { left, right } => {
                 write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            VantageError::Io { path, reason } => {
+                write!(f, "snapshot i/o error on {path}: {reason}")
+            }
+            VantageError::CorruptSnapshot { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
+            }
+            VantageError::UnsupportedSnapshot { found, supported } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads up to {supported})"
+                )
+            }
+            VantageError::SnapshotMismatch {
+                field,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "snapshot {field} mismatch: snapshot has `{found}`, expected `{expected}`"
+                )
             }
         }
     }
@@ -64,6 +145,30 @@ mod tests {
     fn display_formats_dimension_errors() {
         let e = VantageError::DimensionMismatch { left: 3, right: 5 };
         assert_eq!(e.to_string(), "dimension mismatch: 3 vs 5");
+    }
+
+    #[test]
+    fn display_formats_snapshot_errors() {
+        assert_eq!(
+            VantageError::io("/tmp/x", "permission denied").to_string(),
+            "snapshot i/o error on /tmp/x: permission denied"
+        );
+        assert_eq!(
+            VantageError::corrupt("section 2 CRC mismatch").to_string(),
+            "corrupt snapshot: section 2 CRC mismatch"
+        );
+        assert_eq!(
+            VantageError::UnsupportedSnapshot {
+                found: 9,
+                supported: 1
+            }
+            .to_string(),
+            "unsupported snapshot version 9 (this build reads up to 1)"
+        );
+        assert_eq!(
+            VantageError::mismatch("metric", "edit", "l2").to_string(),
+            "snapshot metric mismatch: snapshot has `edit`, expected `l2`"
+        );
     }
 
     #[test]

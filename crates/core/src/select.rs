@@ -8,7 +8,7 @@
 //! ablation benches — can share them.
 
 use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
+use rand::seq::index::sample;
 use rand::RngExt;
 
 use crate::metric::Metric;
@@ -23,11 +23,14 @@ pub enum VantageSelector {
     /// The first candidate in insertion order. Deterministic and free;
     /// useful for reproducible tests, poor for adversarial input orders.
     FirstItem,
-    /// Yiannilos' sampling heuristic \[Yia93\]: evaluate `candidates` random
-    /// candidates against a random sample of `sample` points each and keep
-    /// the candidate whose distances have the largest spread (second
-    /// moment about the median) — a point near a "corner" of the space.
-    /// Distance cost: `candidates × sample` per selection.
+    /// Yiannilos' sampling heuristic \[Yia93\]: evaluate `candidates`
+    /// **distinct** random candidates against a random sample of `sample`
+    /// other points each and keep the candidate whose distances have the
+    /// largest spread (second moment about the median) — a point near a
+    /// "corner" of the space. The probe sample never includes the
+    /// candidate itself (a self-probe is a guaranteed `d = 0` that skews
+    /// the spread estimate). Distance cost:
+    /// `min(candidates, |ids|) × sample` per selection.
     SampledSpread {
         /// Number of candidate vantage points evaluated.
         candidates: usize,
@@ -79,17 +82,33 @@ impl VantageSelector {
         match *self {
             VantageSelector::FirstItem => 0,
             VantageSelector::Random => rng.random_range(0..ids.len()),
-            VantageSelector::SampledSpread { candidates, sample } => {
+            VantageSelector::SampledSpread {
+                candidates,
+                sample: probes,
+            } => {
+                if ids.len() == 1 {
+                    // One candidate and nobody to probe it against.
+                    return 0;
+                }
                 let mut best_idx = 0usize;
                 let mut best_spread = f64::NEG_INFINITY;
+                // Distinct candidates: drawing with replacement would
+                // spend part of the distance budget re-scoring the same
+                // point. A candidate can exceed `ids.len()` only on tiny
+                // working sets, where evaluating everything is cheap.
                 let n_candidates = candidates.min(ids.len());
-                for _ in 0..n_candidates {
-                    let cand_idx = rng.random_range(0..ids.len());
+                for cand_idx in sample(rng, ids.len(), n_candidates) {
                     let cand = &items[ids[cand_idx] as usize];
-                    let mut dists: Vec<f64> = (0..sample)
+                    let mut dists: Vec<f64> = (0..probes)
                         .map(|_| {
-                            let probe = ids.choose(rng).expect("ids non-empty");
-                            metric.distance(cand, &items[*probe as usize])
+                            // Probe among the *other* points: including the
+                            // candidate itself guarantees a d = 0 outlier
+                            // that drags the spread estimate toward zero.
+                            let mut probe = rng.random_range(0..ids.len() - 1);
+                            if probe >= cand_idx {
+                                probe += 1;
+                            }
+                            metric.distance(cand, &items[ids[probe] as usize])
                         })
                         .collect();
                     dists.sort_unstable_by(f64::total_cmp);
@@ -181,6 +200,71 @@ mod tests {
         }
         .select(&items, &ids, &metric, &mut rng);
         assert_eq!(metric.count(), 20);
+    }
+
+    /// Records every (candidate, probe) pair the selector evaluates.
+    struct Recording(std::cell::RefCell<Vec<(f64, f64)>>);
+
+    impl Metric<Vec<f64>> for Recording {
+        fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+            self.0.borrow_mut().push((a[0], b[0]));
+            (a[0] - b[0]).abs()
+        }
+    }
+
+    #[test]
+    fn sampled_spread_never_probes_the_candidate_itself() {
+        let items = arena();
+        let ids: Vec<u32> = (0..20).collect();
+        let metric = Recording(Default::default());
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            VantageSelector::SampledSpread {
+                candidates: 6,
+                sample: 8,
+            }
+            .select(&items, &ids, &metric, &mut rng);
+        }
+        let calls = metric.0.borrow();
+        assert!(!calls.is_empty());
+        assert!(
+            calls.iter().all(|(cand, probe)| cand != probe),
+            "selector probed a candidate against itself"
+        );
+    }
+
+    #[test]
+    fn sampled_spread_candidates_are_distinct() {
+        // With candidates >= |ids|, a dedup'd draw must score *every*
+        // point exactly once; with replacement some would repeat and
+        // others would be missed.
+        let items = arena();
+        let ids: Vec<u32> = (0..20).collect();
+        let metric = Recording(Default::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        VantageSelector::SampledSpread {
+            candidates: 100,
+            sample: 2,
+        }
+        .select(&items, &ids, &metric, &mut rng);
+        let calls = metric.0.borrow();
+        assert_eq!(calls.len(), 20 * 2, "budget is min(candidates, n) × sample");
+        let mut seen: Vec<f64> = calls.iter().map(|(cand, _)| *cand).collect();
+        seen.sort_unstable_by(f64::total_cmp);
+        seen.dedup();
+        assert_eq!(seen.len(), 20, "every point scored as a candidate once");
+    }
+
+    #[test]
+    fn sampled_spread_two_items_is_well_defined() {
+        let items = arena();
+        let mut rng = StdRng::seed_from_u64(4);
+        let idx = VantageSelector::SampledSpread {
+            candidates: 5,
+            sample: 5,
+        }
+        .select(&items, &[3, 9], &Euclidean, &mut rng);
+        assert!(idx < 2);
     }
 
     #[test]

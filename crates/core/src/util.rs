@@ -1,7 +1,32 @@
-//! Small shared utilities: total-order float wrapper and the
-//! quantile-splitting kernel used by every ball-decomposition tree.
+//! Small shared utilities: total-order float wrapper, the id-width guard
+//! shared by the tree builders, and the quantile-splitting kernel used by
+//! every ball-decomposition tree.
 
 use std::cmp::Ordering;
+
+use crate::{Result, VantageError};
+
+/// Checks that a dataset of `n` items fits the `u32` item-id width used
+/// by the tree arenas, returning `n` as a `u32`.
+///
+/// Every tree in this workspace stores item ids as `u32`; a bare
+/// `items.len() as u32` would silently truncate ids past `u32::MAX` and
+/// scramble the index. The builders call this guard instead.
+///
+/// # Errors
+///
+/// Returns [`VantageError::InvalidParameter`] when `n > u32::MAX`.
+pub fn checked_item_count(n: usize, structure: &str) -> Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        VantageError::invalid_parameter(
+            "items",
+            format!(
+                "{structure} item ids are u32: at most {} items, got {n}",
+                u32::MAX
+            ),
+        )
+    })
+}
 
 /// An `f64` with a total order (via [`f64::total_cmp`]), usable as a
 /// priority-queue or sort key.
@@ -77,6 +102,33 @@ mod tests {
 
     fn ids(group: &[(u32, f64)]) -> Vec<u32> {
         group.iter().map(|e| e.0).collect()
+    }
+
+    #[test]
+    fn checked_item_count_accepts_anything_that_fits_u32() {
+        assert_eq!(checked_item_count(0, "vp-tree").unwrap(), 0);
+        assert_eq!(checked_item_count(1_000_000, "vp-tree").unwrap(), 1_000_000);
+        assert_eq!(
+            checked_item_count(u32::MAX as usize, "vp-tree").unwrap(),
+            u32::MAX
+        );
+    }
+
+    // The guard path: no 4-billion-item allocation needed — the length
+    // check happens before any ids are materialized.
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn checked_item_count_rejects_overflowing_lengths() {
+        let too_big = u32::MAX as usize + 1;
+        let e = checked_item_count(too_big, "mvp-tree").unwrap_err();
+        match e {
+            crate::VantageError::InvalidParameter { name, reason } => {
+                assert_eq!(name, "items");
+                assert!(reason.contains("mvp-tree"), "{reason}");
+                assert!(reason.contains("4294967296"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

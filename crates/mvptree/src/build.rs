@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
-use vantage_core::util::split_into_quantiles;
+use vantage_core::util::{checked_item_count, split_into_quantiles};
 use vantage_core::{Metric, Result};
 
 use crate::node::{LeafEntries, Node, NodeId};
@@ -72,7 +72,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
     {
         params.validate()?;
         let workers = params.threads.resolve();
-        let ids: Vec<PathedId> = (0..items.len() as u32)
+        let ids: Vec<PathedId> = (0..checked_item_count(items.len(), "mvp-tree")?)
             .map(|id| PathedId {
                 id,
                 path: Vec::new(),

@@ -54,8 +54,10 @@ mod validate;
 
 pub mod dynamic;
 pub mod params;
+pub mod snapshot;
 
 pub use dynamic::DynamicMvpTree;
 pub use params::{MvpParams, SecondVantage};
+pub use snapshot::{MvpTreeParts, RawMvpLeafEntries, RawMvpNode};
 pub use stats::MvpTreeStats;
 pub use tree::MvpTree;

@@ -94,6 +94,40 @@ impl LeafEntries {
     pub fn path(&self, i: usize) -> &[f64] {
         &self.path[i * self.path_len..(i + 1) * self.path_len]
     }
+
+    /// Copies the struct-of-arrays columns out for snapshotting:
+    /// `(ids, d1, d2, path_len, path)`.
+    pub(crate) fn to_raw(&self) -> (Vec<u32>, Vec<f64>, Vec<f64>, usize, Vec<f64>) {
+        (
+            self.ids.clone(),
+            self.d1.clone(),
+            self.d2.clone(),
+            self.path_len,
+            self.path.clone(),
+        )
+    }
+
+    /// Reassembles an entry table from raw columns. The caller (the
+    /// snapshot loader) is responsible for shape validation — lengths are
+    /// only debug-asserted here.
+    pub(crate) fn from_raw(
+        ids: Vec<u32>,
+        d1: Vec<f64>,
+        d2: Vec<f64>,
+        path_len: usize,
+        path: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(d1.len(), ids.len());
+        debug_assert_eq!(d2.len(), ids.len());
+        debug_assert_eq!(path.len(), ids.len() * path_len);
+        LeafEntries {
+            ids,
+            d1,
+            d2,
+            path_len,
+            path,
+        }
+    }
 }
 
 /// An mvp-tree node.

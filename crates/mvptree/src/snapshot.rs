@@ -1,0 +1,451 @@
+//! Structural introspection for persistence.
+//!
+//! Mirrors `vantage_vptree::snapshot`: exposes the mvp-tree's node arena
+//! as plain public data ([`MvpTreeParts`]) so a persistence layer can
+//! serialize it, and rebuilds a tree from parts with full **structural**
+//! validation (shapes, id ranges, preorder links, exactly-once item
+//! coverage). Pre-computed distances (`D1`/`D2`/`PATH`, cutoffs) are
+//! checked for shape and NaN-freeness but **not** recomputed — that is
+//! `check_invariants`' job and costs `O(n · height)` metric evaluations;
+//! the on-disk format guards payload integrity with checksums instead.
+
+use vantage_core::{Result, VantageError};
+
+use crate::node::{LeafEntries, Node, NodeId};
+use crate::params::MvpParams;
+use crate::tree::MvpTree;
+
+/// One leaf's data points in struct-of-arrays layout, public mirror of
+/// the internal `LeafEntries`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawMvpLeafEntries {
+    /// Item ids, one per entry.
+    pub ids: Vec<u32>,
+    /// Exact distances to the leaf's first vantage point.
+    pub d1: Vec<f64>,
+    /// Exact distances to the leaf's second vantage point.
+    pub d2: Vec<f64>,
+    /// PATH length shared by every entry of this leaf.
+    pub path_len: usize,
+    /// Row-major PATH buffer, `ids.len() × path_len` values.
+    pub path: Vec<f64>,
+}
+
+/// One mvp-tree node in the public mirror of the arena layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawMvpNode {
+    /// Interior node: two vantage points, first- and second-level cutoffs,
+    /// `m²` child slots in row-major order.
+    Internal {
+        /// First vantage point's item id.
+        vp1: u32,
+        /// Second vantage point's item id.
+        vp2: u32,
+        /// `m − 1` first-level cutoffs, non-decreasing.
+        cutoffs1: Vec<f64>,
+        /// `m` second-level cutoff vectors of `m − 1` values each.
+        cutoffs2: Vec<Vec<f64>>,
+        /// Child arena ids, slot `i·m + j` is subgroup `j` of group `i`.
+        children: Vec<Option<u32>>,
+    },
+    /// Leaf node: its own vantage points plus the entry table.
+    Leaf {
+        /// The leaf's first vantage point.
+        vp1: u32,
+        /// The leaf's second vantage point (`None` for single-point
+        /// leaves).
+        vp2: Option<u32>,
+        /// The leaf's data points with pre-computed distances.
+        entries: RawMvpLeafEntries,
+    },
+}
+
+/// The structural skeleton of an mvp-tree: everything except the item
+/// payloads and the metric value itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvpTreeParts {
+    /// The construction parameters the tree was built with.
+    pub params: MvpParams,
+    /// Arena id of the root node (`None` for an empty tree).
+    pub root: Option<u32>,
+    /// The node arena in DFS preorder (parents precede children).
+    pub nodes: Vec<RawMvpNode>,
+}
+
+fn corrupt(detail: impl Into<String>) -> VantageError {
+    VantageError::corrupt(detail)
+}
+
+impl<T, M> MvpTree<T, M> {
+    /// Copies the tree's structural skeleton out as plain data.
+    pub fn to_parts(&self) -> MvpTreeParts {
+        MvpTreeParts {
+            params: self.params.clone(),
+            root: self.root,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|node| match node {
+                    Node::Internal {
+                        vp1,
+                        vp2,
+                        cutoffs1,
+                        cutoffs2,
+                        children,
+                    } => RawMvpNode::Internal {
+                        vp1: *vp1,
+                        vp2: *vp2,
+                        cutoffs1: cutoffs1.clone(),
+                        cutoffs2: cutoffs2.clone(),
+                        children: children.clone(),
+                    },
+                    Node::Leaf { vp1, vp2, entries } => {
+                        let (ids, d1, d2, path_len, path) = entries.to_raw();
+                        RawMvpNode::Leaf {
+                            vp1: *vp1,
+                            vp2: *vp2,
+                            entries: RawMvpLeafEntries {
+                                ids,
+                                d1,
+                                d2,
+                                path_len,
+                                path,
+                            },
+                        }
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Reassembles a tree from `items`, a `metric` and a previously
+    /// exported (or deserialized) skeleton, validating every structural
+    /// invariant the search paths rely on. No distances are recomputed —
+    /// validation is `O(n + nodes)`; use
+    /// [`check_invariants`](MvpTree::check_invariants) for the expensive
+    /// distance re-verification.
+    ///
+    /// # Errors
+    ///
+    /// [`VantageError::CorruptSnapshot`] describing the first violated
+    /// invariant, or an [`VantageError::InvalidParameter`] from the
+    /// embedded params.
+    pub fn from_parts(items: Vec<T>, metric: M, parts: MvpTreeParts) -> Result<Self> {
+        let MvpTreeParts {
+            params,
+            root,
+            nodes,
+        } = parts;
+        params.validate()?;
+
+        let n_items = items.len();
+        let n_nodes = nodes.len();
+        let m = params.m;
+        match root {
+            None => {
+                if n_items != 0 || n_nodes != 0 {
+                    return Err(corrupt(format!(
+                        "rootless tree carries {n_items} items and {n_nodes} nodes"
+                    )));
+                }
+            }
+            Some(root) => {
+                if (root as usize) >= n_nodes {
+                    return Err(corrupt(format!(
+                        "root id {root} out of range ({n_nodes} nodes)"
+                    )));
+                }
+            }
+        }
+
+        let mut seen = vec![false; n_items];
+        let mark = |id: u32, seen: &mut Vec<bool>| -> Result<()> {
+            let slot = seen
+                .get_mut(id as usize)
+                .ok_or_else(|| corrupt(format!("item id {id} out of range ({n_items} items)")))?;
+            if *slot {
+                return Err(corrupt(format!("item id {id} appears more than once")));
+            }
+            *slot = true;
+            Ok(())
+        };
+        let check_sorted = |node_id: usize, label: &str, cutoffs: &[f64]| -> Result<()> {
+            if cutoffs.iter().any(|c| c.is_nan()) {
+                return Err(corrupt(format!("node {node_id}: NaN in {label}")));
+            }
+            if cutoffs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt(format!(
+                    "node {node_id}: {label} not sorted: {cutoffs:?}"
+                )));
+            }
+            Ok(())
+        };
+        let mut referenced = vec![false; n_nodes];
+        for (node_id, node) in nodes.iter().enumerate() {
+            match node {
+                RawMvpNode::Internal {
+                    vp1,
+                    vp2,
+                    cutoffs1,
+                    cutoffs2,
+                    children,
+                } => {
+                    mark(*vp1, &mut seen)?;
+                    mark(*vp2, &mut seen)?;
+                    if children.len() != m * m {
+                        return Err(corrupt(format!(
+                            "node {node_id}: {} child slots, fanout is m² = {}",
+                            children.len(),
+                            m * m
+                        )));
+                    }
+                    if cutoffs1.len() + 1 != m {
+                        return Err(corrupt(format!(
+                            "node {node_id}: {} first-level cutoffs, expected {}",
+                            cutoffs1.len(),
+                            m - 1
+                        )));
+                    }
+                    if cutoffs2.len() != m || cutoffs2.iter().any(|c| c.len() + 1 != m) {
+                        return Err(corrupt(format!(
+                            "node {node_id}: second-level cutoffs are not {m} vectors of {} values",
+                            m - 1
+                        )));
+                    }
+                    check_sorted(node_id, "cutoffs1", cutoffs1)?;
+                    for c in cutoffs2 {
+                        check_sorted(node_id, "cutoffs2", c)?;
+                    }
+                    for &child in children.iter().flatten() {
+                        if (child as usize) >= n_nodes {
+                            return Err(corrupt(format!(
+                                "node {node_id}: child id {child} out of range ({n_nodes} nodes)"
+                            )));
+                        }
+                        if (child as usize) <= node_id {
+                            return Err(corrupt(format!(
+                                "node {node_id}: child id {child} does not follow its parent"
+                            )));
+                        }
+                        if referenced[child as usize] {
+                            return Err(corrupt(format!(
+                                "node {child} is referenced by more than one parent"
+                            )));
+                        }
+                        referenced[child as usize] = true;
+                    }
+                }
+                RawMvpNode::Leaf { vp1, vp2, entries } => {
+                    mark(*vp1, &mut seen)?;
+                    if let Some(v2) = vp2 {
+                        mark(*v2, &mut seen)?;
+                    } else if !entries.ids.is_empty() {
+                        return Err(corrupt(format!(
+                            "node {node_id}: leaf has entries but no second vantage point"
+                        )));
+                    }
+                    let n = entries.ids.len();
+                    if n > params.k {
+                        return Err(corrupt(format!(
+                            "node {node_id}: leaf holds {n} entries, capacity k = {}",
+                            params.k
+                        )));
+                    }
+                    if entries.d1.len() != n || entries.d2.len() != n {
+                        return Err(corrupt(format!(
+                            "node {node_id}: D1/D2 columns ({}/{}) do not match {n} entries",
+                            entries.d1.len(),
+                            entries.d2.len()
+                        )));
+                    }
+                    if entries.path_len > params.p {
+                        return Err(corrupt(format!(
+                            "node {node_id}: PATH length {} exceeds p = {}",
+                            entries.path_len, params.p
+                        )));
+                    }
+                    if entries.path.len() != n * entries.path_len {
+                        return Err(corrupt(format!(
+                            "node {node_id}: PATH buffer holds {} values, expected {n} × {}",
+                            entries.path.len(),
+                            entries.path_len
+                        )));
+                    }
+                    if entries.d1.iter().any(|d| d.is_nan())
+                        || entries.d2.iter().any(|d| d.is_nan())
+                        || entries.path.iter().any(|d| d.is_nan())
+                    {
+                        return Err(corrupt(format!(
+                            "node {node_id}: NaN in pre-computed leaf distances"
+                        )));
+                    }
+                    for &id in &entries.ids {
+                        mark(id, &mut seen)?;
+                    }
+                }
+            }
+        }
+        if let Some(root) = root {
+            if referenced[root as usize] {
+                return Err(corrupt("root node is also referenced as a child"));
+            }
+        }
+        if let Some(orphan) = referenced
+            .iter()
+            .enumerate()
+            .position(|(id, &linked)| !linked && Some(id as u32) != root)
+        {
+            return Err(corrupt(format!(
+                "node {orphan} is unreachable from the root"
+            )));
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(corrupt(format!("item {missing} appears in no node")));
+        }
+
+        let nodes: Vec<Node> = nodes
+            .into_iter()
+            .map(|node| match node {
+                RawMvpNode::Internal {
+                    vp1,
+                    vp2,
+                    cutoffs1,
+                    cutoffs2,
+                    children,
+                } => Node::Internal {
+                    vp1,
+                    vp2,
+                    cutoffs1,
+                    cutoffs2,
+                    children: children as Vec<Option<NodeId>>,
+                },
+                RawMvpNode::Leaf { vp1, vp2, entries } => Node::Leaf {
+                    vp1,
+                    vp2,
+                    entries: LeafEntries::from_raw(
+                        entries.ids,
+                        entries.d1,
+                        entries.d2,
+                        entries.path_len,
+                        entries.path,
+                    ),
+                },
+            })
+            .collect();
+        Ok(MvpTree {
+            items,
+            metric,
+            nodes,
+            root,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![f64::from(i as u32 % 23), f64::from(i as u32 % 31)])
+            .collect()
+    }
+
+    fn tree() -> MvpTree<Vec<f64>, Euclidean> {
+        MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 8, 4).seed(11)).unwrap()
+    }
+
+    #[test]
+    fn parts_round_trip_is_identical() {
+        let original = tree();
+        let parts = original.to_parts();
+        let rebuilt =
+            MvpTree::from_parts(original.items().to_vec(), Euclidean, parts.clone()).unwrap();
+        assert_eq!(rebuilt.to_parts(), parts);
+        let q = vec![11.0, 4.0];
+        assert_eq!(original.range(&q, 6.0), rebuilt.range(&q, 6.0));
+        assert_eq!(original.knn(&q, 7), rebuilt.knn(&q, 7));
+        rebuilt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_tree_round_trips() {
+        let original =
+            MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::default()).unwrap();
+        let rebuilt =
+            MvpTree::from_parts(Vec::<Vec<f64>>::new(), Euclidean, original.to_parts()).unwrap();
+        assert!(rebuilt.is_empty());
+    }
+
+    #[test]
+    fn missing_item_is_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        // Drop one entry id from a leaf but keep its D1/D2 columns — both
+        // the column shapes and the coverage bitmap must catch this.
+        let leaf = parts
+            .nodes
+            .iter_mut()
+            .find_map(|n| match n {
+                RawMvpNode::Leaf { entries, .. } if !entries.ids.is_empty() => Some(entries),
+                _ => None,
+            })
+            .expect("tree has a populated leaf");
+        leaf.ids.pop();
+        let err = MvpTree::from_parts(original.items().to_vec(), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn path_buffer_length_mismatch_is_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        let leaf = parts
+            .nodes
+            .iter_mut()
+            .find_map(|n| match n {
+                RawMvpNode::Leaf { entries, .. }
+                    if !entries.ids.is_empty() && entries.path_len > 0 =>
+                {
+                    Some(entries)
+                }
+                _ => None,
+            })
+            .expect("tree has a leaf with PATH data");
+        leaf.path.pop();
+        let err = MvpTree::from_parts(original.items().to_vec(), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_leaf_is_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        // Shrink the declared capacity below an existing leaf's size.
+        parts.params.k = 1;
+        let err = MvpTree::from_parts(original.items().to_vec(), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn forward_link_violation_is_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        let child = parts
+            .nodes
+            .iter_mut()
+            .skip(1)
+            .find_map(|n| match n {
+                RawMvpNode::Internal { children, .. } => {
+                    children.iter_mut().find_map(|c| c.as_mut())
+                }
+                RawMvpNode::Leaf { .. } => None,
+            })
+            .expect("tree has a non-root internal node");
+        *child = 0;
+        let err = MvpTree::from_parts(original.items().to_vec(), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Checksums used by the snapshot format: CRC-32 (IEEE) for corruption
+//! detection and FNV-1a 64 as a cheap dataset fingerprint.
+//!
+//! Both are implemented here rather than pulled in as dependencies: the
+//! workspace builds against vendored crates only (see `DESIGN.md`,
+//! "Offline dependency policy"), and the two algorithms together are a
+//! few dozen lines with well-known test vectors.
+
+/// CRC-32 lookup table for the reflected IEEE 802.3 polynomial
+/// (`0xEDB88320`), built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the checksum used by gzip, PNG and zip, so
+/// snapshot sections can be cross-checked with standard tools.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash of `data`. Used as the dataset digest in snapshot
+/// headers: not cryptographic, but any accidental payload change flips it
+/// with overwhelming probability, and it is stable across platforms.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_both() {
+        let mut data = b"some snapshot payload".to_vec();
+        let (c0, f0) = (crc32(&data), fnv1a64(&data));
+        data[7] ^= 0x10;
+        assert_ne!(crc32(&data), c0);
+        assert_ne!(fnv1a64(&data), f0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Item and metric identification for typed snapshot loading.
+//!
+//! A snapshot file records *what* it indexes (the item encoding) and
+//! *how* distances were computed (the metric identifier). Loading is
+//! typed — `load_vp_tree::<String, Counted<Levenshtein>>(..)` — so these
+//! traits let the loader check that the file's tags match the requested
+//! types before decoding a single item, and let it reconstruct the metric
+//! value (metrics in this workspace are stateless unit structs, or
+//! [`Counted`] wrappers whose counters restart at zero).
+
+use vantage_core::prelude::{Chebyshev, Counted, Euclidean, Levenshtein, Manhattan};
+use vantage_core::Result;
+
+use crate::wire::{Cursor, Out};
+
+/// A type that can be stored in (and restored from) a snapshot's items
+/// section.
+pub trait ItemCodec: Sized {
+    /// One-byte item-encoding tag stored in the snapshot header.
+    const TAG: u8;
+    /// Human-readable encoding name (for `inspect` and error messages).
+    const NAME: &'static str;
+    /// Appends this item's encoding to `out`.
+    fn encode(&self, out: &mut Out);
+    /// Decodes one item, bounds-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`vantage_core::VantageError::CorruptSnapshot`] on truncated or
+    /// malformed payloads.
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self>;
+}
+
+impl ItemCodec for Vec<f64> {
+    const TAG: u8 = 1;
+    const NAME: &'static str = "f64-vector";
+
+    fn encode(&self, out: &mut Out) {
+        out.f64_vec(self);
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        cur.f64_vec("vector item")
+    }
+}
+
+impl ItemCodec for String {
+    const TAG: u8 = 2;
+    const NAME: &'static str = "utf8-string";
+
+    fn encode(&self, out: &mut Out) {
+        out.usize(self.len());
+        out.0.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let n = cur.len(1, "string item")?;
+        let bytes = cur.take(n, "string item")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| vantage_core::VantageError::corrupt(format!("string item: {e}")))
+    }
+}
+
+/// A metric that can be named in a snapshot header and reconstructed on
+/// load.
+///
+/// Implemented for the stateless workspace metrics and for
+/// [`Counted<M>`], which shares the inner metric's identifier (counting
+/// is an observation wrapper, not a different distance function) and
+/// reconstructs with fresh zeroed counters — exactly the state a
+/// freshly built index's metric is in after its post-build probe reset.
+pub trait MetricTag {
+    /// Stable metric identifier stored in the snapshot header.
+    const TAG: &'static str;
+    /// Builds a value of the metric for a freshly loaded index.
+    fn reconstruct() -> Self;
+}
+
+macro_rules! unit_metric_tag {
+    ($ty:ty, $tag:literal) => {
+        impl MetricTag for $ty {
+            const TAG: &'static str = $tag;
+            fn reconstruct() -> Self {
+                <$ty>::default()
+            }
+        }
+    };
+}
+
+unit_metric_tag!(Euclidean, "l2");
+unit_metric_tag!(Manhattan, "l1");
+unit_metric_tag!(Chebyshev, "linf");
+unit_metric_tag!(Levenshtein, "edit");
+
+impl<M: MetricTag> MetricTag for Counted<M> {
+    const TAG: &'static str = M::TAG;
+    fn reconstruct() -> Self {
+        Counted::new(M::reconstruct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_shares_the_inner_tag() {
+        assert_eq!(<Counted<Euclidean> as MetricTag>::TAG, "l2");
+        assert_eq!(<Counted<Levenshtein> as MetricTag>::TAG, "edit");
+    }
+
+    #[test]
+    fn reconstructed_counted_starts_at_zero() {
+        let m = <Counted<Euclidean> as MetricTag>::reconstruct();
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn string_items_round_trip() {
+        let mut out = Out::new();
+        "héllo".to_string().encode(&mut out);
+        String::new().encode(&mut out);
+        let mut cur = Cursor::new(&out.0);
+        assert_eq!(String::decode(&mut cur).unwrap(), "héllo");
+        assert_eq!(String::decode(&mut cur).unwrap(), "");
+        cur.finish("items").unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error() {
+        let mut out = Out::new();
+        out.usize(2);
+        out.0.extend_from_slice(&[0xFF, 0xFE]);
+        let mut cur = Cursor::new(&out.0);
+        assert!(String::decode(&mut cur).is_err());
+    }
+
+    #[test]
+    fn vector_items_round_trip() {
+        let mut out = Out::new();
+        vec![1.5, -0.0, f64::MAX].encode(&mut out);
+        let mut cur = Cursor::new(&out.0);
+        let v = Vec::<f64>::decode(&mut cur).unwrap();
+        assert_eq!(v, vec![1.5, -0.0, f64::MAX]);
+    }
+}

@@ -1,0 +1,261 @@
+//! # vantage-persist
+//!
+//! Versioned, checksummed on-disk snapshots for the workspace's index
+//! structures — build once, query many times.
+//!
+//! Building a vp- or mvp-tree is the expensive step: `O(n log n)` metric
+//! evaluations, each potentially costly (edit distance, image metrics).
+//! The tree that comes out is a pure function of `(items, params, seed)`
+//! and is immutable afterwards, which makes it an ideal persistence
+//! target: a snapshot stores the items, the construction parameters and
+//! the exact node arena, so a reload answers every query **bit-identically**
+//! to the freshly built tree — same neighbors, same distance counts,
+//! same pruning traces — without recomputing a single construction
+//! distance.
+//!
+//! ## Format
+//!
+//! A snapshot is a single file (see [`format`] module docs for the exact
+//! byte layout):
+//!
+//! * a header carrying magic bytes, a format version, the index kind,
+//!   the item encoding, the metric identifier, the item count and an
+//!   FNV-1a digest of the dataset payload — sealed by its own CRC-32;
+//! * three CRC-32-checked sections: construction params, items, node
+//!   structure.
+//!
+//! ## Integrity
+//!
+//! Loading validates everything **before** an index is returned: magic
+//! and version, both checksum layers, every declared length against the
+//! bytes actually present, and finally the full structural invariants of
+//! the decoded tree (`from_parts`). Any failure — truncation, a single
+//! flipped bit, a fabricated length, an unknown enum tag — yields a
+//! typed [`VantageError`], never a panic and never an oversized
+//! allocation. The fault-injection suite in `tests/` drives exactly
+//! these cases.
+//!
+//! ```
+//! use vantage_core::prelude::*;
+//! use vantage_persist as persist;
+//! use vantage_vptree::{VpTree, VpTreeParams};
+//!
+//! let points: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+//! let tree = VpTree::build(points, Euclidean, VpTreeParams::binary().seed(7)).unwrap();
+//!
+//! let bytes = persist::encode_vp_tree(&tree);
+//! let again: VpTree<Vec<f64>, Euclidean> = persist::decode_vp_tree(&bytes).unwrap();
+//! assert_eq!(again.range(&vec![50.0], 1.5), tree.range(&vec![50.0], 1.5));
+//!
+//! let info = persist::inspect_bytes(&bytes).unwrap();
+//! assert_eq!(info.kind, persist::IndexKind::VpTree);
+//! assert_eq!(info.items, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod check;
+pub mod codec;
+pub mod format;
+pub mod wire;
+
+mod trees;
+
+use std::path::Path;
+
+use vantage_core::{LinearScan, Result, VantageError};
+use vantage_mvptree::MvpTree;
+use vantage_vptree::VpTree;
+
+pub use codec::{ItemCodec, MetricTag};
+pub use format::{IndexKind, FORMAT_VERSION, MAGIC};
+pub use trees::{
+    decode_linear_scan, decode_mvp_tree, decode_vp_tree, encode_linear_scan, encode_mvp_tree,
+    encode_vp_tree,
+};
+
+/// Header metadata of a verified snapshot, as reported by [`inspect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Container format version the file was written with.
+    pub version: u32,
+    /// Index structure held by the snapshot.
+    pub kind: IndexKind,
+    /// Item encoding name (e.g. `f64-vector`, `utf8-string`).
+    pub item: String,
+    /// Metric identifier (e.g. `l2`, `edit`).
+    pub metric: String,
+    /// Number of indexed items.
+    pub items: u64,
+    /// FNV-1a 64 digest of the dataset payload.
+    pub digest: u64,
+    /// Total snapshot size in bytes.
+    pub bytes: u64,
+}
+
+/// Parses and integrity-checks a snapshot byte buffer without decoding
+/// the index, returning its header metadata. All checksums and the
+/// section framing are verified — an `inspect`ed snapshot is structurally
+/// sound at the container level (the tree-level invariants are only
+/// checked by the typed `decode_*` functions).
+///
+/// # Errors
+///
+/// The same typed errors as the `decode_*` functions' container stage.
+pub fn inspect_bytes(bytes: &[u8]) -> Result<SnapshotInfo> {
+    let c = format::parse(bytes)?;
+    Ok(SnapshotInfo {
+        version: c.version,
+        kind: c.kind,
+        item: trees::item_tag_name(c.item_tag),
+        metric: c.metric,
+        items: c.count,
+        digest: c.digest,
+        bytes: bytes.len() as u64,
+    })
+}
+
+/// [`inspect_bytes`] for a file on disk.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be read, otherwise as
+/// [`inspect_bytes`].
+pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo> {
+    inspect_bytes(&read_file(path.as_ref())?)
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>> {
+    std::fs::read(path).map_err(|e| VantageError::io(path.display().to_string(), e.to_string()))
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> Result<()> {
+    std::fs::write(path, bytes)
+        .map_err(|e| VantageError::io(path.display().to_string(), e.to_string()))
+}
+
+/// Saves a vp-tree snapshot to `path`, returning the bytes written.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be written.
+pub fn save_vp_tree<T: ItemCodec, M: MetricTag>(
+    tree: &VpTree<T, M>,
+    path: impl AsRef<Path>,
+) -> Result<u64> {
+    let bytes = encode_vp_tree(tree);
+    write_file(path.as_ref(), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads (and fully validates) a vp-tree snapshot from `path`.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be read, otherwise as
+/// [`decode_vp_tree`].
+pub fn load_vp_tree<T: ItemCodec, M: MetricTag>(path: impl AsRef<Path>) -> Result<VpTree<T, M>> {
+    decode_vp_tree(&read_file(path.as_ref())?)
+}
+
+/// Saves an mvp-tree snapshot to `path`, returning the bytes written.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be written.
+pub fn save_mvp_tree<T: ItemCodec, M: MetricTag>(
+    tree: &MvpTree<T, M>,
+    path: impl AsRef<Path>,
+) -> Result<u64> {
+    let bytes = encode_mvp_tree(tree);
+    write_file(path.as_ref(), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads (and fully validates) an mvp-tree snapshot from `path`.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be read, otherwise as
+/// [`decode_mvp_tree`].
+pub fn load_mvp_tree<T: ItemCodec, M: MetricTag>(path: impl AsRef<Path>) -> Result<MvpTree<T, M>> {
+    decode_mvp_tree(&read_file(path.as_ref())?)
+}
+
+/// Saves a linear-scan snapshot to `path`, returning the bytes written.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be written.
+pub fn save_linear_scan<T: ItemCodec, M: MetricTag>(
+    scan: &LinearScan<T, M>,
+    path: impl AsRef<Path>,
+) -> Result<u64> {
+    let bytes = encode_linear_scan(scan);
+    write_file(path.as_ref(), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads (and fully validates) a linear-scan snapshot from `path`.
+///
+/// # Errors
+///
+/// [`VantageError::Io`] when the file cannot be read, otherwise as
+/// [`decode_linear_scan`].
+pub fn load_linear_scan<T: ItemCodec, M: MetricTag>(
+    path: impl AsRef<Path>,
+) -> Result<LinearScan<T, M>> {
+    decode_linear_scan(&read_file(path.as_ref())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+    use vantage_vptree::VpTreeParams;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vantage-persist-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_inspect_file_round_trip() {
+        let points: Vec<Vec<f64>> = (0..80).map(|i| vec![f64::from(i), 0.5]).collect();
+        let tree = VpTree::build(points, Euclidean, VpTreeParams::binary().seed(3)).unwrap();
+        let path = temp_path("roundtrip.vsnap");
+        let written = save_vp_tree(&tree, &path).unwrap();
+
+        let info = inspect(&path).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.kind, IndexKind::VpTree);
+        assert_eq!(info.item, "f64-vector");
+        assert_eq!(info.metric, "l2");
+        assert_eq!(info.items, 80);
+        assert_eq!(info.bytes, written);
+
+        let back: VpTree<Vec<f64>, Euclidean> = load_vp_tree(&path).unwrap();
+        assert_eq!(back.to_parts(), tree.to_parts());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_vp_tree::<Vec<f64>, Euclidean>("/nonexistent/vantage.vsnap").unwrap_err();
+        assert!(matches!(err, VantageError::Io { .. }), "{err}");
+        let err = inspect("/nonexistent/vantage.vsnap").unwrap_err();
+        assert!(matches!(err, VantageError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_snapshot_file_is_corrupt_not_panic() {
+        let path = temp_path("garbage.vsnap");
+        std::fs::write(&path, b"this is not a snapshot at all").unwrap();
+        let err = inspect(&path).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,572 @@
+//! Per-index encoding and decoding: params and structure payloads for
+//! the vp-tree, mvp-tree and linear scan, plus the typed
+//! `encode_*`/`decode_*` entry points over the container format.
+//!
+//! Decoding never trusts the payload: all reads are bounds-checked, node
+//! vectors grow only as bytes are actually consumed (a fabricated count
+//! cannot trigger a large allocation), and the final
+//! `from_parts` validation re-checks every structural invariant before a
+//! tree is handed back.
+
+use vantage_core::parallel::Threads;
+use vantage_core::select::VantageSelector;
+use vantage_core::{LinearScan, Result, VantageError};
+use vantage_mvptree::params::{MvpParams, SecondVantage};
+use vantage_mvptree::{MvpTree, MvpTreeParts, RawMvpLeafEntries, RawMvpNode};
+use vantage_vptree::{RawVpNode, VpTree, VpTreeParams, VpTreeParts};
+
+use crate::codec::{ItemCodec, MetricTag};
+use crate::format::{assemble, parse, Container, IndexKind};
+use crate::wire::{Cursor, Out};
+
+/// Human-readable name for an item-encoding tag (known or not).
+pub(crate) fn item_tag_name(tag: u8) -> String {
+    match tag {
+        t if t == <Vec<f64> as ItemCodec>::TAG => <Vec<f64> as ItemCodec>::NAME.to_string(),
+        t if t == <String as ItemCodec>::TAG => <String as ItemCodec>::NAME.to_string(),
+        other => format!("unknown item tag {other}"),
+    }
+}
+
+fn check_typed<T: ItemCodec, M: MetricTag>(c: &Container<'_>, expect: IndexKind) -> Result<()> {
+    if c.kind != expect {
+        return Err(VantageError::mismatch(
+            "index kind",
+            c.kind.name(),
+            expect.name(),
+        ));
+    }
+    if c.item_tag != T::TAG {
+        return Err(VantageError::mismatch(
+            "item type",
+            item_tag_name(c.item_tag),
+            T::NAME,
+        ));
+    }
+    if c.metric != M::TAG {
+        return Err(VantageError::mismatch("metric", &c.metric, M::TAG));
+    }
+    Ok(())
+}
+
+fn encode_items<T: ItemCodec>(items: &[T]) -> Vec<u8> {
+    let mut out = Out::new();
+    for item in items {
+        item.encode(&mut out);
+    }
+    out.0
+}
+
+fn decode_items<T: ItemCodec>(payload: &[u8], count: u64) -> Result<Vec<T>> {
+    let count = usize::try_from(count)
+        .map_err(|_| VantageError::corrupt(format!("item count {count} exceeds address space")))?;
+    let mut cur = Cursor::new(payload);
+    let mut items = Vec::new();
+    for _ in 0..count {
+        items.push(T::decode(&mut cur)?);
+    }
+    cur.finish("items section")?;
+    Ok(items)
+}
+
+// ---------------------------------------------------------------- shared
+
+fn put_selector(out: &mut Out, sel: VantageSelector) {
+    match sel {
+        VantageSelector::Random => out.u8(0),
+        VantageSelector::FirstItem => out.u8(1),
+        VantageSelector::SampledSpread { candidates, sample } => {
+            out.u8(2);
+            out.usize(candidates);
+            out.usize(sample);
+        }
+    }
+}
+
+fn get_selector(cur: &mut Cursor<'_>) -> Result<VantageSelector> {
+    match cur.u8("selector tag")? {
+        0 => Ok(VantageSelector::Random),
+        1 => Ok(VantageSelector::FirstItem),
+        2 => Ok(VantageSelector::SampledSpread {
+            candidates: cur.usize_scalar("selector candidates")?,
+            sample: cur.usize_scalar("selector sample")?,
+        }),
+        tag => Err(VantageError::corrupt(format!("unknown selector tag {tag}"))),
+    }
+}
+
+fn put_threads(out: &mut Out, threads: Threads) {
+    match threads {
+        Threads::Auto => out.u8(0),
+        Threads::Fixed(n) => {
+            out.u8(1);
+            out.usize(n);
+        }
+    }
+}
+
+fn get_threads(cur: &mut Cursor<'_>) -> Result<Threads> {
+    match cur.u8("threads tag")? {
+        0 => Ok(Threads::Auto),
+        1 => Ok(Threads::Fixed(cur.usize_scalar("threads count")?)),
+        tag => Err(VantageError::corrupt(format!("unknown threads tag {tag}"))),
+    }
+}
+
+// --------------------------------------------------------------- vp-tree
+
+fn encode_vp_params(params: &VpTreeParams) -> Vec<u8> {
+    let mut out = Out::new();
+    out.usize(params.order);
+    out.usize(params.leaf_capacity);
+    put_selector(&mut out, params.selector);
+    out.u64(params.seed);
+    put_threads(&mut out, params.threads);
+    out.0
+}
+
+fn decode_vp_params(payload: &[u8]) -> Result<VpTreeParams> {
+    let mut cur = Cursor::new(payload);
+    let params = VpTreeParams {
+        order: cur.usize_scalar("order")?,
+        leaf_capacity: cur.usize_scalar("leaf capacity")?,
+        selector: get_selector(&mut cur)?,
+        seed: cur.u64("seed")?,
+        threads: get_threads(&mut cur)?,
+    };
+    cur.finish("params section")?;
+    Ok(params)
+}
+
+fn encode_vp_structure(root: Option<u32>, nodes: &[RawVpNode]) -> Vec<u8> {
+    let mut out = Out::new();
+    out.opt_u32(root);
+    out.usize(nodes.len());
+    for node in nodes {
+        match node {
+            RawVpNode::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                out.u8(0);
+                out.u32(*vantage);
+                out.f64_vec(cutoffs);
+                out.usize(children.len());
+                for &child in children {
+                    out.opt_u32(child);
+                }
+            }
+            RawVpNode::Leaf { items } => {
+                out.u8(1);
+                out.u32_vec(items);
+            }
+        }
+    }
+    out.0
+}
+
+fn decode_vp_structure(payload: &[u8]) -> Result<(Option<u32>, Vec<RawVpNode>)> {
+    let mut cur = Cursor::new(payload);
+    let root = cur.opt_u32("root")?;
+    let count = cur.u64("node count")?;
+    let mut nodes = Vec::new();
+    for _ in 0..count {
+        let node = match cur.u8("node tag")? {
+            0 => {
+                let vantage = cur.u32("vantage id")?;
+                let cutoffs = cur.f64_vec("cutoffs")?;
+                let n = cur.len(1, "children")?;
+                let children = (0..n)
+                    .map(|_| cur.opt_u32("child id"))
+                    .collect::<Result<Vec<_>>>()?;
+                RawVpNode::Internal {
+                    vantage,
+                    cutoffs,
+                    children,
+                }
+            }
+            1 => RawVpNode::Leaf {
+                items: cur.u32_vec("leaf items")?,
+            },
+            tag => return Err(VantageError::corrupt(format!("unknown node tag {tag}"))),
+        };
+        nodes.push(node);
+    }
+    cur.finish("structure section")?;
+    Ok((root, nodes))
+}
+
+/// Encodes a vp-tree into a complete snapshot byte buffer.
+pub fn encode_vp_tree<T: ItemCodec, M: MetricTag>(tree: &VpTree<T, M>) -> Vec<u8> {
+    let parts = tree.to_parts();
+    assemble(
+        IndexKind::VpTree,
+        T::TAG,
+        M::TAG,
+        tree.items().len() as u64,
+        &encode_vp_params(&parts.params),
+        &encode_items(tree.items()),
+        &encode_vp_structure(parts.root, &parts.nodes),
+    )
+}
+
+/// Decodes (and fully validates) a vp-tree snapshot.
+///
+/// # Errors
+///
+/// Typed [`VantageError`]s for version/kind/item/metric mismatches and
+/// any form of corruption; never panics on malformed input.
+pub fn decode_vp_tree<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<VpTree<T, M>> {
+    let c = parse(bytes)?;
+    check_typed::<T, M>(&c, IndexKind::VpTree)?;
+    let params = decode_vp_params(c.params)?;
+    let items = decode_items::<T>(c.items, c.count)?;
+    let (root, nodes) = decode_vp_structure(c.structure)?;
+    VpTree::from_parts(
+        items,
+        M::reconstruct(),
+        VpTreeParts {
+            params,
+            root,
+            nodes,
+        },
+    )
+}
+
+// -------------------------------------------------------------- mvp-tree
+
+fn encode_mvp_params(params: &MvpParams) -> Vec<u8> {
+    let mut out = Out::new();
+    out.usize(params.m);
+    out.usize(params.k);
+    out.usize(params.p);
+    put_selector(&mut out, params.selector);
+    out.u8(match params.second {
+        SecondVantage::Farthest => 0,
+        SecondVantage::Random => 1,
+    });
+    out.u64(params.seed);
+    put_threads(&mut out, params.threads);
+    out.0
+}
+
+fn decode_mvp_params(payload: &[u8]) -> Result<MvpParams> {
+    let mut cur = Cursor::new(payload);
+    let params = MvpParams {
+        m: cur.usize_scalar("m")?,
+        k: cur.usize_scalar("k")?,
+        p: cur.usize_scalar("p")?,
+        selector: get_selector(&mut cur)?,
+        second: match cur.u8("second-vantage tag")? {
+            0 => SecondVantage::Farthest,
+            1 => SecondVantage::Random,
+            tag => {
+                return Err(VantageError::corrupt(format!(
+                    "unknown second-vantage tag {tag}"
+                )))
+            }
+        },
+        seed: cur.u64("seed")?,
+        threads: get_threads(&mut cur)?,
+    };
+    cur.finish("params section")?;
+    Ok(params)
+}
+
+fn encode_mvp_structure(root: Option<u32>, nodes: &[RawMvpNode]) -> Vec<u8> {
+    let mut out = Out::new();
+    out.opt_u32(root);
+    out.usize(nodes.len());
+    for node in nodes {
+        match node {
+            RawMvpNode::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                out.u8(0);
+                out.u32(*vp1);
+                out.u32(*vp2);
+                out.f64_vec(cutoffs1);
+                out.usize(cutoffs2.len());
+                for c in cutoffs2 {
+                    out.f64_vec(c);
+                }
+                out.usize(children.len());
+                for &child in children {
+                    out.opt_u32(child);
+                }
+            }
+            RawMvpNode::Leaf { vp1, vp2, entries } => {
+                out.u8(1);
+                out.u32(*vp1);
+                out.opt_u32(*vp2);
+                out.u32_vec(&entries.ids);
+                out.f64_vec(&entries.d1);
+                out.f64_vec(&entries.d2);
+                out.usize(entries.path_len);
+                out.f64_vec(&entries.path);
+            }
+        }
+    }
+    out.0
+}
+
+fn decode_mvp_structure(payload: &[u8]) -> Result<(Option<u32>, Vec<RawMvpNode>)> {
+    let mut cur = Cursor::new(payload);
+    let root = cur.opt_u32("root")?;
+    let count = cur.u64("node count")?;
+    let mut nodes = Vec::new();
+    for _ in 0..count {
+        let node = match cur.u8("node tag")? {
+            0 => {
+                let vp1 = cur.u32("vp1")?;
+                let vp2 = cur.u32("vp2")?;
+                let cutoffs1 = cur.f64_vec("cutoffs1")?;
+                let n = cur.len(8, "cutoffs2")?;
+                let cutoffs2 = (0..n)
+                    .map(|_| cur.f64_vec("cutoffs2 row"))
+                    .collect::<Result<Vec<_>>>()?;
+                let n = cur.len(1, "children")?;
+                let children = (0..n)
+                    .map(|_| cur.opt_u32("child id"))
+                    .collect::<Result<Vec<_>>>()?;
+                RawMvpNode::Internal {
+                    vp1,
+                    vp2,
+                    cutoffs1,
+                    cutoffs2,
+                    children,
+                }
+            }
+            1 => RawMvpNode::Leaf {
+                vp1: cur.u32("leaf vp1")?,
+                vp2: cur.opt_u32("leaf vp2")?,
+                entries: RawMvpLeafEntries {
+                    ids: cur.u32_vec("leaf ids")?,
+                    d1: cur.f64_vec("leaf D1")?,
+                    d2: cur.f64_vec("leaf D2")?,
+                    path_len: cur.usize_scalar("leaf PATH length")?,
+                    path: cur.f64_vec("leaf PATH buffer")?,
+                },
+            },
+            tag => return Err(VantageError::corrupt(format!("unknown node tag {tag}"))),
+        };
+        nodes.push(node);
+    }
+    cur.finish("structure section")?;
+    Ok((root, nodes))
+}
+
+/// Encodes an mvp-tree into a complete snapshot byte buffer.
+pub fn encode_mvp_tree<T: ItemCodec, M: MetricTag>(tree: &MvpTree<T, M>) -> Vec<u8> {
+    let parts = tree.to_parts();
+    assemble(
+        IndexKind::MvpTree,
+        T::TAG,
+        M::TAG,
+        tree.items().len() as u64,
+        &encode_mvp_params(&parts.params),
+        &encode_items(tree.items()),
+        &encode_mvp_structure(parts.root, &parts.nodes),
+    )
+}
+
+/// Decodes (and fully validates) an mvp-tree snapshot.
+///
+/// # Errors
+///
+/// Typed [`VantageError`]s for version/kind/item/metric mismatches and
+/// any form of corruption; never panics on malformed input.
+pub fn decode_mvp_tree<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<MvpTree<T, M>> {
+    let c = parse(bytes)?;
+    check_typed::<T, M>(&c, IndexKind::MvpTree)?;
+    let params = decode_mvp_params(c.params)?;
+    let items = decode_items::<T>(c.items, c.count)?;
+    let (root, nodes) = decode_mvp_structure(c.structure)?;
+    MvpTree::from_parts(
+        items,
+        M::reconstruct(),
+        MvpTreeParts {
+            params,
+            root,
+            nodes,
+        },
+    )
+}
+
+// ---------------------------------------------------------- linear scan
+
+/// Encodes a linear scan into a complete snapshot byte buffer (the
+/// params and structure sections are empty — a scan is just its items).
+pub fn encode_linear_scan<T: ItemCodec, M: MetricTag>(scan: &LinearScan<T, M>) -> Vec<u8> {
+    assemble(
+        IndexKind::Linear,
+        T::TAG,
+        M::TAG,
+        scan.items().len() as u64,
+        &[],
+        &encode_items(scan.items()),
+        &[],
+    )
+}
+
+/// Decodes (and fully validates) a linear-scan snapshot.
+///
+/// # Errors
+///
+/// Typed [`VantageError`]s for version/kind/item/metric mismatches and
+/// any form of corruption; never panics on malformed input.
+pub fn decode_linear_scan<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<LinearScan<T, M>> {
+    let c = parse(bytes)?;
+    check_typed::<T, M>(&c, IndexKind::Linear)?;
+    if !c.params.is_empty() {
+        return Err(VantageError::corrupt(
+            "linear-scan snapshot carries a non-empty params section",
+        ));
+    }
+    if !c.structure.is_empty() {
+        return Err(VantageError::corrupt(
+            "linear-scan snapshot carries a non-empty structure section",
+        ));
+    }
+    let items = decode_items::<T>(c.items, c.count)?;
+    Ok(LinearScan::new(items, M::reconstruct()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![f64::from(i as u32 % 17), f64::from(i as u32 % 5)])
+            .collect()
+    }
+
+    #[test]
+    fn vp_tree_snapshot_round_trips() {
+        let tree = VpTree::build(
+            points(150),
+            Euclidean,
+            vantage_vptree::VpTreeParams::with_order(3)
+                .leaf_capacity(4)
+                .seed(5),
+        )
+        .unwrap();
+        let bytes = encode_vp_tree(&tree);
+        let back: VpTree<Vec<f64>, Euclidean> = decode_vp_tree(&bytes).unwrap();
+        assert_eq!(back.to_parts(), tree.to_parts());
+        assert_eq!(back.items(), tree.items());
+        let q = vec![3.0, 2.0];
+        assert_eq!(back.range(&q, 2.5), tree.range(&q, 2.5));
+    }
+
+    #[test]
+    fn mvp_tree_snapshot_round_trips() {
+        let tree =
+            MvpTree::build(points(200), Euclidean, MvpParams::paper(3, 6, 4).seed(2)).unwrap();
+        let bytes = encode_mvp_tree(&tree);
+        let back: MvpTree<Vec<f64>, Euclidean> = decode_mvp_tree(&bytes).unwrap();
+        assert_eq!(back.to_parts(), tree.to_parts());
+        assert_eq!(back.items(), tree.items());
+        let q = vec![8.0, 1.0];
+        assert_eq!(back.knn(&q, 6), tree.knn(&q, 6));
+    }
+
+    #[test]
+    fn linear_scan_snapshot_round_trips() {
+        let scan = LinearScan::new(
+            vec!["carrot".to_string(), "carol".to_string(), "".to_string()],
+            Levenshtein,
+        );
+        let bytes = encode_linear_scan(&scan);
+        let back: LinearScan<String, Levenshtein> = decode_linear_scan(&bytes).unwrap();
+        assert_eq!(back.items(), scan.items());
+        let hits = back.range(&"carrots".to_string(), 2.0);
+        assert_eq!(hits, scan.range(&"carrots".to_string(), 2.0));
+    }
+
+    #[test]
+    fn kind_mismatch_is_typed() {
+        let tree = VpTree::build(
+            points(30),
+            Euclidean,
+            vantage_vptree::VpTreeParams::binary(),
+        )
+        .unwrap();
+        let bytes = encode_vp_tree(&tree);
+        let err = decode_mvp_tree::<Vec<f64>, Euclidean>(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VantageError::SnapshotMismatch {
+                    field: "index kind",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn metric_mismatch_is_typed() {
+        let tree = VpTree::build(
+            points(30),
+            Euclidean,
+            vantage_vptree::VpTreeParams::binary(),
+        )
+        .unwrap();
+        let bytes = encode_vp_tree(&tree);
+        let err = decode_vp_tree::<Vec<f64>, Manhattan>(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VantageError::SnapshotMismatch {
+                    field: "metric",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn item_type_mismatch_is_typed() {
+        let scan = LinearScan::new(points(10), Euclidean);
+        let bytes = encode_linear_scan(&scan);
+        let err = decode_linear_scan::<String, Levenshtein>(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VantageError::SnapshotMismatch {
+                    field: "item type",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn counted_wrapper_is_snapshot_transparent() {
+        // A tree built with Counted<L2> and one built with plain L2 have
+        // the same metric tag; loading either as Counted starts counting
+        // from zero.
+        let tree = VpTree::build(
+            points(60),
+            Counted::new(Euclidean),
+            vantage_vptree::VpTreeParams::binary().seed(1),
+        )
+        .unwrap();
+        let bytes = encode_vp_tree(&tree);
+        let back: VpTree<Vec<f64>, Counted<Euclidean>> = decode_vp_tree(&bytes).unwrap();
+        assert_eq!(back.metric().count(), 0);
+        let plain: VpTree<Vec<f64>, Euclidean> = decode_vp_tree(&bytes).unwrap();
+        assert_eq!(plain.to_parts(), back.to_parts());
+    }
+}

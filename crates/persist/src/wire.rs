@@ -1,0 +1,284 @@
+//! Low-level wire encoding: little-endian primitives behind a
+//! bounds-checked reader.
+//!
+//! Every read validates against the remaining input **before** touching
+//! or allocating anything, so a snapshot that declares a 2⁶⁰-element
+//! array fails with a typed error instead of an allocation attempt. This
+//! is the layer the fault-injection suite leans on: no input, however
+//! mangled, may cause a panic or an unbounded allocation.
+
+use vantage_core::{Result, VantageError};
+
+fn corrupt(detail: impl Into<String>) -> VantageError {
+    VantageError::corrupt(detail)
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The bytes consumed so far (used to checksum a prefix).
+    pub fn consumed(&self) -> &'a [u8] {
+        &self.buf[..self.pos]
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`VantageError::CorruptSnapshot`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(corrupt(format!(
+                "truncated while reading {what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, what: &str) -> Result<u16> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a `u64` element count and validates it against the bytes
+    /// actually remaining (`count × elem_size ≤ remaining`), returning it
+    /// as a `usize`. This is the guard that makes oversized declared
+    /// lengths a typed error rather than an allocation bomb.
+    pub fn len(&mut self, elem_size: usize, what: &str) -> Result<usize> {
+        let raw = self.u64(what)?;
+        let n = usize::try_from(raw).map_err(|_| {
+            corrupt(format!(
+                "{what}: declared count {raw} exceeds address space"
+            ))
+        })?;
+        let need = n
+            .checked_mul(elem_size)
+            .ok_or_else(|| corrupt(format!("{what}: declared count {n} overflows")))?;
+        if need > self.remaining() {
+            return Err(corrupt(format!(
+                "{what}: declared count {n} needs {need} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `u64`-length-prefixed vector of `f64`s.
+    pub fn f64_vec(&mut self, what: &str) -> Result<Vec<f64>> {
+        let n = self.len(8, what)?;
+        (0..n).map(|_| self.f64(what)).collect()
+    }
+
+    /// Reads a `u64`-length-prefixed vector of `u32`s.
+    pub fn u32_vec(&mut self, what: &str) -> Result<Vec<u32>> {
+        let n = self.len(4, what)?;
+        (0..n).map(|_| self.u32(what)).collect()
+    }
+
+    /// Reads an `Option<u32>` (one tag byte, then the value when present).
+    pub fn opt_u32(&mut self, what: &str) -> Result<Option<u32>> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32(what)?)),
+            tag => Err(corrupt(format!("{what}: invalid option tag {tag}"))),
+        }
+    }
+
+    /// Reads a `u64` meant to be used as a `usize` (no element-size
+    /// multiplier — for scalar parameters like tree order).
+    pub fn usize_scalar(&mut self, what: &str) -> Result<usize> {
+        let raw = self.u64(what)?;
+        usize::try_from(raw)
+            .map_err(|_| corrupt(format!("{what}: value {raw} exceeds address space")))
+    }
+
+    /// Asserts that the input is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`VantageError::CorruptSnapshot`] naming `what` when bytes remain.
+    pub fn finish(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(corrupt(format!(
+                "{what}: {} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Little-endian writer counterpart of [`Cursor`]; appends to a `Vec`.
+#[derive(Debug, Default)]
+pub struct Out(pub Vec<u8>);
+
+impl Out {
+    /// An empty output buffer.
+    pub fn new() -> Self {
+        Out(Vec::new())
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a `u64`-length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Appends a `u64`-length-prefixed `u32` vector.
+    pub fn u32_vec(&mut self, v: &[u32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Appends an `Option<u32>` (tag byte + value).
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Out::new();
+        out.u8(7);
+        out.u16(300);
+        out.u32(70_000);
+        out.u64(1 << 40);
+        out.f64(-2.5);
+        out.opt_u32(None);
+        out.opt_u32(Some(9));
+        out.f64_vec(&[1.0, f64::INFINITY]);
+        out.u32_vec(&[3, 4, 5]);
+        let mut cur = Cursor::new(&out.0);
+        assert_eq!(cur.u8("a").unwrap(), 7);
+        assert_eq!(cur.u16("b").unwrap(), 300);
+        assert_eq!(cur.u32("c").unwrap(), 70_000);
+        assert_eq!(cur.u64("d").unwrap(), 1 << 40);
+        assert_eq!(cur.f64("e").unwrap(), -2.5);
+        assert_eq!(cur.opt_u32("f").unwrap(), None);
+        assert_eq!(cur.opt_u32("g").unwrap(), Some(9));
+        assert_eq!(cur.f64_vec("h").unwrap(), vec![1.0, f64::INFINITY]);
+        assert_eq!(cur.u32_vec("i").unwrap(), vec![3, 4, 5]);
+        cur.finish("test").unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut cur = Cursor::new(&[1, 2]);
+        let err = cur.u32("field").unwrap_err();
+        assert!(err.to_string().contains("field"), "{err}");
+    }
+
+    #[test]
+    fn oversized_declared_length_errors_without_allocating() {
+        // Declares u64::MAX elements with 8 bytes of actual payload.
+        let mut out = Out::new();
+        out.u64(u64::MAX);
+        out.f64(0.0);
+        let mut cur = Cursor::new(&out.0);
+        assert!(cur.f64_vec("bomb").is_err());
+    }
+
+    #[test]
+    fn invalid_option_tag_errors() {
+        let mut cur = Cursor::new(&[2, 0, 0, 0, 0]);
+        assert!(cur.opt_u32("opt").is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let cur = Cursor::new(&[0]);
+        assert!(cur.finish("section").is_err());
+    }
+}

@@ -34,11 +34,16 @@ pub enum OpKind {
     BatchRange = 3,
     /// A batch of kNN queries answered as one operation.
     BatchKnn = 4,
+    /// A snapshot loaded from disk in place of a build. The "distances"
+    /// histogram carries the snapshot size in **bytes** for this kind —
+    /// a load performs no metric evaluations, and the byte count is the
+    /// load's natural cost currency.
+    SnapshotLoad = 5,
 }
 
 impl OpKind {
     /// Number of distinct kinds.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
     /// Every kind, in counter order.
     pub const ALL: [OpKind; Self::COUNT] = [
         OpKind::Build,
@@ -46,6 +51,7 @@ impl OpKind {
         OpKind::Knn,
         OpKind::BatchRange,
         OpKind::BatchKnn,
+        OpKind::SnapshotLoad,
     ];
 
     /// Stable machine-readable name (used in JSON and Prometheus labels).
@@ -56,6 +62,7 @@ impl OpKind {
             OpKind::Knn => "knn",
             OpKind::BatchRange => "batch_range",
             OpKind::BatchKnn => "batch_knn",
+            OpKind::SnapshotLoad => "snapshot_load",
         }
     }
 
@@ -303,6 +310,25 @@ mod tests {
         assert_eq!(range.latency_ns.count, 2);
         assert!(range.latency_ns.min >= 49_000 && range.latency_ns.max >= 150_000);
         assert!(vp.op(OpKind::Knn).is_none());
+    }
+
+    #[test]
+    fn snapshot_load_records_bytes_in_the_cost_histogram() {
+        let registry = MetricsRegistry::new();
+        let metrics = registry.index("mvp");
+        metrics.record(
+            OpKind::SnapshotLoad,
+            Duration::from_micros(800),
+            CostDelta {
+                computations: 4_096, // snapshot bytes, per the kind's contract
+                ..CostDelta::default()
+            },
+        );
+        let snap = registry.snapshot();
+        let load = snap.indexes[0].op(OpKind::SnapshotLoad).unwrap();
+        assert_eq!(load.ops, 1);
+        assert_eq!(load.distances.sum, 4_096);
+        assert_eq!(OpKind::parse("snapshot_load"), Some(OpKind::SnapshotLoad));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::time::Duration;
 use vantage_telemetry::{CostDelta, MetricsRegistry, OpKind};
 
 const THREADS: usize = 8;
-const OPS_PER_THREAD: u64 = 5_000;
+// Divisible by OpKind::COUNT (6) and by 3, so the per-kind round-robin
+// and the `i % 3` abandonment pattern below come out exact.
+const OPS_PER_THREAD: u64 = 5_004;
 
 #[test]
 fn concurrent_recording_snapshots_exactly() {
@@ -48,7 +50,7 @@ fn concurrent_recording_snapshots_exactly() {
     let total_ops: u64 = shared.ops.iter().map(|op| op.ops).sum();
     assert_eq!(total_ops, THREADS as u64 * OPS_PER_THREAD);
 
-    // Each of the 5 kinds gets exactly 1/5 of each thread's ops (the
+    // Each kind gets exactly 1/COUNT of each thread's ops (the
     // round-robin above visits every kind equally).
     for kind in OpKind::ALL {
         let op = shared.op(kind).unwrap();
@@ -72,12 +74,12 @@ fn concurrent_recording_snapshots_exactly() {
     assert_eq!(recorded_distances, distance_sum.load(Ordering::Relaxed));
 
     let abandoned: u64 = shared.ops.iter().map(|op| op.abandoned).sum();
-    // i % 3 over 0..5000 sums to 4999 per thread.
-    assert_eq!(abandoned, THREADS as u64 * 4_999);
+    // i % 3 over 0..5004 sums to (5004 / 3) × (0 + 1 + 2) per thread.
+    assert_eq!(abandoned, THREADS as u64 * OPS_PER_THREAD);
 
     let work: f64 = shared.ops.iter().map(|op| op.abandoned_work).sum();
-    // 0.5 recorded only when abandoned > 0: i % 3 != 0 for 3333 of 5000.
-    let expected = THREADS as f64 * 3_333.0 * 0.5;
+    // 0.5 recorded only when abandoned > 0: i % 3 != 0 for 2/3 of ops.
+    let expected = THREADS as f64 * (OPS_PER_THREAD as f64 * 2.0 / 3.0) * 0.5;
     assert!((work - expected).abs() < 1e-3, "work {work} != {expected}");
 }
 

@@ -30,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
-use vantage_core::util::split_into_quantiles;
+use vantage_core::util::{checked_item_count, split_into_quantiles};
 use vantage_core::{Metric, Result};
 
 use crate::node::{Node, NodeId};
@@ -61,7 +61,7 @@ impl<T, M: Metric<T>> VpTree<T, M> {
     {
         params.validate()?;
         let workers = params.threads.resolve();
-        let ids: Vec<u32> = (0..items.len() as u32).collect();
+        let ids: Vec<u32> = (0..checked_item_count(items.len(), "vp-tree")?).collect();
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut nodes = Vec::new();
         let builder = Builder {

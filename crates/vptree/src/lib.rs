@@ -45,8 +45,10 @@ mod tree;
 mod validate;
 
 pub mod params;
+pub mod snapshot;
 
 pub use params::VpTreeParams;
+pub use snapshot::{RawVpNode, VpTreeParts};
 pub use stats::VpTreeStats;
 pub use tree::VpTree;
 pub use vantage_core::select::VantageSelector;

@@ -1,0 +1,351 @@
+//! Structural introspection for persistence.
+//!
+//! A built [`VpTree`] is a pure function of `(items, params)` — the node
+//! arena holds only ids, cutoff distances and child links. This module
+//! exposes that structure as plain public data ([`VpTreeParts`]) so a
+//! persistence layer can serialize it without reaching into crate
+//! internals, and rebuilds a tree from parts while **validating every
+//! structural invariant that the search paths rely on** — a corrupted or
+//! hand-crafted snapshot yields a typed error, never an out-of-bounds
+//! panic or an unterminated traversal.
+
+use vantage_core::{Result, VantageError};
+
+use crate::node::{Node, NodeId};
+use crate::params::VpTreeParams;
+use crate::tree::VpTree;
+
+/// One vp-tree node in the public mirror of the arena layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawVpNode {
+    /// Interior node: vantage point, `order − 1` cutoffs, `order` child
+    /// slots (arena indexes; `None` for empty partitions).
+    Internal {
+        /// Item id of the node's vantage point.
+        vantage: u32,
+        /// Partition boundaries, non-decreasing.
+        cutoffs: Vec<f64>,
+        /// Child arena ids, one slot per partition.
+        children: Vec<Option<u32>>,
+    },
+    /// Leaf bucket of item ids.
+    Leaf {
+        /// Item ids stored in this bucket.
+        items: Vec<u32>,
+    },
+}
+
+/// The structural skeleton of a vp-tree: everything except the item
+/// payloads and the metric value itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpTreeParts {
+    /// The construction parameters the tree was built with.
+    pub params: VpTreeParams,
+    /// Arena id of the root node (`None` for an empty tree).
+    pub root: Option<u32>,
+    /// The node arena in DFS preorder (parents precede children).
+    pub nodes: Vec<RawVpNode>,
+}
+
+fn corrupt(detail: impl Into<String>) -> VantageError {
+    VantageError::corrupt(detail)
+}
+
+impl<T, M> VpTree<T, M> {
+    /// Copies the tree's structural skeleton out as plain data.
+    pub fn to_parts(&self) -> VpTreeParts {
+        VpTreeParts {
+            params: self.params.clone(),
+            root: self.root,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|node| match node {
+                    Node::Internal {
+                        vantage,
+                        cutoffs,
+                        children,
+                    } => RawVpNode::Internal {
+                        vantage: *vantage,
+                        cutoffs: cutoffs.clone(),
+                        children: children.clone(),
+                    },
+                    Node::Leaf { items } => RawVpNode::Leaf {
+                        items: items.clone(),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Reassembles a tree from `items`, a `metric` and a previously
+    /// exported (or deserialized) skeleton.
+    ///
+    /// The skeleton is fully validated first: parameter sanity, node-id
+    /// and item-id ranges, arena preorder (every child id exceeds its
+    /// parent's, which also rules out cycles), cutoff shapes and ordering,
+    /// leaf capacities, reachability of every node from the root, and
+    /// exactly-once coverage of every item. No distances are recomputed —
+    /// validation is `O(n + nodes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`VantageError::CorruptSnapshot`] describing the first violated
+    /// invariant, or an [`VantageError::InvalidParameter`] from the
+    /// embedded params.
+    pub fn from_parts(items: Vec<T>, metric: M, parts: VpTreeParts) -> Result<Self> {
+        let VpTreeParts {
+            params,
+            root,
+            nodes,
+        } = parts;
+        params.validate()?;
+
+        let n_items = items.len();
+        let n_nodes = nodes.len();
+        match root {
+            None => {
+                if n_items != 0 || n_nodes != 0 {
+                    return Err(corrupt(format!(
+                        "rootless tree carries {n_items} items and {n_nodes} nodes"
+                    )));
+                }
+            }
+            Some(root) => {
+                if (root as usize) >= n_nodes {
+                    return Err(corrupt(format!(
+                        "root id {root} out of range ({n_nodes} nodes)"
+                    )));
+                }
+            }
+        }
+
+        let mut seen = vec![false; n_items];
+        let mark = |id: u32, seen: &mut Vec<bool>| -> Result<()> {
+            let slot = seen
+                .get_mut(id as usize)
+                .ok_or_else(|| corrupt(format!("item id {id} out of range ({n_items} items)")))?;
+            if *slot {
+                return Err(corrupt(format!("item id {id} appears more than once")));
+            }
+            *slot = true;
+            Ok(())
+        };
+        // Child links into a node must come from exactly one parent and
+        // point strictly forward; with the root at the front this makes
+        // the arena an acyclic preorder forest rooted at `root`.
+        let mut referenced = vec![false; n_nodes];
+        for (node_id, node) in nodes.iter().enumerate() {
+            match node {
+                RawVpNode::Internal {
+                    vantage,
+                    cutoffs,
+                    children,
+                } => {
+                    mark(*vantage, &mut seen)?;
+                    if children.len() != params.order {
+                        return Err(corrupt(format!(
+                            "node {node_id}: {} child slots, order is {}",
+                            children.len(),
+                            params.order
+                        )));
+                    }
+                    if cutoffs.len() + 1 != params.order {
+                        return Err(corrupt(format!(
+                            "node {node_id}: {} cutoffs, expected {}",
+                            cutoffs.len(),
+                            params.order - 1
+                        )));
+                    }
+                    if cutoffs.iter().any(|c| c.is_nan()) {
+                        return Err(corrupt(format!("node {node_id}: NaN cutoff")));
+                    }
+                    if cutoffs.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(corrupt(format!(
+                            "node {node_id}: cutoffs not sorted: {cutoffs:?}"
+                        )));
+                    }
+                    for &child in children.iter().flatten() {
+                        if (child as usize) >= n_nodes {
+                            return Err(corrupt(format!(
+                                "node {node_id}: child id {child} out of range ({n_nodes} nodes)"
+                            )));
+                        }
+                        if (child as usize) <= node_id {
+                            return Err(corrupt(format!(
+                                "node {node_id}: child id {child} does not follow its parent"
+                            )));
+                        }
+                        if referenced[child as usize] {
+                            return Err(corrupt(format!(
+                                "node {child} is referenced by more than one parent"
+                            )));
+                        }
+                        referenced[child as usize] = true;
+                    }
+                }
+                RawVpNode::Leaf { items: bucket } => {
+                    if bucket.is_empty() {
+                        return Err(corrupt(format!("node {node_id}: empty leaf bucket")));
+                    }
+                    if bucket.len() > params.leaf_capacity {
+                        return Err(corrupt(format!(
+                            "node {node_id}: leaf holds {} items, capacity is {}",
+                            bucket.len(),
+                            params.leaf_capacity
+                        )));
+                    }
+                    for &id in bucket {
+                        mark(id, &mut seen)?;
+                    }
+                }
+            }
+        }
+        if let Some(root) = root {
+            if referenced[root as usize] {
+                return Err(corrupt("root node is also referenced as a child"));
+            }
+        }
+        // Every non-root node must be someone's child: single-reference
+        // plus exactly-once item coverage then imply the whole arena is
+        // reachable from the root.
+        if let Some(orphan) = referenced
+            .iter()
+            .enumerate()
+            .position(|(id, &linked)| !linked && Some(id as u32) != root)
+        {
+            return Err(corrupt(format!(
+                "node {orphan} is unreachable from the root"
+            )));
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(corrupt(format!("item {missing} appears in no node")));
+        }
+
+        let nodes: Vec<Node> = nodes
+            .into_iter()
+            .map(|node| match node {
+                RawVpNode::Internal {
+                    vantage,
+                    cutoffs,
+                    children,
+                } => Node::Internal {
+                    vantage,
+                    cutoffs,
+                    children: children as Vec<Option<NodeId>>,
+                },
+                RawVpNode::Leaf { items } => Node::Leaf { items },
+            })
+            .collect();
+        Ok(VpTree {
+            items,
+            metric,
+            nodes,
+            root,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vantage_core::prelude::*;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect()
+    }
+
+    fn tree() -> VpTree<Vec<f64>, Euclidean> {
+        VpTree::build(
+            points(120),
+            Euclidean,
+            VpTreeParams::with_order(3).leaf_capacity(4).seed(7),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parts_round_trip_is_identical() {
+        let original = tree();
+        let parts = original.to_parts();
+        let rebuilt =
+            VpTree::from_parts(original.items().to_vec(), Euclidean, parts.clone()).unwrap();
+        assert_eq!(rebuilt.to_parts(), parts);
+        let q = vec![17.0, 3.0];
+        assert_eq!(original.range(&q, 5.0), rebuilt.range(&q, 5.0));
+        assert_eq!(original.knn(&q, 9), rebuilt.knn(&q, 9));
+        rebuilt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_tree_round_trips() {
+        let original =
+            VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary()).unwrap();
+        let rebuilt =
+            VpTree::from_parts(Vec::<Vec<f64>>::new(), Euclidean, original.to_parts()).unwrap();
+        assert!(rebuilt.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_item_id_is_rejected() {
+        let original = tree();
+        let parts = original.to_parts();
+        // Fewer items than the skeleton references.
+        let err = VpTree::from_parts(points(10), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn backward_child_link_is_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        // Point some internal node's first live child back at the root.
+        let node = parts
+            .nodes
+            .iter_mut()
+            .skip(1)
+            .find_map(|n| match n {
+                RawVpNode::Internal { children, .. } => {
+                    children.iter_mut().find_map(|c| c.as_mut())
+                }
+                RawVpNode::Leaf { .. } => None,
+            })
+            .expect("tree has a non-root internal node");
+        *node = 0;
+        let err = VpTree::from_parts(original.items().to_vec(), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicated_item_is_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        let leaf = parts
+            .nodes
+            .iter_mut()
+            .find_map(|n| match n {
+                RawVpNode::Leaf { items } if items.len() >= 2 => Some(items),
+                _ => None,
+            })
+            .expect("tree has a multi-item leaf");
+        leaf[0] = leaf[1];
+        let err = VpTree::from_parts(original.items().to_vec(), Euclidean, parts).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
+    }
+
+    #[test]
+    fn unsorted_cutoffs_are_rejected() {
+        let original = tree();
+        let mut parts = original.to_parts();
+        match &mut parts.nodes[0] {
+            RawVpNode::Internal { cutoffs, .. } => cutoffs.reverse(),
+            RawVpNode::Leaf { .. } => panic!("root of a 120-item tree is internal"),
+        }
+        let err = VpTree::from_parts(original.items().to_vec(), Euclidean, parts);
+        // Reversing sorted cutoffs breaks ordering unless all were equal.
+        assert!(err.is_err());
+    }
+}

@@ -20,7 +20,11 @@
 //! * [`telemetry`] — always-on serving telemetry: the
 //!   [`Instrumented`] index wrapper, a lock-free
 //!   [`MetricsRegistry`] of latency/distance histograms, and JSON +
-//!   Prometheus exporters (see DESIGN.md §Telemetry).
+//!   Prometheus exporters (see DESIGN.md §Telemetry);
+//! * [`persist`] — versioned, checksummed on-disk
+//!   snapshots of built indexes: save with `vantage build --save`, reload
+//!   with `--index` for bit-identical query behavior without paying the
+//!   construction cost again (see DESIGN.md §Persistence).
 //!
 //! ## Quick start
 //!
@@ -71,6 +75,7 @@ pub use vantage_baselines as baselines;
 pub use vantage_core as core;
 pub use vantage_datasets as datasets;
 pub use vantage_mvptree as mvptree;
+pub use vantage_persist as persist;
 pub use vantage_telemetry as telemetry;
 pub use vantage_vptree as vptree;
 
