@@ -22,7 +22,8 @@
 //! any regression or missing metric.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use vantage_bench::{bench_queries, bench_vectors};
 use vantage_core::prelude::*;
@@ -36,6 +37,11 @@ const N: usize = 10_000;
 const RANGE_R: f64 = 0.3;
 const KNN_K: usize = 10;
 const REPS: usize = 4;
+/// Rounds of the query set each client thread replays in the saturation
+/// benchmark.
+const SAT_ROUNDS: usize = 2;
+/// Swap+drain latency samples taken under reader load.
+const SWAP_SAMPLES: usize = 16;
 
 struct Options {
     baseline: String,
@@ -127,6 +133,83 @@ where
     std::hint::black_box(index.batch_knn(&queries, KNN_K, Threads::Auto));
 }
 
+/// Serving-saturation workload: kNN throughput through a
+/// [`SwapCell`]-published mvp-tree at 1/4/8 client threads (ns per
+/// query, the shape the `reload`-capable server runs), plus the p99
+/// latency of an atomic swap + full drain while 4 reader threads keep
+/// querying. All keys end in `_ns`, so the gate rescales them by the
+/// calibration constant and applies the loose wall tolerance.
+fn saturation_metrics(metrics: &mut BTreeMap<String, f64>) {
+    let points = bench_vectors(N);
+    let queries = bench_queries();
+    let tree = MvpTree::build(
+        points.clone(),
+        Euclidean,
+        MvpParams::paper(3, 80, 5).seed(1),
+    )
+    .expect("saturation build");
+    let cell = SwapCell::new(tree);
+
+    for threads in [1usize, 4, 8] {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..SAT_ROUNDS {
+                        for q in &queries {
+                            let guard = cell.read();
+                            std::hint::black_box(guard.knn(q, KNN_K));
+                        }
+                    }
+                });
+            }
+        });
+        let total = (threads * SAT_ROUNDS * queries.len()) as f64;
+        metrics.insert(
+            format!("serve/saturation_{threads}t_ns"),
+            start.elapsed().as_nanos() as f64 / total,
+        );
+    }
+
+    // Swap+drain latency under load: publish a new generation and wait
+    // for the displaced one's in-flight readers to finish. The displaced
+    // tree is recovered once drained and recycled as the next swap value,
+    // so the samples measure the swap protocol, not tree construction.
+    let replacement = MvpTree::build(points, Euclidean, MvpParams::paper(3, 80, 5).seed(2))
+        .expect("saturation build");
+    let stop = AtomicBool::new(false);
+    let mut samples: Vec<f64> = Vec::with_capacity(SWAP_SAMPLES);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    for q in &queries {
+                        let guard = cell.read();
+                        std::hint::black_box(guard.knn(q, KNN_K));
+                    }
+                }
+            });
+        }
+        let mut next = replacement;
+        for _ in 0..SWAP_SAMPLES {
+            let start = Instant::now();
+            let retired = cell.swap(next);
+            assert!(
+                retired.wait_drained(Duration::from_secs(30)),
+                "retired generation failed to drain"
+            );
+            samples.push(start.elapsed().as_nanos() as f64);
+            next = retired
+                .try_into_inner()
+                .unwrap_or_else(|_| panic!("drained generation still pinned"));
+        }
+        stop.store(true, Ordering::Release);
+    });
+    samples.sort_by(f64::total_cmp);
+    let p99 = samples[((samples.len() - 1) as f64 * 0.99) as usize];
+    metrics.insert("serve/swap_p99_ns".to_string(), p99);
+}
+
 /// Flattens the snapshot into the gated metric map.
 fn collect_metrics(registry: &MetricsRegistry) -> BTreeMap<String, f64> {
     let mut metrics = BTreeMap::new();
@@ -170,6 +253,7 @@ fn main() {
     });
 
     let mut fresh = collect_metrics(&registry);
+    saturation_metrics(&mut fresh);
     fresh.insert("calibration_ns".to_string(), calibration_ns());
 
     if let Some(path) = &options.metrics_out {

@@ -38,6 +38,8 @@ use vantage_telemetry::export::{self, thousands};
 use vantage_telemetry::{CostDelta, IndexMetrics, Instrumented, MetricsRegistry, OpKind};
 use vantage_vptree::{VpTree, VpTreeParams};
 
+mod serve;
+
 /// CLI failure: a message for the user (exit code 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(pub String);
@@ -127,6 +129,12 @@ USAGE:
   vantage experiment NAME [--scale quick|full]
        NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
              construction, comparators, knn, pruning
+  vantage serve  (--index FILE | --data FILE) [--addr HOST:PORT] [--addr-file FILE]
+                 [--metric l1|l2|linf|edit] [--metrics-out FILE]
+                 [--seed S] [--threads auto|N]
+  vantage client --addr HOST:PORT --cmd \"COMMAND\"
+  vantage serve-smoke --addr HOST:PORT --index FILE [--threads N]
+                 [--queries N] [--reloads R]
   vantage help
 
 Vector data files are CSV (one vector per line); `--metric edit` treats
@@ -151,6 +159,15 @@ distance-computation histograms per operation) as JSON to FILE;
 per-operation table with p50/p95/p99 percentiles, or re-exports it as
 JSON or Prometheus text with `--format`.
 
+`serve` starts a long-lived TCP server answering range/kNN/k-farthest
+queries over a newline-delimited line protocol (PING, INFO, RANGE, KNN,
+BEYOND, KFN, STATS, SHUTDOWN; plus RELOAD/REINDEX for zero-downtime
+index swaps and INSERT/DELETE in `--data` mode). `client` sends one
+command and prints the reply; `serve-smoke` is a multi-threaded client
+that replays a scripted workload during live RELOAD swaps and verifies
+every reply is bit-identical to a direct run against the same snapshot.
+See DESIGN.md \"Serving\" for the protocol grammar and swap semantics.
+
 `--threads` controls construction/statistics parallelism (default: auto,
 i.e. all cores, or the VANTAGE_THREADS environment variable). The worker
 count never changes any result — builds are bit-identical across thread
@@ -171,9 +188,24 @@ pub fn run(argv: &[String], out: &mut String) -> CliResult<()> {
         Some("explain") => cmd_explain(&argv[1..], out),
         Some("stats") => cmd_stats(&argv[1..], out),
         Some("experiment") => cmd_experiment(&argv[1..], out),
+        Some("serve") => cmd_serve(&argv[1..], out),
+        Some("client") => serve::cmd_client(&argv[1..], out),
+        Some("serve-smoke") => serve::cmd_serve_smoke(&argv[1..], out),
         Some(other) => Err(err(format!(
             "unknown command `{other}` (try `vantage help`)"
         ))),
+    }
+}
+
+fn cmd_serve(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let opts = serve::ServeOptions::from_args(&args)?;
+    match (args.get("data"), args.get("index")) {
+        (None, Some(snapshot)) => serve::serve_snapshot(snapshot, opts, out),
+        (Some(data), None) => serve::serve_data(data, opts, out),
+        _ => Err(err(
+            "serve needs exactly one of --data FILE or --index FILE",
+        )),
     }
 }
 
@@ -492,6 +524,22 @@ where
     Ok((results, cost, info.items as usize))
 }
 
+/// Rejects a snapshot whose metric tag differs from an explicitly
+/// requested `--metric` with a typed mismatch error. A snapshot always
+/// knows its own metric, so silently ignoring a conflicting flag (or
+/// worse, answering under the wrong metric) would mask operator error.
+fn check_snapshot_metric(info: &SnapshotInfo, requested: Option<&str>) -> CliResult<()> {
+    match requested {
+        Some(want) if want != info.metric => Err(err(VantageError::mismatch(
+            "metric",
+            info.metric.clone(),
+            want.to_string(),
+        )
+        .to_string())),
+        _ => Ok(()),
+    }
+}
+
 /// Parses `--query` as a comma-separated float vector.
 fn parse_vector_query(query_text: &str) -> CliResult<Vec<f64>> {
     query_text
@@ -508,12 +556,14 @@ fn run_snapshot_query(
     path: &str,
     query_text: &str,
     kind: &QueryKind,
+    requested_metric: Option<&str>,
     want_metrics: bool,
     registry: &MetricsRegistry,
 ) -> CliResult<(Vec<Neighbor>, u64, usize)> {
     let load_start = Instant::now();
     let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    check_snapshot_metric(&info, requested_metric)?;
     let metrics = want_metrics.then(|| registry.index(structure_label(info.kind)));
     match (info.item.as_str(), info.metric.as_str()) {
         ("utf8-string", "edit") => {
@@ -637,6 +687,7 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
             snapshot,
             query_text,
             &kind,
+            args.get("metric"),
             args.get("metrics").is_some(),
             &registry,
         )?,
@@ -867,12 +918,14 @@ fn run_snapshot_explain(
     path: &str,
     query_text: &str,
     kind: &QueryKind,
+    requested_metric: Option<&str>,
     want_metrics: bool,
     registry: &MetricsRegistry,
 ) -> CliResult<(Vec<Neighbor>, u64, usize, QueryProfile, &'static str)> {
     let load_start = Instant::now();
     let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    check_snapshot_metric(&info, requested_metric)?;
     let label = structure_label(info.kind);
     let metrics = want_metrics.then(|| registry.index(label));
     let (results, cost, n, profile) = match (info.item.as_str(), info.metric.as_str()) {
@@ -1009,6 +1062,7 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
             snapshot,
             query_text,
             &kind,
+            args.get("metric"),
             args.get("metrics").is_some(),
             &registry,
         )?,
@@ -1083,6 +1137,7 @@ fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
     if let Some(path) = args.get("index") {
         // Snapshot mode: verify every checksum and print the header.
         let info = persist::inspect(path).map_err(|e| err(format!("{path}: {e}")))?;
+        check_snapshot_metric(&info, args.get("metric"))?;
         let _ = writeln!(out, "snapshot: {path}");
         let _ = writeln!(out, "  format version: {}", info.version);
         let _ = writeln!(out, "  index:          {}", info.kind.name());

@@ -1,0 +1,1076 @@
+//! `vantage serve` — a long-lived TCP server answering metric queries
+//! over a newline-delimited line protocol, with RCU-style zero-downtime
+//! index swaps.
+//!
+//! ## Protocol
+//!
+//! One request per line, one reply per line. Replies start with `OK` or
+//! `ERR`. Query replies are `OK <count> id:distance id:distance ...`
+//! with distances printed in round-trip `f64` form, so a client can
+//! compare two servers (or a server and a local index) byte-for-byte.
+//!
+//! ```text
+//! PING                     -> OK pong
+//! INFO                     -> OK mode=... structure=... metric=... items=... generation=...
+//! RANGE  <radius> <query>  -> OK <n> id:dist ...       (ascending distance)
+//! KNN    <k> <query>       -> OK <n> id:dist ...       (ascending distance)
+//! BEYOND <radius> <query>  -> OK <n> id:dist ...       (far-neighbor complement)
+//! KFN    <k> <query>       -> OK <n> id:dist ...       (descending distance)
+//! INSERT <item>            -> OK id=N generation=G     (dynamic mode)
+//! DELETE <id>              -> OK removed=B generation=G (dynamic mode)
+//! RELOAD <path>            -> OK generation=G items=N drained=B (snapshot mode)
+//! REINDEX                  -> OK generation=G ...      (both modes)
+//! STATS                    -> OK <single-line metrics JSON>
+//! SHUTDOWN                 -> OK bye                   (drain + exit)
+//! ```
+//!
+//! Vector queries are comma-separated floats; `edit`-metric queries are
+//! a bare word.
+//!
+//! ## Swap semantics
+//!
+//! The served index lives in a [`SwapCell`]: each query pins the current
+//! generation with a guard and answers entirely against it. `RELOAD`
+//! reads, checksums and decodes the new snapshot on the admin
+//! connection's thread — concurrent readers keep answering on the old
+//! generation the whole time — then swaps atomically and waits for the
+//! displaced generation to drain (every in-flight query finished) before
+//! replying. The snapshot's dataset digest is verified exactly once, at
+//! load; queries never re-read or re-verify the file. A snapshot whose
+//! metric or item type differs from what the server is serving is
+//! rejected with a typed mismatch error, never a panic.
+//!
+//! In `--data` (dynamic) mode the same swap mechanism runs *inside*
+//! [`ConcurrentMvpTree`]: every `INSERT`/`DELETE` publishes a new
+//! generation and amortized rebuilds happen off the read path, so
+//! sustained ingest under heavy concurrent reads is the normal case,
+//! not an outage.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vantage_core::prelude::*;
+use vantage_core::{MetricIndex, VantageError};
+use vantage_mvptree::{ConcurrentMvpTree, MvpTree};
+use vantage_persist::{self as persist, IndexKind, ItemCodec, MetricTag};
+use vantage_telemetry::export;
+use vantage_telemetry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind};
+use vantage_vptree::VpTree;
+
+use crate::{err, mvp_build_params, parse_threads, structure_label, Args, CliResult};
+
+/// How long `RELOAD` waits for the displaced generation's readers.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval for connection reads (bounds shutdown latency).
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// An item type that can cross the wire as a single token.
+pub(crate) trait WireItem: Sized {
+    /// Parses the query text (everything after the command's numeric
+    /// argument) into an item.
+    fn parse_wire(text: &str) -> std::result::Result<Self, String>;
+    /// Renders an item back into wire form (used by the smoke client to
+    /// derive query texts from a decoded snapshot's own items).
+    fn format_wire(&self) -> String;
+}
+
+impl WireItem for Vec<f64> {
+    fn parse_wire(text: &str) -> std::result::Result<Self, String> {
+        text.split(',')
+            .map(|c| c.trim().parse())
+            .collect::<std::result::Result<Vec<f64>, _>>()
+            .map_err(|_| "query must be a comma-separated float vector".to_string())
+    }
+
+    fn format_wire(&self) -> String {
+        let mut s = String::new();
+        for (i, x) in self.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{x}");
+        }
+        s
+    }
+}
+
+impl WireItem for String {
+    fn parse_wire(text: &str) -> std::result::Result<Self, String> {
+        if text.is_empty() || text.contains(char::is_whitespace) {
+            return Err("query must be a single word".to_string());
+        }
+        Ok(text.to_string())
+    }
+
+    fn format_wire(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Everything a served index must answer: near and far queries, behind
+/// one object-safe facade.
+pub(crate) trait QueryIndex<T>: MetricIndex<T> + FarthestIndex<T> + Send + Sync {}
+
+impl<T, I: MetricIndex<T> + FarthestIndex<T> + Send + Sync> QueryIndex<T> for I {}
+
+/// Decodes a snapshot into a boxed near+far queryable index plus a probe
+/// sharing the index's `Counted` tally.
+fn decode_query_index<T, M>(
+    bytes: &[u8],
+    kind: IndexKind,
+) -> CliResult<(Box<dyn QueryIndex<T>>, Counted<M>)>
+where
+    T: ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    match kind {
+        IndexKind::VpTree => {
+            let tree: VpTree<T, Counted<M>> =
+                persist::decode_vp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            Ok((Box::new(tree), probe))
+        }
+        IndexKind::MvpTree => {
+            let tree: MvpTree<T, Counted<M>> =
+                persist::decode_mvp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            Ok((Box::new(tree), probe))
+        }
+        IndexKind::Linear => {
+            let scan: LinearScan<T, Counted<M>> =
+                persist::decode_linear_scan(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = scan.metric().clone();
+            Ok((Box::new(scan), probe))
+        }
+    }
+}
+
+/// Like [`decode_query_index`], but also hands back a copy of the items
+/// (the smoke client derives its query workload from them).
+fn decode_with_items<T, M>(
+    bytes: &[u8],
+    kind: IndexKind,
+) -> CliResult<(Box<dyn QueryIndex<T>>, Vec<T>)>
+where
+    T: ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    match kind {
+        IndexKind::VpTree => {
+            let tree: VpTree<T, Counted<M>> =
+                persist::decode_vp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let items = tree.items().to_vec();
+            Ok((Box::new(tree), items))
+        }
+        IndexKind::MvpTree => {
+            let tree: MvpTree<T, Counted<M>> =
+                persist::decode_mvp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let items = tree.items().to_vec();
+            Ok((Box::new(tree), items))
+        }
+        IndexKind::Linear => {
+            let scan: LinearScan<T, Counted<M>> =
+                persist::decode_linear_scan(bytes).map_err(|e| err(e.to_string()))?;
+            let items = scan.items().to_vec();
+            Ok((Box::new(scan), items))
+        }
+    }
+}
+
+/// One published generation of the snapshot-serving engine.
+struct StaticGen<T, M> {
+    index: Box<dyn QueryIndex<T>>,
+    probe: Counted<M>,
+    items: u64,
+    structure: &'static str,
+    metrics: Arc<IndexMetrics>,
+}
+
+/// Snapshot-serving engine: one immutable index per generation, replaced
+/// wholesale by `RELOAD`/`REINDEX`.
+struct StaticEngine<T, M> {
+    cell: SwapCell<StaticGen<T, M>>,
+    /// Path of the snapshot currently served (`REINDEX` reloads it).
+    source: Mutex<String>,
+    item_tag: String,
+    metric_tag: String,
+}
+
+/// Ingest-serving engine: the concurrent mvp-tree swaps internally on
+/// every write.
+struct DynamicEngine<T, M> {
+    tree: ConcurrentMvpTree<T, Counted<M>>,
+    probe: Counted<M>,
+    metrics: Arc<IndexMetrics>,
+}
+
+enum Engine<T, M> {
+    Static(StaticEngine<T, M>),
+    Dynamic(DynamicEngine<T, M>),
+}
+
+/// Server state shared by every connection thread.
+struct Shared<T, M> {
+    engine: Engine<T, M>,
+    registry: MetricsRegistry,
+    metric_name: String,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    g_generation: Arc<Gauge>,
+    g_in_flight: Arc<Gauge>,
+    g_swaps: Arc<Gauge>,
+    g_connections: Arc<Gauge>,
+}
+
+/// Parsed command-line options common to both serving modes.
+pub(crate) struct ServeOptions {
+    pub addr: String,
+    pub addr_file: Option<String>,
+    pub metric: Option<String>,
+    pub metrics_out: Option<String>,
+    pub seed: u64,
+    pub threads: Threads,
+}
+
+impl ServeOptions {
+    pub(crate) fn from_args(args: &Args<'_>) -> CliResult<Self> {
+        Ok(ServeOptions {
+            addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+            addr_file: args.get("addr-file").map(str::to_string),
+            metric: args.get("metric").map(str::to_string),
+            metrics_out: args.get("metrics-out").map(str::to_string),
+            seed: args.parsed("seed", 0)?,
+            threads: parse_threads(args)?,
+        })
+    }
+}
+
+/// Serves an index loaded from a `vantage-persist` snapshot. The file is
+/// read, checksum-verified and decoded exactly once, here; queries never
+/// touch the disk again.
+pub(crate) fn serve_snapshot(path: &str, opts: ServeOptions, out: &mut String) -> CliResult<()> {
+    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    if let Some(want) = &opts.metric {
+        if *want != info.metric {
+            // Typed mismatch, not a panic: the snapshot itself is fine,
+            // it just does not hold the metric the operator asked for.
+            return Err(err(VantageError::mismatch(
+                "metric",
+                info.metric.clone(),
+                want.clone(),
+            )
+            .to_string()));
+        }
+    }
+    match (info.item.as_str(), info.metric.as_str()) {
+        ("utf8-string", "edit") => {
+            serve_snapshot_typed::<String, Levenshtein>(path, &bytes, &info, opts, out)
+        }
+        ("f64-vector", "l2") => {
+            serve_snapshot_typed::<Vec<f64>, Euclidean>(path, &bytes, &info, opts, out)
+        }
+        ("f64-vector", "l1") => {
+            serve_snapshot_typed::<Vec<f64>, Manhattan>(path, &bytes, &info, opts, out)
+        }
+        ("f64-vector", "linf") => {
+            serve_snapshot_typed::<Vec<f64>, Chebyshev>(path, &bytes, &info, opts, out)
+        }
+        (item, metric) => Err(err(format!(
+            "{path}: snapshot combination {item}/{metric} is not supported by this CLI"
+        ))),
+    }
+}
+
+fn serve_snapshot_typed<T, M>(
+    path: &str,
+    bytes: &[u8],
+    info: &persist::SnapshotInfo,
+    opts: ServeOptions,
+    out: &mut String,
+) -> CliResult<()>
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let registry = MetricsRegistry::new();
+    let load_start = Instant::now();
+    let (index, probe) = decode_query_index::<T, M>(bytes, info.kind)?;
+    let metrics = registry.index("serve/gen0");
+    metrics.record(
+        OpKind::SnapshotLoad,
+        load_start.elapsed(),
+        CostDelta {
+            computations: info.bytes,
+            ..CostDelta::default()
+        },
+    );
+    probe.reset();
+    let engine = Engine::Static(StaticEngine {
+        cell: SwapCell::new(StaticGen {
+            index,
+            probe,
+            items: info.items,
+            structure: structure_label(info.kind),
+            metrics,
+        }),
+        source: Mutex::new(path.to_string()),
+        item_tag: info.item.clone(),
+        metric_tag: info.metric.clone(),
+    });
+    run_server(engine, registry, info.metric.clone(), opts, out)
+}
+
+/// Serves a dataset through the dynamic (ingest-capable) engine.
+pub(crate) fn serve_data(path: &str, opts: ServeOptions, out: &mut String) -> CliResult<()> {
+    let metric_name = opts.metric.clone().unwrap_or_else(|| "l2".to_string());
+    if metric_name == "edit" {
+        let words = crate::read_words(path)?;
+        serve_data_typed(words, Levenshtein, metric_name, opts, out)
+    } else {
+        let vectors = crate::read_vectors(path)?;
+        match metric_name.as_str() {
+            "l2" => serve_data_typed(vectors, Euclidean, metric_name, opts, out),
+            "l1" => serve_data_typed(vectors, Manhattan, metric_name, opts, out),
+            "linf" => serve_data_typed(vectors, Chebyshev, metric_name, opts, out),
+            other => Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)"))),
+        }
+    }
+}
+
+fn serve_data_typed<T, M>(
+    items: Vec<T>,
+    metric: M,
+    metric_name: String,
+    opts: ServeOptions,
+    out: &mut String,
+) -> CliResult<()>
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let registry = MetricsRegistry::new();
+    let counted = Counted::new(metric);
+    let probe = counted.clone();
+    let build_start = Instant::now();
+    let tree =
+        ConcurrentMvpTree::with_items(items, counted, mvp_build_params(opts.seed, opts.threads))
+            .map_err(|e| err(e.to_string()))?;
+    let metrics = registry.index("serve/dynamic");
+    metrics.record(OpKind::Build, build_start.elapsed(), probe.totals().into());
+    probe.reset();
+    let engine = Engine::Dynamic(DynamicEngine {
+        tree,
+        probe,
+        metrics,
+    });
+    run_server(engine, registry, metric_name, opts, out)
+}
+
+fn run_server<T, M>(
+    engine: Engine<T, M>,
+    registry: MetricsRegistry,
+    metric_name: String,
+    opts: ServeOptions,
+    out: &mut String,
+) -> CliResult<()>
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(&opts.addr)
+        .map_err(|e| err(format!("cannot bind {}: {e}", opts.addr)))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| err(format!("cannot resolve bound address: {e}")))?;
+    let shared = Arc::new(Shared {
+        engine,
+        metric_name,
+        shutdown: AtomicBool::new(false),
+        local_addr,
+        g_generation: registry.gauge("serve/generation"),
+        g_in_flight: registry.gauge("serve/in_flight"),
+        g_swaps: registry.gauge("serve/swaps"),
+        g_connections: registry.gauge("serve/connections"),
+        registry,
+    });
+    // Readiness signals that work before the (buffered) report is
+    // printed: the bound address goes to stderr immediately, and to a
+    // file when the operator (or a test) asked for one.
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, local_addr.to_string())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!("vantage serve: listening on {local_addr}");
+
+    let mut workers = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || {
+            handle_connection(stream, &shared)
+        }));
+    }
+    // Graceful drain: every connection thread finishes its in-flight
+    // request (and closes) before the final metrics flush.
+    for worker in workers {
+        let _ = worker.join();
+    }
+    refresh_gauges(&shared);
+    let snapshot = shared.registry.snapshot();
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, export::to_json(&snapshot))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "metrics snapshot written to {path}");
+    }
+    let _ = writeln!(out, "server on {local_addr} shut down cleanly");
+    Ok(())
+}
+
+fn handle_connection<T, M>(stream: TcpStream, shared: &Shared<T, M>)
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    shared.g_connections.add(1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            shared.g_connections.add(-1);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let (reply, close) = handle_line(line.trim(), shared);
+                line.clear();
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            // Timeout polls keep any partially read line buffered.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+    shared.g_connections.add(-1);
+}
+
+/// Handles one request line; returns the reply and whether to close the
+/// connection afterwards.
+fn handle_line<T, M>(line: &str, shared: &Shared<T, M>) -> (String, bool)
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    match dispatch(line, shared) {
+        Ok(Reply::Line(reply)) => (reply, false),
+        Ok(Reply::Bye(reply)) => (reply, true),
+        Err(message) => (format!("ERR {message}"), false),
+    }
+}
+
+enum Reply {
+    Line(String),
+    Bye(String),
+}
+
+fn dispatch<T, M>(line: &str, shared: &Shared<T, M>) -> std::result::Result<Reply, String>
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let mut parts = line.splitn(2, ' ');
+    let verb = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    match verb {
+        "PING" => Ok(Reply::Line("OK pong".to_string())),
+        "INFO" => Ok(Reply::Line(info_line(shared))),
+        "RANGE" | "BEYOND" | "KNN" | "KFN" => {
+            let (arg, query_text) = split_arg(rest, verb)?;
+            let query = T::parse_wire(query_text)?;
+            let cmd = QueryCmd::parse(verb, arg)?;
+            Ok(Reply::Line(answer_query(shared, &cmd, &query)))
+        }
+        "INSERT" => {
+            let engine = dynamic_engine(shared, verb)?;
+            let item = T::parse_wire(rest)?;
+            let id = engine.tree.insert(item);
+            refresh_gauges(shared);
+            Ok(Reply::Line(format!(
+                "OK id={id} generation={}",
+                engine.tree.generation()
+            )))
+        }
+        "DELETE" => {
+            let engine = dynamic_engine(shared, verb)?;
+            let id: usize = rest
+                .parse()
+                .map_err(|_| format!("DELETE needs an integer id, got `{rest}`"))?;
+            let removed = engine.tree.remove(id);
+            refresh_gauges(shared);
+            Ok(Reply::Line(format!(
+                "OK removed={removed} generation={}",
+                engine.tree.generation()
+            )))
+        }
+        "RELOAD" => match &shared.engine {
+            Engine::Static(engine) => {
+                if rest.is_empty() {
+                    return Err("RELOAD needs a snapshot path".to_string());
+                }
+                reload(engine, shared, rest)
+            }
+            Engine::Dynamic(_) => {
+                Err("RELOAD is only available in snapshot (--index) mode".to_string())
+            }
+        },
+        "REINDEX" => match &shared.engine {
+            Engine::Static(engine) => {
+                let source = engine
+                    .source
+                    .lock()
+                    .map_err(|_| "source path lock poisoned".to_string())?
+                    .clone();
+                reload(engine, shared, &source)
+            }
+            Engine::Dynamic(engine) => {
+                let generation = engine.tree.reindex();
+                refresh_gauges(shared);
+                Ok(Reply::Line(format!("OK generation={generation}")))
+            }
+        },
+        "STATS" => {
+            refresh_gauges(shared);
+            let snapshot = shared.registry.snapshot();
+            Ok(Reply::Line(format!(
+                "OK {}",
+                export::to_json_compact(&snapshot)
+            )))
+        }
+        "SHUTDOWN" => {
+            shared.shutdown.store(true, Ordering::Release);
+            // Wake the acceptor so the listen loop observes the flag.
+            let _ = TcpStream::connect(shared.local_addr);
+            Ok(Reply::Bye("OK bye".to_string()))
+        }
+        "" => Err("empty command".to_string()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn dynamic_engine<'a, T, M>(
+    shared: &'a Shared<T, M>,
+    verb: &str,
+) -> std::result::Result<&'a DynamicEngine<T, M>, String> {
+    match &shared.engine {
+        Engine::Dynamic(engine) => Ok(engine),
+        Engine::Static(_) => Err(format!("{verb} is only available in dynamic (--data) mode")),
+    }
+}
+
+fn split_arg<'a>(rest: &'a str, verb: &str) -> std::result::Result<(&'a str, &'a str), String> {
+    let mut parts = rest.splitn(2, ' ');
+    match (parts.next(), parts.next()) {
+        (Some(arg), Some(query)) if !arg.is_empty() && !query.trim().is_empty() => {
+            Ok((arg, query.trim()))
+        }
+        _ => Err(format!("{verb} needs an argument and a query")),
+    }
+}
+
+/// A parsed near/far query.
+pub(crate) enum QueryCmd {
+    Range(f64),
+    Knn(usize),
+    Beyond(f64),
+    Kfn(usize),
+}
+
+impl QueryCmd {
+    fn parse(verb: &str, arg: &str) -> std::result::Result<QueryCmd, String> {
+        match verb {
+            "RANGE" => arg
+                .parse()
+                .map(QueryCmd::Range)
+                .map_err(|_| format!("RANGE needs a float radius, got `{arg}`")),
+            "BEYOND" => arg
+                .parse()
+                .map(QueryCmd::Beyond)
+                .map_err(|_| format!("BEYOND needs a float radius, got `{arg}`")),
+            "KNN" => arg
+                .parse()
+                .map(QueryCmd::Knn)
+                .map_err(|_| format!("KNN needs an integer k, got `{arg}`")),
+            "KFN" => arg
+                .parse()
+                .map(QueryCmd::Kfn)
+                .map_err(|_| format!("KFN needs an integer k, got `{arg}`")),
+            _ => Err(format!("unknown query verb `{verb}`")),
+        }
+    }
+
+    fn op_kind(&self) -> OpKind {
+        match self {
+            QueryCmd::Range(_) | QueryCmd::Beyond(_) => OpKind::Range,
+            QueryCmd::Knn(_) | QueryCmd::Kfn(_) => OpKind::Knn,
+        }
+    }
+}
+
+/// Runs one query against a boxed index — the *same* code path the smoke
+/// client uses locally, so wire replies diff clean against a direct run.
+pub(crate) fn execute_query<T>(
+    index: &dyn QueryIndex<T>,
+    cmd: &QueryCmd,
+    query: &T,
+) -> Vec<Neighbor> {
+    match cmd {
+        QueryCmd::Range(radius) => {
+            let mut v = index.range(query, *radius);
+            v.sort_unstable();
+            v
+        }
+        QueryCmd::Knn(k) => index.knn(query, *k),
+        QueryCmd::Beyond(radius) => {
+            let mut v = index.range_beyond(query, *radius);
+            v.sort_unstable();
+            v
+        }
+        QueryCmd::Kfn(k) => index.k_farthest(query, *k),
+    }
+}
+
+/// Renders neighbors as a reply line, distances in round-trip `f64` form.
+pub(crate) fn format_neighbors(neighbors: &[Neighbor]) -> String {
+    let mut s = format!("OK {}", neighbors.len());
+    for n in neighbors {
+        let _ = write!(s, " {}:{}", n.id, n.distance);
+    }
+    s
+}
+
+fn answer_query<T, M>(shared: &Shared<T, M>, cmd: &QueryCmd, query: &T) -> String
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    shared.g_in_flight.add(1);
+    let reply = match &shared.engine {
+        Engine::Static(engine) => {
+            // Pin one generation: the query answers wholly against it
+            // even if a RELOAD swaps mid-flight.
+            let guard = engine.cell.read();
+            let before = guard.probe.totals();
+            let start = Instant::now();
+            let results = execute_query(guard.index.as_ref(), cmd, query);
+            guard.metrics.record(
+                cmd.op_kind(),
+                start.elapsed(),
+                guard.probe.totals().since(&before).into(),
+            );
+            format_neighbors(&results)
+        }
+        Engine::Dynamic(engine) => {
+            let snapshot = engine.tree.read();
+            let before = engine.probe.totals();
+            let start = Instant::now();
+            let mut results = match cmd {
+                QueryCmd::Range(radius) => snapshot.range(query, *radius),
+                QueryCmd::Knn(k) => snapshot.knn(query, *k),
+                QueryCmd::Beyond(radius) => snapshot.range_beyond(query, *radius),
+                QueryCmd::Kfn(k) => snapshot.k_farthest(query, *k),
+            };
+            if matches!(cmd, QueryCmd::Range(_) | QueryCmd::Beyond(_)) {
+                results.sort_unstable();
+            }
+            engine.metrics.record(
+                cmd.op_kind(),
+                start.elapsed(),
+                engine.probe.totals().since(&before).into(),
+            );
+            format_neighbors(&results)
+        }
+    };
+    shared.g_in_flight.add(-1);
+    reply
+}
+
+fn info_line<T, M>(shared: &Shared<T, M>) -> String
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    match &shared.engine {
+        Engine::Static(engine) => {
+            let guard = engine.cell.read();
+            format!(
+                "OK mode=static structure={} metric={} items={} generation={} swaps={}",
+                guard.structure,
+                shared.metric_name,
+                guard.items,
+                guard.generation(),
+                engine.cell.swaps()
+            )
+        }
+        Engine::Dynamic(engine) => format!(
+            "OK mode=dynamic structure=mvp metric={} items={} generation={}",
+            shared.metric_name,
+            engine.tree.len(),
+            engine.tree.generation()
+        ),
+    }
+}
+
+/// Re-reads the serving gauges from the engine's authoritative counters.
+fn refresh_gauges<T, M>(shared: &Shared<T, M>)
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    match &shared.engine {
+        Engine::Static(engine) => {
+            shared.g_generation.set(engine.cell.generation() as i64);
+            shared.g_swaps.set(engine.cell.swaps() as i64);
+        }
+        Engine::Dynamic(engine) => {
+            shared.g_generation.set(engine.tree.generation() as i64);
+            shared.g_swaps.set(engine.tree.generation() as i64);
+        }
+    }
+}
+
+/// `RELOAD`: load, verify and decode the new snapshot on this thread
+/// (readers keep answering on the current generation), swap atomically,
+/// then drain the displaced generation.
+fn reload<T, M>(
+    engine: &StaticEngine<T, M>,
+    shared: &Shared<T, M>,
+    path: &str,
+) -> std::result::Result<Reply, String>
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Checksums and the dataset digest are verified here, once; the new
+    // generation then serves purely from memory.
+    let info = persist::inspect_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if info.metric != engine.metric_tag {
+        return Err(
+            VantageError::mismatch("metric", info.metric, engine.metric_tag.clone()).to_string(),
+        );
+    }
+    if info.item != engine.item_tag {
+        return Err(
+            VantageError::mismatch("items", info.item, engine.item_tag.clone()).to_string(),
+        );
+    }
+    let load_start = Instant::now();
+    let (index, probe) =
+        decode_query_index::<T, M>(&bytes, info.kind).map_err(|e| e.to_string())?;
+    let metrics = shared
+        .registry
+        .index(&format!("serve/gen{}", engine.cell.generation() + 1));
+    metrics.record(
+        OpKind::SnapshotLoad,
+        load_start.elapsed(),
+        CostDelta {
+            computations: info.bytes,
+            ..CostDelta::default()
+        },
+    );
+    probe.reset();
+    let retired = engine.cell.swap(StaticGen {
+        index,
+        probe,
+        items: info.items,
+        structure: structure_label(info.kind),
+        metrics,
+    });
+    let drained = retired.wait_drained(DRAIN_TIMEOUT);
+    refresh_gauges(shared);
+    *engine
+        .source
+        .lock()
+        .map_err(|_| "source path lock poisoned".to_string())? = path.to_string();
+    Ok(Reply::Line(format!(
+        "OK generation={} items={} drained={drained}",
+        engine.cell.generation(),
+        info.items
+    )))
+}
+
+// ---------------------------------------------------------------------
+// Client side: one-shot commands and the multi-threaded smoke test.
+// ---------------------------------------------------------------------
+
+/// A line-protocol client connection.
+pub(crate) struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    /// Connects, retrying until `deadline` (a freshly `spawn`ed server
+    /// may not be accepting yet).
+    pub(crate) fn connect_retry(addr: &str, deadline: Duration) -> CliResult<Conn> {
+        let start = Instant::now();
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| err(format!("cannot clone connection: {e}")))?;
+                    return Ok(Conn {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) if start.elapsed() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(err(format!("cannot connect to {addr}: {e}"))),
+            }
+        }
+    }
+
+    /// Sends one command line and reads one reply line.
+    pub(crate) fn send(&mut self, command: &str) -> CliResult<String> {
+        self.writer
+            .write_all(command.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| err(format!("send failed: {e}")))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| err(format!("no reply: {e}")))?;
+        if reply.is_empty() {
+            return Err(err("server closed the connection"));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+}
+
+/// `vantage client --addr A --cmd "KNN 5 0.5,0.5"`: one command, one
+/// reply, printed.
+pub(crate) fn cmd_client(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let addr = args.required("addr")?;
+    let command = args.required("cmd")?;
+    let mut conn = Conn::connect_retry(addr, Duration::from_secs(5))?;
+    let reply = conn.send(command)?;
+    let _ = writeln!(out, "{reply}");
+    Ok(())
+}
+
+/// The multi-threaded smoke client: replays a scripted query workload
+/// from N threads while issuing live `RELOAD` swaps, asserting every
+/// reply is bit-identical to a direct run against the decoded snapshot.
+pub(crate) fn cmd_serve_smoke(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let addr = args.required("addr")?.to_string();
+    let path = args.required("index")?.to_string();
+    let threads: usize = args.parsed("threads", 4)?;
+    let queries: usize = args.parsed("queries", 200)?;
+    let reloads: usize = args.parsed("reloads", 2)?;
+    if threads == 0 || queries == 0 {
+        return Err(err("serve-smoke needs --threads >= 1 and --queries >= 1"));
+    }
+    let bytes = std::fs::read(&path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    match (info.item.as_str(), info.metric.as_str()) {
+        ("utf8-string", "edit") => smoke_typed::<String, Levenshtein>(
+            &addr, &path, &bytes, &info, threads, queries, reloads, out,
+        ),
+        ("f64-vector", "l2") => smoke_typed::<Vec<f64>, Euclidean>(
+            &addr, &path, &bytes, &info, threads, queries, reloads, out,
+        ),
+        ("f64-vector", "l1") => smoke_typed::<Vec<f64>, Manhattan>(
+            &addr, &path, &bytes, &info, threads, queries, reloads, out,
+        ),
+        ("f64-vector", "linf") => smoke_typed::<Vec<f64>, Chebyshev>(
+            &addr, &path, &bytes, &info, threads, queries, reloads, out,
+        ),
+        (item, metric) => Err(err(format!(
+            "{path}: snapshot combination {item}/{metric} is not supported by this CLI"
+        ))),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn smoke_typed<T, M>(
+    addr: &str,
+    path: &str,
+    bytes: &[u8],
+    info: &persist::SnapshotInfo,
+    threads: usize,
+    queries: usize,
+    reloads: usize,
+    out: &mut String,
+) -> CliResult<()>
+where
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    let (index, items) = decode_with_items::<T, M>(bytes, info.kind)?;
+    if items.is_empty() {
+        return Err(err(format!("{path}: snapshot holds no items")));
+    }
+    // Script the workload from the snapshot's own items and compute every
+    // expected reply through the exact code path the server uses, so a
+    // correct server matches byte-for-byte — across reload swaps too,
+    // since a reload of the same snapshot decodes the same tree.
+    let mut script: Vec<(String, String)> = Vec::with_capacity(queries);
+    for i in 0..queries {
+        let item = &items[i % items.len()];
+        let (command, cmd) = match i % 4 {
+            0 | 1 => (format!("KNN 5 {}", item.format_wire()), QueryCmd::Knn(5)),
+            2 => {
+                // A radius that yields a small, non-empty answer: the
+                // distance to the item's 4th-nearest neighbor.
+                let nn = index.knn(item, 4);
+                let radius = nn.last().map(|n| n.distance).unwrap_or(0.0);
+                (
+                    format!("RANGE {radius} {}", item.format_wire()),
+                    QueryCmd::Range(radius),
+                )
+            }
+            _ => (format!("KFN 3 {}", item.format_wire()), QueryCmd::Kfn(3)),
+        };
+        let expected = format_neighbors(&execute_query(index.as_ref(), &cmd, item));
+        script.push((command, expected));
+    }
+
+    let script = Arc::new(script);
+    let failures = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let first_failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_string();
+            let script = Arc::clone(&script);
+            let failures = Arc::clone(&failures);
+            let completed = Arc::clone(&completed);
+            let first_failure = Arc::clone(&first_failure);
+            std::thread::spawn(move || {
+                let mut conn = match Conn::connect_retry(&addr, Duration::from_secs(10)) {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        note_failure(&first_failure, format!("thread {t}: {e}"));
+                        return;
+                    }
+                };
+                let mut i = t;
+                while i < script.len() {
+                    let (command, expected) = &script[i];
+                    match conn.send(command) {
+                        Ok(reply) if reply == *expected => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(reply) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            note_failure(
+                                &first_failure,
+                                format!(
+                                    "thread {t}: `{command}` answered `{reply}`, expected `{expected}`"
+                                ),
+                            );
+                        }
+                        Err(e) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            note_failure(&first_failure, format!("thread {t}: `{command}`: {e}"));
+                        }
+                    }
+                    i += threads;
+                }
+            })
+        })
+        .collect();
+
+    // Live swaps from an admin connection while the query threads run:
+    // each reload waits for a fraction of the workload to complete first,
+    // so the swap is guaranteed to land among in-flight queries.
+    let mut admin = Conn::connect_retry(addr, Duration::from_secs(10))?;
+    let mut swaps_ok = 0usize;
+    for i in 0..reloads {
+        let target = ((i + 1) * queries / (reloads + 1)) as u64;
+        let wait_start = Instant::now();
+        while completed.load(Ordering::Relaxed) + failures.load(Ordering::Relaxed) < target
+            && wait_start.elapsed() < Duration::from_secs(30)
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reply = admin.send(&format!("RELOAD {path}"))?;
+        if reply.starts_with("OK") {
+            swaps_ok += 1;
+        } else {
+            failures.fetch_add(1, Ordering::Relaxed);
+            note_failure(&first_failure, format!("RELOAD failed: {reply}"));
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let elapsed = start.elapsed();
+    let completed = completed.load(Ordering::Relaxed);
+    let failures = failures.load(Ordering::Relaxed);
+    if failures > 0 {
+        let detail = first_failure
+            .lock()
+            .ok()
+            .and_then(|g| g.clone())
+            .unwrap_or_else(|| "unknown failure".to_string());
+        return Err(err(format!(
+            "serve-smoke: {failures} failures out of {queries} queries (first: {detail})"
+        )));
+    }
+    let qps = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        out,
+        "PASS queries={completed} threads={threads} reloads={swaps_ok} qps={qps:.0}"
+    );
+    Ok(())
+}
+
+fn note_failure(slot: &Mutex<Option<String>>, message: String) {
+    if let Ok(mut guard) = slot.lock() {
+        guard.get_or_insert(message);
+    }
+}

@@ -1,0 +1,255 @@
+//! End-to-end tests for `vantage serve`: a real TCP server on an
+//! ephemeral port, concurrent smoke clients issuing queries during live
+//! `RELOAD` swaps, the dynamic ingest mode, and the typed
+//! metric-mismatch errors on every snapshot-loading path.
+
+use std::time::{Duration, Instant};
+
+use vantage_telemetry::export;
+
+fn run(argv: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    match vantage_cli::run(&argv, &mut out) {
+        Ok(()) => Ok(out),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn run_ok(argv: &[&str]) -> String {
+    run(argv).unwrap_or_else(|e| panic!("cli failed: {e}"))
+}
+
+fn temp_path(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vantage-serve-test-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+/// Spawns `vantage serve` on an ephemeral port in a background thread and
+/// returns `(addr, join handle)` once the server has published its
+/// address.
+fn spawn_server(
+    mut argv: Vec<String>,
+) -> (String, std::thread::JoinHandle<Result<String, String>>) {
+    let addr_file = temp_path(&format!("addr-{:?}", std::thread::current().id()));
+    let _ = std::fs::remove_file(&addr_file);
+    argv.extend(["--addr".into(), "127.0.0.1:0".into()]);
+    argv.extend(["--addr-file".into(), addr_file.clone()]);
+    let handle = std::thread::spawn(move || {
+        let mut out = String::new();
+        vantage_cli::run(&argv, &mut out)
+            .map(|()| out)
+            .map_err(|e| e.to_string())
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            if !addr.is_empty() {
+                let _ = std::fs::remove_file(&addr_file);
+                return (addr, handle);
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not publish its address in time"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn client(addr: &str, cmd: &str) -> String {
+    run_ok(&["client", "--addr", addr, "--cmd", cmd])
+        .trim_end()
+        .to_string()
+}
+
+#[test]
+fn smoke_clients_stay_bit_identical_across_live_reloads() {
+    let data = temp_path("smoke-data.csv");
+    let snap = temp_path("smoke-index.vantage");
+    let metrics_out = temp_path("smoke-metrics.json");
+    run_ok(&[
+        "generate", "uniform", "--n", "250", "--dim", "4", "--seed", "7", "--out", &data,
+    ]);
+    run_ok(&["build", "--data", &data, "--save", &snap, "--metric", "l2"]);
+
+    let (addr, server) = spawn_server(vec![
+        "serve".into(),
+        "--index".into(),
+        snap.clone(),
+        "--metrics-out".into(),
+        metrics_out.clone(),
+    ]);
+
+    // 4 client threads replay a scripted workload (KNN/RANGE/KFN derived
+    // from the snapshot's own items) while 2 RELOADs swap the index live;
+    // every reply must match a direct run against the decoded snapshot
+    // byte-for-byte, with zero failures.
+    let smoke = run_ok(&[
+        "serve-smoke",
+        "--addr",
+        &addr,
+        "--index",
+        &snap,
+        "--threads",
+        "4",
+        "--queries",
+        "160",
+        "--reloads",
+        "2",
+    ]);
+    assert!(smoke.contains("PASS"), "{smoke}");
+    assert!(smoke.contains("threads=4"), "{smoke}");
+    assert!(smoke.contains("reloads=2"), "{smoke}");
+
+    // A reload whose snapshot holds a different metric is refused with a
+    // typed mismatch error on the wire — the old generation keeps serving.
+    let wrong = temp_path("smoke-wrong-metric.vantage");
+    run_ok(&["build", "--data", &data, "--save", &wrong, "--metric", "l1"]);
+    let reply = client(&addr, &format!("RELOAD {wrong}"));
+    assert!(
+        reply.starts_with("ERR") && reply.contains("snapshot metric mismatch"),
+        "{reply}"
+    );
+    let info = client(&addr, "INFO");
+    assert!(
+        info.contains("mode=static") && info.contains("generation=2"),
+        "{info}"
+    );
+
+    assert!(client(&addr, "PING") == "OK pong");
+    let stats = client(&addr, "STATS");
+    assert!(stats.starts_with("OK {"), "{stats}");
+
+    let reply = client(&addr, "SHUTDOWN");
+    assert_eq!(reply, "OK bye");
+    let out = server
+        .join()
+        .expect("server thread panicked")
+        .expect("server failed");
+    assert!(out.contains("shut down cleanly"), "{out}");
+
+    // The flushed metrics snapshot carries per-generation serving labels
+    // and the swap/generation gauges.
+    let text = std::fs::read_to_string(&metrics_out).expect("metrics snapshot written");
+    let snapshot = export::from_json(&text).expect("metrics snapshot parses");
+    assert_eq!(snapshot.gauge("serve/generation"), Some(2));
+    assert_eq!(snapshot.gauge("serve/swaps"), Some(2));
+    assert_eq!(snapshot.gauge("serve/in_flight"), Some(0));
+    assert!(
+        snapshot.index("serve/gen0").is_some(),
+        "per-generation label missing"
+    );
+    assert!(
+        snapshot.index("serve/gen2").is_some(),
+        "post-reload label missing"
+    );
+
+    for p in [&data, &snap, &wrong, &metrics_out] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn dynamic_mode_serves_ingest_and_far_queries() {
+    let data = temp_path("dyn-data.csv");
+    run_ok(&[
+        "generate", "uniform", "--n", "60", "--dim", "3", "--seed", "3", "--out", &data,
+    ]);
+
+    let (addr, server) = spawn_server(vec![
+        "serve".into(),
+        "--data".into(),
+        data.clone(),
+        "--metric".into(),
+        "l2".into(),
+    ]);
+
+    let info = client(&addr, "INFO");
+    assert!(
+        info.contains("mode=dynamic") && info.contains("items=60"),
+        "{info}"
+    );
+
+    // Insert a far-away point: it must be its own nearest neighbor.
+    let reply = client(&addr, "INSERT 9,9,9");
+    assert!(reply.starts_with("OK id=60"), "{reply}");
+    let knn = client(&addr, "KNN 1 9,9,9");
+    assert!(knn.starts_with("OK 1 60:0"), "{knn}");
+    // And the farthest point from the origin-ish corner of the cube.
+    let kfn = client(&addr, "KFN 1 0,0,0");
+    assert!(kfn.starts_with("OK 1 60:"), "{kfn}");
+
+    // Delete it: queries stop seeing the id immediately.
+    let reply = client(&addr, "DELETE 60");
+    assert!(reply.starts_with("OK removed=true"), "{reply}");
+    let knn = client(&addr, "KNN 3 9,9,9");
+    assert!(!knn.contains(" 60:"), "{knn}");
+    assert!(client(&addr, "BEYOND 100 0,0,0") == "OK 0");
+
+    // Static-only commands are typed errors, not panics.
+    let reply = client(&addr, "RELOAD /tmp/nope");
+    assert!(reply.starts_with("ERR"), "{reply}");
+
+    // REINDEX rebuilds and publishes a fresh generation.
+    let reply = client(&addr, "REINDEX");
+    assert!(reply.starts_with("OK generation="), "{reply}");
+    let info = client(&addr, "INFO");
+    assert!(info.contains("items=60"), "{info}");
+
+    assert_eq!(client(&addr, "SHUTDOWN"), "OK bye");
+    server
+        .join()
+        .expect("server thread panicked")
+        .expect("server failed");
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn metric_mismatch_is_a_typed_error_on_every_snapshot_path() {
+    let data = temp_path("mismatch-data.csv");
+    let snap = temp_path("mismatch-index.vantage");
+    run_ok(&[
+        "generate", "uniform", "--n", "40", "--dim", "3", "--seed", "1", "--out", &data,
+    ]);
+    run_ok(&["build", "--data", &data, "--save", &snap, "--metric", "l2"]);
+
+    let cases: [&[&str]; 4] = [
+        &[
+            "serve",
+            "--index",
+            &snap,
+            "--metric",
+            "l1",
+            "--addr",
+            "127.0.0.1:0",
+        ],
+        &[
+            "query", "--index", &snap, "--metric", "l1", "--query", "0,0,0", "--knn", "3",
+        ],
+        &[
+            "explain", "--index", &snap, "--metric", "l1", "--query", "0,0,0", "--knn", "3",
+        ],
+        &["stats", "--index", &snap, "--metric", "l1"],
+    ];
+    for argv in cases {
+        let e = run(argv).expect_err("mismatched metric must fail");
+        assert!(
+            e.contains("snapshot metric mismatch")
+                && e.contains("snapshot has `l2`")
+                && e.contains("expected `l1`"),
+            "{argv:?}: {e}"
+        );
+    }
+
+    // The matching metric flag is accepted everywhere.
+    run_ok(&[
+        "query", "--index", &snap, "--metric", "l2", "--query", "0,0,0", "--knn", "3",
+    ]);
+    run_ok(&["stats", "--index", &snap, "--metric", "l2"]);
+
+    for p in [&data, &snap] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -31,6 +31,10 @@
 //! * scoped fork-join parallelism — the [`Threads`] knob, order-preserving
 //!   parallel maps, and the [`BatchIndex`] batch-query extension available
 //!   on every `MetricIndex + Sync` ([`parallel`], [`index`]);
+//! * RCU-style zero-downtime value swapping for long-lived serving
+//!   processes: [`SwapCell`] publishes index generations atomically,
+//!   readers pin a generation with [`SwapGuard`]s, and displaced
+//!   generations drain through [`Retired`] handles ([`swap`]);
 //! * query observability: the [`TraceSink`] instrumentation interface
 //!   (zero-cost via [`NoTrace`]), per-query [`QueryProfile`]s attributing
 //!   distance computations and prunes to filter stages, and the
@@ -67,6 +71,7 @@ pub mod parallel;
 pub mod query;
 pub mod select;
 pub mod stats;
+pub mod swap;
 pub mod trace;
 pub mod util;
 
@@ -81,6 +86,7 @@ pub use parallel::Threads;
 pub use query::Neighbor;
 pub use select::VantageSelector;
 pub use stats::DistanceHistogram;
+pub use swap::{Retired, SwapCell, SwapGuard};
 pub use trace::{
     BoundStats, DistanceRole, LevelStats, NoTrace, PruneReason, QueryProfile, SearchProfiler,
     TraceSink,
@@ -107,6 +113,7 @@ pub mod prelude {
     pub use crate::query::Neighbor;
     pub use crate::select::VantageSelector;
     pub use crate::stats::DistanceHistogram;
+    pub use crate::swap::{Retired, SwapCell, SwapGuard};
     pub use crate::trace::{
         BoundStats, DistanceRole, LevelStats, NoTrace, PruneReason, QueryProfile, SearchProfiler,
         TraceSink,

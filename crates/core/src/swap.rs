@@ -1,0 +1,309 @@
+//! RCU-style atomic value swapping for zero-downtime index replacement.
+//!
+//! A long-lived serving process wants reindexing to never block readers:
+//! queries keep running against the current index generation while a new
+//! generation is built or loaded in the background, then an atomic swap
+//! publishes the replacement and the old generation is *drained* — kept
+//! alive exactly until its last in-flight reader finishes.
+//!
+//! [`SwapCell`] is that mechanism, built from `std` parts only:
+//!
+//! * readers call [`read`](SwapCell::read) and get a [`SwapGuard`] — an
+//!   `Arc` clone of the current generation plus an in-flight count
+//!   increment. The cell's `RwLock` is held only long enough to clone
+//!   the `Arc` and bump the counter, never across a query.
+//! * writers call [`swap`](SwapCell::swap); the write lock is held only
+//!   for the pointer exchange. The expensive part (building the new
+//!   value) happens entirely before the call, off the read path.
+//! * the displaced generation comes back as a [`Retired`] handle whose
+//!   [`wait_drained`](Retired::wait_drained) blocks until every guard
+//!   into it has dropped — the RCU grace period.
+//!
+//! Memory reclamation is the `Arc` contract itself: the old generation's
+//! value is freed when the last guard drops, never earlier, with no
+//! epoch bookkeeping to get wrong.
+//!
+//! ```
+//! use vantage_core::swap::SwapCell;
+//!
+//! let cell = SwapCell::new(vec![1, 2, 3]);
+//! let reader = cell.read();               // generation 0
+//! let retired = cell.swap(vec![4, 5, 6]); // readers unaffected
+//! assert_eq!(*reader, vec![1, 2, 3]);     // old guard still valid
+//! assert_eq!(*cell.read(), vec![4, 5, 6]);
+//! assert_eq!(retired.readers(), 1);
+//! drop(reader);
+//! assert!(retired.wait_drained(std::time::Duration::from_secs(1)));
+//! ```
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// One published generation: the value, its generation number, and the
+/// count of guards currently reading it.
+#[derive(Debug)]
+struct Generation<T> {
+    value: T,
+    number: u64,
+    in_flight: AtomicU64,
+}
+
+/// A shared cell holding one value at a time, swappable while any number
+/// of readers hold guards into past or present generations.
+///
+/// See the [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct SwapCell<T> {
+    // The lock is held only to clone the Arc (readers) or exchange it
+    // (writers); never across user code.
+    current: RwLock<Arc<Generation<T>>>,
+    swaps: AtomicU64,
+}
+
+impl<T> SwapCell<T> {
+    /// Creates a cell publishing `value` as generation 0.
+    pub fn new(value: T) -> Self {
+        SwapCell {
+            current: RwLock::new(Arc::new(Generation {
+                value,
+                number: 0,
+                in_flight: AtomicU64::new(0),
+            })),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the current generation and returns a guard dereferencing to
+    /// its value. The guard keeps that generation alive (and counted as
+    /// in-flight) until dropped; swaps performed meanwhile are invisible
+    /// to it.
+    pub fn read(&self) -> SwapGuard<T> {
+        let lock = self.current.read().expect("swap cell lock poisoned");
+        let inner = Arc::clone(&lock);
+        // Counted while still holding the read lock, so a writer that
+        // acquires the write lock afterwards is guaranteed to observe
+        // this reader in the retired generation's in-flight count.
+        inner.in_flight.fetch_add(1, Ordering::AcqRel);
+        drop(lock);
+        SwapGuard { inner }
+    }
+
+    /// Publishes `value` as the next generation and returns the displaced
+    /// one as a [`Retired`] handle. Readers that pinned the old
+    /// generation keep it alive until their guards drop; new readers see
+    /// the new generation immediately.
+    pub fn swap(&self, value: T) -> Retired<T> {
+        let mut lock = self.current.write().expect("swap cell lock poisoned");
+        let next = Arc::new(Generation {
+            value,
+            number: lock.number + 1,
+            in_flight: AtomicU64::new(0),
+        });
+        let old = std::mem::replace(&mut *lock, next);
+        drop(lock);
+        self.swaps.fetch_add(1, Ordering::AcqRel);
+        Retired { inner: old }
+    }
+
+    /// The current generation number (0 for the initial value, +1 per
+    /// swap).
+    pub fn generation(&self) -> u64 {
+        self.current.read().expect("swap cell lock poisoned").number
+    }
+
+    /// Number of guards currently pinning the **current** generation.
+    /// Guards into retired generations are counted by their [`Retired`]
+    /// handles instead.
+    pub fn in_flight(&self) -> u64 {
+        self.current
+            .read()
+            .expect("swap cell lock poisoned")
+            .in_flight
+            .load(Ordering::Acquire)
+    }
+
+    /// Total number of completed swaps.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Acquire)
+    }
+}
+
+/// A pinned read of one generation. Dereferences to the value; dropping
+/// it releases the pin (and, for a retired generation with no other
+/// readers, frees the value).
+#[derive(Debug)]
+pub struct SwapGuard<T> {
+    inner: Arc<Generation<T>>,
+}
+
+impl<T> SwapGuard<T> {
+    /// The generation number this guard pinned.
+    pub fn generation(&self) -> u64 {
+        self.inner.number
+    }
+}
+
+impl<T> Deref for SwapGuard<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner.value
+    }
+}
+
+impl<T> Clone for SwapGuard<T> {
+    fn clone(&self) -> Self {
+        self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
+        SwapGuard {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for SwapGuard<T> {
+    fn drop(&mut self) {
+        self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A generation displaced by [`SwapCell::swap`], awaiting its grace
+/// period. Holding this handle keeps the value alive; the value itself is
+/// freed when both this handle and every guard are gone.
+#[derive(Debug)]
+pub struct Retired<T> {
+    inner: Arc<Generation<T>>,
+}
+
+impl<T> Retired<T> {
+    /// The retired generation's number.
+    pub fn generation(&self) -> u64 {
+        self.inner.number
+    }
+
+    /// Guards still pinning this generation.
+    pub fn readers(&self) -> u64 {
+        self.inner.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Whether every reader has exited: no guard holds this generation
+    /// any more (this handle's own reference excluded).
+    pub fn is_drained(&self) -> bool {
+        // strong_count covers guard clones that decremented in_flight but
+        // have not yet dropped their Arc; requiring both makes "drained"
+        // mean the value is reachable through this handle alone.
+        self.readers() == 0 && Arc::strong_count(&self.inner) == 1
+    }
+
+    /// Blocks until [`is_drained`](Retired::is_drained), polling with a
+    /// short sleep, or until `timeout` elapses. Returns whether the
+    /// generation drained in time.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        let mut spins = 0u32;
+        while !self.is_drained() {
+            if start.elapsed() >= timeout {
+                return false;
+            }
+            // Spin briefly for the common sub-microsecond drain, then
+            // yield to let in-flight readers finish their queries.
+            if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        true
+    }
+
+    /// Recovers the value once drained. Fails (returning `self`) while
+    /// any guard still pins the generation.
+    pub fn try_into_inner(self) -> std::result::Result<T, Retired<T>> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(generation) => Ok(generation.value),
+            Err(inner) => Err(Retired { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sees_initial_value_and_generation_zero() {
+        let cell = SwapCell::new(41);
+        let guard = cell.read();
+        assert_eq!(*guard, 41);
+        assert_eq!(guard.generation(), 0);
+        assert_eq!(cell.generation(), 0);
+        assert_eq!(cell.in_flight(), 1);
+        drop(guard);
+        assert_eq!(cell.in_flight(), 0);
+    }
+
+    #[test]
+    fn swap_publishes_new_generation_without_invalidating_readers() {
+        let cell = SwapCell::new("old".to_string());
+        let pinned = cell.read();
+        let retired = cell.swap("new".to_string());
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(cell.swaps(), 1);
+        assert_eq!(*cell.read(), "new");
+        assert_eq!(*pinned, "old");
+        assert_eq!(retired.readers(), 1);
+        assert!(!retired.is_drained());
+        drop(pinned);
+        assert!(retired.wait_drained(Duration::from_secs(5)));
+        assert_eq!(retired.try_into_inner().unwrap(), "old");
+    }
+
+    #[test]
+    fn guard_clone_pins_the_same_generation() {
+        let cell = SwapCell::new(7);
+        let a = cell.read();
+        let b = a.clone();
+        let retired = cell.swap(8);
+        assert_eq!(retired.readers(), 2);
+        drop(a);
+        assert_eq!(retired.readers(), 1);
+        assert_eq!(*b, 7);
+        drop(b);
+        assert!(retired.wait_drained(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn try_into_inner_fails_while_pinned() {
+        let cell = SwapCell::new(1);
+        let guard = cell.read();
+        let retired = cell.swap(2);
+        let retired = retired.try_into_inner().unwrap_err();
+        drop(guard);
+        assert!(retired.wait_drained(Duration::from_secs(5)));
+        assert_eq!(retired.try_into_inner().unwrap(), 1);
+    }
+
+    #[test]
+    fn wait_drained_times_out_while_a_reader_is_stuck() {
+        let cell = SwapCell::new(1);
+        let guard = cell.read();
+        let retired = cell.swap(2);
+        assert!(!retired.wait_drained(Duration::from_millis(20)));
+        drop(guard);
+        assert!(retired.wait_drained(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn generations_are_sequential_across_many_swaps() {
+        let cell = SwapCell::new(0u64);
+        for i in 1..=100 {
+            let retired = cell.swap(i);
+            assert_eq!(retired.generation(), i - 1);
+            assert_eq!(cell.generation(), i);
+        }
+        assert_eq!(cell.swaps(), 100);
+        assert_eq!(*cell.read(), 100);
+    }
+}

@@ -52,10 +52,12 @@ mod stats;
 mod tree;
 mod validate;
 
+pub mod concurrent;
 pub mod dynamic;
 pub mod params;
 pub mod snapshot;
 
+pub use concurrent::{ConcurrentMvpTree, MvpReadSnapshot};
 pub use dynamic::DynamicMvpTree;
 pub use params::{MvpParams, SecondVantage};
 pub use snapshot::{MvpTreeParts, RawMvpLeafEntries, RawMvpNode};

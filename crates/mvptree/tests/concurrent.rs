@@ -1,0 +1,210 @@
+//! Correctness of [`ConcurrentMvpTree`]: differential testing against a
+//! brute-force scan under churn, and multi-threaded stress where every
+//! reader verifies query answers against the *same pinned snapshot's*
+//! own live set — so a torn or stale publication cannot hide.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vantage_core::prelude::*;
+use vantage_mvptree::{ConcurrentMvpTree, MvpParams};
+
+fn pt(x: f64, y: f64) -> Vec<f64> {
+    vec![x, y]
+}
+
+/// Deterministic pseudo-random stream (splitmix64).
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn coord(state: &mut u64) -> f64 {
+    (next(state) % 1000) as f64 / 10.0
+}
+
+fn sorted_ids(mut neighbors: Vec<Neighbor>) -> Vec<usize> {
+    neighbors.sort_by_key(|a| a.id);
+    neighbors.into_iter().map(|n| n.id).collect()
+}
+
+/// Brute-force range over an explicit `(id, item)` live set.
+fn brute_range(live: &[(usize, Vec<f64>)], query: &[f64], radius: f64) -> Vec<usize> {
+    let mut ids: Vec<usize> = live
+        .iter()
+        .filter(|(_, item)| Euclidean.distance(&query.to_vec(), item) <= radius)
+        .map(|(id, _)| *id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn matches_brute_force_under_insert_delete_churn() {
+    let params = MvpParams::paper(2, 2, 4);
+    let tree = ConcurrentMvpTree::new(Euclidean, params).expect("valid params");
+    let mut live: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut state = 0xc0ffee_u64;
+
+    for step in 0..400 {
+        if step % 5 == 4 && !live.is_empty() {
+            // Delete a pseudo-random live item.
+            let victim = (next(&mut state) as usize) % live.len();
+            let (id, _) = live.swap_remove(victim);
+            assert!(tree.remove(id), "live id {id} failed to remove");
+            assert!(!tree.remove(id), "double remove of {id} succeeded");
+        } else {
+            let item = pt(coord(&mut state), coord(&mut state));
+            let id = tree.insert(item.clone());
+            live.push((id, item));
+        }
+
+        if step % 7 == 0 {
+            let query = pt(coord(&mut state), coord(&mut state));
+            let radius = 12.5;
+            assert_eq!(
+                sorted_ids(tree.range(&query, radius)),
+                brute_range(&live, &query, radius),
+                "range diverged at step {step}"
+            );
+            let got = tree.knn(&query, 5);
+            let k = got.len();
+            assert_eq!(k, live.len().min(5), "knn cardinality at step {step}");
+            // kNN distances must match the brute-force k smallest.
+            let mut expected: Vec<f64> = live
+                .iter()
+                .map(|(_, item)| Euclidean.distance(&query, item))
+                .collect();
+            expected.sort_by(f64::total_cmp);
+            for (n, want) in got.iter().zip(expected.iter().take(k)) {
+                assert_eq!(n.distance, *want, "knn distance at step {step}");
+            }
+        }
+        assert_eq!(tree.len(), live.len(), "live count at step {step}");
+    }
+}
+
+#[test]
+fn pinned_snapshot_is_immutable_while_writers_churn() {
+    let params = MvpParams::paper(2, 2, 4);
+    let tree = ConcurrentMvpTree::new(Euclidean, params).expect("valid params");
+    let mut state = 7_u64;
+    for _ in 0..64 {
+        tree.insert(pt(coord(&mut state), coord(&mut state)));
+    }
+
+    let snapshot = tree.read();
+    let frozen: Vec<(usize, Vec<f64>)> = snapshot
+        .live_items()
+        .map(|(id, item)| (id, item.clone()))
+        .collect();
+    let query = pt(50.0, 50.0);
+    let before = sorted_ids(snapshot.range(&query, 30.0));
+
+    // Churn heavily: inserts, deletes, and forced rebuilds.
+    for i in 0..64 {
+        tree.insert(pt(coord(&mut state), coord(&mut state)));
+        if i % 2 == 0 {
+            tree.remove(i);
+        }
+    }
+    tree.reindex();
+
+    // The pinned snapshot still answers from its point in time.
+    assert_eq!(snapshot.len(), frozen.len());
+    assert_eq!(sorted_ids(snapshot.range(&query, 30.0)), before);
+    assert_eq!(before, brute_range(&frozen, &query, 30.0));
+    // While the current generation has moved on.
+    assert_ne!(tree.len(), frozen.len());
+}
+
+#[test]
+fn concurrent_readers_always_see_internally_consistent_generations() {
+    let params = MvpParams::paper(2, 2, 4);
+    let tree = Arc::new(ConcurrentMvpTree::new(Euclidean, params).expect("valid params"));
+    let mut state = 99_u64;
+    for _ in 0..128 {
+        tree.insert(pt(coord(&mut state), coord(&mut state)));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let checks = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let checks = Arc::clone(&checks);
+            std::thread::spawn(move || {
+                let mut state = 0x5eed_u64 ^ (r as u64);
+                let mut last_generation = 0;
+                while !stop.load(Ordering::Acquire) {
+                    // Pin one generation and verify a query against that
+                    // same generation's own live set: any torn swap or
+                    // mixed-generation view diverges from the brute force.
+                    let snapshot = tree.read();
+                    assert!(
+                        snapshot.generation() >= last_generation,
+                        "reader saw time move backwards"
+                    );
+                    last_generation = snapshot.generation();
+                    let live: Vec<(usize, Vec<f64>)> = snapshot
+                        .live_items()
+                        .map(|(id, item)| (id, item.clone()))
+                        .collect();
+                    assert_eq!(snapshot.len(), live.len());
+                    let query = pt(coord(&mut state), coord(&mut state));
+                    assert_eq!(
+                        sorted_ids(snapshot.range(&query, 15.0)),
+                        brute_range(&live, &query, 15.0),
+                        "pinned generation disagreed with its own live set"
+                    );
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Writer: sustained ingest with deletes and periodic full reindexes,
+    // crossing many rebuild thresholds while the readers verify.
+    let mut removable = 0;
+    for i in 0..600 {
+        tree.insert(pt(coord(&mut state), coord(&mut state)));
+        if i % 3 == 0 {
+            tree.remove(removable);
+            removable += 1;
+        }
+        if i % 200 == 199 {
+            tree.reindex();
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    for handle in readers {
+        handle.join().expect("reader panicked");
+    }
+    assert!(
+        checks.load(Ordering::Relaxed) >= 4,
+        "readers barely ran; stress proved nothing"
+    );
+    // Every write published a generation: 600 inserts + 200 removes + 3
+    // reindexes (the final i=599 one counted already) at minimum.
+    assert!(tree.generation() >= 800);
+}
+
+#[test]
+fn knn_survives_tombstones_without_losing_neighbors() {
+    let params = MvpParams::paper(2, 2, 4);
+    // A line of points; delete the nearest ones and verify knn falls back
+    // to the survivors (the over-fetch path).
+    let items: Vec<Vec<f64>> = (0..40).map(|i| pt(f64::from(i), 0.0)).collect();
+    let tree = ConcurrentMvpTree::with_items(items, Euclidean, params).expect("valid params");
+    for id in 0..10 {
+        assert!(tree.remove(id));
+    }
+    let got = tree.knn(&pt(0.0, 0.0), 3);
+    let ids: Vec<usize> = got.iter().map(|n| n.id).collect();
+    assert_eq!(ids, vec![10, 11, 12]);
+}

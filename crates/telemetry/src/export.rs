@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use crate::histogram::HistogramSnapshot;
 use crate::json::Json;
 use crate::registry::OpKind;
-use crate::snapshot::{IndexSnapshot, OpSnapshot, RegistrySnapshot};
+use crate::snapshot::{GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};
 
 /// Format version stamped into JSON exports.
 pub const FORMAT_VERSION: u64 = 1;
@@ -96,6 +96,17 @@ fn histogram_from_json(v: &Json) -> Result<HistogramSnapshot, String> {
 
 /// Serializes a snapshot to pretty-printed JSON.
 pub fn to_json(snapshot: &RegistrySnapshot) -> String {
+    snapshot_to_json(snapshot).render_pretty()
+}
+
+/// Serializes a snapshot to compact single-line JSON — the form the
+/// serving wire protocol's `STATS` command replies with (one reply, one
+/// line).
+pub fn to_json_compact(snapshot: &RegistrySnapshot) -> String {
+    snapshot_to_json(snapshot).render()
+}
+
+fn snapshot_to_json(snapshot: &RegistrySnapshot) -> Json {
     let indexes: Vec<Json> = snapshot
         .indexes
         .iter()
@@ -123,7 +134,22 @@ pub fn to_json(snapshot: &RegistrySnapshot) -> String {
     let mut root = BTreeMap::new();
     root.insert("version".into(), Json::Num(FORMAT_VERSION as f64));
     root.insert("indexes".into(), Json::Arr(indexes));
-    Json::Obj(root).render_pretty()
+    // Written only when present, so gauge-free snapshots (all exports
+    // before the serving layer existed) stay byte-identical.
+    if !snapshot.gauges.is_empty() {
+        let gauges: Vec<Json> = snapshot
+            .gauges
+            .iter()
+            .map(|g| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".into(), Json::Str(g.name.clone()));
+                obj.insert("value".into(), Json::Num(g.value as f64));
+                Json::Obj(obj)
+            })
+            .collect();
+        root.insert("gauges".into(), Json::Arr(gauges));
+    }
+    Json::Obj(root)
 }
 
 /// Parses a snapshot back from [`to_json`] output.
@@ -188,7 +214,22 @@ pub fn from_json(text: &str) -> Result<RegistrySnapshot, String> {
         }
         indexes.push(IndexSnapshot { label, ops });
     }
-    Ok(RegistrySnapshot { indexes })
+    let mut gauges = Vec::new();
+    if let Some(entries) = root.get("gauges").and_then(Json::as_array) {
+        for gauge in entries {
+            let name = gauge
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("gauge missing `name`")?
+                .to_string();
+            let value = gauge
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or("gauge missing `value`")? as i64;
+            gauges.push(GaugeSnapshot { name, value });
+        }
+    }
+    Ok(RegistrySnapshot { indexes, gauges })
 }
 
 const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
@@ -248,6 +289,23 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
                 let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", h.sum);
                 let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count);
             }
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        type_line(
+            &mut out,
+            "vantage_gauge",
+            "gauge",
+            "Instantaneous serving-state readings (generation, in-flight queries).",
+        );
+        for gauge in &snapshot.gauges {
+            let _ = writeln!(
+                out,
+                "vantage_gauge{{name=\"{}\"}} {}",
+                escape_label(&gauge.name),
+                gauge.value
+            );
         }
     }
 
@@ -363,6 +421,33 @@ mod tests {
         );
         let text = to_prometheus(&registry.snapshot());
         assert!(text.contains("index=\"odd\\\"label\\\\x\""), "{text}");
+    }
+
+    #[test]
+    fn gauges_round_trip_and_render() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("serve/generation").set(3);
+        registry.gauge("serve/in_flight").set(12);
+        registry
+            .index("mvp")
+            .record(OpKind::Knn, Duration::from_micros(10), CostDelta::default());
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauge("serve/generation"), Some(3));
+
+        let text = to_json(&snapshot);
+        let parsed = from_json(&text).unwrap();
+        assert_eq!(parsed, snapshot);
+        assert_eq!(to_json(&parsed), text);
+        // The compact form is one line and parses back identically.
+        let compact = to_json_compact(&snapshot);
+        assert!(!compact.contains('\n'), "{compact}");
+        assert_eq!(from_json(&compact).unwrap(), snapshot);
+
+        let prom = to_prometheus(&snapshot);
+        assert!(
+            prom.contains("vantage_gauge{name=\"serve/in_flight\"} 12"),
+            "{prom}"
+        );
     }
 
     #[test]

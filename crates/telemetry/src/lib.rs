@@ -44,5 +44,5 @@ pub use counter::ShardedCounter;
 pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use instrument::{CostProbe, Instrumented, NoProbe};
 pub use json::Json;
-pub use registry::{CostDelta, IndexMetrics, MetricsRegistry, OpKind};
-pub use snapshot::{format_ns, IndexSnapshot, OpSnapshot, RegistrySnapshot};
+pub use registry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind};
+pub use snapshot::{format_ns, GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};

@@ -14,12 +14,13 @@
 //! (the paper's cost currency), and the early-abandoning tallies from the
 //! kernel layer (abandoned evaluation count + estimated fractional work).
 
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
 
 use crate::counter::ShardedCounter;
 use crate::histogram::AtomicHistogram;
-use crate::snapshot::{IndexSnapshot, OpSnapshot, RegistrySnapshot};
+use crate::snapshot::{GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};
 
 /// The kind of index operation a telemetry sample describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -176,6 +177,32 @@ impl IndexMetrics {
     }
 }
 
+/// A point-in-time instantaneous value (as opposed to the monotonic
+/// counters in [`OpMetrics`]): current serving generation, in-flight
+/// query count, completed swaps. Updated lock-free from any thread;
+/// handles are shared via [`Arc`] from [`MetricsRegistry::gauge`].
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Release);
+    }
+
+    /// Adds (or, negative, subtracts) a delta.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::AcqRel);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Acquire)
+    }
+}
+
 /// A process- or test-scoped collection of [`IndexMetrics`].
 ///
 /// `Default`-constructible for isolated use in tests; long-lived binaries
@@ -186,6 +213,7 @@ pub struct MetricsRegistry {
     // recording goes through previously returned Arc handles and never
     // touches this map.
     indexes: RwLock<Vec<Arc<IndexMetrics>>>,
+    gauges: RwLock<Vec<(String, Arc<Gauge>)>>,
 }
 
 impl MetricsRegistry {
@@ -222,6 +250,27 @@ impl MetricsRegistry {
         created
     }
 
+    /// Returns the gauge named `name`, creating it (at zero) on first
+    /// use. Two calls with the same name return the same handle.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some((_, existing)) = self
+            .gauges
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .find(|(n, _)| n == name)
+        {
+            return Arc::clone(existing);
+        }
+        let mut write = self.gauges.write().expect("registry lock poisoned");
+        if let Some((_, existing)) = write.iter().find(|(n, _)| n == name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Gauge::default());
+        write.push((name.to_string(), Arc::clone(&created)));
+        created
+    }
+
     /// Labels registered so far, in registration order.
     pub fn labels(&self) -> Vec<String> {
         self.indexes
@@ -245,8 +294,19 @@ impl MetricsRegistry {
             .iter()
             .map(Arc::clone)
             .collect();
+        let gauges: Vec<GaugeSnapshot> = self
+            .gauges
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, gauge)| GaugeSnapshot {
+                name: name.clone(),
+                value: gauge.get(),
+            })
+            .collect();
         RegistrySnapshot {
             indexes: handles.iter().map(|m| m.snapshot()).collect(),
+            gauges,
         }
     }
 }

@@ -85,11 +85,23 @@ impl IndexSnapshot {
     }
 }
 
+/// A frozen gauge reading: an instantaneous value (serving generation,
+/// in-flight queries, …) rather than a monotonic counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// The gauge name (e.g. `"serve/generation"`).
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: i64,
+}
+
 /// A frozen view of a whole [`MetricsRegistry`](crate::MetricsRegistry).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegistrySnapshot {
     /// One entry per registered index, in registration order.
     pub indexes: Vec<IndexSnapshot>,
+    /// Gauge readings at snapshot time, in registration order.
+    pub gauges: Vec<GaugeSnapshot>,
 }
 
 impl RegistrySnapshot {
@@ -98,13 +110,26 @@ impl RegistrySnapshot {
         self.indexes.iter().find(|i| i.label == label)
     }
 
+    /// The reading of one gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
     /// Accumulates another snapshot (e.g. from another process or an
-    /// earlier scrape) into this one, matching indexes by label.
+    /// earlier scrape) into this one, matching indexes by label. Gauges
+    /// are instantaneous, not additive: `other`'s reading wins when both
+    /// snapshots carry the same gauge (treat `other` as the newer scrape).
     pub fn merge(&mut self, other: &RegistrySnapshot) {
         for src in &other.indexes {
             match self.indexes.iter_mut().find(|i| i.label == src.label) {
                 Some(dst) => dst.merge(src),
                 None => self.indexes.push(src.clone()),
+            }
+        }
+        for src in &other.gauges {
+            match self.gauges.iter_mut().find(|g| g.name == src.name) {
+                Some(dst) => dst.value = src.value,
+                None => self.gauges.push(src.clone()),
             }
         }
     }
@@ -115,16 +140,18 @@ impl RegistrySnapshot {
     /// where the kernel layer reported any.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
-        if self.indexes.iter().all(|i| i.ops.is_empty()) {
+        if self.indexes.iter().all(|i| i.ops.is_empty()) && self.gauges.is_empty() {
             out.push_str("no telemetry recorded\n");
             return out;
         }
-        let _ = writeln!(
-            out,
-            "{:<14} {:<12} {:>10}  {:>24}  {:>26}  {:>10}",
-            "index", "op", "count", "latency p50/p95/p99", "distances p50/p95/p99", "abandoned"
-        );
-        let _ = writeln!(out, "{}", "-".repeat(104));
+        if self.indexes.iter().any(|i| !i.ops.is_empty()) {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<12} {:>10}  {:>24}  {:>26}  {:>10}",
+                "index", "op", "count", "latency p50/p95/p99", "distances p50/p95/p99", "abandoned"
+            );
+            let _ = writeln!(out, "{}", "-".repeat(104));
+        }
         for index in &self.indexes {
             for op in &index.ops {
                 let lat = render_percentiles(&op.latency_ns, format_ns);
@@ -144,6 +171,14 @@ impl RegistrySnapshot {
                     dist,
                     abandoned
                 );
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "{:<30} {:>12}", "gauge", "value");
+            let _ = writeln!(out, "{}", "-".repeat(43));
+            for gauge in &self.gauges {
+                let _ = writeln!(out, "{:<30} {:>12}", gauge.name, gauge.value);
             }
         }
         out
