@@ -210,6 +210,78 @@ fn saturation_metrics(metrics: &mut BTreeMap<String, f64>) {
     metrics.insert("serve/swap_p99_ns".to_string(), p99);
 }
 
+/// Scatter-gather kNN wall-clock at 1/4/8 shards: the same query set
+/// against a [`ShardedIndex`] of seeded mvp-trees, ns per query. All
+/// keys end in `_ns` (calibration-rescaled, loose wall tolerance); the
+/// 1-shard point doubles as the scatter layer's overhead floor.
+fn shard_metrics(metrics: &mut BTreeMap<String, f64>) {
+    let points = bench_vectors(N);
+    let queries = bench_queries();
+    for shards in [1usize, 4, 8] {
+        let index = ShardedIndex::build(points.clone(), shards, Threads::Auto, |s, part| {
+            MvpTree::build(
+                part,
+                Euclidean,
+                MvpParams::paper(3, 80, 5).seed(1 + s as u64),
+            )
+        })
+        .expect("sharded build");
+        let start = Instant::now();
+        for _ in 0..REPS {
+            for q in &queries {
+                std::hint::black_box(index.knn(q, KNN_K));
+            }
+        }
+        let total = (REPS * queries.len()) as f64;
+        metrics.insert(
+            format!("shard/knn_scatter_{shards}s_ns"),
+            start.elapsed().as_nanos() as f64 / total,
+        );
+    }
+}
+
+/// Budgeted kNN measured recall (×10⁴) at half the mean exact-search
+/// cost. Seeded build, fixed queries, no threading: the value is fully
+/// deterministic, so it gates at the strict tolerance like the distance
+/// counts — a pruning regression that degrades best-effort answer
+/// quality moves this number.
+fn budget_metrics(metrics: &mut BTreeMap<String, f64>) {
+    let points = bench_vectors(N);
+    let queries = bench_queries();
+    let tree = VpTree::build(points, Euclidean, VpTreeParams::binary().seed(1)).expect("vp build");
+    let mut exact = Vec::with_capacity(queries.len());
+    let mut exact_cost = 0u64;
+    for q in &queries {
+        let full = tree.knn_budgeted(q, KNN_K, SearchBudget::UNLIMITED);
+        exact_cost += full.spent;
+        exact.push(full.neighbors);
+    }
+    let budget = SearchBudget::limited((exact_cost / (2 * queries.len().max(1) as u64)).max(1));
+    let mut recall = 0.0;
+    for (q, want) in queries.iter().zip(&exact) {
+        let got = tree.knn_budgeted(q, KNN_K, budget);
+        if want.is_empty() {
+            recall += 1.0;
+            continue;
+        }
+        // Count by id or by exact distance, so equidistant substitutes
+        // score as the equally-correct answers they are.
+        let hits = got
+            .neighbors
+            .iter()
+            .filter(|n| {
+                want.iter()
+                    .any(|e| e.id == n.id || e.distance == n.distance)
+            })
+            .count();
+        recall += hits as f64 / want.len() as f64;
+    }
+    metrics.insert(
+        "budget/recall_curve".to_string(),
+        (recall / queries.len().max(1) as f64 * 10_000.0).round(),
+    );
+}
+
 /// Flattens the snapshot into the gated metric map.
 fn collect_metrics(registry: &MetricsRegistry) -> BTreeMap<String, f64> {
     let mut metrics = BTreeMap::new();
@@ -254,6 +326,8 @@ fn main() {
 
     let mut fresh = collect_metrics(&registry);
     saturation_metrics(&mut fresh);
+    shard_metrics(&mut fresh);
+    budget_metrics(&mut fresh);
     fresh.insert("calibration_ns".to_string(), calibration_ns());
 
     if let Some(path) = &options.metrics_out {

@@ -30,7 +30,6 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vantage_core::prelude::*;
-use vantage_core::MetricIndex;
 use vantage_experiments::Scale;
 use vantage_mvptree::{MvpParams, MvpTree};
 use vantage_persist::{self as persist, IndexKind, ItemCodec, MetricTag, SnapshotInfo};
@@ -119,6 +118,7 @@ USAGE:
                  [--seed S] [--threads auto|N] [--metrics FILE]
   vantage query  (--data FILE | --index FILE) --query Q [--metric l1|l2|linf|edit]
                  [--structure mvp|vp|linear] (--range R | --knn K)
+                 [--shards S] [--budget N]
                  [--seed S] [--threads auto|N] [--metrics FILE]
   vantage explain (--data FILE | --index FILE) --query Q [--metric l1|l2|linf|edit]
                  [--structure mvp|vp|linear] (--range R | --knn K)
@@ -128,10 +128,10 @@ USAGE:
   vantage stats  --index FILE
   vantage experiment NAME [--scale quick|full]
        NAME: fig04..fig11, ablation_k, ablation_p, ablation_m, ablation_vp,
-             construction, comparators, knn, pruning
+             construction, comparators, knn, pruning, budget
   vantage serve  (--index FILE | --data FILE) [--addr HOST:PORT] [--addr-file FILE]
                  [--metric l1|l2|linf|edit] [--metrics-out FILE]
-                 [--seed S] [--threads auto|N]
+                 [--shards S] [--seed S] [--threads auto|N]
   vantage client --addr HOST:PORT --cmd \"COMMAND\"
   vantage serve-smoke --addr HOST:PORT --index FILE [--threads N]
                  [--queries N] [--reloads R]
@@ -167,6 +167,14 @@ command and prints the reply; `serve-smoke` is a multi-threaded client
 that replays a scripted workload during live RELOAD swaps and verifies
 every reply is bit-identical to a direct run against the same snapshot.
 See DESIGN.md \"Serving\" for the protocol grammar and swap semantics.
+
+`--shards S` partitions the dataset round-robin across S sub-indexes and
+answers queries scatter-gather with a shared pruning bound; answers are
+bit-identical to the unsharded index (`query --data` builds sharded,
+`serve --index` rebuilds the snapshot's dataset sharded). `--budget N` on
+`query --knn` caps the search at N distance computations and reports the
+best-effort answer with its self-estimated recall; see DESIGN.md
+\"Sharding & budgeted search\".
 
 `--threads` controls construction/statistics parallelism (default: auto,
 i.e. all cores, or the VANTAGE_THREADS environment variable). The worker
@@ -350,9 +358,117 @@ fn structure_label(kind: IndexKind) -> &'static str {
     }
 }
 
+/// The budget verdict of one `--budget` query, printed after the cost
+/// line.
+struct BudgetOutcome {
+    spent: u64,
+    exhausted: bool,
+    estimated_recall: f64,
+}
+
+/// Answers one query against a (possibly instrumented, possibly sharded)
+/// index. `--budget` applies to kNN only: range queries have no
+/// best-effort mode.
+fn answer_query<T>(
+    index: &dyn BudgetedSearch<T>,
+    query: &T,
+    kind: &QueryKind,
+    budget: Option<u64>,
+) -> CliResult<(Vec<Neighbor>, Option<BudgetOutcome>)> {
+    match (kind, budget) {
+        (QueryKind::Range(r), None) => {
+            let mut v = index.range(query, *r);
+            v.sort_unstable();
+            Ok((v, None))
+        }
+        (QueryKind::Range(_), Some(_)) => Err(err(
+            "--budget applies to --knn only (range queries have no best-effort mode)",
+        )),
+        (QueryKind::Knn(k), None) => Ok((index.knn(query, *k), None)),
+        (QueryKind::Knn(k), Some(max)) => {
+            let out = index.knn_budgeted(query, *k, SearchBudget::limited(max));
+            Ok((
+                out.neighbors,
+                Some(BudgetOutcome {
+                    spent: out.spent,
+                    exhausted: out.exhausted,
+                    estimated_recall: out.estimated_recall,
+                }),
+            ))
+        }
+    }
+}
+
+/// Builds the requested structure — round-robin sharded when
+/// `shards > 1` — under clones of one `Counted` metric, so the shared
+/// tally always reports the cross-shard total.
+///
+/// The sharded build fans one worker per shard through the outer
+/// `threads` policy and keeps each sub-build sequential, so the worker
+/// budget is not oversubscribed.
+fn build_query_index<T, M>(
+    items: Vec<T>,
+    counted: Counted<M>,
+    structure: &str,
+    seed: u64,
+    threads: Threads,
+    shards: usize,
+) -> CliResult<Box<dyn BudgetedSearch<T>>>
+where
+    T: Clone + Send + Sync + 'static,
+    M: BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    if shards == 0 {
+        return Err(err("--shards must be at least 1"));
+    }
+    if shards == 1 {
+        return Ok(match structure {
+            "mvp" => Box::new(
+                MvpTree::build(items, counted, mvp_build_params(seed, threads))
+                    .map_err(|e| err(e.to_string()))?,
+            ),
+            "vp" => Box::new(
+                VpTree::build(items, counted, vp_build_params(seed, threads))
+                    .map_err(|e| err(e.to_string()))?,
+            ),
+            "linear" => Box::new(LinearScan::new(items, counted)),
+            other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
+        });
+    }
+    Ok(match structure {
+        "mvp" => Box::new(
+            ShardedIndex::build(items, shards, threads, |_, part| {
+                MvpTree::build(
+                    part,
+                    counted.clone(),
+                    mvp_build_params(seed, Threads::SEQUENTIAL),
+                )
+            })
+            .map_err(|e| err(e.to_string()))?,
+        ),
+        "vp" => Box::new(
+            ShardedIndex::build(items, shards, threads, |_, part| {
+                VpTree::build(
+                    part,
+                    counted.clone(),
+                    vp_build_params(seed, Threads::SEQUENTIAL),
+                )
+            })
+            .map_err(|e| err(e.to_string()))?,
+        ),
+        "linear" => Box::new(
+            ShardedIndex::build(items, shards, threads, |_, part| {
+                Ok(LinearScan::new(part, counted.clone()))
+            })
+            .map_err(|e| err(e.to_string()))?,
+        ),
+        other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_structure_query<
-    T: Clone + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
     M: BoundedMetric<T> + Clone + Send + Sync + 'static,
 >(
     items: Vec<T>,
@@ -360,57 +476,34 @@ fn run_structure_query<
     structure: &str,
     seed: u64,
     threads: Threads,
+    shards: usize,
     query: &T,
     kind: &QueryKind,
+    budget: Option<u64>,
     metrics: Option<Arc<IndexMetrics>>,
-) -> CliResult<(Vec<Neighbor>, u64, usize)> {
+) -> CliResult<(Vec<Neighbor>, u64, usize, Option<BudgetOutcome>)> {
     let counted = Counted::new(metric);
     let probe = counted.clone();
     let n = items.len();
     let build_start = Instant::now();
-    let index: Box<dyn MetricIndex<T>> = match structure {
-        "mvp" => Box::new(
-            MvpTree::build(items, counted, mvp_build_params(seed, threads))
-                .map_err(|e| err(e.to_string()))?,
-        ),
-        "vp" => Box::new(
-            VpTree::build(items, counted, vp_build_params(seed, threads))
-                .map_err(|e| err(e.to_string()))?,
-        ),
-        "linear" => Box::new(LinearScan::new(items, counted)),
-        other => return Err(err(format!("unknown structure `{other}` (mvp|vp|linear)"))),
-    };
+    let index = build_query_index(items, counted, structure, seed, threads, shards)?;
     if let Some(metrics) = &metrics {
         metrics.record(OpKind::Build, build_start.elapsed(), probe.totals().into());
     }
     probe.reset();
-    let mut results = match &metrics {
+    let (mut results, budget_outcome) = match &metrics {
         // The instrumented path answers through the same boxed index;
         // only timing and cost attribution are added.
         Some(metrics) => {
             let instrumented =
                 Instrumented::with_probe(&*index, Arc::clone(metrics), probe.clone());
-            match kind {
-                QueryKind::Range(r) => {
-                    let mut v = instrumented.range(query, *r);
-                    v.sort_unstable();
-                    v
-                }
-                QueryKind::Knn(k) => instrumented.knn(query, *k),
-            }
+            answer_query(&instrumented, query, kind, budget)?
         }
-        None => match kind {
-            QueryKind::Range(r) => {
-                let mut v = index.range(query, *r);
-                v.sort_unstable();
-                v
-            }
-            QueryKind::Knn(k) => index.knn(query, *k),
-        },
+        None => answer_query(&*index, query, kind, budget)?,
     };
     let cost = probe.take();
     results.truncate(1000); // terminal sanity for huge result sets
-    Ok((results, cost, n))
+    Ok((results, cost, n, budget_outcome))
 }
 
 /// Writes a registry snapshot as JSON to `path` and notes it in `out`.
@@ -452,7 +545,7 @@ fn record_snapshot_load(
 fn decode_counted_index<T, M>(
     bytes: &[u8],
     kind: IndexKind,
-) -> CliResult<(Box<dyn MetricIndex<T>>, Counted<M>)>
+) -> CliResult<(Box<dyn BudgetedSearch<T>>, Counted<M>)>
 where
     T: ItemCodec + Clone + Sync + 'static,
     M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
@@ -488,8 +581,9 @@ fn run_loaded_query<T, M>(
     load_start: Instant,
     query: &T,
     kind: &QueryKind,
+    budget: Option<u64>,
     metrics: Option<Arc<IndexMetrics>>,
-) -> CliResult<(Vec<Neighbor>, u64, usize)>
+) -> CliResult<(Vec<Neighbor>, u64, usize, Option<BudgetOutcome>)>
 where
     T: ItemCodec + Clone + Sync + 'static,
     M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
@@ -497,31 +591,17 @@ where
     let (index, probe) = decode_counted_index::<T, M>(bytes, info.kind)?;
     record_snapshot_load(&metrics, info, load_start);
     probe.reset();
-    let mut results = match &metrics {
+    let (mut results, budget_outcome) = match &metrics {
         Some(metrics) => {
             let instrumented =
                 Instrumented::with_probe(&*index, Arc::clone(metrics), probe.clone());
-            match kind {
-                QueryKind::Range(r) => {
-                    let mut v = instrumented.range(query, *r);
-                    v.sort_unstable();
-                    v
-                }
-                QueryKind::Knn(k) => instrumented.knn(query, *k),
-            }
+            answer_query(&instrumented, query, kind, budget)?
         }
-        None => match kind {
-            QueryKind::Range(r) => {
-                let mut v = index.range(query, *r);
-                v.sort_unstable();
-                v
-            }
-            QueryKind::Knn(k) => index.knn(query, *k),
-        },
+        None => answer_query(&*index, query, kind, budget)?,
     };
     let cost = probe.take();
     results.truncate(1000);
-    Ok((results, cost, info.items as usize))
+    Ok((results, cost, info.items as usize, budget_outcome))
 }
 
 /// Rejects a snapshot whose metric tag differs from an explicitly
@@ -552,14 +632,16 @@ fn parse_vector_query(query_text: &str) -> CliResult<Vec<f64>> {
 /// Reads, verifies and dispatches a snapshot file for `query --index`:
 /// the index kind, item type and metric all come from the file, not
 /// from flags.
+#[allow(clippy::too_many_arguments)]
 fn run_snapshot_query(
     path: &str,
     query_text: &str,
     kind: &QueryKind,
+    budget: Option<u64>,
     requested_metric: Option<&str>,
     want_metrics: bool,
     registry: &MetricsRegistry,
-) -> CliResult<(Vec<Neighbor>, u64, usize)> {
+) -> CliResult<(Vec<Neighbor>, u64, usize, Option<BudgetOutcome>)> {
     let load_start = Instant::now();
     let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
@@ -569,20 +651,20 @@ fn run_snapshot_query(
         ("utf8-string", "edit") => {
             let query = query_text.to_string();
             run_loaded_query::<String, Levenshtein>(
-                &bytes, &info, load_start, &query, kind, metrics,
+                &bytes, &info, load_start, &query, kind, budget, metrics,
             )
         }
         ("f64-vector", metric) => {
             let query = parse_vector_query(query_text)?;
             match metric {
                 "l2" => run_loaded_query::<Vec<f64>, Euclidean>(
-                    &bytes, &info, load_start, &query, kind, metrics,
+                    &bytes, &info, load_start, &query, kind, budget, metrics,
                 ),
                 "l1" => run_loaded_query::<Vec<f64>, Manhattan>(
-                    &bytes, &info, load_start, &query, kind, metrics,
+                    &bytes, &info, load_start, &query, kind, budget, metrics,
                 ),
                 "linf" => run_loaded_query::<Vec<f64>, Chebyshev>(
-                    &bytes, &info, load_start, &query, kind, metrics,
+                    &bytes, &info, load_start, &query, kind, budget, metrics,
                 ),
                 other => Err(err(format!(
                     "{path}: snapshot metric `{other}` is not supported by this CLI"
@@ -680,22 +762,38 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
     let kind = query_kind(&args)?;
     let query_text = args.required("query")?;
+    let budget: Option<u64> = match args.get("budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| err(format!("invalid value for --budget: `{v}`")))?,
+        ),
+    };
     let registry = MetricsRegistry::new();
 
-    let (results, cost, n) = match (args.get("data"), args.get("index")) {
-        (None, Some(snapshot)) => run_snapshot_query(
-            snapshot,
-            query_text,
-            &kind,
-            args.get("metric"),
-            args.get("metrics").is_some(),
-            &registry,
-        )?,
+    let (results, cost, n, budget_outcome) = match (args.get("data"), args.get("index")) {
+        (None, Some(snapshot)) => {
+            if args.parsed("shards", 1usize)? != 1 {
+                return Err(err(
+                    "--shards needs --data (to serve a snapshot sharded, use `vantage serve --index FILE --shards S`)",
+                ));
+            }
+            run_snapshot_query(
+                snapshot,
+                query_text,
+                &kind,
+                budget,
+                args.get("metric"),
+                args.get("metrics").is_some(),
+                &registry,
+            )?
+        }
         (Some(data), None) => {
             let metric_name = args.get("metric").unwrap_or("l2");
             let structure = args.get("structure").unwrap_or("mvp");
             let seed: u64 = args.parsed("seed", 0)?;
             let threads = parse_threads(&args)?;
+            let shards: usize = args.parsed("shards", 1)?;
             let metrics = args.get("metrics").map(|_| registry.index(structure));
             if metric_name == "edit" {
                 let words = read_words(data)?;
@@ -705,8 +803,10 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
                     structure,
                     seed,
                     threads,
+                    shards,
                     &query_text.to_string(),
                     &kind,
+                    budget,
                     metrics,
                 )?
             } else {
@@ -723,13 +823,16 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
                 }
                 match metric_name {
                     "l2" => run_structure_query(
-                        vectors, Euclidean, structure, seed, threads, &query, &kind, metrics,
+                        vectors, Euclidean, structure, seed, threads, shards, &query, &kind,
+                        budget, metrics,
                     )?,
                     "l1" => run_structure_query(
-                        vectors, Manhattan, structure, seed, threads, &query, &kind, metrics,
+                        vectors, Manhattan, structure, seed, threads, shards, &query, &kind,
+                        budget, metrics,
                     )?,
                     "linf" => run_structure_query(
-                        vectors, Chebyshev, structure, seed, threads, &query, &kind, metrics,
+                        vectors, Chebyshev, structure, seed, threads, shards, &query, &kind,
+                        budget, metrics,
                     )?,
                     other => {
                         return Err(err(format!("unknown metric `{other}` (l1|l2|linf|edit)")))
@@ -753,6 +856,20 @@ fn cmd_query(argv: &[String], out: &mut String) -> CliResult<()> {
         "cost: {cost} distance computations over {n} items ({:.1}% of linear scan)",
         100.0 * cost as f64 / n.max(1) as f64
     );
+    if let Some(b) = budget_outcome {
+        let _ = writeln!(
+            out,
+            "budget: spent {} of {} ({}), estimated recall {:.3}",
+            b.spent,
+            budget.unwrap_or(u64::MAX),
+            if b.exhausted {
+                "exhausted"
+            } else {
+                "within budget"
+            },
+            b.estimated_recall
+        );
+    }
     if let Some(path) = args.get("metrics") {
         write_metrics_snapshot(&registry, path, out)?;
     }
@@ -1244,6 +1361,7 @@ fn cmd_experiment(argv: &[String], out: &mut String) -> CliResult<()> {
         "comparators" => ablations::comparators(scale),
         "knn" => ablations::knn_cost(scale),
         "pruning" => vantage_experiments::pruning::pruning_breakdown(scale),
+        "budget" => vantage_experiments::budget::recall_curve(scale),
         other => return Err(err(format!("unknown experiment `{other}`"))),
     };
     out.push_str(&report.render());
@@ -1356,6 +1474,202 @@ mod tests {
         ]);
         assert!(out.contains("3 results"), "{out}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The `id ... distance ...` result lines of a query report.
+    fn result_lines(s: &str) -> Vec<String> {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with("id"))
+            .map(|l| l.trim().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_query_answers_are_bit_identical_to_unsharded() {
+        let path = temp_path("sharded.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "180", "--dim", "4", "--seed", "11", "--out", &path,
+        ]);
+        for structure in ["mvp", "vp", "linear"] {
+            for (flag, value) in [("--knn", "7"), ("--range", "0.45")] {
+                let base = run_ok(&[
+                    "query",
+                    "--data",
+                    &path,
+                    "--structure",
+                    structure,
+                    flag,
+                    value,
+                    "--query",
+                    "0.4,0.6,0.5,0.5",
+                ]);
+                for shards in ["2", "3", "7"] {
+                    let sharded = run_ok(&[
+                        "query",
+                        "--data",
+                        &path,
+                        "--structure",
+                        structure,
+                        flag,
+                        value,
+                        "--query",
+                        "0.4,0.6,0.5,0.5",
+                        "--shards",
+                        shards,
+                    ]);
+                    assert_eq!(
+                        result_lines(&base),
+                        result_lines(&sharded),
+                        "{structure} {flag} shards={shards}"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_linear_knn_cost_is_counted_once() {
+        // Every shard's `Counted` clone shares one tally; a linear-scan
+        // kNN computes each of the 120 distances exactly once whether the
+        // scan is sharded or not — any double-count from the shared-bound
+        // path would show up in the cost line.
+        let path = temp_path("sharded-cost.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "120", "--dim", "3", "--seed", "2", "--out", &path,
+        ]);
+        let cost_line = |out: &str| -> String {
+            out.lines()
+                .find(|l| l.starts_with("cost:"))
+                .expect("cost line")
+                .to_string()
+        };
+        let base = run_ok(&[
+            "query",
+            "--data",
+            &path,
+            "--structure",
+            "linear",
+            "--knn",
+            "5",
+            "--query",
+            "0.5,0.5,0.5",
+        ]);
+        for shards in ["2", "4"] {
+            let sharded = run_ok(&[
+                "query",
+                "--data",
+                &path,
+                "--structure",
+                "linear",
+                "--knn",
+                "5",
+                "--query",
+                "0.5,0.5,0.5",
+                "--shards",
+                shards,
+            ]);
+            assert_eq!(cost_line(&base), cost_line(&sharded), "shards={shards}");
+            assert!(cost_line(&base).contains("120 distance computations"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn budgeted_query_reports_spend_and_estimated_recall() {
+        let path = temp_path("budget.csv");
+        run_ok(&[
+            "generate", "uniform", "--n", "200", "--dim", "4", "--seed", "8", "--out", &path,
+        ]);
+        let common = [
+            "query",
+            "--data",
+            &path,
+            "--structure",
+            "vp",
+            "--knn",
+            "5",
+            "--query",
+            "0.5,0.5,0.5,0.5",
+        ];
+        // A generous budget answers exactly and says so.
+        let mut argv = common.to_vec();
+        argv.extend_from_slice(&["--budget", "100000"]);
+        let exact = run_ok(&argv);
+        assert!(exact.contains("within budget"), "{exact}");
+        assert!(exact.contains("estimated recall 1.000"), "{exact}");
+        assert_eq!(result_lines(&exact), result_lines(&run_ok(&common)));
+        // A starved budget is exhausted with an honest partial estimate.
+        let mut argv = common.to_vec();
+        argv.extend_from_slice(&["--budget", "12"]);
+        let starved = run_ok(&argv);
+        assert!(starved.contains("(exhausted)"), "{starved}");
+        assert!(!starved.contains("estimated recall 1.000"), "{starved}");
+        // Sharded + budgeted compose.
+        let mut argv = common.to_vec();
+        argv.extend_from_slice(&["--budget", "40", "--shards", "3"]);
+        let sharded = run_ok(&argv);
+        assert!(sharded.contains("budget: spent"), "{sharded}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn budgeted_query_works_on_snapshots() {
+        let data = temp_path("budget-snap.csv");
+        let snap = temp_path("budget-snap.vantage");
+        run_ok(&[
+            "generate", "uniform", "--n", "150", "--dim", "3", "--seed", "4", "--out", &data,
+        ]);
+        run_ok(&[
+            "build",
+            "--data",
+            &data,
+            "--save",
+            &snap,
+            "--structure",
+            "mvp",
+        ]);
+        let out = run_ok(&[
+            "query",
+            "--index",
+            &snap,
+            "--knn",
+            "4",
+            "--query",
+            "0.5,0.5,0.5",
+            "--budget",
+            "10",
+        ]);
+        assert!(out.contains("budget: spent"), "{out}");
+        assert!(out.contains("(exhausted)"), "{out}");
+        for p in [&data, &snap] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn budget_and_shard_flag_misuse_is_rejected() {
+        let data = temp_path("flag-misuse.csv");
+        let snap = temp_path("flag-misuse.vantage");
+        run_ok(&[
+            "generate", "uniform", "--n", "30", "--dim", "3", "--seed", "1", "--out", &data,
+        ]);
+        run_ok(&["build", "--data", &data, "--save", &snap]);
+        let e = run_err(&[
+            "query", "--data", &data, "--range", "0.5", "--query", "0,0,0", "--budget", "10",
+        ]);
+        assert!(e.0.contains("--budget applies to --knn only"), "{e}");
+        let e = run_err(&[
+            "query", "--index", &snap, "--knn", "3", "--query", "0,0,0", "--shards", "4",
+        ]);
+        assert!(e.0.contains("--shards needs --data"), "{e}");
+        let e = run_err(&[
+            "query", "--data", &data, "--knn", "3", "--query", "0,0,0", "--shards", "0",
+        ]);
+        assert!(e.0.contains("--shards must be at least 1"), "{e}");
+        for p in [&data, &snap] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

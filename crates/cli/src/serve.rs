@@ -61,7 +61,9 @@ use vantage_telemetry::export;
 use vantage_telemetry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind};
 use vantage_vptree::VpTree;
 
-use crate::{err, mvp_build_params, parse_threads, structure_label, Args, CliResult};
+use crate::{
+    err, mvp_build_params, parse_threads, structure_label, vp_build_params, Args, CliResult,
+};
 
 /// How long `RELOAD` waits for the displaced generation's readers.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
@@ -150,6 +152,70 @@ where
     }
 }
 
+/// Like [`decode_query_index`], but when `shards > 1` the snapshot's
+/// dataset is re-partitioned round-robin and rebuilt as a
+/// [`ShardedIndex`] of the same structure with the CLI's standard build
+/// parameters. Exact scatter-gather answers are bit-identical to the
+/// unsharded index, so clients (and the smoke harness's expected
+/// replies) cannot tell the difference. The decoded tree's `Counted`
+/// metric is cloned into every shard, so the returned probe keeps
+/// reporting the cross-shard total.
+fn load_static_index<T, M>(
+    bytes: &[u8],
+    kind: IndexKind,
+    shards: usize,
+    seed: u64,
+    threads: Threads,
+) -> CliResult<(Box<dyn QueryIndex<T>>, Counted<M>)>
+where
+    T: ItemCodec + Clone + Send + Sync + 'static,
+    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+{
+    if shards == 1 {
+        return decode_query_index::<T, M>(bytes, kind);
+    }
+    match kind {
+        IndexKind::VpTree => {
+            let tree: VpTree<T, Counted<M>> =
+                persist::decode_vp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            let sharded = ShardedIndex::build(tree.items().to_vec(), shards, threads, |_, part| {
+                VpTree::build(
+                    part,
+                    probe.clone(),
+                    vp_build_params(seed, Threads::SEQUENTIAL),
+                )
+            })
+            .map_err(|e| err(e.to_string()))?;
+            Ok((Box::new(sharded), probe))
+        }
+        IndexKind::MvpTree => {
+            let tree: MvpTree<T, Counted<M>> =
+                persist::decode_mvp_tree(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = tree.metric().clone();
+            let sharded = ShardedIndex::build(tree.items().to_vec(), shards, threads, |_, part| {
+                MvpTree::build(
+                    part,
+                    probe.clone(),
+                    mvp_build_params(seed, Threads::SEQUENTIAL),
+                )
+            })
+            .map_err(|e| err(e.to_string()))?;
+            Ok((Box::new(sharded), probe))
+        }
+        IndexKind::Linear => {
+            let scan: LinearScan<T, Counted<M>> =
+                persist::decode_linear_scan(bytes).map_err(|e| err(e.to_string()))?;
+            let probe = scan.metric().clone();
+            let sharded = ShardedIndex::build(scan.items().to_vec(), shards, threads, |_, part| {
+                Ok(LinearScan::new(part, probe.clone()))
+            })
+            .map_err(|e| err(e.to_string()))?;
+            Ok((Box::new(sharded), probe))
+        }
+    }
+}
+
 /// Like [`decode_query_index`], but also hands back a copy of the items
 /// (the smoke client derives its query workload from them).
 fn decode_with_items<T, M>(
@@ -199,6 +265,11 @@ struct StaticEngine<T, M> {
     source: Mutex<String>,
     item_tag: String,
     metric_tag: String,
+    /// Scatter-gather shard count (1 = serve the decoded tree as-is);
+    /// `RELOAD`/`REINDEX` rebuild new generations under the same layout.
+    shards: usize,
+    seed: u64,
+    threads: Threads,
 }
 
 /// Ingest-serving engine: the concurrent mvp-tree swaps internally on
@@ -235,10 +306,16 @@ pub(crate) struct ServeOptions {
     pub metrics_out: Option<String>,
     pub seed: u64,
     pub threads: Threads,
+    /// Scatter-gather shard count (snapshot mode only; 1 = unsharded).
+    pub shards: usize,
 }
 
 impl ServeOptions {
     pub(crate) fn from_args(args: &Args<'_>) -> CliResult<Self> {
+        let shards: usize = args.parsed("shards", 1)?;
+        if shards == 0 {
+            return Err(err("--shards must be at least 1"));
+        }
         Ok(ServeOptions {
             addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
             addr_file: args.get("addr-file").map(str::to_string),
@@ -246,6 +323,7 @@ impl ServeOptions {
             metrics_out: args.get("metrics-out").map(str::to_string),
             seed: args.parsed("seed", 0)?,
             threads: parse_threads(args)?,
+            shards,
         })
     }
 }
@@ -300,7 +378,8 @@ where
 {
     let registry = MetricsRegistry::new();
     let load_start = Instant::now();
-    let (index, probe) = decode_query_index::<T, M>(bytes, info.kind)?;
+    let (index, probe) =
+        load_static_index::<T, M>(bytes, info.kind, opts.shards, opts.seed, opts.threads)?;
     let metrics = registry.index("serve/gen0");
     metrics.record(
         OpKind::SnapshotLoad,
@@ -322,12 +401,21 @@ where
         source: Mutex::new(path.to_string()),
         item_tag: info.item.clone(),
         metric_tag: info.metric.clone(),
+        shards: opts.shards,
+        seed: opts.seed,
+        threads: opts.threads,
     });
     run_server(engine, registry, info.metric.clone(), opts, out)
 }
 
 /// Serves a dataset through the dynamic (ingest-capable) engine.
 pub(crate) fn serve_data(path: &str, opts: ServeOptions, out: &mut String) -> CliResult<()> {
+    if opts.shards != 1 {
+        // The dynamic engine's ingest path swaps one concurrent tree;
+        // sharding it is future work, so refuse rather than silently
+        // serve unsharded.
+        return Err(err("--shards is only available in snapshot (--index) mode"));
+    }
     let metric_name = opts.metric.clone().unwrap_or_else(|| "l2".to_string());
     if metric_name == "edit" {
         let words = crate::read_words(path)?;
@@ -735,10 +823,11 @@ where
         Engine::Static(engine) => {
             let guard = engine.cell.read();
             format!(
-                "OK mode=static structure={} metric={} items={} generation={} swaps={}",
+                "OK mode=static structure={} metric={} items={} shards={} generation={} swaps={}",
                 guard.structure,
                 shared.metric_name,
                 guard.items,
+                engine.shards,
                 guard.generation(),
                 engine.cell.swaps()
             )
@@ -797,8 +886,14 @@ where
         );
     }
     let load_start = Instant::now();
-    let (index, probe) =
-        decode_query_index::<T, M>(&bytes, info.kind).map_err(|e| e.to_string())?;
+    let (index, probe) = load_static_index::<T, M>(
+        &bytes,
+        info.kind,
+        engine.shards,
+        engine.seed,
+        engine.threads,
+    )
+    .map_err(|e| e.to_string())?;
     let metrics = shared
         .registry
         .index(&format!("serve/gen{}", engine.cell.generation() + 1));

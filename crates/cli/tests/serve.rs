@@ -152,6 +152,63 @@ fn smoke_clients_stay_bit_identical_across_live_reloads() {
 }
 
 #[test]
+fn sharded_server_replies_are_bit_identical_to_the_unsharded_snapshot() {
+    let data = temp_path("shard-data.csv");
+    let snap = temp_path("shard-index.vantage");
+    run_ok(&[
+        "generate", "uniform", "--n", "220", "--dim", "4", "--seed", "13", "--out", &data,
+    ]);
+    run_ok(&["build", "--data", &data, "--save", &snap, "--metric", "l2"]);
+
+    let (addr, server) = spawn_server(vec![
+        "serve".into(),
+        "--index".into(),
+        snap.clone(),
+        "--shards".into(),
+        "4".into(),
+    ]);
+
+    let info = client(&addr, "INFO");
+    assert!(
+        info.contains("mode=static") && info.contains("shards=4"),
+        "{info}"
+    );
+
+    // The smoke harness computes every expected reply from a direct,
+    // *unsharded* run against the decoded snapshot — so a passing run is
+    // exactly the tentpole's bit-identity guarantee, across live RELOAD
+    // swaps (which rebuild the sharded layout) too.
+    let smoke = run_ok(&[
+        "serve-smoke",
+        "--addr",
+        &addr,
+        "--index",
+        &snap,
+        "--threads",
+        "4",
+        "--queries",
+        "120",
+        "--reloads",
+        "1",
+    ]);
+    assert!(smoke.contains("PASS"), "{smoke}");
+
+    assert_eq!(client(&addr, "SHUTDOWN"), "OK bye");
+    server
+        .join()
+        .expect("server thread panicked")
+        .expect("server failed");
+
+    // The dynamic engine has no sharded mode: refuse, don't mis-serve.
+    let e = run(&["serve", "--data", &data, "--shards", "2"]).expect_err("must refuse");
+    assert!(e.contains("snapshot (--index) mode"), "{e}");
+
+    for p in [&data, &snap] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn dynamic_mode_serves_ingest_and_far_queries() {
     let data = temp_path("dyn-data.csv");
     run_ok(&[

@@ -10,10 +10,13 @@
 //! whose upper bound falls below the threshold cannot contain a far
 //! neighbor.
 
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::metric::Metric;
 use crate::query::Neighbor;
+use crate::shard::SharedLowerBound;
 
 /// Far-neighbor query support. Implemented by
 /// [`LinearScan`](crate::linear::LinearScan) and by the vp-/mvp-trees in
@@ -51,14 +54,44 @@ impl<T, M: Metric<T>> FarthestIndex<T> for crate::linear::LinearScan<T, M> {
     }
 }
 
+/// Eviction ranking for the k-farthest heap: the max-heap root is the
+/// **least preferred** member — smallest distance first, ties resolved
+/// toward the *larger* id, so the canonical `(distance desc, id asc)`
+/// answer set survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FarRank(Neighbor);
+
+impl Ord for FarRank {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .distance
+            .total_cmp(&self.0.distance)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl PartialOrd for FarRank {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Collects the `k` largest-distance neighbors seen so far — the mirror
 /// image of [`KnnCollector`](crate::knn::KnnCollector).
+///
+/// Tie-breaking is canonical, mirroring [`KnnCollector`]: among
+/// equidistant candidates the smaller id wins, so any index that offers
+/// every tie candidate returns *the* `(distance desc, id asc)` top `k`.
+/// Like its mirror, the collector can share a monotonically rising lower
+/// bound across shards ([`with_shared`](KfnCollector::with_shared)).
 #[derive(Debug, Clone)]
 pub struct KfnCollector {
     k: usize,
-    // Min-heap on distance via Reverse ordering: the root is the current
-    // weakest of the best (farthest) k.
-    heap: BinaryHeap<std::cmp::Reverse<Neighbor>>,
+    // Max-heap under FarRank: the root is the current weakest of the
+    // best (farthest) k.
+    heap: BinaryHeap<FarRank>,
+    shared: Option<Arc<SharedLowerBound>>,
 }
 
 impl KfnCollector {
@@ -67,14 +100,26 @@ impl KfnCollector {
         KfnCollector {
             k,
             heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+            shared: None,
         }
     }
 
-    /// Current pruning threshold: the k-th largest distance seen, or
-    /// `-∞` while fewer than `k` candidates have been collected. A
-    /// subtree whose **upper-bound** distance is below this cannot
-    /// contribute.
-    pub fn radius(&self) -> f64 {
+    /// Creates a collector that additionally prunes against (and
+    /// tightens) a lower bound shared across shards. Any shard's k-th
+    /// farthest distance over its subset is a valid lower bound on the
+    /// global k-th farthest, so pruning against the shared maximum never
+    /// discards a true answer.
+    pub fn with_shared(k: usize, shared: Arc<SharedLowerBound>) -> Self {
+        KfnCollector {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+            shared: Some(shared),
+        }
+    }
+
+    /// This collector's own k-th largest distance, ignoring any shared
+    /// bound (`-∞` while fewer than `k` candidates have been collected).
+    fn local_radius(&self) -> f64 {
         if self.heap.len() < self.k {
             f64::NEG_INFINITY
         } else {
@@ -82,22 +127,48 @@ impl KfnCollector {
         }
     }
 
+    /// Current pruning threshold: the k-th largest distance seen (here
+    /// or, with a shared bound, by any collector in the group), or `-∞`
+    /// while fewer than `k` candidates have been collected. A subtree
+    /// whose **upper-bound** distance is below this cannot contribute.
+    pub fn radius(&self) -> f64 {
+        let local = self.local_radius();
+        match &self.shared {
+            Some(shared) => local.max(shared.get()),
+            None => local,
+        }
+    }
+
+    /// Publishes this collector's k-th largest distance to the shared
+    /// bound.
+    fn publish(&self) {
+        if let Some(shared) = &self.shared {
+            shared.tighten(self.local_radius());
+        }
+    }
+
     /// Offers a candidate; kept only if it improves the farthest `k`.
-    /// Returns `true` when retained.
+    /// Returns `true` when retained. On exact distance ties the smaller
+    /// id wins (canonical tie-break).
     pub fn offer(&mut self, id: usize, distance: f64) -> bool {
         if self.k == 0 {
             return false;
         }
         if self.heap.len() < self.k {
-            self.heap
-                .push(std::cmp::Reverse(Neighbor::new(id, distance)));
+            self.heap.push(FarRank(Neighbor::new(id, distance)));
+            if self.heap.len() == self.k {
+                self.publish();
+            }
             return true;
         }
-        let weakest = self.heap.peek().expect("heap holds k > 0 entries");
-        if distance > weakest.0.distance {
+        let weakest = *self.heap.peek().expect("heap holds k > 0 entries");
+        let candidate = FarRank(Neighbor::new(id, distance));
+        // `FarRank` orders toward eviction: a *smaller* rank is a more
+        // preferred (farther, lower-id) neighbor.
+        if candidate < weakest {
             self.heap.pop();
-            self.heap
-                .push(std::cmp::Reverse(Neighbor::new(id, distance)));
+            self.heap.push(candidate);
+            self.publish();
             true
         } else {
             false
@@ -185,10 +256,48 @@ mod tests {
     }
 
     #[test]
-    fn collector_tie_keeps_incumbent() {
+    fn ties_resolve_to_the_smaller_id() {
+        // Incumbent with the smaller id survives a tied challenger…
         let mut c = KfnCollector::new(1);
         assert!(c.offer(4, 2.0));
         assert!(!c.offer(9, 2.0));
         assert_eq!(c.into_sorted()[0].id, 4);
+        // …and a tied smaller-id challenger replaces the incumbent: the
+        // canonical answer is independent of visit order.
+        let mut c = KfnCollector::new(1);
+        assert!(c.offer(9, 2.0));
+        assert!(c.offer(4, 2.0));
+        assert_eq!(c.into_sorted()[0].id, 4);
+    }
+
+    #[test]
+    fn eviction_prefers_dropping_large_ids_on_full_tie() {
+        // Three tied candidates at k = 2: the canonical answer keeps the
+        // two smallest ids regardless of arrival order.
+        for order in [[5usize, 1, 3], [3, 5, 1], [1, 3, 5]] {
+            let mut c = KfnCollector::new(2);
+            for id in order {
+                c.offer(id, 7.0);
+            }
+            let ids: Vec<usize> = c.into_sorted().iter().map(|n| n.id).collect();
+            assert_eq!(ids, vec![1, 3], "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn shared_bound_tightens_the_radius_and_is_published() {
+        let shared = Arc::new(SharedLowerBound::new());
+        let mut a = KfnCollector::with_shared(1, Arc::clone(&shared));
+        let mut b = KfnCollector::with_shared(1, Arc::clone(&shared));
+        a.offer(0, 2.0);
+        assert_eq!(shared.get(), 2.0);
+        // b benefits from a's k-th farthest before collecting anything.
+        assert_eq!(b.radius(), 2.0);
+        b.offer(1, 6.0);
+        assert_eq!(shared.get(), 6.0);
+        // The shared bound never loosens b's own threshold…
+        assert_eq!(b.radius(), 6.0);
+        // …and raises a's.
+        assert_eq!(a.radius(), 6.0);
     }
 }

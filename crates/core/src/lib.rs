@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod counting;
 pub mod error;
 pub mod farthest;
@@ -70,11 +71,13 @@ pub mod metrics;
 pub mod parallel;
 pub mod query;
 pub mod select;
+pub mod shard;
 pub mod stats;
 pub mod swap;
 pub mod trace;
 pub mod util;
 
+pub use budget::{BudgetMeter, BudgetedKnn, BudgetedSearch, SearchBudget};
 pub use counting::{Counted, DistanceTotals};
 pub use error::{Result, VantageError};
 pub use farthest::{FarthestIndex, KfnCollector};
@@ -85,6 +88,7 @@ pub use metric::{BoundedMetric, DiscreteMetric, Metric};
 pub use parallel::Threads;
 pub use query::Neighbor;
 pub use select::VantageSelector;
+pub use shard::{ShardSearch, ShardedIndex, SharedLowerBound, SharedUpperBound};
 pub use stats::DistanceHistogram;
 pub use swap::{Retired, SwapCell, SwapGuard};
 pub use trace::{
@@ -94,6 +98,7 @@ pub use trace::{
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::budget::{BudgetMeter, BudgetedKnn, BudgetedSearch, SearchBudget};
     pub use crate::counting::{Counted, DistanceTotals};
     pub use crate::error::{Result, VantageError};
     pub use crate::farthest::{FarthestIndex, KfnCollector};
@@ -112,6 +117,7 @@ pub mod prelude {
     pub use crate::parallel::Threads;
     pub use crate::query::Neighbor;
     pub use crate::select::VantageSelector;
+    pub use crate::shard::{ShardSearch, ShardedIndex, SharedLowerBound, SharedUpperBound};
     pub use crate::stats::DistanceHistogram;
     pub use crate::swap::{Retired, SwapCell, SwapGuard};
     pub use crate::trace::{

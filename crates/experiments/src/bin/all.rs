@@ -9,12 +9,12 @@
 use std::time::Instant;
 
 use vantage_experiments::report::results_json;
-use vantage_experiments::{ablations, figures, pruning, Scale};
+use vantage_experiments::{ablations, budget, figures, pruning, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     println!("vantage experiment suite — scale: {scale}\n");
-    let suite: [fn(Scale) -> vantage_experiments::FigureReport; 16] = [
+    let suite: [fn(Scale) -> vantage_experiments::FigureReport; 17] = [
         figures::fig04,
         figures::fig05,
         figures::fig06,
@@ -31,6 +31,7 @@ fn main() {
         ablations::comparators,
         ablations::knn_cost,
         pruning::pruning_breakdown,
+        budget::recall_curve,
     ];
     let mut timed = Vec::with_capacity(suite.len());
     for run in suite {

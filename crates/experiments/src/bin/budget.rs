@@ -1,0 +1,11 @@
+//! Budgeted-kNN recall-vs-cost curves: measured and self-reported recall
+//! at budgets set to fractions of exact-search cost.
+//! Scale via VANTAGE_SCALE=full|quick.
+
+fn main() {
+    let scale = vantage_experiments::Scale::from_env();
+    let report = vantage_experiments::budget::recall_curve(scale);
+    println!("{}", report.render());
+    eprintln!("--- CSV ---");
+    eprint!("{}", report.csv);
+}

@@ -27,12 +27,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod budget;
 pub mod figures;
 pub mod harness;
 pub mod pruning;
 pub mod report;
 pub mod scale;
 
+pub use budget::{BudgetCurvePoint, BudgetCurveSeries};
 pub use harness::{ExperimentConfig, QueryCostSeries, StructureSpec};
 pub use pruning::{PruningPoint, PruningSeries};
 pub use report::FigureReport;

@@ -96,7 +96,13 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         }
     }
 
-    fn kfn_node(&self, node: NodeId, query: &T, collector: &mut KfnCollector, path: &mut Vec<f64>) {
+    pub(crate) fn kfn_node(
+        &self,
+        node: NodeId,
+        query: &T,
+        collector: &mut KfnCollector,
+        path: &mut Vec<f64>,
+    ) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
                 let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
@@ -109,7 +115,10 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                     for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         upper = upper.min(qp + ep);
                     }
-                    if upper > collector.radius() {
+                    // Tie-inclusive: an entry whose upper bound equals
+                    // the threshold may tie the k-th distance with a
+                    // smaller id, which canonical tie-breaking must see.
+                    if upper >= collector.radius() {
                         let id = entries.id(i) as usize;
                         let d = self.metric().distance(query, &self.items[id]);
                         collector.offer(id, d);
@@ -148,7 +157,8 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 }
                 order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
                 for (upper, child) in order {
-                    if upper <= collector.radius() {
+                    // Tie-inclusive, mirroring the leaf filter above.
+                    if upper < collector.radius() {
                         break;
                     }
                     self.kfn_node(child, query, collector, path);

@@ -212,14 +212,27 @@ impl<T, M: BoundedMetric<T>> MvpTree<T, M> {
     /// shell prunes attributed the same way.
     pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KnnCollector::new(k);
-        if k == 0 {
-            return Vec::new();
+        self.knn_into(&mut collector, query, sink);
+        collector.into_sorted()
+    }
+
+    /// Runs the kNN traversal into a caller-provided collector — the
+    /// shared kernel behind [`knn_traced`](MvpTree::knn_traced) and the
+    /// sharded scatter path (which passes a collector wired to a
+    /// cross-shard bound).
+    pub(crate) fn knn_into<S: TraceSink>(
+        &self,
+        collector: &mut KnnCollector,
+        query: &T,
+        sink: &mut S,
+    ) {
+        if collector.k() == 0 {
+            return;
         }
         let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
         if let Some(root) = self.root {
-            self.knn_node(root, query, 0, &mut collector, &mut path, sink);
+            self.knn_node(root, query, 0, collector, &mut path, sink);
         }
-        collector.into_sorted()
     }
 
     /// The stage that produced a rejected leaf candidate's lower bound

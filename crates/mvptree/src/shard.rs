@@ -1,0 +1,80 @@
+//! Scatter-gather participation: mvp-trees as shards of a
+//! [`ShardedIndex`](vantage_core::shard::ShardedIndex).
+//!
+//! Both methods run the exact same traversals as [`knn`] / `k_farthest`,
+//! only through a collector wired to the group-shared bound — the shared
+//! value changes *which subtrees get pruned*, never the answer.
+//!
+//! [`knn`]: vantage_core::MetricIndex::knn
+
+use std::sync::Arc;
+
+use vantage_core::farthest::KfnCollector;
+use vantage_core::shard::{ShardSearch, SharedLowerBound, SharedUpperBound};
+use vantage_core::trace::NoTrace;
+use vantage_core::{BoundedMetric, KnnCollector, Neighbor};
+
+use crate::tree::MvpTree;
+
+impl<T, M: BoundedMetric<T>> ShardSearch<T> for MvpTree<T, M> {
+    fn knn_shared(&self, query: &T, k: usize, shared: Arc<SharedUpperBound>) -> Vec<Neighbor> {
+        let mut collector = KnnCollector::with_shared(k, shared);
+        self.knn_into(&mut collector, query, &mut NoTrace);
+        collector.into_sorted()
+    }
+
+    fn kfn_shared(&self, query: &T, k: usize, shared: Arc<SharedLowerBound>) -> Vec<Neighbor> {
+        let mut collector = KfnCollector::with_shared(k, shared);
+        if k > 0 {
+            if let Some(root) = self.root {
+                let mut path = Vec::with_capacity(self.params.p);
+                self.kfn_node(root, query, &mut collector, &mut path);
+            }
+        }
+        collector.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::MvpParams;
+    use crate::tree::MvpTree;
+    use vantage_core::prelude::*;
+    use vantage_core::shard::ShardedIndex;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for x in 0..12 {
+            for y in 0..12 {
+                v.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn sharded_mvp_trees_match_linear_scan() {
+        let oracle = LinearScan::new(grid(), Euclidean);
+        let q = vec![5.5, 5.5];
+        for shards in [1, 2, 3, 7] {
+            let idx = ShardedIndex::build(grid(), shards, Threads::Fixed(4), |s, part| {
+                MvpTree::build(part, Euclidean, MvpParams::paper(3, 9, 5).seed(s as u64))
+            })
+            .unwrap();
+            for k in [1, 4, 10, 144, 200] {
+                assert_eq!(idx.knn(&q, k), oracle.knn(&q, k), "shards={shards} k={k}");
+                assert_eq!(
+                    idx.k_farthest(&q, k),
+                    oracle.k_farthest(&q, k),
+                    "shards={shards} k={k}"
+                );
+            }
+            assert_eq!(idx.range(&q, 3.0), oracle.range(&q, 3.0), "shards={shards}");
+            assert_eq!(
+                idx.range_beyond(&q, 6.0),
+                oracle.range_beyond(&q, 6.0),
+                "shards={shards}"
+            );
+        }
+    }
+}

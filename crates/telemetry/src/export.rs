@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 
 use crate::histogram::HistogramSnapshot;
 use crate::json::Json;
-use crate::registry::OpKind;
+use crate::registry::{OpKind, RECALL_SCALE};
 use crate::snapshot::{GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};
 
 /// Format version stamped into JSON exports.
@@ -122,6 +122,21 @@ fn snapshot_to_json(snapshot: &RegistrySnapshot) -> Json {
                     obj.insert("distances".into(), histogram_to_json(&op.distances));
                     obj.insert("abandoned".into(), Json::Num(op.abandoned as f64));
                     obj.insert("abandoned_work".into(), Json::Num(op.abandoned_work));
+                    // Budget fields are written only when budgeted
+                    // queries actually ran, so exports that predate
+                    // budgeted search stay byte-identical.
+                    if op.budget_exhausted > 0 {
+                        obj.insert(
+                            "budget_exhausted".into(),
+                            Json::Num(op.budget_exhausted as f64),
+                        );
+                    }
+                    if op.estimated_recall_bp.count > 0 {
+                        obj.insert(
+                            "estimated_recall_bp".into(),
+                            histogram_to_json(&op.estimated_recall_bp),
+                        );
+                    }
                     Json::Obj(obj)
                 })
                 .collect();
@@ -210,6 +225,15 @@ pub fn from_json(text: &str) -> Result<RegistrySnapshot, String> {
                     .get("abandoned_work")
                     .and_then(Json::as_f64)
                     .ok_or("op missing `abandoned_work`")?,
+                // Absent in exports that predate budgeted search.
+                budget_exhausted: op
+                    .get("budget_exhausted")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                estimated_recall_bp: match op.get("estimated_recall_bp") {
+                    Some(h) => histogram_from_json(h)?,
+                    None => HistogramSnapshot::default(),
+                },
             });
         }
         indexes.push(IndexSnapshot { label, ops });
@@ -326,6 +350,65 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
             );
         }
     }
+
+    // Budget telemetry appears only once budgeted queries have run, so
+    // scrapes of budget-free deployments look exactly like before.
+    let budgeted: Vec<(&IndexSnapshot, &OpSnapshot)> = snapshot
+        .indexes
+        .iter()
+        .flat_map(|index| index.ops.iter().map(move |op| (index, op)))
+        .filter(|(_, op)| op.estimated_recall_bp.count > 0 || op.budget_exhausted > 0)
+        .collect();
+    if !budgeted.is_empty() {
+        type_line(
+            &mut out,
+            "vantage_budget_exhausted_total",
+            "counter",
+            "Budgeted queries whose distance-computation budget ran out.",
+        );
+        for (index, op) in &budgeted {
+            let _ = writeln!(
+                out,
+                "vantage_budget_exhausted_total{{index=\"{}\",op=\"{}\"}} {}",
+                escape_label(&index.label),
+                op.kind.name(),
+                op.budget_exhausted
+            );
+        }
+        type_line(
+            &mut out,
+            "vantage_estimated_recall",
+            "summary",
+            "Self-reported recall estimates of budgeted queries, as fractions.",
+        );
+        for (index, op) in &budgeted {
+            let h = &op.estimated_recall_bp;
+            let labels = format!(
+                "index=\"{}\",op=\"{}\"",
+                escape_label(&index.label),
+                op.kind.name()
+            );
+            for (q, q_label) in QUANTILES {
+                if let Some(v) = h.percentile(q) {
+                    let _ = writeln!(
+                        out,
+                        "vantage_estimated_recall{{{labels},quantile=\"{q_label}\"}} {}",
+                        v as f64 / RECALL_SCALE
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "vantage_estimated_recall_sum{{{labels}}} {}",
+                h.sum as f64 / RECALL_SCALE
+            );
+            let _ = writeln!(
+                out,
+                "vantage_estimated_recall_count{{{labels}}} {}",
+                h.count
+            );
+        }
+    }
     out
 }
 
@@ -409,6 +492,48 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("vantage_abandoned_total"), "{text}");
+    }
+
+    #[test]
+    fn budget_fields_round_trip_and_stay_absent_without_traffic() {
+        // A budget-free snapshot must serialize without the new keys, so
+        // exports from before budgeted search re-render byte-identically.
+        let plain = to_json(&sample());
+        assert!(!plain.contains("budget_exhausted"), "{plain}");
+        assert!(!plain.contains("estimated_recall_bp"), "{plain}");
+
+        let registry = MetricsRegistry::new();
+        let metrics = registry.index("vp");
+        for (exhausted, recall) in [(true, 0.4), (false, 1.0), (true, 0.9)] {
+            metrics.record_budgeted(
+                OpKind::Knn,
+                Duration::from_micros(25),
+                CostDelta {
+                    computations: 50,
+                    ..CostDelta::default()
+                },
+                exhausted,
+                recall,
+            );
+        }
+        let snapshot = registry.snapshot();
+        let text = to_json(&snapshot);
+        assert!(text.contains("budget_exhausted"), "{text}");
+        let parsed = from_json(&text).unwrap();
+        assert_eq!(parsed, snapshot);
+        assert_eq!(to_json(&parsed), text);
+
+        let prom = to_prometheus(&snapshot);
+        assert!(
+            prom.contains("vantage_budget_exhausted_total{index=\"vp\",op=\"knn\"} 2"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("vantage_estimated_recall_count{index=\"vp\",op=\"knn\"} 3"),
+            "{prom}"
+        );
+        // And budget-free scrapes carry no budget metrics at all.
+        assert!(!to_prometheus(&sample()).contains("vantage_estimated_recall"));
     }
 
     #[test]

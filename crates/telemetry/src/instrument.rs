@@ -14,7 +14,9 @@ use std::time::Instant;
 
 use vantage_core::parallel::Threads;
 use vantage_core::query::Neighbor;
-use vantage_core::{Counted, DistanceTotals, MetricIndex};
+use vantage_core::{
+    BudgetedKnn, BudgetedSearch, Counted, DistanceTotals, MetricIndex, SearchBudget,
+};
 
 use crate::registry::{CostDelta, IndexMetrics, OpKind};
 
@@ -172,6 +174,26 @@ impl<T, I: MetricIndex<T>> MetricIndex<T> for Instrumented<I> {
     }
 }
 
+// Budgeted queries record under `OpKind::Knn` like their exact
+// counterpart, with two extra signals the answer itself carries: whether
+// the budget ran out and the search's own recall estimate.
+impl<T, I: BudgetedSearch<T>> BudgetedSearch<T> for Instrumented<I> {
+    fn knn_budgeted(&self, query: &T, k: usize, budget: SearchBudget) -> BudgetedKnn {
+        let before = self.probe.totals();
+        let start = Instant::now();
+        let result = self.inner.knn_budgeted(query, k, budget);
+        let delta = self.probe.totals().since(&before);
+        self.metrics.record_budgeted(
+            OpKind::Knn,
+            start.elapsed(),
+            delta.into(),
+            result.exhausted,
+            result.estimated_recall,
+        );
+        result
+    }
+}
+
 // Batch operations are *inherent* methods, not a `BatchIndex` impl: the
 // blanket `impl<I: MetricIndex + Sync> BatchIndex for I` already covers
 // `Instrumented`, and inherent methods win method resolution, so
@@ -298,6 +320,26 @@ mod tests {
         assert_eq!(knn.ops, 1);
         assert_eq!(knn.distances.sum, 0);
         assert_eq!(knn.latency_ns.count, 1);
+    }
+
+    #[test]
+    fn budgeted_knn_records_recall_and_matches_inner() {
+        let registry = MetricsRegistry::new();
+        let (index, _) = instrumented(&registry, "scan");
+        let q = vec![4.5, 3.0];
+        let full = index.knn_budgeted(&q, 5, SearchBudget::UNLIMITED);
+        assert_eq!(full.neighbors, index.inner().knn(&q, 5));
+        let partial = index.knn_budgeted(&q, 5, SearchBudget::limited(8));
+        assert!(partial.exhausted);
+
+        let snap = registry.index("scan").snapshot();
+        let knn = snap.op(OpKind::Knn).unwrap();
+        assert_eq!(knn.ops, 2);
+        assert_eq!(knn.budget_exhausted, 1);
+        assert_eq!(knn.estimated_recall_bp.count, 2);
+        assert_eq!(knn.estimated_recall_bp.max, 10_000);
+        // The unlimited query evaluated all 32 points, the partial 8.
+        assert_eq!(knn.distances.sum, 40);
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use counter::ShardedCounter;
 pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use instrument::{CostProbe, Instrumented, NoProbe};
 pub use json::Json;
-pub use registry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind};
+pub use registry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind, RECALL_SCALE};
 pub use snapshot::{format_ns, GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};

@@ -19,7 +19,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
 
 use crate::counter::ShardedCounter;
-use crate::histogram::AtomicHistogram;
+use crate::histogram::{AtomicHistogram, HistogramSnapshot};
 use crate::snapshot::{GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};
 
 /// The kind of index operation a telemetry sample describes.
@@ -90,6 +90,11 @@ pub struct CostDelta {
 /// counter (mirrors `Counted`'s internal representation).
 const WORK_SCALE: f64 = 1_000_000.0;
 
+/// Fixed-point scale for recall estimates: a recall in `[0, 1]` is
+/// recorded in the histogram as basis points in `[0, 10000]`, the finest
+/// resolution the log-linear buckets can hold without loss of meaning.
+pub const RECALL_SCALE: f64 = 10_000.0;
+
 /// Live telemetry for one operation kind of one index.
 #[derive(Debug, Default)]
 pub struct OpMetrics {
@@ -98,6 +103,8 @@ pub struct OpMetrics {
     distances: AtomicHistogram,
     abandoned: ShardedCounter,
     abandoned_work_scaled: ShardedCounter,
+    budget_exhausted: ShardedCounter,
+    estimated_recall_bp: AtomicHistogram,
 }
 
 impl OpMetrics {
@@ -118,7 +125,24 @@ impl OpMetrics {
         }
     }
 
+    fn record_budget(&self, exhausted: bool, estimated_recall: f64) {
+        if exhausted {
+            self.budget_exhausted.incr();
+        }
+        self.estimated_recall_bp
+            .record((estimated_recall.clamp(0.0, 1.0) * RECALL_SCALE).round() as u64);
+    }
+
     fn snapshot(&self, kind: OpKind) -> OpSnapshot {
+        // An untouched recall histogram freezes to the canonical empty
+        // snapshot (`min` would otherwise read `u64::MAX`), matching
+        // what `from_json` reconstructs when the field is absent.
+        let estimated_recall_bp = self.estimated_recall_bp.snapshot();
+        let estimated_recall_bp = if estimated_recall_bp.count == 0 {
+            HistogramSnapshot::default()
+        } else {
+            estimated_recall_bp
+        };
         OpSnapshot {
             kind,
             ops: self.ops.get(),
@@ -126,6 +150,8 @@ impl OpMetrics {
             distances: self.distances.snapshot(),
             abandoned: self.abandoned.get(),
             abandoned_work: self.abandoned_work_scaled.get() as f64 / WORK_SCALE,
+            budget_exhausted: self.budget_exhausted.get(),
+            estimated_recall_bp,
         }
     }
 }
@@ -162,6 +188,23 @@ impl IndexMetrics {
     /// distance-computation cost delta. Lock-free.
     pub fn record(&self, kind: OpKind, latency: Duration, cost: CostDelta) {
         self.ops[kind as usize].record(latency, cost);
+    }
+
+    /// Records one completed *budgeted* operation: everything
+    /// [`record`](IndexMetrics::record) captures, plus whether the search
+    /// budget ran out and the search's own recall estimate (recorded as
+    /// basis points, see [`RECALL_SCALE`]). Lock-free.
+    pub fn record_budgeted(
+        &self,
+        kind: OpKind,
+        latency: Duration,
+        cost: CostDelta,
+        exhausted: bool,
+        estimated_recall: f64,
+    ) {
+        let op = &self.ops[kind as usize];
+        op.record(latency, cost);
+        op.record_budget(exhausted, estimated_recall);
     }
 
     /// Freezes this index's counters into a snapshot.
@@ -389,6 +432,47 @@ mod tests {
         assert_eq!(load.ops, 1);
         assert_eq!(load.distances.sum, 4_096);
         assert_eq!(OpKind::parse("snapshot_load"), Some(OpKind::SnapshotLoad));
+    }
+
+    #[test]
+    fn budgeted_records_exhaustion_and_recall_basis_points() {
+        let registry = MetricsRegistry::new();
+        let metrics = registry.index("vp");
+        metrics.record_budgeted(
+            OpKind::Knn,
+            Duration::from_micros(90),
+            CostDelta {
+                computations: 64,
+                ..CostDelta::default()
+            },
+            true,
+            0.85,
+        );
+        metrics.record_budgeted(
+            OpKind::Knn,
+            Duration::from_micros(120),
+            CostDelta {
+                computations: 128,
+                ..CostDelta::default()
+            },
+            false,
+            1.0,
+        );
+        let snap = registry.snapshot();
+        let knn = snap.indexes[0].op(OpKind::Knn).unwrap();
+        assert_eq!(knn.ops, 2);
+        assert_eq!(knn.budget_exhausted, 1);
+        assert_eq!(knn.estimated_recall_bp.count, 2);
+        assert_eq!(knn.estimated_recall_bp.sum, 8_500 + 10_000);
+        // Plain records leave the budget telemetry untouched.
+        metrics.record(OpKind::Knn, Duration::from_micros(70), CostDelta::default());
+        let knn = registry.snapshot().indexes[0]
+            .op(OpKind::Knn)
+            .unwrap()
+            .clone();
+        assert_eq!(knn.ops, 3);
+        assert_eq!(knn.budget_exhausted, 1);
+        assert_eq!(knn.estimated_recall_bp.count, 2);
     }
 
     #[test]

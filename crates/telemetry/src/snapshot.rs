@@ -28,6 +28,15 @@ pub struct OpSnapshot {
     /// Estimated arithmetic done by the abandoned evaluations, in units
     /// of one full evaluation.
     pub abandoned_work: f64,
+    /// Budgeted operations whose search budget ran out before the
+    /// traversal finished. Zero for indexes that never run budgeted
+    /// queries.
+    pub budget_exhausted: u64,
+    /// Self-reported recall estimates of budgeted operations, in basis
+    /// points (`0..=10000`; see
+    /// [`RECALL_SCALE`](crate::registry::RECALL_SCALE)). Empty for
+    /// indexes that never run budgeted queries.
+    pub estimated_recall_bp: HistogramSnapshot,
 }
 
 impl OpSnapshot {
@@ -40,6 +49,8 @@ impl OpSnapshot {
             distances: HistogramSnapshot::default(),
             abandoned: 0,
             abandoned_work: 0.0,
+            budget_exhausted: 0,
+            estimated_recall_bp: HistogramSnapshot::default(),
         }
     }
 
@@ -55,6 +66,8 @@ impl OpSnapshot {
         self.distances.merge(&other.distances);
         self.abandoned += other.abandoned;
         self.abandoned_work += other.abandoned_work;
+        self.budget_exhausted += other.budget_exhausted;
+        self.estimated_recall_bp.merge(&other.estimated_recall_bp);
     }
 }
 

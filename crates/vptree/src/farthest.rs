@@ -48,7 +48,7 @@ impl<T, M: Metric<T>> VpTree<T, M> {
         }
     }
 
-    fn kfn_node(&self, node: NodeId, query: &T, collector: &mut KfnCollector) {
+    pub(crate) fn kfn_node(&self, node: NodeId, query: &T, collector: &mut KfnCollector) {
         match self.node(node) {
             Node::Leaf { items } => {
                 for &id in items {
@@ -83,7 +83,10 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                     .collect();
                 order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
                 for (upper, child) in order {
-                    if upper <= collector.radius() {
+                    // Tie-inclusive: a child whose upper bound *equals*
+                    // the threshold may hold an equidistant point with a
+                    // smaller id, which canonical tie-breaking must see.
+                    if upper < collector.radius() {
                         break;
                     }
                     self.kfn_node(child, query, collector);

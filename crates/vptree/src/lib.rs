@@ -36,10 +36,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod budget;
 mod build;
 mod farthest;
 mod node;
 mod search;
+mod shard;
 mod stats;
 mod tree;
 mod validate;

@@ -115,6 +115,20 @@ impl<T, M: BoundedMetric<T>> VpTree<T, M> {
     /// prunes with the shell bound that kept them queued.
     pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KnnCollector::new(k);
+        self.knn_into(&mut collector, query, sink);
+        collector.into_sorted()
+    }
+
+    /// Runs the best-first kNN traversal into a caller-provided
+    /// collector — the shared kernel behind [`knn_traced`](VpTree::knn_traced)
+    /// and the sharded scatter path (which passes a collector wired to a
+    /// cross-shard bound).
+    pub(crate) fn knn_into<S: TraceSink>(
+        &self,
+        collector: &mut KnnCollector,
+        query: &T,
+        sink: &mut S,
+    ) {
         // The heap carries each subtree's depth alongside its bound; the
         // ordering is unchanged (NodeIds are unique, so the depth field
         // never participates in a comparison).
@@ -184,7 +198,6 @@ impl<T, M: BoundedMetric<T>> VpTree<T, M> {
                 }
             }
         }
-        collector.into_sorted()
     }
 }
 

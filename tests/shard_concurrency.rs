@@ -1,0 +1,206 @@
+//! Concurrency stress for sharded scatter-gather search: the shared
+//! pruning bounds must be monotone under contention, and a
+//! [`ShardedIndex`] hammered by many client threads (each query itself
+//! scattering across shard threads) must return exactly the answers a
+//! single-threaded run produces.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use vantage::prelude::*;
+
+/// Deterministic pseudo-random f64 in [0, scale) — no external RNG.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn lcg_f64(state: &mut u64, scale: f64) -> f64 {
+    lcg(state) as f64 / (1u64 << 31) as f64 * scale
+}
+
+#[test]
+fn shared_upper_bound_only_tightens_under_contention() {
+    let bound = Arc::new(SharedUpperBound::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // A reader samples the bound continuously: every observed value
+        // must be <= the previous one (the bound never relaxes).
+        let reader = {
+            let bound = Arc::clone(&bound);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut last = f64::INFINITY;
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = bound.get();
+                    assert!(v <= last, "bound relaxed from {last} to {v}");
+                    last = v;
+                    samples += 1;
+                }
+                samples
+            })
+        };
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let bound = Arc::clone(&bound);
+                scope.spawn(move || {
+                    let mut state = 0x9e3779b97f4a7c15u64 ^ (t as u64);
+                    for _ in 0..20_000 {
+                        let candidate = lcg_f64(&mut state, 1000.0);
+                        let before = bound.get();
+                        let changed = bound.tighten(candidate);
+                        // tighten returns true only for strict improvements.
+                        if changed {
+                            assert!(candidate < before);
+                        }
+                        assert!(bound.get() <= before);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0);
+    });
+    // 4 writers × 20k draws from the same range: the floor is tiny.
+    assert!(bound.get() < 1.0, "final bound {}", bound.get());
+}
+
+#[test]
+fn shared_lower_bound_only_rises_under_contention() {
+    let bound = Arc::new(SharedLowerBound::new());
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let bound = Arc::clone(&bound);
+                scope.spawn(move || {
+                    let mut state = 0xdeadbeefcafef00du64 ^ (t as u64);
+                    let mut last = f64::NEG_INFINITY;
+                    for _ in 0..20_000 {
+                        let candidate = lcg_f64(&mut state, 1000.0);
+                        bound.tighten(candidate);
+                        let v = bound.get();
+                        assert!(v >= last, "bound fell from {last} to {v}");
+                        assert!(v >= candidate, "bound {v} below published {candidate}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+    });
+    assert!(bound.get() > 999.0, "final bound {}", bound.get());
+}
+
+#[test]
+fn concurrent_queries_match_single_threaded_answers() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 12;
+
+    // A dataset with plenty of exact ties so canonical tie-breaking is
+    // actually load-bearing under every interleaving.
+    let points: Vec<Vec<f64>> = (0..400)
+        .map(|i| vec![(i % 13) as f64 * 0.25, (i % 7) as f64 * 0.5, (i % 5) as f64])
+        .collect();
+    let index = Arc::new(
+        ShardedIndex::build(points.clone(), 4, Threads::Fixed(4), |s, part| {
+            VpTree::build(part, Euclidean, VpTreeParams::binary().seed(s as u64))
+        })
+        .unwrap(),
+    );
+
+    let queries: Vec<Vec<f64>> = (0..24)
+        .map(|i| {
+            let mut state = 0x1234_5678u64 ^ (i as u64) << 7;
+            vec![
+                lcg_f64(&mut state, 3.5),
+                lcg_f64(&mut state, 3.5),
+                lcg_f64(&mut state, 4.5),
+            ]
+        })
+        .collect();
+
+    // Single-threaded ground truth, computed before any contention.
+    let expected: Vec<(Vec<Neighbor>, Vec<Neighbor>, Vec<Neighbor>)> = queries
+        .iter()
+        .map(|q| {
+            (
+                index.knn(q, 9),
+                index.range(q, 1.25),
+                index.k_farthest(q, 6),
+            )
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let index = Arc::clone(&index);
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    // Each client walks the workload from a different
+                    // offset so distinct queries contend at any instant.
+                    for round in 0..ROUNDS {
+                        for j in 0..queries.len() {
+                            let i = (j + c * 5 + round) % queries.len();
+                            let q = &queries[i];
+                            let (knn, range, kfn) = &expected[i];
+                            assert_eq!(&index.knn(q, 9), knn, "client {c} query {i}");
+                            assert_eq!(&index.range(q, 1.25), range, "client {c} query {i}");
+                            assert_eq!(&index.k_farthest(q, 6), kfn, "client {c} query {i}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn concurrent_budgeted_queries_are_deterministic() {
+    // Budgeted sharded search shares no cross-shard bound, so even under
+    // heavy thread contention every client sees the same best-effort
+    // answer (and the same spend) for the same query.
+    let points: Vec<Vec<f64>> = (0..300)
+        .map(|i| vec![(i % 17) as f64, (i % 11) as f64])
+        .collect();
+    let index = Arc::new(
+        ShardedIndex::build(points, 3, Threads::Fixed(3), |s, part| {
+            MvpTree::build(part, Euclidean, MvpParams::paper(2, 5, 2).seed(s as u64))
+        })
+        .unwrap(),
+    );
+    let q = vec![4.2, 5.1];
+    // 4 distance computations per 100-point shard: guaranteed to run dry.
+    let expected = index.knn_budgeted(&q, 8, SearchBudget::limited(12));
+    assert!(expected.exhausted);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let index = Arc::clone(&index);
+                let q = &q;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let got = index.knn_budgeted(q, 8, SearchBudget::limited(12));
+                        assert_eq!(&got, expected);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+}

@@ -1,0 +1,343 @@
+//! Adversarial differential sweep for [`ShardedIndex`]: every shard type
+//! (linear scan, vp-tree, mvp-tree) × every metric family (three
+//! Minkowski vector metrics plus edit distance on strings) × shard
+//! counts S ∈ {1, 2, 3, 7} × degenerate datasets (empty, singleton,
+//! all-identical, tie-heavy), checked bit-for-bit against the unsharded
+//! [`LinearScan`] oracle under both sequential and threaded scatter.
+
+use vantage::prelude::*;
+
+/// A shard type that supports every sharded query form.
+trait FullIndex<T>: MetricIndex<T> + FarthestIndex<T> {}
+impl<T, I: MetricIndex<T> + FarthestIndex<T>> FullIndex<T> for I {}
+
+/// How closely a variant must match the [`LinearScan`] oracle.
+///
+/// Linear shards are `Exact`: every distance is computed by the same
+/// accumulation as the oracle's, so the scatter-gather merge must
+/// reproduce the oracle bit-for-bit, canonical tie ids included. Tree
+/// shards are `Distances` on inexact-arithmetic data: a pruning bound
+/// like `d(q, v) + hi` can round a hair below a tied point's true
+/// distance (e.g. at coordinate magnitude 1e6), making the *unsharded*
+/// tree resolve a tie differently from the scan — so, matching the
+/// repo's adversarial suite, trees are held to the exact distance
+/// multiset, and canonical tie ids are pinned separately on
+/// exact-arithmetic data (`knn_ties_at_shard_boundaries_pick_canonical_ids`).
+#[derive(Clone, Copy, PartialEq)]
+enum Match {
+    Exact,
+    Distances,
+}
+
+type Sharded<T> = Box<dyn FullIndex<T>>;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Every shard type over the same round-robin partition.
+fn sharded_variants<M>(
+    points: &[Vec<f64>],
+    metric: M,
+    shards: usize,
+    threads: Threads,
+) -> Vec<(&'static str, Match, Sharded<Vec<f64>>)>
+where
+    M: BoundedMetric<Vec<f64>> + Clone + Send + Sync + 'static,
+{
+    vec![
+        (
+            "linear shards",
+            Match::Exact,
+            Box::new(
+                ShardedIndex::build(points.to_vec(), shards, threads, |_, part| {
+                    Ok(LinearScan::new(part, metric.clone()))
+                })
+                .unwrap(),
+            ),
+        ),
+        (
+            "vpt shards",
+            Match::Distances,
+            Box::new(
+                ShardedIndex::build(points.to_vec(), shards, threads, |s, part| {
+                    VpTree::build(
+                        part,
+                        metric.clone(),
+                        VpTreeParams::binary().seed(7 + s as u64),
+                    )
+                })
+                .unwrap(),
+            ),
+        ),
+        (
+            "mvpt shards",
+            Match::Distances,
+            Box::new(
+                ShardedIndex::build(points.to_vec(), shards, threads, |s, part| {
+                    MvpTree::build(
+                        part,
+                        metric.clone(),
+                        MvpParams::paper(2, 5, 2).seed(11 + s as u64),
+                    )
+                })
+                .unwrap(),
+            ),
+        ),
+    ]
+}
+
+fn sorted_distances(v: &[Neighbor]) -> Vec<f64> {
+    let mut d: Vec<f64> = v.iter().map(|n| n.distance).collect();
+    d.sort_unstable_by(f64::total_cmp);
+    d
+}
+
+/// The adversarial dataset zoo. "tie grid" repeats each coordinate value
+/// every 5 ids, so under round-robin partitioning equal-distance answers
+/// straddle shard boundaries for every S in [`SHARD_COUNTS`] — the merge
+/// must still pick the canonical (smaller-id) winners.
+fn datasets() -> Vec<(&'static str, Vec<Vec<f64>>)> {
+    let mut duplicates = Vec::new();
+    for _rep in 0..5 {
+        for i in 0..10 {
+            duplicates.push(vec![f64::from(i) * 0.7, f64::from((i * 3) % 7)]);
+        }
+    }
+    vec![
+        ("empty", Vec::new()),
+        ("single point", vec![vec![0.3, 0.7]]),
+        ("all identical", vec![vec![0.5, 0.5]; 37]),
+        ("duplicates", duplicates),
+        (
+            "tie grid",
+            (0..41)
+                .map(|i| vec![(i % 5) as f64, (i % 3) as f64])
+                .collect(),
+        ),
+    ]
+}
+
+fn queries() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.5, 0.5],
+        vec![0.3, 0.7],
+        vec![2.0, 1.0],  // lands on several tie-grid points exactly
+        vec![1e6, -1e6], // far outside every dataset
+        vec![0.0, 0.0],
+    ]
+}
+
+/// Radii per dataset under the worst-case (L1) diameter: zero (boundary
+/// inclusion at exactly-computed member distances), a mid-scale value
+/// that splits every dataset without landing *exactly* on an
+/// inexactly-computed distance (a tree path filter can round such a
+/// boundary out; see [`Match`]), and radii past everything.
+fn radii(points: &[Vec<f64>]) -> Vec<f64> {
+    let mut diameter = 0.0f64;
+    for a in points {
+        for b in points {
+            let d: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            diameter = diameter.max(d);
+        }
+    }
+    vec![0.0, 1.45, diameter * 2.0 + 10.0, 1e7]
+}
+
+fn check_all_query_forms<T: Clone>(
+    context: &str,
+    oracle: &LinearScan<T, impl BoundedMetric<T>>,
+    index: &dyn FullIndex<T>,
+    strictness: Match,
+    queries: &[T],
+    radii: &[f64],
+    n: usize,
+) {
+    for (qi, q) in queries.iter().enumerate() {
+        for &r in radii {
+            // Range predicates have no ties to resolve (membership is a
+            // per-point comparison of identically-computed distances), so
+            // they are held to exact equality for every variant.
+            assert_eq!(
+                index.range(q, r),
+                oracle.range(q, r),
+                "{context}: range q#{qi} r={r}"
+            );
+            assert_eq!(
+                index.range_beyond(q, r),
+                oracle.range_beyond(q, r),
+                "{context}: range_beyond q#{qi} r={r}"
+            );
+        }
+        for k in [0, 1, n.saturating_sub(1), n, n + 5] {
+            let (knn, kfn) = (index.knn(q, k), index.k_farthest(q, k));
+            let (want_knn, want_kfn) = (oracle.knn(q, k), oracle.k_farthest(q, k));
+            match strictness {
+                Match::Exact => {
+                    assert_eq!(knn, want_knn, "{context}: knn q#{qi} k={k}");
+                    assert_eq!(kfn, want_kfn, "{context}: k_farthest q#{qi} k={k}");
+                }
+                Match::Distances => {
+                    assert_eq!(
+                        sorted_distances(&knn),
+                        sorted_distances(&want_knn),
+                        "{context}: knn distances q#{qi} k={k}"
+                    );
+                    assert_eq!(
+                        sorted_distances(&kfn),
+                        sorted_distances(&want_kfn),
+                        "{context}: k_farthest distances q#{qi} k={k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn sweep_vector_metric<M>(metric: M, metric_name: &str)
+where
+    M: BoundedMetric<Vec<f64>> + Clone + Send + Sync + 'static,
+{
+    for (dataset_name, points) in datasets() {
+        let oracle = LinearScan::new(points.clone(), metric.clone());
+        let qs = queries();
+        let rs = radii(&points);
+        for shards in SHARD_COUNTS {
+            for threads in [Threads::SEQUENTIAL, Threads::Fixed(4)] {
+                for (shard_type, strictness, index) in
+                    sharded_variants(&points, metric.clone(), shards, threads)
+                {
+                    let context = format!(
+                        "{metric_name} '{dataset_name}' {shard_type} S={shards} {threads:?}"
+                    );
+                    check_all_query_forms(
+                        &context,
+                        &oracle,
+                        &*index,
+                        strictness,
+                        &qs,
+                        &rs,
+                        points.len(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_answers_are_bit_identical_under_euclidean() {
+    sweep_vector_metric(Euclidean, "l2");
+}
+
+#[test]
+fn sharded_answers_are_bit_identical_under_manhattan() {
+    sweep_vector_metric(Manhattan, "l1");
+}
+
+#[test]
+fn sharded_answers_are_bit_identical_under_chebyshev() {
+    sweep_vector_metric(Chebyshev, "linf");
+}
+
+#[test]
+fn sharded_answers_are_bit_identical_on_strings() {
+    let datasets: Vec<(&str, Vec<String>)> = vec![
+        ("empty", Vec::new()),
+        ("single word", vec!["word".to_string()]),
+        ("all identical", vec!["same".to_string(); 23]),
+        (
+            "duplicates",
+            [
+                "abc", "abd", "xyz", "abc", "xyz", "abc", "", "a", "abc", "ab", "abcd",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ),
+    ];
+    for (dataset_name, words) in datasets {
+        let oracle = LinearScan::new(words.clone(), Levenshtein);
+        let qs: Vec<String> = ["abc", "same", "", "completely-unrelated"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rs = [0.0, 1.0, 64.0];
+        for shards in SHARD_COUNTS {
+            for threads in [Threads::SEQUENTIAL, Threads::Fixed(4)] {
+                let variants: Vec<(&'static str, Sharded<String>)> = vec![
+                    (
+                        "linear shards",
+                        Box::new(
+                            ShardedIndex::build(words.clone(), shards, threads, |_, part| {
+                                Ok(LinearScan::new(part, Levenshtein))
+                            })
+                            .unwrap(),
+                        ),
+                    ),
+                    (
+                        "vpt shards",
+                        Box::new(
+                            ShardedIndex::build(words.clone(), shards, threads, |s, part| {
+                                VpTree::build(
+                                    part,
+                                    Levenshtein,
+                                    VpTreeParams::binary().seed(1 + s as u64),
+                                )
+                            })
+                            .unwrap(),
+                        ),
+                    ),
+                    (
+                        "mvpt shards",
+                        Box::new(
+                            ShardedIndex::build(words.clone(), shards, threads, |s, part| {
+                                MvpTree::build(
+                                    part,
+                                    Levenshtein,
+                                    MvpParams::paper(2, 4, 2).seed(2 + s as u64),
+                                )
+                            })
+                            .unwrap(),
+                        ),
+                    ),
+                ];
+                for (shard_type, index) in variants {
+                    // Edit distance is integer-valued: every bound is
+                    // exact, so trees are held to full bit-identity too.
+                    let context =
+                        format!("edit '{dataset_name}' {shard_type} S={shards} {threads:?}");
+                    check_all_query_forms(
+                        &context,
+                        &oracle,
+                        &*index,
+                        Match::Exact,
+                        &qs,
+                        &rs,
+                        words.len(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_ties_at_shard_boundaries_pick_canonical_ids() {
+    // 30 identical points over 7 shards: the true 5-NN are ids 0..5 by
+    // canonical tie-breaking, and those ids live in *different* shards —
+    // the merge itself must re-establish the canonical order.
+    let points = vec![vec![1.0, 2.0]; 30];
+    let oracle = LinearScan::new(points.clone(), Euclidean);
+    for shards in SHARD_COUNTS {
+        let idx = ShardedIndex::build(points.clone(), shards, Threads::Fixed(4), |s, part| {
+            VpTree::build(part, Euclidean, VpTreeParams::binary().seed(s as u64))
+        })
+        .unwrap();
+        let got = idx.knn(&vec![1.0, 2.0], 5);
+        assert_eq!(got, oracle.knn(&vec![1.0, 2.0], 5), "S={shards}");
+        let ids: Vec<usize> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "S={shards}");
+        let far = idx.k_farthest(&vec![0.0, 0.0], 4);
+        let far_ids: Vec<usize> = far.iter().map(|n| n.id).collect();
+        assert_eq!(far_ids, vec![0, 1, 2, 3], "S={shards}");
+    }
+}
