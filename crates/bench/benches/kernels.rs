@@ -12,6 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use vantage_core::prelude::*;
+use vantage_core::simd;
 use vantage_datasets::{synthetic_mri_images, uniform_vectors, MriConfig};
 use vantage_mvptree::{MvpParams, MvpTree};
 use vantage_vptree::{VpTree, VpTreeParams};
@@ -77,6 +78,33 @@ fn image_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Portable vs. AVX2 dispatch, side by side on the same inputs: each
+/// supported [`simd::SimdPath`] gets its own group so the before/after
+/// columns in `BENCH_kernels.json` come from one run on one machine.
+/// (`kernel/*` above measures whatever path `simd::active()` picked.)
+fn dispatch_paths(c: &mut Criterion) {
+    type Kernel = fn(simd::SimdPath, &[f64], &[f64], f64) -> (Option<f64>, f64);
+    let kernels: [(&str, Kernel); 3] = [
+        ("l1", simd::l1::<false>),
+        ("l2", simd::l2::<false>),
+        ("linf", simd::linf::<false>),
+    ];
+    for path in simd::test_paths() {
+        let mut group = c.benchmark_group(format!("dispatch/{path}"));
+        for dim in [4096usize, 65_536] {
+            let v = uniform_vectors(2, dim, 7);
+            let (a, b) = (&v[0], &v[1]);
+            for (label, kernel) in kernels {
+                group.bench_function(BenchmarkId::new(label, dim), |bench| {
+                    bench
+                        .iter(|| black_box(kernel(path, black_box(a), black_box(b), f64::INFINITY)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
 /// End-to-end wall-clock of the query paths whose leaf verification now
 /// runs through the bounded kernel.
 fn end_to_end(c: &mut Criterion) {
@@ -122,5 +150,11 @@ fn end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, vector_kernels, image_kernels, end_to_end);
+criterion_group!(
+    benches,
+    vector_kernels,
+    image_kernels,
+    dispatch_paths,
+    end_to_end
+);
 criterion_main!(benches);

@@ -240,6 +240,54 @@ fn shard_metrics(metrics: &mut BTreeMap<String, f64>) {
     }
 }
 
+/// Distance-kernel wall-clock at the paper's hot dimensionalities: the
+/// full L1/L2/L∞ kernels plus the bounded-near variant (bound just above
+/// the true distance, so it completes and pays the full checkpoint
+/// overhead). `*_ns` medians are calibration-rescaled and gated loose;
+/// `near_ratio` (bounded_near/full, in percent) is a same-machine,
+/// same-run quotient, so it gates strict — that is the satellite
+/// guarantee that a completed bounded evaluation stays within ~1.1× of
+/// the plain kernel.
+fn kernel_metrics(metrics: &mut BTreeMap<String, f64>) {
+    const KERNEL_REPS: usize = 64;
+    // Sub-microsecond kernels need several calls per timed sample, or the
+    // timer quantum dominates and the near/full quotient gets noisy.
+    fn median_ns(inner: usize, mut run: impl FnMut() -> f64) -> f64 {
+        let mut samples = Vec::with_capacity(KERNEL_REPS);
+        for _ in 0..KERNEL_REPS {
+            let start = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(run());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / inner as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+    let kernels: [(&str, &dyn BoundedMetric<Vec<f64>>); 3] =
+        [("l1", &Manhattan), ("l2", &Euclidean), ("linf", &Chebyshev)];
+    for dim in [4096usize, 65_536] {
+        let inner = (65_536 / dim).clamp(1, 16);
+        let v = vantage_datasets::uniform_vectors(2, dim, 7);
+        let (a, b) = (&v[0], &v[1]);
+        for (label, metric) in kernels {
+            let d = metric.distance(a, b);
+            let full = median_ns(inner, || metric.distance(std::hint::black_box(a), b));
+            let near = median_ns(inner, || {
+                metric
+                    .distance_within(std::hint::black_box(a), b, d * 1.01)
+                    .unwrap_or(f64::NAN)
+            });
+            metrics.insert(format!("kernel/{label}/full/{dim}_ns"), full);
+            metrics.insert(format!("kernel/{label}/bounded_near/{dim}_ns"), near);
+            metrics.insert(
+                format!("kernel/{label}/near_ratio/{dim}"),
+                (near / full * 100.0).round(),
+            );
+        }
+    }
+}
+
 /// Budgeted kNN measured recall (×10⁴) at half the mean exact-search
 /// cost. Seeded build, fixed queries, no threading: the value is fully
 /// deterministic, so it gates at the strict tolerance like the distance
@@ -328,6 +376,7 @@ fn main() {
     saturation_metrics(&mut fresh);
     shard_metrics(&mut fresh);
     budget_metrics(&mut fresh);
+    kernel_metrics(&mut fresh);
     fresh.insert("calibration_ns".to_string(), calibration_ns());
 
     if let Some(path) = &options.metrics_out {

@@ -1242,6 +1242,7 @@ fn cmd_explain(argv: &[String], out: &mut String) -> CliResult<()> {
         let _ = writeln!(out, "  id {:>6}  distance {:.6}", r.id, r.distance);
     }
     let _ = writeln!(out, "--- query profile ({structure}) ---");
+    let _ = writeln!(out, "simd path: {}", vantage_core::simd::active_name());
     format_profile(&profile, cost, n, out);
     if let Some(path) = args.get("metrics") {
         write_metrics_snapshot(&registry, path, out)?;
@@ -1319,6 +1320,7 @@ fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
         Ok(())
     }
 
+    let _ = writeln!(out, "simd path: {}", vantage_core::simd::active_name());
     if metric_name == "edit" {
         let words = read_words(data)?;
         report(&words, &Levenshtein, bin.max(1.0), threads, out)

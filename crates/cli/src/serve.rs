@@ -823,20 +823,22 @@ where
         Engine::Static(engine) => {
             let guard = engine.cell.read();
             format!(
-                "OK mode=static structure={} metric={} items={} shards={} generation={} swaps={}",
+                "OK mode=static structure={} metric={} items={} shards={} generation={} swaps={} simd={}",
                 guard.structure,
                 shared.metric_name,
                 guard.items,
                 engine.shards,
                 guard.generation(),
-                engine.cell.swaps()
+                engine.cell.swaps(),
+                vantage_core::simd::active_name()
             )
         }
         Engine::Dynamic(engine) => format!(
-            "OK mode=dynamic structure=mvp metric={} items={} generation={}",
+            "OK mode=dynamic structure=mvp metric={} items={} generation={} simd={}",
             shared.metric_name,
             engine.tree.len(),
-            engine.tree.generation()
+            engine.tree.generation(),
+            vantage_core::simd::active_name()
         ),
     }
 }

@@ -55,7 +55,10 @@
 //! assert_eq!(hits.len(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed in exactly one place: the
+// `std::arch` AVX2 backend in [`simd`], which is gated behind runtime
+// CPU-feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -72,6 +75,7 @@ pub mod parallel;
 pub mod query;
 pub mod select;
 pub mod shard;
+pub mod simd;
 pub mod stats;
 pub mod swap;
 pub mod trace;
@@ -89,6 +93,7 @@ pub use parallel::Threads;
 pub use query::Neighbor;
 pub use select::VantageSelector;
 pub use shard::{ShardSearch, ShardedIndex, SharedLowerBound, SharedUpperBound};
+pub use simd::SimdPath;
 pub use stats::DistanceHistogram;
 pub use swap::{Retired, SwapCell, SwapGuard};
 pub use trace::{
@@ -118,6 +123,7 @@ pub mod prelude {
     pub use crate::query::Neighbor;
     pub use crate::select::VantageSelector;
     pub use crate::shard::{ShardSearch, ShardedIndex, SharedLowerBound, SharedUpperBound};
+    pub use crate::simd::SimdPath;
     pub use crate::stats::DistanceHistogram;
     pub use crate::swap::{Retired, SwapCell, SwapGuard};
     pub use crate::trace::{

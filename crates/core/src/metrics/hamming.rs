@@ -12,7 +12,7 @@
 //! with a symbol outside the alphabet, hence still a metric.
 
 use crate::metric::{BoundedMetric, DiscreteMetric, Metric};
-use crate::metrics::kernels;
+use crate::simd;
 
 /// Hamming distance over byte sequences and strings (by `char`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,8 +25,8 @@ impl Hamming {
     #[inline]
     pub fn bytes(a: &[u8], b: &[u8]) -> u64 {
         // Mismatch counts are exact integers, so routing through the
-        // chunked kernel cannot change the result.
-        kernels::hamming_bytes_kernel::<false>(a, b, f64::INFINITY)
+        // dispatched kernel cannot change the result on any path.
+        simd::hamming_bytes::<false>(simd::active(), a, b, f64::INFINITY)
             .0
             .unwrap() as u64
     }
@@ -94,12 +94,12 @@ impl DiscreteMetric<[u8]> for Hamming {
 impl BoundedMetric<[u8]> for Hamming {
     #[inline]
     fn distance_within(&self, a: &[u8], b: &[u8], bound: f64) -> Option<f64> {
-        kernels::hamming_bytes_kernel::<true>(a, b, bound).0
+        simd::hamming_bytes::<true>(simd::active(), a, b, bound).0
     }
 
     #[inline]
     fn distance_within_frac(&self, a: &[u8], b: &[u8], bound: f64) -> (Option<f64>, f64) {
-        kernels::hamming_bytes_kernel::<true>(a, b, bound)
+        simd::hamming_bytes::<true>(simd::active(), a, b, bound)
     }
 }
 
@@ -120,12 +120,12 @@ impl DiscreteMetric<Vec<u8>> for Hamming {
 impl BoundedMetric<Vec<u8>> for Hamming {
     #[inline]
     fn distance_within(&self, a: &Vec<u8>, b: &Vec<u8>, bound: f64) -> Option<f64> {
-        kernels::hamming_bytes_kernel::<true>(a, b, bound).0
+        simd::hamming_bytes::<true>(simd::active(), a, b, bound).0
     }
 
     #[inline]
     fn distance_within_frac(&self, a: &Vec<u8>, b: &Vec<u8>, bound: f64) -> (Option<f64>, f64) {
-        kernels::hamming_bytes_kernel::<true>(a, b, bound)
+        simd::hamming_bytes::<true>(simd::active(), a, b, bound)
     }
 }
 

@@ -14,7 +14,7 @@
 
 use crate::metric::{BoundedMetric, Metric};
 use crate::metrics::image::GrayImage;
-use crate::metrics::kernels;
+use crate::simd;
 
 /// A 256-bin intensity histogram.
 pub type GrayHistogram = [u32; 256];
@@ -67,8 +67,7 @@ impl Default for HistogramL1 {
 impl Metric<GrayHistogram> for HistogramL1 {
     #[inline]
     fn distance(&self, a: &GrayHistogram, b: &GrayHistogram) -> f64 {
-        let norm = self.norm;
-        kernels::u32_l1_kernel::<false>(a, b, |sum| sum as f64 / norm, f64::INFINITY)
+        simd::u32_l1::<false>(simd::active(), a, b, self.norm, f64::INFINITY)
             .0
             .unwrap()
     }
@@ -77,8 +76,7 @@ impl Metric<GrayHistogram> for HistogramL1 {
 impl BoundedMetric<GrayHistogram> for HistogramL1 {
     #[inline]
     fn distance_within(&self, a: &GrayHistogram, b: &GrayHistogram, bound: f64) -> Option<f64> {
-        let norm = self.norm;
-        kernels::u32_l1_kernel::<true>(a, b, |sum| sum as f64 / norm, bound).0
+        simd::u32_l1::<true>(simd::active(), a, b, self.norm, bound).0
     }
 
     #[inline]
@@ -88,8 +86,7 @@ impl BoundedMetric<GrayHistogram> for HistogramL1 {
         b: &GrayHistogram,
         bound: f64,
     ) -> (Option<f64>, f64) {
-        let norm = self.norm;
-        kernels::u32_l1_kernel::<true>(a, b, |sum| sum as f64 / norm, bound)
+        simd::u32_l1::<true>(simd::active(), a, b, self.norm, bound)
     }
 }
 

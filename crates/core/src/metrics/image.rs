@@ -10,7 +10,7 @@
 //! the normalization division, and fast: the inner loops auto-vectorize).
 
 use crate::metric::{BoundedMetric, Metric};
-use crate::metrics::kernels;
+use crate::simd;
 
 /// An 8-bit single-channel (gray-level) raster image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,14 +169,7 @@ impl ImageL1 {
         bound: f64,
     ) -> (Option<f64>, f64) {
         check_same_shape(a, b);
-        let norm = self.norm;
-        kernels::byte_sum_kernel::<BOUNDED>(
-            &a.pixels,
-            &b.pixels,
-            |x, y| u32::from(x.abs_diff(y)),
-            |sum| sum as f64 / norm,
-            bound,
-        )
+        simd::byte_l1::<BOUNDED>(simd::active(), &a.pixels, &b.pixels, self.norm, bound)
     }
 }
 
@@ -254,17 +247,7 @@ impl ImageL2 {
         bound: f64,
     ) -> (Option<f64>, f64) {
         check_same_shape(a, b);
-        let norm = self.norm;
-        kernels::byte_sum_kernel::<BOUNDED>(
-            &a.pixels,
-            &b.pixels,
-            |x, y| {
-                let d = u32::from(x.abs_diff(y));
-                d * d
-            },
-            |sum| (sum as f64).sqrt() / norm,
-            bound,
-        )
+        simd::byte_l2::<BOUNDED>(simd::active(), &a.pixels, &b.pixels, self.norm, bound)
     }
 }
 

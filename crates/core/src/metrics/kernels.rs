@@ -2,18 +2,35 @@
 //!
 //! Every `L_p`-style metric in this workspace is a monotone reduction
 //! over per-dimension terms. This module provides that reduction once,
-//! in a shape that serves two masters:
+//! in a shape that serves three masters:
 //!
-//! * **Throughput.** The float kernels accumulate into eight independent
-//!   lanes (`chunks of 8`), which breaks the sequential dependency chain
-//!   of a naive `.sum::<f64>()` and lets the optimizer autovectorize the
-//!   inner loop; the byte kernels accumulate 64 pixels into a fresh
-//!   `u32` before folding into the `u64` total.
+//! * **Throughput.** The float kernels accumulate into sixteen
+//!   independent lanes (`chunks of 16`), which breaks the sequential
+//!   dependency chain of a naive `.sum::<f64>()` and lets the optimizer
+//!   autovectorize the inner loop; the byte kernels accumulate 64 pixels
+//!   into a fresh `u32` before folding into the `u64` total.
+//! * **A dispatchable contract.** The 16-lane layout is exactly four
+//!   256-bit AVX2 registers of f64. The explicit SIMD kernels in
+//!   [`crate::simd`] reproduce this module's lane assignment,
+//!   per-lane operation order and final reduction tree instruction for
+//!   instruction, so the portable kernels here double as the *reference
+//!   semantics*: a dispatched kernel must return bit-identical values.
 //! * **Early abandoning.** Each kernel is generic over a
-//!   `const BOUNDED: bool`. With `BOUNDED = true` it checks once per
-//!   chunk whether the partial reduction — pushed through the metric's
-//!   monotone `finish` transform — already exceeds the caller's bound,
-//!   and if so abandons, reporting the fraction of work performed.
+//!   `const BOUNDED: bool`. With `BOUNDED = true` it checks at a
+//!   geometric schedule of checkpoints whether the partial reduction —
+//!   pushed through the metric's monotone `finish` transform — already
+//!   exceeds the caller's bound, and if so abandons, reporting the
+//!   fraction of work performed.
+//!
+//! **Check cadence.** Bounded checkpoints fire when the element index
+//! crosses [`FIRST_CHECK`] (64), then at every doubling (128, 256, 512,
+//! …). Far-beyond-bound evaluations still abandon within the first 64
+//! elements, while near-bound evaluations that run to completion pay
+//! only `O(log n)` checks instead of one per chunk — which is what kept
+//! `bounded_near` calls up to 1.8× slower than `full` under the old
+//! per-chunk cadence. The schedule is part of the dispatch contract:
+//! every backend checks at the same element counts, so the reported
+//! work fractions agree across paths.
 //!
 //! Correctness of the abandon check rests on monotonicity end to end:
 //! every per-dimension term is non-negative, IEEE-754 addition and `max`
@@ -33,30 +50,56 @@
 //! distance — the contract of
 //! [`BoundedMetric`](crate::metric::BoundedMetric).
 
-/// Number of independent f64 accumulator lanes.
-const LANES: usize = 8;
+/// Number of independent f64 accumulator lanes (= four AVX2 registers).
+pub(crate) const LANES: usize = 16;
 
-/// Pixels per integer chunk. Checking the bound every 8 bytes would cost
-/// more than the cheap `u8` arithmetic it saves; 64 amortizes the check
-/// while keeping the worst-case overshoot small. 64 squared byte diffs
-/// (≤ 255²) also fit a `u32` partial with room to spare.
+/// Element count at which the first bounded checkpoint fires; subsequent
+/// checkpoints fire at every doubling (128, 256, 512, …). Shared by the
+/// portable and SIMD backends so abandon points and work fractions are
+/// identical on every dispatch path.
+pub(crate) const FIRST_CHECK: usize = 64;
+
+/// Pixels per integer chunk. 64 squared byte diffs (≤ 255²) fit a `u32`
+/// partial with room to spare, and the chunk keeps the `u8` inner loop
+/// autovectorizable.
 const BYTE_CHUNK: usize = 64;
 
-/// Fixed tree reduction of the eight lanes. The shape is part of the
-/// bit-identity contract: both the full and the bounded kernel fold the
-/// lanes exactly this way.
+/// Fixed tree reduction of the sixteen lanes. The shape is part of the
+/// bit-identity contract: the full kernel, the bounded kernel and every
+/// SIMD backend fold the lanes exactly this way (SIMD backends store
+/// their registers to an array and call this same function).
 #[inline(always)]
-fn reduce_sum(acc: &[f64; LANES]) -> f64 {
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+pub(crate) fn reduce_sum(acc: &[f64; LANES]) -> f64 {
+    let lo = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    let hi =
+        ((acc[8] + acc[9]) + (acc[10] + acc[11])) + ((acc[12] + acc[13]) + (acc[14] + acc[15]));
+    lo + hi
 }
 
-/// Tree reduction of the eight lanes by `max` (for `L_∞`).
+/// Tree reduction of the sixteen lanes by `max` (for `L_∞`).
 #[inline(always)]
-fn reduce_max(acc: &[f64; LANES]) -> f64 {
-    (acc[0].max(acc[1]).max(acc[2].max(acc[3]))).max(acc[4].max(acc[5]).max(acc[6].max(acc[7])))
+pub(crate) fn reduce_max(acc: &[f64; LANES]) -> f64 {
+    let lo = (acc[0].max(acc[1]).max(acc[2].max(acc[3])))
+        .max(acc[4].max(acc[5]).max(acc[6].max(acc[7])));
+    let hi = (acc[8].max(acc[9]).max(acc[10].max(acc[11])))
+        .max(acc[12].max(acc[13]).max(acc[14].max(acc[15])));
+    lo.max(hi)
 }
 
-/// 8-lane sum kernel over per-dimension terms.
+/// Shared completion epilogue: the `!(d <= bound)` polarity means a NaN
+/// bound admits nothing (the contract mirrors the caller's `d <= bound`
+/// test).
+#[inline(always)]
+pub(crate) fn complete<const BOUNDED: bool>(d: f64, bound: f64) -> (Option<f64>, f64) {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if BOUNDED && !(d <= bound) {
+        (None, 1.0)
+    } else {
+        (Some(d), 1.0)
+    }
+}
+
+/// 16-lane sum kernel over per-dimension terms.
 ///
 /// `term(i, a[i], b[i])` must be non-negative; `finish` must be monotone
 /// non-decreasing on `[0, ∞)`. Returns the finished distance (or `None`
@@ -70,32 +113,38 @@ pub(crate) fn sum_kernel<const BOUNDED: bool>(
     bound: f64,
 ) -> (Option<f64>, f64) {
     let n = a.len();
+    if n < LANES {
+        // Straight-line path below one chunk: no loop bookkeeping, no
+        // mid-computation checks. `0.0 + t == t` bitwise for the
+        // non-negative terms used here, so the value is unchanged.
+        let mut acc = [0.0f64; LANES];
+        for l in 0..n {
+            acc[l] = term(l, a[l], b[l]);
+        }
+        return complete::<BOUNDED>(finish(reduce_sum(&acc)), bound);
+    }
     let mut acc = [0.0f64; LANES];
     let mut i = 0usize;
+    let mut next_check = FIRST_CHECK;
     while i + LANES <= n {
         for l in 0..LANES {
             acc[l] += term(i + l, a[i + l], b[i + l]);
         }
         i += LANES;
-        if BOUNDED && finish(reduce_sum(&acc)) > bound {
-            return (None, i as f64 / n as f64);
+        if BOUNDED && i >= next_check {
+            next_check <<= 1;
+            if finish(reduce_sum(&acc)) > bound {
+                return (None, i as f64 / n as f64);
+            }
         }
     }
     for l in 0..n - i {
         acc[l] += term(i + l, a[i + l], b[i + l]);
     }
-    let d = finish(reduce_sum(&acc));
-    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
-    // nothing (the contract mirrors the caller's `d <= bound` test).
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    if BOUNDED && !(d <= bound) {
-        (None, 1.0)
-    } else {
-        (Some(d), 1.0)
-    }
+    complete::<BOUNDED>(finish(reduce_sum(&acc)), bound)
 }
 
-/// 8-lane max kernel over `|a[i] − b[i]|` (Chebyshev / `L_∞`).
+/// 16-lane max kernel over `|a[i] − b[i]|` (Chebyshev / `L_∞`).
 #[inline(always)]
 pub(crate) fn max_kernel<const BOUNDED: bool>(
     a: &[f64],
@@ -103,29 +152,32 @@ pub(crate) fn max_kernel<const BOUNDED: bool>(
     bound: f64,
 ) -> (Option<f64>, f64) {
     let n = a.len();
+    if n < LANES {
+        let mut acc = [0.0f64; LANES];
+        for l in 0..n {
+            acc[l] = (a[l] - b[l]).abs();
+        }
+        return complete::<BOUNDED>(reduce_max(&acc), bound);
+    }
     let mut acc = [0.0f64; LANES];
     let mut i = 0usize;
+    let mut next_check = FIRST_CHECK;
     while i + LANES <= n {
         for l in 0..LANES {
             acc[l] = acc[l].max((a[i + l] - b[i + l]).abs());
         }
         i += LANES;
-        if BOUNDED && reduce_max(&acc) > bound {
-            return (None, i as f64 / n as f64);
+        if BOUNDED && i >= next_check {
+            next_check <<= 1;
+            if reduce_max(&acc) > bound {
+                return (None, i as f64 / n as f64);
+            }
         }
     }
     for l in 0..n - i {
         acc[l] = acc[l].max((a[i + l] - b[i + l]).abs());
     }
-    let d = reduce_max(&acc);
-    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
-    // nothing (the contract mirrors the caller's `d <= bound` test).
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    if BOUNDED && !(d <= bound) {
-        (None, 1.0)
-    } else {
-        (Some(d), 1.0)
-    }
+    complete::<BOUNDED>(reduce_max(&acc), bound)
 }
 
 /// Chunked byte-difference kernel for the image metrics.
@@ -145,6 +197,7 @@ pub(crate) fn byte_sum_kernel<const BOUNDED: bool>(
     let n = a.len();
     let mut total = 0u64;
     let mut i = 0usize;
+    let mut next_check = FIRST_CHECK;
     while i + BYTE_CHUNK <= n {
         let mut part = 0u32;
         for j in i..i + BYTE_CHUNK {
@@ -152,22 +205,17 @@ pub(crate) fn byte_sum_kernel<const BOUNDED: bool>(
         }
         total += u64::from(part);
         i += BYTE_CHUNK;
-        if BOUNDED && finish(total) > bound {
-            return (None, i as f64 / n as f64);
+        if BOUNDED && i >= next_check {
+            next_check <<= 1;
+            if finish(total) > bound {
+                return (None, i as f64 / n as f64);
+            }
         }
     }
     for j in i..n {
         total += u64::from(term(a[j], b[j]));
     }
-    let d = finish(total);
-    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
-    // nothing (the contract mirrors the caller's `d <= bound` test).
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    if BOUNDED && !(d <= bound) {
-        (None, 1.0)
-    } else {
-        (Some(d), 1.0)
-    }
+    complete::<BOUNDED>(finish(total), bound)
 }
 
 /// Chunked `Σ |a[i] − b[i]|` kernel over `u32` histograms.
@@ -182,27 +230,23 @@ pub(crate) fn u32_l1_kernel<const BOUNDED: bool>(
     let n = a.len();
     let mut total = 0u64;
     let mut i = 0usize;
+    let mut next_check = FIRST_CHECK;
     while i + CHUNK <= n {
         for j in i..i + CHUNK {
             total += u64::from(a[j].abs_diff(b[j]));
         }
         i += CHUNK;
-        if BOUNDED && finish(total) > bound {
-            return (None, i as f64 / n as f64);
+        if BOUNDED && i >= next_check {
+            next_check <<= 1;
+            if finish(total) > bound {
+                return (None, i as f64 / n as f64);
+            }
         }
     }
     for j in i..n {
         total += u64::from(a[j].abs_diff(b[j]));
     }
-    let d = finish(total);
-    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
-    // nothing (the contract mirrors the caller's `d <= bound` test).
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    if BOUNDED && !(d <= bound) {
-        (None, 1.0)
-    } else {
-        (Some(d), 1.0)
-    }
+    complete::<BOUNDED>(finish(total), bound)
 }
 
 /// Chunked mismatch-count kernel for Hamming distance over byte strings.
@@ -221,6 +265,7 @@ pub(crate) fn hamming_bytes_kernel<const BOUNDED: bool>(
         return (None, 0.0);
     }
     let mut i = 0usize;
+    let mut next_check = FIRST_CHECK;
     while i + BYTE_CHUNK <= n {
         let mut part = 0u32;
         for j in i..i + BYTE_CHUNK {
@@ -228,22 +273,17 @@ pub(crate) fn hamming_bytes_kernel<const BOUNDED: bool>(
         }
         count += u64::from(part);
         i += BYTE_CHUNK;
-        if BOUNDED && count as f64 > bound {
-            return (None, i as f64 / n as f64);
+        if BOUNDED && i >= next_check {
+            next_check <<= 1;
+            if count as f64 > bound {
+                return (None, i as f64 / n as f64);
+            }
         }
     }
     for j in i..n {
         count += u64::from(a[j] != b[j]);
     }
-    let d = count as f64;
-    // `!(d <= bound)` rather than `d > bound`: a NaN bound admits
-    // nothing (the contract mirrors the caller's `d <= bound` test).
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    if BOUNDED && !(d <= bound) {
-        (None, 1.0)
-    } else {
-        (Some(d), 1.0)
-    }
+    complete::<BOUNDED>(count as f64, bound)
 }
 
 #[cfg(test)]
@@ -256,7 +296,7 @@ mod tests {
 
     #[test]
     fn full_and_bounded_agree_bitwise_on_completion() {
-        for n in [0, 1, 7, 8, 9, 16, 63, 64, 65, 1000] {
+        for n in [0, 1, 7, 15, 16, 17, 63, 64, 65, 1000] {
             let a = seq(n, |i| (i as f64 * 0.37).sin());
             let b = seq(n, |i| (i as f64 * 0.11).cos());
             let full = sum_kernel::<false>(&a, &b, |_, x, y| (x - y).abs(), |s| s, f64::INFINITY)
@@ -272,10 +312,26 @@ mod tests {
     fn abandon_reports_partial_fraction() {
         let a = seq(1024, |_| 0.0);
         let b = seq(1024, |_| 1.0);
-        // Distance is 1024; a bound of 4 is exceeded after the first chunk.
+        // Distance is 1024; a bound of 4 is exceeded at the first
+        // checkpoint (element 64), so 64/1024 of the work is reported.
         let (d, frac) = sum_kernel::<true>(&a, &b, |_, x, y| (x - y).abs(), |s| s, 4.0);
         assert_eq!(d, None);
-        assert!(frac > 0.0 && frac < 0.02, "{frac}");
+        assert_eq!(frac, FIRST_CHECK as f64 / 1024.0);
+    }
+
+    #[test]
+    fn checkpoints_double_after_the_first() {
+        // A bound crossed only once 3/4 of the sum is accumulated: the
+        // 64/128/256/512-element checkpoints pass, the 1024 one abandons.
+        let n = 1024;
+        let a = seq(n, |_| 0.0);
+        let b = seq(n, |_| 1.0);
+        let (d, frac) = sum_kernel::<true>(&a, &b, |_, x, y| (x - y).abs(), |s| s, 767.0);
+        assert_eq!(d, None);
+        assert_eq!(frac, 1.0, "final checkpoint coincides with completion");
+        let (d, frac) = sum_kernel::<true>(&a, &b, |_, x, y| (x - y).abs(), |s| s, 500.0);
+        assert_eq!(d, None);
+        assert_eq!(frac, 512.0 / 1024.0);
     }
 
     #[test]
@@ -323,7 +379,7 @@ mod tests {
         let (d, frac) =
             byte_sum_kernel::<true>(&a, &b, |x, y| u32::from(x.abs_diff(y)), |s| s as f64, 500.0);
         assert_eq!(d, None);
-        // Abandons at the first 64-pixel chunk boundary: 64/1000.
+        // Abandons at the first checkpoint: 64/1000.
         assert!(frac < 0.1, "{frac}");
     }
 

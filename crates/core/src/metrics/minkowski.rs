@@ -12,6 +12,7 @@
 
 use crate::metric::{BoundedMetric, Metric};
 use crate::metrics::kernels;
+use crate::simd;
 
 #[inline]
 fn check_dims(a: &[f64], b: &[f64]) {
@@ -71,15 +72,16 @@ impl Minkowski {
 }
 
 // Each metric routes both `distance` and `distance_within` through one
-// chunked kernel (see `metrics::kernels`): the `BOUNDED` flag only adds
-// per-chunk abandon checks, so a bounded call that completes returns a
-// value bit-identical to the plain distance.
+// runtime-dispatched kernel (see `crate::simd`): the `BOUNDED` flag only
+// adds geometric-cadence abandon checks, so a bounded call that
+// completes returns a value bit-identical to the plain distance — on
+// every dispatch path, by the scalar-identical contract.
 
 impl Manhattan {
     #[inline(always)]
     fn kernel<const BOUNDED: bool>(a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
         check_dims(a, b);
-        kernels::sum_kernel::<BOUNDED>(a, b, |_, x, y| (x - y).abs(), |s| s, bound)
+        simd::l1::<BOUNDED>(simd::active(), a, b, bound)
     }
 }
 
@@ -106,16 +108,7 @@ impl Euclidean {
     #[inline(always)]
     fn kernel<const BOUNDED: bool>(a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
         check_dims(a, b);
-        kernels::sum_kernel::<BOUNDED>(
-            a,
-            b,
-            |_, x, y| {
-                let d = x - y;
-                d * d
-            },
-            f64::sqrt,
-            bound,
-        )
+        simd::l2::<BOUNDED>(simd::active(), a, b, bound)
     }
 }
 
@@ -142,7 +135,9 @@ impl Metric<[f64]> for Chebyshev {
     #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         check_dims(a, b);
-        kernels::max_kernel::<false>(a, b, f64::INFINITY).0.unwrap()
+        simd::linf::<false>(simd::active(), a, b, f64::INFINITY)
+            .0
+            .unwrap()
     }
 }
 
@@ -150,13 +145,13 @@ impl BoundedMetric<[f64]> for Chebyshev {
     #[inline]
     fn distance_within(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
         check_dims(a, b);
-        kernels::max_kernel::<true>(a, b, bound).0
+        simd::linf::<true>(simd::active(), a, b, bound).0
     }
 
     #[inline]
     fn distance_within_frac(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
         check_dims(a, b);
-        kernels::max_kernel::<true>(a, b, bound)
+        simd::linf::<true>(simd::active(), a, b, bound)
     }
 }
 
@@ -164,6 +159,16 @@ impl Minkowski {
     #[inline(always)]
     fn kernel<const BOUNDED: bool>(&self, a: &[f64], b: &[f64], bound: f64) -> (Option<f64>, f64) {
         check_dims(a, b);
+        // p = 1 and p = 2 are exactly the L1/L2 kernels (|d|^1 = |d|,
+        // |d|² = d², and the finishes coincide), so they inherit the
+        // SIMD backend; general p stays on the portable kernel — `powf`
+        // has no identically-rounding vector form.
+        if self.p == 1.0 {
+            return simd::l1::<BOUNDED>(simd::active(), a, b, bound);
+        }
+        if self.p == 2.0 {
+            return simd::l2::<BOUNDED>(simd::active(), a, b, bound);
+        }
         let p = self.p;
         kernels::sum_kernel::<BOUNDED>(
             a,
@@ -316,9 +321,11 @@ mod tests {
         let (d, frac) = Euclidean.distance_within_frac(&a, &b, 1.0);
         assert_eq!(d, None);
         assert!(
-            frac < 0.01,
-            "abandon should happen in the first chunk: {frac}"
+            frac < 0.05,
+            "abandon should happen at the first checkpoint: {frac}"
         );
+        let first = kernels::FIRST_CHECK as f64 / 4096.0;
+        assert_eq!(frac, first, "checkpoint cadence moved");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::metric::{BoundedMetric, Metric};
 use crate::metrics::kernels;
+use crate::simd;
 use crate::{Result, VantageError};
 
 /// A weighted Lp metric over `Vec<f64>` / `[f64]` of a fixed
@@ -88,6 +89,16 @@ impl WeightedLp {
             a.len(),
             b.len()
         );
+        // p = 1 and p = 2 route to the dedicated (SIMD-dispatched)
+        // weighted kernels with terms `w·|d|` and `w·(d·d)`; general p
+        // stays on the portable kernel (`powf` has no identically
+        // rounding vector form).
+        if self.p == 1.0 {
+            return simd::weighted_l1::<BOUNDED>(simd::active(), &self.weights, a, b, bound);
+        }
+        if self.p == 2.0 {
+            return simd::weighted_l2::<BOUNDED>(simd::active(), &self.weights, a, b, bound);
+        }
         let p = self.p;
         let weights = &self.weights;
         kernels::sum_kernel::<BOUNDED>(

@@ -171,7 +171,12 @@ fn set_metric_honors_the_contract() {
 #[test]
 fn counted_wrapper_preserves_the_contract_and_charges_one_computation() {
     let counted = Counted::new(Euclidean);
-    let (a, b) = (&uniform_vectors(2, 64, 5)[0], &uniform_vectors(2, 64, 5)[1]);
+    // Enough dimensions that the first bounded checkpoint (element 64)
+    // lands well before the end, so an abandon has fractional work.
+    let (a, b) = (
+        &uniform_vectors(2, 1024, 5)[0],
+        &uniform_vectors(2, 1024, 5)[1],
+    );
     check_pair(&counted, a, b, "counted l2");
     let d = counted.distance(a, b);
     counted.reset();

@@ -1,0 +1,339 @@
+//! Differential tests for the SIMD dispatch layer (`vantage_core::simd`).
+//!
+//! The scalar-identical contract under test:
+//!
+//! * every kernel produces **bit-identical** results on every supported
+//!   dispatch path — for the integer kernels trivially (exact integer
+//!   accumulation), for the float kernels because both paths use the
+//!   same 16-lane summation order and the same scalar reduction;
+//! * abandon decisions and reported work fractions also agree exactly
+//!   (shared geometric checkpoint schedule);
+//! * on every path, `distance_within` obeys the `BoundedMetric`
+//!   contract: never a false abandon at or above the true distance, a
+//!   completed value bit-identical to the full distance, work fraction
+//!   in `[0, 1]`.
+//!
+//! Lengths deliberately straddle the dispatch threshold and the 16-lane
+//! chunking (0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, …), and the value
+//! strategy mixes adversarial magnitudes (1e-12 … 1e12) so any
+//! reassociation between paths would show up as a bit difference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vantage_core::simd::{self, SimdPath};
+
+const CASES: u32 = 64;
+
+/// Lengths around every boundary that matters: empty, sub-lane, the
+/// 16-lane chunk edges, the 32-dim dispatch threshold, the first
+/// bounded checkpoint at 64, and ragged larger sizes.
+const EDGE_LENGTHS: [usize; 13] = [0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 129];
+
+/// A NaN-free adversarial magnitude: tiny, huge, negative, power-of-two
+/// and zero components in one vector exercise every rounding path.
+fn adversarial_value(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..7u32) {
+        0 => 0.0,
+        1 => rng.random_range(-1e12..1e12f64),
+        2 => rng.random_range(-1.0..1.0f64),
+        3 => f64::powi(2.0, rng.random_range(-60..60i32)),
+        4 => -f64::powi(3.0, rng.random_range(-15..15i32)),
+        5 => 1e-12,
+        _ => -1e-12,
+    }
+}
+
+/// Equal-length f64 vector pairs over [`EDGE_LENGTHS`] plus random
+/// lengths, filled with [`adversarial_value`]s. (The vendored proptest
+/// has no `prop_flat_map`/`prop_oneof`, so this is a direct `Strategy`.)
+#[derive(Debug, Clone, Copy)]
+struct VecPair;
+
+impl Strategy for VecPair {
+    type Value = (Vec<f64>, Vec<f64>);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = if rng.random_range(0..2u32) == 0 {
+            EDGE_LENGTHS[rng.random_range(0..EDGE_LENGTHS.len())]
+        } else {
+            rng.random_range(2..300usize)
+        };
+        let a = (0..n).map(|_| adversarial_value(rng)).collect();
+        let b = (0..n).map(|_| adversarial_value(rng)).collect();
+        (a, b)
+    }
+}
+
+fn vec_pair() -> VecPair {
+    VecPair
+}
+
+/// Bounds worth probing relative to a true distance `d`.
+fn bounds_for(d: f64) -> Vec<f64> {
+    vec![
+        -1.0,
+        0.0,
+        d * 0.25,
+        d * 0.5,
+        d * 0.999,
+        d,
+        d * 1.001,
+        d * 2.0,
+        f64::INFINITY,
+    ]
+}
+
+type FloatKernel = fn(SimdPath, &[f64], &[f64], f64) -> (Option<f64>, f64);
+
+fn float_kernels() -> Vec<(&'static str, FloatKernel, FloatKernel)> {
+    vec![
+        ("l1", simd::l1::<false>, simd::l1::<true>),
+        ("l2", simd::l2::<false>, simd::l2::<true>),
+        ("linf", simd::linf::<false>, simd::linf::<true>),
+    ]
+}
+
+/// Asserts two `(Option<f64>, f64)` kernel results are bit-identical.
+fn assert_bits_eq(
+    got: (Option<f64>, f64),
+    want: (Option<f64>, f64),
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        got.0.map(f64::to_bits),
+        want.0.map(f64::to_bits),
+        "{}: value differs",
+        ctx
+    );
+    prop_assert_eq!(
+        got.1.to_bits(),
+        want.1.to_bits(),
+        "{}: work fraction differs",
+        ctx
+    );
+    Ok(())
+}
+
+// Bodies live in plain functions (the `proptest!` macro recurses over
+// every token of its body; long bodies overflow the recursion limit).
+
+/// Full + bounded float kernels agree bitwise across paths, at every
+/// probe bound (identical values, abandon decisions and fractions).
+fn check_float_kernels(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    for (name, full, bounded) in float_kernels() {
+        let reference = full(SimdPath::Portable, a, b, f64::INFINITY);
+        let d = reference.0.unwrap();
+        prop_assert!(!d.is_nan(), "{}: NaN distance from finite inputs", name);
+        for path in simd::test_paths() {
+            let ctx = format!("{name} via {path} (n={})", a.len());
+            assert_bits_eq(full(path, a, b, f64::INFINITY), reference, &ctx)?;
+            for bound in bounds_for(d) {
+                let want = bounded(SimdPath::Portable, a, b, bound);
+                let got = bounded(path, a, b, bound);
+                assert_bits_eq(got, want, &format!("{ctx} bound={bound}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Weighted L1/L2 kernels: same cross-path bit-identity, with
+/// non-negative weights as `WeightedLp` guarantees.
+fn check_weighted_kernels(a: &[f64], b: &[f64], seed: u64) -> Result<(), TestCaseError> {
+    let w: Vec<f64> = (0..a.len())
+        .map(|i| ((i as u64 * 2654435761 + seed) % 97) as f64 / 7.0)
+        .collect();
+    for path in simd::test_paths() {
+        let ctx = format!("weighted via {path} (n={})", a.len());
+        let ref1 = simd::weighted_l1::<false>(SimdPath::Portable, &w, a, b, f64::INFINITY);
+        assert_bits_eq(
+            simd::weighted_l1::<false>(path, &w, a, b, f64::INFINITY),
+            ref1,
+            &format!("{ctx} l1 full"),
+        )?;
+        let ref2 = simd::weighted_l2::<false>(SimdPath::Portable, &w, a, b, f64::INFINITY);
+        assert_bits_eq(
+            simd::weighted_l2::<false>(path, &w, a, b, f64::INFINITY),
+            ref2,
+            &format!("{ctx} l2 full"),
+        )?;
+        for bound in bounds_for(ref2.0.unwrap()) {
+            let want = simd::weighted_l2::<true>(SimdPath::Portable, &w, a, b, bound);
+            let got = simd::weighted_l2::<true>(path, &w, a, b, bound);
+            assert_bits_eq(got, want, &format!("{ctx} l2 bound={bound}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Integer kernels (Hamming, byte L1/L2, histogram L1): exact
+/// accumulation means any path must agree bitwise, including on
+/// length-mismatched Hamming inputs.
+fn check_integer_kernels(xs: &[u8], ys: &[u8]) -> Result<(), TestCaseError> {
+    let n = xs.len().min(ys.len());
+    let (xe, ye) = (&xs[..n], &ys[..n]);
+    let hx: Vec<u32> = xs.iter().take(n).map(|&v| u32::from(v) * 37).collect();
+    let hy: Vec<u32> = ys.iter().take(n).map(|&v| u32::from(v) * 11).collect();
+    for path in simd::test_paths() {
+        let ctx = format!("via {path} (n={n})");
+        let want = simd::hamming_bytes::<false>(SimdPath::Portable, xs, ys, f64::INFINITY);
+        let got = simd::hamming_bytes::<false>(path, xs, ys, f64::INFINITY);
+        assert_bits_eq(got, want, &format!("hamming {ctx}"))?;
+        let d = want.0.unwrap();
+        for bound in bounds_for(d) {
+            let want = simd::hamming_bytes::<true>(SimdPath::Portable, xs, ys, bound);
+            let got = simd::hamming_bytes::<true>(path, xs, ys, bound);
+            assert_bits_eq(got, want, &format!("hamming {ctx} bound={bound}"))?;
+        }
+        for norm in [1.0, 100.0, 10_000.0] {
+            let want = simd::byte_l1::<false>(SimdPath::Portable, xe, ye, norm, f64::INFINITY);
+            let got = simd::byte_l1::<false>(path, xe, ye, norm, f64::INFINITY);
+            assert_bits_eq(got, want, &format!("byte_l1 {ctx} norm={norm}"))?;
+            let want = simd::byte_l2::<false>(SimdPath::Portable, xe, ye, norm, f64::INFINITY);
+            let got = simd::byte_l2::<false>(path, xe, ye, norm, f64::INFINITY);
+            assert_bits_eq(got, want, &format!("byte_l2 {ctx} norm={norm}"))?;
+            let d = want.0.unwrap();
+            for bound in bounds_for(d) {
+                let want = simd::byte_l2::<true>(SimdPath::Portable, xe, ye, norm, bound);
+                let got = simd::byte_l2::<true>(path, xe, ye, norm, bound);
+                assert_bits_eq(got, want, &format!("byte_l2 {ctx} bound={bound}"))?;
+            }
+        }
+        let want = simd::u32_l1::<false>(SimdPath::Portable, &hx, &hy, 1.0, f64::INFINITY);
+        let got = simd::u32_l1::<false>(path, &hx, &hy, 1.0, f64::INFINITY);
+        assert_bits_eq(got, want, &format!("u32_l1 {ctx}"))?;
+        let d = want.0.unwrap();
+        for bound in bounds_for(d) {
+            let want = simd::u32_l1::<true>(SimdPath::Portable, &hx, &hy, 1.0, bound);
+            let got = simd::u32_l1::<true>(path, &hx, &hy, 1.0, bound);
+            assert_bits_eq(got, want, &format!("u32_l1 {ctx} bound={bound}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// The `distance_within` soundness contract holds on every path:
+/// a bound at or above the true distance must complete with the
+/// bit-identical full value; below it, either abandon (`None`) or
+/// complete-and-reject; work fraction always in `[0, 1]`.
+fn check_distance_within_contract(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    for (name, full, bounded) in float_kernels() {
+        for path in simd::test_paths() {
+            let d = full(path, a, b, f64::INFINITY).0.unwrap();
+            let ctx = format!("{name} via {path} (n={})", a.len());
+            // At and above the true distance: must complete, bitwise.
+            for bound in [d, d + f64::EPSILON, d * 2.0, f64::INFINITY] {
+                let (got, frac) = bounded(path, a, b, bound);
+                prop_assert_eq!(
+                    got.map(f64::to_bits),
+                    Some(d.to_bits()),
+                    "{}: false abandon at bound {} >= d {}",
+                    &ctx,
+                    bound,
+                    d
+                );
+                prop_assert!((0.0..=1.0).contains(&frac), "{}: frac {}", &ctx, frac);
+            }
+            // Below: never a reported value above the bound.
+            for bound in [-1.0, 0.0, d * 0.25, d * 0.999] {
+                let (got, frac) = bounded(path, a, b, bound);
+                if let Some(v) = got {
+                    prop_assert!(v <= bound, "{}: reported {} > bound {}", &ctx, v, bound);
+                }
+                prop_assert!((0.0..=1.0).contains(&frac), "{}: frac {}", &ctx, frac);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn float_kernels_bit_identical_across_paths(ab in vec_pair()) {
+        check_float_kernels(&ab.0, &ab.1)?;
+    }
+
+    #[test]
+    fn weighted_kernels_bit_identical_across_paths(
+        ab in vec_pair(),
+        seed in 0u64..1000,
+    ) {
+        check_weighted_kernels(&ab.0, &ab.1, seed)?;
+    }
+
+    #[test]
+    fn integer_kernels_bit_identical_across_paths(
+        xs in proptest::collection::vec(any::<u8>(), 0..400),
+        ys in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        check_integer_kernels(&xs, &ys)?;
+    }
+
+    #[test]
+    fn distance_within_contract_holds_under_simd(ab in vec_pair()) {
+        check_distance_within_contract(&ab.0, &ab.1)?;
+    }
+}
+
+/// The 64-d serving-style hot path (below the dispatch threshold at 20-d,
+/// above it at 64-d) agrees with the metric-layer entry points: routing
+/// through `Manhattan`/`Euclidean`/`Chebyshev` uses the same kernels.
+#[test]
+fn metric_layer_matches_explicit_kernels() {
+    use vantage_core::prelude::*;
+    for n in [20usize, 64, 300] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 5.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() * 4.0).collect();
+        let cases: [(f64, f64); 3] = [
+            (
+                Manhattan.distance(&a, &b),
+                simd::l1::<false>(simd::active(), &a, &b, f64::INFINITY)
+                    .0
+                    .unwrap(),
+            ),
+            (
+                Euclidean.distance(&a, &b),
+                simd::l2::<false>(simd::active(), &a, &b, f64::INFINITY)
+                    .0
+                    .unwrap(),
+            ),
+            (
+                Chebyshev.distance(&a, &b),
+                simd::linf::<false>(simd::active(), &a, &b, f64::INFINITY)
+                    .0
+                    .unwrap(),
+            ),
+        ];
+        for (metric_d, kernel_d) in cases {
+            assert_eq!(metric_d.to_bits(), kernel_d.to_bits(), "n={n}");
+        }
+    }
+}
+
+/// Empty inputs are well-defined on every path and every kernel.
+#[test]
+fn empty_inputs_are_zero_distance() {
+    let e: Vec<f64> = vec![];
+    let eb: Vec<u8> = vec![];
+    let eh: Vec<u32> = vec![];
+    for path in simd::test_paths() {
+        assert_eq!(simd::l1::<false>(path, &e, &e, f64::INFINITY).0, Some(0.0));
+        assert_eq!(simd::l2::<true>(path, &e, &e, 0.0).0, Some(0.0));
+        assert_eq!(simd::linf::<true>(path, &e, &e, -1.0).0, None);
+        assert_eq!(
+            simd::hamming_bytes::<false>(path, &eb, &eb, f64::INFINITY).0,
+            Some(0.0)
+        );
+        assert_eq!(
+            simd::byte_l1::<false>(path, &eb, &eb, 1.0, f64::INFINITY).0,
+            Some(0.0)
+        );
+        assert_eq!(
+            simd::u32_l1::<false>(path, &eh, &eh, 1.0, f64::INFINITY).0,
+            Some(0.0)
+        );
+    }
+}
