@@ -132,7 +132,9 @@ USAGE:
   vantage serve  (--index FILE | --data FILE) [--addr HOST:PORT] [--addr-file FILE]
                  [--metric l1|l2|linf|edit] [--metrics-out FILE]
                  [--shards S] [--seed S] [--threads auto|N]
+                 [--trace-sample N] [--slow-ms MS] [--slow-log FILE] [--trace-ring N]
   vantage client --addr HOST:PORT --cmd \"COMMAND\"
+  vantage trace  --addr HOST:PORT [--id HEX] [--export FILE]
   vantage serve-smoke --addr HOST:PORT --index FILE [--threads N]
                  [--queries N] [--reloads R]
   vantage help
@@ -168,6 +170,16 @@ that replays a scripted workload during live RELOAD swaps and verifies
 every reply is bit-identical to a direct run against the same snapshot.
 See DESIGN.md \"Serving\" for the protocol grammar and swap semantics.
 
+`serve` also traces requests: one query in `--trace-sample` N (default
+64, deterministic in the request line and `--seed`) records per-phase
+spans and a pruning profile, and queries slower than `--slow-ms`
+(default 100) are always captured — into a bounded in-memory ring
+(`SLOW`/`TRACE`/`SLO` protocol commands) and, with `--slow-log FILE`,
+appended to FILE as JSON lines. `vantage trace` fetches one captured
+trace (default: the slowest) and `--export` writes Chrome trace-event
+JSON for chrome://tracing or Perfetto. Tracing never changes answers;
+see DESIGN.md \"Request tracing & SLOs\".
+
 `--shards S` partitions the dataset round-robin across S sub-indexes and
 answers queries scatter-gather with a shared pruning bound; answers are
 bit-identical to the unsharded index (`query --data` builds sharded,
@@ -198,6 +210,7 @@ pub fn run(argv: &[String], out: &mut String) -> CliResult<()> {
         Some("experiment") => cmd_experiment(&argv[1..], out),
         Some("serve") => cmd_serve(&argv[1..], out),
         Some("client") => serve::cmd_client(&argv[1..], out),
+        Some("trace") => serve::cmd_trace(&argv[1..], out),
         Some("serve-smoke") => serve::cmd_serve_smoke(&argv[1..], out),
         Some(other) => Err(err(format!(
             "unknown command `{other}` (try `vantage help`)"

@@ -21,11 +21,31 @@
 //! RELOAD <path>            -> OK generation=G items=N drained=B (snapshot mode)
 //! REINDEX                  -> OK generation=G ...      (both modes)
 //! STATS                    -> OK <single-line metrics JSON>
+//! SLOW   [n]               -> OK <json array>          (slowest captured traces)
+//! TRACE  <id>              -> OK <json trace>          (one trace by 16-hex id)
+//! SLO                      -> OK <json object>         (windowed p50/p99/p999 per op)
 //! SHUTDOWN                 -> OK bye                   (drain + exit)
 //! ```
 //!
 //! Vector queries are comma-separated floats; `edit`-metric queries are
 //! a bare word.
+//!
+//! ## Request tracing
+//!
+//! Every query request derives a 64-bit trace ID purely from its request
+//! line and `--seed` (see [`Sampler`]), so the *set* of sampled requests
+//! is identical across thread counts and replays. One request in
+//! `--trace-sample` N (default 64) records per-phase spans — parse,
+//! search (one span per shard when `--shards` > 1, visited sequentially
+//! so each span brackets its own distance-computation delta), merge,
+//! reply — plus the full per-descent pruning profile. Requests slower
+//! than `--slow-ms` are always captured, synthesizing a search span from
+//! the latency and cost the metrics path measures anyway. Captured
+//! traces land in a bounded, never-blocking ring (`SLOW` / `TRACE`, and
+//! `vantage trace --export` renders Chrome trace-event JSON); with
+//! `--slow-log FILE` slow queries are also appended to FILE as JSON
+//! lines. Tracing never changes an answer: traced replies are
+//! byte-identical to untraced ones.
 //!
 //! ## Swap semantics
 //!
@@ -58,7 +78,10 @@ use vantage_core::{MetricIndex, VantageError};
 use vantage_mvptree::{ConcurrentMvpTree, MvpTree};
 use vantage_persist::{self as persist, IndexKind, ItemCodec, MetricTag};
 use vantage_telemetry::export;
-use vantage_telemetry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind};
+use vantage_telemetry::{
+    chrome_from_trace_json, CostDelta, Gauge, IndexMetrics, Json, MetricsRegistry, OpKind,
+    SloSurface, TraceRecord, TraceRing,
+};
 use vantage_vptree::VpTree;
 
 use crate::{
@@ -120,12 +143,165 @@ pub(crate) trait QueryIndex<T>: MetricIndex<T> + FarthestIndex<T> + Send + Sync 
 
 impl<T, I: MetricIndex<T> + FarthestIndex<T> + Send + Sync> QueryIndex<T> for I {}
 
+/// Dispatches a parsed query to one concrete structure's traced search
+/// variants, recording descent events (distances, prunes, rejects) into
+/// `profile`. Results are identical to the untraced search.
+trait TracedSearch<T> {
+    fn query_traced(&self, cmd: &QueryCmd, query: &T, profile: &mut QueryProfile) -> Vec<Neighbor>;
+}
+
+macro_rules! impl_traced_search {
+    ($index:ident) => {
+        impl<T, M: BoundedMetric<T>> TracedSearch<T> for $index<T, M> {
+            fn query_traced(
+                &self,
+                cmd: &QueryCmd,
+                query: &T,
+                profile: &mut QueryProfile,
+            ) -> Vec<Neighbor> {
+                match cmd {
+                    QueryCmd::Range(radius) => {
+                        let mut v = self.range_traced(query, *radius, profile);
+                        v.sort_unstable();
+                        v
+                    }
+                    QueryCmd::Knn(k) => self.knn_traced(query, *k, profile),
+                    QueryCmd::Beyond(radius) => {
+                        let mut v = self.beyond_traced(query, *radius, profile);
+                        v.sort_unstable();
+                        v
+                    }
+                    QueryCmd::Kfn(k) => self.kfn_traced(query, *k, profile),
+                }
+            }
+        }
+    };
+}
+
+impl_traced_search!(VpTree);
+impl_traced_search!(MvpTree);
+impl_traced_search!(LinearScan);
+
+/// One published index behind the query verbs: the plain path for
+/// ordinary requests, and a span-recording traced path for sampled
+/// ones. Both produce byte-identical replies.
+trait ServedQuery<T>: Send + Sync {
+    /// Answers `cmd` with zero tracing overhead.
+    fn execute(&self, cmd: &QueryCmd, query: &T) -> Vec<Neighbor>;
+    /// Answers `cmd` while recording per-phase spans (one per shard when
+    /// sharded) and the descent profile. Same results as
+    /// [`execute`](ServedQuery::execute).
+    fn execute_traced(
+        &self,
+        cmd: &QueryCmd,
+        query: &T,
+        rec: &mut SpanRecorder,
+    ) -> (Vec<Neighbor>, QueryProfile);
+}
+
+/// An unsharded index plus the probe sharing its `Counted` tally.
+struct ServedSingle<I, M: Clone> {
+    index: I,
+    probe: Counted<M>,
+}
+
+impl<T, I, M> ServedQuery<T> for ServedSingle<I, M>
+where
+    T: Send + Sync,
+    I: QueryIndex<T> + TracedSearch<T>,
+    M: Clone + Send + Sync,
+{
+    fn execute(&self, cmd: &QueryCmd, query: &T) -> Vec<Neighbor> {
+        execute_query(&self.index, cmd, query)
+    }
+
+    fn execute_traced(
+        &self,
+        cmd: &QueryCmd,
+        query: &T,
+        rec: &mut SpanRecorder,
+    ) -> (Vec<Neighbor>, QueryProfile) {
+        let mut profile = QueryProfile::new();
+        let timer = rec.begin();
+        let before = self.probe.totals();
+        let results = self.index.query_traced(cmd, query, &mut profile);
+        rec.record("search", None, timer, self.probe.totals().since(&before));
+        (results, profile)
+    }
+}
+
+/// A scatter-gather index plus the probe all shards share.
+struct ServedSharded<I, M: Clone> {
+    index: ShardedIndex<I>,
+    probe: Counted<M>,
+}
+
+impl<T, I, M> ServedQuery<T> for ServedSharded<I, M>
+where
+    T: Send + Sync,
+    I: ShardSearch<T> + TracedSearch<T> + Send + Sync,
+    M: Clone + Send + Sync,
+{
+    fn execute(&self, cmd: &QueryCmd, query: &T) -> Vec<Neighbor> {
+        execute_query(&self.index, cmd, query)
+    }
+
+    fn execute_traced(
+        &self,
+        cmd: &QueryCmd,
+        query: &T,
+        rec: &mut SpanRecorder,
+    ) -> (Vec<Neighbor>, QueryProfile) {
+        // Sampled requests visit shards *sequentially* so each shard
+        // span brackets exactly its own share of the shared `Counted`
+        // tally; the merges below mirror `ShardedIndex` — same remap,
+        // same canonical (distance, id) order — so replies stay
+        // byte-identical to the parallel untraced path.
+        let mut profile = QueryProfile::new();
+        let s = self.index.shard_count();
+        let mut all: Vec<Neighbor> = Vec::new();
+        for (idx, shard) in self.index.shards().iter().enumerate() {
+            let timer = rec.begin();
+            let before = self.probe.totals();
+            let hits = shard.query_traced(cmd, query, &mut profile);
+            rec.record(
+                "shard",
+                Some(idx as u32),
+                timer,
+                self.probe.totals().since(&before),
+            );
+            all.extend(
+                hits.into_iter()
+                    .map(|n| Neighbor::new(n.id * s + idx, n.distance)),
+            );
+        }
+        let timer = rec.begin();
+        match cmd {
+            QueryCmd::Range(_) | QueryCmd::Beyond(_) => all.sort_unstable(),
+            QueryCmd::Knn(k) => {
+                all.sort_unstable();
+                all.truncate(*k);
+            }
+            QueryCmd::Kfn(k) => {
+                all.sort_unstable_by(|a, b| {
+                    b.distance
+                        .total_cmp(&a.distance)
+                        .then_with(|| a.id.cmp(&b.id))
+                });
+                all.truncate(*k);
+            }
+        }
+        rec.record("merge", None, timer, DistanceTotals::default());
+        (all, profile)
+    }
+}
+
 /// Decodes a snapshot into a boxed near+far queryable index plus a probe
 /// sharing the index's `Counted` tally.
 fn decode_query_index<T, M>(
     bytes: &[u8],
     kind: IndexKind,
-) -> CliResult<(Box<dyn QueryIndex<T>>, Counted<M>)>
+) -> CliResult<(Box<dyn ServedQuery<T>>, Counted<M>)>
 where
     T: ItemCodec + Clone + Send + Sync + 'static,
     M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
@@ -135,19 +311,37 @@ where
             let tree: VpTree<T, Counted<M>> =
                 persist::decode_vp_tree(bytes).map_err(|e| err(e.to_string()))?;
             let probe = tree.metric().clone();
-            Ok((Box::new(tree), probe))
+            Ok((
+                Box::new(ServedSingle {
+                    index: tree,
+                    probe: probe.clone(),
+                }),
+                probe,
+            ))
         }
         IndexKind::MvpTree => {
             let tree: MvpTree<T, Counted<M>> =
                 persist::decode_mvp_tree(bytes).map_err(|e| err(e.to_string()))?;
             let probe = tree.metric().clone();
-            Ok((Box::new(tree), probe))
+            Ok((
+                Box::new(ServedSingle {
+                    index: tree,
+                    probe: probe.clone(),
+                }),
+                probe,
+            ))
         }
         IndexKind::Linear => {
             let scan: LinearScan<T, Counted<M>> =
                 persist::decode_linear_scan(bytes).map_err(|e| err(e.to_string()))?;
             let probe = scan.metric().clone();
-            Ok((Box::new(scan), probe))
+            Ok((
+                Box::new(ServedSingle {
+                    index: scan,
+                    probe: probe.clone(),
+                }),
+                probe,
+            ))
         }
     }
 }
@@ -166,7 +360,7 @@ fn load_static_index<T, M>(
     shards: usize,
     seed: u64,
     threads: Threads,
-) -> CliResult<(Box<dyn QueryIndex<T>>, Counted<M>)>
+) -> CliResult<(Box<dyn ServedQuery<T>>, Counted<M>)>
 where
     T: ItemCodec + Clone + Send + Sync + 'static,
     M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
@@ -187,7 +381,13 @@ where
                 )
             })
             .map_err(|e| err(e.to_string()))?;
-            Ok((Box::new(sharded), probe))
+            Ok((
+                Box::new(ServedSharded {
+                    index: sharded,
+                    probe: probe.clone(),
+                }),
+                probe,
+            ))
         }
         IndexKind::MvpTree => {
             let tree: MvpTree<T, Counted<M>> =
@@ -201,7 +401,13 @@ where
                 )
             })
             .map_err(|e| err(e.to_string()))?;
-            Ok((Box::new(sharded), probe))
+            Ok((
+                Box::new(ServedSharded {
+                    index: sharded,
+                    probe: probe.clone(),
+                }),
+                probe,
+            ))
         }
         IndexKind::Linear => {
             let scan: LinearScan<T, Counted<M>> =
@@ -211,7 +417,13 @@ where
                 Ok(LinearScan::new(part, probe.clone()))
             })
             .map_err(|e| err(e.to_string()))?;
-            Ok((Box::new(sharded), probe))
+            Ok((
+                Box::new(ServedSharded {
+                    index: sharded,
+                    probe: probe.clone(),
+                }),
+                probe,
+            ))
         }
     }
 }
@@ -250,7 +462,7 @@ where
 
 /// One published generation of the snapshot-serving engine.
 struct StaticGen<T, M> {
-    index: Box<dyn QueryIndex<T>>,
+    index: Box<dyn ServedQuery<T>>,
     probe: Counted<M>,
     items: u64,
     structure: &'static str,
@@ -285,6 +497,42 @@ enum Engine<T, M> {
     Dynamic(DynamicEngine<T, M>),
 }
 
+/// Per-server tracing state: sampling policy, slow-query capture, the
+/// trace ring, and the live SLO surface.
+struct Tracer {
+    sampler: Sampler,
+    /// Latency at or above which a request is always captured (0 =
+    /// slow-query capture disabled).
+    slow_ns: u64,
+    ring: TraceRing,
+    slo: SloSurface,
+    /// Structured slow-query log (one JSON line per captured query).
+    slow_log: Option<Mutex<std::fs::File>>,
+}
+
+impl Tracer {
+    fn new(opts: &ServeOptions) -> CliResult<Tracer> {
+        let slow_log = match &opts.slow_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::File::create(path)
+                    .map_err(|e| err(format!("cannot create {path}: {e}")))?,
+            )),
+            None => None,
+        };
+        Ok(Tracer {
+            sampler: Sampler::new(opts.seed, opts.trace_sample),
+            slow_ns: if opts.slow_ms > 0.0 {
+                (opts.slow_ms * 1_000_000.0).max(1.0) as u64
+            } else {
+                0
+            },
+            ring: TraceRing::new(opts.trace_ring),
+            slo: SloSurface::new(),
+            slow_log,
+        })
+    }
+}
+
 /// Server state shared by every connection thread.
 struct Shared<T, M> {
     engine: Engine<T, M>,
@@ -292,10 +540,13 @@ struct Shared<T, M> {
     metric_name: String,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    started: Instant,
+    tracer: Tracer,
     g_generation: Arc<Gauge>,
     g_in_flight: Arc<Gauge>,
     g_swaps: Arc<Gauge>,
     g_connections: Arc<Gauge>,
+    g_uptime: Arc<Gauge>,
 }
 
 /// Parsed command-line options common to both serving modes.
@@ -308,6 +559,16 @@ pub(crate) struct ServeOptions {
     pub threads: Threads,
     /// Scatter-gather shard count (snapshot mode only; 1 = unsharded).
     pub shards: usize,
+    /// Head-sample one query request in N into the trace ring (0 =
+    /// head sampling off; slow-query capture still applies).
+    pub trace_sample: u64,
+    /// Always capture requests at or above this latency, in
+    /// milliseconds (fractional values allowed; 0 = off).
+    pub slow_ms: f64,
+    /// Append captured slow queries to this file as JSON lines.
+    pub slow_log: Option<String>,
+    /// Capacity of the in-memory trace ring.
+    pub trace_ring: usize,
 }
 
 impl ServeOptions {
@@ -324,8 +585,20 @@ impl ServeOptions {
             seed: args.parsed("seed", 0)?,
             threads: parse_threads(args)?,
             shards,
+            trace_sample: args.parsed("trace-sample", 64)?,
+            slow_ms: args.parsed("slow-ms", 100.0)?,
+            slow_log: args.get("slow-log").map(str::to_string),
+            trace_ring: args.parsed("trace-ring", 256)?,
         })
     }
+}
+
+/// Milliseconds since the Unix epoch, for "when did this happen" gauges.
+fn unix_ms() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
 }
 
 /// Serves an index loaded from a `vantage-persist` snapshot. The file is
@@ -390,6 +663,7 @@ where
         },
     );
     probe.reset();
+    registry.gauge("serve/gen0/loaded_unix_ms").set(unix_ms());
     let engine = Engine::Static(StaticEngine {
         cell: SwapCell::new(StaticGen {
             index,
@@ -476,15 +750,20 @@ where
     let local_addr = listener
         .local_addr()
         .map_err(|e| err(format!("cannot resolve bound address: {e}")))?;
+    let tracer = Tracer::new(&opts)?;
+    registry.gauge("serve/started_unix_ms").set(unix_ms());
     let shared = Arc::new(Shared {
         engine,
         metric_name,
         shutdown: AtomicBool::new(false),
         local_addr,
+        started: Instant::now(),
+        tracer,
         g_generation: registry.gauge("serve/generation"),
         g_in_flight: registry.gauge("serve/in_flight"),
         g_swaps: registry.gauge("serve/swaps"),
         g_connections: registry.gauge("serve/connections"),
+        g_uptime: registry.gauge("serve/uptime_s"),
         registry,
     });
     // Readiness signals that work before the (buffered) report is
@@ -605,10 +884,31 @@ where
         "PING" => Ok(Reply::Line("OK pong".to_string())),
         "INFO" => Ok(Reply::Line(info_line(shared))),
         "RANGE" | "BEYOND" | "KNN" | "KFN" => {
+            // The trace ID is a pure function of (seed, request line):
+            // the sampled *set* is identical across thread counts and
+            // replays. The unsampled path pays one hash and one clock
+            // read here — no allocation, no recorder.
+            let origin = Instant::now();
+            let id = shared.tracer.sampler.trace_id(line);
+            let mut rec = shared
+                .tracer
+                .sampler
+                .samples(id)
+                .then(|| SpanRecorder::with_origin(origin));
+            let timer = rec.as_mut().map(|r| r.begin());
             let (arg, query_text) = split_arg(rest, verb)?;
             let query = T::parse_wire(query_text)?;
             let cmd = QueryCmd::parse(verb, arg)?;
-            Ok(Reply::Line(answer_query(shared, &cmd, &query)))
+            if let (Some(r), Some(timer)) = (rec.as_mut(), timer) {
+                r.record("parse", None, timer, DistanceTotals::default());
+            }
+            let trace = RequestTrace {
+                verb,
+                id,
+                origin,
+                rec,
+            };
+            Ok(Reply::Line(answer_query(shared, &cmd, &query, trace)))
         }
         "INSERT" => {
             let engine = dynamic_engine(shared, verb)?;
@@ -665,6 +965,43 @@ where
                 "OK {}",
                 export::to_json_compact(&snapshot)
             )))
+        }
+        "SLOW" => {
+            let n: usize = if rest.is_empty() {
+                10
+            } else {
+                rest.parse()
+                    .map_err(|_| format!("SLOW needs an integer count, got `{rest}`"))?
+            };
+            let slowest = shared.tracer.ring.slowest(n);
+            let json = Json::Arr(slowest.iter().map(|r| r.to_json()).collect());
+            Ok(Reply::Line(format!("OK {}", json.render())))
+        }
+        "TRACE" => {
+            let id = TraceId::parse_hex(rest)
+                .ok_or_else(|| format!("TRACE needs a 16-hex-digit trace id, got `{rest}`"))?;
+            match shared.tracer.ring.find(id) {
+                Some(record) => Ok(Reply::Line(format!("OK {}", record.to_json().render()))),
+                None => Err(format!("trace {id} not found (never captured, or evicted)")),
+            }
+        }
+        "SLO" => {
+            let mut ops = std::collections::BTreeMap::new();
+            for (kind, snap) in shared.tracer.slo.snapshots() {
+                let mut entry = std::collections::BTreeMap::new();
+                entry.insert("count".to_string(), Json::Num(snap.total as f64));
+                entry.insert("window".to_string(), Json::Num(snap.window as f64));
+                entry.insert("p50_ns".to_string(), Json::Num(snap.p50_ns as f64));
+                entry.insert("p99_ns".to_string(), Json::Num(snap.p99_ns as f64));
+                entry.insert("p999_ns".to_string(), Json::Num(snap.p999_ns as f64));
+                entry.insert("worst_ns".to_string(), Json::Num(snap.worst_ns as f64));
+                entry.insert(
+                    "worst_trace".to_string(),
+                    Json::Str(TraceId::from_bits(snap.worst_exemplar).to_string()),
+                );
+                ops.insert(kind.name().to_string(), Json::Obj(entry));
+            }
+            Ok(Reply::Line(format!("OK {}", Json::Obj(ops).render())))
         }
         "SHUTDOWN" => {
             shared.shutdown.store(true, Ordering::Release);
@@ -736,13 +1073,12 @@ impl QueryCmd {
     }
 }
 
-/// Runs one query against a boxed index — the *same* code path the smoke
+/// Runs one query against an index — the *same* code path the smoke
 /// client uses locally, so wire replies diff clean against a direct run.
-pub(crate) fn execute_query<T>(
-    index: &dyn QueryIndex<T>,
-    cmd: &QueryCmd,
-    query: &T,
-) -> Vec<Neighbor> {
+pub(crate) fn execute_query<T, I>(index: &I, cmd: &QueryCmd, query: &T) -> Vec<Neighbor>
+where
+    I: QueryIndex<T> + ?Sized,
+{
     match cmd {
         QueryCmd::Range(radius) => {
             let mut v = index.range(query, *radius);
@@ -768,30 +1104,59 @@ pub(crate) fn format_neighbors(neighbors: &[Neighbor]) -> String {
     s
 }
 
-fn answer_query<T, M>(shared: &Shared<T, M>, cmd: &QueryCmd, query: &T) -> String
+/// Per-request tracing context threaded from `dispatch` into
+/// [`answer_query`]: the trace ID every query request gets, and the span
+/// recorder only sampled requests carry.
+struct RequestTrace<'a> {
+    verb: &'a str,
+    id: TraceId,
+    origin: Instant,
+    rec: Option<SpanRecorder>,
+}
+
+fn answer_query<T, M>(
+    shared: &Shared<T, M>,
+    cmd: &QueryCmd,
+    query: &T,
+    trace: RequestTrace<'_>,
+) -> String
 where
     T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
     M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
 {
+    let RequestTrace {
+        verb,
+        id,
+        origin,
+        mut rec,
+    } = trace;
+    let sampled = rec.is_some();
     shared.g_in_flight.add(1);
-    let reply = match &shared.engine {
+    let mut profile = None;
+    let (generation, results, measured) = match &shared.engine {
         Engine::Static(engine) => {
             // Pin one generation: the query answers wholly against it
             // even if a RELOAD swaps mid-flight.
             let guard = engine.cell.read();
             let before = guard.probe.totals();
             let start = Instant::now();
-            let results = execute_query(guard.index.as_ref(), cmd, query);
-            guard.metrics.record(
-                cmd.op_kind(),
-                start.elapsed(),
-                guard.probe.totals().since(&before).into(),
-            );
-            format_neighbors(&results)
+            let results = match rec.as_mut() {
+                Some(r) => {
+                    let (results, descent) = guard.index.execute_traced(cmd, query, r);
+                    profile = Some(descent);
+                    results
+                }
+                None => guard.index.execute(cmd, query),
+            };
+            let elapsed = start.elapsed();
+            let cost = guard.probe.totals().since(&before);
+            guard.metrics.record(cmd.op_kind(), elapsed, cost.into());
+            (guard.generation(), results, (start, elapsed, cost))
         }
         Engine::Dynamic(engine) => {
             let snapshot = engine.tree.read();
             let before = engine.probe.totals();
+            let timer = rec.as_mut().map(|r| r.begin());
             let start = Instant::now();
             let mut results = match cmd {
                 QueryCmd::Range(radius) => snapshot.range(query, *radius),
@@ -802,15 +1167,73 @@ where
             if matches!(cmd, QueryCmd::Range(_) | QueryCmd::Beyond(_)) {
                 results.sort_unstable();
             }
-            engine.metrics.record(
-                cmd.op_kind(),
-                start.elapsed(),
-                engine.probe.totals().since(&before).into(),
-            );
-            format_neighbors(&results)
+            let elapsed = start.elapsed();
+            let cost = engine.probe.totals().since(&before);
+            if let (Some(r), Some(timer)) = (rec.as_mut(), timer) {
+                // The dynamic snapshot answers as one unit (no per-shard
+                // scatter, no descent sink), so one search span carries
+                // the whole probe delta.
+                r.record("search", None, timer, cost);
+            }
+            engine.metrics.record(cmd.op_kind(), elapsed, cost.into());
+            (engine.tree.generation(), results, (start, elapsed, cost))
         }
     };
+    let reply = match rec.as_mut() {
+        Some(r) => {
+            let timer = r.begin();
+            let reply = format_neighbors(&results);
+            r.record("reply", None, timer, DistanceTotals::default());
+            reply
+        }
+        None => format_neighbors(&results),
+    };
     shared.g_in_flight.add(-1);
+
+    let tracer = &shared.tracer;
+    let total_ns = origin.elapsed().as_nanos() as u64;
+    tracer.slo.record(cmd.op_kind(), total_ns, id.bits());
+    let slow = tracer.slow_ns > 0 && total_ns >= tracer.slow_ns;
+    if sampled || slow {
+        let rec = rec.unwrap_or_else(|| {
+            // Slow but not head-sampled: synthesize the one span the
+            // metrics path measured anyway, so the slow log always
+            // carries a cost breakdown.
+            let (start, elapsed, cost) = measured;
+            let mut r = SpanRecorder::with_origin(origin);
+            r.push(SpanRecord {
+                name: "search",
+                shard: None,
+                start_ns: start.saturating_duration_since(origin).as_nanos() as u64,
+                duration_ns: elapsed.as_nanos() as u64,
+                distances: cost.computations,
+                abandoned: cost.abandoned,
+                abandoned_work: cost.abandoned_work,
+            });
+            r
+        });
+        let record = TraceRecord {
+            id,
+            verb: verb.to_string(),
+            op: cmd.op_kind().name().to_string(),
+            generation,
+            total_ns,
+            results: results.len() as u64,
+            sampled,
+            slow,
+            dropped_spans: rec.dropped(),
+            spans: rec.into_spans(),
+            profile,
+        };
+        if slow {
+            if let Some(log) = &tracer.slow_log {
+                if let Ok(mut file) = log.lock() {
+                    let _ = writeln!(file, "{}", record.to_json().render());
+                }
+            }
+        }
+        tracer.ring.push(record);
+    }
     reply
 }
 
@@ -823,22 +1246,24 @@ where
         Engine::Static(engine) => {
             let guard = engine.cell.read();
             format!(
-                "OK mode=static structure={} metric={} items={} shards={} generation={} swaps={} simd={}",
+                "OK mode=static structure={} metric={} items={} shards={} generation={} swaps={} simd={} uptime_s={}",
                 guard.structure,
                 shared.metric_name,
                 guard.items,
                 engine.shards,
                 guard.generation(),
                 engine.cell.swaps(),
-                vantage_core::simd::active_name()
+                vantage_core::simd::active_name(),
+                shared.started.elapsed().as_secs()
             )
         }
         Engine::Dynamic(engine) => format!(
-            "OK mode=dynamic structure=mvp metric={} items={} generation={} simd={}",
+            "OK mode=dynamic structure=mvp metric={} items={} generation={} simd={} uptime_s={}",
             shared.metric_name,
             engine.tree.len(),
             engine.tree.generation(),
-            vantage_core::simd::active_name()
+            vantage_core::simd::active_name(),
+            shared.started.elapsed().as_secs()
         ),
     }
 }
@@ -857,6 +1282,21 @@ where
         Engine::Dynamic(engine) => {
             shared.g_generation.set(engine.tree.generation() as i64);
             shared.g_swaps.set(engine.tree.generation() as i64);
+        }
+    }
+    shared
+        .g_uptime
+        .set(shared.started.elapsed().as_secs() as i64);
+    for (kind, snap) in shared.tracer.slo.snapshots() {
+        for (stat, value) in [
+            ("p50_ns", snap.p50_ns),
+            ("p99_ns", snap.p99_ns),
+            ("p999_ns", snap.p999_ns),
+        ] {
+            shared
+                .registry
+                .gauge(&format!("slo/{}/{stat}", kind.name()))
+                .set(value as i64);
         }
     }
 }
@@ -896,9 +1336,8 @@ where
         engine.threads,
     )
     .map_err(|e| e.to_string())?;
-    let metrics = shared
-        .registry
-        .index(&format!("serve/gen{}", engine.cell.generation() + 1));
+    let next_gen = engine.cell.generation() + 1;
+    let metrics = shared.registry.index(&format!("serve/gen{next_gen}"));
     metrics.record(
         OpKind::SnapshotLoad,
         load_start.elapsed(),
@@ -907,6 +1346,10 @@ where
             ..CostDelta::default()
         },
     );
+    shared
+        .registry
+        .gauge(&format!("serve/gen{next_gen}/loaded_unix_ms"))
+        .set(unix_ms());
     probe.reset();
     let retired = engine.cell.swap(StaticGen {
         index,
@@ -992,6 +1435,52 @@ pub(crate) fn cmd_client(argv: &[String], out: &mut String) -> CliResult<()> {
     let mut conn = Conn::connect_retry(addr, Duration::from_secs(5))?;
     let reply = conn.send(command)?;
     let _ = writeln!(out, "{reply}");
+    Ok(())
+}
+
+/// `vantage trace --addr A [--id HEX] [--export FILE]`: fetches one
+/// captured trace (by id, or the slowest when `--id` is omitted) and
+/// prints it, or exports it as Chrome trace-event JSON — load the file
+/// at `chrome://tracing` or <https://ui.perfetto.dev> to see the
+/// request's per-phase/per-shard timeline.
+pub(crate) fn cmd_trace(argv: &[String], out: &mut String) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let addr = args.required("addr")?;
+    let export_path = args.get("export").map(str::to_string);
+    let mut conn = Conn::connect_retry(addr, Duration::from_secs(5))?;
+    let id = match args.get("id") {
+        Some(id) => id.to_string(),
+        None => {
+            let reply = conn.send("SLOW 1")?;
+            let body = reply
+                .strip_prefix("OK ")
+                .ok_or_else(|| err(format!("SLOW failed: {reply}")))?;
+            let slowest = Json::parse(body).map_err(|e| err(format!("bad SLOW reply: {e}")))?;
+            slowest
+                .as_array()
+                .and_then(|records| records.first())
+                .and_then(|record| record.get("id"))
+                .and_then(|id| id.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| err("no traces captured yet (lower --slow-ms or --trace-sample?)"))?
+        }
+    };
+    let reply = conn.send(&format!("TRACE {id}"))?;
+    let body = reply
+        .strip_prefix("OK ")
+        .ok_or_else(|| err(format!("TRACE {id} failed: {reply}")))?;
+    let trace = Json::parse(body).map_err(|e| err(format!("bad trace JSON: {e}")))?;
+    match export_path {
+        Some(path) => {
+            let chrome = chrome_from_trace_json(&trace);
+            std::fs::write(&path, chrome.render_pretty())
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "trace {id} exported to {path}");
+        }
+        None => {
+            let _ = writeln!(out, "{}", trace.render_pretty());
+        }
+    }
     Ok(())
 }
 

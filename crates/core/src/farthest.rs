@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crate::metric::Metric;
 use crate::query::Neighbor;
 use crate::shard::SharedLowerBound;
+use crate::trace::{DistanceRole, NoTrace, TraceSink};
 
 /// Far-neighbor query support. Implemented by
 /// [`LinearScan`](crate::linear::LinearScan) and by the vp-/mvp-trees in
@@ -33,24 +34,55 @@ pub trait FarthestIndex<T> {
     fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor>;
 }
 
-impl<T, M: Metric<T>> FarthestIndex<T> for crate::linear::LinearScan<T, M> {
-    fn range_beyond(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+impl<T, M: Metric<T>> crate::linear::LinearScan<T, M> {
+    /// [`range_beyond`](FarthestIndex::range_beyond) with
+    /// instrumentation: every scanned object reports one
+    /// [`DistanceRole::Candidate`] computation into `sink`. Far queries
+    /// need exact distances for every object (there is no lower bound to
+    /// abandon against), so answers and computations are identical to
+    /// the untraced method.
+    pub fn beyond_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        if !self.items().is_empty() {
+            sink.enter_node(0, true);
+        }
         self.items()
             .iter()
             .enumerate()
             .filter_map(|(id, item)| {
+                sink.distance(DistanceRole::Candidate);
                 let d = self.metric().distance(query, item);
                 (d >= radius).then_some(Neighbor::new(id, d))
             })
             .collect()
     }
 
-    fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor> {
+    /// [`k_farthest`](FarthestIndex::k_farthest) with instrumentation;
+    /// see [`beyond_traced`](crate::linear::LinearScan::beyond_traced).
+    pub fn kfn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        if !self.items().is_empty() {
+            sink.enter_node(0, true);
+        }
         let mut collector = KfnCollector::new(k);
         for (id, item) in self.items().iter().enumerate() {
+            sink.distance(DistanceRole::Candidate);
             collector.offer(id, self.metric().distance(query, item));
         }
         collector.into_sorted()
+    }
+}
+
+impl<T, M: Metric<T>> FarthestIndex<T> for crate::linear::LinearScan<T, M> {
+    fn range_beyond(&self, query: &T, radius: f64) -> Vec<Neighbor> {
+        self.beyond_traced(query, radius, &mut NoTrace)
+    }
+
+    fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor> {
+        self.kfn_traced(query, k, &mut NoTrace)
     }
 }
 

@@ -38,7 +38,11 @@
 //! * query observability: the [`TraceSink`] instrumentation interface
 //!   (zero-cost via [`NoTrace`]), per-query [`QueryProfile`]s attributing
 //!   distance computations and prunes to filter stages, and the
-//!   [`SearchProfiler`] workload aggregator ([`trace`]).
+//!   [`SearchProfiler`] workload aggregator ([`trace`]);
+//! * request-scoped tracing for serving processes: deterministic
+//!   [`TraceId`]s and 1-in-N [`Sampler`]s plus the [`SpanRecorder`]
+//!   laying a request's phases on one timeline with their
+//!   [`DistanceTotals`] deltas ([`span`]).
 //!
 //! ## Quick start
 //!
@@ -76,6 +80,7 @@ pub mod query;
 pub mod select;
 pub mod shard;
 pub mod simd;
+pub mod span;
 pub mod stats;
 pub mod swap;
 pub mod trace;
@@ -94,6 +99,7 @@ pub use query::Neighbor;
 pub use select::VantageSelector;
 pub use shard::{ShardSearch, ShardedIndex, SharedLowerBound, SharedUpperBound};
 pub use simd::SimdPath;
+pub use span::{Sampler, SpanRecord, SpanRecorder, SpanTimer, TraceId};
 pub use stats::DistanceHistogram;
 pub use swap::{Retired, SwapCell, SwapGuard};
 pub use trace::{
@@ -124,6 +130,7 @@ pub mod prelude {
     pub use crate::select::VantageSelector;
     pub use crate::shard::{ShardSearch, ShardedIndex, SharedLowerBound, SharedUpperBound};
     pub use crate::simd::SimdPath;
+    pub use crate::span::{Sampler, SpanRecord, SpanRecorder, SpanTimer, TraceId};
     pub use crate::stats::DistanceHistogram;
     pub use crate::swap::{Retired, SwapCell, SwapGuard};
     pub use crate::trace::{

@@ -6,6 +6,7 @@
 //! can contribute.
 
 use vantage_core::farthest::{FarthestIndex, KfnCollector};
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::{Metric, Neighbor};
 
 use crate::node::{Node, NodeId};
@@ -20,36 +21,81 @@ fn shell_hi(cutoffs: &[f64], i: usize) -> f64 {
     }
 }
 
+/// The stage that produced a rejected leaf candidate's *upper* bound
+/// (`upper` is the min of `u1`, `u2` and the path sums): trace-only
+/// attribution, always guarded by `S::ENABLED`.
+fn attribute_leaf_upper(u1: f64, u2: f64, upper: f64) -> PruneReason {
+    if u1 <= upper {
+        PruneReason::PrecomputedD1
+    } else if u2 <= upper {
+        PruneReason::PrecomputedD2
+    } else {
+        PruneReason::PathFilter
+    }
+}
+
 impl<T, M: Metric<T>> MvpTree<T, M> {
-    fn beyond_node(
+    /// [`range_beyond`](FarthestIndex::range_beyond) with
+    /// instrumentation: reports every vantage/candidate distance, every
+    /// shell prune and leaf-filter rejection (with the upper bound that
+    /// justified it) into `sink`. Answers and distance computations are
+    /// identical to the untraced method — with [`NoTrace`] the sink
+    /// calls compile away.
+    pub fn beyond_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        let mut path = Vec::with_capacity(self.params.p);
+        if let Some(root) = self.root {
+            self.beyond_node(root, query, radius, 0, &mut path, sink, &mut out);
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn beyond_node<S: TraceSink>(
         &self,
         node: NodeId,
         query: &T,
         radius: f64,
+        level: u32,
         path: &mut Vec<f64>,
+        sink: &mut S,
         out: &mut Vec<Neighbor>,
     ) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
+                sink.enter_node(level, true);
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
                 if dq1 >= radius {
                     out.push(Neighbor::new(*vp1 as usize, dq1));
                 }
                 let Some(vp2) = vp2 else { return };
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
                 if dq2 >= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
                 }
                 for i in 0..entries.len() {
                     // Tightest upper bound over all stored distances.
-                    let mut upper = (dq1 + entries.d1(i)).min(dq2 + entries.d2(i));
+                    let u1 = dq1 + entries.d1(i);
+                    let u2 = dq2 + entries.d2(i);
+                    let mut upper = u1.min(u2);
                     for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         upper = upper.min(qp + ep);
                     }
                     if upper < radius {
+                        if S::ENABLED {
+                            sink.reject(attribute_leaf_upper(u1, u2, upper), radius - upper);
+                        }
                         continue;
                     }
                     let id = entries.id(i) as usize;
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric().distance(query, &self.items[id]);
                     if d >= radius {
                         out.push(Neighbor::new(id, d));
@@ -63,11 +109,14 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 cutoffs2,
                 children,
             } => {
+                sink.enter_node(level, false);
                 let m = self.params.m;
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
                 if dq1 >= radius {
                     out.push(Neighbor::new(*vp1 as usize, dq1));
                 }
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
                 if dq2 >= radius {
                     out.push(Neighbor::new(*vp2 as usize, dq2));
@@ -86,8 +135,16 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                             continue;
                         };
                         let hi2 = shell_hi(&cutoffs2[i], j);
-                        if (dq1 + hi1).min(dq2 + hi2) >= radius {
-                            self.beyond_node(child, query, radius, path, out);
+                        let upper = (dq1 + hi1).min(dq2 + hi2);
+                        if upper >= radius {
+                            self.beyond_node(child, query, radius, level + 1, path, sink, out);
+                        } else if S::ENABLED {
+                            let reason = if dq1 + hi1 <= upper {
+                                PruneReason::FirstShell
+                            } else {
+                                PruneReason::SecondShell
+                            };
+                            sink.prune(level + 1, reason, radius - upper);
                         }
                     }
                 }
@@ -96,22 +153,46 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         }
     }
 
-    pub(crate) fn kfn_node(
+    /// [`k_farthest`](FarthestIndex::k_farthest) with instrumentation;
+    /// see [`beyond_traced`](MvpTree::beyond_traced). Children abandoned
+    /// by the descending-upper-bound early exit are reported as shell
+    /// prunes attributed to the vantage point whose shell produced the
+    /// binding (smaller) upper bound.
+    pub fn kfn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        let mut collector = KfnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                let mut path = Vec::with_capacity(self.params.p);
+                self.kfn_node(root, query, &mut collector, 0, &mut path, sink);
+            }
+        }
+        collector.into_sorted()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn kfn_node<S: TraceSink>(
         &self,
         node: NodeId,
         query: &T,
         collector: &mut KfnCollector,
+        level: u32,
         path: &mut Vec<f64>,
+        sink: &mut S,
     ) {
         match self.node(node) {
             Node::Leaf { vp1, vp2, entries } => {
+                sink.enter_node(level, true);
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
                 collector.offer(*vp1 as usize, dq1);
                 let Some(vp2) = vp2 else { return };
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
                 for i in 0..entries.len() {
-                    let mut upper = (dq1 + entries.d1(i)).min(dq2 + entries.d2(i));
+                    let u1 = dq1 + entries.d1(i);
+                    let u2 = dq2 + entries.d2(i);
+                    let mut upper = u1.min(u2);
                     for (&qp, &ep) in path.iter().zip(entries.path(i)) {
                         upper = upper.min(qp + ep);
                     }
@@ -120,8 +201,11 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                     // smaller id, which canonical tie-breaking must see.
                     if upper >= collector.radius() {
                         let id = entries.id(i) as usize;
+                        sink.distance(DistanceRole::Candidate);
                         let d = self.metric().distance(query, &self.items[id]);
                         collector.offer(id, d);
+                    } else if S::ENABLED {
+                        sink.reject(attribute_leaf_upper(u1, u2, upper), upper);
                     }
                 }
             }
@@ -132,9 +216,12 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 cutoffs2,
                 children,
             } => {
+                sink.enter_node(level, false);
                 let m = self.params.m;
+                sink.distance(DistanceRole::Vantage);
                 let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
                 collector.offer(*vp1 as usize, dq1);
+                sink.distance(DistanceRole::Vantage);
                 let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
                 collector.offer(*vp2 as usize, dq2);
                 let saved = path.len();
@@ -144,7 +231,11 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                 if path.len() < self.params.p {
                     path.push(dq2);
                 }
-                let mut order: Vec<(f64, NodeId)> = Vec::with_capacity(m * m);
+                // Each entry carries which vantage point produced the
+                // binding (smaller) upper bound so abandoned children can
+                // be attributed; the sort compares only the bound, so the
+                // extra field does not perturb the visit order.
+                let mut order: Vec<(f64, NodeId, PruneReason)> = Vec::with_capacity(m * m);
                 for i in 0..m {
                     let hi1 = shell_hi(cutoffs1, i);
                     for j in 0..m {
@@ -152,16 +243,32 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
                             continue;
                         };
                         let hi2 = shell_hi(&cutoffs2[i], j);
-                        order.push(((dq1 + hi1).min(dq2 + hi2), child));
+                        let u1 = dq1 + hi1;
+                        let u2 = dq2 + hi2;
+                        let reason = if u1 <= u2 {
+                            PruneReason::FirstShell
+                        } else {
+                            PruneReason::SecondShell
+                        };
+                        order.push((u1.min(u2), child, reason));
                     }
                 }
                 order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
-                for (upper, child) in order {
+                let mut abandoned = None;
+                for (pos, &(upper, child, _)) in order.iter().enumerate() {
                     // Tie-inclusive, mirroring the leaf filter above.
                     if upper < collector.radius() {
+                        abandoned = Some(pos);
                         break;
                     }
-                    self.kfn_node(child, query, collector, path);
+                    self.kfn_node(child, query, collector, level + 1, path, sink);
+                }
+                if S::ENABLED {
+                    if let Some(pos) = abandoned {
+                        for &(upper, _, reason) in &order[pos..] {
+                            sink.prune(level + 1, reason, upper);
+                        }
+                    }
                 }
                 path.truncate(saved);
             }
@@ -171,23 +278,11 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
 
 impl<T, M: Metric<T>> FarthestIndex<T> for MvpTree<T, M> {
     fn range_beyond(&self, query: &T, radius: f64) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        let mut path = Vec::with_capacity(self.params.p);
-        if let Some(root) = self.root {
-            self.beyond_node(root, query, radius, &mut path, &mut out);
-        }
-        out
+        self.beyond_traced(query, radius, &mut NoTrace)
     }
 
     fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor> {
-        let mut collector = KfnCollector::new(k);
-        if k > 0 {
-            if let Some(root) = self.root {
-                let mut path = Vec::with_capacity(self.params.p);
-                self.kfn_node(root, query, &mut collector, &mut path);
-            }
-        }
-        collector.into_sorted()
+        self.kfn_traced(query, k, &mut NoTrace)
     }
 }
 

@@ -28,7 +28,7 @@ impl<T, M: BoundedMetric<T>> ShardSearch<T> for MvpTree<T, M> {
         if k > 0 {
             if let Some(root) = self.root {
                 let mut path = Vec::with_capacity(self.params.p);
-                self.kfn_node(root, query, &mut collector, &mut path);
+                self.kfn_node(root, query, &mut collector, 0, &mut path, &mut NoTrace);
             }
         }
         collector.into_sorted()

@@ -8,11 +8,12 @@
 //!   format: sparse histogram buckets and all summary fields survive a
 //!   round-trip bit-for-bit, so snapshots can be dumped by a serving
 //!   process, merged offline, and re-rendered (`vantage stats --metrics`).
-//! * **Prometheus** ([`to_prometheus`]) renders the conventional
-//!   scrape-format summary: per `{index, op}` counters plus
-//!   quantile-labeled latency/distance gauges. Quantiles (not raw
-//!   buckets) keep the exposition small; the JSON export carries the full
-//!   distributions.
+//! * **Prometheus** ([`to_prometheus`]) renders the text exposition
+//!   format: per `{index, op}` counters, latency/distance **histograms**
+//!   (cumulative `_bucket{le=…}` series over the occupied log-linear
+//!   buckets, closed by `le="+Inf"`, plus `_sum`/`_count`), and recall
+//!   summaries. Only occupied buckets are emitted, so the exposition
+//!   stays proportional to the data actually observed.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -258,11 +259,35 @@ pub fn from_json(text: &str) -> Result<RegistrySnapshot, String> {
 
 const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
 
+/// Writes one histogram time series: cumulative `_bucket` samples at
+/// the inclusive upper edge of every *occupied* log-linear bucket,
+/// the mandatory `le="+Inf"` closing bucket, then `_sum` and `_count`.
+fn write_prometheus_histogram(out: &mut String, metric: &str, labels: &str, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for &(index, count) in &h.buckets {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{{labels},le=\"{}\"}} {cumulative}",
+            crate::histogram::bucket_upper(index as usize)
+        );
+    }
+    let _ = writeln!(out, "{metric}_bucket{{{labels},le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", h.sum);
+    let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count);
+}
+
 /// Renders the snapshot in the Prometheus text exposition format.
+///
+/// Conformance notes: every metric carries `# HELP`/`# TYPE` lines
+/// (help text with backslash/newline escaping), label values escape
+/// `\`, `"` and newlines, histogram `_bucket` counts are cumulative
+/// and closed by `le="+Inf"`, and the exposition ends with a trailing
+/// newline — the shape the `prometheus_golden` test pins.
 pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
     let mut out = String::new();
     let type_line = |out: &mut String, name: &str, kind: &str, help: &str| {
-        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
         let _ = writeln!(out, "# TYPE {name} {kind}");
     };
 
@@ -296,22 +321,15 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
             |op: &OpSnapshot| &op.distances,
         ),
     ] {
-        type_line(&mut out, metric, "summary", unit_help);
+        type_line(&mut out, metric, "histogram", unit_help);
         for index in &snapshot.indexes {
             for op in &index.ops {
-                let h = pick(op);
                 let labels = format!(
                     "index=\"{}\",op=\"{}\"",
                     escape_label(&index.label),
                     op.kind.name()
                 );
-                for (q, q_label) in QUANTILES {
-                    if let Some(v) = h.percentile(q) {
-                        let _ = writeln!(out, "{metric}{{{labels},quantile=\"{q_label}\"}} {v}");
-                    }
-                }
-                let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", h.sum);
-                let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count);
+                write_prometheus_histogram(&mut out, metric, &labels, pick(op));
             }
         }
     }
@@ -413,7 +431,13 @@ pub fn to_prometheus(snapshot: &RegistrySnapshot) -> String {
 }
 
 fn escape_label(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -476,7 +500,7 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_has_counters_and_quantiles() {
+    fn prometheus_has_counters_and_histograms() {
         let text = to_prometheus(&sample());
         assert!(text.contains("# TYPE vantage_ops_total counter"), "{text}");
         assert!(
@@ -484,7 +508,13 @@ mod tests {
             "{text}"
         );
         assert!(
-            text.contains("vantage_op_latency_ns{index=\"mvp\",op=\"range\",quantile=\"0.99\"}"),
+            text.contains("# TYPE vantage_op_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "vantage_op_latency_ns_bucket{index=\"mvp\",op=\"range\",le=\"+Inf\"} 50"
+            ),
             "{text}"
         );
         assert!(
@@ -492,6 +522,33 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("vantage_abandoned_total"), "{text}");
+        assert!(text.ends_with('\n'), "missing trailing newline");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_closed() {
+        let text = to_prometheus(&sample());
+        // The 50 range latencies spread over several log-linear buckets;
+        // the emitted bucket counts must be non-decreasing and the +Inf
+        // bucket must equal _count.
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines() {
+            let Some(rest) =
+                line.strip_prefix("vantage_op_latency_ns_bucket{index=\"mvp\",op=\"range\",le=\"")
+            else {
+                continue;
+            };
+            let (le, count) = rest.split_once("\"} ").unwrap();
+            let count: u64 = count.parse().unwrap();
+            assert!(count >= last, "bucket counts must be cumulative: {line}");
+            last = count;
+            if le == "+Inf" {
+                saw_inf = true;
+                assert_eq!(count, 50, "+Inf bucket must equal _count");
+            }
+        }
+        assert!(saw_inf, "missing le=\"+Inf\" bucket:\n{text}");
     }
 
     #[test]
@@ -539,13 +596,20 @@ mod tests {
     #[test]
     fn prometheus_escapes_labels() {
         let registry = MetricsRegistry::new();
-        registry.index("odd\"label\\x").record(
+        registry.index("odd\"label\\x\nnl").record(
             OpKind::Range,
             Duration::from_nanos(1),
             CostDelta::default(),
         );
         let text = to_prometheus(&registry.snapshot());
-        assert!(text.contains("index=\"odd\\\"label\\\\x\""), "{text}");
+        assert!(text.contains("index=\"odd\\\"label\\\\x\\nnl\""), "{text}");
+        // A raw newline inside a label value would split the sample line.
+        for line in text.lines() {
+            assert!(
+                !line.starts_with("nl\""),
+                "label newline leaked into the exposition: {line}"
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   Prometheus text ([`export::to_prometheus`]) exporters.
 //! * [`gate`] — the CI perf-regression comparison: fresh quick-scale
 //!   medians against committed `BENCH_*.json` baselines.
+//! * [`TraceRing`] — a bounded, never-blocking ring of sampled request
+//!   traces ([`TraceRecord`]) backing the serve protocol's `SLOW` /
+//!   `TRACE` commands and the Chrome trace-event exporter
+//!   ([`ring::chrome_from_trace_json`]).
+//! * [`SloSurface`] — windowed p50/p99/p999 latency per operation kind
+//!   with exemplar trace IDs, recorded lock-free on the request path.
 //!
 //! See `vantage stats --metrics`, `vantage query --metrics`, and the
 //! `perf-gate` binary in the bench crate for the CLI surface.
@@ -38,6 +44,8 @@ pub mod histogram;
 pub mod instrument;
 pub mod json;
 pub mod registry;
+pub mod ring;
+pub mod slo;
 pub mod snapshot;
 
 pub use counter::ShardedCounter;
@@ -45,4 +53,6 @@ pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use instrument::{CostProbe, Instrumented, NoProbe};
 pub use json::Json;
 pub use registry::{CostDelta, Gauge, IndexMetrics, MetricsRegistry, OpKind, RECALL_SCALE};
+pub use ring::{chrome_from_trace_json, profile_to_json, TraceRecord, TraceRing};
+pub use slo::{SloSnapshot, SloSurface};
 pub use snapshot::{format_ns, GaugeSnapshot, IndexSnapshot, OpSnapshot, RegistrySnapshot};

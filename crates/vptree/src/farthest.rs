@@ -6,16 +6,46 @@
 //! cannot reach the threshold.
 
 use vantage_core::farthest::{FarthestIndex, KfnCollector};
+use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
 use vantage_core::{Metric, Neighbor};
 
 use crate::node::{Node, NodeId};
 use crate::tree::VpTree;
 
 impl<T, M: Metric<T>> VpTree<T, M> {
-    fn beyond_node(&self, node: NodeId, query: &T, radius: f64, out: &mut Vec<Neighbor>) {
+    /// [`range_beyond`](FarthestIndex::range_beyond) with
+    /// instrumentation: reports every vantage/candidate distance and
+    /// every shell prune (with the upper-bound margin `radius − (d+hi)`
+    /// that justified it) into `sink`. Answers and distance computations
+    /// are identical to the untraced method — with [`NoTrace`] the sink
+    /// calls compile away.
+    pub fn beyond_traced<S: TraceSink>(
+        &self,
+        query: &T,
+        radius: f64,
+        sink: &mut S,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.beyond_node(root, query, radius, 0, sink, &mut out);
+        }
+        out
+    }
+
+    fn beyond_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        radius: f64,
+        level: u32,
+        sink: &mut S,
+        out: &mut Vec<Neighbor>,
+    ) {
         match self.node(node) {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric().distance(query, &self.items[id as usize]);
                     if d >= radius {
                         out.push(Neighbor::new(id as usize, d));
@@ -27,6 +57,8 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 cutoffs,
                 children,
             } => {
+                sink.enter_node(level, false);
+                sink.distance(DistanceRole::Vantage);
                 let d = self
                     .metric()
                     .distance(query, &self.items[*vantage as usize]);
@@ -41,17 +73,42 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                         cutoffs[i]
                     };
                     if d + hi >= radius {
-                        self.beyond_node(*child, query, radius, out);
+                        self.beyond_node(*child, query, radius, level + 1, sink, out);
+                    } else if S::ENABLED {
+                        sink.prune(level + 1, PruneReason::FirstShell, radius - (d + hi));
                     }
                 }
             }
         }
     }
 
-    pub(crate) fn kfn_node(&self, node: NodeId, query: &T, collector: &mut KfnCollector) {
+    /// [`k_farthest`](FarthestIndex::k_farthest) with instrumentation;
+    /// see [`beyond_traced`](VpTree::beyond_traced). Children abandoned
+    /// by the descending-upper-bound early exit are reported as
+    /// [`PruneReason::FirstShell`] prunes carrying their upper bound.
+    pub fn kfn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
+        let mut collector = KfnCollector::new(k);
+        if k > 0 {
+            if let Some(root) = self.root {
+                self.kfn_node(root, query, &mut collector, 0, sink);
+            }
+        }
+        collector.into_sorted()
+    }
+
+    pub(crate) fn kfn_node<S: TraceSink>(
+        &self,
+        node: NodeId,
+        query: &T,
+        collector: &mut KfnCollector,
+        level: u32,
+        sink: &mut S,
+    ) {
         match self.node(node) {
             Node::Leaf { items } => {
+                sink.enter_node(level, true);
                 for &id in items {
+                    sink.distance(DistanceRole::Candidate);
                     let d = self.metric().distance(query, &self.items[id as usize]);
                     collector.offer(id as usize, d);
                 }
@@ -61,6 +118,8 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 cutoffs,
                 children,
             } => {
+                sink.enter_node(level, false);
+                sink.distance(DistanceRole::Vantage);
                 let d = self
                     .metric()
                     .distance(query, &self.items[*vantage as usize]);
@@ -82,14 +141,23 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                     })
                     .collect();
                 order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
-                for (upper, child) in order {
+                let mut abandoned = None;
+                for (pos, &(upper, child)) in order.iter().enumerate() {
                     // Tie-inclusive: a child whose upper bound *equals*
                     // the threshold may hold an equidistant point with a
                     // smaller id, which canonical tie-breaking must see.
                     if upper < collector.radius() {
+                        abandoned = Some(pos);
                         break;
                     }
-                    self.kfn_node(child, query, collector);
+                    self.kfn_node(child, query, collector, level + 1, sink);
+                }
+                if S::ENABLED {
+                    if let Some(pos) = abandoned {
+                        for &(upper, _) in &order[pos..] {
+                            sink.prune(level + 1, PruneReason::FirstShell, upper);
+                        }
+                    }
                 }
             }
         }
@@ -98,21 +166,11 @@ impl<T, M: Metric<T>> VpTree<T, M> {
 
 impl<T, M: Metric<T>> FarthestIndex<T> for VpTree<T, M> {
     fn range_beyond(&self, query: &T, radius: f64) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if let Some(root) = self.root {
-            self.beyond_node(root, query, radius, &mut out);
-        }
-        out
+        self.beyond_traced(query, radius, &mut NoTrace)
     }
 
     fn k_farthest(&self, query: &T, k: usize) -> Vec<Neighbor> {
-        let mut collector = KfnCollector::new(k);
-        if k > 0 {
-            if let Some(root) = self.root {
-                self.kfn_node(root, query, &mut collector);
-            }
-        }
-        collector.into_sorted()
+        self.kfn_traced(query, k, &mut NoTrace)
     }
 }
 

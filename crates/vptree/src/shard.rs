@@ -27,7 +27,7 @@ impl<T, M: BoundedMetric<T>> ShardSearch<T> for VpTree<T, M> {
         let mut collector = KfnCollector::with_shared(k, shared);
         if k > 0 {
             if let Some(root) = self.root {
-                self.kfn_node(root, query, &mut collector);
+                self.kfn_node(root, query, &mut collector, 0, &mut NoTrace);
             }
         }
         collector.into_sorted()
