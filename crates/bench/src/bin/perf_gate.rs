@@ -387,6 +387,79 @@ fn budget_metrics(metrics: &mut BTreeMap<String, f64>) {
     );
 }
 
+/// Snapshot cold-start: wall-clock from `open(2)` on a written snapshot
+/// file to the first kNN answer, for the zero-copy mapped loader
+/// (`snapshot/cold_start_ns`) and the materializing decoder
+/// (`snapshot/decode_start_ns`) — the tentpole cliff this gate pins.
+/// Also records steady-state mapped vs decoded kNN cost per query
+/// (`snapshot/{mapped,decoded}_knn_ns`): the mapped path answers out of
+/// the page cache through the flat arena, so this is the
+/// cache-miss-sensitive number that would regress if the borrowed view
+/// ever grew a pointer-chasing indirection. All keys end in `_ns`
+/// (calibration-rescaled, loose wall tolerance).
+fn snapshot_metrics(metrics: &mut BTreeMap<String, f64>) {
+    const COLD_REPS: usize = 9;
+    let points = bench_vectors(N);
+    let queries = bench_queries();
+    let tree = VpTree::build(points, Euclidean, VpTreeParams::binary().seed(1)).expect("vp build");
+    let path = std::env::temp_dir().join(format!("vantage-perf-gate-{}.vsnap", std::process::id()));
+    vantage_persist::save_vp_tree(&tree, &path).expect("snapshot write");
+    drop(tree);
+
+    let mut cold = Vec::with_capacity(COLD_REPS);
+    let mut decode = Vec::with_capacity(COLD_REPS);
+    for _ in 0..COLD_REPS {
+        let start = Instant::now();
+        let mapped = vantage_persist::open_vp_tree::<vantage_persist::F64Vectors, Euclidean>(&path)
+            .expect("mapped open");
+        std::hint::black_box(mapped.view().knn(queries[0].as_slice(), KNN_K));
+        cold.push(start.elapsed().as_nanos() as f64);
+        drop(mapped);
+
+        let start = Instant::now();
+        let decoded: VpTree<Vec<f64>, Euclidean> =
+            vantage_persist::load_vp_tree(&path).expect("decode");
+        std::hint::black_box(decoded.knn(&queries[0], KNN_K));
+        decode.push(start.elapsed().as_nanos() as f64);
+    }
+    cold.sort_by(f64::total_cmp);
+    decode.sort_by(f64::total_cmp);
+    metrics.insert("snapshot/cold_start_ns".to_string(), cold[cold.len() / 2]);
+    metrics.insert(
+        "snapshot/decode_start_ns".to_string(),
+        decode[decode.len() / 2],
+    );
+
+    let total = (REPS * queries.len()) as f64;
+    let mapped = vantage_persist::open_vp_tree::<vantage_persist::F64Vectors, Euclidean>(&path)
+        .expect("mapped open");
+    let view = mapped.view();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(view.knn(q.as_slice(), KNN_K));
+        }
+    }
+    metrics.insert(
+        "snapshot/mapped_knn_ns".to_string(),
+        start.elapsed().as_nanos() as f64 / total,
+    );
+
+    let decoded: VpTree<Vec<f64>, Euclidean> =
+        vantage_persist::load_vp_tree(&path).expect("decode");
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for q in &queries {
+            std::hint::black_box(decoded.knn(q, KNN_K));
+        }
+    }
+    metrics.insert(
+        "snapshot/decoded_knn_ns".to_string(),
+        start.elapsed().as_nanos() as f64 / total,
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 /// Flattens the snapshot into the gated metric map.
 fn collect_metrics(registry: &MetricsRegistry) -> BTreeMap<String, f64> {
     let mut metrics = BTreeMap::new();
@@ -435,6 +508,7 @@ fn main() {
     budget_metrics(&mut fresh);
     kernel_metrics(&mut fresh);
     trace_metrics(&mut fresh);
+    snapshot_metrics(&mut fresh);
     fresh.insert("calibration_ns".to_string(), calibration_ns());
 
     if let Some(path) = &options.metrics_out {

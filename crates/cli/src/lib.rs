@@ -1267,7 +1267,11 @@ fn cmd_stats(argv: &[String], out: &mut String) -> CliResult<()> {
     let args = Args::parse(argv)?;
     if let Some(path) = args.get("index") {
         // Snapshot mode: verify every checksum and print the header.
-        let info = persist::inspect(path).map_err(|e| err(format!("{path}: {e}")))?;
+        // `stats` is the operator's integrity check, so it deliberately
+        // pays the O(file) read that header-only `persist::inspect`
+        // avoids on the serve path.
+        let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
         check_snapshot_metric(&info, args.get("metric"))?;
         let _ = writeln!(out, "snapshot: {path}");
         let _ = writeln!(out, "  format version: {}", info.version);
@@ -2143,7 +2147,7 @@ mod tests {
         ]);
         run_ok(&["build", "--data", &data, "--save", &snap, "--metric", "l1"]);
         let out = run_ok(&["stats", "--index", &snap]);
-        assert!(out.contains("format version: 1"), "{out}");
+        assert!(out.contains("format version: 2"), "{out}");
         assert!(out.contains("index:          mvp-tree"), "{out}");
         assert!(out.contains("items:          120 × f64-vector"), "{out}");
         assert!(out.contains("metric:         l1"), "{out}");

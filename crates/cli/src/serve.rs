@@ -18,7 +18,7 @@
 //! KFN    <k> <query>       -> OK <n> id:dist ...       (descending distance)
 //! INSERT <item>            -> OK id=N generation=G     (dynamic mode)
 //! DELETE <id>              -> OK removed=B generation=G (dynamic mode)
-//! RELOAD <path>            -> OK generation=G items=N drained=B (snapshot mode)
+//! RELOAD <path>            -> OK generation=G items=N layout=L drained=B (snapshot mode)
 //! REINDEX                  -> OK generation=G ...      (both modes)
 //! STATS                    -> OK <single-line metrics JSON>
 //! SLOW   [n]               -> OK <json array>          (slowest captured traces)
@@ -66,6 +66,7 @@
 //! sustained ingest under heavy concurrent reads is the normal case,
 //! not an outage.
 
+use std::borrow::Borrow;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as IoWrite};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -296,6 +297,80 @@ where
     }
 }
 
+/// A zero-copy mapped snapshot behind the query verbs: each call
+/// assembles a borrowed view over the mapped bytes (pointer arithmetic,
+/// no allocation, no node materialization) and runs the same kernels
+/// the owned trees run, so replies are byte-identical to the decoded
+/// path. Queries arrive as owned wire items (`Vec<f64>`, `String`) and
+/// are borrowed down to the view's unsized item form.
+macro_rules! impl_served_mapped {
+    ($name:ident, $mapped:ident) => {
+        struct $name<K: persist::FlatItems, M: Clone> {
+            tree: persist::$mapped<K, Counted<M>>,
+            probe: Counted<M>,
+        }
+
+        impl<T, K, M> ServedQuery<T> for $name<K, M>
+        where
+            T: Borrow<K::Item> + Send + Sync,
+            K: persist::FlatItems + Send + Sync,
+            K::Item: Sync,
+            M: BoundedMetric<K::Item> + Clone + Send + Sync,
+        {
+            fn execute(&self, cmd: &QueryCmd, query: &T) -> Vec<Neighbor> {
+                let view = self.tree.view();
+                let q = query.borrow();
+                match cmd {
+                    QueryCmd::Range(radius) => {
+                        let mut v = view.range(q, *radius);
+                        v.sort_unstable();
+                        v
+                    }
+                    QueryCmd::Knn(k) => view.knn(q, *k),
+                    QueryCmd::Beyond(radius) => {
+                        let mut v = view.range_beyond(q, *radius);
+                        v.sort_unstable();
+                        v
+                    }
+                    QueryCmd::Kfn(k) => view.k_farthest(q, *k),
+                }
+            }
+
+            fn execute_traced(
+                &self,
+                cmd: &QueryCmd,
+                query: &T,
+                rec: &mut SpanRecorder,
+            ) -> (Vec<Neighbor>, QueryProfile) {
+                let mut profile = QueryProfile::new();
+                let timer = rec.begin();
+                let before = self.probe.totals();
+                let view = self.tree.view();
+                let q = query.borrow();
+                let results = match cmd {
+                    QueryCmd::Range(radius) => {
+                        let mut v = view.range_traced(q, *radius, &mut profile);
+                        v.sort_unstable();
+                        v
+                    }
+                    QueryCmd::Knn(k) => view.knn_traced(q, *k, &mut profile),
+                    QueryCmd::Beyond(radius) => {
+                        let mut v = view.beyond_traced(q, *radius, &mut profile);
+                        v.sort_unstable();
+                        v
+                    }
+                    QueryCmd::Kfn(k) => view.kfn_traced(q, *k, &mut profile),
+                };
+                rec.record("search", None, timer, self.probe.totals().since(&before));
+                (results, profile)
+            }
+        }
+    };
+}
+
+impl_served_mapped!(ServedMappedVp, MappedVpTree);
+impl_served_mapped!(ServedMappedMvp, MappedMvpTree);
+
 /// Decodes a snapshot into a boxed near+far queryable index plus a probe
 /// sharing the index's `Counted` tally.
 fn decode_query_index<T, M>(
@@ -428,6 +503,90 @@ where
     }
 }
 
+/// One loaded generation: the boxed index, its probe, and the labels
+/// `INFO` surfaces.
+struct LoadedIndex<T, M> {
+    index: Box<dyn ServedQuery<T>>,
+    probe: Counted<M>,
+    items: u64,
+    structure: &'static str,
+    /// How the generation holds its data: `mmap` (zero-copy file
+    /// mapping), `read` (owned fallback behind the mapped API), or
+    /// `decoded` (fully materialized — sharded and linear layouts).
+    layout: &'static str,
+}
+
+/// `RELOAD`'s generation loader, with the sharding/seed policy captured
+/// at server start so every swap rebuilds under the same layout.
+type Loader<T, M> = Box<dyn Fn(&str) -> CliResult<LoadedIndex<T, M>> + Send + Sync>;
+
+/// Loads a snapshot generation from `path`. Unsharded tree snapshots
+/// take the zero-copy route: the file is mapped, verified once, and
+/// served in place — `open(2)` to answering queries without
+/// materializing a node. Sharded layouts and linear scans decode as
+/// before (sharding re-partitions the dataset, so it has to own items).
+fn load_index_typed<T, M, K>(
+    path: &str,
+    shards: usize,
+    seed: u64,
+    threads: Threads,
+) -> CliResult<LoadedIndex<T, M>>
+where
+    T: ItemCodec + Clone + Send + Sync + 'static + Borrow<K::Item>,
+    M: MetricTag + BoundedMetric<T> + BoundedMetric<K::Item> + Clone + Send + Sync + 'static,
+    K: persist::FlatItems + Send + Sync + 'static,
+    K::Item: Sync,
+{
+    // O(header): decide the loading route without touching the payload.
+    let info = persist::inspect(path).map_err(|e| err(format!("{path}: {e}")))?;
+    if shards == 1 {
+        match info.kind {
+            IndexKind::VpTree => {
+                let tree = persist::open_vp_tree::<K, Counted<M>>(path)
+                    .map_err(|e| err(format!("{path}: {e}")))?;
+                let probe = tree.metric().clone();
+                let layout = if tree.is_mapped() { "mmap" } else { "read" };
+                return Ok(LoadedIndex {
+                    items: tree.len() as u64,
+                    structure: structure_label(info.kind),
+                    layout,
+                    index: Box::new(ServedMappedVp {
+                        tree,
+                        probe: probe.clone(),
+                    }),
+                    probe,
+                });
+            }
+            IndexKind::MvpTree => {
+                let tree = persist::open_mvp_tree::<K, Counted<M>>(path)
+                    .map_err(|e| err(format!("{path}: {e}")))?;
+                let probe = tree.metric().clone();
+                let layout = if tree.is_mapped() { "mmap" } else { "read" };
+                return Ok(LoadedIndex {
+                    items: tree.len() as u64,
+                    structure: structure_label(info.kind),
+                    layout,
+                    index: Box::new(ServedMappedMvp {
+                        tree,
+                        probe: probe.clone(),
+                    }),
+                    probe,
+                });
+            }
+            IndexKind::Linear => {}
+        }
+    }
+    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let (index, probe) = load_static_index::<T, M>(&bytes, info.kind, shards, seed, threads)?;
+    Ok(LoadedIndex {
+        index,
+        probe,
+        items: info.items,
+        structure: structure_label(info.kind),
+        layout: "decoded",
+    })
+}
+
 /// Like [`decode_query_index`], but also hands back a copy of the items
 /// (the smoke client derives its query workload from them).
 fn decode_with_items<T, M>(
@@ -466,6 +625,8 @@ struct StaticGen<T, M> {
     probe: Counted<M>,
     items: u64,
     structure: &'static str,
+    /// Data residency of this generation (`mmap`/`read`/`decoded`).
+    layout: &'static str,
     metrics: Arc<IndexMetrics>,
 }
 
@@ -477,11 +638,13 @@ struct StaticEngine<T, M> {
     source: Mutex<String>,
     item_tag: String,
     metric_tag: String,
-    /// Scatter-gather shard count (1 = serve the decoded tree as-is);
+    /// Scatter-gather shard count (1 = serve the snapshot in place);
     /// `RELOAD`/`REINDEX` rebuild new generations under the same layout.
     shards: usize,
-    seed: u64,
-    threads: Threads,
+    /// Builds a fresh generation from a snapshot path, capturing the
+    /// shard/seed/thread policy fixed at server start. `RELOAD` goes
+    /// through this so a swap takes the same zero-copy route as gen0.
+    loader: Loader<T, M>,
 }
 
 /// Ingest-serving engine: the concurrent mvp-tree swaps internally on
@@ -577,6 +740,15 @@ impl ServeOptions {
         if shards == 0 {
             return Err(err("--shards must be at least 1"));
         }
+        let slow_ms: f64 = args.parsed("slow-ms", 100.0)?;
+        // A NaN here would fail every `latency >= slow_ns` comparison
+        // and silently disable slow-query capture; reject it (and other
+        // nonsense) at the boundary instead.
+        if !slow_ms.is_finite() || slow_ms < 0.0 {
+            return Err(err(format!(
+                "--slow-ms must be a finite, non-negative number of milliseconds, got `{slow_ms}`"
+            )));
+        }
         Ok(ServeOptions {
             addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
             addr_file: args.get("addr-file").map(str::to_string),
@@ -586,7 +758,7 @@ impl ServeOptions {
             threads: parse_threads(args)?,
             shards,
             trace_sample: args.parsed("trace-sample", 64)?,
-            slow_ms: args.parsed("slow-ms", 100.0)?,
+            slow_ms,
             slow_log: args.get("slow-log").map(str::to_string),
             trace_ring: args.parsed("trace-ring", 256)?,
         })
@@ -601,12 +773,13 @@ fn unix_ms() -> i64 {
         .unwrap_or(0)
 }
 
-/// Serves an index loaded from a `vantage-persist` snapshot. The file is
-/// read, checksum-verified and decoded exactly once, here; queries never
-/// touch the disk again.
+/// Serves an index loaded from a `vantage-persist` snapshot. Routing is
+/// decided from an **O(header)** inspection: unsharded tree snapshots
+/// are mapped and served zero-copy (the kernel pages nodes in on
+/// demand), everything else is read and decoded exactly once, here;
+/// queries never touch the loader again.
 pub(crate) fn serve_snapshot(path: &str, opts: ServeOptions, out: &mut String) -> CliResult<()> {
-    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
-    let info = persist::inspect_bytes(&bytes).map_err(|e| err(format!("{path}: {e}")))?;
+    let info = persist::inspect(path).map_err(|e| err(format!("{path}: {e}")))?;
     if let Some(want) = &opts.metric {
         if *want != info.metric {
             // Typed mismatch, not a panic: the snapshot itself is fine,
@@ -621,16 +794,18 @@ pub(crate) fn serve_snapshot(path: &str, opts: ServeOptions, out: &mut String) -
     }
     match (info.item.as_str(), info.metric.as_str()) {
         ("utf8-string", "edit") => {
-            serve_snapshot_typed::<String, Levenshtein>(path, &bytes, &info, opts, out)
+            serve_snapshot_typed::<String, Levenshtein, persist::Utf8Strings>(
+                path, &info, opts, out,
+            )
         }
         ("f64-vector", "l2") => {
-            serve_snapshot_typed::<Vec<f64>, Euclidean>(path, &bytes, &info, opts, out)
+            serve_snapshot_typed::<Vec<f64>, Euclidean, persist::F64Vectors>(path, &info, opts, out)
         }
         ("f64-vector", "l1") => {
-            serve_snapshot_typed::<Vec<f64>, Manhattan>(path, &bytes, &info, opts, out)
+            serve_snapshot_typed::<Vec<f64>, Manhattan, persist::F64Vectors>(path, &info, opts, out)
         }
         ("f64-vector", "linf") => {
-            serve_snapshot_typed::<Vec<f64>, Chebyshev>(path, &bytes, &info, opts, out)
+            serve_snapshot_typed::<Vec<f64>, Chebyshev, persist::F64Vectors>(path, &info, opts, out)
         }
         (item, metric) => Err(err(format!(
             "{path}: snapshot combination {item}/{metric} is not supported by this CLI"
@@ -638,21 +813,24 @@ pub(crate) fn serve_snapshot(path: &str, opts: ServeOptions, out: &mut String) -
     }
 }
 
-fn serve_snapshot_typed<T, M>(
+fn serve_snapshot_typed<T, M, K>(
     path: &str,
-    bytes: &[u8],
     info: &persist::SnapshotInfo,
     opts: ServeOptions,
     out: &mut String,
 ) -> CliResult<()>
 where
-    T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
-    M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
+    T: WireItem + ItemCodec + Clone + Send + Sync + 'static + Borrow<K::Item>,
+    M: MetricTag + BoundedMetric<T> + BoundedMetric<K::Item> + Clone + Send + Sync + 'static,
+    K: persist::FlatItems + Send + Sync + 'static,
+    K::Item: Sync,
 {
     let registry = MetricsRegistry::new();
+    let (shards, seed, threads) = (opts.shards, opts.seed, opts.threads);
+    let loader: Loader<T, M> =
+        Box::new(move |p: &str| load_index_typed::<T, M, K>(p, shards, seed, threads));
     let load_start = Instant::now();
-    let (index, probe) =
-        load_static_index::<T, M>(bytes, info.kind, opts.shards, opts.seed, opts.threads)?;
+    let loaded = loader(path)?;
     let metrics = registry.index("serve/gen0");
     metrics.record(
         OpKind::SnapshotLoad,
@@ -662,22 +840,22 @@ where
             ..CostDelta::default()
         },
     );
-    probe.reset();
+    loaded.probe.reset();
     registry.gauge("serve/gen0/loaded_unix_ms").set(unix_ms());
     let engine = Engine::Static(StaticEngine {
         cell: SwapCell::new(StaticGen {
-            index,
-            probe,
-            items: info.items,
-            structure: structure_label(info.kind),
+            index: loaded.index,
+            probe: loaded.probe,
+            items: loaded.items,
+            structure: loaded.structure,
+            layout: loaded.layout,
             metrics,
         }),
         source: Mutex::new(path.to_string()),
         item_tag: info.item.clone(),
         metric_tag: info.metric.clone(),
         shards: opts.shards,
-        seed: opts.seed,
-        threads: opts.threads,
+        loader,
     });
     run_server(engine, registry, info.metric.clone(), opts, out)
 }
@@ -991,9 +1169,19 @@ where
                 let mut entry = std::collections::BTreeMap::new();
                 entry.insert("count".to_string(), Json::Num(snap.total as f64));
                 entry.insert("window".to_string(), Json::Num(snap.window as f64));
+                // Effective sample count plus per-percentile convergence
+                // flags: with a thin window, nearest-rank p99/p999 alias
+                // the worst observation — clients get told, not fooled.
+                entry.insert("samples".to_string(), Json::Num(snap.samples as f64));
                 entry.insert("p50_ns".to_string(), Json::Num(snap.p50_ns as f64));
                 entry.insert("p99_ns".to_string(), Json::Num(snap.p99_ns as f64));
                 entry.insert("p999_ns".to_string(), Json::Num(snap.p999_ns as f64));
+                entry.insert("p50_converged".to_string(), Json::Bool(snap.p50_converged));
+                entry.insert("p99_converged".to_string(), Json::Bool(snap.p99_converged));
+                entry.insert(
+                    "p999_converged".to_string(),
+                    Json::Bool(snap.p999_converged),
+                );
                 entry.insert("worst_ns".to_string(), Json::Num(snap.worst_ns as f64));
                 entry.insert(
                     "worst_trace".to_string(),
@@ -1246,11 +1434,12 @@ where
         Engine::Static(engine) => {
             let guard = engine.cell.read();
             format!(
-                "OK mode=static structure={} metric={} items={} shards={} generation={} swaps={} simd={} uptime_s={}",
+                "OK mode=static structure={} metric={} items={} shards={} layout={} generation={} swaps={} simd={} uptime_s={}",
                 guard.structure,
                 shared.metric_name,
                 guard.items,
                 engine.shards,
+                guard.layout,
                 guard.generation(),
                 engine.cell.swaps(),
                 vantage_core::simd::active_name(),
@@ -1292,6 +1481,7 @@ where
             ("p50_ns", snap.p50_ns),
             ("p99_ns", snap.p99_ns),
             ("p999_ns", snap.p999_ns),
+            ("samples", snap.samples),
         ] {
             shared
                 .registry
@@ -1313,10 +1503,11 @@ where
     T: WireItem + ItemCodec + Clone + Send + Sync + 'static,
     M: MetricTag + BoundedMetric<T> + Clone + Send + Sync + 'static,
 {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    // Checksums and the dataset digest are verified here, once; the new
-    // generation then serves purely from memory.
-    let info = persist::inspect_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    // O(header) routing check first; the loader then verifies checksums
+    // and structural invariants once, and for unsharded tree snapshots
+    // maps the file instead of materializing a node arena — the swap is
+    // near-zero-copy.
+    let info = persist::inspect(path).map_err(|e| format!("{path}: {e}"))?;
     if info.metric != engine.metric_tag {
         return Err(
             VantageError::mismatch("metric", info.metric, engine.metric_tag.clone()).to_string(),
@@ -1328,14 +1519,7 @@ where
         );
     }
     let load_start = Instant::now();
-    let (index, probe) = load_static_index::<T, M>(
-        &bytes,
-        info.kind,
-        engine.shards,
-        engine.seed,
-        engine.threads,
-    )
-    .map_err(|e| e.to_string())?;
+    let loaded = (engine.loader)(path).map_err(|e| e.to_string())?;
     let next_gen = engine.cell.generation() + 1;
     let metrics = shared.registry.index(&format!("serve/gen{next_gen}"));
     metrics.record(
@@ -1350,12 +1534,15 @@ where
         .registry
         .gauge(&format!("serve/gen{next_gen}/loaded_unix_ms"))
         .set(unix_ms());
-    probe.reset();
+    loaded.probe.reset();
+    let items = loaded.items;
+    let layout = loaded.layout;
     let retired = engine.cell.swap(StaticGen {
-        index,
-        probe,
-        items: info.items,
-        structure: structure_label(info.kind),
+        index: loaded.index,
+        probe: loaded.probe,
+        items: loaded.items,
+        structure: loaded.structure,
+        layout: loaded.layout,
         metrics,
     });
     let drained = retired.wait_drained(DRAIN_TIMEOUT);
@@ -1365,9 +1552,8 @@ where
         .lock()
         .map_err(|_| "source path lock poisoned".to_string())? = path.to_string();
     Ok(Reply::Line(format!(
-        "OK generation={} items={} drained={drained}",
+        "OK generation={} items={items} layout={layout} drained={drained}",
         engine.cell.generation(),
-        info.items
     )))
 }
 
@@ -1658,5 +1844,36 @@ where
 fn note_failure(slot: &Mutex<Option<String>>, message: String) {
     if let Ok(mut guard) = slot.lock() {
         guard.get_or_insert(message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(argv: &[&str]) -> CliResult<ServeOptions> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let args = Args::parse(&argv)?;
+        ServeOptions::from_args(&args)
+    }
+
+    #[test]
+    fn slow_ms_rejects_nan_infinities_and_negatives() {
+        // A NaN slow threshold fails every `>=` comparison and would
+        // silently disable slow-query capture; the parser refuses it.
+        for bad in ["NaN", "nan", "inf", "-inf", "-1", "-0.5"] {
+            let e = match opts(&["--slow-ms", bad]) {
+                Err(e) => e,
+                Ok(_) => panic!("--slow-ms {bad} should be rejected"),
+            };
+            assert!(e.0.contains("--slow-ms"), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn slow_ms_accepts_zero_and_fractional_thresholds() {
+        assert_eq!(opts(&[]).unwrap().slow_ms, 100.0);
+        assert_eq!(opts(&["--slow-ms", "0"]).unwrap().slow_ms, 0.0);
+        assert_eq!(opts(&["--slow-ms", "0.25"]).unwrap().slow_ms, 0.25);
     }
 }

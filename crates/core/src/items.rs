@@ -1,0 +1,180 @@
+//! Item storage abstraction for search kernels.
+//!
+//! Every search kernel in the tree crates resolves an item id (`u32`)
+//! to a borrowed item exactly once per distance computation. Owned
+//! indexes keep their items in a `Vec<T>`; the zero-copy snapshot path
+//! keeps them as flat offset-indexed buffers borrowed straight from a
+//! memory-mapped file. [`ItemStore`] abstracts over both so a kernel is
+//! written once and answers bit-identically over either representation
+//! — the store only changes *where* the bytes live, never which item an
+//! id names.
+//!
+//! The borrowed stores ([`FlatF64s`], [`FlatStrs`]) have an **unsized**
+//! item type (`[f64]`, `str`): they hand out sub-slices of one
+//! contiguous buffer, so there is no owned `Vec<f64>`/`String` value to
+//! return a reference to. The shipped vector and string metrics all
+//! implement `Metric<[f64]>` / `Metric<str>`, so the same metric value
+//! drives both representations.
+
+/// Resolves item ids to borrowed items.
+///
+/// Implementations must be total over `0..len()`: `get(id)` may panic
+/// only for `id >= len()`, and every caller guarantees ids in range
+/// (tree validation rejects out-of-range ids before a kernel ever
+/// runs).
+pub trait ItemStore {
+    /// The borrowed item type (possibly unsized: `[f64]`, `str`).
+    type Item: ?Sized;
+
+    /// Number of items in the store.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item named by `id`.
+    fn get(&self, id: u32) -> &Self::Item;
+}
+
+/// A slice of owned items — the store behind every materialized index.
+impl<T> ItemStore for [T] {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        <[T]>::len(self)
+    }
+
+    fn get(&self, id: u32) -> &T {
+        &self[id as usize]
+    }
+}
+
+impl<S: ItemStore + ?Sized> ItemStore for &S {
+    type Item = S::Item;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn get(&self, id: u32) -> &S::Item {
+        (**self).get(id)
+    }
+}
+
+/// Borrowed flat store of `f64` vectors: one contiguous value buffer
+/// plus `len + 1` offsets (in `f64` units) delimiting each vector.
+///
+/// Item `i` is `data[offsets[i] .. offsets[i + 1]]`. The constructor
+/// does not re-validate monotonicity or bounds — the snapshot loader
+/// checks both before any store is built (and covers the buffers with a
+/// section checksum), so `get` uses plain checked slicing.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatF64s<'a> {
+    offsets: &'a [u64],
+    data: &'a [f64],
+}
+
+impl<'a> FlatF64s<'a> {
+    /// Wraps validated offset/value buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty (a valid store always carries
+    /// `len + 1` offsets, so at least one).
+    pub fn new(offsets: &'a [u64], data: &'a [f64]) -> Self {
+        assert!(!offsets.is_empty(), "offset table carries len + 1 entries");
+        FlatF64s { offsets, data }
+    }
+}
+
+impl ItemStore for FlatF64s<'_> {
+    type Item = [f64];
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn get(&self, id: u32) -> &[f64] {
+        let i = id as usize;
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        &self.data[start..end]
+    }
+}
+
+/// Borrowed flat store of UTF-8 strings: one contiguous text buffer
+/// plus `len + 1` byte offsets delimiting each string.
+///
+/// The loader validates that the whole buffer is UTF-8 and that every
+/// offset lands on a character boundary, so slicing here cannot panic
+/// for validated inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatStrs<'a> {
+    offsets: &'a [u64],
+    text: &'a str,
+}
+
+impl<'a> FlatStrs<'a> {
+    /// Wraps validated offset/text buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty.
+    pub fn new(offsets: &'a [u64], text: &'a str) -> Self {
+        assert!(!offsets.is_empty(), "offset table carries len + 1 entries");
+        FlatStrs { offsets, text }
+    }
+}
+
+impl ItemStore for FlatStrs<'_> {
+    type Item = str;
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn get(&self, id: u32) -> &str {
+        let i = id as usize;
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        &self.text[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_are_stores() {
+        let items = vec![vec![1.0], vec![2.0, 3.0]];
+        let store: &[Vec<f64>] = &items;
+        assert_eq!(ItemStore::len(&store), 2);
+        // The slice's inherent `get` (returning `Option`) wins method
+        // resolution, so call the trait method by path.
+        assert_eq!(ItemStore::get(&store, 1), &vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn flat_f64s_resolve_ids() {
+        let offsets = [0u64, 2, 2, 5];
+        let data = [1.0, 2.0, 9.0, 8.0, 7.0];
+        let store = FlatF64s::new(&offsets, &data);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(0), &[1.0, 2.0]);
+        assert_eq!(store.get(1), &[] as &[f64]);
+        assert_eq!(store.get(2), &[9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn flat_strs_resolve_ids() {
+        let offsets = [0u64, 5, 5, 11];
+        let store = FlatStrs::new(&offsets, "hello world");
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(0), "hello");
+        assert_eq!(store.get(1), "");
+        assert_eq!(store.get(2), " world");
+    }
+}

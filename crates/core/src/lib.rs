@@ -71,6 +71,7 @@ pub mod counting;
 pub mod error;
 pub mod farthest;
 pub mod index;
+pub mod items;
 pub mod knn;
 pub mod linear;
 pub mod metric;
@@ -91,6 +92,7 @@ pub use counting::{Counted, DistanceTotals};
 pub use error::{Result, VantageError};
 pub use farthest::{FarthestIndex, KfnCollector};
 pub use index::{BatchIndex, MetricIndex};
+pub use items::{FlatF64s, FlatStrs, ItemStore};
 pub use knn::KnnCollector;
 pub use linear::LinearScan;
 pub use metric::{BoundedMetric, DiscreteMetric, Metric};

@@ -1,0 +1,581 @@
+//! Flat, index-addressed node storage for mvp-trees.
+//!
+//! Like the vp-tree's arena, the mvp-tree's nodes live in contiguous,
+//! fixed-stride arrays instead of a `Vec` of enum nodes with per-node
+//! heap allocations. Every array is addressed by plain integer
+//! arithmetic:
+//!
+//! * `meta[id]` — one `u32` per node: bit 31 set ⇒ leaf, the low 31 bits
+//!   are the node's *rank* among nodes of its class (its index into the
+//!   class-segregated arrays below);
+//! * internal rank `r`: `vp1[r]`, `vp2[r]`,
+//!   `children[r·m² ..]` (child arena ids in row-major `(i, j)` order,
+//!   [`NO_CHILD`] for empty partitions), `cutoffs1[r·(m−1) ..]` and
+//!   `cutoffs2[r·m·(m−1) ..]` (the `m` second-level cutoff rows of
+//!   `m − 1` values each, row-major);
+//! * leaf rank `r`: a 6-word head
+//!   `leaf_heads[6r ..] = (vp1, vp2, entry_start, entry_len, path_len,
+//!   path_start)` — `vp2` is [`NO_CHILD`] for single-point leaves —
+//!   delimiting the leaf's rows inside the shared `ids`/`d1`/`d2`
+//!   columns and its `entry_len × path_len` block inside the shared
+//!   row-major `path` buffer.
+//!
+//! The same arrays exist in two forms: [`MvpArena`] owns them (`Vec`s,
+//! the materialized tree), [`MvpArenaView`] borrows them — possibly
+//! straight out of a memory-mapped snapshot section. All search,
+//! validation and statistics code is written against the view, so the
+//! materialized and zero-copy paths run byte-for-byte the same kernel.
+
+use crate::node::Node;
+
+/// Child-slot sentinel for an empty partition; also marks an absent
+/// second vantage point in a leaf head.
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// Bit 31 of `meta`: set for leaves.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// Packs a node-class flag and class rank into one `meta` word.
+#[inline]
+fn pack_meta(is_leaf: bool, rank: u32) -> u32 {
+    debug_assert!(rank < LEAF_BIT);
+    if is_leaf {
+        rank | LEAF_BIT
+    } else {
+        rank
+    }
+}
+
+/// Owned flat node storage of an mvp-tree. See the module docs for the
+/// layout.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MvpArena {
+    pub(crate) m: u32,
+    pub(crate) meta: Vec<u32>,
+    pub(crate) vp1: Vec<u32>,
+    pub(crate) vp2: Vec<u32>,
+    pub(crate) children: Vec<u32>,
+    pub(crate) cutoffs1: Vec<f64>,
+    pub(crate) cutoffs2: Vec<f64>,
+    pub(crate) leaf_heads: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
+    pub(crate) d1: Vec<f64>,
+    pub(crate) d2: Vec<f64>,
+    pub(crate) path: Vec<f64>,
+}
+
+impl MvpArena {
+    /// Packs a built node list (the construction IR) into flat arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node shapes do not match `m` or the arena would
+    /// exceed 2³¹ − 1 nodes; construction can produce neither.
+    pub(crate) fn from_nodes(m: usize, nodes: &[Node]) -> MvpArena {
+        assert!(
+            nodes.len() < LEAF_BIT as usize,
+            "node arena exceeds 2^31 - 1 nodes"
+        );
+        let mut arena = MvpArena {
+            m: m as u32,
+            meta: Vec::with_capacity(nodes.len()),
+            vp1: Vec::new(),
+            vp2: Vec::new(),
+            children: Vec::new(),
+            cutoffs1: Vec::new(),
+            cutoffs2: Vec::new(),
+            leaf_heads: Vec::new(),
+            ids: Vec::new(),
+            d1: Vec::new(),
+            d2: Vec::new(),
+            path: Vec::new(),
+        };
+        for node in nodes {
+            match node {
+                Node::Internal {
+                    vp1,
+                    vp2,
+                    cutoffs1,
+                    cutoffs2,
+                    children,
+                } => {
+                    assert_eq!(children.len(), m * m, "child slots match m²");
+                    assert_eq!(cutoffs1.len() + 1, m, "first-level cutoffs match m");
+                    assert_eq!(cutoffs2.len(), m, "one second-level row per group");
+                    arena.meta.push(pack_meta(false, arena.vp1.len() as u32));
+                    arena.vp1.push(*vp1);
+                    arena.vp2.push(*vp2);
+                    arena
+                        .children
+                        .extend(children.iter().map(|c| c.unwrap_or(NO_CHILD)));
+                    arena.cutoffs1.extend_from_slice(cutoffs1);
+                    for row in cutoffs2 {
+                        assert_eq!(row.len() + 1, m, "second-level cutoffs match m");
+                        arena.cutoffs2.extend_from_slice(row);
+                    }
+                }
+                Node::Leaf { vp1, vp2, entries } => {
+                    arena
+                        .meta
+                        .push(pack_meta(true, (arena.leaf_heads.len() / 6) as u32));
+                    arena.leaf_heads.push(*vp1);
+                    arena.leaf_heads.push(vp2.unwrap_or(NO_CHILD));
+                    arena.leaf_heads.push(arena.ids.len() as u32);
+                    arena.leaf_heads.push(entries.len() as u32);
+                    arena.leaf_heads.push(entries.path_len() as u32);
+                    arena.leaf_heads.push(arena.path.len() as u32);
+                    for i in 0..entries.len() {
+                        arena.ids.push(entries.id(i));
+                        arena.d1.push(entries.d1(i));
+                        arena.d2.push(entries.d2(i));
+                        arena.path.extend_from_slice(entries.path(i));
+                    }
+                }
+            }
+        }
+        arena
+    }
+
+    /// Assembles an arena from raw flat arrays (the snapshot decode
+    /// path). No validation happens here — callers must pass the result
+    /// through the tree-level structural validation before searching.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_arrays(
+        m: u32,
+        meta: Vec<u32>,
+        vp1: Vec<u32>,
+        vp2: Vec<u32>,
+        children: Vec<u32>,
+        cutoffs1: Vec<f64>,
+        cutoffs2: Vec<f64>,
+        leaf_heads: Vec<u32>,
+        ids: Vec<u32>,
+        d1: Vec<f64>,
+        d2: Vec<f64>,
+        path: Vec<f64>,
+    ) -> MvpArena {
+        MvpArena {
+            m,
+            meta,
+            vp1,
+            vp2,
+            children,
+            cutoffs1,
+            cutoffs2,
+            leaf_heads,
+            ids,
+            d1,
+            d2,
+            path,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Borrows the arena as a view — the form every kernel consumes.
+    pub fn view(&self) -> MvpArenaView<'_> {
+        MvpArenaView {
+            m: self.m as usize,
+            meta: &self.meta,
+            vp1: &self.vp1,
+            vp2: &self.vp2,
+            children: &self.children,
+            cutoffs1: &self.cutoffs1,
+            cutoffs2: &self.cutoffs2,
+            leaf_heads: &self.leaf_heads,
+            ids: &self.ids,
+            d1: &self.d1,
+            d2: &self.d2,
+            path: &self.path,
+        }
+    }
+}
+
+/// Borrowed flat node storage — over an [`MvpArena`] or directly over
+/// the typed slices of a snapshot section.
+#[derive(Debug, Clone, Copy)]
+pub struct MvpArenaView<'a> {
+    pub(crate) m: usize,
+    pub(crate) meta: &'a [u32],
+    pub(crate) vp1: &'a [u32],
+    pub(crate) vp2: &'a [u32],
+    pub(crate) children: &'a [u32],
+    pub(crate) cutoffs1: &'a [f64],
+    pub(crate) cutoffs2: &'a [f64],
+    pub(crate) leaf_heads: &'a [u32],
+    pub(crate) ids: &'a [u32],
+    pub(crate) d1: &'a [f64],
+    pub(crate) d2: &'a [f64],
+    pub(crate) path: &'a [f64],
+}
+
+/// One leaf's entry table resolved out of the shared columns — the
+/// borrowed counterpart of the construction-time `LeafEntries`.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafEntriesView<'a> {
+    ids: &'a [u32],
+    d1: &'a [f64],
+    d2: &'a [f64],
+    path_len: usize,
+    path: &'a [f64],
+}
+
+impl<'a> LeafEntriesView<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the leaf stores no entries beyond its vantage points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The shared PATH length of this leaf's entries.
+    pub fn path_len(&self) -> usize {
+        self.path_len
+    }
+
+    /// All entry ids, in insertion order.
+    pub fn ids(&self) -> &'a [u32] {
+        self.ids
+    }
+
+    /// Entry `i`'s id.
+    #[inline]
+    pub fn id(&self, i: usize) -> u32 {
+        self.ids[i]
+    }
+
+    /// Entry `i`'s pre-computed distance to the first vantage point.
+    #[inline]
+    pub fn d1(&self, i: usize) -> f64 {
+        self.d1[i]
+    }
+
+    /// Entry `i`'s pre-computed distance to the second vantage point.
+    #[inline]
+    pub fn d2(&self, i: usize) -> f64 {
+        self.d2[i]
+    }
+
+    /// Entry `i`'s PATH slice.
+    #[inline]
+    pub fn path(&self, i: usize) -> &'a [f64] {
+        &self.path[i * self.path_len..(i + 1) * self.path_len]
+    }
+
+    /// This leaf's full `D1` column.
+    pub fn d1_column(&self) -> &'a [f64] {
+        self.d1
+    }
+
+    /// This leaf's full `D2` column.
+    pub fn d2_column(&self) -> &'a [f64] {
+        self.d2
+    }
+
+    /// This leaf's full row-major PATH block.
+    pub fn path_block(&self) -> &'a [f64] {
+        self.path
+    }
+}
+
+/// One resolved node of an [`MvpArenaView`].
+#[derive(Debug, Clone, Copy)]
+pub enum MvpNodeView<'a> {
+    /// Interior node: two vantage points, first- and second-level
+    /// cutoffs, `m²` child slots in row-major order.
+    Internal {
+        /// First vantage point's item id.
+        vp1: u32,
+        /// Second vantage point's item id.
+        vp2: u32,
+        /// `m − 1` first-level cutoffs, non-decreasing.
+        cutoffs1: &'a [f64],
+        /// `m` second-level rows of `m − 1` cutoffs each, row-major
+        /// (row `i` is `cutoffs2[i·(m−1) .. (i+1)·(m−1)]`).
+        cutoffs2: &'a [f64],
+        /// Child arena ids, slot `i·m + j` is subgroup `j` of group `i`
+        /// ([`NO_CHILD`] marks an empty partition).
+        children: &'a [u32],
+    },
+    /// Leaf node: its own vantage points plus the entry table.
+    Leaf {
+        /// The leaf's first vantage point.
+        vp1: u32,
+        /// The leaf's second vantage point (`None` for single-point
+        /// leaves).
+        vp2: Option<u32>,
+        /// The leaf's data points with pre-computed distances.
+        entries: LeafEntriesView<'a>,
+    },
+}
+
+impl<'a> MvpArenaView<'a> {
+    /// Assembles a view from raw borrowed arrays (the zero-copy snapshot
+    /// path). Like [`MvpArena::from_raw_arrays`], shapes must have been
+    /// validated before the view is searched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        m: usize,
+        meta: &'a [u32],
+        vp1: &'a [u32],
+        vp2: &'a [u32],
+        children: &'a [u32],
+        cutoffs1: &'a [f64],
+        cutoffs2: &'a [f64],
+        leaf_heads: &'a [u32],
+        ids: &'a [u32],
+        d1: &'a [f64],
+        d2: &'a [f64],
+        path: &'a [f64],
+    ) -> Self {
+        MvpArenaView {
+            m,
+            meta,
+            vp1,
+            vp2,
+            children,
+            cutoffs1,
+            cutoffs2,
+            leaf_heads,
+            ids,
+            d1,
+            d2,
+            path,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// The per-vantage-point fanout the strides are computed with (a
+    /// node's fanout is `m²`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of interior nodes.
+    pub fn internal_count(&self) -> usize {
+        self.vp1.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_heads.len() / 6
+    }
+
+    /// The per-node meta words (leaf bit + class rank).
+    pub fn meta(&self) -> &'a [u32] {
+        self.meta
+    }
+
+    /// First vantage points, one per interior node.
+    pub fn vp1(&self) -> &'a [u32] {
+        self.vp1
+    }
+
+    /// Second vantage points, one per interior node.
+    pub fn vp2(&self) -> &'a [u32] {
+        self.vp2
+    }
+
+    /// The contiguous child-id buffer (`internal_count × m²`).
+    pub fn children(&self) -> &'a [u32] {
+        self.children
+    }
+
+    /// The contiguous first-level cutoff buffer
+    /// (`internal_count × (m − 1)`).
+    pub fn cutoffs1(&self) -> &'a [f64] {
+        self.cutoffs1
+    }
+
+    /// The contiguous second-level cutoff buffer
+    /// (`internal_count × m × (m − 1)`, row-major).
+    pub fn cutoffs2(&self) -> &'a [f64] {
+        self.cutoffs2
+    }
+
+    /// Leaf heads: 6 words per leaf (see the module docs).
+    pub fn leaf_heads(&self) -> &'a [u32] {
+        self.leaf_heads
+    }
+
+    /// The shared leaf entry-id column.
+    pub fn ids(&self) -> &'a [u32] {
+        self.ids
+    }
+
+    /// The shared `D1` column.
+    pub fn d1(&self) -> &'a [f64] {
+        self.d1
+    }
+
+    /// The shared `D2` column.
+    pub fn d2(&self) -> &'a [f64] {
+        self.d2
+    }
+
+    /// The shared row-major PATH buffer.
+    pub fn path(&self) -> &'a [f64] {
+        self.path
+    }
+
+    /// Resolves node `id` into its class arrays.
+    #[inline]
+    pub fn node(&self, id: u32) -> MvpNodeView<'a> {
+        let meta = self.meta[id as usize];
+        let rank = (meta & !LEAF_BIT) as usize;
+        if meta & LEAF_BIT != 0 {
+            let head = &self.leaf_heads[6 * rank..6 * rank + 6];
+            let start = head[2] as usize;
+            let len = head[3] as usize;
+            let path_len = head[4] as usize;
+            let path_start = head[5] as usize;
+            MvpNodeView::Leaf {
+                vp1: head[0],
+                vp2: (head[1] != NO_CHILD).then_some(head[1]),
+                entries: LeafEntriesView {
+                    ids: &self.ids[start..start + len],
+                    d1: &self.d1[start..start + len],
+                    d2: &self.d2[start..start + len],
+                    path_len,
+                    path: &self.path[path_start..path_start + len * path_len],
+                },
+            }
+        } else {
+            let m = self.m;
+            MvpNodeView::Internal {
+                vp1: self.vp1[rank],
+                vp2: self.vp2[rank],
+                cutoffs1: &self.cutoffs1[rank * (m - 1)..(rank + 1) * (m - 1)],
+                cutoffs2: &self.cutoffs2[rank * m * (m - 1)..(rank + 1) * m * (m - 1)],
+                children: &self.children[rank * m * m..(rank + 1) * m * m],
+            }
+        }
+    }
+
+    /// Whether node `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: u32) -> bool {
+        self.meta[id as usize] & LEAF_BIT != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntries;
+
+    fn sample() -> MvpArena {
+        // root (internal, m = 2) -> [leaf {vp 1, vp 2, entries 3, 4},
+        // leaf {vp 5}] in slots (0,0) and (1,1).
+        let mut entries = LeafEntries::new(2);
+        entries.push(3, 1.0, 2.0, &[0.5, 0.25]);
+        entries.push(4, 3.0, 4.0, &[0.125, 0.0625]);
+        MvpArena::from_nodes(
+            2,
+            &[
+                Node::Internal {
+                    vp1: 0,
+                    vp2: 6,
+                    cutoffs1: vec![1.5],
+                    cutoffs2: vec![vec![2.5], vec![3.5]],
+                    children: vec![Some(1), None, None, Some(2)],
+                },
+                Node::Leaf {
+                    vp1: 1,
+                    vp2: Some(2),
+                    entries,
+                },
+                Node::Leaf {
+                    vp1: 5,
+                    vp2: None,
+                    entries: LeafEntries::new(0),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn packs_nodes_into_flat_arrays() {
+        let arena = sample();
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.vp1, vec![0]);
+        assert_eq!(arena.vp2, vec![6]);
+        assert_eq!(arena.children, vec![1, NO_CHILD, NO_CHILD, 2]);
+        assert_eq!(arena.cutoffs1, vec![1.5]);
+        assert_eq!(arena.cutoffs2, vec![2.5, 3.5]);
+        assert_eq!(
+            arena.leaf_heads,
+            vec![1, 2, 0, 2, 2, 0, 5, NO_CHILD, 2, 0, 0, 4]
+        );
+        assert_eq!(arena.ids, vec![3, 4]);
+        assert_eq!(arena.d1, vec![1.0, 3.0]);
+        assert_eq!(arena.d2, vec![2.0, 4.0]);
+        assert_eq!(arena.path, vec![0.5, 0.25, 0.125, 0.0625]);
+    }
+
+    #[test]
+    fn view_resolves_both_classes() {
+        let arena = sample();
+        let view = arena.view();
+        assert!(!view.is_leaf(0));
+        match view.node(0) {
+            MvpNodeView::Internal {
+                vp1,
+                vp2,
+                cutoffs1,
+                cutoffs2,
+                children,
+            } => {
+                assert_eq!(vp1, 0);
+                assert_eq!(vp2, 6);
+                assert_eq!(cutoffs1, &[1.5]);
+                assert_eq!(cutoffs2, &[2.5, 3.5]);
+                assert_eq!(children, &[1, NO_CHILD, NO_CHILD, 2]);
+            }
+            MvpNodeView::Leaf { .. } => panic!("node 0 is internal"),
+        }
+        match view.node(1) {
+            MvpNodeView::Leaf { vp1, vp2, entries } => {
+                assert_eq!(vp1, 1);
+                assert_eq!(vp2, Some(2));
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries.id(1), 4);
+                assert_eq!(entries.d1(0), 1.0);
+                assert_eq!(entries.d2(1), 4.0);
+                assert_eq!(entries.path(0), &[0.5, 0.25]);
+                assert_eq!(entries.path(1), &[0.125, 0.0625]);
+            }
+            MvpNodeView::Internal { .. } => panic!("node 1 is a leaf"),
+        }
+        match view.node(2) {
+            MvpNodeView::Leaf { vp1, vp2, entries } => {
+                assert_eq!(vp1, 5);
+                assert_eq!(vp2, None);
+                assert!(entries.is_empty());
+                assert_eq!(entries.path_len(), 0);
+            }
+            MvpNodeView::Internal { .. } => panic!("node 2 is a leaf"),
+        }
+    }
+}

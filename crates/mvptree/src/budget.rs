@@ -1,211 +1,23 @@
 //! Budgeted best-effort kNN on mvp-trees.
 //!
 //! Same depth-first branch-and-bound as exact kNN, with a
-//! [`BudgetMeter`] charged before every metric distance (vantage points
-//! and leaf candidates alike; the precomputed `D1`/`D2`/`PATH` filters
-//! are free, which is exactly why the mvp-tree degrades gracefully).
-//! When a charge is refused, the lower bounds of everything left
-//! unexplored — remaining leaf entries, unvisited sibling subtrees, and
-//! the admitting shell bound of the node that was cut short — are folded
-//! into the *frontier bound* for the recall estimate.
+//! [`BudgetMeter`](vantage_core::budget::BudgetMeter) charged before
+//! every metric distance (vantage points and leaf candidates alike; the
+//! precomputed `D1`/`D2`/`PATH` filters are free, which is exactly why
+//! the mvp-tree degrades gracefully). When a charge is refused, the
+//! lower bounds of everything left unexplored — remaining leaf entries,
+//! unvisited sibling subtrees, and the admitting shell bound of the node
+//! that was cut short — are folded into the *frontier bound* for the
+//! recall estimate. The traversal itself lives in [`crate::kernel`].
 
-use vantage_core::budget::{
-    finish_budgeted, BudgetMeter, BudgetedKnn, BudgetedSearch, SearchBudget,
-};
-use vantage_core::{BoundedMetric, KnnCollector, MetricIndex};
+use vantage_core::budget::{BudgetedKnn, BudgetedSearch, SearchBudget};
+use vantage_core::BoundedMetric;
 
-use crate::node::{Node, NodeId};
 use crate::tree::MvpTree;
-
-/// Probability that an *uncertain* budgeted result (distance above the
-/// frontier bound) is nevertheless a true k-nearest neighbor. Calibrated
-/// against the measured recall-vs-cost curve of the `budget` experiment
-/// in `vantage-experiments` at the 50%-of-exact-cost point (the mvp-tree
-/// measures 0.796 there on the Figure 8 workload; the vp-tree's deeper
-/// best-first traversal recovers more, hence its higher constant); must
-/// stay below 1 so inexact answers never report perfect recall.
-const GAMMA: f64 = 0.80;
-
-#[inline]
-fn shell(cutoffs: &[f64], i: usize) -> (f64, f64) {
-    let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
-    let hi = if i == cutoffs.len() {
-        f64::INFINITY
-    } else {
-        cutoffs[i]
-    };
-    (lo, hi)
-}
-
-#[inline]
-fn shell_bound(d: f64, lo: f64, hi: f64) -> f64 {
-    (d - hi).max(lo - d).max(0.0)
-}
-
-/// Charging and certainty state threaded through one budgeted query.
-struct BudgetState {
-    meter: BudgetMeter,
-    /// Smallest lower bound over all work skipped because of the budget.
-    frontier: f64,
-}
-
-impl<T, M: BoundedMetric<T>> MvpTree<T, M> {
-    /// Returns `false` when the budget ran out and the traversal must
-    /// unwind. `node_bound` is the lower bound under which this node was
-    /// admitted (0 at the root) — the certainty floor for any work in it
-    /// that goes unexplored.
-    #[allow(clippy::too_many_arguments)]
-    fn knn_budgeted_node(
-        &self,
-        node: NodeId,
-        query: &T,
-        node_bound: f64,
-        collector: &mut KnnCollector,
-        path: &mut Vec<f64>,
-        state: &mut BudgetState,
-    ) -> bool {
-        match self.node(node) {
-            Node::Leaf { vp1, vp2, entries } => {
-                if !state.meter.try_charge() {
-                    state.frontier = state.frontier.min(node_bound);
-                    return false;
-                }
-                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
-                collector.offer(*vp1 as usize, dq1);
-                let Some(vp2) = vp2 else { return true };
-                if !state.meter.try_charge() {
-                    state.frontier = state.frontier.min(node_bound);
-                    return false;
-                }
-                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
-                collector.offer(*vp2 as usize, dq2);
-                let entry_bound = |i: usize| {
-                    let mut bound = (dq1 - entries.d1(i)).abs().max((dq2 - entries.d2(i)).abs());
-                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
-                        bound = bound.max((qp - ep).abs());
-                    }
-                    bound
-                };
-                for i in 0..entries.len() {
-                    let bound = entry_bound(i);
-                    if bound > collector.radius() {
-                        continue;
-                    }
-                    if !state.meter.try_charge() {
-                        // Fold every remaining admissible entry; their
-                        // filter bounds are free to compute.
-                        for j in i..entries.len() {
-                            let bj = entry_bound(j);
-                            if bj <= collector.radius() {
-                                state.frontier = state.frontier.min(bj.max(node_bound));
-                            }
-                        }
-                        return false;
-                    }
-                    let id = entries.id(i) as usize;
-                    if let (Some(d), _) =
-                        self.metric
-                            .distance_within_frac(query, &self.items[id], collector.radius())
-                    {
-                        collector.offer(id, d);
-                    }
-                }
-                true
-            }
-            Node::Internal {
-                vp1,
-                vp2,
-                cutoffs1,
-                cutoffs2,
-                children,
-            } => {
-                let m = self.params.m;
-                if !state.meter.try_charge() {
-                    state.frontier = state.frontier.min(node_bound);
-                    return false;
-                }
-                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
-                collector.offer(*vp1 as usize, dq1);
-                if !state.meter.try_charge() {
-                    // vp2 and every child are still unexplored; the
-                    // node's own admitting bound floors them all.
-                    state.frontier = state.frontier.min(node_bound);
-                    return false;
-                }
-                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
-                collector.offer(*vp2 as usize, dq2);
-                let saved = path.len();
-                if path.len() < self.params.p {
-                    path.push(dq1);
-                }
-                if path.len() < self.params.p {
-                    path.push(dq2);
-                }
-                let mut order: Vec<(f64, NodeId)> = Vec::with_capacity(m * m);
-                for i in 0..m {
-                    let (lo1, hi1) = shell(cutoffs1, i);
-                    let b1 = shell_bound(dq1, lo1, hi1);
-                    for j in 0..m {
-                        let Some(child) = children[i * m + j] else {
-                            continue;
-                        };
-                        let (lo2, hi2) = shell(&cutoffs2[i], j);
-                        let b2 = shell_bound(dq2, lo2, hi2);
-                        order.push((b1.max(b2), child));
-                    }
-                }
-                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-                for (pos, &(bound, child)) in order.iter().enumerate() {
-                    if bound > collector.radius() {
-                        // Exact prune: this child and everything after it
-                        // (bounds ascend) is provably outside the answer.
-                        break;
-                    }
-                    if !self.knn_budgeted_node(
-                        child,
-                        query,
-                        bound.max(node_bound),
-                        collector,
-                        path,
-                        state,
-                    ) {
-                        for &(b, _) in &order[pos + 1..] {
-                            if b <= collector.radius() {
-                                state.frontier = state.frontier.min(b.max(node_bound));
-                            }
-                        }
-                        path.truncate(saved);
-                        return false;
-                    }
-                }
-                path.truncate(saved);
-                true
-            }
-        }
-    }
-}
 
 impl<T, M: BoundedMetric<T>> BudgetedSearch<T> for MvpTree<T, M> {
     fn knn_budgeted(&self, query: &T, k: usize, budget: SearchBudget) -> BudgetedKnn {
-        let mut state = BudgetState {
-            meter: BudgetMeter::new(budget),
-            frontier: f64::INFINITY,
-        };
-        let mut collector = KnnCollector::new(k);
-        if k > 0 {
-            if let Some(root) = self.root {
-                let mut path = Vec::with_capacity(self.params.p);
-                self.knn_budgeted_node(root, query, 0.0, &mut collector, &mut path, &mut state);
-            }
-        }
-        finish_budgeted(
-            collector.into_sorted(),
-            k,
-            self.len(),
-            state.frontier,
-            GAMMA,
-            &state.meter,
-        )
+        self.kernel(query).knn_budgeted(k, budget)
     }
 }
 
@@ -274,5 +86,19 @@ mod tests {
         assert!(out.neighbors.is_empty());
         assert!(out.exhausted);
         assert_eq!(out.estimated_recall, 0.0);
+    }
+
+    #[test]
+    fn borrowed_view_budgeted_is_bit_identical() {
+        let t = tree();
+        let r = t.as_view();
+        let q = vec![6.4, 3.2];
+        for budget in [3u64, 50, 1000] {
+            let a = t.knn_budgeted(&q, 6, SearchBudget::limited(budget));
+            let b = r.knn_budgeted(&q, 6, SearchBudget::limited(budget));
+            assert_eq!(a.neighbors, b.neighbors, "budget={budget}");
+            assert_eq!(a.estimated_recall, b.estimated_recall, "budget={budget}");
+            assert_eq!(a.spent, b.spent, "budget={budget}");
+        }
     }
 }

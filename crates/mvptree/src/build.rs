@@ -40,6 +40,7 @@ use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
 use vantage_core::util::{checked_item_count, split_into_quantiles};
 use vantage_core::{Metric, Result};
 
+use crate::arena::MvpArena;
 use crate::node::{LeafEntries, Node, NodeId};
 use crate::params::{MvpParams, SecondVantage};
 use crate::tree::MvpTree;
@@ -86,10 +87,13 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
             params: &params,
         };
         let root = builder.build_subtree(ids, &mut rng, workers, &mut nodes);
+        // Pack the build-time node IR into the flat arena the search
+        // kernels (and the zero-copy snapshot path) traverse.
+        let arena = MvpArena::from_nodes(params.m, &nodes);
         Ok(MvpTree {
             items,
             metric,
-            nodes,
+            arena,
             root,
             params,
         })
@@ -339,6 +343,7 @@ fn splice(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::{MvpNodeView, NO_CHILD};
     use vantage_core::prelude::*;
     use vantage_core::MetricIndex;
 
@@ -358,31 +363,31 @@ mod tests {
         for n in 1..=6 {
             let t = MvpTree::build(points(n), Euclidean, MvpParams::binary(4, 2)).unwrap();
             assert_eq!(t.len(), n);
-            assert_eq!(t.nodes.len(), 1, "n={n} should be one leaf (k+2=6)");
+            assert_eq!(t.arena.len(), 1, "n={n} should be one leaf (k+2=6)");
         }
     }
 
     #[test]
     fn single_point_leaf_has_no_second_vantage() {
         let t = MvpTree::build(points(1), Euclidean, MvpParams::binary(4, 2)).unwrap();
-        match &t.nodes[0] {
-            Node::Leaf { vp2, entries, .. } => {
+        match t.arena.view().node(0) {
+            MvpNodeView::Leaf { vp2, entries, .. } => {
                 assert!(vp2.is_none());
                 assert!(entries.is_empty());
             }
-            Node::Internal { .. } => panic!("expected leaf"),
+            MvpNodeView::Internal { .. } => panic!("expected leaf"),
         }
     }
 
     #[test]
     fn two_point_leaf_is_two_vantages() {
         let t = MvpTree::build(points(2), Euclidean, MvpParams::binary(4, 2)).unwrap();
-        match &t.nodes[0] {
-            Node::Leaf { vp2, entries, .. } => {
+        match t.arena.view().node(0) {
+            MvpNodeView::Leaf { vp2, entries, .. } => {
                 assert!(vp2.is_some());
                 assert!(entries.is_empty());
             }
-            Node::Internal { .. } => panic!("expected leaf"),
+            MvpNodeView::Internal { .. } => panic!("expected leaf"),
         }
     }
 
@@ -396,12 +401,12 @@ mod tests {
             MvpParams::binary(4, 2).selector(VantageSelector::FirstItem),
         )
         .unwrap();
-        match &t.nodes[0] {
-            Node::Leaf { vp1, vp2, .. } => {
-                assert_eq!(*vp1, 0);
-                assert_eq!(*vp2, Some(4));
+        match t.arena.view().node(0) {
+            MvpNodeView::Leaf { vp1, vp2, .. } => {
+                assert_eq!(vp1, 0);
+                assert_eq!(vp2, Some(4));
             }
-            Node::Internal { .. } => panic!("expected leaf"),
+            MvpNodeView::Internal { .. } => panic!("expected leaf"),
         }
     }
 
@@ -409,16 +414,17 @@ mod tests {
     fn every_item_appears_exactly_once() {
         let t = MvpTree::build(points(533), Euclidean, MvpParams::paper(3, 7, 4).seed(13)).unwrap();
         let mut seen = vec![0u32; t.len()];
-        for node in &t.nodes {
-            match node {
-                Node::Internal { vp1, vp2, .. } => {
-                    seen[*vp1 as usize] += 1;
-                    seen[*vp2 as usize] += 1;
+        let view = t.arena.view();
+        for id in 0..view.len() as u32 {
+            match view.node(id) {
+                MvpNodeView::Internal { vp1, vp2, .. } => {
+                    seen[vp1 as usize] += 1;
+                    seen[vp2 as usize] += 1;
                 }
-                Node::Leaf { vp1, vp2, entries } => {
-                    seen[*vp1 as usize] += 1;
+                MvpNodeView::Leaf { vp1, vp2, entries } => {
+                    seen[vp1 as usize] += 1;
                     if let Some(v) = vp2 {
-                        seen[*v as usize] += 1;
+                        seen[v as usize] += 1;
                     }
                     for &id in entries.ids() {
                         seen[id as usize] += 1;
@@ -433,19 +439,19 @@ mod tests {
     fn internal_node_shapes_match_m() {
         let m = 3;
         let t = MvpTree::build(points(400), Euclidean, MvpParams::paper(m, 5, 4).seed(1)).unwrap();
+        let view = t.arena.view();
         let mut internals = 0;
-        for node in &t.nodes {
-            if let Node::Internal {
+        for id in 0..view.len() as u32 {
+            if let MvpNodeView::Internal {
                 cutoffs1,
                 cutoffs2,
                 children,
                 ..
-            } = node
+            } = view.node(id)
             {
                 internals += 1;
                 assert_eq!(cutoffs1.len(), m - 1);
-                assert_eq!(cutoffs2.len(), m);
-                assert!(cutoffs2.iter().all(|c| c.len() == m - 1));
+                assert_eq!(cutoffs2.len(), m * (m - 1));
                 assert_eq!(children.len(), m * m);
             }
         }
@@ -456,9 +462,10 @@ mod tests {
     fn path_arrays_are_capped_at_p() {
         let p = 3;
         let t = MvpTree::build(points(1000), Euclidean, MvpParams::paper(2, 4, p).seed(5)).unwrap();
+        let view = t.arena.view();
         let mut max_len = 0;
-        for node in &t.nodes {
-            if let Node::Leaf { entries, .. } = node {
+        for id in 0..view.len() as u32 {
+            if let MvpNodeView::Leaf { entries, .. } = view.node(id) {
                 if !entries.is_empty() {
                     max_len = max_len.max(entries.path_len());
                     assert!(entries.path_len() <= p);
@@ -471,8 +478,9 @@ mod tests {
     #[test]
     fn p_zero_keeps_no_paths() {
         let t = MvpTree::build(points(500), Euclidean, MvpParams::paper(2, 4, 0).seed(5)).unwrap();
-        for node in &t.nodes {
-            if let Node::Leaf { entries, .. } = node {
+        let view = t.arena.view();
+        for id in 0..view.len() as u32 {
+            if let MvpNodeView::Leaf { entries, .. } = view.node(id) {
                 assert_eq!(entries.path_len(), 0);
                 for i in 0..entries.len() {
                     assert!(entries.path(i).is_empty());
@@ -499,7 +507,7 @@ mod tests {
     fn same_seed_same_tree() {
         let a = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8)).unwrap();
         let b = MvpTree::build(points(300), Euclidean, MvpParams::paper(3, 9, 5).seed(8)).unwrap();
-        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.arena, b.arena);
     }
 
     #[test]
@@ -521,7 +529,7 @@ mod tests {
                     )
                     .unwrap();
                     assert_eq!(
-                        sequential.nodes, parallel.nodes,
+                        sequential.arena, parallel.arena,
                         "m={m} k={k} p={p} {second:?} {workers} workers"
                     );
                     assert_eq!(sequential.root, parallel.root);
@@ -540,10 +548,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.root, Some(0));
-        for (id, node) in t.nodes.iter().enumerate() {
-            if let Node::Internal { children, .. } = node {
-                for &child in children.iter().flatten() {
-                    assert!(child as usize > id, "child {child} precedes parent {id}");
+        let view = t.arena.view();
+        for id in 0..view.len() as u32 {
+            if let MvpNodeView::Internal { children, .. } = view.node(id) {
+                for &child in children.iter().filter(|&&c| c != NO_CHILD) {
+                    assert!(child > id, "child {child} precedes parent {id}");
                 }
             }
         }

@@ -3,36 +3,14 @@
 //! arrays as range search — but with **upper** bounds: the triangle
 //! inequality gives `d(q, x) ≤ d(q, v) + d(v, x)` for every stored
 //! vantage point `v`, and the tightest of those caps what a candidate
-//! can contribute.
+//! can contribute. Thin wrappers over the shared arena kernels in
+//! [`crate::kernel`].
 
 use vantage_core::farthest::{FarthestIndex, KfnCollector};
-use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
+use vantage_core::trace::{NoTrace, TraceSink};
 use vantage_core::{Metric, Neighbor};
 
-use crate::node::{Node, NodeId};
 use crate::tree::MvpTree;
-
-#[inline]
-fn shell_hi(cutoffs: &[f64], i: usize) -> f64 {
-    if i == cutoffs.len() {
-        f64::INFINITY
-    } else {
-        cutoffs[i]
-    }
-}
-
-/// The stage that produced a rejected leaf candidate's *upper* bound
-/// (`upper` is the min of `u1`, `u2` and the path sums): trace-only
-/// attribution, always guarded by `S::ENABLED`.
-fn attribute_leaf_upper(u1: f64, u2: f64, upper: f64) -> PruneReason {
-    if u1 <= upper {
-        PruneReason::PrecomputedD1
-    } else if u2 <= upper {
-        PruneReason::PrecomputedD2
-    } else {
-        PruneReason::PathFilter
-    }
-}
 
 impl<T, M: Metric<T>> MvpTree<T, M> {
     /// [`range_beyond`](FarthestIndex::range_beyond) with
@@ -47,110 +25,7 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
         radius: f64,
         sink: &mut S,
     ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        let mut path = Vec::with_capacity(self.params.p);
-        if let Some(root) = self.root {
-            self.beyond_node(root, query, radius, 0, &mut path, sink, &mut out);
-        }
-        out
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn beyond_node<S: TraceSink>(
-        &self,
-        node: NodeId,
-        query: &T,
-        radius: f64,
-        level: u32,
-        path: &mut Vec<f64>,
-        sink: &mut S,
-        out: &mut Vec<Neighbor>,
-    ) {
-        match self.node(node) {
-            Node::Leaf { vp1, vp2, entries } => {
-                sink.enter_node(level, true);
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
-                if dq1 >= radius {
-                    out.push(Neighbor::new(*vp1 as usize, dq1));
-                }
-                let Some(vp2) = vp2 else { return };
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
-                if dq2 >= radius {
-                    out.push(Neighbor::new(*vp2 as usize, dq2));
-                }
-                for i in 0..entries.len() {
-                    // Tightest upper bound over all stored distances.
-                    let u1 = dq1 + entries.d1(i);
-                    let u2 = dq2 + entries.d2(i);
-                    let mut upper = u1.min(u2);
-                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
-                        upper = upper.min(qp + ep);
-                    }
-                    if upper < radius {
-                        if S::ENABLED {
-                            sink.reject(attribute_leaf_upper(u1, u2, upper), radius - upper);
-                        }
-                        continue;
-                    }
-                    let id = entries.id(i) as usize;
-                    sink.distance(DistanceRole::Candidate);
-                    let d = self.metric().distance(query, &self.items[id]);
-                    if d >= radius {
-                        out.push(Neighbor::new(id, d));
-                    }
-                }
-            }
-            Node::Internal {
-                vp1,
-                vp2,
-                cutoffs1,
-                cutoffs2,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                let m = self.params.m;
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
-                if dq1 >= radius {
-                    out.push(Neighbor::new(*vp1 as usize, dq1));
-                }
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
-                if dq2 >= radius {
-                    out.push(Neighbor::new(*vp2 as usize, dq2));
-                }
-                let saved = path.len();
-                if path.len() < self.params.p {
-                    path.push(dq1);
-                }
-                if path.len() < self.params.p {
-                    path.push(dq2);
-                }
-                for i in 0..m {
-                    let hi1 = shell_hi(cutoffs1, i);
-                    for j in 0..m {
-                        let Some(child) = children[i * m + j] else {
-                            continue;
-                        };
-                        let hi2 = shell_hi(&cutoffs2[i], j);
-                        let upper = (dq1 + hi1).min(dq2 + hi2);
-                        if upper >= radius {
-                            self.beyond_node(child, query, radius, level + 1, path, sink, out);
-                        } else if S::ENABLED {
-                            let reason = if dq1 + hi1 <= upper {
-                                PruneReason::FirstShell
-                            } else {
-                                PruneReason::SecondShell
-                            };
-                            sink.prune(level + 1, reason, radius - upper);
-                        }
-                    }
-                }
-                path.truncate(saved);
-            }
-        }
+        self.kernel(query).beyond(radius, sink)
     }
 
     /// [`k_farthest`](FarthestIndex::k_farthest) with instrumentation;
@@ -161,118 +36,21 @@ impl<T, M: Metric<T>> MvpTree<T, M> {
     pub fn kfn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KfnCollector::new(k);
         if k > 0 {
-            if let Some(root) = self.root {
-                let mut path = Vec::with_capacity(self.params.p);
-                self.kfn_node(root, query, &mut collector, 0, &mut path, sink);
-            }
+            self.kfn_into(&mut collector, query, sink);
         }
         collector.into_sorted()
     }
 
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn kfn_node<S: TraceSink>(
+    /// Runs the k-farthest traversal into a caller-provided collector —
+    /// shared with the sharded scatter path (which passes a collector
+    /// wired to a cross-shard bound).
+    pub(crate) fn kfn_into<S: TraceSink>(
         &self,
-        node: NodeId,
-        query: &T,
         collector: &mut KfnCollector,
-        level: u32,
-        path: &mut Vec<f64>,
+        query: &T,
         sink: &mut S,
     ) {
-        match self.node(node) {
-            Node::Leaf { vp1, vp2, entries } => {
-                sink.enter_node(level, true);
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
-                collector.offer(*vp1 as usize, dq1);
-                let Some(vp2) = vp2 else { return };
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
-                collector.offer(*vp2 as usize, dq2);
-                for i in 0..entries.len() {
-                    let u1 = dq1 + entries.d1(i);
-                    let u2 = dq2 + entries.d2(i);
-                    let mut upper = u1.min(u2);
-                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
-                        upper = upper.min(qp + ep);
-                    }
-                    // Tie-inclusive: an entry whose upper bound equals
-                    // the threshold may tie the k-th distance with a
-                    // smaller id, which canonical tie-breaking must see.
-                    if upper >= collector.radius() {
-                        let id = entries.id(i) as usize;
-                        sink.distance(DistanceRole::Candidate);
-                        let d = self.metric().distance(query, &self.items[id]);
-                        collector.offer(id, d);
-                    } else if S::ENABLED {
-                        sink.reject(attribute_leaf_upper(u1, u2, upper), upper);
-                    }
-                }
-            }
-            Node::Internal {
-                vp1,
-                vp2,
-                cutoffs1,
-                cutoffs2,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                let m = self.params.m;
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric().distance(query, &self.items[*vp1 as usize]);
-                collector.offer(*vp1 as usize, dq1);
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric().distance(query, &self.items[*vp2 as usize]);
-                collector.offer(*vp2 as usize, dq2);
-                let saved = path.len();
-                if path.len() < self.params.p {
-                    path.push(dq1);
-                }
-                if path.len() < self.params.p {
-                    path.push(dq2);
-                }
-                // Each entry carries which vantage point produced the
-                // binding (smaller) upper bound so abandoned children can
-                // be attributed; the sort compares only the bound, so the
-                // extra field does not perturb the visit order.
-                let mut order: Vec<(f64, NodeId, PruneReason)> = Vec::with_capacity(m * m);
-                for i in 0..m {
-                    let hi1 = shell_hi(cutoffs1, i);
-                    for j in 0..m {
-                        let Some(child) = children[i * m + j] else {
-                            continue;
-                        };
-                        let hi2 = shell_hi(&cutoffs2[i], j);
-                        let u1 = dq1 + hi1;
-                        let u2 = dq2 + hi2;
-                        let reason = if u1 <= u2 {
-                            PruneReason::FirstShell
-                        } else {
-                            PruneReason::SecondShell
-                        };
-                        order.push((u1.min(u2), child, reason));
-                    }
-                }
-                order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
-                let mut abandoned = None;
-                for (pos, &(upper, child, _)) in order.iter().enumerate() {
-                    // Tie-inclusive, mirroring the leaf filter above.
-                    if upper < collector.radius() {
-                        abandoned = Some(pos);
-                        break;
-                    }
-                    self.kfn_node(child, query, collector, level + 1, path, sink);
-                }
-                if S::ENABLED {
-                    if let Some(pos) = abandoned {
-                        for &(upper, _, reason) in &order[pos..] {
-                            sink.prune(level + 1, reason, upper);
-                        }
-                    }
-                }
-                path.truncate(saved);
-            }
-        }
+        self.kernel(query).kfn_into(collector, sink);
     }
 }
 
@@ -364,5 +142,21 @@ mod tests {
             MvpTree::build(Vec::<Vec<f64>>::new(), Euclidean, MvpParams::paper(2, 5, 2)).unwrap();
         assert!(empty.k_farthest(&vec![0.0], 3).is_empty());
         assert!(empty.range_beyond(&vec![0.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn borrowed_view_farthest_is_bit_identical() {
+        let t = MvpTree::build(grid(), Euclidean, MvpParams::paper(3, 9, 5).seed(4)).unwrap();
+        let r = t.as_view();
+        for k in [1, 5, 144] {
+            assert_eq!(
+                t.k_farthest(&vec![2.0, 3.0], k),
+                r.k_farthest(&vec![2.0, 3.0], k)
+            );
+        }
+        assert_eq!(
+            t.range_beyond(&vec![6.0, 6.0], 5.0),
+            r.range_beyond(&vec![6.0, 6.0], 5.0)
+        );
     }
 }

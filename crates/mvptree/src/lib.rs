@@ -47,21 +47,27 @@
 mod budget;
 mod build;
 mod farthest;
+mod kernel;
 mod node;
 mod search;
 mod shard;
 mod stats;
 mod tree;
+mod treeref;
 mod validate;
 
+pub mod arena;
 pub mod concurrent;
 pub mod dynamic;
 pub mod params;
 pub mod snapshot;
 
+pub use arena::{LeafEntriesView, MvpArena, MvpArenaView, MvpNodeView, NO_CHILD};
 pub use concurrent::{ConcurrentMvpTree, MvpReadSnapshot};
 pub use dynamic::DynamicMvpTree;
 pub use params::{MvpParams, SecondVantage};
 pub use snapshot::{MvpTreeParts, RawMvpLeafEntries, RawMvpNode};
 pub use stats::MvpTreeStats;
 pub use tree::MvpTree;
+pub use treeref::MvpTreeRef;
+pub use validate::validate_arena;

@@ -60,6 +60,7 @@ impl LeafEntries {
     }
 
     /// Whether the leaf stores no entries beyond its vantage points.
+    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
     }
@@ -67,11 +68,6 @@ impl LeafEntries {
     /// The shared PATH length of this leaf's entries.
     pub fn path_len(&self) -> usize {
         self.path_len
-    }
-
-    /// All entry ids, in insertion order.
-    pub fn ids(&self) -> &[u32] {
-        &self.ids
     }
 
     /// Entry `i`'s id.
@@ -93,18 +89,6 @@ impl LeafEntries {
     /// vantage points, root-to-leaf, first-then-second within each node).
     pub fn path(&self, i: usize) -> &[f64] {
         &self.path[i * self.path_len..(i + 1) * self.path_len]
-    }
-
-    /// Copies the struct-of-arrays columns out for snapshotting:
-    /// `(ids, d1, d2, path_len, path)`.
-    pub(crate) fn to_raw(&self) -> (Vec<u32>, Vec<f64>, Vec<f64>, usize, Vec<f64>) {
-        (
-            self.ids.clone(),
-            self.d1.clone(),
-            self.d2.clone(),
-            self.path_len,
-            self.path.clone(),
-        )
     }
 
     /// Reassembles an entry table from raw columns. The caller (the
@@ -186,8 +170,8 @@ mod tests {
         assert_eq!(e.len(), 2);
         assert!(!e.is_empty());
         assert_eq!(e.path_len(), 2);
-        assert_eq!(e.ids(), &[7, 9]);
         assert_eq!(e.id(0), 7);
+        assert_eq!(e.id(1), 9);
         assert_eq!(e.d1(1), 3.0);
         assert_eq!(e.d2(0), 2.0);
         assert_eq!(e.path(0), &[0.5, 0.25]);

@@ -1,30 +1,12 @@
 //! Similarity search in mvp-trees — the paper's §4.3 algorithm (range
-//! queries) plus a k-nearest-neighbor extension.
+//! queries) plus a k-nearest-neighbor extension, as thin wrappers over
+//! the shared arena kernels in [`crate::kernel`].
 
-use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
+use vantage_core::trace::{NoTrace, TraceSink};
 use vantage_core::{BoundedMetric, KnnCollector, Neighbor};
 
-use crate::node::{Node, NodeId};
+use crate::kernel::Kernel;
 use crate::tree::MvpTree;
-
-/// The shell `[lo, hi]` of partition `i` given its cutoff vector.
-#[inline]
-fn shell(cutoffs: &[f64], i: usize) -> (f64, f64) {
-    let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
-    let hi = if i == cutoffs.len() {
-        f64::INFINITY
-    } else {
-        cutoffs[i]
-    };
-    (lo, hi)
-}
-
-/// Lower bound on the distance from a query at distance `d` (to the
-/// vantage point) to any point inside the shell `[lo, hi]`.
-#[inline]
-fn shell_bound(d: f64, lo: f64, hi: f64) -> f64 {
-    (d - hi).max(lo - d).max(0.0)
-}
 
 impl<T, M: BoundedMetric<T>> MvpTree<T, M> {
     /// Range search (paper §4.3).
@@ -53,145 +35,7 @@ impl<T, M: BoundedMetric<T>> MvpTree<T, M> {
         radius: f64,
         sink: &mut S,
     ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
-        if let Some(root) = self.root {
-            self.range_node(root, query, radius, 0, &mut path, sink, &mut out);
-        }
-        out
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn range_node<S: TraceSink>(
-        &self,
-        node: NodeId,
-        query: &T,
-        radius: f64,
-        level: u32,
-        path: &mut Vec<f64>,
-        sink: &mut S,
-        out: &mut Vec<Neighbor>,
-    ) {
-        match self.node(node) {
-            Node::Leaf { vp1, vp2, entries } => {
-                sink.enter_node(level, true);
-                // Step 1: the vantage points are data points, checked
-                // directly.
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
-                if dq1 <= radius {
-                    out.push(Neighbor::new(*vp1 as usize, dq1));
-                }
-                let Some(vp2) = vp2 else { return };
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
-                if dq2 <= radius {
-                    out.push(Neighbor::new(*vp2 as usize, dq2));
-                }
-                // Step 2: filter entries by D1, D2, then PATH; compute the
-                // real distance only for survivors, through the bounded
-                // kernel with the query radius as the bound.
-                'entry: for i in 0..entries.len() {
-                    let b1 = (dq1 - entries.d1(i)).abs();
-                    if b1 > radius {
-                        sink.reject(PruneReason::PrecomputedD1, b1);
-                        continue;
-                    }
-                    let b2 = (dq2 - entries.d2(i)).abs();
-                    if b2 > radius {
-                        sink.reject(PruneReason::PrecomputedD2, b2);
-                        continue;
-                    }
-                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
-                        let bp = (qp - ep).abs();
-                        if bp > radius {
-                            sink.reject(PruneReason::PathFilter, bp);
-                            continue 'entry;
-                        }
-                    }
-                    let id = entries.id(i) as usize;
-                    sink.distance(DistanceRole::Candidate);
-                    match self
-                        .metric
-                        .distance_within_frac(query, &self.items[id], radius)
-                    {
-                        (Some(d), _) => out.push(Neighbor::new(id, d)),
-                        (None, work) => {
-                            if S::ENABLED {
-                                sink.abandon(DistanceRole::Candidate, work);
-                            }
-                        }
-                    }
-                }
-            }
-            Node::Internal {
-                vp1,
-                vp2,
-                cutoffs1,
-                cutoffs2,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                let m = self.params.m;
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
-                if dq1 <= radius {
-                    out.push(Neighbor::new(*vp1 as usize, dq1));
-                }
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
-                if dq2 <= radius {
-                    out.push(Neighbor::new(*vp2 as usize, dq2));
-                }
-                // Step 3.1: extend the query's PATH.
-                let saved = path.len();
-                if path.len() < self.params.p {
-                    path.push(dq1);
-                }
-                if path.len() < self.params.p {
-                    path.push(dq2);
-                }
-                // Steps 3.2/3.3 generalized: interval overlap against both
-                // vantage points' shells.
-                for i in 0..m {
-                    let (lo1, hi1) = shell(cutoffs1, i);
-                    if dq1 - radius > hi1 || dq1 + radius < lo1 {
-                        if S::ENABLED {
-                            // One prune event per subtree the failed
-                            // vp1-shell test rules out.
-                            for j in 0..m {
-                                if children[i * m + j].is_some() {
-                                    sink.prune(
-                                        level + 1,
-                                        PruneReason::FirstShell,
-                                        shell_bound(dq1, lo1, hi1),
-                                    );
-                                }
-                            }
-                        }
-                        continue;
-                    }
-                    for j in 0..m {
-                        let Some(child) = children[i * m + j] else {
-                            continue;
-                        };
-                        let (lo2, hi2) = shell(&cutoffs2[i], j);
-                        if dq2 - radius > hi2 || dq2 + radius < lo2 {
-                            if S::ENABLED {
-                                sink.prune(
-                                    level + 1,
-                                    PruneReason::SecondShell,
-                                    shell_bound(dq2, lo2, hi2),
-                                );
-                            }
-                            continue;
-                        }
-                        self.range_node(child, query, radius, level + 1, path, sink, out);
-                    }
-                }
-                path.truncate(saved);
-            }
-        }
+        self.kernel(query).range(radius, sink)
     }
 
     /// k-nearest-neighbor search: depth-first branch-and-bound with the
@@ -226,143 +70,20 @@ impl<T, M: BoundedMetric<T>> MvpTree<T, M> {
         query: &T,
         sink: &mut S,
     ) {
-        if collector.k() == 0 {
-            return;
-        }
-        let mut path: Vec<f64> = Vec::with_capacity(self.params.p);
-        if let Some(root) = self.root {
-            self.knn_node(root, query, 0, collector, &mut path, sink);
-        }
+        self.kernel(query).knn_into(collector, sink);
     }
+}
 
-    /// The stage that produced a rejected leaf candidate's lower bound
-    /// (`bound` is the max of `b1`, `b2` and the path differences):
-    /// trace-only attribution, always guarded by `S::ENABLED`.
-    fn attribute_leaf_bound(b1: f64, b2: f64, bound: f64) -> PruneReason {
-        if b1 >= bound {
-            PruneReason::PrecomputedD1
-        } else if b2 >= bound {
-            PruneReason::PrecomputedD2
-        } else {
-            PruneReason::PathFilter
-        }
-    }
-
-    fn knn_node<S: TraceSink>(
-        &self,
-        node: NodeId,
-        query: &T,
-        level: u32,
-        collector: &mut KnnCollector,
-        path: &mut Vec<f64>,
-        sink: &mut S,
-    ) {
-        match self.node(node) {
-            Node::Leaf { vp1, vp2, entries } => {
-                sink.enter_node(level, true);
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
-                collector.offer(*vp1 as usize, dq1);
-                let Some(vp2) = vp2 else { return };
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
-                collector.offer(*vp2 as usize, dq2);
-                for i in 0..entries.len() {
-                    let b1 = (dq1 - entries.d1(i)).abs();
-                    let b2 = (dq2 - entries.d2(i)).abs();
-                    let mut bound = b1.max(b2);
-                    for (&qp, &ep) in path.iter().zip(entries.path(i)) {
-                        bound = bound.max((qp - ep).abs());
-                    }
-                    if bound <= collector.radius() {
-                        let id = entries.id(i) as usize;
-                        sink.distance(DistanceRole::Candidate);
-                        // Bounded by the current k-th best distance: an
-                        // abandoned candidate is one the collector's
-                        // strict `<` would have discarded.
-                        match self.metric.distance_within_frac(
-                            query,
-                            &self.items[id],
-                            collector.radius(),
-                        ) {
-                            (Some(d), _) => {
-                                collector.offer(id, d);
-                            }
-                            (None, work) => {
-                                if S::ENABLED {
-                                    sink.abandon(DistanceRole::Candidate, work);
-                                }
-                            }
-                        }
-                    } else if S::ENABLED {
-                        sink.reject(Self::attribute_leaf_bound(b1, b2, bound), bound);
-                    }
-                }
-            }
-            Node::Internal {
-                vp1,
-                vp2,
-                cutoffs1,
-                cutoffs2,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                let m = self.params.m;
-                sink.distance(DistanceRole::Vantage);
-                let dq1 = self.metric.distance(query, &self.items[*vp1 as usize]);
-                collector.offer(*vp1 as usize, dq1);
-                sink.distance(DistanceRole::Vantage);
-                let dq2 = self.metric.distance(query, &self.items[*vp2 as usize]);
-                collector.offer(*vp2 as usize, dq2);
-                let saved = path.len();
-                if path.len() < self.params.p {
-                    path.push(dq1);
-                }
-                if path.len() < self.params.p {
-                    path.push(dq2);
-                }
-                // Order children by lower bound, then recurse while the
-                // bound beats the (shrinking) k-th best distance. Each
-                // entry carries which vantage point produced the larger
-                // bound so abandoned children can be attributed; the sort
-                // compares only the bound, so the extra field does not
-                // perturb the visit order.
-                let mut order: Vec<(f64, NodeId, PruneReason)> = Vec::with_capacity(m * m);
-                for i in 0..m {
-                    let (lo1, hi1) = shell(cutoffs1, i);
-                    let b1 = shell_bound(dq1, lo1, hi1);
-                    for j in 0..m {
-                        let Some(child) = children[i * m + j] else {
-                            continue;
-                        };
-                        let (lo2, hi2) = shell(&cutoffs2[i], j);
-                        let b2 = shell_bound(dq2, lo2, hi2);
-                        let reason = if b1 >= b2 {
-                            PruneReason::FirstShell
-                        } else {
-                            PruneReason::SecondShell
-                        };
-                        order.push((b1.max(b2), child, reason));
-                    }
-                }
-                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-                let mut abandoned = None;
-                for (pos, &(bound, child, _)) in order.iter().enumerate() {
-                    if bound > collector.radius() {
-                        abandoned = Some(pos);
-                        break;
-                    }
-                    self.knn_node(child, query, level + 1, collector, path, sink);
-                }
-                if S::ENABLED {
-                    if let Some(pos) = abandoned {
-                        for &(bound, _, reason) in &order[pos..] {
-                            sink.prune(level + 1, reason, bound);
-                        }
-                    }
-                }
-                path.truncate(saved);
-            }
+impl<T, M> MvpTree<T, M> {
+    /// Binds this tree's arena, items, metric and PATH cap to a query.
+    pub(crate) fn kernel<'k>(&'k self, query: &'k T) -> Kernel<'k, [T], M, T> {
+        Kernel {
+            arena: self.arena.view(),
+            root: self.root,
+            items: self.items.as_slice(),
+            metric: &self.metric,
+            query,
+            p: self.params.p,
         }
     }
 }
@@ -491,5 +212,17 @@ mod tests {
             with <= without,
             "p=6 used {with} > p=0's {without} distance computations"
         );
+    }
+
+    #[test]
+    fn borrowed_view_answers_bit_identically() {
+        let t = tree(3, 9, 5);
+        let r = t.as_view();
+        for (q, radius) in [(vec![5.0, 5.0], 2.0), (vec![0.0, 0.0], 4.0)] {
+            assert_eq!(t.range(&q, radius), r.range(&q, radius));
+        }
+        for k in [1, 7, 144] {
+            assert_eq!(t.knn(&vec![4.7, 8.1], k), r.knn(&vec![4.7, 8.1], k));
+        }
     }
 }

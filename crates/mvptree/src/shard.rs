@@ -26,10 +26,7 @@ impl<T, M: BoundedMetric<T>> ShardSearch<T> for MvpTree<T, M> {
     fn kfn_shared(&self, query: &T, k: usize, shared: Arc<SharedLowerBound>) -> Vec<Neighbor> {
         let mut collector = KfnCollector::with_shared(k, shared);
         if k > 0 {
-            if let Some(root) = self.root {
-                let mut path = Vec::with_capacity(self.params.p);
-                self.kfn_node(root, query, &mut collector, 0, &mut path, &mut NoTrace);
-            }
+            self.kfn_into(&mut collector, query, &mut NoTrace);
         }
         collector.into_sorted()
     }

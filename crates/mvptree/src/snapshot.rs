@@ -4,13 +4,15 @@
 //! as plain public data ([`MvpTreeParts`]) so a persistence layer can
 //! serialize it, and rebuilds a tree from parts with full **structural**
 //! validation (shapes, id ranges, preorder links, exactly-once item
-//! coverage). Pre-computed distances (`D1`/`D2`/`PATH`, cutoffs) are
-//! checked for shape and NaN-freeness but **not** recomputed — that is
-//! `check_invariants`' job and costs `O(n · height)` metric evaluations;
-//! the on-disk format guards payload integrity with checksums instead.
+//! coverage — see [`crate::validate::validate_arena`]). Pre-computed
+//! distances (`D1`/`D2`/`PATH`, cutoffs) are checked for shape and
+//! NaN-freeness but **not** recomputed — that is `check_invariants`' job
+//! and costs `O(n · height)` metric evaluations; the on-disk format
+//! guards payload integrity with checksums instead.
 
 use vantage_core::{Result, VantageError};
 
+use crate::arena::{MvpArena, MvpNodeView, NO_CHILD};
 use crate::node::{LeafEntries, Node, NodeId};
 use crate::params::MvpParams;
 use crate::tree::MvpTree;
@@ -79,40 +81,40 @@ fn corrupt(detail: impl Into<String>) -> VantageError {
 impl<T, M> MvpTree<T, M> {
     /// Copies the tree's structural skeleton out as plain data.
     pub fn to_parts(&self) -> MvpTreeParts {
+        let view = self.arena.view();
+        let m = view.m();
         MvpTreeParts {
             params: self.params.clone(),
             root: self.root,
-            nodes: self
-                .nodes
-                .iter()
-                .map(|node| match node {
-                    Node::Internal {
+            nodes: (0..view.len() as u32)
+                .map(|id| match view.node(id) {
+                    MvpNodeView::Internal {
                         vp1,
                         vp2,
                         cutoffs1,
                         cutoffs2,
                         children,
                     } => RawMvpNode::Internal {
-                        vp1: *vp1,
-                        vp2: *vp2,
-                        cutoffs1: cutoffs1.clone(),
-                        cutoffs2: cutoffs2.clone(),
-                        children: children.clone(),
+                        vp1,
+                        vp2,
+                        cutoffs1: cutoffs1.to_vec(),
+                        cutoffs2: cutoffs2.chunks_exact(m - 1).map(<[f64]>::to_vec).collect(),
+                        children: children
+                            .iter()
+                            .map(|&c| (c != NO_CHILD).then_some(c))
+                            .collect(),
                     },
-                    Node::Leaf { vp1, vp2, entries } => {
-                        let (ids, d1, d2, path_len, path) = entries.to_raw();
-                        RawMvpNode::Leaf {
-                            vp1: *vp1,
-                            vp2: *vp2,
-                            entries: RawMvpLeafEntries {
-                                ids,
-                                d1,
-                                d2,
-                                path_len,
-                                path,
-                            },
-                        }
-                    }
+                    MvpNodeView::Leaf { vp1, vp2, entries } => RawMvpNode::Leaf {
+                        vp1,
+                        vp2,
+                        entries: RawMvpLeafEntries {
+                            ids: entries.ids().to_vec(),
+                            d1: entries.d1_column().to_vec(),
+                            d2: entries.d2_column().to_vec(),
+                            path_len: entries.path_len(),
+                            path: entries.path_block().to_vec(),
+                        },
+                    },
                 })
                 .collect(),
         }
@@ -137,61 +139,23 @@ impl<T, M> MvpTree<T, M> {
             nodes,
         } = parts;
         params.validate()?;
-
-        let n_items = items.len();
-        let n_nodes = nodes.len();
         let m = params.m;
-        match root {
-            None => {
-                if n_items != 0 || n_nodes != 0 {
-                    return Err(corrupt(format!(
-                        "rootless tree carries {n_items} items and {n_nodes} nodes"
-                    )));
-                }
-            }
-            Some(root) => {
-                if (root as usize) >= n_nodes {
-                    return Err(corrupt(format!(
-                        "root id {root} out of range ({n_nodes} nodes)"
-                    )));
-                }
-            }
+        if nodes.len() >= (1usize << 31) {
+            return Err(corrupt("node arena exceeds 2^31 - 1 nodes"));
         }
 
-        let mut seen = vec![false; n_items];
-        let mark = |id: u32, seen: &mut Vec<bool>| -> Result<()> {
-            let slot = seen
-                .get_mut(id as usize)
-                .ok_or_else(|| corrupt(format!("item id {id} out of range ({n_items} items)")))?;
-            if *slot {
-                return Err(corrupt(format!("item id {id} appears more than once")));
-            }
-            *slot = true;
-            Ok(())
-        };
-        let check_sorted = |node_id: usize, label: &str, cutoffs: &[f64]| -> Result<()> {
-            if cutoffs.iter().any(|c| c.is_nan()) {
-                return Err(corrupt(format!("node {node_id}: NaN in {label}")));
-            }
-            if cutoffs.windows(2).any(|w| w[0] > w[1]) {
-                return Err(corrupt(format!(
-                    "node {node_id}: {label} not sorted: {cutoffs:?}"
-                )));
-            }
-            Ok(())
-        };
-        let mut referenced = vec![false; n_nodes];
+        // Per-node stride pre-checks so the arena packer below cannot
+        // panic; every semantic invariant (id ranges, preorder links,
+        // sortedness, NaN-freeness, capacities, exactly-once coverage)
+        // is proved once by `validate_arena` inside `from_arena`.
         for (node_id, node) in nodes.iter().enumerate() {
             match node {
                 RawMvpNode::Internal {
-                    vp1,
-                    vp2,
                     cutoffs1,
                     cutoffs2,
                     children,
+                    ..
                 } => {
-                    mark(*vp1, &mut seen)?;
-                    mark(*vp2, &mut seen)?;
                     if children.len() != m * m {
                         return Err(corrupt(format!(
                             "node {node_id}: {} child slots, fanout is m² = {}",
@@ -212,56 +176,14 @@ impl<T, M> MvpTree<T, M> {
                             m - 1
                         )));
                     }
-                    check_sorted(node_id, "cutoffs1", cutoffs1)?;
-                    for c in cutoffs2 {
-                        check_sorted(node_id, "cutoffs2", c)?;
-                    }
-                    for &child in children.iter().flatten() {
-                        if (child as usize) >= n_nodes {
-                            return Err(corrupt(format!(
-                                "node {node_id}: child id {child} out of range ({n_nodes} nodes)"
-                            )));
-                        }
-                        if (child as usize) <= node_id {
-                            return Err(corrupt(format!(
-                                "node {node_id}: child id {child} does not follow its parent"
-                            )));
-                        }
-                        if referenced[child as usize] {
-                            return Err(corrupt(format!(
-                                "node {child} is referenced by more than one parent"
-                            )));
-                        }
-                        referenced[child as usize] = true;
-                    }
                 }
-                RawMvpNode::Leaf { vp1, vp2, entries } => {
-                    mark(*vp1, &mut seen)?;
-                    if let Some(v2) = vp2 {
-                        mark(*v2, &mut seen)?;
-                    } else if !entries.ids.is_empty() {
-                        return Err(corrupt(format!(
-                            "node {node_id}: leaf has entries but no second vantage point"
-                        )));
-                    }
+                RawMvpNode::Leaf { entries, .. } => {
                     let n = entries.ids.len();
-                    if n > params.k {
-                        return Err(corrupt(format!(
-                            "node {node_id}: leaf holds {n} entries, capacity k = {}",
-                            params.k
-                        )));
-                    }
                     if entries.d1.len() != n || entries.d2.len() != n {
                         return Err(corrupt(format!(
                             "node {node_id}: D1/D2 columns ({}/{}) do not match {n} entries",
                             entries.d1.len(),
                             entries.d2.len()
-                        )));
-                    }
-                    if entries.path_len > params.p {
-                        return Err(corrupt(format!(
-                            "node {node_id}: PATH length {} exceeds p = {}",
-                            entries.path_len, params.p
                         )));
                     }
                     if entries.path.len() != n * entries.path_len {
@@ -271,36 +193,8 @@ impl<T, M> MvpTree<T, M> {
                             entries.path_len
                         )));
                     }
-                    if entries.d1.iter().any(|d| d.is_nan())
-                        || entries.d2.iter().any(|d| d.is_nan())
-                        || entries.path.iter().any(|d| d.is_nan())
-                    {
-                        return Err(corrupt(format!(
-                            "node {node_id}: NaN in pre-computed leaf distances"
-                        )));
-                    }
-                    for &id in &entries.ids {
-                        mark(id, &mut seen)?;
-                    }
                 }
             }
-        }
-        if let Some(root) = root {
-            if referenced[root as usize] {
-                return Err(corrupt("root node is also referenced as a child"));
-            }
-        }
-        if let Some(orphan) = referenced
-            .iter()
-            .enumerate()
-            .position(|(id, &linked)| !linked && Some(id as u32) != root)
-        {
-            return Err(corrupt(format!(
-                "node {orphan} is unreachable from the root"
-            )));
-        }
-        if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(corrupt(format!("item {missing} appears in no node")));
         }
 
         let nodes: Vec<Node> = nodes
@@ -332,13 +226,8 @@ impl<T, M> MvpTree<T, M> {
                 },
             })
             .collect();
-        Ok(MvpTree {
-            items,
-            metric,
-            nodes,
-            root,
-            params,
-        })
+        let arena = MvpArena::from_nodes(m, &nodes);
+        Self::from_arena(items, metric, params, root, arena)
     }
 }
 
@@ -368,6 +257,23 @@ mod tests {
         assert_eq!(original.range(&q, 6.0), rebuilt.range(&q, 6.0));
         assert_eq!(original.knn(&q, 7), rebuilt.knn(&q, 7));
         rebuilt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arena_round_trip_preserves_answers() {
+        let original = tree();
+        let rebuilt = MvpTree::from_arena(
+            original.items().to_vec(),
+            Euclidean,
+            original.params().clone(),
+            original.root(),
+            original.arena.clone(),
+        )
+        .unwrap();
+        let q = vec![11.0, 4.0];
+        assert_eq!(original.range(&q, 6.0), rebuilt.range(&q, 6.0));
+        assert_eq!(original.knn(&q, 7), rebuilt.knn(&q, 7));
+        assert_eq!(original.k_farthest(&q, 5), rebuilt.k_farthest(&q, 5));
     }
 
     #[test]

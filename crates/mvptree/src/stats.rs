@@ -1,6 +1,6 @@
 //! Structural statistics and the paper's §4.2 counting identities.
 
-use crate::node::{Node, NodeId};
+use crate::arena::{MvpArenaView, MvpNodeView, NO_CHILD};
 use crate::tree::MvpTree;
 
 /// Shape summary of a built mvp-tree.
@@ -77,34 +77,34 @@ impl<T, M> MvpTree<T, M> {
             max_path_len: 0,
         };
         if let Some(root) = self.root {
-            s.height = self.walk(root, &mut s);
+            s.height = walk(self.arena.view(), root, &mut s);
         }
         s
     }
+}
 
-    fn walk(&self, node: NodeId, s: &mut MvpTreeStats) -> usize {
-        match self.node(node) {
-            Node::Leaf { vp2, entries, .. } => {
-                s.leaf_nodes += 1;
-                s.leaf_entries += entries.len();
-                s.vantage_points += 1 + usize::from(vp2.is_some());
-                s.max_leaf_entries = s.max_leaf_entries.max(entries.len());
-                if !entries.is_empty() {
-                    // PATH lengths are uniform within a leaf.
-                    s.max_path_len = s.max_path_len.max(entries.path_len());
-                }
-                0
+fn walk(view: MvpArenaView<'_>, node: u32, s: &mut MvpTreeStats) -> usize {
+    match view.node(node) {
+        MvpNodeView::Leaf { vp2, entries, .. } => {
+            s.leaf_nodes += 1;
+            s.leaf_entries += entries.len();
+            s.vantage_points += 1 + usize::from(vp2.is_some());
+            s.max_leaf_entries = s.max_leaf_entries.max(entries.len());
+            if !entries.is_empty() {
+                // PATH lengths are uniform within a leaf.
+                s.max_path_len = s.max_path_len.max(entries.path_len());
             }
-            Node::Internal { children, .. } => {
-                s.internal_nodes += 1;
-                s.vantage_points += 2;
-                1 + children
-                    .iter()
-                    .flatten()
-                    .map(|&c| self.walk(c, s))
-                    .max()
-                    .unwrap_or(0)
-            }
+            0
+        }
+        MvpNodeView::Internal { children, .. } => {
+            s.internal_nodes += 1;
+            s.vantage_points += 2;
+            1 + children
+                .iter()
+                .filter(|&&c| c != NO_CHILD)
+                .map(|&c| walk(view, c, s))
+                .max()
+                .unwrap_or(0)
         }
     }
 }

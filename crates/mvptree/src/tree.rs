@@ -1,22 +1,25 @@
 //! The [`MvpTree`] type and its public surface.
 
-use vantage_core::{MetricIndex, Neighbor};
+use vantage_core::{MetricIndex, Neighbor, Result};
 
-use crate::node::{Node, NodeId};
+use crate::arena::{MvpArena, MvpArenaView};
 use crate::params::MvpParams;
+use crate::treeref::MvpTreeRef;
+use crate::validate::validate_arena;
 
 /// A multi-vantage-point tree over items of type `T` under metric `M`.
 ///
 /// Built once from a dataset ([`MvpTree::build`], paper §4.2); answers
 /// range and k-nearest-neighbor queries through [`MetricIndex`] (paper
-/// §4.3). See the crate docs for the algorithm.
+/// §4.3). Nodes live in a flat, index-addressed [`MvpArena`]; see the
+/// crate docs for the algorithm.
 #[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MvpTree<T, M> {
     pub(crate) items: Vec<T>,
     pub(crate) metric: M,
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) root: Option<NodeId>,
+    pub(crate) arena: MvpArena,
+    pub(crate) root: Option<u32>,
     pub(crate) params: MvpParams,
 }
 
@@ -36,8 +39,54 @@ impl<T, M> MvpTree<T, M> {
         &self.items
     }
 
-    pub(crate) fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id as usize]
+    /// The flat node arena.
+    pub fn arena(&self) -> MvpArenaView<'_> {
+        self.arena.view()
+    }
+
+    /// Arena id of the root node (`None` for an empty tree).
+    pub fn root(&self) -> Option<u32> {
+        self.root
+    }
+
+    /// Borrows the tree as an [`MvpTreeRef`] — the same view type the
+    /// zero-copy snapshot path serves queries through.
+    pub fn as_view(&self) -> MvpTreeRef<'_, &[T], M> {
+        MvpTreeRef::new(
+            self.arena.view(),
+            self.root,
+            self.items.as_slice(),
+            &self.metric,
+            self.params.p,
+        )
+    }
+
+    /// Assembles a tree from items, a metric, parameters and a flat node
+    /// arena, validating every structural invariant the search paths rely
+    /// on — the decode path of the persistence layer.
+    ///
+    /// # Errors
+    ///
+    /// [`CorruptSnapshot`](vantage_core::VantageError::CorruptSnapshot)
+    /// describing the first violated invariant, or an
+    /// [`InvalidParameter`](vantage_core::VantageError::InvalidParameter)
+    /// from the embedded params.
+    pub fn from_arena(
+        items: Vec<T>,
+        metric: M,
+        params: MvpParams,
+        root: Option<u32>,
+        arena: MvpArena,
+    ) -> Result<Self> {
+        params.validate()?;
+        validate_arena(arena.view(), root, items.len(), &params)?;
+        Ok(MvpTree {
+            items,
+            metric,
+            arena,
+            root,
+            params,
+        })
     }
 }
 

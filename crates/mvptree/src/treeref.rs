@@ -1,0 +1,189 @@
+//! Borrowed mvp-tree views: answer every query form without owning
+//! nodes or items.
+//!
+//! An [`MvpTreeRef`] is the zero-copy counterpart of
+//! [`MvpTree`](crate::MvpTree): the node arena is a borrowed
+//! [`MvpArenaView`] (typically resolved inside a memory-mapped snapshot
+//! section) and the items come from any [`ItemStore`] — a plain slice,
+//! or a flat offset-indexed buffer such as
+//! [`FlatF64s`](vantage_core::FlatF64s). Both forms drive the exact same
+//! kernels in [`crate::kernel`], so a borrowed view answers
+//! bit-identically to the materialized tree it mirrors.
+
+use vantage_core::budget::{BudgetedKnn, SearchBudget};
+use vantage_core::farthest::KfnCollector;
+use vantage_core::trace::{NoTrace, TraceSink};
+use vantage_core::{BoundedMetric, ItemStore, KnnCollector, Metric, Neighbor};
+
+use crate::arena::MvpArenaView;
+use crate::kernel::Kernel;
+
+/// A borrowed mvp-tree: arena view + item store + metric + PATH cap.
+///
+/// Construction performs no validation — the arena and store must
+/// describe a structurally valid tree (every id in range, spans in
+/// bounds). The owned-tree path guarantees this by construction; the
+/// snapshot path validates once at open time, before any view is built.
+#[derive(Debug, Clone, Copy)]
+pub struct MvpTreeRef<'a, S, M> {
+    arena: MvpArenaView<'a>,
+    root: Option<u32>,
+    store: S,
+    metric: &'a M,
+    p: usize,
+}
+
+impl<'a, S: ItemStore, M> MvpTreeRef<'a, S, M> {
+    /// Binds a validated arena view, root, item store, metric and PATH
+    /// cap (`MvpParams::p`).
+    pub fn new(
+        arena: MvpArenaView<'a>,
+        root: Option<u32>,
+        store: S,
+        metric: &'a M,
+        p: usize,
+    ) -> Self {
+        MvpTreeRef {
+            arena,
+            root,
+            store,
+            metric,
+            p,
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the tree indexes no items.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The item named by `id`.
+    pub fn item(&self, id: u32) -> &S::Item {
+        self.store.get(id)
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &'a M {
+        self.metric
+    }
+
+    /// The underlying arena view.
+    pub fn arena(&self) -> MvpArenaView<'a> {
+        self.arena
+    }
+
+    fn kernel<'k>(&'k self, query: &'k S::Item) -> Kernel<'k, S, M, S::Item> {
+        Kernel {
+            arena: self.arena,
+            root: self.root,
+            items: &self.store,
+            metric: self.metric,
+            query,
+            p: self.p,
+        }
+    }
+
+    /// Range search: all items within `radius` of `query`.
+    pub fn range(&self, query: &S::Item, radius: f64) -> Vec<Neighbor>
+    where
+        M: BoundedMetric<S::Item>,
+    {
+        self.range_traced(query, radius, &mut NoTrace)
+    }
+
+    /// [`range`](MvpTreeRef::range) with instrumentation into `sink`.
+    pub fn range_traced<Sink: TraceSink>(
+        &self,
+        query: &S::Item,
+        radius: f64,
+        sink: &mut Sink,
+    ) -> Vec<Neighbor>
+    where
+        M: BoundedMetric<S::Item>,
+    {
+        self.kernel(query).range(radius, sink)
+    }
+
+    /// k-nearest-neighbor search.
+    pub fn knn(&self, query: &S::Item, k: usize) -> Vec<Neighbor>
+    where
+        M: BoundedMetric<S::Item>,
+    {
+        self.knn_traced(query, k, &mut NoTrace)
+    }
+
+    /// [`knn`](MvpTreeRef::knn) with instrumentation into `sink`.
+    pub fn knn_traced<Sink: TraceSink>(
+        &self,
+        query: &S::Item,
+        k: usize,
+        sink: &mut Sink,
+    ) -> Vec<Neighbor>
+    where
+        M: BoundedMetric<S::Item>,
+    {
+        let mut collector = KnnCollector::new(k);
+        self.kernel(query).knn_into(&mut collector, sink);
+        collector.into_sorted()
+    }
+
+    /// Far-range search: all items at distance ≥ `radius` from `query`.
+    pub fn range_beyond(&self, query: &S::Item, radius: f64) -> Vec<Neighbor>
+    where
+        M: Metric<S::Item>,
+    {
+        self.beyond_traced(query, radius, &mut NoTrace)
+    }
+
+    /// [`range_beyond`](MvpTreeRef::range_beyond) with instrumentation.
+    pub fn beyond_traced<Sink: TraceSink>(
+        &self,
+        query: &S::Item,
+        radius: f64,
+        sink: &mut Sink,
+    ) -> Vec<Neighbor>
+    where
+        M: Metric<S::Item>,
+    {
+        self.kernel(query).beyond(radius, sink)
+    }
+
+    /// The k items farthest from `query`.
+    pub fn k_farthest(&self, query: &S::Item, k: usize) -> Vec<Neighbor>
+    where
+        M: Metric<S::Item>,
+    {
+        self.kfn_traced(query, k, &mut NoTrace)
+    }
+
+    /// [`k_farthest`](MvpTreeRef::k_farthest) with instrumentation.
+    pub fn kfn_traced<Sink: TraceSink>(
+        &self,
+        query: &S::Item,
+        k: usize,
+        sink: &mut Sink,
+    ) -> Vec<Neighbor>
+    where
+        M: Metric<S::Item>,
+    {
+        let mut collector = KfnCollector::new(k);
+        if k > 0 {
+            self.kernel(query).kfn_into(&mut collector, sink);
+        }
+        collector.into_sorted()
+    }
+
+    /// Budgeted best-effort kNN; see
+    /// [`BudgetedSearch`](vantage_core::BudgetedSearch).
+    pub fn knn_budgeted(&self, query: &S::Item, k: usize, budget: SearchBudget) -> BudgetedKnn
+    where
+        M: BoundedMetric<S::Item>,
+    {
+        self.kernel(query).knn_budgeted(k, budget)
+    }
+}

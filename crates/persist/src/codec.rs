@@ -9,38 +9,70 @@
 //! [`Counted`] wrappers whose counters restart at zero).
 
 use vantage_core::prelude::{Chebyshev, Counted, Euclidean, Levenshtein, Manhattan};
-use vantage_core::Result;
+use vantage_core::{Result, VantageError};
 
-use crate::wire::{Cursor, Out};
+use crate::layout::{self, ItemsLayout};
+use crate::wire::Out;
 
 /// A type that can be stored in (and restored from) a snapshot's items
 /// section.
+///
+/// Version 2 stores items as one flat column: a cumulative offset fence
+/// per item over a single shared data region (see [`crate::layout`]),
+/// so the same bytes can be either materialized into owned values here
+/// or sliced in place by the zero-copy loader.
 pub trait ItemCodec: Sized {
     /// One-byte item-encoding tag stored in the snapshot header.
     const TAG: u8;
     /// Human-readable encoding name (for `inspect` and error messages).
     const NAME: &'static str;
-    /// Appends this item's encoding to `out`.
-    fn encode(&self, out: &mut Out);
-    /// Decodes one item, bounds-checked.
+    /// Encodes all items as one flat items payload. `base` is the
+    /// payload's absolute file offset (the alignment origin).
+    fn encode_section(items: &[Self], base: usize) -> Vec<u8>;
+    /// Decodes a flat items payload into owned values, bounds-checked.
     ///
     /// # Errors
     ///
-    /// [`vantage_core::VantageError::CorruptSnapshot`] on truncated or
-    /// malformed payloads.
-    fn decode(cur: &mut Cursor<'_>) -> Result<Self>;
+    /// [`VantageError::CorruptSnapshot`] on truncated or malformed
+    /// payloads, or when the payload's count disagrees with `count`
+    /// (the verified header field).
+    fn decode_section(payload: &[u8], base: usize, count: u64) -> Result<Vec<Self>>;
+}
+
+/// Writes the shared payload head: alignment padding, count, offsets.
+fn encode_fences<T>(items: &[T], base: usize, elem_len: impl Fn(&T) -> usize) -> Out {
+    let mut out = Out::new();
+    out.align8(base);
+    out.u64(items.len() as u64);
+    let mut acc = 0u64;
+    out.u64(acc);
+    for item in items {
+        acc += elem_len(item) as u64;
+        out.u64(acc);
+    }
+    out
 }
 
 impl ItemCodec for Vec<f64> {
     const TAG: u8 = 1;
     const NAME: &'static str = "f64-vector";
 
-    fn encode(&self, out: &mut Out) {
-        out.f64_vec(self);
+    fn encode_section(items: &[Self], base: usize) -> Vec<u8> {
+        let mut out = encode_fences(items, base, Vec::len);
+        for item in items {
+            out.f64s(item);
+        }
+        out.0
     }
 
-    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
-        cur.f64_vec("vector item")
+    fn decode_section(payload: &[u8], base: usize, count: u64) -> Result<Vec<Self>> {
+        let lay = ItemsLayout::parse(payload, base, count, 8)?;
+        let data = layout::f64s_in(payload, &lay.data);
+        Ok(lay
+            .offsets
+            .windows(2)
+            .map(|w| data[w[0] as usize..w[1] as usize].to_vec())
+            .collect())
     }
 }
 
@@ -48,16 +80,25 @@ impl ItemCodec for String {
     const TAG: u8 = 2;
     const NAME: &'static str = "utf8-string";
 
-    fn encode(&self, out: &mut Out) {
-        out.usize(self.len());
-        out.0.extend_from_slice(self.as_bytes());
+    fn encode_section(items: &[Self], base: usize) -> Vec<u8> {
+        let mut out = encode_fences(items, base, String::len);
+        for item in items {
+            out.0.extend_from_slice(item.as_bytes());
+        }
+        out.0
     }
 
-    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
-        let n = cur.len(1, "string item")?;
-        let bytes = cur.take(n, "string item")?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|e| vantage_core::VantageError::corrupt(format!("string item: {e}")))
+    fn decode_section(payload: &[u8], base: usize, count: u64) -> Result<Vec<Self>> {
+        let lay = ItemsLayout::parse(payload, base, count, 1)?;
+        let data = &payload[lay.data.clone()];
+        lay.offsets
+            .windows(2)
+            .map(|w| {
+                std::str::from_utf8(&data[w[0] as usize..w[1] as usize])
+                    .map(str::to_string)
+                    .map_err(|e| VantageError::corrupt(format!("string item: {e}")))
+            })
+            .collect()
     }
 }
 
@@ -116,31 +157,38 @@ mod tests {
     }
 
     #[test]
-    fn string_items_round_trip() {
-        let mut out = Out::new();
-        "héllo".to_string().encode(&mut out);
-        String::new().encode(&mut out);
-        let mut cur = Cursor::new(&out.0);
-        assert_eq!(String::decode(&mut cur).unwrap(), "héllo");
-        assert_eq!(String::decode(&mut cur).unwrap(), "");
-        cur.finish("items").unwrap();
+    fn string_items_round_trip_at_any_base() {
+        let items = vec!["héllo".to_string(), String::new(), "wörld".to_string()];
+        for base in [0usize, 1, 3, 8, 13] {
+            let payload = String::encode_section(&items, base);
+            let back = String::decode_section(&payload, base, items.len() as u64).unwrap();
+            assert_eq!(back, items, "base {base}");
+        }
     }
 
     #[test]
     fn invalid_utf8_is_a_typed_error() {
-        let mut out = Out::new();
-        out.usize(2);
-        out.0.extend_from_slice(&[0xFF, 0xFE]);
-        let mut cur = Cursor::new(&out.0);
-        assert!(String::decode(&mut cur).is_err());
+        let items = vec!["ab".to_string()];
+        let mut payload = String::encode_section(&items, 0);
+        *payload.last_mut().unwrap() = 0xFF;
+        let err = String::decode_section(&payload, 0, 1).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
     }
 
     #[test]
-    fn vector_items_round_trip() {
-        let mut out = Out::new();
-        vec![1.5, -0.0, f64::MAX].encode(&mut out);
-        let mut cur = Cursor::new(&out.0);
-        let v = Vec::<f64>::decode(&mut cur).unwrap();
-        assert_eq!(v, vec![1.5, -0.0, f64::MAX]);
+    fn vector_items_round_trip_at_any_base() {
+        let items = vec![vec![1.5, -0.0, f64::MAX], vec![], vec![f64::MIN_POSITIVE]];
+        for base in [0usize, 2, 8, 11] {
+            let payload = Vec::<f64>::encode_section(&items, base);
+            let back = Vec::<f64>::decode_section(&payload, base, items.len() as u64).unwrap();
+            assert_eq!(back, items, "base {base}");
+        }
+    }
+
+    #[test]
+    fn count_disagreement_is_a_typed_error() {
+        let payload = Vec::<f64>::encode_section(&[vec![1.0]], 0);
+        let err = Vec::<f64>::decode_section(&payload, 0, 2).unwrap_err();
+        assert!(matches!(err, VantageError::CorruptSnapshot { .. }), "{err}");
     }
 }

@@ -17,6 +17,15 @@
 //! any allocation, every section carries its own CRC, and the header CRC
 //! covers the metadata itself — so truncation, bit flips and fabricated
 //! lengths all surface as typed [`VantageError`]s.
+//!
+//! Version 2 (the only version this build reads or writes) lays the
+//! items and structure payloads out as flat, 8-byte-aligned arrays so a
+//! memory map of the file can be served directly — see
+//! [`crate::layout`]. Payload-internal alignment is relative to the
+//! *file* start (each payload pads its own front up to the next 8-byte
+//! file offset), which is why [`parse`] reports each payload's absolute
+//! offset alongside its bytes. Version 1 stored pointer-rich per-node
+//! records; it is no longer readable and reports as unsupported.
 
 use vantage_core::{Result, VantageError};
 
@@ -26,7 +35,21 @@ use crate::wire::{Cursor, Out};
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: &[u8; 8] = b"VNTGSNAP";
 /// Newest container version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Upper bound on the header span in bytes: the fixed fields plus the
+/// largest possible metric identifier. Reading this many bytes (or the
+/// whole file, if shorter) is always enough to [`parse_header`].
+pub(crate) const HEADER_MAX: usize = HEADER_FIXED + u16::MAX as usize;
+
+/// Header bytes outside the variable-length metric id: magic (8) +
+/// version (4) + kind (1) + item (1) + metric length (2) + count (8) +
+/// digest (8) + header CRC (4).
+const HEADER_FIXED: usize = 36;
+
+/// Bytes of section framing around each payload: id (1) + length (8)
+/// before, CRC-32 (4) after.
+pub(crate) const SECTION_OVERHEAD: usize = 13;
 
 /// Which index structure a snapshot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +93,26 @@ impl IndexKind {
     }
 }
 
+/// Parsed and CRC-verified snapshot header.
+#[derive(Debug)]
+pub(crate) struct Header {
+    /// Container version the file was written with.
+    pub version: u32,
+    /// Index structure held by the snapshot.
+    pub kind: IndexKind,
+    /// Item-encoding tag ([`crate::ItemCodec::TAG`]).
+    pub item_tag: u8,
+    /// Metric identifier ([`crate::MetricTag::TAG`]).
+    pub metric: String,
+    /// Number of indexed items.
+    pub count: u64,
+    /// FNV-1a 64 digest of the items payload.
+    pub digest: u64,
+    /// Total header length in bytes (CRC included) — the file offset of
+    /// the first section descriptor.
+    pub len: usize,
+}
+
 /// Parsed snapshot header plus the three verified section payloads.
 #[derive(Debug)]
 pub(crate) struct Container<'a> {
@@ -91,10 +134,32 @@ pub(crate) struct Container<'a> {
     pub items: &'a [u8],
     /// Structure section payload (id 3).
     pub structure: &'a [u8],
+    /// Absolute file offset of the items payload (alignment base).
+    pub items_off: usize,
+    /// Absolute file offset of the structure payload (alignment base).
+    pub structure_off: usize,
 }
 
 /// Section ids in their fixed file order.
 const SECTION_IDS: [(u8, &str); 3] = [(1, "params"), (2, "items"), (3, "structure")];
+
+/// The header length a metric id of `metric_len` bytes produces.
+fn header_len(metric_len: usize) -> usize {
+    HEADER_FIXED + metric_len
+}
+
+/// Absolute file offset of the items payload for the given header and
+/// params-payload lengths — what [`crate::trees`] passes the item
+/// encoder as its alignment base.
+pub(crate) fn items_payload_offset(metric_len: usize, params_len: usize) -> usize {
+    header_len(metric_len) + SECTION_OVERHEAD + params_len + 9
+}
+
+/// Absolute file offset of the structure payload, given the items
+/// payload's offset and length.
+pub(crate) fn structure_payload_offset(items_off: usize, items_len: usize) -> usize {
+    items_off + items_len + 4 + 9
+}
 
 /// Assembles a complete snapshot from the three section payloads.
 pub(crate) fn assemble(
@@ -119,6 +184,7 @@ pub(crate) fn assemble(
     out.u64(fnv1a64(items));
     let header_crc = crc32(&out.0);
     out.u32(header_crc);
+    debug_assert_eq!(out.0.len(), header_len(metric_bytes.len()));
     for (id, payload) in SECTION_IDS
         .iter()
         .map(|(id, _)| *id)
@@ -132,17 +198,20 @@ pub(crate) fn assemble(
     out.0
 }
 
-/// Parses and fully verifies a snapshot container: magic, version,
-/// header CRC, section framing and per-section CRCs, dataset digest,
-/// exact EOF.
+/// Parses and CRC-verifies the header span of a snapshot. `bytes` may be
+/// the whole file or any prefix of at least the header's length —
+/// [`HEADER_MAX`] bytes always suffice — so callers can inspect a
+/// multi-GB snapshot after one bounded read.
 ///
 /// # Errors
 ///
-/// * [`VantageError::UnsupportedSnapshot`] for a newer container version
-///   (recognized magic, so the file *is* a snapshot — just not ours);
+/// * [`VantageError::UnsupportedSnapshot`] for any version other than
+///   [`FORMAT_VERSION`] (recognized magic, so the file *is* a snapshot —
+///   just not one this build reads; version 1's pointer-rich node
+///   records were dropped with the flat layout);
 /// * [`VantageError::CorruptSnapshot`] for everything else that does not
 ///   parse or verify.
-pub(crate) fn parse(bytes: &[u8]) -> Result<Container<'_>> {
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header> {
     let mut cur = Cursor::new(bytes);
     let magic = cur.take(MAGIC.len(), "magic")?;
     if magic != MAGIC {
@@ -151,14 +220,14 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Container<'_>> {
         ));
     }
     let version = cur.u32("version")?;
-    if version > FORMAT_VERSION {
+    if version == 0 {
+        return Err(VantageError::corrupt("version 0 is not a valid snapshot"));
+    }
+    if version != FORMAT_VERSION {
         return Err(VantageError::UnsupportedSnapshot {
             found: version,
             supported: FORMAT_VERSION,
         });
-    }
-    if version == 0 {
-        return Err(VantageError::corrupt("version 0 is not a valid snapshot"));
     }
     let kind = IndexKind::from_tag(cur.u8("index kind")?)?;
     let item_tag = cur.u8("item tag")?;
@@ -176,9 +245,32 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Container<'_>> {
             "header checksum mismatch: stored {declared:#010x}, computed {actual:#010x}"
         )));
     }
+    Ok(Header {
+        version,
+        kind,
+        item_tag,
+        metric,
+        count,
+        digest,
+        len: cur.position(),
+    })
+}
+
+/// Parses and fully verifies a snapshot container: magic, version,
+/// header CRC, section framing and per-section CRCs, dataset digest,
+/// exact EOF.
+///
+/// # Errors
+///
+/// As [`parse_header`], plus [`VantageError::CorruptSnapshot`] for any
+/// section-level damage.
+pub(crate) fn parse(bytes: &[u8]) -> Result<Container<'_>> {
+    let header = parse_header(bytes)?;
+    let mut cur = Cursor::new(&bytes[header.len..]);
 
     let mut payloads: [&[u8]; 3] = [&[], &[], &[]];
-    for (slot, (id, name)) in payloads.iter_mut().zip(SECTION_IDS) {
+    let mut offsets = [0usize; 3];
+    for ((slot, off), (id, name)) in payloads.iter_mut().zip(offsets.iter_mut()).zip(SECTION_IDS) {
         let found = cur.u8("section id")?;
         if found != id {
             return Err(VantageError::corrupt(format!(
@@ -186,6 +278,7 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Container<'_>> {
             )));
         }
         let len = cur.len(1, name)?;
+        *off = header.len + cur.position();
         let payload = cur.take(len, name)?;
         let declared = cur.u32("section checksum")?;
         let actual = crc32(payload);
@@ -200,21 +293,32 @@ pub(crate) fn parse(bytes: &[u8]) -> Result<Container<'_>> {
 
     let [params, items, structure] = payloads;
     let items_digest = fnv1a64(items);
-    if items_digest != digest {
+    if items_digest != header.digest {
         return Err(VantageError::corrupt(format!(
-            "dataset digest mismatch: header says {digest:#018x}, items hash to {items_digest:#018x}"
+            "dataset digest mismatch: header says {:#018x}, items hash to {items_digest:#018x}",
+            header.digest
         )));
     }
+    debug_assert_eq!(
+        offsets[1],
+        items_payload_offset(header.metric.len(), params.len())
+    );
+    debug_assert_eq!(
+        offsets[2],
+        structure_payload_offset(offsets[1], items.len())
+    );
     Ok(Container {
-        version,
-        kind,
-        item_tag,
-        metric,
-        count,
-        digest,
+        version: header.version,
+        kind: header.kind,
+        item_tag: header.item_tag,
+        metric: header.metric,
+        count: header.count,
+        digest: header.digest,
         params,
         items,
         structure,
+        items_off: offsets[1],
+        structure_off: offsets[2],
     })
 }
 
@@ -239,6 +343,22 @@ mod tests {
         assert_eq!(c.items, b"ITEMS");
         assert_eq!(c.structure, b"TREE");
         assert_eq!(c.digest, fnv1a64(b"ITEMS"));
+        assert_eq!(&bytes[c.items_off..c.items_off + 5], b"ITEMS");
+        assert_eq!(&bytes[c.structure_off..c.structure_off + 4], b"TREE");
+    }
+
+    #[test]
+    fn header_parses_from_a_bounded_prefix() {
+        let bytes = sample();
+        let prefix = &bytes[..HEADER_MAX.min(bytes.len())];
+        let h = parse_header(prefix).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION);
+        assert_eq!(h.kind, IndexKind::VpTree);
+        assert_eq!(h.metric, "l2");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.len, HEADER_FIXED + 2);
+        // A prefix short of the full header is a typed truncation error.
+        assert!(parse_header(&bytes[..h.len - 1]).is_err());
     }
 
     #[test]
@@ -266,6 +386,26 @@ mod tests {
                     found,
                     supported: FORMAT_VERSION,
                 } if found == FORMAT_VERSION + 1
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dropped_v1_is_unsupported_not_corrupt() {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let header_end = bytes.len() - (b"PARAMSITEMSTREE".len() + 3 * 13) - 4;
+        let crc = crc32(&bytes[..header_end]);
+        bytes[header_end..header_end + 4].copy_from_slice(&crc.to_le_bytes());
+        let err = parse(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VantageError::UnsupportedSnapshot {
+                    found: 1,
+                    supported: FORMAT_VERSION,
+                }
             ),
             "{err}"
         );

@@ -52,15 +52,22 @@
 //! assert_eq!(info.items, 100);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafety is denied crate-wide and re-allowed in exactly one place:
+// the `mem` module's mapping/cast primitives (same scoped policy as
+// vantage-core's `simd.rs`). Everything else, including all parsing of
+// untrusted bytes, is safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod check;
 pub mod codec;
 pub mod format;
+pub mod mapped;
 pub mod wire;
 
+mod layout;
+mod mem;
 mod trees;
 
 use std::path::Path;
@@ -71,6 +78,9 @@ use vantage_vptree::VpTree;
 
 pub use codec::{ItemCodec, MetricTag};
 pub use format::{IndexKind, FORMAT_VERSION, MAGIC};
+pub use mapped::{
+    open_mvp_tree, open_vp_tree, F64Vectors, FlatItems, MappedMvpTree, MappedVpTree, Utf8Strings,
+};
 pub use trees::{
     decode_linear_scan, decode_mvp_tree, decode_vp_tree, encode_linear_scan, encode_mvp_tree,
     encode_vp_tree,
@@ -117,14 +127,41 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<SnapshotInfo> {
     })
 }
 
-/// [`inspect_bytes`] for a file on disk.
+/// Header metadata of a snapshot file — **O(header), not O(file)**.
+///
+/// Reads only the bounded header span (a few dozen bytes plus the
+/// metric id) and the file's length from its metadata, so inspecting a
+/// multi-GB snapshot costs one small read. The header's own CRC-32 is
+/// verified; the section payloads are *not* touched — full container
+/// verification is [`inspect_bytes`]' or the `decode_*`/`open_*`
+/// functions' job.
 ///
 /// # Errors
 ///
-/// [`VantageError::Io`] when the file cannot be read, otherwise as
-/// [`inspect_bytes`].
+/// [`VantageError::Io`] when the file cannot be opened or read;
+/// [`VantageError::CorruptSnapshot`] on short files (a truncated
+/// header), bad magic or a failed header CRC;
+/// [`VantageError::UnsupportedSnapshot`] for other format versions.
 pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo> {
-    inspect_bytes(&read_file(path.as_ref())?)
+    use std::io::Read;
+    let path = path.as_ref();
+    let io_err = |e: std::io::Error| VantageError::io(path.display().to_string(), e.to_string());
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let total = file.metadata().map_err(io_err)?.len();
+    let mut head = Vec::new();
+    file.take(format::HEADER_MAX as u64)
+        .read_to_end(&mut head)
+        .map_err(io_err)?;
+    let h = format::parse_header(&head)?;
+    Ok(SnapshotInfo {
+        version: h.version,
+        kind: h.kind,
+        item: trees::item_tag_name(h.item_tag),
+        metric: h.metric,
+        items: h.count,
+        digest: h.digest,
+        bytes: total,
+    })
 }
 
 fn read_file(path: &Path) -> Result<Vec<u8>> {

@@ -2,21 +2,27 @@
 //! the vp-tree, mvp-tree and linear scan, plus the typed
 //! `encode_*`/`decode_*` entry points over the container format.
 //!
-//! Decoding never trusts the payload: all reads are bounds-checked, node
-//! vectors grow only as bytes are actually consumed (a fabricated count
-//! cannot trigger a large allocation), and the final
-//! `from_parts` validation re-checks every structural invariant before a
-//! tree is handed back.
+//! Decoding never trusts the payload: the shared [`crate::layout`]
+//! parser bounds-checks every declared count against the bytes actually
+//! present (a fabricated count cannot trigger a large allocation), and
+//! the final `from_arena` validation re-checks every structural
+//! invariant before a tree is handed back. The structure payloads are
+//! the arenas' flat arrays written verbatim, so encoding is a handful
+//! of `memcpy`-shaped appends and decoding is the reverse — no per-node
+//! record walking on either side.
 
 use vantage_core::parallel::Threads;
 use vantage_core::select::VantageSelector;
 use vantage_core::{LinearScan, Result, VantageError};
 use vantage_mvptree::params::{MvpParams, SecondVantage};
-use vantage_mvptree::{MvpTree, MvpTreeParts, RawMvpLeafEntries, RawMvpNode};
-use vantage_vptree::{RawVpNode, VpTree, VpTreeParams, VpTreeParts};
+use vantage_mvptree::{MvpArena, MvpTree};
+use vantage_vptree::{VpArena, VpTree, VpTreeParams};
 
 use crate::codec::{ItemCodec, MetricTag};
-use crate::format::{assemble, parse, Container, IndexKind};
+use crate::format::{
+    assemble, items_payload_offset, parse, structure_payload_offset, Container, IndexKind,
+};
+use crate::layout::{self, MvpLayout, VpLayout};
 use crate::wire::{Cursor, Out};
 
 /// Human-readable name for an item-encoding tag (known or not).
@@ -28,7 +34,14 @@ pub(crate) fn item_tag_name(tag: u8) -> String {
     }
 }
 
-fn check_typed<T: ItemCodec, M: MetricTag>(c: &Container<'_>, expect: IndexKind) -> Result<()> {
+/// Checks a parsed container against the expected kind/item/metric tags.
+pub(crate) fn check_tags(
+    c: &Container<'_>,
+    expect: IndexKind,
+    item_tag: u8,
+    item_name: &'static str,
+    metric_tag: &'static str,
+) -> Result<()> {
     if c.kind != expect {
         return Err(VantageError::mismatch(
             "index kind",
@@ -36,37 +49,32 @@ fn check_typed<T: ItemCodec, M: MetricTag>(c: &Container<'_>, expect: IndexKind)
             expect.name(),
         ));
     }
-    if c.item_tag != T::TAG {
+    if c.item_tag != item_tag {
         return Err(VantageError::mismatch(
             "item type",
             item_tag_name(c.item_tag),
-            T::NAME,
+            item_name,
         ));
     }
-    if c.metric != M::TAG {
-        return Err(VantageError::mismatch("metric", &c.metric, M::TAG));
+    if c.metric != metric_tag {
+        return Err(VantageError::mismatch("metric", &c.metric, metric_tag));
     }
     Ok(())
 }
 
-fn encode_items<T: ItemCodec>(items: &[T]) -> Vec<u8> {
-    let mut out = Out::new();
-    for item in items {
-        item.encode(&mut out);
-    }
-    out.0
+fn check_typed<T: ItemCodec, M: MetricTag>(c: &Container<'_>, expect: IndexKind) -> Result<()> {
+    check_tags(c, expect, T::TAG, T::NAME, M::TAG)
 }
 
-fn decode_items<T: ItemCodec>(payload: &[u8], count: u64) -> Result<Vec<T>> {
-    let count = usize::try_from(count)
-        .map_err(|_| VantageError::corrupt(format!("item count {count} exceeds address space")))?;
-    let mut cur = Cursor::new(payload);
-    let mut items = Vec::new();
-    for _ in 0..count {
-        items.push(T::decode(&mut cur)?);
-    }
-    cur.finish("items section")?;
-    Ok(items)
+/// `root` wire form: node ids stay below 2³¹, so `u32::MAX` is a free
+/// sentinel for the empty tree.
+pub(crate) fn root_to_wire(root: Option<u32>) -> u32 {
+    root.unwrap_or(u32::MAX)
+}
+
+/// Inverse of [`root_to_wire`].
+pub(crate) fn root_from_wire(raw: u32) -> Option<u32> {
+    (raw != u32::MAX).then_some(raw)
 }
 
 // ---------------------------------------------------------------- shared
@@ -125,7 +133,7 @@ fn encode_vp_params(params: &VpTreeParams) -> Vec<u8> {
     out.0
 }
 
-fn decode_vp_params(payload: &[u8]) -> Result<VpTreeParams> {
+pub(crate) fn decode_vp_params(payload: &[u8]) -> Result<VpTreeParams> {
     let mut cur = Cursor::new(payload);
     let params = VpTreeParams {
         order: cur.usize_scalar("order")?,
@@ -138,76 +146,58 @@ fn decode_vp_params(payload: &[u8]) -> Result<VpTreeParams> {
     Ok(params)
 }
 
-fn encode_vp_structure(root: Option<u32>, nodes: &[RawVpNode]) -> Vec<u8> {
+fn encode_vp_structure<T, M>(tree: &VpTree<T, M>, base: usize) -> Vec<u8> {
+    let a = tree.arena();
     let mut out = Out::new();
-    out.opt_u32(root);
-    out.usize(nodes.len());
-    for node in nodes {
-        match node {
-            RawVpNode::Internal {
-                vantage,
-                cutoffs,
-                children,
-            } => {
-                out.u8(0);
-                out.u32(*vantage);
-                out.f64_vec(cutoffs);
-                out.usize(children.len());
-                for &child in children {
-                    out.opt_u32(child);
-                }
-            }
-            RawVpNode::Leaf { items } => {
-                out.u8(1);
-                out.u32_vec(items);
-            }
-        }
-    }
+    out.align8(base);
+    out.u32(root_to_wire(tree.root()));
+    out.u32(a.len() as u32);
+    out.u32(a.internal_count() as u32);
+    out.u32(a.leaf_count() as u32);
+    out.u32(a.leaf_items().len() as u32);
+    out.u32s(a.meta());
+    out.u32s(a.vantage());
+    out.u32s(a.children());
+    out.u32s(a.leaf_spans());
+    out.u32s(a.leaf_items());
+    out.align8(base);
+    out.f64s(a.cutoffs());
     out.0
 }
 
-fn decode_vp_structure(payload: &[u8]) -> Result<(Option<u32>, Vec<RawVpNode>)> {
-    let mut cur = Cursor::new(payload);
-    let root = cur.opt_u32("root")?;
-    let count = cur.u64("node count")?;
-    let mut nodes = Vec::new();
-    for _ in 0..count {
-        let node = match cur.u8("node tag")? {
-            0 => {
-                let vantage = cur.u32("vantage id")?;
-                let cutoffs = cur.f64_vec("cutoffs")?;
-                let n = cur.len(1, "children")?;
-                let children = (0..n)
-                    .map(|_| cur.opt_u32("child id"))
-                    .collect::<Result<Vec<_>>>()?;
-                RawVpNode::Internal {
-                    vantage,
-                    cutoffs,
-                    children,
-                }
-            }
-            1 => RawVpNode::Leaf {
-                items: cur.u32_vec("leaf items")?,
-            },
-            tag => return Err(VantageError::corrupt(format!("unknown node tag {tag}"))),
-        };
-        nodes.push(node);
-    }
-    cur.finish("structure section")?;
-    Ok((root, nodes))
+fn decode_vp_structure(
+    payload: &[u8],
+    base: usize,
+    order: usize,
+) -> Result<(Option<u32>, VpArena)> {
+    let lay = VpLayout::parse(payload, base, order)?;
+    let arena = VpArena::from_raw_arrays(
+        order as u32,
+        layout::u32s_in(payload, &lay.meta),
+        layout::u32s_in(payload, &lay.vantage),
+        layout::u32s_in(payload, &lay.children),
+        layout::f64s_in(payload, &lay.cutoffs),
+        layout::u32s_in(payload, &lay.leaf_spans),
+        layout::u32s_in(payload, &lay.leaf_items),
+    );
+    Ok((root_from_wire(lay.root), arena))
 }
 
 /// Encodes a vp-tree into a complete snapshot byte buffer.
 pub fn encode_vp_tree<T: ItemCodec, M: MetricTag>(tree: &VpTree<T, M>) -> Vec<u8> {
-    let parts = tree.to_parts();
+    let params = encode_vp_params(tree.params());
+    let items_off = items_payload_offset(M::TAG.len(), params.len());
+    let items = T::encode_section(tree.items(), items_off);
+    let structure_off = structure_payload_offset(items_off, items.len());
+    let structure = encode_vp_structure(tree, structure_off);
     assemble(
         IndexKind::VpTree,
         T::TAG,
         M::TAG,
         tree.items().len() as u64,
-        &encode_vp_params(&parts.params),
-        &encode_items(tree.items()),
-        &encode_vp_structure(parts.root, &parts.nodes),
+        &params,
+        &items,
+        &structure,
     )
 }
 
@@ -221,17 +211,9 @@ pub fn decode_vp_tree<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<VpTree
     let c = parse(bytes)?;
     check_typed::<T, M>(&c, IndexKind::VpTree)?;
     let params = decode_vp_params(c.params)?;
-    let items = decode_items::<T>(c.items, c.count)?;
-    let (root, nodes) = decode_vp_structure(c.structure)?;
-    VpTree::from_parts(
-        items,
-        M::reconstruct(),
-        VpTreeParts {
-            params,
-            root,
-            nodes,
-        },
-    )
+    let items = T::decode_section(c.items, c.items_off, c.count)?;
+    let (root, arena) = decode_vp_structure(c.structure, c.structure_off, params.order)?;
+    VpTree::from_arena(items, M::reconstruct(), params, root, arena)
 }
 
 // -------------------------------------------------------------- mvp-tree
@@ -251,7 +233,7 @@ fn encode_mvp_params(params: &MvpParams) -> Vec<u8> {
     out.0
 }
 
-fn decode_mvp_params(payload: &[u8]) -> Result<MvpParams> {
+pub(crate) fn decode_mvp_params(payload: &[u8]) -> Result<MvpParams> {
     let mut cur = Cursor::new(payload);
     let params = MvpParams {
         m: cur.usize_scalar("m")?,
@@ -274,104 +256,65 @@ fn decode_mvp_params(payload: &[u8]) -> Result<MvpParams> {
     Ok(params)
 }
 
-fn encode_mvp_structure(root: Option<u32>, nodes: &[RawMvpNode]) -> Vec<u8> {
+fn encode_mvp_structure<T, M>(tree: &MvpTree<T, M>, base: usize) -> Vec<u8> {
+    let a = tree.arena();
     let mut out = Out::new();
-    out.opt_u32(root);
-    out.usize(nodes.len());
-    for node in nodes {
-        match node {
-            RawMvpNode::Internal {
-                vp1,
-                vp2,
-                cutoffs1,
-                cutoffs2,
-                children,
-            } => {
-                out.u8(0);
-                out.u32(*vp1);
-                out.u32(*vp2);
-                out.f64_vec(cutoffs1);
-                out.usize(cutoffs2.len());
-                for c in cutoffs2 {
-                    out.f64_vec(c);
-                }
-                out.usize(children.len());
-                for &child in children {
-                    out.opt_u32(child);
-                }
-            }
-            RawMvpNode::Leaf { vp1, vp2, entries } => {
-                out.u8(1);
-                out.u32(*vp1);
-                out.opt_u32(*vp2);
-                out.u32_vec(&entries.ids);
-                out.f64_vec(&entries.d1);
-                out.f64_vec(&entries.d2);
-                out.usize(entries.path_len);
-                out.f64_vec(&entries.path);
-            }
-        }
-    }
+    out.align8(base);
+    out.u64(a.path().len() as u64);
+    out.u32(root_to_wire(tree.root()));
+    out.u32(a.len() as u32);
+    out.u32(a.internal_count() as u32);
+    out.u32(a.leaf_count() as u32);
+    out.u32(a.ids().len() as u32);
+    out.u32s(a.meta());
+    out.u32s(a.vp1());
+    out.u32s(a.vp2());
+    out.u32s(a.children());
+    out.u32s(a.leaf_heads());
+    out.u32s(a.ids());
+    out.align8(base);
+    out.f64s(a.cutoffs1());
+    out.f64s(a.cutoffs2());
+    out.f64s(a.d1());
+    out.f64s(a.d2());
+    out.f64s(a.path());
     out.0
 }
 
-fn decode_mvp_structure(payload: &[u8]) -> Result<(Option<u32>, Vec<RawMvpNode>)> {
-    let mut cur = Cursor::new(payload);
-    let root = cur.opt_u32("root")?;
-    let count = cur.u64("node count")?;
-    let mut nodes = Vec::new();
-    for _ in 0..count {
-        let node = match cur.u8("node tag")? {
-            0 => {
-                let vp1 = cur.u32("vp1")?;
-                let vp2 = cur.u32("vp2")?;
-                let cutoffs1 = cur.f64_vec("cutoffs1")?;
-                let n = cur.len(8, "cutoffs2")?;
-                let cutoffs2 = (0..n)
-                    .map(|_| cur.f64_vec("cutoffs2 row"))
-                    .collect::<Result<Vec<_>>>()?;
-                let n = cur.len(1, "children")?;
-                let children = (0..n)
-                    .map(|_| cur.opt_u32("child id"))
-                    .collect::<Result<Vec<_>>>()?;
-                RawMvpNode::Internal {
-                    vp1,
-                    vp2,
-                    cutoffs1,
-                    cutoffs2,
-                    children,
-                }
-            }
-            1 => RawMvpNode::Leaf {
-                vp1: cur.u32("leaf vp1")?,
-                vp2: cur.opt_u32("leaf vp2")?,
-                entries: RawMvpLeafEntries {
-                    ids: cur.u32_vec("leaf ids")?,
-                    d1: cur.f64_vec("leaf D1")?,
-                    d2: cur.f64_vec("leaf D2")?,
-                    path_len: cur.usize_scalar("leaf PATH length")?,
-                    path: cur.f64_vec("leaf PATH buffer")?,
-                },
-            },
-            tag => return Err(VantageError::corrupt(format!("unknown node tag {tag}"))),
-        };
-        nodes.push(node);
-    }
-    cur.finish("structure section")?;
-    Ok((root, nodes))
+fn decode_mvp_structure(payload: &[u8], base: usize, m: usize) -> Result<(Option<u32>, MvpArena)> {
+    let lay = MvpLayout::parse(payload, base, m)?;
+    let arena = MvpArena::from_raw_arrays(
+        m as u32,
+        layout::u32s_in(payload, &lay.meta),
+        layout::u32s_in(payload, &lay.vp1),
+        layout::u32s_in(payload, &lay.vp2),
+        layout::u32s_in(payload, &lay.children),
+        layout::f64s_in(payload, &lay.cutoffs1),
+        layout::f64s_in(payload, &lay.cutoffs2),
+        layout::u32s_in(payload, &lay.leaf_heads),
+        layout::u32s_in(payload, &lay.ids),
+        layout::f64s_in(payload, &lay.d1),
+        layout::f64s_in(payload, &lay.d2),
+        layout::f64s_in(payload, &lay.path),
+    );
+    Ok((root_from_wire(lay.root), arena))
 }
 
 /// Encodes an mvp-tree into a complete snapshot byte buffer.
 pub fn encode_mvp_tree<T: ItemCodec, M: MetricTag>(tree: &MvpTree<T, M>) -> Vec<u8> {
-    let parts = tree.to_parts();
+    let params = encode_mvp_params(tree.params());
+    let items_off = items_payload_offset(M::TAG.len(), params.len());
+    let items = T::encode_section(tree.items(), items_off);
+    let structure_off = structure_payload_offset(items_off, items.len());
+    let structure = encode_mvp_structure(tree, structure_off);
     assemble(
         IndexKind::MvpTree,
         T::TAG,
         M::TAG,
         tree.items().len() as u64,
-        &encode_mvp_params(&parts.params),
-        &encode_items(tree.items()),
-        &encode_mvp_structure(parts.root, &parts.nodes),
+        &params,
+        &items,
+        &structure,
     )
 }
 
@@ -385,17 +328,9 @@ pub fn decode_mvp_tree<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<MvpTr
     let c = parse(bytes)?;
     check_typed::<T, M>(&c, IndexKind::MvpTree)?;
     let params = decode_mvp_params(c.params)?;
-    let items = decode_items::<T>(c.items, c.count)?;
-    let (root, nodes) = decode_mvp_structure(c.structure)?;
-    MvpTree::from_parts(
-        items,
-        M::reconstruct(),
-        MvpTreeParts {
-            params,
-            root,
-            nodes,
-        },
-    )
+    let items = T::decode_section(c.items, c.items_off, c.count)?;
+    let (root, arena) = decode_mvp_structure(c.structure, c.structure_off, params.m)?;
+    MvpTree::from_arena(items, M::reconstruct(), params, root, arena)
 }
 
 // ---------------------------------------------------------- linear scan
@@ -403,13 +338,15 @@ pub fn decode_mvp_tree<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<MvpTr
 /// Encodes a linear scan into a complete snapshot byte buffer (the
 /// params and structure sections are empty — a scan is just its items).
 pub fn encode_linear_scan<T: ItemCodec, M: MetricTag>(scan: &LinearScan<T, M>) -> Vec<u8> {
+    let items_off = items_payload_offset(M::TAG.len(), 0);
+    let items = T::encode_section(scan.items(), items_off);
     assemble(
         IndexKind::Linear,
         T::TAG,
         M::TAG,
         scan.items().len() as u64,
         &[],
-        &encode_items(scan.items()),
+        &items,
         &[],
     )
 }
@@ -433,7 +370,7 @@ pub fn decode_linear_scan<T: ItemCodec, M: MetricTag>(bytes: &[u8]) -> Result<Li
             "linear-scan snapshot carries a non-empty structure section",
         ));
     }
-    let items = decode_items::<T>(c.items, c.count)?;
+    let items = T::decode_section(c.items, c.items_off, c.count)?;
     Ok(LinearScan::new(items, M::reconstruct()))
 }
 

@@ -132,6 +132,59 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Skips zero padding up to the next 8-byte boundary of the
+    /// **absolute** position `base + position()`. `base` is the
+    /// payload's offset from the start of the snapshot file, so the
+    /// boundary is relative to the file — the alignment a memory map of
+    /// the whole file actually provides. Non-zero pad bytes are a typed
+    /// corruption error (padding is covered by the section CRC, so this
+    /// only fires on hand-forged input).
+    pub fn align8(&mut self, base: usize, what: &str) -> Result<()> {
+        let misalign = (base + self.pos) % 8;
+        if misalign == 0 {
+            return Ok(());
+        }
+        let pad = self.take(8 - misalign, what)?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(corrupt(format!("{what}: non-zero alignment padding")));
+        }
+        Ok(())
+    }
+
+    /// Reads exactly `n` little-endian `u32`s (no length prefix — the
+    /// count comes from an already-validated header field).
+    pub fn u32s(&mut self, n: usize, what: &str) -> Result<Vec<u32>> {
+        let need = n
+            .checked_mul(4)
+            .ok_or_else(|| corrupt(format!("{what}: count {n} overflows")))?;
+        let bytes = self.take(need, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    /// Reads exactly `n` little-endian `u64`s (no length prefix).
+    pub fn u64s(&mut self, n: usize, what: &str) -> Result<Vec<u64>> {
+        let need = n
+            .checked_mul(8)
+            .ok_or_else(|| corrupt(format!("{what}: count {n} overflows")))?;
+        let bytes = self.take(need, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+            .collect())
+    }
+
+    /// Reads exactly `n` little-endian `f64`s (no length prefix).
+    pub fn f64s(&mut self, n: usize, what: &str) -> Result<Vec<f64>> {
+        Ok(self
+            .u64s(n, what)?
+            .into_iter()
+            .map(f64::from_bits)
+            .collect())
+    }
+
     /// Reads a `u64` meant to be used as a `usize` (no element-size
     /// multiplier — for scalar parameters like tree order).
     pub fn usize_scalar(&mut self, what: &str) -> Result<usize> {
@@ -212,6 +265,31 @@ impl Out {
         }
     }
 
+    /// Appends zero bytes until `base + len()` is 8-byte aligned — the
+    /// writer counterpart of [`Cursor::align8`]. `base` is the absolute
+    /// file offset this buffer will be written at.
+    pub fn align8(&mut self, base: usize) {
+        // `is_multiple_of` would need Rust 1.87; the workspace MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of)]
+        while (base + self.0.len()) % 8 != 0 {
+            self.0.push(0);
+        }
+    }
+
+    /// Appends raw `u32`s with no length prefix.
+    pub fn u32s(&mut self, v: &[u32]) {
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Appends raw `f64`s with no length prefix.
+    pub fn f64s(&mut self, v: &[f64]) {
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
     /// Appends an `Option<u32>` (tag byte + value).
     pub fn opt_u32(&mut self, v: Option<u32>) {
         match v {
@@ -280,5 +358,50 @@ mod tests {
     fn trailing_bytes_detected() {
         let cur = Cursor::new(&[0]);
         assert!(cur.finish("section").is_err());
+    }
+
+    #[test]
+    fn alignment_padding_round_trips_at_any_base() {
+        for base in 0..16usize {
+            let mut out = Out::new();
+            out.u8(1); // odd prefix so padding is usually needed
+            out.align8(base);
+            out.f64s(&[1.5, -2.5]);
+            out.u32s(&[7, 8, 9]);
+            out.align8(base);
+            out.f64s(&[0.25]);
+            assert_eq!((base + out.0.len()) % 8, 0);
+            let mut cur = Cursor::new(&out.0);
+            assert_eq!(cur.u8("p").unwrap(), 1);
+            cur.align8(base, "pad").unwrap();
+            assert_eq!(cur.f64s(2, "f").unwrap(), vec![1.5, -2.5]);
+            assert_eq!(cur.u32s(3, "u").unwrap(), vec![7, 8, 9]);
+            cur.align8(base, "pad2").unwrap();
+            assert_eq!(cur.f64s(1, "g").unwrap(), vec![0.25]);
+            cur.finish("aligned").unwrap();
+        }
+    }
+
+    #[test]
+    fn nonzero_alignment_padding_is_corrupt() {
+        let mut out = Out::new();
+        out.u8(1);
+        out.align8(0);
+        out.f64(9.0);
+        // Stomp a pad byte.
+        out.0[3] = 0xAA;
+        let mut cur = Cursor::new(&out.0);
+        cur.u8("p").unwrap();
+        assert!(cur.align8(0, "pad").is_err());
+    }
+
+    #[test]
+    fn exact_count_reads_bound_check() {
+        let mut cur = Cursor::new(&[0u8; 12]);
+        assert!(cur.u32s(4, "u").is_err());
+        assert_eq!(cur.u32s(3, "u").unwrap(), vec![0, 0, 0]);
+        let mut cur = Cursor::new(&[0u8; 8]);
+        assert!(cur.f64s(2, "f").is_err());
+        assert!(cur.u64s(usize::MAX / 4, "bomb").is_err());
     }
 }

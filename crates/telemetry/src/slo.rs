@@ -71,9 +71,13 @@ impl SloWindow {
         SloSnapshot {
             total,
             window: filled as u64,
+            samples: filled as u64,
             p50_ns: rank(0.50),
             p99_ns: rank(0.99),
             p999_ns: rank(0.999),
+            p50_converged: filled >= 2,
+            p99_converged: filled >= 100,
+            p999_converged: filled >= 1000,
             worst_ns: worst.0,
             worst_exemplar: worst.1,
         }
@@ -87,12 +91,25 @@ pub struct SloSnapshot {
     pub total: u64,
     /// Observations currently in the window (≤ [`WINDOW`]).
     pub window: u64,
+    /// Effective sample count behind every percentile below — the same
+    /// value as `window`, surfaced explicitly so a reader checking
+    /// "is this p999 meaningful?" doesn't have to know the aliasing.
+    pub samples: u64,
     /// Nearest-rank median latency over the window, nanoseconds.
     pub p50_ns: u64,
     /// Nearest-rank p99 latency over the window, nanoseconds.
     pub p99_ns: u64,
     /// Nearest-rank p99.9 latency over the window, nanoseconds.
     pub p999_ns: u64,
+    /// Whether the window holds enough samples (≥ 2) for `p50_ns` to be
+    /// a rank-distinct statistic rather than an alias of the extremes.
+    pub p50_converged: bool,
+    /// Whether the window holds ≥ 100 samples — below that,
+    /// nearest-rank p99 silently equals the worst observation.
+    pub p99_converged: bool,
+    /// Whether the window holds ≥ 1000 samples — below that,
+    /// nearest-rank p99.9 silently equals the worst observation.
+    pub p999_converged: bool,
     /// Worst latency in the window, nanoseconds.
     pub worst_ns: u64,
     /// Trace-ID bits recorded beside the worst latency (0 when the
@@ -163,11 +180,48 @@ mod tests {
         let snap = slo.snapshot(OpKind::Range);
         assert_eq!(snap.total, 100);
         assert_eq!(snap.window, 100);
+        assert_eq!(snap.samples, 100);
         assert_eq!(snap.p50_ns, 50_000);
         assert_eq!(snap.p99_ns, 99_000);
         assert_eq!(snap.p999_ns, 100_000);
         assert_eq!(snap.worst_ns, 100_000);
         assert_eq!(snap.worst_exemplar, 100);
+        // At 100 samples p99 is a real rank but p999 still aliases the
+        // worst observation — the convergence flags say so.
+        assert!(snap.p50_converged);
+        assert!(snap.p99_converged);
+        assert!(!snap.p999_converged);
+    }
+
+    #[test]
+    fn sparse_windows_expose_unconverged_percentiles() {
+        let slo = SloSurface::new();
+        for ns in [10u64, 20, 30] {
+            slo.record(OpKind::Knn, ns, 0);
+        }
+        let snap = slo.snapshot(OpKind::Knn);
+        assert_eq!(snap.samples, 3);
+        // With 3 samples every high percentile collapses to the worst
+        // value; the flags make the aliasing visible to clients.
+        assert_eq!(snap.p99_ns, snap.worst_ns);
+        assert_eq!(snap.p999_ns, snap.worst_ns);
+        assert!(snap.p50_converged);
+        assert!(!snap.p99_converged);
+        assert!(!snap.p999_converged);
+    }
+
+    #[test]
+    fn full_window_converges_every_percentile() {
+        let slo = SloSurface::new();
+        for i in 0..WINDOW as u64 {
+            slo.record(OpKind::Range, i + 1, 0);
+        }
+        let snap = slo.snapshot(OpKind::Range);
+        assert_eq!(snap.samples, WINDOW as u64);
+        assert!(snap.p999_converged);
+        // 1024 samples: p999 rank = ceil(0.999·1024) = 1023 ≠ worst.
+        assert_eq!(snap.p999_ns, 1023);
+        assert_eq!(snap.worst_ns, 1024);
     }
 
     #[test]

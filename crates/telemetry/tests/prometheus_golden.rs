@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use vantage_telemetry::export::to_prometheus;
-use vantage_telemetry::{CostDelta, MetricsRegistry, OpKind};
+use vantage_telemetry::{CostDelta, MetricsRegistry, OpKind, SloSurface};
 
 fn fixture() -> String {
     let registry = MetricsRegistry::new();
@@ -54,6 +54,22 @@ fn fixture() -> String {
     );
     registry.gauge("serve/generation").set(2);
     registry.gauge("serve/in_flight").set(0);
+    // SLO surface gauges as the serve loop exports them — including the
+    // effective sample count, so scrapers can tell a converged p999
+    // from a thin-window alias of the worst observation.
+    let slo = SloSurface::new();
+    for us in [80u64, 95, 110, 1200] {
+        slo.record(OpKind::Knn, us * 1000, 0);
+    }
+    let snap = slo.snapshot(OpKind::Knn);
+    for (stat, value) in [
+        ("p50_ns", snap.p50_ns),
+        ("p99_ns", snap.p99_ns),
+        ("p999_ns", snap.p999_ns),
+        ("samples", snap.samples),
+    ] {
+        registry.gauge(&format!("slo/knn/{stat}")).set(value as i64);
+    }
     to_prometheus(&registry.snapshot())
 }
 

@@ -1,0 +1,368 @@
+//! Flat, index-addressed node storage.
+//!
+//! The tree's nodes live in a handful of contiguous, fixed-stride
+//! arrays instead of a `Vec` of enum nodes with per-node heap
+//! allocations (the layout SNIPPETS' `MVPNode` start/end offsets point
+//! at). Every array is addressed by plain integer arithmetic:
+//!
+//! * `meta[id]` — one `u32` per node: bit 31 set ⇒ leaf, the low
+//!   31 bits are the node's *rank* among nodes of its class (its index
+//!   into the class-segregated arrays below);
+//! * internal rank `r`: `vantage[r]`, `children[r·order ..]` (child
+//!   arena ids, [`NO_CHILD`] for empty partitions) and
+//!   `cutoffs[r·(order−1) ..]`;
+//! * leaf rank `r`: `leaf_spans[2r] .. +leaf_spans[2r+1]` delimits the
+//!   leaf's bucket inside one shared `leaf_items` buffer.
+//!
+//! The same six arrays exist in two forms: [`VpArena`] owns them
+//! (`Vec`s, the materialized tree), [`VpArenaView`] borrows them —
+//! possibly straight out of a memory-mapped snapshot section. All
+//! search, validation and statistics code is written against the view,
+//! so the materialized and zero-copy paths run byte-for-byte the same
+//! kernel.
+
+use crate::node::Node;
+
+/// Child-slot sentinel for an empty partition (`Option<NodeId>::None`
+/// in the old pointer-rich layout).
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// Bit 31 of `meta`: set for leaves.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// Packs a node-class flag and class rank into one `meta` word.
+#[inline]
+fn pack_meta(is_leaf: bool, rank: u32) -> u32 {
+    debug_assert!(rank < LEAF_BIT);
+    if is_leaf {
+        rank | LEAF_BIT
+    } else {
+        rank
+    }
+}
+
+/// Owned flat node storage of a vp-tree. See the module docs for the
+/// layout.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VpArena {
+    pub(crate) order: u32,
+    pub(crate) meta: Vec<u32>,
+    pub(crate) vantage: Vec<u32>,
+    pub(crate) children: Vec<u32>,
+    pub(crate) cutoffs: Vec<f64>,
+    pub(crate) leaf_spans: Vec<u32>,
+    pub(crate) leaf_items: Vec<u32>,
+}
+
+impl VpArena {
+    /// Packs a built node list (the construction IR) into flat arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node shapes do not match `order` or the arena would
+    /// exceed 2³¹ − 1 nodes; construction can produce neither.
+    pub(crate) fn from_nodes(order: usize, nodes: &[Node]) -> VpArena {
+        assert!(
+            nodes.len() < LEAF_BIT as usize,
+            "node arena exceeds 2^31 - 1 nodes"
+        );
+        let mut arena = VpArena {
+            order: order as u32,
+            meta: Vec::with_capacity(nodes.len()),
+            vantage: Vec::new(),
+            children: Vec::new(),
+            cutoffs: Vec::new(),
+            leaf_spans: Vec::new(),
+            leaf_items: Vec::new(),
+        };
+        for node in nodes {
+            match node {
+                Node::Internal {
+                    vantage,
+                    cutoffs,
+                    children,
+                } => {
+                    assert_eq!(children.len(), order, "child slots match order");
+                    assert_eq!(cutoffs.len() + 1, order, "cutoffs match order");
+                    arena
+                        .meta
+                        .push(pack_meta(false, arena.vantage.len() as u32));
+                    arena.vantage.push(*vantage);
+                    arena
+                        .children
+                        .extend(children.iter().map(|c| c.unwrap_or(NO_CHILD)));
+                    arena.cutoffs.extend_from_slice(cutoffs);
+                }
+                Node::Leaf { items } => {
+                    arena
+                        .meta
+                        .push(pack_meta(true, (arena.leaf_spans.len() / 2) as u32));
+                    arena.leaf_spans.push(arena.leaf_items.len() as u32);
+                    arena.leaf_spans.push(items.len() as u32);
+                    arena.leaf_items.extend_from_slice(items);
+                }
+            }
+        }
+        arena
+    }
+
+    /// Assembles an arena from raw flat arrays (the snapshot decode
+    /// path). No validation happens here — callers must pass the result
+    /// through the tree-level structural validation before searching.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_arrays(
+        order: u32,
+        meta: Vec<u32>,
+        vantage: Vec<u32>,
+        children: Vec<u32>,
+        cutoffs: Vec<f64>,
+        leaf_spans: Vec<u32>,
+        leaf_items: Vec<u32>,
+    ) -> VpArena {
+        VpArena {
+            order,
+            meta,
+            vantage,
+            children,
+            cutoffs,
+            leaf_spans,
+            leaf_items,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Borrows the arena as a view — the form every kernel consumes.
+    pub fn view(&self) -> VpArenaView<'_> {
+        VpArenaView {
+            order: self.order as usize,
+            meta: &self.meta,
+            vantage: &self.vantage,
+            children: &self.children,
+            cutoffs: &self.cutoffs,
+            leaf_spans: &self.leaf_spans,
+            leaf_items: &self.leaf_items,
+        }
+    }
+}
+
+/// Borrowed flat node storage — over a [`VpArena`] or directly over the
+/// typed slices of a snapshot section.
+#[derive(Debug, Clone, Copy)]
+pub struct VpArenaView<'a> {
+    pub(crate) order: usize,
+    pub(crate) meta: &'a [u32],
+    pub(crate) vantage: &'a [u32],
+    pub(crate) children: &'a [u32],
+    pub(crate) cutoffs: &'a [f64],
+    pub(crate) leaf_spans: &'a [u32],
+    pub(crate) leaf_items: &'a [u32],
+}
+
+/// One resolved node of a [`VpArenaView`].
+#[derive(Debug, Clone, Copy)]
+pub enum VpNodeView<'a> {
+    /// Interior node: vantage point, `order − 1` cutoffs, `order` child
+    /// slots ([`NO_CHILD`] marks an empty partition).
+    Internal {
+        /// Item id of the node's vantage point.
+        vantage: u32,
+        /// Partition boundaries, non-decreasing.
+        cutoffs: &'a [f64],
+        /// Child arena ids, one slot per partition.
+        children: &'a [u32],
+    },
+    /// Leaf bucket of item ids.
+    Leaf {
+        /// Item ids stored in this bucket.
+        items: &'a [u32],
+    },
+}
+
+impl<'a> VpArenaView<'a> {
+    /// Assembles a view from raw borrowed arrays (the zero-copy snapshot
+    /// path). Like [`VpArena::from_raw_arrays`], shapes must have been
+    /// validated before the view is searched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        order: usize,
+        meta: &'a [u32],
+        vantage: &'a [u32],
+        children: &'a [u32],
+        cutoffs: &'a [f64],
+        leaf_spans: &'a [u32],
+        leaf_items: &'a [u32],
+    ) -> Self {
+        VpArenaView {
+            order,
+            meta,
+            vantage,
+            children,
+            cutoffs,
+            leaf_spans,
+            leaf_items,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// The tree fanout the strides are computed with.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of interior nodes.
+    pub fn internal_count(&self) -> usize {
+        self.vantage.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_spans.len() / 2
+    }
+
+    /// The per-node meta words (leaf bit + class rank).
+    pub fn meta(&self) -> &'a [u32] {
+        self.meta
+    }
+
+    /// Vantage-point item ids, one per interior node.
+    pub fn vantage(&self) -> &'a [u32] {
+        self.vantage
+    }
+
+    /// The contiguous child-id buffer (`internal_count × order`).
+    pub fn children(&self) -> &'a [u32] {
+        self.children
+    }
+
+    /// The contiguous cutoff buffer (`internal_count × (order − 1)`).
+    pub fn cutoffs(&self) -> &'a [f64] {
+        self.cutoffs
+    }
+
+    /// Leaf bucket spans: `(start, len)` per leaf into `leaf_items`.
+    pub fn leaf_spans(&self) -> &'a [u32] {
+        self.leaf_spans
+    }
+
+    /// The shared leaf bucket buffer.
+    pub fn leaf_items(&self) -> &'a [u32] {
+        self.leaf_items
+    }
+
+    /// Resolves node `id` into its class arrays.
+    #[inline]
+    pub fn node(&self, id: u32) -> VpNodeView<'a> {
+        let meta = self.meta[id as usize];
+        let rank = (meta & !LEAF_BIT) as usize;
+        if meta & LEAF_BIT != 0 {
+            let start = self.leaf_spans[2 * rank] as usize;
+            let len = self.leaf_spans[2 * rank + 1] as usize;
+            VpNodeView::Leaf {
+                items: &self.leaf_items[start..start + len],
+            }
+        } else {
+            let m = self.order;
+            VpNodeView::Internal {
+                vantage: self.vantage[rank],
+                cutoffs: &self.cutoffs[rank * (m - 1)..(rank + 1) * (m - 1)],
+                children: &self.children[rank * m..(rank + 1) * m],
+            }
+        }
+    }
+
+    /// Whether node `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: u32) -> bool {
+        self.meta[id as usize] & LEAF_BIT != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VpArena {
+        // root (internal, order 2) -> [leaf {1,2}, leaf {3}]
+        VpArena::from_nodes(
+            2,
+            &[
+                Node::Internal {
+                    vantage: 0,
+                    cutoffs: vec![1.5],
+                    children: vec![Some(1), Some(2)],
+                },
+                Node::Leaf { items: vec![1, 2] },
+                Node::Leaf { items: vec![3] },
+            ],
+        )
+    }
+
+    #[test]
+    fn packs_nodes_into_flat_arrays() {
+        let arena = sample();
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.vantage, vec![0]);
+        assert_eq!(arena.children, vec![1, 2]);
+        assert_eq!(arena.cutoffs, vec![1.5]);
+        assert_eq!(arena.leaf_spans, vec![0, 2, 2, 1]);
+        assert_eq!(arena.leaf_items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn view_resolves_both_classes() {
+        let arena = sample();
+        let view = arena.view();
+        assert!(!view.is_leaf(0));
+        match view.node(0) {
+            VpNodeView::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                assert_eq!(vantage, 0);
+                assert_eq!(cutoffs, &[1.5]);
+                assert_eq!(children, &[1, 2]);
+            }
+            VpNodeView::Leaf { .. } => panic!("node 0 is internal"),
+        }
+        match view.node(2) {
+            VpNodeView::Leaf { items } => assert_eq!(items, &[3]),
+            VpNodeView::Internal { .. } => panic!("node 2 is a leaf"),
+        }
+    }
+
+    #[test]
+    fn empty_partitions_are_no_child() {
+        let arena = VpArena::from_nodes(
+            2,
+            &[
+                Node::Internal {
+                    vantage: 0,
+                    cutoffs: vec![0.5],
+                    children: vec![None, Some(1)],
+                },
+                Node::Leaf { items: vec![1] },
+            ],
+        );
+        assert_eq!(arena.children, vec![NO_CHILD, 1]);
+    }
+}

@@ -1,113 +1,22 @@
-//! Budgeted best-effort kNN on vp-trees.
+//! Budgeted best-effort kNN on vp-trees — a thin wrapper over the
+//! shared arena kernel in [`crate::kernel`].
 //!
 //! The traversal is the same best-first branch-and-bound as exact kNN;
-//! the only difference is a [`BudgetMeter`] charged before every metric
-//! distance. When a charge is refused the search stops and the *frontier
-//! bound* — the smallest lower bound over all unexplored work — is
-//! folded into the recall estimate: any returned neighbor at distance ≤
-//! the frontier provably belongs to the exact answer.
+//! the only difference is a [`BudgetMeter`](vantage_core::BudgetMeter)
+//! charged before every metric distance. When a charge is refused the
+//! search stops and the *frontier bound* — the smallest lower bound over
+//! all unexplored work — is folded into the recall estimate: any
+//! returned neighbor at distance ≤ the frontier provably belongs to the
+//! exact answer.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use vantage_core::budget::{BudgetedKnn, BudgetedSearch, SearchBudget};
+use vantage_core::BoundedMetric;
 
-use vantage_core::budget::{
-    finish_budgeted, BudgetMeter, BudgetedKnn, BudgetedSearch, SearchBudget,
-};
-use vantage_core::util::OrdF64;
-use vantage_core::{BoundedMetric, KnnCollector, MetricIndex};
-
-use crate::node::{Node, NodeId};
 use crate::tree::VpTree;
-
-/// Probability that an *uncertain* budgeted result (distance above the
-/// frontier bound) is nevertheless a true k-nearest neighbor. Calibrated
-/// against the measured recall-vs-cost curve of the `budget` experiment
-/// in `vantage-experiments`; must stay below 1 so inexact answers never
-/// report perfect recall.
-const GAMMA: f64 = 0.85; // measured 0.889 at the 50%-cost calibration point
 
 impl<T, M: BoundedMetric<T>> BudgetedSearch<T> for VpTree<T, M> {
     fn knn_budgeted(&self, query: &T, k: usize, budget: SearchBudget) -> BudgetedKnn {
-        let mut meter = BudgetMeter::new(budget);
-        let mut collector = KnnCollector::new(k);
-        let mut frontier = f64::INFINITY;
-        let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId)>> = BinaryHeap::new();
-        if k > 0 {
-            if let Some(root) = self.root {
-                heap.push(Reverse((OrdF64(0.0), root)));
-            }
-        }
-        'search: while let Some(Reverse((OrdF64(bound), node))) = heap.pop() {
-            if bound > collector.radius() {
-                // Exact termination: every remaining entry is provably
-                // outside the answer, no uncertainty to account.
-                heap.clear();
-                break;
-            }
-            match self.node(node) {
-                Node::Leaf { items } => {
-                    for &id in items {
-                        if !meter.try_charge() {
-                            // This candidate and the rest of the leaf
-                            // sit in a subtree admitted at `bound`.
-                            frontier = frontier.min(bound);
-                            break 'search;
-                        }
-                        if let (Some(d), _) = self.metric.distance_within_frac(
-                            query,
-                            &self.items[id as usize],
-                            collector.radius(),
-                        ) {
-                            collector.offer(id as usize, d);
-                        }
-                    }
-                }
-                Node::Internal {
-                    vantage,
-                    cutoffs,
-                    children,
-                } => {
-                    if !meter.try_charge() {
-                        frontier = frontier.min(bound);
-                        break 'search;
-                    }
-                    let d = self.metric.distance(query, &self.items[*vantage as usize]);
-                    collector.offer(*vantage as usize, d);
-                    for (i, child) in children.iter().enumerate() {
-                        let Some(child) = child else { continue };
-                        let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
-                        let hi = if i == cutoffs.len() {
-                            f64::INFINITY
-                        } else {
-                            cutoffs[i]
-                        };
-                        let child_bound = (d - hi).max(lo - d).max(0.0);
-                        if child_bound <= collector.radius() {
-                            heap.push(Reverse((OrdF64(child_bound.max(bound)), *child)));
-                        }
-                    }
-                }
-            }
-        }
-        if meter.exhausted() {
-            // Unexplored subtrees still queued when the budget ran out;
-            // entries above the final radius are provably non-answers
-            // and do not weaken the certainty frontier.
-            let radius = collector.radius();
-            for &Reverse((OrdF64(b), _)) in heap.iter() {
-                if b <= radius {
-                    frontier = frontier.min(b);
-                }
-            }
-        }
-        finish_budgeted(
-            collector.into_sorted(),
-            k,
-            self.len(),
-            frontier,
-            GAMMA,
-            &meter,
-        )
+        self.kernel(query).knn_budgeted(k, budget)
     }
 }
 
@@ -178,5 +87,25 @@ mod tests {
         assert!(out.neighbors.is_empty());
         assert!(out.exhausted);
         assert_eq!(out.estimated_recall, 0.0);
+    }
+
+    #[test]
+    fn borrowed_view_budgeted_matches_owned() {
+        let t = tree();
+        let r = t.as_view();
+        let q = vec![4.2, 4.9];
+        for budget in [
+            SearchBudget::UNLIMITED,
+            SearchBudget::limited(0),
+            SearchBudget::limited(8),
+            SearchBudget::limited(60),
+        ] {
+            let a = t.knn_budgeted(&q, 5, budget);
+            let b = r.knn_budgeted(&q, 5, budget);
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.estimated_recall, b.estimated_recall);
+            assert_eq!(a.exhausted, b.exhausted);
+            assert_eq!(a.spent, b.spent);
+        }
     }
 }

@@ -33,6 +33,7 @@ use vantage_core::parallel::{fork_join, par_map_slice, share_workers};
 use vantage_core::util::{checked_item_count, split_into_quantiles};
 use vantage_core::{Metric, Result};
 
+use crate::arena::VpArena;
 use crate::node::{Node, NodeId};
 use crate::params::VpTreeParams;
 use crate::tree::VpTree;
@@ -70,10 +71,12 @@ impl<T, M: Metric<T>> VpTree<T, M> {
             params: &params,
         };
         let root = builder.build_subtree(ids, &mut rng, workers, &mut nodes);
+        // Pack the construction IR into the flat arena the kernels run on.
+        let arena = VpArena::from_nodes(params.order, &nodes);
         Ok(VpTree {
             items,
             metric,
-            nodes,
+            arena,
             root,
             params,
         })
@@ -229,7 +232,7 @@ mod tests {
     fn singleton_is_one_leaf() {
         let tree = VpTree::build(points(1), Euclidean, VpTreeParams::binary()).unwrap();
         assert_eq!(tree.len(), 1);
-        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.arena.len(), 1);
     }
 
     #[test]
@@ -257,14 +260,14 @@ mod tests {
         let params = VpTreeParams::with_order(3).seed(99);
         let a = VpTree::build(points(100), Euclidean, params.clone()).unwrap();
         let b = VpTree::build(points(100), Euclidean, params).unwrap();
-        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.arena, b.arena);
     }
 
     #[test]
     fn different_seed_usually_differs() {
         let a = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(1)).unwrap();
         let b = VpTree::build(points(100), Euclidean, VpTreeParams::binary().seed(2)).unwrap();
-        assert_ne!(a.nodes, b.nodes);
+        assert_ne!(a.arena, b.arena);
     }
 
     #[test]
@@ -285,7 +288,7 @@ mod tests {
                 )
                 .unwrap();
                 assert_eq!(
-                    sequential.nodes, parallel.nodes,
+                    sequential.arena, parallel.arena,
                     "order {order}, leaf {leaf}, {workers} workers"
                 );
                 assert_eq!(sequential.root, parallel.root);
@@ -301,8 +304,9 @@ mod tests {
             VpTreeParams::with_order(3).leaf_capacity(7),
         )
         .unwrap();
-        for node in &tree.nodes {
-            if let crate::node::Node::Leaf { items } = node {
+        let view = tree.arena();
+        for id in 0..view.len() as u32 {
+            if let crate::arena::VpNodeView::Leaf { items } = view.node(id) {
                 assert!(items.len() <= 7);
             }
         }
@@ -317,10 +321,11 @@ mod tests {
         )
         .unwrap();
         let mut seen = vec![0u32; tree.len()];
-        for node in &tree.nodes {
-            match node {
-                crate::node::Node::Internal { vantage, .. } => seen[*vantage as usize] += 1,
-                crate::node::Node::Leaf { items } => {
+        let view = tree.arena();
+        for id in 0..view.len() as u32 {
+            match view.node(id) {
+                crate::arena::VpNodeView::Internal { vantage, .. } => seen[vantage as usize] += 1,
+                crate::arena::VpNodeView::Leaf { items } => {
                     for &id in items {
                         seen[id as usize] += 1;
                     }
@@ -342,10 +347,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tree.root, Some(0));
-        for (id, node) in tree.nodes.iter().enumerate() {
-            if let crate::node::Node::Internal { children, .. } = node {
-                for &child in children.iter().flatten() {
-                    assert!(child as usize > id, "child {child} precedes parent {id}");
+        let view = tree.arena();
+        for id in 0..view.len() as u32 {
+            if let crate::arena::VpNodeView::Internal { children, .. } = view.node(id) {
+                for &child in children.iter().filter(|&&c| c != crate::arena::NO_CHILD) {
+                    assert!(
+                        child as usize > id as usize,
+                        "child {child} precedes parent {id}"
+                    );
                 }
             }
         }

@@ -1,4 +1,5 @@
-//! Far-neighbor queries on vp-trees (paper §2's query variations).
+//! Far-neighbor queries on vp-trees (paper §2's query variations) —
+//! thin wrappers over the shared arena kernels in [`crate::kernel`].
 //!
 //! Pruning is the mirror image of range search: the triangle inequality
 //! gives `d(q, x) ≤ d(q, v) + d(v, x) ≤ d + hi` for every point `x` in a
@@ -6,10 +7,9 @@
 //! cannot reach the threshold.
 
 use vantage_core::farthest::{FarthestIndex, KfnCollector};
-use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
+use vantage_core::trace::{NoTrace, TraceSink};
 use vantage_core::{Metric, Neighbor};
 
-use crate::node::{Node, NodeId};
 use crate::tree::VpTree;
 
 impl<T, M: Metric<T>> VpTree<T, M> {
@@ -25,142 +25,31 @@ impl<T, M: Metric<T>> VpTree<T, M> {
         radius: f64,
         sink: &mut S,
     ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if let Some(root) = self.root {
-            self.beyond_node(root, query, radius, 0, sink, &mut out);
-        }
-        out
-    }
-
-    fn beyond_node<S: TraceSink>(
-        &self,
-        node: NodeId,
-        query: &T,
-        radius: f64,
-        level: u32,
-        sink: &mut S,
-        out: &mut Vec<Neighbor>,
-    ) {
-        match self.node(node) {
-            Node::Leaf { items } => {
-                sink.enter_node(level, true);
-                for &id in items {
-                    sink.distance(DistanceRole::Candidate);
-                    let d = self.metric().distance(query, &self.items[id as usize]);
-                    if d >= radius {
-                        out.push(Neighbor::new(id as usize, d));
-                    }
-                }
-            }
-            Node::Internal {
-                vantage,
-                cutoffs,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                sink.distance(DistanceRole::Vantage);
-                let d = self
-                    .metric()
-                    .distance(query, &self.items[*vantage as usize]);
-                if d >= radius {
-                    out.push(Neighbor::new(*vantage as usize, d));
-                }
-                for (i, child) in children.iter().enumerate() {
-                    let Some(child) = child else { continue };
-                    let hi = if i == cutoffs.len() {
-                        f64::INFINITY
-                    } else {
-                        cutoffs[i]
-                    };
-                    if d + hi >= radius {
-                        self.beyond_node(*child, query, radius, level + 1, sink, out);
-                    } else if S::ENABLED {
-                        sink.prune(level + 1, PruneReason::FirstShell, radius - (d + hi));
-                    }
-                }
-            }
-        }
+        self.kernel(query).beyond(radius, sink)
     }
 
     /// [`k_farthest`](FarthestIndex::k_farthest) with instrumentation;
     /// see [`beyond_traced`](VpTree::beyond_traced). Children abandoned
     /// by the descending-upper-bound early exit are reported as
-    /// [`PruneReason::FirstShell`] prunes carrying their upper bound.
+    /// [`FirstShell`](vantage_core::trace::PruneReason::FirstShell)
+    /// prunes carrying their upper bound.
     pub fn kfn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KfnCollector::new(k);
         if k > 0 {
-            if let Some(root) = self.root {
-                self.kfn_node(root, query, &mut collector, 0, sink);
-            }
+            self.kfn_into(&mut collector, query, sink);
         }
         collector.into_sorted()
     }
 
-    pub(crate) fn kfn_node<S: TraceSink>(
+    /// Runs the k-farthest traversal into a caller-provided collector —
+    /// shared with the sharded scatter path.
+    pub(crate) fn kfn_into<S: TraceSink>(
         &self,
-        node: NodeId,
-        query: &T,
         collector: &mut KfnCollector,
-        level: u32,
+        query: &T,
         sink: &mut S,
     ) {
-        match self.node(node) {
-            Node::Leaf { items } => {
-                sink.enter_node(level, true);
-                for &id in items {
-                    sink.distance(DistanceRole::Candidate);
-                    let d = self.metric().distance(query, &self.items[id as usize]);
-                    collector.offer(id as usize, d);
-                }
-            }
-            Node::Internal {
-                vantage,
-                cutoffs,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                sink.distance(DistanceRole::Vantage);
-                let d = self
-                    .metric()
-                    .distance(query, &self.items[*vantage as usize]);
-                collector.offer(*vantage as usize, d);
-                // Farthest-promising children first so the threshold
-                // rises early.
-                let mut order: Vec<(f64, NodeId)> = children
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, child)| {
-                        child.map(|c| {
-                            let hi = if i == cutoffs.len() {
-                                f64::INFINITY
-                            } else {
-                                cutoffs[i]
-                            };
-                            (d + hi, c)
-                        })
-                    })
-                    .collect();
-                order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
-                let mut abandoned = None;
-                for (pos, &(upper, child)) in order.iter().enumerate() {
-                    // Tie-inclusive: a child whose upper bound *equals*
-                    // the threshold may hold an equidistant point with a
-                    // smaller id, which canonical tie-breaking must see.
-                    if upper < collector.radius() {
-                        abandoned = Some(pos);
-                        break;
-                    }
-                    self.kfn_node(child, query, collector, level + 1, sink);
-                }
-                if S::ENABLED {
-                    if let Some(pos) = abandoned {
-                        for &(upper, _) in &order[pos..] {
-                            sink.prune(level + 1, PruneReason::FirstShell, upper);
-                        }
-                    }
-                }
-            }
-        }
+        self.kernel(query).kfn_into(collector, sink);
     }
 }
 
@@ -176,8 +65,8 @@ impl<T, M: Metric<T>> FarthestIndex<T> for VpTree<T, M> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::params::VpTreeParams;
+    use crate::tree::VpTree;
     use vantage_core::prelude::*;
 
     fn grid() -> Vec<Vec<f64>> {
@@ -237,5 +126,16 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!((out[0].distance - (81.0f64 + 81.0).sqrt()).abs() < 1e-12);
         assert!(probe.count() < 100, "no pruning: {}", probe.count());
+    }
+
+    #[test]
+    fn borrowed_view_matches_owned_far_queries() {
+        let t = VpTree::build(grid(), Euclidean, VpTreeParams::with_order(3).seed(2)).unwrap();
+        let r = t.as_view();
+        let q = vec![2.0, 3.0];
+        assert_eq!(t.range_beyond(&q, 6.0), r.range_beyond(&q, 6.0));
+        for k in [1, 5, 100] {
+            assert_eq!(t.k_farthest(&q, k), r.k_farthest(&q, k));
+        }
     }
 }

@@ -1,13 +1,10 @@
-//! Range and kNN search (paper §3.3 and its Appendix).
+//! Range and kNN search (paper §3.3 and its Appendix) — thin wrappers
+//! over the shared arena kernels in [`crate::kernel`].
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use vantage_core::trace::{DistanceRole, NoTrace, PruneReason, TraceSink};
-use vantage_core::util::OrdF64;
+use vantage_core::trace::{NoTrace, TraceSink};
 use vantage_core::{BoundedMetric, KnnCollector, Neighbor};
 
-use crate::node::{Node, NodeId};
+use crate::kernel::Kernel;
 use crate::tree::VpTree;
 
 impl<T, M: BoundedMetric<T>> VpTree<T, M> {
@@ -34,67 +31,7 @@ impl<T, M: BoundedMetric<T>> VpTree<T, M> {
         radius: f64,
         sink: &mut S,
     ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        if let Some(root) = self.root {
-            self.range_node(root, query, radius, 0, sink, &mut out);
-        }
-        out
-    }
-
-    fn range_node<S: TraceSink>(
-        &self,
-        node: NodeId,
-        query: &T,
-        radius: f64,
-        level: u32,
-        sink: &mut S,
-        out: &mut Vec<Neighbor>,
-    ) {
-        match self.node(node) {
-            Node::Leaf { items } => {
-                sink.enter_node(level, true);
-                for &id in items {
-                    sink.distance(DistanceRole::Candidate);
-                    match self
-                        .metric
-                        .distance_within_frac(query, &self.items[id as usize], radius)
-                    {
-                        (Some(d), _) => out.push(Neighbor::new(id as usize, d)),
-                        (None, work) => {
-                            if S::ENABLED {
-                                sink.abandon(DistanceRole::Candidate, work);
-                            }
-                        }
-                    }
-                }
-            }
-            Node::Internal {
-                vantage,
-                cutoffs,
-                children,
-            } => {
-                sink.enter_node(level, false);
-                sink.distance(DistanceRole::Vantage);
-                let d = self.metric.distance(query, &self.items[*vantage as usize]);
-                if d <= radius {
-                    out.push(Neighbor::new(*vantage as usize, d));
-                }
-                for (i, child) in children.iter().enumerate() {
-                    let Some(child) = child else { continue };
-                    let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
-                    let hi = if i == cutoffs.len() {
-                        f64::INFINITY
-                    } else {
-                        cutoffs[i]
-                    };
-                    if d - radius <= hi && d + radius >= lo {
-                        self.range_node(*child, query, radius, level + 1, sink, out);
-                    } else if S::ENABLED {
-                        sink.prune(level + 1, PruneReason::FirstShell, (d - hi).max(lo - d));
-                    }
-                }
-            }
-        }
+        self.kernel(query).range(radius, sink)
     }
 
     /// Best-first k-nearest-neighbor search.
@@ -111,7 +48,8 @@ impl<T, M: BoundedMetric<T>> VpTree<T, M> {
 
     /// [`knn`](vantage_core::MetricIndex::knn) with instrumentation; see
     /// [`range_traced`](VpTree::range_traced). Subtrees abandoned by the
-    /// best-first early exit are reported as [`PruneReason::FirstShell`]
+    /// best-first early exit are reported as
+    /// [`FirstShell`](vantage_core::trace::PruneReason::FirstShell)
     /// prunes with the shell bound that kept them queued.
     pub fn knn_traced<S: TraceSink>(&self, query: &T, k: usize, sink: &mut S) -> Vec<Neighbor> {
         let mut collector = KnnCollector::new(k);
@@ -120,91 +58,35 @@ impl<T, M: BoundedMetric<T>> VpTree<T, M> {
     }
 
     /// Runs the best-first kNN traversal into a caller-provided
-    /// collector — the shared kernel behind [`knn_traced`](VpTree::knn_traced)
-    /// and the sharded scatter path (which passes a collector wired to a
-    /// cross-shard bound).
+    /// collector — shared with the sharded scatter path (which passes a
+    /// collector wired to a cross-shard bound).
     pub(crate) fn knn_into<S: TraceSink>(
         &self,
         collector: &mut KnnCollector,
         query: &T,
         sink: &mut S,
     ) {
-        // The heap carries each subtree's depth alongside its bound; the
-        // ordering is unchanged (NodeIds are unique, so the depth field
-        // never participates in a comparison).
-        let mut heap: BinaryHeap<Reverse<(OrdF64, NodeId, u32)>> = BinaryHeap::new();
-        if let Some(root) = self.root {
-            heap.push(Reverse((OrdF64(0.0), root, 0)));
-        }
-        while let Some(Reverse((OrdF64(bound), node, level))) = heap.pop() {
-            if bound > collector.radius() {
-                // Every remaining entry has an even larger bound.
-                if S::ENABLED {
-                    sink.prune(level, PruneReason::FirstShell, bound);
-                    for Reverse((OrdF64(b), _, l)) in heap.drain() {
-                        sink.prune(l, PruneReason::FirstShell, b);
-                    }
-                }
-                break;
-            }
-            match self.node(node) {
-                Node::Leaf { items } => {
-                    sink.enter_node(level, true);
-                    for &id in items {
-                        sink.distance(DistanceRole::Candidate);
-                        // Bounded by the current k-th best distance: a
-                        // candidate the kernel abandons is one the
-                        // collector's strict `<` would have discarded.
-                        match self.metric.distance_within_frac(
-                            query,
-                            &self.items[id as usize],
-                            collector.radius(),
-                        ) {
-                            (Some(d), _) => {
-                                collector.offer(id as usize, d);
-                            }
-                            (None, work) => {
-                                if S::ENABLED {
-                                    sink.abandon(DistanceRole::Candidate, work);
-                                }
-                            }
-                        }
-                    }
-                }
-                Node::Internal {
-                    vantage,
-                    cutoffs,
-                    children,
-                } => {
-                    sink.enter_node(level, false);
-                    sink.distance(DistanceRole::Vantage);
-                    let d = self.metric.distance(query, &self.items[*vantage as usize]);
-                    collector.offer(*vantage as usize, d);
-                    for (i, child) in children.iter().enumerate() {
-                        let Some(child) = child else { continue };
-                        let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
-                        let hi = if i == cutoffs.len() {
-                            f64::INFINITY
-                        } else {
-                            cutoffs[i]
-                        };
-                        let child_bound = (d - hi).max(lo - d).max(0.0);
-                        if child_bound <= collector.radius() {
-                            heap.push(Reverse((OrdF64(child_bound), *child, level + 1)));
-                        } else if S::ENABLED {
-                            sink.prune(level + 1, PruneReason::FirstShell, child_bound);
-                        }
-                    }
-                }
-            }
+        self.kernel(query).knn_into(collector, sink);
+    }
+}
+
+impl<T, M> VpTree<T, M> {
+    /// Binds this tree's arena, items and metric to a query.
+    pub(crate) fn kernel<'k>(&'k self, query: &'k T) -> Kernel<'k, [T], M, T> {
+        Kernel {
+            arena: self.arena.view(),
+            root: self.root,
+            items: self.items.as_slice(),
+            metric: &self.metric,
+            query,
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::params::VpTreeParams;
+    use crate::tree::VpTree;
     use vantage_core::prelude::*;
     use vantage_core::MetricIndex;
 
@@ -318,5 +200,17 @@ mod tests {
         let out = t.knn(&vec![5.0, 5.0], 3);
         assert_eq!(out.len(), 3);
         assert!(probe.count() < 100);
+    }
+
+    #[test]
+    fn borrowed_view_answers_bit_identically() {
+        let t = tree(3, 2);
+        let r = t.as_view();
+        for (q, radius) in [(vec![5.0, 5.0], 1.0), (vec![0.0, 0.0], 3.5)] {
+            assert_eq!(t.range(&q, radius), r.range(&q, radius));
+        }
+        for k in [1, 7, 100] {
+            assert_eq!(t.knn(&vec![4.2, 4.9], k), r.knn(&vec![4.2, 4.9], k));
+        }
     }
 }

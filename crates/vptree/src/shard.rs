@@ -26,9 +26,7 @@ impl<T, M: BoundedMetric<T>> ShardSearch<T> for VpTree<T, M> {
     fn kfn_shared(&self, query: &T, k: usize, shared: Arc<SharedLowerBound>) -> Vec<Neighbor> {
         let mut collector = KfnCollector::with_shared(k, shared);
         if k > 0 {
-            if let Some(root) = self.root {
-                self.kfn_node(root, query, &mut collector, 0, &mut NoTrace);
-            }
+            self.kfn_into(&mut collector, query, &mut NoTrace);
         }
         collector.into_sorted()
     }

@@ -7,11 +7,14 @@
 //! internals, and rebuilds a tree from parts while **validating every
 //! structural invariant that the search paths rely on** — a corrupted or
 //! hand-crafted snapshot yields a typed error, never an out-of-bounds
-//! panic or an unterminated traversal.
+//! panic or an unterminated traversal. (The validation itself is shared
+//! with the flat decode path: see
+//! [`validate_arena`](crate::validate_arena).)
 
 use vantage_core::{Result, VantageError};
 
-use crate::node::{Node, NodeId};
+use crate::arena::{VpArena, VpNodeView, NO_CHILD};
+use crate::node::Node;
 use crate::params::VpTreeParams;
 use crate::tree::VpTree;
 
@@ -54,24 +57,26 @@ fn corrupt(detail: impl Into<String>) -> VantageError {
 impl<T, M> VpTree<T, M> {
     /// Copies the tree's structural skeleton out as plain data.
     pub fn to_parts(&self) -> VpTreeParts {
+        let view = self.arena.view();
         VpTreeParts {
             params: self.params.clone(),
             root: self.root,
-            nodes: self
-                .nodes
-                .iter()
-                .map(|node| match node {
-                    Node::Internal {
+            nodes: (0..view.len() as u32)
+                .map(|id| match view.node(id) {
+                    VpNodeView::Internal {
                         vantage,
                         cutoffs,
                         children,
                     } => RawVpNode::Internal {
-                        vantage: *vantage,
-                        cutoffs: cutoffs.clone(),
-                        children: children.clone(),
+                        vantage,
+                        cutoffs: cutoffs.to_vec(),
+                        children: children
+                            .iter()
+                            .map(|&c| (c != NO_CHILD).then_some(c))
+                            .collect(),
                     },
-                    Node::Leaf { items } => RawVpNode::Leaf {
-                        items: items.clone(),
+                    VpNodeView::Leaf { items } => RawVpNode::Leaf {
+                        items: items.to_vec(),
                     },
                 })
                 .collect(),
@@ -81,12 +86,13 @@ impl<T, M> VpTree<T, M> {
     /// Reassembles a tree from `items`, a `metric` and a previously
     /// exported (or deserialized) skeleton.
     ///
-    /// The skeleton is fully validated first: parameter sanity, node-id
-    /// and item-id ranges, arena preorder (every child id exceeds its
-    /// parent's, which also rules out cycles), cutoff shapes and ordering,
-    /// leaf capacities, reachability of every node from the root, and
-    /// exactly-once coverage of every item. No distances are recomputed —
-    /// validation is `O(n + nodes)`.
+    /// The skeleton is fully validated (via
+    /// [`validate_arena`](crate::validate_arena)): parameter sanity,
+    /// node-id and item-id ranges, arena preorder (every child id exceeds
+    /// its parent's, which also rules out cycles), cutoff shapes and
+    /// ordering, leaf capacities, reachability of every node from the
+    /// root, and exactly-once coverage of every item. No distances are
+    /// recomputed — validation is `O(n + nodes)`.
     ///
     /// # Errors
     ///
@@ -100,128 +106,33 @@ impl<T, M> VpTree<T, M> {
             nodes,
         } = parts;
         params.validate()?;
-
-        let n_items = items.len();
-        let n_nodes = nodes.len();
-        match root {
-            None => {
-                if n_items != 0 || n_nodes != 0 {
-                    return Err(corrupt(format!(
-                        "rootless tree carries {n_items} items and {n_nodes} nodes"
-                    )));
-                }
-            }
-            Some(root) => {
-                if (root as usize) >= n_nodes {
-                    return Err(corrupt(format!(
-                        "root id {root} out of range ({n_nodes} nodes)"
-                    )));
-                }
-            }
+        if nodes.len() >= (1usize << 31) {
+            return Err(corrupt("node arena exceeds 2^31 - 1 nodes"));
         }
-
-        let mut seen = vec![false; n_items];
-        let mark = |id: u32, seen: &mut Vec<bool>| -> Result<()> {
-            let slot = seen
-                .get_mut(id as usize)
-                .ok_or_else(|| corrupt(format!("item id {id} out of range ({n_items} items)")))?;
-            if *slot {
-                return Err(corrupt(format!("item id {id} appears more than once")));
-            }
-            *slot = true;
-            Ok(())
-        };
-        // Child links into a node must come from exactly one parent and
-        // point strictly forward; with the root at the front this makes
-        // the arena an acyclic preorder forest rooted at `root`.
-        let mut referenced = vec![false; n_nodes];
+        // Per-node stride pre-checks so the arena packer cannot be fed
+        // mismatched shapes; everything else is validated on the packed
+        // arena.
         for (node_id, node) in nodes.iter().enumerate() {
-            match node {
-                RawVpNode::Internal {
-                    vantage,
-                    cutoffs,
-                    children,
-                } => {
-                    mark(*vantage, &mut seen)?;
-                    if children.len() != params.order {
-                        return Err(corrupt(format!(
-                            "node {node_id}: {} child slots, order is {}",
-                            children.len(),
-                            params.order
-                        )));
-                    }
-                    if cutoffs.len() + 1 != params.order {
-                        return Err(corrupt(format!(
-                            "node {node_id}: {} cutoffs, expected {}",
-                            cutoffs.len(),
-                            params.order - 1
-                        )));
-                    }
-                    if cutoffs.iter().any(|c| c.is_nan()) {
-                        return Err(corrupt(format!("node {node_id}: NaN cutoff")));
-                    }
-                    if cutoffs.windows(2).any(|w| w[0] > w[1]) {
-                        return Err(corrupt(format!(
-                            "node {node_id}: cutoffs not sorted: {cutoffs:?}"
-                        )));
-                    }
-                    for &child in children.iter().flatten() {
-                        if (child as usize) >= n_nodes {
-                            return Err(corrupt(format!(
-                                "node {node_id}: child id {child} out of range ({n_nodes} nodes)"
-                            )));
-                        }
-                        if (child as usize) <= node_id {
-                            return Err(corrupt(format!(
-                                "node {node_id}: child id {child} does not follow its parent"
-                            )));
-                        }
-                        if referenced[child as usize] {
-                            return Err(corrupt(format!(
-                                "node {child} is referenced by more than one parent"
-                            )));
-                        }
-                        referenced[child as usize] = true;
-                    }
+            if let RawVpNode::Internal {
+                cutoffs, children, ..
+            } = node
+            {
+                if children.len() != params.order {
+                    return Err(corrupt(format!(
+                        "node {node_id}: {} child slots, order is {}",
+                        children.len(),
+                        params.order
+                    )));
                 }
-                RawVpNode::Leaf { items: bucket } => {
-                    if bucket.is_empty() {
-                        return Err(corrupt(format!("node {node_id}: empty leaf bucket")));
-                    }
-                    if bucket.len() > params.leaf_capacity {
-                        return Err(corrupt(format!(
-                            "node {node_id}: leaf holds {} items, capacity is {}",
-                            bucket.len(),
-                            params.leaf_capacity
-                        )));
-                    }
-                    for &id in bucket {
-                        mark(id, &mut seen)?;
-                    }
+                if cutoffs.len() + 1 != params.order {
+                    return Err(corrupt(format!(
+                        "node {node_id}: {} cutoffs, expected {}",
+                        cutoffs.len(),
+                        params.order - 1
+                    )));
                 }
             }
         }
-        if let Some(root) = root {
-            if referenced[root as usize] {
-                return Err(corrupt("root node is also referenced as a child"));
-            }
-        }
-        // Every non-root node must be someone's child: single-reference
-        // plus exactly-once item coverage then imply the whole arena is
-        // reachable from the root.
-        if let Some(orphan) = referenced
-            .iter()
-            .enumerate()
-            .position(|(id, &linked)| !linked && Some(id as u32) != root)
-        {
-            return Err(corrupt(format!(
-                "node {orphan} is unreachable from the root"
-            )));
-        }
-        if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(corrupt(format!("item {missing} appears in no node")));
-        }
-
         let nodes: Vec<Node> = nodes
             .into_iter()
             .map(|node| match node {
@@ -232,18 +143,13 @@ impl<T, M> VpTree<T, M> {
                 } => Node::Internal {
                     vantage,
                     cutoffs,
-                    children: children as Vec<Option<NodeId>>,
+                    children,
                 },
                 RawVpNode::Leaf { items } => Node::Leaf { items },
             })
             .collect();
-        Ok(VpTree {
-            items,
-            metric,
-            nodes,
-            root,
-            params,
-        })
+        let arena = VpArena::from_nodes(params.order, &nodes);
+        Self::from_arena(items, metric, params, root, arena)
     }
 }
 
@@ -347,5 +253,30 @@ mod tests {
         let err = VpTree::from_parts(original.items().to_vec(), Euclidean, parts);
         // Reversing sorted cutoffs breaks ordering unless all were equal.
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn arena_round_trip_preserves_answers() {
+        let original = tree();
+        let arena = VpArena::from_raw_arrays(
+            original.params().order as u32,
+            original.arena().meta().to_vec(),
+            original.arena().vantage().to_vec(),
+            original.arena().children().to_vec(),
+            original.arena().cutoffs().to_vec(),
+            original.arena().leaf_spans().to_vec(),
+            original.arena().leaf_items().to_vec(),
+        );
+        let rebuilt = VpTree::from_arena(
+            original.items().to_vec(),
+            Euclidean,
+            original.params().clone(),
+            original.root(),
+            arena,
+        )
+        .unwrap();
+        let q = vec![17.0, 3.0];
+        assert_eq!(original.range(&q, 5.0), rebuilt.range(&q, 5.0));
+        assert_eq!(original.knn(&q, 9), rebuilt.knn(&q, 9));
     }
 }

@@ -1,6 +1,6 @@
 //! Structural statistics.
 
-use crate::node::Node;
+use crate::arena::{VpArenaView, VpNodeView, NO_CHILD};
 use crate::tree::VpTree;
 
 /// Shape summary of a built vp-tree.
@@ -34,29 +34,29 @@ impl<T, M> VpTree<T, M> {
             max_leaf_len: 0,
         };
         if let Some(root) = self.root {
-            s.height = self.walk(root, &mut s);
+            s.height = walk(self.arena.view(), root, &mut s);
         }
         s
     }
+}
 
-    fn walk(&self, node: crate::node::NodeId, s: &mut VpTreeStats) -> usize {
-        match self.node(node) {
-            Node::Leaf { items } => {
-                s.leaf_nodes += 1;
-                s.leaf_items += items.len();
-                s.max_leaf_len = s.max_leaf_len.max(items.len());
-                0
-            }
-            Node::Internal { children, .. } => {
-                s.internal_nodes += 1;
-                s.vantage_points += 1;
-                1 + children
-                    .iter()
-                    .flatten()
-                    .map(|&c| self.walk(c, s))
-                    .max()
-                    .unwrap_or(0)
-            }
+fn walk(view: VpArenaView<'_>, node: u32, s: &mut VpTreeStats) -> usize {
+    match view.node(node) {
+        VpNodeView::Leaf { items } => {
+            s.leaf_nodes += 1;
+            s.leaf_items += items.len();
+            s.max_leaf_len = s.max_leaf_len.max(items.len());
+            0
+        }
+        VpNodeView::Internal { children, .. } => {
+            s.internal_nodes += 1;
+            s.vantage_points += 1;
+            1 + children
+                .iter()
+                .filter(|&&c| c != NO_CHILD)
+                .map(|&c| walk(view, c, s))
+                .max()
+                .unwrap_or(0)
         }
     }
 }

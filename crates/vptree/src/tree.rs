@@ -1,22 +1,25 @@
 //! The [`VpTree`] type and its public surface.
 
-use vantage_core::{MetricIndex, Neighbor};
+use vantage_core::{MetricIndex, Neighbor, Result};
 
-use crate::node::{Node, NodeId};
+use crate::arena::{VpArena, VpArenaView};
 use crate::params::VpTreeParams;
+use crate::treeref::VpTreeRef;
+use crate::validate::validate_arena;
 
 /// An m-way vantage-point tree over items of type `T` under metric `M`.
 ///
 /// Built once from a dataset ([`VpTree::build`]); answers range and
-/// k-nearest-neighbor queries through [`MetricIndex`]. See the crate docs
-/// for the algorithm and the faithfulness notes.
+/// k-nearest-neighbor queries through [`MetricIndex`]. Nodes live in a
+/// flat, index-addressed [`VpArena`]; see the crate docs for the
+/// algorithm and the faithfulness notes.
 #[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VpTree<T, M> {
     pub(crate) items: Vec<T>,
     pub(crate) metric: M,
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) root: Option<NodeId>,
+    pub(crate) arena: VpArena,
+    pub(crate) root: Option<u32>,
     pub(crate) params: VpTreeParams,
 }
 
@@ -36,8 +39,53 @@ impl<T, M> VpTree<T, M> {
         &self.items
     }
 
-    pub(crate) fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id as usize]
+    /// The flat node arena.
+    pub fn arena(&self) -> VpArenaView<'_> {
+        self.arena.view()
+    }
+
+    /// Arena id of the root node (`None` for an empty tree).
+    pub fn root(&self) -> Option<u32> {
+        self.root
+    }
+
+    /// Borrows the tree as a [`VpTreeRef`] — the same view type the
+    /// zero-copy snapshot path serves queries through.
+    pub fn as_view(&self) -> VpTreeRef<'_, &[T], M> {
+        VpTreeRef::new(
+            self.arena.view(),
+            self.root,
+            self.items.as_slice(),
+            &self.metric,
+        )
+    }
+
+    /// Assembles a tree from items, a metric, parameters and a flat node
+    /// arena, validating every structural invariant the search paths rely
+    /// on — the decode path of the persistence layer.
+    ///
+    /// # Errors
+    ///
+    /// [`CorruptSnapshot`](vantage_core::VantageError::CorruptSnapshot)
+    /// describing the first violated invariant, or an
+    /// [`InvalidParameter`](vantage_core::VantageError::InvalidParameter)
+    /// from the embedded params.
+    pub fn from_arena(
+        items: Vec<T>,
+        metric: M,
+        params: VpTreeParams,
+        root: Option<u32>,
+        arena: VpArena,
+    ) -> Result<Self> {
+        params.validate()?;
+        validate_arena(arena.view(), root, items.len(), &params)?;
+        Ok(VpTree {
+            items,
+            metric,
+            arena,
+            root,
+            params,
+        })
     }
 }
 

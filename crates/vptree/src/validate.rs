@@ -1,9 +1,221 @@
-//! Structural invariant checking (used by tests and debug assertions).
+//! Structural validation of flat arenas.
+//!
+//! [`validate_arena`] is the gate every untrusted arena passes through
+//! (snapshot decode, mmap open, [`VpTree::from_arena`]): it proves all
+//! the invariants the search kernels rely on for memory safety and
+//! termination, in `O(n + nodes)` with no distance computations. The
+//! distance-recomputing [`VpTree::check_invariants`] remains a
+//! test/diagnostic facility.
 
-use vantage_core::Metric;
+use vantage_core::{Metric, Result, VantageError};
 
-use crate::node::{Node, NodeId};
+use crate::arena::{VpArenaView, VpNodeView, NO_CHILD};
+use crate::params::VpTreeParams;
 use crate::tree::VpTree;
+
+fn corrupt(detail: impl Into<String>) -> VantageError {
+    VantageError::corrupt(detail)
+}
+
+/// Validates every structural invariant of a flat arena: meta/rank
+/// consistency, array strides, id ranges, arena preorder (every child id
+/// exceeds its parent's, which also rules out cycles), cutoff shapes and
+/// ordering, leaf spans tiling the bucket buffer, leaf capacities,
+/// reachability of every node from the root, and exactly-once coverage
+/// of every item.
+///
+/// A search over a view that passed this check can neither panic, index
+/// out of bounds, nor fail to terminate — the contract the zero-copy
+/// snapshot path relies on to run queries straight over mapped bytes.
+///
+/// # Errors
+///
+/// [`CorruptSnapshot`](VantageError::CorruptSnapshot) describing the
+/// first violated invariant.
+pub fn validate_arena(
+    arena: VpArenaView<'_>,
+    root: Option<u32>,
+    item_count: usize,
+    params: &VpTreeParams,
+) -> Result<()> {
+    let order = params.order;
+    if arena.order() != order {
+        return Err(corrupt(format!(
+            "arena order {} does not match params order {order}",
+            arena.order()
+        )));
+    }
+    let n_nodes = arena.len();
+    if n_nodes >= (1usize << 31) {
+        return Err(corrupt("node arena exceeds 2^31 - 1 nodes"));
+    }
+
+    // Meta ranks must equal the running count of each node class, so the
+    // class-segregated arrays are addressed densely and in arena order.
+    let (mut internals, mut leaves) = (0usize, 0usize);
+    for (node_id, &meta) in arena.meta().iter().enumerate() {
+        let is_leaf = meta & (1 << 31) != 0;
+        let rank = (meta & !(1u32 << 31)) as usize;
+        let expected = if is_leaf { leaves } else { internals };
+        if rank != expected {
+            return Err(corrupt(format!(
+                "node {node_id}: class rank {rank}, expected {expected}"
+            )));
+        }
+        if is_leaf {
+            leaves += 1;
+        } else {
+            internals += 1;
+        }
+    }
+    if arena.vantage().len() != internals {
+        return Err(corrupt(format!(
+            "{} vantage entries for {internals} internal nodes",
+            arena.vantage().len()
+        )));
+    }
+    if arena.children().len() != internals * order {
+        return Err(corrupt(format!(
+            "{} child slots for {internals} internal nodes of order {order}",
+            arena.children().len()
+        )));
+    }
+    if arena.cutoffs().len() != internals * (order - 1) {
+        return Err(corrupt(format!(
+            "{} cutoffs for {internals} internal nodes of order {order}",
+            arena.cutoffs().len()
+        )));
+    }
+    if arena.leaf_spans().len() != leaves * 2 {
+        return Err(corrupt(format!(
+            "{} leaf-span words for {leaves} leaves",
+            arena.leaf_spans().len()
+        )));
+    }
+
+    // Leaf spans must tile the shared bucket buffer contiguously.
+    let mut running = 0usize;
+    for (leaf, span) in arena.leaf_spans().chunks_exact(2).enumerate() {
+        let (start, len) = (span[0] as usize, span[1] as usize);
+        if start != running {
+            return Err(corrupt(format!(
+                "leaf {leaf}: bucket starts at {start}, expected {running}"
+            )));
+        }
+        if len == 0 {
+            return Err(corrupt(format!("leaf {leaf}: empty leaf bucket")));
+        }
+        if len > params.leaf_capacity {
+            return Err(corrupt(format!(
+                "leaf {leaf}: holds {len} items, capacity is {}",
+                params.leaf_capacity
+            )));
+        }
+        running += len;
+    }
+    if running != arena.leaf_items().len() {
+        return Err(corrupt(format!(
+            "leaf spans cover {running} items, bucket buffer holds {}",
+            arena.leaf_items().len()
+        )));
+    }
+
+    match root {
+        None => {
+            if item_count != 0 || n_nodes != 0 {
+                return Err(corrupt(format!(
+                    "rootless tree carries {item_count} items and {n_nodes} nodes"
+                )));
+            }
+        }
+        Some(root) => {
+            if (root as usize) >= n_nodes {
+                return Err(corrupt(format!(
+                    "root id {root} out of range ({n_nodes} nodes)"
+                )));
+            }
+        }
+    }
+
+    let mut seen = vec![false; item_count];
+    let mut mark = |id: u32| -> Result<()> {
+        let slot = seen
+            .get_mut(id as usize)
+            .ok_or_else(|| corrupt(format!("item id {id} out of range ({item_count} items)")))?;
+        if *slot {
+            return Err(corrupt(format!("item id {id} appears more than once")));
+        }
+        *slot = true;
+        Ok(())
+    };
+    // Child links into a node must come from exactly one parent and
+    // point strictly forward; with the root at the front this makes
+    // the arena an acyclic preorder forest rooted at `root`.
+    let mut referenced = vec![false; n_nodes];
+    for node_id in 0..n_nodes {
+        match arena.node(node_id as u32) {
+            VpNodeView::Internal {
+                vantage,
+                cutoffs,
+                children,
+            } => {
+                mark(vantage)?;
+                if cutoffs.iter().any(|c| c.is_nan()) {
+                    return Err(corrupt(format!("node {node_id}: NaN cutoff")));
+                }
+                if cutoffs.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(corrupt(format!(
+                        "node {node_id}: cutoffs not sorted: {cutoffs:?}"
+                    )));
+                }
+                for &child in children.iter().filter(|&&c| c != NO_CHILD) {
+                    if (child as usize) >= n_nodes {
+                        return Err(corrupt(format!(
+                            "node {node_id}: child id {child} out of range ({n_nodes} nodes)"
+                        )));
+                    }
+                    if (child as usize) <= node_id {
+                        return Err(corrupt(format!(
+                            "node {node_id}: child id {child} does not follow its parent"
+                        )));
+                    }
+                    if referenced[child as usize] {
+                        return Err(corrupt(format!(
+                            "node {child} is referenced by more than one parent"
+                        )));
+                    }
+                    referenced[child as usize] = true;
+                }
+            }
+            VpNodeView::Leaf { items } => {
+                for &id in items {
+                    mark(id)?;
+                }
+            }
+        }
+    }
+    if let Some(root) = root {
+        if referenced[root as usize] {
+            return Err(corrupt("root node is also referenced as a child"));
+        }
+    }
+    // Every non-root node must be someone's child: single-reference
+    // plus exactly-once item coverage then imply the whole arena is
+    // reachable from the root.
+    if let Some(orphan) = referenced
+        .iter()
+        .enumerate()
+        .position(|(id, &linked)| !linked && Some(id as u32) != root)
+    {
+        return Err(corrupt(format!(
+            "node {orphan} is unreachable from the root"
+        )));
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(corrupt(format!("item {missing} appears in no node")));
+    }
+    Ok(())
+}
 
 impl<T, M: Metric<T>> VpTree<T, M> {
     /// Verifies the tree's structural invariants, returning a description
@@ -18,10 +230,11 @@ impl<T, M: Metric<T>> VpTree<T, M> {
     ///
     /// This re-computes `O(n · height)` distances, so it is strictly a
     /// test/diagnostic facility.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let view = self.arena.view();
         let mut seen = vec![false; self.items.len()];
         if let Some(root) = self.root {
-            self.check_node(root, &mut seen)?;
+            self.check_node(view, root, &mut seen)?;
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
             return Err(format!("item {missing} not reachable from the root"));
@@ -29,7 +242,7 @@ impl<T, M: Metric<T>> VpTree<T, M> {
         Ok(())
     }
 
-    fn mark(&self, id: u32, seen: &mut [bool]) -> Result<(), String> {
+    fn mark(&self, id: u32, seen: &mut [bool]) -> std::result::Result<(), String> {
         let slot = seen
             .get_mut(id as usize)
             .ok_or_else(|| format!("item id {id} out of bounds"))?;
@@ -40,9 +253,14 @@ impl<T, M: Metric<T>> VpTree<T, M> {
         Ok(())
     }
 
-    fn check_node(&self, node: NodeId, seen: &mut [bool]) -> Result<(), String> {
-        match self.node(node) {
-            Node::Leaf { items } => {
+    fn check_node(
+        &self,
+        view: VpArenaView<'_>,
+        node: u32,
+        seen: &mut [bool],
+    ) -> std::result::Result<(), String> {
+        match view.node(node) {
+            VpNodeView::Leaf { items } => {
                 if items.len() > self.params.leaf_capacity {
                     return Err(format!(
                         "leaf holds {} items, capacity is {}",
@@ -55,12 +273,12 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 }
                 Ok(())
             }
-            Node::Internal {
+            VpNodeView::Internal {
                 vantage,
                 cutoffs,
                 children,
             } => {
-                self.mark(*vantage, seen)?;
+                self.mark(vantage, seen)?;
                 if children.len() != self.params.order {
                     return Err(format!(
                         "internal node has {} child slots, order is {}",
@@ -78,8 +296,10 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                 if cutoffs.windows(2).any(|w| w[0] > w[1]) {
                     return Err(format!("cutoffs not sorted: {cutoffs:?}"));
                 }
-                for (i, child) in children.iter().enumerate() {
-                    let Some(child) = child else { continue };
+                for (i, &child) in children.iter().enumerate() {
+                    if child == NO_CHILD {
+                        continue;
+                    }
                     let lo = if i == 0 { 0.0 } else { cutoffs[i - 1] };
                     let hi = if i == cutoffs.len() {
                         f64::INFINITY
@@ -87,11 +307,11 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                         cutoffs[i]
                     };
                     let mut subtree = Vec::new();
-                    self.collect_subtree(*child, &mut subtree);
+                    collect_subtree(view, child, &mut subtree);
                     for id in subtree {
                         let d = self
                             .metric
-                            .distance(&self.items[*vantage as usize], &self.items[id as usize]);
+                            .distance(&self.items[vantage as usize], &self.items[id as usize]);
                         // Tolerance-free: cutoffs are exact stored
                         // distances and the metric is deterministic.
                         if d < lo || d > hi {
@@ -100,23 +320,23 @@ impl<T, M: Metric<T>> VpTree<T, M> {
                             ));
                         }
                     }
-                    self.check_node(*child, seen)?;
+                    self.check_node(view, child, seen)?;
                 }
                 Ok(())
             }
         }
     }
+}
 
-    fn collect_subtree(&self, node: NodeId, out: &mut Vec<u32>) {
-        match self.node(node) {
-            Node::Leaf { items } => out.extend_from_slice(items),
-            Node::Internal {
-                vantage, children, ..
-            } => {
-                out.push(*vantage);
-                for child in children.iter().flatten() {
-                    self.collect_subtree(*child, out);
-                }
+fn collect_subtree(view: VpArenaView<'_>, node: u32, out: &mut Vec<u32>) {
+    match view.node(node) {
+        VpNodeView::Leaf { items } => out.extend_from_slice(items),
+        VpNodeView::Internal {
+            vantage, children, ..
+        } => {
+            out.push(vantage);
+            for &child in children.iter().filter(|&&c| c != NO_CHILD) {
+                collect_subtree(view, child, out);
             }
         }
     }
@@ -160,8 +380,25 @@ mod tests {
     }
 
     #[test]
+    fn built_trees_pass_arena_validation() {
+        let points: Vec<Vec<f64>> = (0..250)
+            .map(|i| vec![f64::from(i % 13), f64::from(i % 29)])
+            .collect();
+        for order in [2, 3, 5] {
+            let t = VpTree::build(
+                points.clone(),
+                Euclidean,
+                VpTreeParams::with_order(order).leaf_capacity(3).seed(9),
+            )
+            .unwrap();
+            super::validate_arena(t.arena(), t.root(), t.items().len(), t.params()).unwrap();
+        }
+    }
+
+    #[test]
     fn empty_tree_is_valid() {
         let t = VpTree::build(Vec::<Vec<f64>>::new(), Euclidean, VpTreeParams::binary()).unwrap();
         t.check_invariants().unwrap();
+        super::validate_arena(t.arena(), t.root(), 0, t.params()).unwrap();
     }
 }
